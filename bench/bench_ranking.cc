@@ -1,0 +1,109 @@
+// Copyright 2026 The claks Authors.
+//
+// Regenerates the paper's §3 claim B (ranking): under RDB length the best
+// connections are {1, 5} and the worst {4, 7}; under the conceptual view
+// with close associations emphasised, the best are {1, 2, 5}, the worst
+// {3, 6}, and 4 & 7 are promoted. Prints the full ranking under every
+// policy plus the pairwise Kendall-tau distance matrix.
+
+#include <set>
+
+#include "bench_util.h"
+#include "core/ranking.h"
+
+int main() {
+  using claks::RankerKind;
+  using claks::bench::MakePaperSetup;
+  using claks::bench::PaperRowOf;
+  using claks::bench::PrintHeader;
+
+  auto setup = MakePaperSetup();
+  const claks::Database& db = *setup.dataset.db;
+  claks::KeywordSearchEngine& engine = *setup.engine;
+
+  const RankerKind kAll[] = {RankerKind::kRdbLength,
+                             RankerKind::kErLength,
+                             RankerKind::kCloseFirst,
+                             RankerKind::kLoosePenalty,
+                             RankerKind::kInstanceClose,
+                             RankerKind::kCombined,
+                             RankerKind::kAmbiguity,
+                             RankerKind::kMoreContext};
+
+  // Rank row ids per policy.
+  std::vector<std::vector<size_t>> orders;
+  for (RankerKind kind : kAll) {
+    claks::SearchOptions options;
+    options.max_rdb_edges = 3;
+    options.ranker = kind;
+    auto result = engine.Search("Smith XML", options);
+    CLAKS_CHECK(result.ok());
+    PrintHeader(std::string("Ranking under ") +
+                claks::RankerKindToString(kind));
+    std::vector<size_t> order;
+    size_t rank = 1;
+    for (const claks::SearchHit& hit : result->hits) {
+      int row = PaperRowOf(engine, db, hit);
+      order.push_back(static_cast<size_t>(row));
+      std::printf(
+          "  %zu. row %d  %s  (rdb %zu, er %zu, hubs %zu, nm %zu%s)\n",
+          rank++, row, hit.rendered.c_str(), hit.rdb_length, hit.er_length,
+          hit.hub_patterns, hit.nm_steps,
+          hit.instance_close.has_value()
+              ? (*hit.instance_close ? ", instance-close"
+                                     : ", instance-loose")
+              : "");
+    }
+    orders.push_back(std::move(order));
+  }
+
+  // Verify the paper's two statements.
+  PrintHeader("Paper claims");
+  bool ok = true;
+  {
+    const auto& rdb = orders[0];  // kRdbLength
+    std::set<size_t> best{rdb[0], rdb[1]};
+    std::set<size_t> worst{rdb[5], rdb[6]};
+    bool claim = best == std::set<size_t>{1, 5} &&
+                 worst == std::set<size_t>{4, 7};
+    std::printf("RDB ranking: best {1,5}, worst {4,7} ............ %s\n",
+                claim ? "PASS" : "FAIL");
+    ok = ok && claim;
+  }
+  {
+    const auto& cf = orders[2];  // kCloseFirst
+    std::set<size_t> best{cf[0], cf[1], cf[2]};
+    std::set<size_t> mid{cf[3], cf[4]};
+    std::set<size_t> worst{cf[5], cf[6]};
+    bool claim = best == std::set<size_t>{1, 2, 5} &&
+                 mid == std::set<size_t>{4, 7} &&
+                 worst == std::set<size_t>{3, 6};
+    std::printf("ER ranking: best {1,2,5}, then {4,7}, worst {3,6} %s\n",
+                claim ? "PASS" : "FAIL");
+    ok = ok && claim;
+  }
+
+  // Kendall tau matrix. Convert row sequences to permutations of 0..6.
+  PrintHeader("Kendall-tau distance between policies");
+  auto as_perm = [](const std::vector<size_t>& rows) {
+    std::vector<size_t> perm;
+    for (size_t row : rows) perm.push_back(row - 1);
+    return perm;
+  };
+  std::printf("%-16s", "");
+  for (RankerKind kind : kAll) {
+    std::printf("%-15s", claks::RankerKindToString(kind));
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < orders.size(); ++i) {
+    std::printf("%-16s", claks::RankerKindToString(kAll[i]));
+    for (size_t j = 0; j < orders.size(); ++j) {
+      std::printf("%-15.3f", claks::KendallTauDistance(
+                                 as_perm(orders[i]), as_perm(orders[j])));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nRanking claims: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+// Copyright 2026 The claks Authors.
+//
+// Regenerates Table 2: the connections of the query "Smith XML" (plus the
+// "Alice" rows 8-9) with their lengths in the RDB and in the ER model —
+// and verifies that full enumeration finds exactly rows 1-7.
+
+#include "bench_util.h"
+#include "core/length.h"
+
+int main() {
+  using claks::bench::ConnectionByNames;
+  using claks::bench::MakePaperSetup;
+  using claks::bench::PaperConnections;
+  using claks::bench::PaperKeywordMarks;
+  using claks::bench::PaperRowOf;
+  using claks::bench::PrintHeader;
+
+  auto setup = MakePaperSetup();
+  const claks::Database& db = *setup.dataset.db;
+  auto marks = PaperKeywordMarks(db);
+
+  // The paper's printed lengths, row 1..9: {rdb, er}.
+  const size_t kExpected[9][2] = {{1, 1}, {2, 1}, {2, 2}, {3, 2}, {1, 1},
+                                  {2, 2}, {3, 2}, {2, 2}, {4, 3}};
+
+  PrintHeader("Table 2: connections and lengths (RDB vs ER)");
+  std::printf("%-3s %-55s %-12s %-11s %s\n", "#", "connection",
+              "len in RDB", "len in ER", "check");
+  bool all_ok = true;
+  for (size_t i = 0; i < PaperConnections().size(); ++i) {
+    claks::Connection conn =
+        ConnectionByNames(*setup.engine, db, PaperConnections()[i]);
+    auto er_length = claks::ErLength(conn, db, setup.dataset.er_schema,
+                                     setup.dataset.mapping);
+    if (!er_length.ok()) {
+      std::fprintf(stderr, "projection failed: %s\n",
+                   er_length.status().ToString().c_str());
+      return 1;
+    }
+    bool ok = conn.RdbLength() == kExpected[i][0] &&
+              *er_length == kExpected[i][1];
+    all_ok = all_ok && ok;
+    std::printf("%-3zu %-55s %-12zu %-11zu %s (paper: %zu / %zu)\n", i + 1,
+                conn.ToString(db, marks).c_str(), conn.RdbLength(),
+                *er_length, ok ? "OK" : "MISMATCH", kExpected[i][0],
+                kExpected[i][1]);
+  }
+
+  PrintHeader("Completeness: enumerating 'Smith XML' at depth 3");
+  claks::SearchOptions options;
+  options.max_rdb_edges = 3;
+  auto result = setup.engine->Search("Smith XML", options);
+  if (!result.ok()) return 1;
+  std::printf("connections found: %zu (paper rows 1-7)\n",
+              result->hits.size());
+  bool complete = result->hits.size() == 7;
+  for (const claks::SearchHit& hit : result->hits) {
+    int row = PaperRowOf(*setup.engine, db, hit);
+    std::printf("  row %d: %s\n", row, hit.rendered.c_str());
+    complete = complete && row >= 1 && row <= 7;
+  }
+  all_ok = all_ok && complete;
+
+  std::printf("\nTable 2 reproduction: %s\n", all_ok ? "PASS" : "FAIL");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,113 @@
+// Copyright 2026 The claks Authors.
+//
+// Shared helpers for the per-table/figure bench binaries.
+
+#ifndef CLAKS_BENCH_BENCH_UTIL_H_
+#define CLAKS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "datasets/company_paper.h"
+
+namespace claks {
+namespace bench {
+
+/// Paper dataset + engine bundle.
+struct PaperSetup {
+  CompanyPaperDataset dataset;
+  std::unique_ptr<KeywordSearchEngine> engine;
+};
+
+inline PaperSetup MakePaperSetup() {
+  auto dataset = BuildCompanyPaperDataset();
+  CLAKS_CHECK(dataset.ok());
+  PaperSetup setup;
+  setup.dataset = std::move(dataset).ValueOrDie();
+  auto engine = KeywordSearchEngine::Create(setup.dataset.db.get(),
+                                            setup.dataset.er_schema,
+                                            setup.dataset.mapping);
+  CLAKS_CHECK(engine.ok());
+  setup.engine = std::move(engine).ValueOrDie();
+  return setup;
+}
+
+/// The paper's Table 2 connections as tuple-name sequences (index 0 -> row
+/// 1).
+inline const std::vector<std::vector<std::string>>& PaperConnections() {
+  static const auto* kConnections =
+      new std::vector<std::vector<std::string>>{
+          {"d1", "e1"},
+          {"p1", "w_f1", "e1"},
+          {"p1", "d1", "e1"},
+          {"d1", "p1", "w_f1", "e1"},
+          {"d2", "e2"},
+          {"p2", "d2", "e2"},
+          {"d2", "p3", "w_f2", "e2"},
+          {"d1", "e3", "t1"},
+          {"d2", "p2", "w_f3", "e3", "t1"},
+      };
+  return *kConnections;
+}
+
+/// Builds the connection along named paper tuples.
+inline Connection ConnectionByNames(const KeywordSearchEngine& engine,
+                                    const Database& db,
+                                    const std::vector<std::string>& names) {
+  const DataGraph& graph = engine.data_graph();
+  std::vector<TupleId> tuples;
+  std::vector<ConnectionEdge> edges;
+  for (const auto& name : names) tuples.push_back(PaperTuple(db, name));
+  for (size_t i = 0; i + 1 < tuples.size(); ++i) {
+    bool found = false;
+    for (const DataAdjacency& adj :
+         graph.Neighbors(graph.NodeOf(tuples[i]))) {
+      if (adj.neighbor == graph.NodeOf(tuples[i + 1])) {
+        const DataEdge& edge = graph.edge(adj.edge_index);
+        edges.push_back(ConnectionEdge{edge.fk_index, adj.along_fk});
+        found = true;
+        break;
+      }
+    }
+    CLAKS_CHECK(found);
+  }
+  return Connection(std::move(tuples), std::move(edges));
+}
+
+/// Paper-style keyword annotations for the "Smith XML" + "Alice" example.
+inline std::map<TupleId, std::string> PaperKeywordMarks(const Database& db) {
+  return {
+      {PaperTuple(db, "d1"), "XML"},   {PaperTuple(db, "d2"), "XML"},
+      {PaperTuple(db, "p1"), "XML"},   {PaperTuple(db, "p2"), "XML"},
+      {PaperTuple(db, "e1"), "Smith"}, {PaperTuple(db, "e2"), "Smith"},
+      {PaperTuple(db, "t1"), "Alice"},
+  };
+}
+
+/// Row number (1-based) of a hit among the paper connections, 0 if none.
+inline int PaperRowOf(const KeywordSearchEngine& engine, const Database& db,
+                      const SearchHit& hit) {
+  if (!hit.connection.has_value()) return 0;
+  const auto& all = PaperConnections();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (hit.connection->SamePathUndirected(
+            ConnectionByNames(engine, db, all[i]))) {
+      return static_cast<int>(i) + 1;
+    }
+  }
+  return 0;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace claks
+
+#endif  // CLAKS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,237 @@
+// Copyright 2026 The claks Authors.
+//
+// Command-line driver: run keyword queries against a built-in dataset or a
+// database directory (catalog.txt + CSVs, as written by SaveDatabase).
+//
+//   claks_cli --dataset=paper --query="Smith XML"
+//   claks_cli --dataset=movies --query="grace noir" --ranker=ambiguity
+//   claks_cli --db=/path/to/dir --query="..." --method=mtjnt --tmax=4
+//
+// Flags:
+//   --dataset=paper|company|full|bibliography|movies   built-in data
+//   --db=DIR            load a persisted database instead
+//   --query=TEXT        keywords (required)
+//   --method=enumerate|mtjnt|discover|banks            (default enumerate)
+//   --ranker=rdb-length|er-length|close-first|loose-penalty|
+//            instance-close|combined|ambiguity|more-context
+//   --depth=N           max FK edges for enumerate (default 4)
+//   --tmax=N            max tuples for mtjnt/discover (default 5)
+//   --top=N             result cap (default 10)
+//   --explain           print a natural-language reading per hit
+//   --sql               print a SQL statement per hit
+//   --stats             print instance statistics and exit
+//   --save=DIR          persist the loaded dataset and exit
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/engine.h"
+#include "core/explain.h"
+#include "core/sql.h"
+#include "datasets/bibliography.h"
+#include "datasets/company_full.h"
+#include "datasets/company_gen.h"
+#include "datasets/company_paper.h"
+#include "datasets/movies.h"
+#include "relational/catalog_io.h"
+
+namespace {
+
+struct Flags {
+  std::string dataset = "paper";
+  std::string db_dir;
+  std::string query;
+  std::string method = "enumerate";
+  std::string ranker = "close-first";
+  size_t depth = 4;
+  size_t tmax = 5;
+  size_t top = 10;
+  bool explain = false;
+  bool sql = false;
+  bool stats = false;
+  std::string save_dir;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) == 0) {
+    *out = arg + prefix.size();
+    return true;
+  }
+  return false;
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "dataset", &flags->dataset)) continue;
+    if (ParseFlag(argv[i], "db", &flags->db_dir)) continue;
+    if (ParseFlag(argv[i], "query", &flags->query)) continue;
+    if (ParseFlag(argv[i], "method", &flags->method)) continue;
+    if (ParseFlag(argv[i], "ranker", &flags->ranker)) continue;
+    if (ParseFlag(argv[i], "save", &flags->save_dir)) continue;
+    if (ParseFlag(argv[i], "depth", &value)) {
+      flags->depth = std::stoul(value);
+      continue;
+    }
+    if (ParseFlag(argv[i], "tmax", &value)) {
+      flags->tmax = std::stoul(value);
+      continue;
+    }
+    if (ParseFlag(argv[i], "top", &value)) {
+      flags->top = std::stoul(value);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--explain") == 0) {
+      flags->explain = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--sql") == 0) {
+      flags->sql = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      flags->stats = true;
+      continue;
+    }
+    std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return 2;
+
+  // Acquire the database (+ conceptual schema when built-in).
+  std::unique_ptr<claks::Database> owned_db;
+  claks::ERSchema er_schema;
+  claks::ErRelationalMapping mapping;
+  bool have_mapping = false;
+
+  if (!flags.db_dir.empty()) {
+    auto loaded = claks::LoadDatabase(flags.db_dir);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    owned_db = std::move(loaded).ValueOrDie();
+  } else if (flags.dataset == "paper") {
+    auto dataset = claks::BuildCompanyPaperDataset();
+    if (!dataset.ok()) return 1;
+    owned_db = std::move(dataset->db);
+    er_schema = std::move(dataset->er_schema);
+    mapping = std::move(dataset->mapping);
+    have_mapping = true;
+  } else {
+    claks::Result<claks::GeneratedDataset> dataset =
+        flags.dataset == "company"
+            ? claks::GenerateCompanyDataset({})
+            : flags.dataset == "full"
+                  ? claks::GenerateCompanyFullDataset({})
+                  : flags.dataset == "bibliography"
+                        ? claks::GenerateBibliographyDataset({})
+                        : flags.dataset == "movies"
+                              ? claks::GenerateMoviesDataset({})
+                              : claks::Status::InvalidArgument(
+                                    "unknown --dataset '" + flags.dataset +
+                                    "'");
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+      return 1;
+    }
+    owned_db = std::move(dataset->db);
+    er_schema = std::move(dataset->er_schema);
+    mapping = std::move(dataset->mapping);
+    have_mapping = true;
+  }
+
+  if (!flags.save_dir.empty()) {
+    auto saved = claks::SaveDatabase(*owned_db, flags.save_dir);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved %zu tuples to %s\n", owned_db->TotalRows(),
+                flags.save_dir.c_str());
+    return 0;
+  }
+
+  auto engine = have_mapping
+                    ? claks::KeywordSearchEngine::Create(
+                          owned_db.get(), std::move(er_schema),
+                          std::move(mapping))
+                    : claks::KeywordSearchEngine::Create(owned_db.get());
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  if (flags.stats) {
+    std::printf("%s", (*engine)->er_schema().ToString().c_str());
+    std::printf("%s", (*engine)->statistics().ToString().c_str());
+    return 0;
+  }
+  if (flags.query.empty()) {
+    std::fprintf(stderr, "--query is required (or use --stats/--save)\n");
+    return 2;
+  }
+
+  claks::SearchOptions options;
+  options.max_rdb_edges = flags.depth;
+  options.tmax = flags.tmax;
+  options.top_k = flags.top;
+  const std::map<std::string, claks::SearchMethod> kMethods = {
+      {"enumerate", claks::SearchMethod::kEnumerate},
+      {"mtjnt", claks::SearchMethod::kMtjnt},
+      {"discover", claks::SearchMethod::kDiscover},
+      {"banks", claks::SearchMethod::kBanks}};
+  const std::map<std::string, claks::RankerKind> kRankers = {
+      {"rdb-length", claks::RankerKind::kRdbLength},
+      {"er-length", claks::RankerKind::kErLength},
+      {"close-first", claks::RankerKind::kCloseFirst},
+      {"loose-penalty", claks::RankerKind::kLoosePenalty},
+      {"instance-close", claks::RankerKind::kInstanceClose},
+      {"combined", claks::RankerKind::kCombined},
+      {"ambiguity", claks::RankerKind::kAmbiguity},
+      {"more-context", claks::RankerKind::kMoreContext}};
+  auto method = kMethods.find(flags.method);
+  auto ranker = kRankers.find(flags.ranker);
+  if (method == kMethods.end() || ranker == kRankers.end()) {
+    std::fprintf(stderr, "unknown --method or --ranker\n");
+    return 2;
+  }
+  options.method = method->second;
+  options.ranker = ranker->second;
+
+  auto result = (*engine)->Search(flags.query, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "search: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", result->ToString(*owned_db, flags.top).c_str());
+
+  if (flags.explain || flags.sql) {
+    size_t rank = 1;
+    for (const claks::SearchHit& hit : result->hits) {
+      if (!hit.connection.has_value()) continue;
+      if (flags.explain) {
+        auto text = claks::ExplainConnection(
+            *hit.connection, *owned_db, (*engine)->er_schema(),
+            (*engine)->mapping());
+        if (text.ok()) std::printf("  #%zu reads: %s\n", rank, text->c_str());
+      }
+      if (flags.sql) {
+        auto sql = claks::ConnectionToSql(*hit.connection, *owned_db);
+        if (sql.ok()) std::printf("  #%zu sql: %s\n", rank, sql->c_str());
+      }
+      ++rank;
+    }
+  }
+  return 0;
+}

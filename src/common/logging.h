@@ -1,0 +1,46 @@
+// Copyright 2026 The claks Authors.
+//
+// Minimal leveled logger. Off by default above WARNING so library users are
+// not spammed; benches flip the level to INFO.
+
+#ifndef CLAKS_COMMON_LOGGING_H_
+#define CLAKS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace claks {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets / reads the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace claks
+
+#define CLAKS_LOG(level)                                                \
+  ::claks::internal::LogMessage(::claks::LogLevel::k##level, __FILE__,  \
+                                __LINE__)                               \
+      .stream()
+
+#endif  // CLAKS_COMMON_LOGGING_H_

@@ -1,0 +1,51 @@
+// Copyright 2026 The claks Authors.
+//
+// Assertion and convenience macros used across the library.
+
+#ifndef CLAKS_COMMON_MACROS_H_
+#define CLAKS_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a message when `condition` does not hold. Used for programming
+/// errors (invariant violations) as opposed to data errors, which are
+/// reported through Status.
+#define CLAKS_CHECK(condition)                                              \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "CLAKS_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #condition);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define CLAKS_CHECK_EQ(a, b) CLAKS_CHECK((a) == (b))
+#define CLAKS_CHECK_NE(a, b) CLAKS_CHECK((a) != (b))
+#define CLAKS_CHECK_LT(a, b) CLAKS_CHECK((a) < (b))
+#define CLAKS_CHECK_LE(a, b) CLAKS_CHECK((a) <= (b))
+#define CLAKS_CHECK_GT(a, b) CLAKS_CHECK((a) > (b))
+#define CLAKS_CHECK_GE(a, b) CLAKS_CHECK((a) >= (b))
+
+/// Evaluates an expression returning Status and propagates failure.
+#define CLAKS_RETURN_NOT_OK(expr)                       \
+  do {                                                  \
+    ::claks::Status _st = (expr);                       \
+    if (!_st.ok()) return _st;                          \
+  } while (0)
+
+/// Evaluates an expression returning Result<T>; on success binds the value to
+/// `lhs`, on failure propagates the status.
+#define CLAKS_ASSIGN_OR_RETURN(lhs, expr)               \
+  CLAKS_ASSIGN_OR_RETURN_IMPL_(                         \
+      CLAKS_CONCAT_(_claks_result_, __LINE__), lhs, expr)
+
+#define CLAKS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)    \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).ValueUnsafe();
+
+#define CLAKS_CONCAT_(a, b) CLAKS_CONCAT_IMPL_(a, b)
+#define CLAKS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // CLAKS_COMMON_MACROS_H_

@@ -1,0 +1,75 @@
+// Copyright 2026 The claks Authors.
+
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace claks {
+
+namespace {
+// splitmix64, used to expand the seed into the xorshift state.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  state_[0] = SplitMix64(&s);
+  state_[1] = SplitMix64(&s);
+  if (state_[0] == 0 && state_[1] == 0) state_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  uint64_t x = state_[0];
+  const uint64_t y = state_[1];
+  state_[0] = y;
+  x ^= x << 23;
+  state_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return state_[1] + y;
+}
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  CLAKS_CHECK_LE(lo, hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(Next() % range);
+}
+
+double Rng::NextDouble() {
+  // 53 high-quality mantissa bits.
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+size_t Rng::Index(size_t size) {
+  CLAKS_CHECK_GT(size, 0u);
+  return static_cast<size_t>(Next() % size);
+}
+
+size_t Rng::Zipf(size_t n, double s) {
+  CLAKS_CHECK_GT(n, 0u);
+  CLAKS_CHECK_GT(s, 0.0);
+  // Inverse-CDF over the harmonic weights. n is at most a few million in our
+  // generators; an O(n) scan per draw would be too slow, so use the classic
+  // rejection method of Devroye instead.
+  const double b = std::pow(2.0, s - 1.0);
+  while (true) {
+    double u = NextDouble();
+    double v = NextDouble();
+    double x = std::floor(std::pow(u, -1.0 / (s - 1.0 + 1e-12)));
+    if (x < 1.0 || x > static_cast<double>(n)) continue;
+    double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      return static_cast<size_t>(x) - 1;
+    }
+  }
+}
+
+}  // namespace claks

@@ -1,0 +1,57 @@
+// Copyright 2026 The claks Authors.
+//
+// Deterministic random utilities for the synthetic dataset generators and
+// benchmarks. A fixed seed always reproduces the same database.
+
+#ifndef CLAKS_COMMON_RANDOM_H_
+#define CLAKS_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace claks {
+
+/// xorshift128+ generator: fast, deterministic across platforms (unlike
+/// std::mt19937 distribution wrappers, whose output is not guaranteed to be
+/// identical across standard library implementations).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability `p` of true.
+  bool Bernoulli(double p);
+
+  /// Picks an index in [0, size) — convenience for vector element choice.
+  size_t Index(size_t size);
+
+  /// Zipf-distributed value in [0, n) with exponent `s` (s > 0); rank 0 is
+  /// the most likely. Uses the rejection-free inverse-CDF over precomputed
+  /// weights for small n and rejection sampling otherwise.
+  size_t Zipf(size_t n, double s);
+
+ private:
+  uint64_t state_[2];
+};
+
+/// Deterministically shuffles `values` in place using `rng`.
+template <typename T>
+void Shuffle(std::vector<T>* values, Rng* rng) {
+  for (size_t i = values->size(); i > 1; --i) {
+    size_t j = rng->Index(i);
+    std::swap((*values)[i - 1], (*values)[j]);
+  }
+}
+
+}  // namespace claks
+
+#endif  // CLAKS_COMMON_RANDOM_H_

@@ -1,0 +1,66 @@
+// Copyright 2026 The claks Authors.
+//
+// Result<T>: a value or a Status, Arrow-style.
+
+#ifndef CLAKS_COMMON_RESULT_H_
+#define CLAKS_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace claks {
+
+/// Holds either a successfully computed `T` or the Status explaining why the
+/// computation failed. Use with CLAKS_ASSIGN_OR_RETURN for propagation.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK Status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    CLAKS_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  /// Returns the value; aborts if this holds an error.
+  const T& ValueOrDie() const& {
+    CLAKS_CHECK(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    CLAKS_CHECK(ok());
+    return *value_;
+  }
+  T ValueOrDie() && {
+    CLAKS_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value without checking; used by CLAKS_ASSIGN_OR_RETURN
+  /// after an explicit ok() test.
+  T ValueUnsafe() && { return std::move(*value_); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace claks
+
+#endif  // CLAKS_COMMON_RESULT_H_

@@ -1,0 +1,87 @@
+// Copyright 2026 The claks Authors.
+
+#include "common/status.h"
+
+namespace claks {
+
+namespace {
+const std::string kEmptyString;
+}  // namespace
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kIntegrityViolation:
+      return "IntegrityViolation";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  if (code != StatusCode::kOk) {
+    state_ = std::make_shared<const State>(State{code, std::move(message)});
+  }
+}
+
+Status Status::InvalidArgument(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+Status Status::NotFound(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+Status Status::AlreadyExists(std::string message) {
+  return Status(StatusCode::kAlreadyExists, std::move(message));
+}
+Status Status::OutOfRange(std::string message) {
+  return Status(StatusCode::kOutOfRange, std::move(message));
+}
+Status Status::IntegrityViolation(std::string message) {
+  return Status(StatusCode::kIntegrityViolation, std::move(message));
+}
+Status Status::ParseError(std::string message) {
+  return Status(StatusCode::kParseError, std::move(message));
+}
+Status Status::Unimplemented(std::string message) {
+  return Status(StatusCode::kUnimplemented, std::move(message));
+}
+Status Status::Internal(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+const std::string& Status::message() const {
+  return ok() ? kEmptyString : state_->message;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(state_->code);
+  out += ": ";
+  out += state_->message;
+  return out;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(state_->code, context + ": " + state_->message);
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace claks

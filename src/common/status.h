@@ -1,0 +1,89 @@
+// Copyright 2026 The claks Authors.
+//
+// Arrow-style Status type. Library functions that can fail on *data* (as
+// opposed to programming errors, which use CLAKS_CHECK) return Status or
+// Result<T>.
+
+#ifndef CLAKS_COMMON_STATUS_H_
+#define CLAKS_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace claks {
+
+/// Machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIntegrityViolation,  ///< primary/foreign-key or schema constraint violated
+  kParseError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error outcome. Cheap to return in the success case (a single
+/// null pointer); carries a code and message otherwise.
+class Status {
+ public:
+  /// Constructs a success status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message);
+
+  /// Factory helpers, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message);
+  static Status NotFound(std::string message);
+  static Status AlreadyExists(std::string message);
+  static Status OutOfRange(std::string message);
+  static Status IntegrityViolation(std::string message);
+  static Status ParseError(std::string message);
+  static Status Unimplemented(std::string message);
+  static Status Internal(std::string message);
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsIntegrityViolation() const {
+    return code() == StatusCode::kIntegrityViolation;
+  }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Appends contextual detail to the error message; no-op on OK.
+  Status WithContext(const std::string& context) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // Null iff OK; shared so Status is cheap to copy.
+  std::shared_ptr<const State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace claks
+
+#endif  // CLAKS_COMMON_STATUS_H_

@@ -1,0 +1,50 @@
+// Copyright 2026 The claks Authors.
+//
+// Small string helpers shared across modules.
+
+#ifndef CLAKS_COMMON_STRING_UTIL_H_
+#define CLAKS_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace claks {
+
+/// Splits `text` on `sep`; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits on any whitespace run; drops empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view text);
+
+/// True if `text` begins with / ends with the given affix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// True if `haystack` contains `needle` as a case-insensitive substring.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// True if the two strings are equal ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Left/right pads `text` with spaces to at least `width` characters.
+std::string PadRight(std::string_view text, size_t width);
+std::string PadLeft(std::string_view text, size_t width);
+
+}  // namespace claks
+
+#endif  // CLAKS_COMMON_STRING_UTIL_H_

@@ -1,0 +1,121 @@
+// Copyright 2026 The claks Authors.
+
+#include "core/connection.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace claks {
+
+Connection::Connection(std::vector<TupleId> tuples,
+                       std::vector<ConnectionEdge> edges)
+    : tuples_(std::move(tuples)), edges_(std::move(edges)) {
+  CLAKS_CHECK(!tuples_.empty());
+  CLAKS_CHECK_EQ(edges_.size() + 1, tuples_.size());
+}
+
+Connection Connection::FromNodePath(const DataGraph& graph,
+                                    const NodePath& path) {
+  std::vector<TupleId> tuples;
+  std::vector<ConnectionEdge> edges;
+  tuples.push_back(graph.TupleOf(path.start));
+  for (const DataAdjacency& step : path.steps) {
+    const DataEdge& edge = graph.edge(step.edge_index);
+    edges.push_back(ConnectionEdge{edge.fk_index, step.along_fk});
+    tuples.push_back(graph.TupleOf(step.neighbor));
+  }
+  return Connection(std::move(tuples), std::move(edges));
+}
+
+TupleId Connection::front() const {
+  CLAKS_CHECK(!tuples_.empty());
+  return tuples_.front();
+}
+
+TupleId Connection::back() const {
+  CLAKS_CHECK(!tuples_.empty());
+  return tuples_.back();
+}
+
+bool Connection::ContainsTuple(TupleId id) const {
+  return std::find(tuples_.begin(), tuples_.end(), id) != tuples_.end();
+}
+
+Connection Connection::Reversed() const {
+  std::vector<TupleId> tuples(tuples_.rbegin(), tuples_.rend());
+  std::vector<ConnectionEdge> edges;
+  edges.reserve(edges_.size());
+  for (auto it = edges_.rbegin(); it != edges_.rend(); ++it) {
+    edges.push_back(ConnectionEdge{it->fk_index, !it->along_fk});
+  }
+  return Connection(std::move(tuples), std::move(edges));
+}
+
+std::vector<Cardinality> Connection::RdbCardinalitySequence() const {
+  std::vector<Cardinality> out;
+  out.reserve(edges_.size());
+  for (const ConnectionEdge& edge : edges_) {
+    // Following the FK means many referencing tuples share one referenced
+    // tuple: N:1 in travel direction.
+    out.push_back(edge.along_fk ? Cardinality::kNOne : Cardinality::kOneN);
+  }
+  return out;
+}
+
+namespace {
+
+std::string LabelOf(const Database& db, TupleId id,
+                    const std::map<TupleId, std::string>& keyword_of) {
+  std::string out = db.TupleLabel(id);
+  auto it = keyword_of.find(id);
+  if (it != keyword_of.end()) out += "(" + it->second + ")";
+  return out;
+}
+
+}  // namespace
+
+std::string Connection::ToString(
+    const Database& db,
+    const std::map<TupleId, std::string>& keyword_of) const {
+  std::string out;
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    if (i > 0) out += " - ";
+    out += LabelOf(db, tuples_[i], keyword_of);
+  }
+  return out;
+}
+
+std::string Connection::ToAnnotatedString(
+    const Database& db,
+    const std::map<TupleId, std::string>& keyword_of) const {
+  std::vector<Cardinality> cards = RdbCardinalitySequence();
+  std::string out;
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    if (i > 0) {
+      out += " ";
+      out += CardinalityToString(cards[i - 1]);
+      out += " ";
+    }
+    out += LabelOf(db, tuples_[i], keyword_of);
+  }
+  return out;
+}
+
+bool Connection::operator==(const Connection& other) const {
+  if (tuples_ != other.tuples_) return false;
+  if (edges_.size() != other.edges_.size()) return false;
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].fk_index != other.edges_[i].fk_index ||
+        edges_[i].along_fk != other.edges_[i].along_fk) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Connection::SamePathUndirected(const Connection& other) const {
+  return *this == other || *this == other.Reversed();
+}
+
+}  // namespace claks

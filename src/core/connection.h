@@ -1,0 +1,86 @@
+// Copyright 2026 The claks Authors.
+//
+// The connection model: a connection is a simple path of tuples linked by
+// foreign-key instance edges (paper §3, Tables 2 and 3). Trees (for queries
+// of three or more keywords) are handled by core/mtjnt.h; every path in a
+// tree is a Connection.
+
+#ifndef CLAKS_CORE_CONNECTION_H_
+#define CLAKS_CORE_CONNECTION_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "er/cardinality.h"
+#include "graph/data_graph.h"
+#include "graph/traversal.h"
+#include "relational/database.h"
+
+namespace claks {
+
+/// One edge of a connection, linking tuples()[i] to tuples()[i+1].
+struct ConnectionEdge {
+  /// FK index within the referencing tuple's table.
+  uint32_t fk_index = 0;
+  /// True when the traversal goes from the referencing tuple to the
+  /// referenced tuple (tuples()[i] owns the FK).
+  bool along_fk = true;
+};
+
+/// A simple path of tuples. A zero-edge connection (single tuple matching
+/// several keywords) is allowed.
+class Connection {
+ public:
+  Connection() = default;
+  Connection(std::vector<TupleId> tuples, std::vector<ConnectionEdge> edges);
+
+  /// Builds a connection from a data-graph path.
+  static Connection FromNodePath(const DataGraph& graph,
+                                 const NodePath& path);
+
+  const std::vector<TupleId>& tuples() const { return tuples_; }
+  const std::vector<ConnectionEdge>& edges() const { return edges_; }
+
+  /// The paper's "length in RDB": number of foreign-key edges.
+  size_t RdbLength() const { return edges_.size(); }
+
+  TupleId front() const;
+  TupleId back() const;
+  bool ContainsTuple(TupleId id) const;
+
+  /// The connection read in the opposite direction.
+  Connection Reversed() const;
+
+  /// Cardinality of each edge at the RDB level, oriented in travel
+  /// direction: following a foreign key is N:1, going against it is 1:N.
+  std::vector<Cardinality> RdbCardinalitySequence() const;
+
+  /// "d1 - e1 - t1" using database labels; `keyword_of` optionally marks
+  /// tuples with their matched keywords as the paper does:
+  /// "d1(XML) - e1(Smith)".
+  std::string ToString(
+      const Database& db,
+      const std::map<TupleId, std::string>& keyword_of = {}) const;
+
+  /// Like ToString but interleaves the RDB cardinalities (paper Table 3):
+  /// "d1(XML) 1:N e1(Smith)".
+  std::string ToAnnotatedString(
+      const Database& db,
+      const std::map<TupleId, std::string>& keyword_of = {}) const;
+
+  /// Structural equality (same tuples and edges in the same direction).
+  bool operator==(const Connection& other) const;
+
+  /// True if this connection and `other` are the same path up to reversal.
+  bool SamePathUndirected(const Connection& other) const;
+
+ private:
+  std::vector<TupleId> tuples_;
+  std::vector<ConnectionEdge> edges_;
+};
+
+}  // namespace claks
+
+#endif  // CLAKS_CORE_CONNECTION_H_

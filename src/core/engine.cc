@@ -1,0 +1,428 @@
+// Copyright 2026 The claks Authors.
+
+#include "core/engine.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "graph/traversal.h"
+
+namespace claks {
+
+const char* SearchMethodToString(SearchMethod method) {
+  switch (method) {
+    case SearchMethod::kEnumerate:
+      return "enumerate";
+    case SearchMethod::kMtjnt:
+      return "mtjnt";
+    case SearchMethod::kDiscover:
+      return "discover";
+    case SearchMethod::kBanks:
+      return "banks";
+  }
+  return "?";
+}
+
+RankInput SearchHit::ToRankInput() const {
+  RankInput input;
+  input.rdb_length = rdb_length;
+  input.er_length = er_length;
+  input.hub_patterns = hub_patterns;
+  input.nm_steps = nm_steps;
+  input.schema_close = schema_close;
+  input.instance_close = instance_close;
+  input.text_score = text_score;
+  input.ambiguity = ambiguity;
+  return input;
+}
+
+std::string SearchResult::ToString(const Database& /*db*/,
+                                   size_t max_hits) const {
+  std::string out = "query: " + query.ToString() + "\n";
+  for (const KeywordMatches& km : matches) {
+    out += StrFormat("  keyword '%s': %zu tuples\n", km.keyword.c_str(),
+                     km.matches.size());
+  }
+  size_t shown = std::min(max_hits, hits.size());
+  for (size_t i = 0; i < shown; ++i) {
+    const SearchHit& hit = hits[i];
+    out += StrFormat("  #%zu  %s | rdb %zu er %zu %s%s | text %.3f\n",
+                     i + 1, hit.rendered.c_str(), hit.rdb_length,
+                     hit.er_length, AssociationKindToString(hit.kind),
+                     hit.schema_close ? " (close)" : " (loose)",
+                     hit.text_score);
+  }
+  if (shown < hits.size()) {
+    out += StrFormat("  ... (%zu more)\n", hits.size() - shown);
+  }
+  return out;
+}
+
+Result<std::unique_ptr<KeywordSearchEngine>> KeywordSearchEngine::Create(
+    const Database* db) {
+  CLAKS_CHECK(db != nullptr);
+  CLAKS_ASSIGN_OR_RETURN(RecoveredErSchema recovered,
+                         ReverseEngineerEr(*db));
+  return Create(db, std::move(recovered.schema),
+                std::move(recovered.mapping));
+}
+
+Result<std::unique_ptr<KeywordSearchEngine>> KeywordSearchEngine::Create(
+    const Database* db, ERSchema er_schema, ErRelationalMapping mapping) {
+  CLAKS_CHECK(db != nullptr);
+  CLAKS_RETURN_NOT_OK(db->CheckReferentialIntegrity());
+  auto engine =
+      std::unique_ptr<KeywordSearchEngine>(new KeywordSearchEngine());
+  engine->db_ = db;
+  engine->er_schema_ = std::make_unique<ERSchema>(std::move(er_schema));
+  engine->mapping_ =
+      std::make_unique<ErRelationalMapping>(std::move(mapping));
+  engine->data_graph_ = std::make_unique<DataGraph>(db);
+  engine->schema_graph_ = std::make_unique<SchemaGraph>(db);
+  engine->index_ = std::make_unique<InvertedIndex>(db);
+  engine->analyzer_ = std::make_unique<AssociationAnalyzer>(
+      db, engine->er_schema_.get(), engine->mapping_.get(),
+      engine->data_graph_.get());
+  engine->statistics_ = std::make_unique<InstanceStatistics>(
+      db, engine->er_schema_.get(), engine->mapping_.get());
+  return engine;
+}
+
+namespace {
+
+// The unique path between two nodes of a tree, restricted to tree edges.
+NodePath TreePathBetween(const DataGraph& graph, const TupleTree& tree,
+                         uint32_t from, uint32_t to) {
+  std::map<uint32_t, std::vector<DataAdjacency>> adjacency;
+  for (uint32_t e : tree.edge_indices) {
+    const DataEdge& edge = graph.edge(e);
+    uint32_t a = graph.NodeOf(edge.from);
+    uint32_t b = graph.NodeOf(edge.to);
+    adjacency[a].push_back(DataAdjacency{e, b, true});
+    adjacency[b].push_back(DataAdjacency{e, a, false});
+  }
+  // BFS with parent tracking.
+  std::map<uint32_t, DataAdjacency> parent_step;
+  std::map<uint32_t, uint32_t> parent;
+  std::deque<uint32_t> queue{from};
+  std::set<uint32_t> seen{from};
+  while (!queue.empty()) {
+    uint32_t cur = queue.front();
+    queue.pop_front();
+    if (cur == to) break;
+    for (const DataAdjacency& adj : adjacency[cur]) {
+      if (seen.count(adj.neighbor) > 0) continue;
+      seen.insert(adj.neighbor);
+      parent[adj.neighbor] = cur;
+      parent_step.emplace(adj.neighbor, adj);
+      queue.push_back(adj.neighbor);
+    }
+  }
+  NodePath path{from, {}};
+  if (from == to || seen.count(to) == 0) return path;
+  std::vector<DataAdjacency> reversed;
+  uint32_t node = to;
+  while (node != from) {
+    reversed.push_back(parent_step.at(node));
+    node = parent.at(node);
+  }
+  path.steps.assign(reversed.rbegin(), reversed.rend());
+  return path;
+}
+
+size_t KindSeverity(AssociationKind kind) {
+  switch (kind) {
+    case AssociationKind::kImmediate:
+      return 0;
+    case AssociationKind::kTransitiveFunctional:
+      return 1;
+    case AssociationKind::kMixedLoose:
+      return 2;
+    case AssociationKind::kTransitiveNM:
+      return 3;
+  }
+  return 3;
+}
+
+}  // namespace
+
+Result<SearchHit> KeywordSearchEngine::MakeHit(
+    const TupleTree& tree, const std::vector<KeywordMatches>& matches,
+    const std::map<TupleId, std::string>& keyword_of,
+    const SearchOptions& options) const {
+  SearchHit hit;
+  hit.tree = tree;
+  hit.rdb_length = tree.edge_indices.size();
+
+  // Text score: best match per keyword among tuples in the tree.
+  std::set<TupleId> tree_tuples;
+  for (uint32_t node : tree.nodes) {
+    tree_tuples.insert(data_graph_->TupleOf(node));
+  }
+  for (const KeywordMatches& km : matches) {
+    double best = 0.0;
+    for (const TupleMatch& m : km.matches) {
+      if (tree_tuples.count(m.tuple) == 0) continue;
+      best = std::max(best, ScoreTupleMatch(*index_, km.keyword, m));
+    }
+    hit.text_score += best;
+  }
+
+  if (tree.IsPath(*data_graph_)) {
+    Connection connection = tree.ToConnection(*data_graph_);
+    // Orient the path so a tuple matching the first keyword comes first
+    // when possible (paper reads connections keyword-to-keyword).
+    if (!matches.empty()) {
+      auto first_set = matches[0].TupleSet();
+      if (first_set.count(connection.front()) == 0 &&
+          first_set.count(connection.back()) > 0) {
+        connection = connection.Reversed();
+      }
+    }
+    CLAKS_ASSIGN_OR_RETURN(ConnectionAnalysis analysis,
+                           analyzer_->Analyze(connection));
+    if (options.instance_check) {
+      CLAKS_ASSIGN_OR_RETURN(
+          bool close,
+          analyzer_->IsInstanceClose(connection, options.witness_edges));
+      analysis.instance_close = close;
+    }
+    hit.er_length = analysis.er_length;
+    hit.kind = analysis.kind;
+    hit.hub_patterns = analysis.hub_patterns;
+    hit.nm_steps = analysis.nm_steps;
+    hit.schema_close = analysis.schema_close;
+    hit.instance_close = analysis.instance_close;
+    hit.ambiguity = statistics_->ConnectionAmbiguity(analysis.projection);
+    hit.rendered = connection.ToAnnotatedString(*db_, keyword_of);
+    hit.connection = std::move(connection);
+    hit.analysis = std::move(analysis);
+    return hit;
+  }
+
+  // Non-path tree: aggregate over the tree paths between each pair of
+  // keyword tuples.
+  std::vector<uint32_t> keyword_nodes;
+  for (uint32_t node : tree.nodes) {
+    if (keyword_of.count(data_graph_->TupleOf(node)) > 0) {
+      keyword_nodes.push_back(node);
+    }
+  }
+  size_t entity_tuples = 0;
+  for (uint32_t node : tree.nodes) {
+    if (!mapping_->IsMiddleRelation(
+            db_->SchemaOf(data_graph_->TupleOf(node)).name())) {
+      ++entity_tuples;
+    }
+  }
+  hit.er_length = entity_tuples > 0 ? entity_tuples - 1 : 0;
+  bool all_instance_close = true;
+  bool checked_any = false;
+  for (size_t i = 0; i < keyword_nodes.size(); ++i) {
+    for (size_t j = i + 1; j < keyword_nodes.size(); ++j) {
+      NodePath path = TreePathBetween(*data_graph_, tree, keyword_nodes[i],
+                                      keyword_nodes[j]);
+      Connection connection =
+          Connection::FromNodePath(*data_graph_, path);
+      CLAKS_ASSIGN_OR_RETURN(ConnectionAnalysis analysis,
+                             analyzer_->Analyze(connection));
+      if (KindSeverity(analysis.kind) > KindSeverity(hit.kind)) {
+        hit.kind = analysis.kind;
+      }
+      hit.hub_patterns = std::max(hit.hub_patterns, analysis.hub_patterns);
+      hit.nm_steps = std::max(hit.nm_steps, analysis.nm_steps);
+      hit.ambiguity = std::max(
+          hit.ambiguity,
+          statistics_->ConnectionAmbiguity(analysis.projection));
+      if (options.instance_check) {
+        CLAKS_ASSIGN_OR_RETURN(
+            bool close,
+            analyzer_->IsInstanceClose(connection, options.witness_edges));
+        all_instance_close = all_instance_close && close;
+        checked_any = true;
+      }
+    }
+  }
+  hit.schema_close = GuaranteesCloseAssociation(hit.kind);
+  if (checked_any) hit.instance_close = all_instance_close;
+  hit.rendered = tree.ToString(*data_graph_);
+  return hit;
+}
+
+Result<SearchResult> KeywordSearchEngine::Search(
+    const std::string& query_text, const SearchOptions& options) const {
+  SearchResult result;
+  result.query = ParseKeywordQuery(query_text, index_->tokenizer());
+  if (result.query.keywords.empty()) {
+    return Status::InvalidArgument("empty keyword query");
+  }
+  if (result.query.keywords.size() > 31) {
+    return Status::InvalidArgument("too many keywords (max 31)");
+  }
+  result.matches = MatchKeywords(*index_, result.query);
+
+  for (const KeywordMatches& km : result.matches) {
+    for (const TupleMatch& m : km.matches) {
+      std::string& label = result.keyword_of[m.tuple];
+      if (!label.empty()) label += ",";
+      label += km.keyword;
+    }
+  }
+
+  if (!AllKeywordsMatched(result.matches)) {
+    if (options.require_all_keywords) {
+      return result;  // AND semantics: some keyword matched nothing
+    }
+    // OR semantics: drop unmatched keywords and continue with the rest.
+    std::vector<KeywordMatches> matched;
+    std::vector<std::string> kept_keywords;
+    for (KeywordMatches& km : result.matches) {
+      if (!km.empty()) {
+        kept_keywords.push_back(km.keyword);
+        matched.push_back(std::move(km));
+      }
+    }
+    if (matched.empty()) return result;
+    result.matches = std::move(matched);
+    result.query.keywords = std::move(kept_keywords);
+  }
+
+  std::vector<TupleTree> trees;
+  switch (options.method) {
+    case SearchMethod::kEnumerate: {
+      if (result.query.keywords.size() == 1) {
+        for (const TupleMatch& m : result.matches[0].matches) {
+          TupleTree tree;
+          tree.nodes = {data_graph_->NodeOf(m.tuple)};
+          trees.push_back(std::move(tree));
+        }
+        break;
+      }
+      if (result.query.keywords.size() != 2) {
+        return Status::InvalidArgument(
+            "SearchMethod::kEnumerate supports 1 or 2 keywords; use "
+            "kMtjnt/kDiscover/kBanks for more");
+      }
+      std::vector<uint32_t> sources;
+      for (const TupleMatch& m : result.matches[0].matches) {
+        sources.push_back(data_graph_->NodeOf(m.tuple));
+      }
+      std::vector<uint32_t> targets;
+      for (const TupleMatch& m : result.matches[1].matches) {
+        targets.push_back(data_graph_->NodeOf(m.tuple));
+      }
+      // Enumeration stops a path at the first tuple of the target set, so
+      // connections whose *interior* contains a tuple matching the source
+      // keyword are only found when enumerating from that keyword's side
+      // (the paper's connection 3, p1(XML) - d1(XML) - e1(Smith), needs
+      // XML as the source side). Run both directions and deduplicate to
+      // make the result independent of keyword order.
+      std::set<TupleTree> seen;
+      auto collect = [&](const std::vector<uint32_t>& from,
+                         const std::vector<uint32_t>& to) {
+        for (const NodePath& path : EnumerateSimplePathsBetweenSets(
+                 *data_graph_, from, to, options.max_rdb_edges)) {
+          TupleTree tree;
+          tree.nodes = path.Nodes();
+          std::sort(tree.nodes.begin(), tree.nodes.end());
+          for (const DataAdjacency& step : path.steps) {
+            tree.edge_indices.push_back(step.edge_index);
+          }
+          std::sort(tree.edge_indices.begin(), tree.edge_indices.end());
+          if (seen.insert(tree).second) trees.push_back(std::move(tree));
+        }
+      };
+      collect(sources, targets);
+      collect(targets, sources);
+      break;
+    }
+    case SearchMethod::kMtjnt:
+      trees = EnumerateMtjnt(*data_graph_, result.matches, options.tmax);
+      break;
+    case SearchMethod::kDiscover:
+      trees = DiscoverMtjnt(*data_graph_, *schema_graph_, result.matches,
+                            options.tmax);
+      break;
+    case SearchMethod::kBanks: {
+      std::vector<std::vector<uint32_t>> keyword_node_sets;
+      for (const KeywordMatches& km : result.matches) {
+        std::vector<uint32_t> nodes;
+        for (const TupleMatch& m : km.matches) {
+          nodes.push_back(data_graph_->NodeOf(m.tuple));
+        }
+        keyword_node_sets.push_back(std::move(nodes));
+      }
+      BanksOptions banks = options.banks;
+      if (options.top_k != 0) banks.top_k = options.top_k;
+      for (const AnswerTree& answer :
+           BanksBackwardSearch(*data_graph_, keyword_node_sets, banks)) {
+        TupleTree tree;
+        std::set<uint32_t> nodes{answer.root};
+        for (uint32_t n : answer.keyword_nodes) nodes.insert(n);
+        for (uint32_t e : answer.edge_indices) {
+          const DataEdge& edge = data_graph_->edge(e);
+          nodes.insert(data_graph_->NodeOf(edge.from));
+          nodes.insert(data_graph_->NodeOf(edge.to));
+        }
+        tree.nodes.assign(nodes.begin(), nodes.end());
+        tree.edge_indices = answer.edge_indices;
+        std::sort(tree.edge_indices.begin(), tree.edge_indices.end());
+        trees.push_back(std::move(tree));
+      }
+      break;
+    }
+  }
+
+  for (const TupleTree& tree : trees) {
+    CLAKS_ASSIGN_OR_RETURN(
+        SearchHit hit,
+        MakeHit(tree, result.matches, result.keyword_of, options));
+    result.hits.push_back(std::move(hit));
+  }
+
+  std::unique_ptr<Ranker> ranker = MakeRanker(options.ranker);
+  CLAKS_CHECK(ranker != nullptr);
+  std::vector<RankInput> inputs;
+  inputs.reserve(result.hits.size());
+  for (const SearchHit& hit : result.hits) {
+    inputs.push_back(hit.ToRankInput());
+  }
+  std::vector<size_t> order = RankOrder(inputs, *ranker);
+  std::vector<SearchHit> ranked;
+  ranked.reserve(result.hits.size());
+  for (size_t idx : order) ranked.push_back(std::move(result.hits[idx]));
+  result.hits = std::move(ranked);
+
+  if (options.per_endpoint_limit != 0) {
+    // Keep at most N hits per unordered endpoint pair (rank order is
+    // already established, so survivors are each group's best).
+    std::map<std::pair<uint64_t, uint64_t>, size_t> group_counts;
+    std::vector<SearchHit> diverse;
+    for (SearchHit& hit : result.hits) {
+      std::pair<uint64_t, uint64_t> key;
+      if (hit.connection.has_value()) {
+        uint64_t a = hit.connection->front().Pack();
+        uint64_t b = hit.connection->back().Pack();
+        key = std::minmax(a, b);
+      } else {
+        // Trees group by their full sorted keyword-node set; collapse only
+        // exact repeats.
+        key = {hit.tree.nodes.empty() ? 0 : hit.tree.nodes.front(),
+               hit.tree.nodes.empty() ? 0 : hit.tree.nodes.back()};
+      }
+      if (++group_counts[key] <= options.per_endpoint_limit) {
+        diverse.push_back(std::move(hit));
+      }
+    }
+    result.hits = std::move(diverse);
+  }
+
+  if (options.top_k != 0 && result.hits.size() > options.top_k) {
+    result.hits.resize(options.top_k);
+  }
+  return result;
+}
+
+}  // namespace claks

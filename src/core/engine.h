@@ -1,0 +1,154 @@
+// Copyright 2026 The claks Authors.
+//
+// KeywordSearchEngine: the public facade. Builds (or accepts) the conceptual
+// schema, constructs index and graphs, and answers keyword queries with
+// ranked connections under any of the supported search methods and ranking
+// policies.
+
+#ifndef CLAKS_CORE_ENGINE_H_
+#define CLAKS_CORE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/association.h"
+#include "core/enumerator.h"
+#include "core/mtjnt.h"
+#include "core/ranking.h"
+#include "core/statistics.h"
+#include "er/relational_to_er.h"
+#include "graph/banks.h"
+#include "text/scoring.h"
+
+namespace claks {
+
+/// How result connections are found.
+enum class SearchMethod {
+  /// Full enumeration of simple paths between keyword matches (two-keyword
+  /// queries). The complete result space of the paper's Table 2.
+  kEnumerate,
+  /// MTJNT semantics (exact data-level enumeration).
+  kMtjnt,
+  /// MTJNT via DISCOVER candidate networks (same results as kMtjnt).
+  kDiscover,
+  /// BANKS backward expanding search (top-k answer trees).
+  kBanks,
+};
+
+const char* SearchMethodToString(SearchMethod method);
+
+struct SearchOptions {
+  SearchMethod method = SearchMethod::kEnumerate;
+  RankerKind ranker = RankerKind::kCloseFirst;
+  /// Bound on FK edges for kEnumerate.
+  size_t max_rdb_edges = 4;
+  /// Bound on tuples per network for kMtjnt / kDiscover.
+  size_t tmax = 5;
+  /// Result cap after ranking (0 = unlimited).
+  size_t top_k = 0;
+  /// Verify instance-level closeness (fills SearchHit::instance_close).
+  bool instance_check = true;
+  /// Witness budget for the instance check (0: each connection's length).
+  size_t witness_edges = 0;
+  /// AND semantics (default): a keyword without matches empties the result.
+  /// With OR semantics the unmatched keywords are dropped and the query
+  /// runs over the remaining ones.
+  bool require_all_keywords = true;
+  /// When > 0, keep at most this many hits per unordered endpoint pair
+  /// (after ranking). The paper notes a longer connection's association can
+  /// be "implicitly visible" in shorter ones between the same tuples (§3);
+  /// this collapses such groups.
+  size_t per_endpoint_limit = 0;
+  BanksOptions banks;
+};
+
+/// One result: a connection (path) or a tuple tree, with its analysis.
+struct SearchHit {
+  /// Always set: the result as a tuple tree (a path is a tree).
+  TupleTree tree;
+  /// Set when the result is path-shaped.
+  std::optional<Connection> connection;
+  /// Full analysis; set when `connection` is set.
+  std::optional<ConnectionAnalysis> analysis;
+
+  /// Aggregate structural facts, defined for paths and trees alike. For a
+  /// non-path tree these aggregate over the tree paths between each pair of
+  /// keyword tuples (worst kind, max hubs, conceptual size = entity tuples
+  /// minus one).
+  size_t rdb_length = 0;
+  size_t er_length = 0;
+  AssociationKind kind = AssociationKind::kImmediate;
+  size_t hub_patterns = 0;
+  size_t nm_steps = 0;
+  bool schema_close = true;
+  std::optional<bool> instance_close;
+
+  double text_score = 0.0;
+  /// Instance ambiguity (product of measured step fan-outs; paper §4).
+  double ambiguity = 1.0;
+  /// Pretty-printed form with matched keywords marked.
+  std::string rendered;
+
+  RankInput ToRankInput() const;
+};
+
+struct SearchResult {
+  KeywordQuery query;
+  std::vector<KeywordMatches> matches;
+  std::vector<SearchHit> hits;  ///< ranked, best first
+
+  /// Keyword(s) matched by each tuple, for display.
+  std::map<TupleId, std::string> keyword_of;
+
+  std::string ToString(const Database& db, size_t max_hits = 20) const;
+};
+
+class KeywordSearchEngine {
+ public:
+  /// Builds an engine over `db`, reverse-engineering the conceptual schema
+  /// from the catalog. `db` must outlive the engine.
+  static Result<std::unique_ptr<KeywordSearchEngine>> Create(
+      const Database* db);
+
+  /// Builds an engine with a known conceptual schema + mapping (e.g. the
+  /// output of GenerateRelationalSchema).
+  static Result<std::unique_ptr<KeywordSearchEngine>> Create(
+      const Database* db, ERSchema er_schema, ErRelationalMapping mapping);
+
+  /// Answers a keyword query. Queries where some keyword matches nothing
+  /// return an empty hit list (AND semantics).
+  Result<SearchResult> Search(const std::string& query_text,
+                              const SearchOptions& options = {}) const;
+
+  const Database& database() const { return *db_; }
+  const ERSchema& er_schema() const { return *er_schema_; }
+  const ErRelationalMapping& mapping() const { return *mapping_; }
+  const DataGraph& data_graph() const { return *data_graph_; }
+  const SchemaGraph& schema_graph() const { return *schema_graph_; }
+  const InvertedIndex& index() const { return *index_; }
+  const AssociationAnalyzer& analyzer() const { return *analyzer_; }
+  const InstanceStatistics& statistics() const { return *statistics_; }
+
+ private:
+  KeywordSearchEngine() = default;
+
+  Result<SearchHit> MakeHit(const TupleTree& tree,
+                            const std::vector<KeywordMatches>& matches,
+                            const std::map<TupleId, std::string>& keyword_of,
+                            const SearchOptions& options) const;
+
+  const Database* db_ = nullptr;
+  std::unique_ptr<ERSchema> er_schema_;
+  std::unique_ptr<ErRelationalMapping> mapping_;
+  std::unique_ptr<DataGraph> data_graph_;
+  std::unique_ptr<SchemaGraph> schema_graph_;
+  std::unique_ptr<InvertedIndex> index_;
+  std::unique_ptr<AssociationAnalyzer> analyzer_;
+  std::unique_ptr<InstanceStatistics> statistics_;
+};
+
+}  // namespace claks
+
+#endif  // CLAKS_CORE_ENGINE_H_

@@ -1,0 +1,54 @@
+// Copyright 2026 The claks Authors.
+
+#include "core/enumerator.h"
+
+#include "common/macros.h"
+#include "graph/traversal.h"
+
+namespace claks {
+
+std::vector<Connection> EnumerateConnections(
+    const DataGraph& graph, const std::set<TupleId>& from,
+    const std::set<TupleId>& to, const EnumerateOptions& options) {
+  std::vector<uint32_t> sources;
+  sources.reserve(from.size());
+  for (TupleId id : from) sources.push_back(graph.NodeOf(id));
+  std::vector<uint32_t> targets;
+  targets.reserve(to.size());
+  for (TupleId id : to) targets.push_back(graph.NodeOf(id));
+
+  std::vector<Connection> out;
+  for (const NodePath& path :
+       EnumerateSimplePathsBetweenSets(graph, sources, targets,
+                                       options.max_rdb_edges,
+                                       options.max_results)) {
+    out.push_back(Connection::FromNodePath(graph, path));
+  }
+  return out;
+}
+
+std::vector<Connection> EnumerateConnections(
+    const DataGraph& graph, const std::vector<KeywordMatches>& matches,
+    const EnumerateOptions& options) {
+  CLAKS_CHECK_EQ(matches.size(), 2u);
+  return EnumerateConnections(graph, matches[0].TupleSet(),
+                              matches[1].TupleSet(), options);
+}
+
+std::vector<Connection> DeduplicateUndirected(
+    std::vector<Connection> connections) {
+  std::vector<Connection> out;
+  for (Connection& c : connections) {
+    bool duplicate = false;
+    for (const Connection& kept : out) {
+      if (kept.SamePathUndirected(c)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace claks

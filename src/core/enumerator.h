@@ -1,0 +1,48 @@
+// Copyright 2026 The claks Authors.
+//
+// Connection enumeration: all simple tuple paths between the matches of two
+// keywords, bounded by RDB length. This is the "full" result space the
+// paper compares MTJNT against (its Table 2 lists such connections for
+// "Smith XML").
+
+#ifndef CLAKS_CORE_ENUMERATOR_H_
+#define CLAKS_CORE_ENUMERATOR_H_
+
+#include <set>
+#include <vector>
+
+#include "core/connection.h"
+#include "text/matcher.h"
+
+namespace claks {
+
+struct EnumerateOptions {
+  /// Maximum number of FK edges (RDB length) of a connection.
+  size_t max_rdb_edges = 4;
+  /// Hard cap on results (0: unlimited).
+  size_t max_results = 0;
+};
+
+/// Enumerates simple paths between two tuple sets. A tuple present in both
+/// sets yields a zero-edge connection. Paths stop at the first tuple of the
+/// target set (connection endpoints carry the keywords, as in the paper's
+/// examples).
+std::vector<Connection> EnumerateConnections(
+    const DataGraph& graph, const std::set<TupleId>& from,
+    const std::set<TupleId>& to, const EnumerateOptions& options = {});
+
+/// Convenience for a two-keyword query: enumerates between the matches of
+/// matches[0] and matches[1]. CLAKS_CHECKs that exactly two keyword match
+/// sets are given.
+std::vector<Connection> EnumerateConnections(
+    const DataGraph& graph, const std::vector<KeywordMatches>& matches,
+    const EnumerateOptions& options = {});
+
+/// Deduplicates connections equal up to reversal, keeping the first
+/// occurrence.
+std::vector<Connection> DeduplicateUndirected(
+    std::vector<Connection> connections);
+
+}  // namespace claks
+
+#endif  // CLAKS_CORE_ENUMERATOR_H_

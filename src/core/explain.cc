@@ -1,0 +1,109 @@
+// Copyright 2026 The claks Authors.
+
+#include "core/explain.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace claks {
+
+namespace {
+
+std::string Words(const std::string& name) {
+  std::string out = ToLower(name);
+  for (char& c : out) {
+    if (c == '_') c = ' ';
+  }
+  return out;
+}
+
+std::string EntityClause(const Database& db, TupleId id,
+                         const std::string& entity_name,
+                         const VerbalizerOptions& options) {
+  const Table& table = db.table(id.table);
+  std::string keys;
+  for (size_t idx : table.schema().PrimaryKeyIndices()) {
+    if (!keys.empty()) keys += ",";
+    keys += table.row(id.row)[idx].ToString();
+  }
+  std::string out = ToLower(entity_name) + " " + keys;
+  auto it = options.keyword_of.find(id);
+  if (it != options.keyword_of.end()) out += "(" + it->second + ")";
+  return out;
+}
+
+RelationshipPhrases PhrasesFor(const std::string& relationship,
+                               const VerbalizerOptions& options) {
+  auto it = options.phrases.find(relationship);
+  if (it != options.phrases.end()) return it->second;
+  std::string words = Words(relationship);
+  return RelationshipPhrases{words, "is related via " + words + " to"};
+}
+
+}  // namespace
+
+VerbalizerOptions CompanyPaperVerbalizer() {
+  VerbalizerOptions options;
+  options.phrases["WORKS_FOR"] = {"employs", "works for"};
+  options.phrases["WORKS_ON"] = {"is worked on by", "works on"};
+  options.phrases["CONTROLS"] = {"controls", "is controlled by"};
+  options.phrases["DEPENDENTS_OF"] = {"has dependent", "is a dependent of"};
+  return options;
+}
+
+Result<std::string> ExplainConnection(const Connection& connection,
+                                      const Database& db,
+                                      const ERSchema& er_schema,
+                                      const ErRelationalMapping& mapping,
+                                      const VerbalizerOptions& options) {
+  CLAKS_ASSIGN_OR_RETURN(ErProjection projection,
+                         ProjectToEr(connection, db, er_schema, mapping));
+  if (projection.steps.empty()) {
+    if (projection.entity_tuples.empty()) {
+      return std::string("a relationship participation");
+    }
+    const TupleId id = projection.entity_tuples.front();
+    std::string entity = mapping.EntityOf(db.SchemaOf(id).name());
+    return EntityClause(db, id, entity, options) + " matches alone";
+  }
+
+  // Entity tuples line up with step boundaries except around partial
+  // steps; walk them with an index that advances on non-open endpoints.
+  std::string out;
+  size_t entity_index = 0;
+  for (size_t s = 0; s < projection.steps.size(); ++s) {
+    const ErProjectedStep& step = projection.steps[s];
+    RelationshipPhrases phrases = PhrasesFor(step.relationship, options);
+    const std::string& verb =
+        step.left_to_right ? phrases.left_to_right : phrases.right_to_left;
+
+    bool from_open = step.partial && step.from_entity == step.relationship;
+    bool to_open = step.partial && step.to_entity == step.relationship;
+
+    if (s == 0) {
+      if (from_open) {
+        out += "a " + Words(step.relationship) + " participation";
+      } else {
+        CLAKS_CHECK_LT(entity_index, projection.entity_tuples.size());
+        out += EntityClause(db, projection.entity_tuples[entity_index],
+                            step.from_entity, options);
+        ++entity_index;
+      }
+    } else {
+      out += ", that";
+    }
+
+    if (to_open) {
+      out += " participates in " + Words(step.relationship);
+      continue;
+    }
+    out += " " + verb + " ";
+    CLAKS_CHECK_LT(entity_index, projection.entity_tuples.size());
+    out += EntityClause(db, projection.entity_tuples[entity_index],
+                        step.to_entity, options);
+    ++entity_index;
+  }
+  return out;
+}
+
+}  // namespace claks

@@ -1,0 +1,52 @@
+// Copyright 2026 The claks Authors.
+//
+// Natural-language readings of connections. The paper (§3) reads its
+// connections out loud — "employee e1(Smith) works for department d1(XML),
+// that controls project p1(XML)" — and argues users need these readings to
+// judge loose associations. This module generates them from the ER
+// projection plus per-relationship verb phrases.
+
+#ifndef CLAKS_CORE_EXPLAIN_H_
+#define CLAKS_CORE_EXPLAIN_H_
+
+#include <map>
+#include <string>
+
+#include "core/length.h"
+
+namespace claks {
+
+/// Verb phrases for one relationship, by travel direction.
+struct RelationshipPhrases {
+  /// Used when a step travels left -> right ("DEPARTMENT controls
+  /// PROJECT" for CONTROLS).
+  std::string left_to_right;
+  /// Used right -> left ("PROJECT is controlled by DEPARTMENT").
+  std::string right_to_left;
+};
+
+struct VerbalizerOptions {
+  /// Phrases per relationship name; relationships without an entry get
+  /// generated phrases derived from the relationship name.
+  std::map<std::string, RelationshipPhrases> phrases;
+  /// Mark matched keywords after the tuple, paper style: "e1(Smith)".
+  std::map<TupleId, std::string> keyword_of;
+};
+
+/// The paper's own phrases for the company schema (WORKS_FOR, WORKS_ON,
+/// CONTROLS, DEPENDENTS_OF).
+VerbalizerOptions CompanyPaperVerbalizer();
+
+/// Renders a connection as an English sentence following the paper's §3
+/// pattern: entity clause, verb phrase, entity clause, with ", that"
+/// chaining for onward steps. Partial steps (connections ending inside a
+/// middle relation) render as "... participates in <relationship>".
+Result<std::string> ExplainConnection(const Connection& connection,
+                                      const Database& db,
+                                      const ERSchema& er_schema,
+                                      const ErRelationalMapping& mapping,
+                                      const VerbalizerOptions& options = {});
+
+}  // namespace claks
+
+#endif  // CLAKS_CORE_EXPLAIN_H_

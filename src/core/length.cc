@@ -1,0 +1,194 @@
+// Copyright 2026 The claks Authors.
+
+#include "core/length.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace claks {
+
+std::vector<Cardinality> ErProjection::CardinalitySequence() const {
+  std::vector<Cardinality> out;
+  out.reserve(steps.size());
+  for (const ErProjectedStep& step : steps) out.push_back(step.cardinality);
+  return out;
+}
+
+std::string ErProjection::ToString() const {
+  if (steps.empty()) return entity_tuples.empty() ? "(empty)" : "(tuple)";
+  std::string out = steps.front().from_entity;
+  for (const ErProjectedStep& step : steps) {
+    out += " ";
+    out += CardinalityToString(step.cardinality);
+    out += " ";
+    out += step.to_entity;
+  }
+  return out;
+}
+
+namespace {
+
+struct EdgeView {
+  const FkErInfo* info = nullptr;
+  const RelationshipType* relationship = nullptr;
+  TupleId referencing;
+  TupleId referenced;
+};
+
+Result<EdgeView> ResolveEdge(const Connection& connection, size_t index,
+                             const Database& db, const ERSchema& er_schema,
+                             const ErRelationalMapping& mapping) {
+  const ConnectionEdge& edge = connection.edges()[index];
+  TupleId a = connection.tuples()[index];
+  TupleId b = connection.tuples()[index + 1];
+  TupleId referencing = edge.along_fk ? a : b;
+  TupleId referenced = edge.along_fk ? b : a;
+  const std::string& table_name = db.SchemaOf(referencing).name();
+  const FkErInfo* info = mapping.FindFk(table_name, edge.fk_index);
+  if (info == nullptr) {
+    return Status::NotFound(StrFormat(
+        "no ER mapping for FK %u of table '%s'", edge.fk_index,
+        table_name.c_str()));
+  }
+  const RelationshipType* rel =
+      er_schema.FindRelationship(info->relationship);
+  if (rel == nullptr) {
+    return Status::NotFound("relationship '" + info->relationship +
+                            "' not in ER schema");
+  }
+  return EdgeView{info, rel, referencing, referenced};
+}
+
+bool IsMiddleTuple(const Database& db, const ErRelationalMapping& mapping,
+                   TupleId id) {
+  return mapping.IsMiddleRelation(db.SchemaOf(id).name());
+}
+
+}  // namespace
+
+Result<ErProjection> ProjectToEr(const Connection& connection,
+                                 const Database& db,
+                                 const ERSchema& er_schema,
+                                 const ErRelationalMapping& mapping) {
+  ErProjection out;
+  const auto& tuples = connection.tuples();
+  const auto& edges = connection.edges();
+
+  if (!IsMiddleTuple(db, mapping, tuples.front())) {
+    out.entity_tuples.push_back(tuples.front());
+  }
+
+  size_t i = 0;
+  while (i < edges.size()) {
+    TupleId a = tuples[i];
+    TupleId b = tuples[i + 1];
+    bool a_middle = IsMiddleTuple(db, mapping, a);
+    bool b_middle = IsMiddleTuple(db, mapping, b);
+    CLAKS_ASSIGN_OR_RETURN(EdgeView view,
+                           ResolveEdge(connection, i, db, er_schema,
+                                       mapping));
+    CLAKS_CHECK(view.info != nullptr && view.relationship != nullptr);
+
+    if (!a_middle && !b_middle) {
+      // A plain entity-to-entity step: one immediate relationship.
+      bool along_fk = edges[i].along_fk;
+      bool arriving_at_left =
+          along_fk ? view.info->references_left : !view.info->references_left;
+      ErProjectedStep step;
+      step.relationship = view.relationship->name;
+      step.cardinality = arriving_at_left
+                             ? Inverse(view.relationship->cardinality)
+                             : view.relationship->cardinality;
+      step.from_entity = arriving_at_left ? view.relationship->right_entity
+                                          : view.relationship->left_entity;
+      step.to_entity = arriving_at_left ? view.relationship->left_entity
+                                        : view.relationship->right_entity;
+      step.left_to_right = !arriving_at_left;
+      out.steps.push_back(std::move(step));
+      out.entity_tuples.push_back(b);
+      ++i;
+      continue;
+    }
+
+    if (!a_middle && b_middle) {
+      // Entering a middle relation. The middle tuple owns the FK, so the
+      // edge's referencing side is b.
+      bool a_left = view.info->references_left;
+      if (i + 1 < edges.size()) {
+        // Full traversal a -> middle -> c collapses to one N:M step.
+        CLAKS_ASSIGN_OR_RETURN(EdgeView exit_view,
+                               ResolveEdge(connection, i + 1, db, er_schema,
+                                           mapping));
+        if (exit_view.relationship->name != view.relationship->name) {
+          return Status::Internal(
+              "middle relation '" + db.SchemaOf(b).name() +
+              "' maps to two relationships");
+        }
+        bool c_left = exit_view.info->references_left;
+        CLAKS_CHECK(a_left != c_left);
+        ErProjectedStep step;
+        step.relationship = view.relationship->name;
+        step.cardinality = a_left ? view.relationship->cardinality
+                                  : Inverse(view.relationship->cardinality);
+        step.from_entity = a_left ? view.relationship->left_entity
+                                  : view.relationship->right_entity;
+        step.to_entity = a_left ? view.relationship->right_entity
+                                : view.relationship->left_entity;
+        step.left_to_right = a_left;
+        out.steps.push_back(std::move(step));
+        out.entity_tuples.push_back(tuples[i + 2]);
+        i += 2;
+        continue;
+      }
+      // The connection ends inside the middle relation: a partial step.
+      ErProjectedStep step;
+      step.relationship = view.relationship->name;
+      step.cardinality = a_left ? view.relationship->cardinality
+                                : Inverse(view.relationship->cardinality);
+      step.from_entity = a_left ? view.relationship->left_entity
+                                : view.relationship->right_entity;
+      step.to_entity = view.relationship->name;  // open end
+      step.partial = true;
+      step.left_to_right = a_left;
+      out.steps.push_back(std::move(step));
+      ++i;
+      continue;
+    }
+
+    if (a_middle && !b_middle) {
+      // The connection starts inside a middle relation (only possible at
+      // i == 0; otherwise the previous iteration consumed the middle
+      // tuple).
+      CLAKS_CHECK_EQ(i, 0u);
+      bool b_left = view.info->references_left;
+      ErProjectedStep step;
+      step.relationship = view.relationship->name;
+      step.cardinality = b_left ? Inverse(view.relationship->cardinality)
+                                : view.relationship->cardinality;
+      step.from_entity = view.relationship->name;  // open end
+      step.to_entity = b_left ? view.relationship->left_entity
+                              : view.relationship->right_entity;
+      step.partial = true;
+      step.left_to_right = !b_left;
+      out.steps.push_back(std::move(step));
+      out.entity_tuples.push_back(b);
+      ++i;
+      continue;
+    }
+
+    return Status::Internal(
+        "two adjacent middle-relation tuples in a connection");
+  }
+
+  return out;
+}
+
+Result<size_t> ErLength(const Connection& connection, const Database& db,
+                        const ERSchema& er_schema,
+                        const ErRelationalMapping& mapping) {
+  CLAKS_ASSIGN_OR_RETURN(ErProjection projection,
+                         ProjectToEr(connection, db, er_schema, mapping));
+  return projection.ErLength();
+}
+
+}  // namespace claks

@@ -1,0 +1,72 @@
+// Copyright 2026 The claks Authors.
+//
+// Conceptual (ER) projection of a connection: "in [the] conceptual approach
+// middle relations should not be taken into account when calculating the
+// length of a connection" (paper §3, Table 2). A connection through a
+// middle-relation tuple (p1 - w_f1 - e1, RDB length 2) projects to a single
+// N:M step (PROJECT N:M EMPLOYEE, ER length 1).
+
+#ifndef CLAKS_CORE_LENGTH_H_
+#define CLAKS_CORE_LENGTH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/connection.h"
+#include "er/er_to_relational.h"
+
+namespace claks {
+
+/// One conceptual step of a projected connection.
+struct ErProjectedStep {
+  /// Name of the ER relationship this step traverses.
+  std::string relationship;
+  /// Cardinality oriented in travel direction.
+  Cardinality cardinality = Cardinality::kOneN;
+  /// Entity-type names at the two ends, in travel direction. For a partial
+  /// step (connection starts or ends *inside* a middle relation) the open
+  /// end holds the relationship name instead.
+  std::string from_entity;
+  std::string to_entity;
+  /// True when only half of a middle relation was traversed (the connection
+  /// starts or ends at a middle-relation tuple).
+  bool partial = false;
+  /// True when the step travels from the relationship's left entity toward
+  /// its right entity (used by instance statistics to pick the fan-out
+  /// direction; well-defined even for self-relationships).
+  bool left_to_right = true;
+};
+
+/// A connection viewed at the conceptual level.
+struct ErProjection {
+  /// The entity tuples along the connection (middle-relation tuples
+  /// dropped), in travel order.
+  std::vector<TupleId> entity_tuples;
+  std::vector<ErProjectedStep> steps;
+
+  /// The paper's "length in ER".
+  size_t ErLength() const { return steps.size(); }
+
+  std::vector<Cardinality> CardinalitySequence() const;
+
+  /// "DEPARTMENT 1:N EMPLOYEE N:M PROJECT".
+  std::string ToString() const;
+};
+
+/// Projects a connection onto the ER schema using the table/FK mapping.
+/// Fails if an FK of the connection is unknown to the mapping or the
+/// relationship name does not resolve in `er_schema`.
+Result<ErProjection> ProjectToEr(const Connection& connection,
+                                 const Database& db,
+                                 const ERSchema& er_schema,
+                                 const ErRelationalMapping& mapping);
+
+/// Convenience: just the conceptual length.
+Result<size_t> ErLength(const Connection& connection, const Database& db,
+                        const ERSchema& er_schema,
+                        const ErRelationalMapping& mapping);
+
+}  // namespace claks
+
+#endif  // CLAKS_CORE_LENGTH_H_

@@ -1,0 +1,191 @@
+// Copyright 2026 The claks Authors.
+
+#include "core/ranking.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace claks {
+
+RankInput MakeRankInput(const ConnectionAnalysis& analysis,
+                        double text_score, double ambiguity) {
+  RankInput input;
+  input.rdb_length = analysis.rdb_length;
+  input.er_length = analysis.er_length;
+  input.hub_patterns = analysis.hub_patterns;
+  input.nm_steps = analysis.nm_steps;
+  input.schema_close = analysis.schema_close;
+  input.instance_close = analysis.instance_close;
+  input.text_score = text_score;
+  input.ambiguity = ambiguity;
+  return input;
+}
+
+const char* RankerKindToString(RankerKind kind) {
+  switch (kind) {
+    case RankerKind::kRdbLength:
+      return "rdb-length";
+    case RankerKind::kErLength:
+      return "er-length";
+    case RankerKind::kCloseFirst:
+      return "close-first";
+    case RankerKind::kLoosePenalty:
+      return "loose-penalty";
+    case RankerKind::kInstanceClose:
+      return "instance-close";
+    case RankerKind::kCombined:
+      return "combined";
+    case RankerKind::kAmbiguity:
+      return "ambiguity";
+    case RankerKind::kMoreContext:
+      return "more-context";
+  }
+  return "?";
+}
+
+namespace {
+
+class RdbLengthRanker : public Ranker {
+ public:
+  std::string name() const override { return "rdb-length"; }
+  std::vector<double> SortKey(const RankInput& in) const override {
+    return {static_cast<double>(in.rdb_length)};
+  }
+};
+
+class ErLengthRanker : public Ranker {
+ public:
+  std::string name() const override { return "er-length"; }
+  std::vector<double> SortKey(const RankInput& in) const override {
+    return {static_cast<double>(in.er_length),
+            static_cast<double>(in.rdb_length)};
+  }
+};
+
+class CloseFirstRanker : public Ranker {
+ public:
+  std::string name() const override { return "close-first"; }
+  std::vector<double> SortKey(const RankInput& in) const override {
+    return {static_cast<double>(in.hub_patterns),
+            static_cast<double>(in.er_length),
+            static_cast<double>(in.rdb_length)};
+  }
+};
+
+class LoosePenaltyRanker : public Ranker {
+ public:
+  std::string name() const override { return "loose-penalty"; }
+  std::vector<double> SortKey(const RankInput& in) const override {
+    return {static_cast<double>(in.hub_patterns + in.nm_steps),
+            static_cast<double>(in.er_length),
+            static_cast<double>(in.rdb_length)};
+  }
+};
+
+class InstanceCloseRanker : public Ranker {
+ public:
+  std::string name() const override { return "instance-close"; }
+  std::vector<double> SortKey(const RankInput& in) const override {
+    double verified_loose =
+        in.instance_close.has_value() ? (*in.instance_close ? 0.0 : 1.0)
+                                      : (in.schema_close ? 0.0 : 1.0);
+    return {verified_loose, static_cast<double>(in.hub_patterns),
+            static_cast<double>(in.er_length),
+            static_cast<double>(in.rdb_length)};
+  }
+};
+
+class CombinedRanker : public Ranker {
+ public:
+  std::string name() const override { return "combined"; }
+  std::vector<double> SortKey(const RankInput& in) const override {
+    double structural = 1.0 + static_cast<double>(in.er_length) +
+                        static_cast<double>(in.hub_patterns);
+    // Negated: smaller key ranks higher.
+    return {-(in.text_score + 1e-9) / structural};
+  }
+};
+
+class AmbiguityRanker : public Ranker {
+ public:
+  std::string name() const override { return "ambiguity"; }
+  std::vector<double> SortKey(const RankInput& in) const override {
+    return {in.ambiguity, static_cast<double>(in.er_length),
+            static_cast<double>(in.rdb_length)};
+  }
+};
+
+class MoreContextRanker : public Ranker {
+ public:
+  std::string name() const override { return "more-context"; }
+  std::vector<double> SortKey(const RankInput& in) const override {
+    // Unambiguous first (hubs are still penalised — a longer *loose*
+    // connection adds noise, not information), then MORE conceptual steps.
+    return {static_cast<double>(in.hub_patterns),
+            -static_cast<double>(in.er_length),
+            -static_cast<double>(in.rdb_length)};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Ranker> MakeRanker(RankerKind kind) {
+  switch (kind) {
+    case RankerKind::kRdbLength:
+      return std::make_unique<RdbLengthRanker>();
+    case RankerKind::kErLength:
+      return std::make_unique<ErLengthRanker>();
+    case RankerKind::kCloseFirst:
+      return std::make_unique<CloseFirstRanker>();
+    case RankerKind::kLoosePenalty:
+      return std::make_unique<LoosePenaltyRanker>();
+    case RankerKind::kInstanceClose:
+      return std::make_unique<InstanceCloseRanker>();
+    case RankerKind::kCombined:
+      return std::make_unique<CombinedRanker>();
+    case RankerKind::kAmbiguity:
+      return std::make_unique<AmbiguityRanker>();
+    case RankerKind::kMoreContext:
+      return std::make_unique<MoreContextRanker>();
+  }
+  return nullptr;
+}
+
+std::vector<size_t> RankOrder(const std::vector<RankInput>& inputs,
+                              const Ranker& ranker) {
+  std::vector<std::vector<double>> keys;
+  keys.reserve(inputs.size());
+  for (const RankInput& input : inputs) {
+    keys.push_back(ranker.SortKey(input));
+  }
+  std::vector<size_t> order(inputs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return keys[a] < keys[b]; });
+  return order;
+}
+
+double KendallTauDistance(const std::vector<size_t>& a,
+                          const std::vector<size_t>& b) {
+  CLAKS_CHECK_EQ(a.size(), b.size());
+  size_t n = a.size();
+  if (n < 2) return 0.0;
+  // position of each item in b
+  std::vector<size_t> pos_b(n);
+  for (size_t i = 0; i < n; ++i) {
+    CLAKS_CHECK_LT(b[i], n);
+    pos_b[b[i]] = i;
+  }
+  size_t discordant = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (pos_b[a[i]] > pos_b[a[j]]) ++discordant;
+    }
+  }
+  return static_cast<double>(discordant) /
+         (static_cast<double>(n) * static_cast<double>(n - 1) / 2.0);
+}
+
+}  // namespace claks

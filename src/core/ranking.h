@@ -1,0 +1,93 @@
+// Copyright 2026 The claks Authors.
+//
+// Ranking of result connections. The paper contrasts ranking by RDB length
+// (connections 1 and 5 best, 4 and 7 worst) with ranking at the conceptual
+// level where close associations are emphasised (1, 2 and 5 best; 4 and 7
+// promoted above 3 and 6). Each policy here is a lexicographic sort key
+// over the structural analysis, optionally combined with text scores.
+
+#ifndef CLAKS_CORE_RANKING_H_
+#define CLAKS_CORE_RANKING_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/association.h"
+
+namespace claks {
+
+/// The structural and textual facts a ranker may use.
+struct RankInput {
+  size_t rdb_length = 0;
+  size_t er_length = 0;
+  size_t hub_patterns = 0;
+  size_t nm_steps = 0;
+  bool schema_close = true;
+  std::optional<bool> instance_close;
+  double text_score = 0.0;
+  /// Instance-level ambiguity (product of step fan-outs), ~1.0 for
+  /// functional connections; see core/statistics.h.
+  double ambiguity = 1.0;
+};
+
+/// Builds a RankInput from a connection analysis plus a text score and an
+/// optional instance-ambiguity value.
+RankInput MakeRankInput(const ConnectionAnalysis& analysis,
+                        double text_score, double ambiguity = 1.0);
+
+/// Available ranking policies.
+enum class RankerKind {
+  /// Ascending RDB length — the conventional shortest-first ranking.
+  kRdbLength,
+  /// Ascending conceptual length, RDB length as tie-break.
+  kErLength,
+  /// The paper's §3 policy: fewest transitive-N:M hubs first, then
+  /// conceptual length, then RDB length. Orders the running example
+  /// {1,2,5} > {4,7} > {3,6}.
+  kCloseFirst,
+  /// Loose points (N:M steps + hubs) first, then conceptual length.
+  kLoosePenalty,
+  /// Instance-verified close connections first, then kCloseFirst order.
+  kInstanceClose,
+  /// Text relevance combined with a structural penalty:
+  /// text / (1 + er_length + hubs); descending.
+  kCombined,
+  /// The paper's §4 proposal: order by measured instance ambiguity (the
+  /// actual number of participating entities), then conceptual length.
+  kAmbiguity,
+  /// The paper's §2 alternative: "if we want to emphasize access to more
+  /// information a longer connection should be ranked before shorter
+  /// connections" — among equally-unambiguous connections, longer
+  /// conceptual length first.
+  kMoreContext,
+};
+
+const char* RankerKindToString(RankerKind kind);
+
+/// A ranking policy: produces a lexicographic key; smaller keys rank
+/// higher.
+class Ranker {
+ public:
+  virtual ~Ranker() = default;
+  virtual std::string name() const = 0;
+  virtual std::vector<double> SortKey(const RankInput& input) const = 0;
+};
+
+std::unique_ptr<Ranker> MakeRanker(RankerKind kind);
+
+/// Stable-sorts `items` by the ranker's key computed from
+/// `inputs[i]` (parallel arrays). CLAKS_CHECKs equal sizes. Returns the
+/// permutation applied (new index -> old index).
+std::vector<size_t> RankOrder(const std::vector<RankInput>& inputs,
+                              const Ranker& ranker);
+
+/// Kendall tau-a distance between two rankings given as permutations
+/// (new index -> item id). 0 = identical, 1 = reversed.
+double KendallTauDistance(const std::vector<size_t>& a,
+                          const std::vector<size_t>& b);
+
+}  // namespace claks
+
+#endif  // CLAKS_CORE_RANKING_H_

@@ -1,0 +1,161 @@
+// Copyright 2026 The claks Authors.
+
+#include "core/sql.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace claks {
+
+std::string SqlLiteral(const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return value.ToString();
+    case ValueType::kBool:
+      return value.AsBool() ? "TRUE" : "FALSE";
+    case ValueType::kString: {
+      std::string out = "'";
+      for (char c : value.AsString()) {
+        if (c == '\'') out += "''";
+        else out += c;
+      }
+      out += "'";
+      return out;
+    }
+  }
+  return "NULL";
+}
+
+namespace {
+
+// Join condition between aliases `a` and `b` where `referencing_alias`
+// owns FK `fk` of `referencing_schema`.
+std::string JoinCondition(const TableSchema& referencing_schema,
+                          const ForeignKeyDef& fk,
+                          const std::string& referencing_alias,
+                          const std::string& referenced_alias) {
+  std::string out;
+  for (size_t k = 0; k < fk.local_attributes.size(); ++k) {
+    if (k > 0) out += " AND ";
+    out += referencing_alias + "." + fk.local_attributes[k] + " = " +
+           referenced_alias + "." + fk.referenced_attributes[k];
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> ConnectionToSql(const Connection& connection,
+                                    const Database& db) {
+  const auto& tuples = connection.tuples();
+  if (tuples.empty()) return Status::InvalidArgument("empty connection");
+
+  std::string select = "SELECT ";
+  std::string from = " FROM ";
+  std::string where = " WHERE ";
+  bool first_where = true;
+
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    const Table& table = db.table(tuples[i].table);
+    std::string alias = StrFormat("t%zu", i);
+    if (i > 0) {
+      select += ", ";
+      from += ", ";
+    }
+    select += alias + ".*";
+    from += table.name() + " " + alias;
+    // Pin the tuple by primary key.
+    for (size_t idx : table.schema().PrimaryKeyIndices()) {
+      if (!first_where) where += " AND ";
+      first_where = false;
+      where += alias + "." + table.schema().attribute(idx).name + " = " +
+               SqlLiteral(table.row(tuples[i].row)[idx]);
+    }
+  }
+
+  // Join conditions.
+  for (size_t e = 0; e < connection.edges().size(); ++e) {
+    const ConnectionEdge& edge = connection.edges()[e];
+    size_t referencing_pos = edge.along_fk ? e : e + 1;
+    size_t referenced_pos = edge.along_fk ? e + 1 : e;
+    const TableSchema& schema = db.SchemaOf(tuples[referencing_pos]);
+    if (edge.fk_index >= schema.foreign_keys().size()) {
+      return Status::OutOfRange(
+          StrFormat("fk %u of table '%s'", edge.fk_index,
+                    schema.name().c_str()));
+    }
+    const ForeignKeyDef& fk = schema.foreign_keys()[edge.fk_index];
+    if (!first_where) where += " AND ";
+    first_where = false;
+    where += JoinCondition(schema, fk, StrFormat("t%zu", referencing_pos),
+                           StrFormat("t%zu", referenced_pos));
+  }
+
+  return select + from + (first_where ? "" : where) + ";";
+}
+
+Result<std::string> CandidateNetworkToSql(
+    const CandidateNetwork& cn, const Database& db,
+    const std::vector<std::string>& keywords) {
+  if (cn.nodes.empty()) return Status::InvalidArgument("empty CN");
+  std::string select = "SELECT ";
+  std::string from = " FROM ";
+  std::vector<std::string> conditions;
+
+  for (size_t i = 0; i < cn.nodes.size(); ++i) {
+    const Table& table = db.table(cn.nodes[i].table);
+    std::string alias = StrFormat("t%zu", i);
+    if (i > 0) {
+      select += ", ";
+      from += ", ";
+    }
+    select += alias + ".*";
+    from += table.name() + " " + alias;
+
+    // Keyword predicates for the node's tuple set.
+    for (size_t k = 0; k < keywords.size(); ++k) {
+      if ((cn.nodes[i].keyword_mask & (1u << k)) == 0) continue;
+      std::string disjunction;
+      for (size_t a = 0; a < table.schema().num_attributes(); ++a) {
+        const AttributeDef& attr = table.schema().attribute(a);
+        if (!attr.searchable || attr.type != ValueType::kString) continue;
+        if (!disjunction.empty()) disjunction += " OR ";
+        disjunction += "LOWER(" + alias + "." + attr.name + ") LIKE '%" +
+                       ToLower(keywords[k]) + "%'";
+      }
+      if (disjunction.empty()) {
+        return Status::InvalidArgument(
+            "CN node over table '" + table.name() +
+            "' requires keyword '" + keywords[k] +
+            "' but the table has no searchable text attribute");
+      }
+      conditions.push_back("(" + disjunction + ")");
+    }
+  }
+
+  for (const CandidateNetwork::Edge& edge : cn.edges) {
+    uint32_t referencing = edge.a_is_referencing ? edge.a : edge.b;
+    uint32_t referenced = edge.a_is_referencing ? edge.b : edge.a;
+    const TableSchema& schema =
+        db.table(cn.nodes[referencing].table).schema();
+    if (edge.fk_index >= schema.foreign_keys().size()) {
+      return Status::OutOfRange(
+          StrFormat("fk %u of table '%s'", edge.fk_index,
+                    schema.name().c_str()));
+    }
+    conditions.push_back(JoinCondition(
+        schema, schema.foreign_keys()[edge.fk_index],
+        StrFormat("t%u", referencing), StrFormat("t%u", referenced)));
+  }
+
+  std::string where;
+  if (!conditions.empty()) {
+    where = " WHERE " + Join(conditions, " AND ");
+  }
+  return select + from + where + ";";
+}
+
+}  // namespace claks

@@ -1,0 +1,40 @@
+// Copyright 2026 The claks Authors.
+//
+// SQL generation: a Connection pins concrete tuples (DISCOVER executes its
+// joining networks as SQL; systems embedding claks can hand these
+// statements to a real DBMS), and a CandidateNetwork becomes a parameterised
+// join query with keyword predicates.
+
+#ifndef CLAKS_CORE_SQL_H_
+#define CLAKS_CORE_SQL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/connection.h"
+#include "core/mtjnt.h"
+
+namespace claks {
+
+/// Quotes a value as a SQL literal ('it''s' for strings, bare numerals,
+/// NULL).
+std::string SqlLiteral(const Value& value);
+
+/// SELECT statement reproducing one connection: one aliased table instance
+/// per tuple, join conditions from the FK edges, WHERE conditions pinning
+/// each tuple by its primary key.
+Result<std::string> ConnectionToSql(const Connection& connection,
+                                    const Database& db);
+
+/// SELECT statement evaluating a candidate network: join conditions from
+/// the CN edges plus, per non-free node, a disjunction of LIKE predicates
+/// requiring its keywords in some searchable text attribute (an
+/// approximation of exact tuple-set semantics, as DISCOVER notes).
+Result<std::string> CandidateNetworkToSql(
+    const CandidateNetwork& cn, const Database& db,
+    const std::vector<std::string>& keywords);
+
+}  // namespace claks
+
+#endif  // CLAKS_CORE_SQL_H_

@@ -1,0 +1,200 @@
+// Copyright 2026 The claks Authors.
+
+#include "core/statistics.h"
+
+#include <set>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace claks {
+
+double RelationshipStats::AvgFanoutLeftToRight() const {
+  if (left_participants == 0) return 0.0;
+  return static_cast<double>(link_count) /
+         static_cast<double>(left_participants);
+}
+
+double RelationshipStats::AvgFanoutRightToLeft() const {
+  if (right_participants == 0) return 0.0;
+  return static_cast<double>(link_count) /
+         static_cast<double>(right_participants);
+}
+
+double RelationshipStats::LeftParticipation() const {
+  if (left_total == 0) return 0.0;
+  return static_cast<double>(left_participants) /
+         static_cast<double>(left_total);
+}
+
+double RelationshipStats::RightParticipation() const {
+  if (right_total == 0) return 0.0;
+  return static_cast<double>(right_participants) /
+         static_cast<double>(right_total);
+}
+
+std::string RelationshipStats::ToString() const {
+  return StrFormat(
+      "%s: %zu links, left %zu/%zu (fanout %.2f), right %zu/%zu "
+      "(fanout %.2f)",
+      relationship.c_str(), link_count, left_participants, left_total,
+      AvgFanoutLeftToRight(), right_participants, right_total,
+      AvgFanoutRightToLeft());
+}
+
+namespace {
+
+// Key string of the FK values of `row` at `indices` (empty when any NULL).
+std::string FkKey(const Row& row, const std::vector<size_t>& indices) {
+  for (size_t idx : indices) {
+    if (row[idx].is_null()) return "";
+  }
+  return MakeKey(row, indices);
+}
+
+std::vector<size_t> LocalIndices(const TableSchema& schema,
+                                 const ForeignKeyDef& fk) {
+  std::vector<size_t> out;
+  for (const auto& attr : fk.local_attributes) {
+    auto idx = schema.AttributeIndex(attr);
+    CLAKS_CHECK(idx.has_value());
+    out.push_back(*idx);
+  }
+  return out;
+}
+
+}  // namespace
+
+InstanceStatistics::InstanceStatistics(const Database* db,
+                                       const ERSchema* er_schema,
+                                       const ErRelationalMapping* mapping) {
+  CLAKS_CHECK(db != nullptr && er_schema != nullptr && mapping != nullptr);
+
+  // Entity table name per entity type.
+  auto entity_rows = [&](const std::string& entity) -> size_t {
+    for (const auto& [table, info] : mapping->tables) {
+      if (!info.is_middle_relation && info.er_name == entity) {
+        const Table* t = db->FindTable(table);
+        if (t != nullptr) return t->num_rows();
+      }
+    }
+    return 0;
+  };
+
+  for (const RelationshipType& rel : er_schema->relationships()) {
+    RelationshipStats stats;
+    stats.relationship = rel.name;
+    stats.left_total = entity_rows(rel.left_entity);
+    stats.right_total = entity_rows(rel.right_entity);
+    stats_.emplace(rel.name, std::move(stats));
+  }
+
+  // Group (table, fk_index) pairs by relationship.
+  struct Implementing {
+    std::string table;
+    size_t fk_index;
+    bool references_left;
+  };
+  std::map<std::string, std::vector<Implementing>> by_relationship;
+  for (const auto& [key, info] : mapping->foreign_keys) {
+    by_relationship[info.relationship].push_back(
+        Implementing{key.first, key.second, info.references_left});
+  }
+
+  for (auto& [rel_name, fks] : by_relationship) {
+    auto it = stats_.find(rel_name);
+    if (it == stats_.end()) continue;  // mapping mentions unknown rel
+    RelationshipStats& stats = it->second;
+
+    if (fks.size() == 1) {
+      // Entity-table FK: one link per non-NULL FK row.
+      const Table* owner = db->FindTable(fks[0].table);
+      if (owner == nullptr) continue;
+      std::vector<size_t> indices =
+          LocalIndices(owner->schema(),
+                       owner->schema().foreign_keys()[fks[0].fk_index]);
+      std::set<std::string> referenced_keys;
+      size_t links = 0;
+      for (size_t r = 0; r < owner->num_rows(); ++r) {
+        std::string key = FkKey(owner->row(r), indices);
+        if (key.empty()) continue;
+        ++links;
+        referenced_keys.insert(std::move(key));
+      }
+      stats.link_count = links;
+      // The FK points at one side; the owner side participates once per
+      // linked row.
+      if (fks[0].references_left) {
+        stats.left_participants = referenced_keys.size();
+        stats.right_participants = links;
+      } else {
+        stats.right_participants = referenced_keys.size();
+        stats.left_participants = links;
+      }
+    } else if (fks.size() == 2 &&
+               mapping->IsMiddleRelation(fks[0].table)) {
+      // Middle relation: one link per row; distinct keys per side.
+      const Table* middle = db->FindTable(fks[0].table);
+      if (middle == nullptr) continue;
+      const Implementing* left_fk =
+          fks[0].references_left ? &fks[0] : &fks[1];
+      const Implementing* right_fk =
+          fks[0].references_left ? &fks[1] : &fks[0];
+      std::vector<size_t> left_indices = LocalIndices(
+          middle->schema(), middle->schema().foreign_keys()[left_fk->fk_index]);
+      std::vector<size_t> right_indices =
+          LocalIndices(middle->schema(),
+                       middle->schema().foreign_keys()[right_fk->fk_index]);
+      std::set<std::string> left_keys;
+      std::set<std::string> right_keys;
+      size_t links = 0;
+      for (size_t r = 0; r < middle->num_rows(); ++r) {
+        std::string lk = FkKey(middle->row(r), left_indices);
+        std::string rk = FkKey(middle->row(r), right_indices);
+        if (lk.empty() || rk.empty()) continue;
+        ++links;
+        left_keys.insert(std::move(lk));
+        right_keys.insert(std::move(rk));
+      }
+      stats.link_count = links;
+      stats.left_participants = left_keys.size();
+      stats.right_participants = right_keys.size();
+    }
+  }
+}
+
+const RelationshipStats& InstanceStatistics::StatsFor(
+    const std::string& relationship) const {
+  auto it = stats_.find(relationship);
+  CLAKS_CHECK(it != stats_.end());
+  return it->second;
+}
+
+double InstanceStatistics::StepFanout(const ErProjectedStep& step) const {
+  auto it = stats_.find(step.relationship);
+  if (it == stats_.end()) return 1.0;
+  const RelationshipStats& stats = it->second;
+  double fanout = step.left_to_right ? stats.AvgFanoutLeftToRight()
+                                     : stats.AvgFanoutRightToLeft();
+  // A step that was actually traversed has at least one instantiation.
+  return fanout < 1.0 ? 1.0 : fanout;
+}
+
+double InstanceStatistics::ConnectionAmbiguity(
+    const ErProjection& projection) const {
+  double ambiguity = 1.0;
+  for (const ErProjectedStep& step : projection.steps) {
+    ambiguity *= StepFanout(step);
+  }
+  return ambiguity;
+}
+
+std::string InstanceStatistics::ToString() const {
+  std::string out = "INSTANCE STATISTICS\n";
+  for (const auto& [name, stats] : stats_) {
+    out += "  " + stats.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace claks

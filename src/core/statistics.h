@@ -1,0 +1,81 @@
+// Copyright 2026 The claks Authors.
+//
+// Instance-level cardinality statistics — the paper's §4 proposal: "A more
+// precise approach could be achieved by analyzing the actual number of
+// participating entities (tuples) in a database instance." For every ER
+// relationship we measure, from the instance, how many entities actually
+// participate and with what fan-out; a connection's *ambiguity* is then the
+// expected number of alternative interpretations its steps admit, and the
+// kAmbiguity ranking policy orders by it.
+
+#ifndef CLAKS_CORE_STATISTICS_H_
+#define CLAKS_CORE_STATISTICS_H_
+
+#include <map>
+#include <string>
+
+#include "core/length.h"
+#include "graph/data_graph.h"
+
+namespace claks {
+
+/// Measured facts about one relationship in one database instance.
+struct RelationshipStats {
+  std::string relationship;
+  /// Number of instance links (FK rows for 1:N, middle-relation rows for
+  /// N:M).
+  size_t link_count = 0;
+  /// Distinct participating entities on each side.
+  size_t left_participants = 0;
+  size_t right_participants = 0;
+  /// Total entities on each side (participating or not).
+  size_t left_total = 0;
+  size_t right_total = 0;
+
+  /// Average number of right entities per *participating* left entity
+  /// (>= 1 when any links exist), and vice versa.
+  double AvgFanoutLeftToRight() const;
+  double AvgFanoutRightToLeft() const;
+
+  /// Fraction of entities that participate at all.
+  double LeftParticipation() const;
+  double RightParticipation() const;
+
+  std::string ToString() const;
+};
+
+/// Computes and caches statistics for every relationship of the schema.
+/// All referenced objects must outlive the statistics.
+class InstanceStatistics {
+ public:
+  InstanceStatistics(const Database* db, const ERSchema* er_schema,
+                     const ErRelationalMapping* mapping);
+
+  /// Stats for one relationship; CLAKS_CHECKs the name exists.
+  const RelationshipStats& StatsFor(const std::string& relationship) const;
+
+  const std::map<std::string, RelationshipStats>& all() const {
+    return stats_;
+  }
+
+  /// Expected number of alternative end entities when traversing one ER
+  /// step in the given direction: the instance fan-out (1.0 for a
+  /// functional direction with full participation; > 1 where many
+  /// alternatives exist).
+  double StepFanout(const ErProjectedStep& step) const;
+
+  /// Ambiguity of a projected connection: the product of step fan-outs.
+  /// A close (functional) connection has ambiguity <= ~1; hub patterns and
+  /// N:M steps multiply it up. This is the §4 "actual number of
+  /// participating entities" criterion.
+  double ConnectionAmbiguity(const ErProjection& projection) const;
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, RelationshipStats> stats_;
+};
+
+}  // namespace claks
+
+#endif  // CLAKS_CORE_STATISTICS_H_

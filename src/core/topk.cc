@@ -1,0 +1,74 @@
+// Copyright 2026 The claks Authors.
+
+#include "core/topk.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace claks {
+
+ConnectionStream::ConnectionStream(const DataGraph* graph,
+                                   std::vector<uint32_t> sources,
+                                   std::vector<uint32_t> targets,
+                                   size_t max_edges)
+    : graph_(graph),
+      target_set_(targets.begin(), targets.end()),
+      max_edges_(max_edges) {
+  CLAKS_CHECK(graph_ != nullptr);
+  // Deduplicate sources, preserve order.
+  std::set<uint32_t> seen;
+  for (uint32_t source : sources) {
+    if (seen.insert(source).second) {
+      Push(NodePath{source, {}});
+    }
+  }
+}
+
+void ConnectionStream::Push(NodePath path) {
+  size_t length = path.length();
+  queue_.push(Frontier{std::move(path), length, next_sequence_++});
+}
+
+std::optional<Connection> ConnectionStream::Next() {
+  while (!queue_.empty()) {
+    Frontier frontier = queue_.top();
+    queue_.pop();
+    ++expansions_;
+    uint32_t end = frontier.path.End();
+
+    bool is_answer = target_set_.count(end) > 0;
+    if (is_answer) {
+      // A zero-length answer is a tuple in both keyword sets; longer
+      // answers end at their first target by construction (we never expand
+      // past a target).
+      return Connection::FromNodePath(*graph_, frontier.path);
+    }
+    if (frontier.path.length() >= max_edges_) continue;
+
+    // Expand: simple paths only.
+    auto nodes = frontier.path.Nodes();
+    for (const DataAdjacency& adj : graph_->Neighbors(end)) {
+      if (std::find(nodes.begin(), nodes.end(), adj.neighbor) !=
+          nodes.end()) {
+        continue;
+      }
+      NodePath extended = frontier.path;
+      extended.steps.push_back(adj);
+      Push(std::move(extended));
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Connection> StreamTopK(ConnectionStream* stream, size_t k) {
+  std::vector<Connection> out;
+  while (out.size() < k) {
+    auto connection = stream->Next();
+    if (!connection.has_value()) break;
+    out.push_back(std::move(*connection));
+  }
+  return out;
+}
+
+}  // namespace claks

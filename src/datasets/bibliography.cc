@@ -1,0 +1,158 @@
+// Copyright 2026 The claks Authors.
+
+#include "datasets/bibliography.h"
+
+#include <set>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace claks {
+
+namespace {
+
+const char* kAreas[] = {"keyword",  "search",    "relational", "databases",
+                        "xml",      "retrieval", "ranking",    "graphs",
+                        "steiner",  "trees",     "indexing",   "semantics"};
+const char* kAuthorNames[] = {"Vainio",   "Junkkari", "Kekalainen",
+                              "Hristidis", "Aditya",   "Bhalotia",
+                              "Kargar",   "Zeng",     "Li",
+                              "Bergamaschi", "Guerra",  "Simonini"};
+const char* kVenueNames[] = {"VLDB", "SIGMOD", "EDBT", "ICDE", "WWW"};
+
+}  // namespace
+
+ERSchema BibliographyErSchema() {
+  ERSchema er;
+
+  EntityType author;
+  author.name = "AUTHOR";
+  author.attributes = {
+      {"ID", ValueType::kString, true, false},
+      {"NAME", ValueType::kString, false, true},
+      {"AFFILIATION", ValueType::kString, false, true},
+  };
+  CLAKS_CHECK(er.AddEntityType(author).ok());
+
+  EntityType paper;
+  paper.name = "PAPER";
+  paper.attributes = {
+      {"ID", ValueType::kString, true, false},
+      {"TITLE", ValueType::kString, false, true},
+      {"ABSTRACT", ValueType::kString, false, true},
+  };
+  CLAKS_CHECK(er.AddEntityType(paper).ok());
+
+  EntityType venue;
+  venue.name = "VENUE";
+  venue.attributes = {
+      {"ID", ValueType::kString, true, false},
+      {"NAME", ValueType::kString, false, true},
+  };
+  CLAKS_CHECK(er.AddEntityType(venue).ok());
+
+  CLAKS_CHECK(er.AddRelationship("WRITES", "AUTHOR", "N:M", "PAPER").ok());
+  CLAKS_CHECK(
+      er.AddRelationship("PUBLISHED_IN", "VENUE", "1:N", "PAPER").ok());
+  CLAKS_CHECK(er.AddRelationship("CITES", "PAPER", "N:M", "PAPER").ok());
+  return er;
+}
+
+Result<GeneratedDataset> GenerateBibliographyDataset(
+    const BibliographyGenOptions& options) {
+  GeneratedDataset out;
+  out.er_schema = BibliographyErSchema();
+  CLAKS_ASSIGN_OR_RETURN(GeneratedRelationalSchema generated,
+                         GenerateRelationalSchema(out.er_schema));
+  out.mapping = std::move(generated.mapping);
+  out.db = std::make_unique<Database>();
+  for (TableSchema& schema : generated.tables) {
+    CLAKS_RETURN_NOT_OK(out.db->AddTable(std::move(schema)).status());
+  }
+
+  Table* author = out.db->FindMutableTable("AUTHOR");
+  Table* paper = out.db->FindMutableTable("PAPER");
+  Table* venue = out.db->FindMutableTable("VENUE");
+  Table* writes = out.db->FindMutableTable("WRITES");
+  Table* cites = out.db->FindMutableTable("CITES");
+  CLAKS_CHECK(author != nullptr && paper != nullptr && venue != nullptr &&
+              writes != nullptr && cites != nullptr);
+
+  Rng rng(options.seed);
+  auto s = [](std::string text) { return Value::String(std::move(text)); };
+
+  for (size_t v = 0; v < options.num_venues; ++v) {
+    CLAKS_RETURN_NOT_OK(
+        venue
+            ->InsertValues({s(StrFormat("v%zu", v + 1)),
+                            s(kVenueNames[v % std::size(kVenueNames)])})
+            .status());
+  }
+  for (size_t a = 0; a < options.num_authors; ++a) {
+    CLAKS_RETURN_NOT_OK(
+        author
+            ->InsertValues(
+                {s(StrFormat("a%zu", a + 1)),
+                 s(StrFormat("%s %zu",
+                             kAuthorNames[a % std::size(kAuthorNames)],
+                             a + 1)),
+                 s(StrFormat("univ-%zu", 1 + a % 7))})
+            .status());
+  }
+  for (size_t p = 0; p < options.num_papers; ++p) {
+    std::string title = kAreas[rng.Index(std::size(kAreas))];
+    title += " ";
+    title += kAreas[rng.Index(std::size(kAreas))];
+    std::string abstract = "we study";
+    for (int w = 0; w < 5; ++w) {
+      abstract += " ";
+      abstract += kAreas[rng.Index(std::size(kAreas))];
+    }
+    std::string vid =
+        StrFormat("v%zu", 1 + rng.Index(options.num_venues));
+    CLAKS_RETURN_NOT_OK(
+        paper
+            ->InsertValues(
+                {s(StrFormat("p%zu", p + 1)), s(title), s(abstract), s(vid)})
+            .status());
+  }
+
+  size_t max_authors = static_cast<size_t>(
+      2.0 * options.avg_authors_per_paper + 0.5);
+  for (size_t p = 0; p < options.num_papers; ++p) {
+    size_t count =
+        1 + rng.Index(std::max<size_t>(1, max_authors));
+    std::set<std::string> chosen;
+    for (size_t k = 0; k < count; ++k) {
+      std::string aid =
+          StrFormat("a%zu", 1 + rng.Index(options.num_authors));
+      if (!chosen.insert(aid).second) continue;
+      CLAKS_RETURN_NOT_OK(
+          writes->InsertValues({s(aid), s(StrFormat("p%zu", p + 1))})
+              .status());
+    }
+  }
+
+  size_t max_citations = static_cast<size_t>(
+      2.0 * options.avg_citations_per_paper + 0.5);
+  for (size_t p = 0; p < options.num_papers; ++p) {
+    size_t count = max_citations == 0 ? 0 : rng.Index(max_citations + 1);
+    std::set<std::string> cited;
+    for (size_t k = 0; k < count; ++k) {
+      // Zipf-biased targets: early papers are cited more.
+      size_t target = rng.Zipf(options.num_papers, 1.3);
+      if (target == p) continue;  // no self-citations
+      std::string tid = StrFormat("p%zu", target + 1);
+      if (!cited.insert(tid).second) continue;
+      CLAKS_RETURN_NOT_OK(
+          cites->InsertValues({s(StrFormat("p%zu", p + 1)), s(tid)})
+              .status());
+    }
+  }
+
+  CLAKS_RETURN_NOT_OK(out.db->CheckReferentialIntegrity());
+  return out;
+}
+
+}  // namespace claks

@@ -1,0 +1,36 @@
+// Copyright 2026 The claks Authors.
+//
+// DBLP-style bibliography dataset: authors, papers, venues, an N:M
+// authorship relation and an N:M *self* citation relation (PAPER cites
+// PAPER). The self-relationship exercises code paths the company schema
+// cannot (a middle relation whose two foreign keys reference the same
+// table).
+
+#ifndef CLAKS_DATASETS_BIBLIOGRAPHY_H_
+#define CLAKS_DATASETS_BIBLIOGRAPHY_H_
+
+#include "datasets/company_gen.h"
+
+namespace claks {
+
+struct BibliographyGenOptions {
+  size_t num_authors = 30;
+  size_t num_papers = 60;
+  size_t num_venues = 5;
+  /// Average authors per paper (1..2*avg).
+  double avg_authors_per_paper = 2.0;
+  /// Average citations per paper, Zipf-distributed over targets.
+  double avg_citations_per_paper = 3.0;
+  uint64_t seed = 7;
+};
+
+/// The conceptual schema: AUTHOR, PAPER, VENUE; WRITES (AUTHOR N:M PAPER),
+/// PUBLISHED_IN (VENUE 1:N PAPER), CITES (PAPER N:M PAPER).
+ERSchema BibliographyErSchema();
+
+Result<GeneratedDataset> GenerateBibliographyDataset(
+    const BibliographyGenOptions& options = {});
+
+}  // namespace claks
+
+#endif  // CLAKS_DATASETS_BIBLIOGRAPHY_H_

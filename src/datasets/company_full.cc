@@ -1,0 +1,330 @@
+// Copyright 2026 The claks Authors.
+
+#include "datasets/company_full.h"
+
+#include <set>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace claks {
+
+namespace {
+
+const char* kTopics[] = {"xml",      "databases", "retrieval", "networks",
+                         "security", "graphics",  "robotics",  "semantics"};
+const char* kSurnames[] = {"Smith", "Wong",  "Zelaya", "Wallace",
+                           "Narayan", "English", "Jabbar", "Borg"};
+const char* kGivenNames[] = {"John",  "Franklin", "Alicia", "Jennifer",
+                             "Ramesh", "Joyce",   "Ahmad",  "James"};
+const char* kCities[] = {"houston", "stafford", "bellaire", "sugarland",
+                         "tampere", "helsinki"};
+
+}  // namespace
+
+ERSchema CompanyFullErSchema() {
+  ERSchema er;
+
+  EntityType department;
+  department.name = "DEPARTMENT";
+  department.attributes = {
+      {"DNUMBER", ValueType::kString, true, false},
+      {"DNAME", ValueType::kString, false, true},
+      {"D_DESCRIPTION", ValueType::kString, false, true},
+  };
+  CLAKS_CHECK(er.AddEntityType(department).ok());
+
+  EntityType employee;
+  employee.name = "EMPLOYEE";
+  employee.attributes = {
+      {"SSN", ValueType::kString, true, false},
+      {"FNAME", ValueType::kString, false, true},
+      {"LNAME", ValueType::kString, false, true},
+      {"SALARY", ValueType::kInt64, false, false, true},
+  };
+  CLAKS_CHECK(er.AddEntityType(employee).ok());
+
+  EntityType project;
+  project.name = "PROJECT";
+  project.attributes = {
+      {"PNUMBER", ValueType::kString, true, false},
+      {"PNAME", ValueType::kString, false, true},
+      {"P_DESCRIPTION", ValueType::kString, false, true},
+  };
+  CLAKS_CHECK(er.AddEntityType(project).ok());
+
+  EntityType dependent;
+  dependent.name = "DEPENDENT";
+  dependent.attributes = {
+      {"ID", ValueType::kString, true, false},
+      {"DEPENDENT_NAME", ValueType::kString, false, true},
+      {"RELATIONSHIP", ValueType::kString, false, true},
+  };
+  CLAKS_CHECK(er.AddEntityType(dependent).ok());
+
+  EntityType location;
+  location.name = "LOCATION";
+  location.attributes = {
+      {"ID", ValueType::kString, true, false},
+      {"CITY", ValueType::kString, false, true},
+  };
+  CLAKS_CHECK(er.AddEntityType(location).ok());
+
+  ErAttribute hours;
+  hours.name = "HOURS";
+  hours.type = ValueType::kInt64;
+  hours.searchable = false;
+
+  CLAKS_CHECK(
+      er.AddRelationship("WORKS_FOR", "DEPARTMENT", "1:N", "EMPLOYEE").ok());
+  CLAKS_CHECK(
+      er.AddRelationship("WORKS_ON", "PROJECT", "N:M", "EMPLOYEE", {hours})
+          .ok());
+  CLAKS_CHECK(
+      er.AddRelationship("CONTROLS", "DEPARTMENT", "1:N", "PROJECT").ok());
+  CLAKS_CHECK(
+      er.AddRelationship("DEPENDENTS_OF", "EMPLOYEE", "1:N", "DEPENDENT")
+          .ok());
+  CLAKS_CHECK(
+      er.AddRelationship("MANAGES", "EMPLOYEE", "1:1", "DEPARTMENT").ok());
+  CLAKS_CHECK(
+      er.AddRelationship("SUPERVISES", "EMPLOYEE", "1:N", "EMPLOYEE").ok());
+  CLAKS_CHECK(
+      er.AddRelationship("LOCATED_AT", "DEPARTMENT", "N:M", "LOCATION")
+          .ok());
+  return er;
+}
+
+Result<GeneratedDataset> GenerateCompanyFullDataset(
+    const CompanyFullOptions& options) {
+  GeneratedDataset out;
+  out.er_schema = CompanyFullErSchema();
+
+  // Hand-built relational schema: the generic generator cannot emit the
+  // self 1:N (SUPERVISES), so every table is declared explicitly, with the
+  // mapping alongside.
+  auto db = std::make_unique<Database>();
+
+  CLAKS_RETURN_NOT_OK(
+      db->AddTable(TableSchema(
+                       "DEPARTMENT",
+                       {{"DNUMBER", ValueType::kString, false, false},
+                        {"DNAME", ValueType::kString, false, true},
+                        {"D_DESCRIPTION", ValueType::kString, false, true},
+                        {"MGR_SSN", ValueType::kString, true, false}},
+                       {"DNUMBER"},
+                       {{"MANAGES", {"MGR_SSN"}, "EMPLOYEE", {"SSN"}}}))
+          .status());
+  CLAKS_RETURN_NOT_OK(
+      db->AddTable(TableSchema(
+                       "EMPLOYEE",
+                       {{"SSN", ValueType::kString, false, false},
+                        {"FNAME", ValueType::kString, false, true},
+                        {"LNAME", ValueType::kString, false, true},
+                        {"SALARY", ValueType::kInt64, true, false},
+                        {"DNO", ValueType::kString, false, false},
+                        {"SUPER_SSN", ValueType::kString, true, false}},
+                       {"SSN"},
+                       {{"WORKS_FOR", {"DNO"}, "DEPARTMENT", {"DNUMBER"}},
+                        {"SUPERVISES", {"SUPER_SSN"}, "EMPLOYEE", {"SSN"}}}))
+          .status());
+  CLAKS_RETURN_NOT_OK(
+      db->AddTable(TableSchema(
+                       "PROJECT",
+                       {{"PNUMBER", ValueType::kString, false, false},
+                        {"PNAME", ValueType::kString, false, true},
+                        {"P_DESCRIPTION", ValueType::kString, false, true},
+                        {"DNUM", ValueType::kString, false, false}},
+                       {"PNUMBER"},
+                       {{"CONTROLS", {"DNUM"}, "DEPARTMENT", {"DNUMBER"}}}))
+          .status());
+  CLAKS_RETURN_NOT_OK(
+      db->AddTable(TableSchema(
+                       "WORKS_ON",
+                       {{"ESSN", ValueType::kString, false, false},
+                        {"PNO", ValueType::kString, false, false},
+                        {"HOURS", ValueType::kInt64, false, false}},
+                       {"ESSN", "PNO"},
+                       {{"WORKS_ON_E", {"ESSN"}, "EMPLOYEE", {"SSN"}},
+                        {"WORKS_ON_P", {"PNO"}, "PROJECT", {"PNUMBER"}}}))
+          .status());
+  CLAKS_RETURN_NOT_OK(
+      db->AddTable(
+            TableSchema(
+                "DEPENDENT",
+                {{"ID", ValueType::kString, false, false},
+                 {"ESSN", ValueType::kString, false, false},
+                 {"DEPENDENT_NAME", ValueType::kString, false, true},
+                 {"RELATIONSHIP", ValueType::kString, false, true}},
+                {"ID"},
+                {{"DEPENDENTS_OF", {"ESSN"}, "EMPLOYEE", {"SSN"}}}))
+          .status());
+  CLAKS_RETURN_NOT_OK(
+      db->AddTable(TableSchema(
+                       "LOCATION",
+                       {{"ID", ValueType::kString, false, false},
+                        {"CITY", ValueType::kString, false, true}},
+                       {"ID"}))
+          .status());
+  CLAKS_RETURN_NOT_OK(
+      db->AddTable(TableSchema(
+                       "DEPT_LOCATIONS",
+                       {{"DNUMBER", ValueType::kString, false, false},
+                        {"LID", ValueType::kString, false, false}},
+                       {"DNUMBER", "LID"},
+                       {{"LOC_D", {"DNUMBER"}, "DEPARTMENT", {"DNUMBER"}},
+                        {"LOC_L", {"LID"}, "LOCATION", {"ID"}}}))
+          .status());
+
+  // Mapping.
+  out.mapping.tables["DEPARTMENT"] = TableErInfo{false, "DEPARTMENT"};
+  out.mapping.tables["EMPLOYEE"] = TableErInfo{false, "EMPLOYEE"};
+  out.mapping.tables["PROJECT"] = TableErInfo{false, "PROJECT"};
+  out.mapping.tables["DEPENDENT"] = TableErInfo{false, "DEPENDENT"};
+  out.mapping.tables["LOCATION"] = TableErInfo{false, "LOCATION"};
+  out.mapping.tables["WORKS_ON"] = TableErInfo{true, "WORKS_ON"};
+  out.mapping.tables["DEPT_LOCATIONS"] = TableErInfo{true, "LOCATED_AT"};
+  // DEPARTMENT.MGR_SSN -> EMPLOYEE: MANAGES, EMPLOYEE is left.
+  out.mapping.foreign_keys[{"DEPARTMENT", 0}] = FkErInfo{"MANAGES", true};
+  // EMPLOYEE.DNO -> DEPARTMENT: WORKS_FOR, DEPARTMENT is left.
+  out.mapping.foreign_keys[{"EMPLOYEE", 0}] = FkErInfo{"WORKS_FOR", true};
+  // EMPLOYEE.SUPER_SSN -> EMPLOYEE: SUPERVISES, supervisor is left.
+  out.mapping.foreign_keys[{"EMPLOYEE", 1}] = FkErInfo{"SUPERVISES", true};
+  // PROJECT.DNUM -> DEPARTMENT: CONTROLS, DEPARTMENT is left.
+  out.mapping.foreign_keys[{"PROJECT", 0}] = FkErInfo{"CONTROLS", true};
+  // WORKS_ON middle: fk0 -> EMPLOYEE (right), fk1 -> PROJECT (left).
+  out.mapping.foreign_keys[{"WORKS_ON", 0}] = FkErInfo{"WORKS_ON", false};
+  out.mapping.foreign_keys[{"WORKS_ON", 1}] = FkErInfo{"WORKS_ON", true};
+  out.mapping.foreign_keys[{"DEPENDENT", 0}] =
+      FkErInfo{"DEPENDENTS_OF", true};
+  // DEPT_LOCATIONS middle: fk0 -> DEPARTMENT (left), fk1 -> LOCATION
+  // (right).
+  out.mapping.foreign_keys[{"DEPT_LOCATIONS", 0}] =
+      FkErInfo{"LOCATED_AT", true};
+  out.mapping.foreign_keys[{"DEPT_LOCATIONS", 1}] =
+      FkErInfo{"LOCATED_AT", false};
+
+  // --- Instance ------------------------------------------------------------
+  Rng rng(options.seed);
+  auto s = [](std::string text) { return Value::String(std::move(text)); };
+
+  Table* dept = db->FindMutableTable("DEPARTMENT");
+  Table* emp = db->FindMutableTable("EMPLOYEE");
+  Table* proj = db->FindMutableTable("PROJECT");
+  Table* works_on = db->FindMutableTable("WORKS_ON");
+  Table* dependent = db->FindMutableTable("DEPENDENT");
+  Table* location = db->FindMutableTable("LOCATION");
+  Table* dept_loc = db->FindMutableTable("DEPT_LOCATIONS");
+
+  // Departments (managers patched in after employees exist: MGR_SSN is
+  // nullable, so insert NULL first and rebuild later is unnecessary — we
+  // insert departments after employees instead; but employees need DNO.
+  // Standard bootstrap: departments first with NULL manager, employees
+  // second, then a second pass is impossible (tables are append-only), so
+  // managers are chosen deterministically as the first employee id of the
+  // department, which is known in advance from the id scheme.)
+  size_t employee_counter = 0;
+  for (size_t d = 0; d < options.num_departments; ++d) {
+    std::string topic1 = kTopics[rng.Index(std::size(kTopics))];
+    std::string topic2 = kTopics[rng.Index(std::size(kTopics))];
+    // First employee of department d gets SSN "e<counter+1>".
+    std::string mgr =
+        StrFormat("e%zu", d * options.employees_per_department + 1);
+    CLAKS_RETURN_NOT_OK(
+        dept->InsertValues({s(StrFormat("d%zu", d + 1)),
+                            s(StrFormat("dept%zu", d + 1)),
+                            s("research on " + topic1 + " and " + topic2),
+                            options.employees_per_department > 0
+                                ? s(mgr)
+                                : Value::Null()})
+            .status());
+  }
+
+  size_t dependent_counter = 0;
+  for (size_t d = 0; d < options.num_departments; ++d) {
+    std::string dno = StrFormat("d%zu", d + 1);
+    std::string first_in_dept;
+    for (size_t e = 0; e < options.employees_per_department; ++e) {
+      std::string ssn = StrFormat("e%zu", ++employee_counter);
+      if (e == 0) first_in_dept = ssn;
+      // The department's first employee (its manager) has no supervisor;
+      // everyone else is supervised by the manager.
+      Value supervisor = e == 0 ? Value::Null() : Value::String(first_in_dept);
+      CLAKS_RETURN_NOT_OK(
+          emp->InsertValues(
+                 {s(ssn), s(kGivenNames[rng.Index(std::size(kGivenNames))]),
+                  s(kSurnames[rng.Index(std::size(kSurnames))]),
+                  Value::Int64(30000 + 1000 * rng.Uniform(0, 40)), s(dno),
+                  std::move(supervisor)})
+              .status());
+      if (rng.Bernoulli(options.dependent_probability)) {
+        CLAKS_RETURN_NOT_OK(
+            dependent
+                ->InsertValues(
+                    {s(StrFormat("t%zu", ++dependent_counter)), s(ssn),
+                     s(kGivenNames[rng.Index(std::size(kGivenNames))]),
+                     s(rng.Bernoulli(0.5) ? "spouse" : "child")})
+                .status());
+      }
+    }
+  }
+
+  size_t project_counter = 0;
+  std::vector<std::string> project_ids;
+  for (size_t d = 0; d < options.num_departments; ++d) {
+    for (size_t p = 0; p < options.projects_per_department; ++p) {
+      std::string id = StrFormat("p%zu", ++project_counter);
+      CLAKS_RETURN_NOT_OK(
+          proj->InsertValues(
+                  {s(id), s(StrFormat("project-%zu", project_counter)),
+                   s(std::string("builds ") +
+                     kTopics[rng.Index(std::size(kTopics))]),
+                   s(StrFormat("d%zu", d + 1))})
+              .status());
+      project_ids.push_back(id);
+    }
+  }
+
+  size_t max_assignments = static_cast<size_t>(
+      2.0 * options.avg_assignments_per_employee + 0.5);
+  for (size_t e = 1; e <= employee_counter && !project_ids.empty(); ++e) {
+    size_t count =
+        max_assignments == 0 ? 0 : rng.Index(max_assignments + 1);
+    std::set<std::string> joined;
+    for (size_t k = 0; k < count; ++k) {
+      const std::string& pid = project_ids[rng.Index(project_ids.size())];
+      if (!joined.insert(pid).second) continue;
+      CLAKS_RETURN_NOT_OK(
+          works_on
+              ->InsertValues({s(StrFormat("e%zu", e)), s(pid),
+                              Value::Int64(rng.Uniform(5, 40))})
+              .status());
+    }
+  }
+
+  size_t location_counter = 0;
+  for (size_t c = 0; c < std::size(kCities); ++c) {
+    CLAKS_RETURN_NOT_OK(
+        location
+            ->InsertValues(
+                {s(StrFormat("l%zu", ++location_counter)), s(kCities[c])})
+            .status());
+  }
+  for (size_t d = 0; d < options.num_departments; ++d) {
+    std::set<std::string> chosen;
+    for (size_t k = 0; k < options.locations_per_department; ++k) {
+      std::string lid = StrFormat("l%zu", 1 + rng.Index(location_counter));
+      if (!chosen.insert(lid).second) continue;
+      CLAKS_RETURN_NOT_OK(
+          dept_loc->InsertValues({s(StrFormat("d%zu", d + 1)), s(lid)})
+              .status());
+    }
+  }
+
+  CLAKS_RETURN_NOT_OK(db->CheckReferentialIntegrity());
+  out.db = std::move(db);
+  return out;
+}
+
+}  // namespace claks

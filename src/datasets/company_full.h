@@ -1,0 +1,42 @@
+// Copyright 2026 The claks Authors.
+//
+// The *full* COMPANY schema of Elmasri & Navathe (the paper's Figure 1 is
+// "a fragment from [3]"): adds the MANAGES 1:1 relationship
+// (EMPLOYEE-DEPARTMENT), the SUPERVISES self 1:N relationship
+// (EMPLOYEE-EMPLOYEE) and department locations. These exercise cardinality
+// cases the fragment cannot: 1:1 steps (which count toward either side of
+// the functionality test) and self-relationships.
+
+#ifndef CLAKS_DATASETS_COMPANY_FULL_H_
+#define CLAKS_DATASETS_COMPANY_FULL_H_
+
+#include "datasets/company_gen.h"
+
+namespace claks {
+
+struct CompanyFullOptions {
+  size_t num_departments = 4;
+  size_t employees_per_department = 8;
+  size_t projects_per_department = 3;
+  size_t locations_per_department = 2;
+  double avg_assignments_per_employee = 1.5;
+  double dependent_probability = 0.25;
+  uint64_t seed = 5;
+};
+
+/// ER schema: DEPARTMENT, EMPLOYEE, PROJECT, DEPENDENT, LOCATION;
+/// WORKS_FOR (1:N), WORKS_ON (N:M, HOURS), CONTROLS (1:N), DEPENDENTS_OF
+/// (1:N), MANAGES (EMPLOYEE 1:1 DEPARTMENT), SUPERVISES (EMPLOYEE 1:N
+/// EMPLOYEE), LOCATED_AT (DEPARTMENT N:M LOCATION).
+ERSchema CompanyFullErSchema();
+
+/// Builds schema + deterministic instance + mapping. The SUPERVISES
+/// relationship is materialised as a nullable self-FK (SUPER_SSN) and
+/// MANAGES as a unique FK on DEPARTMENT, both entered into the mapping by
+/// hand (the generic ER->relational generator does not emit self 1:N).
+Result<GeneratedDataset> GenerateCompanyFullDataset(
+    const CompanyFullOptions& options = {});
+
+}  // namespace claks
+
+#endif  // CLAKS_DATASETS_COMPANY_FULL_H_

@@ -1,0 +1,198 @@
+// Copyright 2026 The claks Authors.
+
+#include "datasets/company_gen.h"
+
+#include <set>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace claks {
+
+namespace {
+
+const char* kTopics[] = {"xml",       "databases",   "retrieval",
+                         "networks",  "compilers",   "graphics",
+                         "security",  "statistics",  "robotics",
+                         "semantics", "indexing",    "ranking"};
+const char* kSurnames[] = {"Smith",  "Miller", "Walker", "Johnson",
+                           "Virtanen", "Korhonen", "Nieminen", "Laine",
+                           "Garcia", "Kim",    "Chen",   "Novak"};
+const char* kGivenNames[] = {"John",  "Barbara", "Melina", "Alice",
+                             "Theodore", "Maria",  "Juha",   "Anna",
+                             "Pekka", "Liisa",   "Igor",   "Wei"};
+
+std::string TopicSentence(Rng* rng, size_t words) {
+  std::string out = "research on";
+  for (size_t i = 0; i < words; ++i) {
+    out += " ";
+    out += kTopics[rng->Index(std::size(kTopics))];
+  }
+  return out;
+}
+
+ERSchema CompanyGenErSchema() {
+  ERSchema er;
+  EntityType department;
+  department.name = "DEPARTMENT";
+  department.attributes = {
+      {"ID", ValueType::kString, true, false},
+      {"D_NAME", ValueType::kString, false, true},
+      {"D_DESCRIPTION", ValueType::kString, false, true},
+  };
+  CLAKS_CHECK(er.AddEntityType(department).ok());
+
+  EntityType employee;
+  employee.name = "EMPLOYEE";
+  employee.attributes = {
+      {"SSN", ValueType::kString, true, false},
+      {"L_NAME", ValueType::kString, false, true},
+      {"S_NAME", ValueType::kString, false, true},
+  };
+  CLAKS_CHECK(er.AddEntityType(employee).ok());
+
+  EntityType dependent;
+  dependent.name = "DEPENDENT";
+  dependent.attributes = {
+      {"ID", ValueType::kString, true, false},
+      {"DEPENDENT_NAME", ValueType::kString, false, true},
+  };
+  CLAKS_CHECK(er.AddEntityType(dependent).ok());
+
+  EntityType project;
+  project.name = "PROJECT";
+  project.attributes = {
+      {"ID", ValueType::kString, true, false},
+      {"P_NAME", ValueType::kString, false, true},
+      {"P_DESCRIPTION", ValueType::kString, false, true},
+  };
+  CLAKS_CHECK(er.AddEntityType(project).ok());
+
+  ErAttribute hours;
+  hours.name = "HOURS";
+  hours.type = ValueType::kInt64;
+  hours.searchable = false;
+  CLAKS_CHECK(
+      er.AddRelationship("WORKS_FOR", "DEPARTMENT", "1:N", "EMPLOYEE").ok());
+  CLAKS_CHECK(
+      er.AddRelationship("WORKS_ON", "PROJECT", "N:M", "EMPLOYEE", {hours})
+          .ok());
+  CLAKS_CHECK(
+      er.AddRelationship("CONTROLS", "DEPARTMENT", "1:N", "PROJECT").ok());
+  CLAKS_CHECK(
+      er.AddRelationship("DEPENDENTS_OF", "EMPLOYEE", "1:N", "DEPENDENT")
+          .ok());
+  return er;
+}
+
+}  // namespace
+
+Result<GeneratedDataset> GenerateCompanyDataset(
+    const CompanyGenOptions& options) {
+  GeneratedDataset out;
+  out.er_schema = CompanyGenErSchema();
+  CLAKS_ASSIGN_OR_RETURN(GeneratedRelationalSchema generated,
+                         GenerateRelationalSchema(out.er_schema));
+  out.mapping = std::move(generated.mapping);
+  out.db = std::make_unique<Database>();
+  for (TableSchema& schema : generated.tables) {
+    CLAKS_RETURN_NOT_OK(out.db->AddTable(std::move(schema)).status());
+  }
+
+  Table* dept = out.db->FindMutableTable("DEPARTMENT");
+  Table* emp = out.db->FindMutableTable("EMPLOYEE");
+  Table* dependent = out.db->FindMutableTable("DEPENDENT");
+  Table* proj = out.db->FindMutableTable("PROJECT");
+  Table* works_on = out.db->FindMutableTable("WORKS_ON");
+  CLAKS_CHECK(dept != nullptr && emp != nullptr && dependent != nullptr &&
+              proj != nullptr && works_on != nullptr);
+
+  Rng rng(options.seed);
+  auto s = [](std::string text) { return Value::String(std::move(text)); };
+
+  std::vector<std::string> dept_ids;
+  std::vector<std::string> project_ids;
+  std::vector<std::string> employee_ids;
+
+  for (size_t d = 0; d < options.num_departments; ++d) {
+    std::string id = StrFormat("d%zu", d + 1);
+    CLAKS_RETURN_NOT_OK(
+        dept->InsertValues({s(id), s(StrFormat("dept%zu", d + 1)),
+                            s(TopicSentence(&rng, 3))})
+            .status());
+    dept_ids.push_back(id);
+  }
+
+  size_t project_counter = 0;
+  std::vector<std::string> project_dept;
+  for (const std::string& dept_id : dept_ids) {
+    for (size_t p = 0; p < options.projects_per_department; ++p) {
+      std::string id = StrFormat("p%zu", ++project_counter);
+      CLAKS_RETURN_NOT_OK(
+          proj->InsertValues({s(id),
+                              s(StrFormat("project-%zu", project_counter)),
+                              s(TopicSentence(&rng, 4)), s(dept_id)})
+              .status());
+      project_ids.push_back(id);
+      project_dept.push_back(dept_id);
+    }
+  }
+
+  size_t employee_counter = 0;
+  size_t dependent_counter = 0;
+  for (const std::string& dept_id : dept_ids) {
+    for (size_t e = 0; e < options.employees_per_department; ++e) {
+      std::string ssn = StrFormat("e%zu", ++employee_counter);
+      CLAKS_RETURN_NOT_OK(
+          emp->InsertValues(
+                 {s(ssn), s(kSurnames[rng.Index(std::size(kSurnames))]),
+                  s(kGivenNames[rng.Index(std::size(kGivenNames))]),
+                  s(dept_id)})
+              .status());
+      employee_ids.push_back(ssn);
+
+      if (rng.Bernoulli(options.dependent_probability)) {
+        size_t count = 1 + rng.Index(3);
+        for (size_t k = 0; k < count; ++k) {
+          CLAKS_RETURN_NOT_OK(
+              dependent
+                  ->InsertValues(
+                      {s(StrFormat("t%zu", ++dependent_counter)),
+                       s(kGivenNames[rng.Index(std::size(kGivenNames))]),
+                       s(ssn)})
+                  .status());
+        }
+      }
+    }
+  }
+
+  // Works-on assignments: each employee joins up to 2*avg projects,
+  // preferring projects of a random department (clustered collaboration).
+  if (!project_ids.empty()) {
+    size_t max_assignments = static_cast<size_t>(
+        2.0 * options.avg_assignments_per_employee + 0.5);
+    for (const std::string& ssn : employee_ids) {
+      size_t count = max_assignments == 0
+                         ? 0
+                         : static_cast<size_t>(
+                               rng.Uniform(0, static_cast<int64_t>(
+                                                  max_assignments)));
+      std::set<std::string> joined;
+      for (size_t k = 0; k < count; ++k) {
+        const std::string& pid = project_ids[rng.Index(project_ids.size())];
+        if (!joined.insert(pid).second) continue;
+        CLAKS_RETURN_NOT_OK(
+            works_on
+                ->InsertValues({s(pid), s(ssn),
+                                Value::Int64(rng.Uniform(5, 60))})
+                .status());
+      }
+    }
+  }
+
+  CLAKS_RETURN_NOT_OK(out.db->CheckReferentialIntegrity());
+  return out;
+}
+
+}  // namespace claks

@@ -1,0 +1,249 @@
+// Copyright 2026 The claks Authors.
+
+#include "datasets/company_paper.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace claks {
+
+ERSchema CompanyPaperErSchema() {
+  ERSchema er;
+
+  EntityType department;
+  department.name = "DEPARTMENT";
+  department.attributes = {
+      {"ID", ValueType::kString, /*is_key=*/true, /*searchable=*/false},
+      {"D_NAME", ValueType::kString, false, true},
+      {"D_DESCRIPTION", ValueType::kString, false, true},
+  };
+  CLAKS_CHECK(er.AddEntityType(department).ok());
+
+  EntityType employee;
+  employee.name = "EMPLOYEE";
+  employee.attributes = {
+      {"SSN", ValueType::kString, true, false},
+      {"L_NAME", ValueType::kString, false, true},
+      {"S_NAME", ValueType::kString, false, true},
+  };
+  CLAKS_CHECK(er.AddEntityType(employee).ok());
+
+  EntityType dependent;
+  dependent.name = "DEPENDENT";
+  dependent.attributes = {
+      {"ID", ValueType::kString, true, false},
+      {"DEPENDENT_NAME", ValueType::kString, false, true},
+  };
+  CLAKS_CHECK(er.AddEntityType(dependent).ok());
+
+  EntityType project;
+  project.name = "PROJECT";
+  project.attributes = {
+      {"ID", ValueType::kString, true, false},
+      {"P_NAME", ValueType::kString, false, true},
+      {"P_DESCRIPTION", ValueType::kString, false, true},
+  };
+  CLAKS_CHECK(er.AddEntityType(project).ok());
+
+  // Figure 1's four relationships.
+  CLAKS_CHECK(
+      er.AddRelationship("WORKS_FOR", "DEPARTMENT", "1:N", "EMPLOYEE").ok());
+  ErAttribute hours;
+  hours.name = "HOURS";
+  hours.type = ValueType::kInt64;
+  hours.searchable = false;
+  CLAKS_CHECK(
+      er.AddRelationship("WORKS_ON", "PROJECT", "N:M", "EMPLOYEE", {hours})
+          .ok());
+  CLAKS_CHECK(
+      er.AddRelationship("CONTROLS", "DEPARTMENT", "1:N", "PROJECT").ok());
+  CLAKS_CHECK(
+      er.AddRelationship("DEPENDENTS_OF", "EMPLOYEE", "1:N", "DEPENDENT")
+          .ok());
+  return er;
+}
+
+namespace {
+
+Result<std::unique_ptr<Database>> BuildInstance() {
+  auto db = std::make_unique<Database>();
+
+  TableSchema department(
+      "DEPARTMENT",
+      {{"ID", ValueType::kString, false, false},
+       {"D_NAME", ValueType::kString, false, true},
+       {"D_DESCRIPTION", ValueType::kString, false, true}},
+      {"ID"});
+  CLAKS_ASSIGN_OR_RETURN(Table * dept, db->AddTable(department));
+
+  TableSchema project(
+      "PROJECT",
+      {{"ID", ValueType::kString, false, false},
+       {"D_ID", ValueType::kString, false, false},
+       {"P_NAME", ValueType::kString, false, true},
+       {"P_DESCRIPTION", ValueType::kString, false, true}},
+      {"ID"},
+      {{"CONTROLS", {"D_ID"}, "DEPARTMENT", {"ID"}}});
+  CLAKS_ASSIGN_OR_RETURN(Table * proj, db->AddTable(project));
+
+  TableSchema works_for(
+      "WORKS_FOR",
+      {{"ESSN", ValueType::kString, false, false},
+       {"P_ID", ValueType::kString, false, false},
+       {"HOURS", ValueType::kInt64, false, false}},
+      {"ESSN", "P_ID"},
+      {{"WORKS_ON_EMPLOYEE", {"ESSN"}, "EMPLOYEE", {"SSN"}},
+       {"WORKS_ON_PROJECT", {"P_ID"}, "PROJECT", {"ID"}}});
+  CLAKS_ASSIGN_OR_RETURN(Table * wf, db->AddTable(works_for));
+
+  TableSchema employee(
+      "EMPLOYEE",
+      {{"SSN", ValueType::kString, false, false},
+       {"L_NAME", ValueType::kString, false, true},
+       {"S_NAME", ValueType::kString, false, true},
+       {"D_ID", ValueType::kString, false, false}},
+      {"SSN"},
+      {{"WORKS_FOR", {"D_ID"}, "DEPARTMENT", {"ID"}}});
+  CLAKS_ASSIGN_OR_RETURN(Table * emp, db->AddTable(employee));
+
+  TableSchema dependent(
+      "DEPENDENT",
+      {{"ID", ValueType::kString, false, false},
+       {"ESSN", ValueType::kString, false, false},
+       {"DEPENDENT_NAME", ValueType::kString, false, true}},
+      {"ID"},
+      {{"DEPENDENTS_OF", {"ESSN"}, "EMPLOYEE", {"SSN"}}});
+  CLAKS_ASSIGN_OR_RETURN(Table * dep, db->AddTable(dependent));
+
+  auto s = [](const char* text) { return Value::String(text); };
+  auto n = [](int64_t v) { return Value::Int64(v); };
+
+  // Figure 2 instance, verbatim.
+  CLAKS_RETURN_NOT_OK(
+      dept->InsertValues({s("d1"), s("Cs"),
+                          s("The main topics of teaching are programming, "
+                            "databases and XML.")})
+          .status());
+  CLAKS_RETURN_NOT_OK(
+      dept->InsertValues({s("d2"), s("inf"),
+                          s("The main topics of teaching are information "
+                            "retrieval and XML.")})
+          .status());
+  CLAKS_RETURN_NOT_OK(
+      dept->InsertValues({s("d3"), s("history"),
+                          s("The main topics of teaching are history of "
+                            "Scandinavian.")})
+          .status());
+
+  CLAKS_RETURN_NOT_OK(
+      proj->InsertValues({s("p1"), s("d1"), s("DB-project"),
+                          s("Different data models are integrated, such as "
+                            "relational, object and XML")})
+          .status());
+  CLAKS_RETURN_NOT_OK(
+      proj->InsertValues({s("p2"), s("d2"), s("XML and IR"),
+                          s("XML offers a notation for structured "
+                            "documents.")})
+          .status());
+  CLAKS_RETURN_NOT_OK(
+      proj->InsertValues(
+              {s("p3"), s("d2"), s("IR task"),
+               s("Task based information retrieval")})
+          .status());
+
+  CLAKS_RETURN_NOT_OK(
+      wf->InsertValues({s("e1"), s("p1"), n(40)}).status());
+  CLAKS_RETURN_NOT_OK(
+      wf->InsertValues({s("e2"), s("p3"), n(56)}).status());
+  CLAKS_RETURN_NOT_OK(
+      wf->InsertValues({s("e3"), s("p2"), n(70)}).status());
+  CLAKS_RETURN_NOT_OK(
+      wf->InsertValues({s("e4"), s("p3"), n(60)}).status());
+
+  CLAKS_RETURN_NOT_OK(
+      emp->InsertValues({s("e1"), s("Smith"), s("John"), s("d1")}).status());
+  CLAKS_RETURN_NOT_OK(
+      emp->InsertValues({s("e2"), s("Smith"), s("Barbara"), s("d2")})
+          .status());
+  CLAKS_RETURN_NOT_OK(
+      emp->InsertValues({s("e3"), s("Miller"), s("Melina"), s("d1")})
+          .status());
+  CLAKS_RETURN_NOT_OK(
+      emp->InsertValues({s("e4"), s("Walker"), s("John"), s("d2")})
+          .status());
+
+  CLAKS_RETURN_NOT_OK(
+      dep->InsertValues({s("t1"), s("e3"), s("Alice")}).status());
+  CLAKS_RETURN_NOT_OK(
+      dep->InsertValues({s("t2"), s("e3"), s("Theodore")}).status());
+
+  CLAKS_RETURN_NOT_OK(db->CheckReferentialIntegrity());
+  return db;
+}
+
+ErRelationalMapping BuildMapping() {
+  ErRelationalMapping mapping;
+  mapping.tables["DEPARTMENT"] = TableErInfo{false, "DEPARTMENT"};
+  mapping.tables["EMPLOYEE"] = TableErInfo{false, "EMPLOYEE"};
+  mapping.tables["DEPENDENT"] = TableErInfo{false, "DEPENDENT"};
+  mapping.tables["PROJECT"] = TableErInfo{false, "PROJECT"};
+  mapping.tables["WORKS_FOR"] = TableErInfo{true, "WORKS_ON"};
+
+  // EMPLOYEE.D_ID implements WORKS_FOR; the FK points at DEPARTMENT, the
+  // relationship's left entity.
+  mapping.foreign_keys[{"EMPLOYEE", 0}] = FkErInfo{"WORKS_FOR", true};
+  // PROJECT.D_ID implements CONTROLS (DEPARTMENT is left).
+  mapping.foreign_keys[{"PROJECT", 0}] = FkErInfo{"CONTROLS", true};
+  // DEPENDENT.ESSN implements DEPENDENTS_OF (EMPLOYEE is left).
+  mapping.foreign_keys[{"DEPENDENT", 0}] = FkErInfo{"DEPENDENTS_OF", true};
+  // WORKS_FOR (the middle relation) implements WORKS_ON: PROJECT (left)
+  // N:M EMPLOYEE (right). FK 0 is ESSN -> EMPLOYEE (right), FK 1 is
+  // P_ID -> PROJECT (left).
+  mapping.foreign_keys[{"WORKS_FOR", 0}] = FkErInfo{"WORKS_ON", false};
+  mapping.foreign_keys[{"WORKS_FOR", 1}] = FkErInfo{"WORKS_ON", true};
+  return mapping;
+}
+
+}  // namespace
+
+Result<CompanyPaperDataset> BuildCompanyPaperDataset() {
+  CompanyPaperDataset dataset;
+  CLAKS_ASSIGN_OR_RETURN(dataset.db, BuildInstance());
+  dataset.er_schema = CompanyPaperErSchema();
+  dataset.mapping = BuildMapping();
+  return dataset;
+}
+
+TupleId PaperTuple(const Database& db, const std::string& name) {
+  auto find = [&](const char* table, const Row& key) {
+    auto index = db.TableIndex(table);
+    CLAKS_CHECK(index.has_value());
+    auto row = db.table(*index).FindByPrimaryKey(key);
+    CLAKS_CHECK(row.has_value());
+    return TupleId{*index, static_cast<uint32_t>(*row)};
+  };
+  CLAKS_CHECK(!name.empty());
+  if (StartsWith(name, "w_f")) {
+    // w_fN names the N-th row of WORKS_FOR (1-based), matching the paper.
+    size_t row = static_cast<size_t>(std::stoul(name.substr(3))) - 1;
+    auto index = db.TableIndex("WORKS_FOR");
+    CLAKS_CHECK(index.has_value());
+    CLAKS_CHECK_LT(row, db.table(*index).num_rows());
+    return TupleId{*index, static_cast<uint32_t>(row)};
+  }
+  switch (name[0]) {
+    case 'd':
+      return find("DEPARTMENT", {Value::String(name)});
+    case 'p':
+      return find("PROJECT", {Value::String(name)});
+    case 'e':
+      return find("EMPLOYEE", {Value::String(name)});
+    case 't':
+      return find("DEPENDENT", {Value::String(name)});
+    default:
+      CLAKS_CHECK(false);
+  }
+  return TupleId{};
+}
+
+}  // namespace claks

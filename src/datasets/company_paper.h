@@ -1,0 +1,44 @@
+// Copyright 2026 The claks Authors.
+//
+// The paper's running example, reproduced exactly: the ER schema of
+// Figure 1 and the database schema + instance of Figure 2.
+//
+// Naming quirk preserved from the paper: the ER relationship between
+// PROJECT and EMPLOYEE is called WORKS_ON in Figure 1 but its middle
+// relation in Figure 2 is named WORKS_FOR (with attributes ESSN, P_ID,
+// HOURS); the DEPARTMENT-EMPLOYEE relationship WORKS_FOR is implemented by
+// the D_ID foreign key of EMPLOYEE.
+
+#ifndef CLAKS_DATASETS_COMPANY_PAPER_H_
+#define CLAKS_DATASETS_COMPANY_PAPER_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "er/er_to_relational.h"
+#include "relational/database.h"
+
+namespace claks {
+
+/// The paper's full example: database, conceptual schema and mapping.
+struct CompanyPaperDataset {
+  std::unique_ptr<Database> db;
+  ERSchema er_schema;
+  ErRelationalMapping mapping;
+};
+
+/// The ER schema of Figure 1 (with the attributes Figure 2 reveals).
+ERSchema CompanyPaperErSchema();
+
+/// Figure 2: schema and instance (3 departments, 3 projects, 4 works_for
+/// rows, 4 employees, 2 dependents).
+Result<CompanyPaperDataset> BuildCompanyPaperDataset();
+
+/// Convenience lookups into the instance by the paper's tuple names
+/// ("d1".."d3", "p1".."p3", "e1".."e4", "t1".."t2", "w_f1".."w_f4").
+/// CLAKS_CHECKs that the name exists.
+TupleId PaperTuple(const Database& db, const std::string& name);
+
+}  // namespace claks
+
+#endif  // CLAKS_DATASETS_COMPANY_PAPER_H_

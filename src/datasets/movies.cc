@@ -1,0 +1,180 @@
+// Copyright 2026 The claks Authors.
+
+#include "datasets/movies.h"
+
+#include <set>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace claks {
+
+namespace {
+
+const char* kAdjectives[] = {"silent", "dark",  "endless", "golden",
+                             "broken", "hidden", "final",  "northern"};
+const char* kNouns[] = {"river",  "city",   "winter", "promise",
+                        "garden", "signal", "harbor", "empire"};
+const char* kPeople[] = {"Aino",  "Eero",  "Grace", "Marlon", "Ingrid",
+                         "Akira", "Sofia", "Viktor", "Greta",  "Omar"};
+const char* kGenres[] = {"drama",    "comedy", "thriller", "noir",
+                         "western",  "scifi",  "romance",  "documentary"};
+const char* kRoles[] = {"lead", "support", "cameo", "villain", "narrator"};
+
+}  // namespace
+
+ERSchema MoviesErSchema() {
+  ERSchema er;
+
+  EntityType movie;
+  movie.name = "MOVIE";
+  movie.attributes = {
+      {"ID", ValueType::kString, true, false},
+      {"TITLE", ValueType::kString, false, true},
+      {"YEAR", ValueType::kInt64, false, false},
+      {"SYNOPSIS", ValueType::kString, false, true},
+  };
+  CLAKS_CHECK(er.AddEntityType(movie).ok());
+
+  EntityType person;
+  person.name = "PERSON";
+  person.attributes = {
+      {"ID", ValueType::kString, true, false},
+      {"NAME", ValueType::kString, false, true},
+  };
+  CLAKS_CHECK(er.AddEntityType(person).ok());
+
+  EntityType studio;
+  studio.name = "STUDIO";
+  studio.attributes = {
+      {"ID", ValueType::kString, true, false},
+      {"NAME", ValueType::kString, false, true},
+      {"COUNTRY", ValueType::kString, false, true},
+  };
+  CLAKS_CHECK(er.AddEntityType(studio).ok());
+
+  EntityType genre;
+  genre.name = "GENRE";
+  genre.attributes = {
+      {"ID", ValueType::kString, true, false},
+      {"NAME", ValueType::kString, false, true},
+  };
+  CLAKS_CHECK(er.AddEntityType(genre).ok());
+
+  ErAttribute role;
+  role.name = "ROLE";
+  role.type = ValueType::kString;
+  role.searchable = true;
+  CLAKS_CHECK(
+      er.AddRelationship("ACTS_IN", "PERSON", "N:M", "MOVIE", {role}).ok());
+  CLAKS_CHECK(er.AddRelationship("DIRECTS", "PERSON", "1:N", "MOVIE").ok());
+  CLAKS_CHECK(
+      er.AddRelationship("PRODUCED_BY", "STUDIO", "1:N", "MOVIE").ok());
+  CLAKS_CHECK(er.AddRelationship("HAS_GENRE", "GENRE", "N:M", "MOVIE").ok());
+  return er;
+}
+
+Result<GeneratedDataset> GenerateMoviesDataset(
+    const MoviesGenOptions& options) {
+  GeneratedDataset out;
+  out.er_schema = MoviesErSchema();
+  CLAKS_ASSIGN_OR_RETURN(GeneratedRelationalSchema generated,
+                         GenerateRelationalSchema(out.er_schema));
+  out.mapping = std::move(generated.mapping);
+  out.db = std::make_unique<Database>();
+  for (TableSchema& schema : generated.tables) {
+    CLAKS_RETURN_NOT_OK(out.db->AddTable(std::move(schema)).status());
+  }
+
+  Table* movie = out.db->FindMutableTable("MOVIE");
+  Table* person = out.db->FindMutableTable("PERSON");
+  Table* studio = out.db->FindMutableTable("STUDIO");
+  Table* genre = out.db->FindMutableTable("GENRE");
+  Table* acts_in = out.db->FindMutableTable("ACTS_IN");
+  Table* has_genre = out.db->FindMutableTable("HAS_GENRE");
+  CLAKS_CHECK(movie != nullptr && person != nullptr && studio != nullptr &&
+              genre != nullptr && acts_in != nullptr &&
+              has_genre != nullptr);
+
+  Rng rng(options.seed);
+  auto s = [](std::string text) { return Value::String(std::move(text)); };
+
+  for (size_t g = 0; g < options.num_genres; ++g) {
+    CLAKS_RETURN_NOT_OK(
+        genre
+            ->InsertValues({s(StrFormat("g%zu", g + 1)),
+                            s(kGenres[g % std::size(kGenres)])})
+            .status());
+  }
+  for (size_t st = 0; st < options.num_studios; ++st) {
+    CLAKS_RETURN_NOT_OK(
+        studio
+            ->InsertValues({s(StrFormat("s%zu", st + 1)),
+                            s(StrFormat("studio-%zu", st + 1)),
+                            s(st % 2 == 0 ? "finland" : "usa")})
+            .status());
+  }
+  for (size_t p = 0; p < options.num_people; ++p) {
+    CLAKS_RETURN_NOT_OK(
+        person
+            ->InsertValues(
+                {s(StrFormat("per%zu", p + 1)),
+                 s(StrFormat("%s %zu", kPeople[p % std::size(kPeople)],
+                             p + 1))})
+            .status());
+  }
+
+  // MOVIE columns: ID, TITLE, YEAR, SYNOPSIS, then FKs in relationship
+  // declaration order: DIRECTS (PERSON), PRODUCED_BY (STUDIO).
+  for (size_t m = 0; m < options.num_movies; ++m) {
+    std::string title =
+        StrFormat("the %s %s", kAdjectives[rng.Index(std::size(kAdjectives))],
+                  kNouns[rng.Index(std::size(kNouns))]);
+    std::string synopsis =
+        StrFormat("a story of the %s %s",
+                  kAdjectives[rng.Index(std::size(kAdjectives))],
+                  kNouns[rng.Index(std::size(kNouns))]);
+    CLAKS_RETURN_NOT_OK(
+        movie
+            ->InsertValues(
+                {s(StrFormat("m%zu", m + 1)), s(title),
+                 Value::Int64(static_cast<int64_t>(
+                     1960 + rng.Index(65))),
+                 s(synopsis),
+                 s(StrFormat("per%zu", 1 + rng.Index(options.num_people))),
+                 s(StrFormat("s%zu", 1 + rng.Index(options.num_studios)))})
+            .status());
+  }
+
+  size_t max_cast =
+      static_cast<size_t>(2.0 * options.avg_cast_per_movie + 0.5);
+  for (size_t m = 0; m < options.num_movies; ++m) {
+    size_t count = 1 + rng.Index(std::max<size_t>(1, max_cast));
+    std::set<std::string> cast;
+    for (size_t k = 0; k < count; ++k) {
+      std::string pid =
+          StrFormat("per%zu", 1 + rng.Index(options.num_people));
+      if (!cast.insert(pid).second) continue;
+      CLAKS_RETURN_NOT_OK(
+          acts_in
+              ->InsertValues({s(pid), s(StrFormat("m%zu", m + 1)),
+                              s(kRoles[rng.Index(std::size(kRoles))])})
+              .status());
+    }
+    size_t genres = 1 + rng.Index(2);
+    std::set<std::string> chosen;
+    for (size_t k = 0; k < genres; ++k) {
+      std::string gid = StrFormat("g%zu", 1 + rng.Index(options.num_genres));
+      if (!chosen.insert(gid).second) continue;
+      CLAKS_RETURN_NOT_OK(
+          has_genre->InsertValues({s(gid), s(StrFormat("m%zu", m + 1))})
+              .status());
+    }
+  }
+
+  CLAKS_RETURN_NOT_OK(out.db->CheckReferentialIntegrity());
+  return out;
+}
+
+}  // namespace claks

@@ -1,0 +1,33 @@
+// Copyright 2026 The claks Authors.
+//
+// IMDB-style movie dataset: a wider schema (four entity types, two N:M and
+// two 1:N relationships) with a relationship attribute (ROLE on ACTS_IN),
+// used by examples and benchmarks.
+
+#ifndef CLAKS_DATASETS_MOVIES_H_
+#define CLAKS_DATASETS_MOVIES_H_
+
+#include "datasets/company_gen.h"
+
+namespace claks {
+
+struct MoviesGenOptions {
+  size_t num_movies = 40;
+  size_t num_people = 50;
+  size_t num_studios = 6;
+  size_t num_genres = 8;
+  double avg_cast_per_movie = 4.0;
+  uint64_t seed = 11;
+};
+
+/// MOVIE, PERSON, STUDIO, GENRE; ACTS_IN (PERSON N:M MOVIE, ROLE),
+/// DIRECTS (PERSON 1:N MOVIE), PRODUCED_BY (STUDIO 1:N MOVIE),
+/// HAS_GENRE (GENRE N:M MOVIE).
+ERSchema MoviesErSchema();
+
+Result<GeneratedDataset> GenerateMoviesDataset(
+    const MoviesGenOptions& options = {});
+
+}  // namespace claks
+
+#endif  // CLAKS_DATASETS_MOVIES_H_

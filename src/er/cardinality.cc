@@ -1,0 +1,136 @@
+// Copyright 2026 The claks Authors.
+
+#include "er/cardinality.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace claks {
+
+const char* CardinalityToString(Cardinality c) {
+  switch (c) {
+    case Cardinality::kOneOne:
+      return "1:1";
+    case Cardinality::kOneN:
+      return "1:N";
+    case Cardinality::kNOne:
+      return "N:1";
+    case Cardinality::kNM:
+      return "N:M";
+  }
+  return "?";
+}
+
+Result<Cardinality> ParseCardinality(const std::string& text) {
+  std::string t = ToLower(std::string(Trim(text)));
+  auto is_many = [](const std::string& s) { return s == "n" || s == "m"; };
+  auto parts = Split(t, ':');
+  if (parts.size() != 2) {
+    return Status::ParseError("bad cardinality '" + text + "'");
+  }
+  bool left_one = parts[0] == "1";
+  bool right_one = parts[1] == "1";
+  if (!left_one && !is_many(parts[0])) {
+    return Status::ParseError("bad cardinality side '" + parts[0] + "'");
+  }
+  if (!right_one && !is_many(parts[1])) {
+    return Status::ParseError("bad cardinality side '" + parts[1] + "'");
+  }
+  if (left_one && right_one) return Cardinality::kOneOne;
+  if (left_one) return Cardinality::kOneN;
+  if (right_one) return Cardinality::kNOne;
+  return Cardinality::kNM;
+}
+
+Cardinality Inverse(Cardinality c) {
+  switch (c) {
+    case Cardinality::kOneN:
+      return Cardinality::kNOne;
+    case Cardinality::kNOne:
+      return Cardinality::kOneN;
+    case Cardinality::kOneOne:
+    case Cardinality::kNM:
+      return c;
+  }
+  return c;
+}
+
+bool LeftIsOne(Cardinality c) {
+  return c == Cardinality::kOneOne || c == Cardinality::kOneN;
+}
+
+bool RightIsOne(Cardinality c) {
+  return c == Cardinality::kOneOne || c == Cardinality::kNOne;
+}
+
+bool ForwardFunctional(Cardinality c) { return RightIsOne(c); }
+
+bool BackwardFunctional(Cardinality c) { return LeftIsOne(c); }
+
+Cardinality ComposeCardinality(Cardinality a, Cardinality b) {
+  bool forward = ForwardFunctional(a) && ForwardFunctional(b);
+  bool backward = BackwardFunctional(a) && BackwardFunctional(b);
+  if (forward && backward) return Cardinality::kOneOne;
+  if (backward) return Cardinality::kOneN;
+  if (forward) return Cardinality::kNOne;
+  return Cardinality::kNM;
+}
+
+Cardinality ComposeCardinality(const std::vector<Cardinality>& steps) {
+  CLAKS_CHECK(!steps.empty());
+  Cardinality acc = steps[0];
+  for (size_t i = 1; i < steps.size(); ++i) {
+    acc = ComposeCardinality(acc, steps[i]);
+  }
+  return acc;
+}
+
+bool IsFunctionalSequence(const std::vector<Cardinality>& steps) {
+  if (steps.empty()) return true;
+  bool all_left_one = true;
+  bool all_right_one = true;
+  for (Cardinality c : steps) {
+    all_left_one = all_left_one && LeftIsOne(c);
+    all_right_one = all_right_one && RightIsOne(c);
+  }
+  return all_left_one || all_right_one;
+}
+
+bool IsTransitiveNM(const std::vector<Cardinality>& steps) {
+  if (steps.size() < 2) return false;
+  return !LeftIsOne(steps.front()) && !RightIsOne(steps.back());
+}
+
+size_t CountNMSteps(const std::vector<Cardinality>& steps) {
+  size_t count = 0;
+  for (Cardinality c : steps) {
+    if (c == Cardinality::kNM) ++count;
+  }
+  return count;
+}
+
+size_t CountHubPatterns(const std::vector<Cardinality>& steps) {
+  size_t count = 0;
+  for (size_t i = 0; i + 1 < steps.size(); ++i) {
+    if (!LeftIsOne(steps[i]) && RightIsOne(steps[i]) &&
+        LeftIsOne(steps[i + 1]) && !RightIsOne(steps[i + 1])) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t CountLoosePoints(const std::vector<Cardinality>& steps) {
+  return CountNMSteps(steps) + CountHubPatterns(steps);
+}
+
+std::string StepsToString(const std::vector<Cardinality>& steps) {
+  std::string out;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (i > 0) out += " ";
+    out += CardinalityToString(steps[i]);
+  }
+  return out;
+}
+
+}  // namespace claks

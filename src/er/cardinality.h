@@ -1,0 +1,90 @@
+// Copyright 2026 The claks Authors.
+//
+// Cardinality constraints of binary ER relationships and the algebra the
+// paper builds on them (§2): inversion, composition along a chain of
+// relationships, and functionality tests.
+//
+// We write a constraint as X:Y between a *left* and a *right* entity type,
+// paper-style: "DEPARTMENT 1:N EMPLOYEE" means one department relates to
+// many employees and each employee to (at most) one department.
+
+#ifndef CLAKS_ER_CARDINALITY_H_
+#define CLAKS_ER_CARDINALITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace claks {
+
+enum class Cardinality {
+  kOneOne,  ///< 1:1
+  kOneN,    ///< 1:N  (left determines right-side fan-out)
+  kNOne,    ///< N:1
+  kNM,      ///< N:M
+};
+
+/// "1:1", "1:N", "N:1", "N:M".
+const char* CardinalityToString(Cardinality c);
+
+/// Parses the paper's notation (case-insensitive, 'M' and 'N' both accepted
+/// on many-sides: "N:M" == "M:N").
+Result<Cardinality> ParseCardinality(const std::string& text);
+
+/// The same constraint read right-to-left: 1:N <-> N:1.
+Cardinality Inverse(Cardinality c);
+
+/// True iff the left / right side of the constraint is "1".
+bool LeftIsOne(Cardinality c);
+bool RightIsOne(Cardinality c);
+
+/// True iff each left entity relates to at most one right entity
+/// (constraint is N:1 or 1:1) — the relationship is a partial function
+/// left -> right.
+bool ForwardFunctional(Cardinality c);
+
+/// True iff each right entity relates to at most one left entity
+/// (constraint is 1:N or 1:1).
+bool BackwardFunctional(Cardinality c);
+
+/// Endpoint-to-endpoint multiplicity of the chain A -c1- B -c2- C:
+/// functional in a direction iff every step is. E.g. 1:N . 1:N = 1:N,
+/// N:1 . 1:N = N:M, 1:1 . c = c.
+Cardinality ComposeCardinality(Cardinality a, Cardinality b);
+
+/// Folds ComposeCardinality over a whole step sequence. CLAKS_CHECKs that
+/// `steps` is non-empty.
+Cardinality ComposeCardinality(const std::vector<Cardinality>& steps);
+
+/// Paper §2 definition: a transitive relationship with steps X1:Y1..Xn:Yn is
+/// *functional* iff (for all i, Xi = 1) or (for all i, Yi = 1); 1:1 steps
+/// satisfy both sides. Equivalent to: the endpoint composition is not N:M.
+bool IsFunctionalSequence(const std::vector<Cardinality>& steps);
+
+/// Paper §2 definition: the sequence is *transitive N:M* iff X1 != 1 and
+/// Yn != 1 (after at least two steps). Note this is narrower than "endpoint
+/// composition is N:M": e.g. 1:N . N:M composes to N:M but is not
+/// endpoint-N:M because X1 = 1.
+bool IsTransitiveNM(const std::vector<Cardinality>& steps);
+
+/// Number of explicit N:M steps in the sequence.
+size_t CountNMSteps(const std::vector<Cardinality>& steps);
+
+/// Number of N:1 -> 1:N "hub" patterns between consecutive steps: the
+/// middle entity is on the 1-side of both neighbours, so many left entities
+/// meet many right entities through it (paper's relationship 5, PROJECT N:1
+/// DEPARTMENT 1:N EMPLOYEE). These are the paper's "transitive N:M
+/// relationships in a connection" (§4), the sharpest looseness signal.
+size_t CountHubPatterns(const std::vector<Cardinality>& steps);
+
+/// Total loose points: CountNMSteps + CountHubPatterns. The paper's §4
+/// suggests counts like these as ranking criteria.
+size_t CountLoosePoints(const std::vector<Cardinality>& steps);
+
+/// Renders "1:N N:M ..." for diagnostics.
+std::string StepsToString(const std::vector<Cardinality>& steps);
+
+}  // namespace claks
+
+#endif  // CLAKS_ER_CARDINALITY_H_

@@ -1,0 +1,253 @@
+// Copyright 2026 The claks Authors.
+
+#include "er/er_model.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace claks {
+
+std::vector<std::string> EntityType::KeyAttributeNames() const {
+  std::vector<std::string> out;
+  for (const auto& attr : attributes) {
+    if (attr.is_key) out.push_back(attr.name);
+  }
+  return out;
+}
+
+std::string RelationshipType::ToString() const {
+  return left_entity + " " + CardinalityToString(cardinality) + " " +
+         right_entity + " (" + name + ")";
+}
+
+ErPath::ErPath(const ERSchema* schema, std::string start_entity,
+               std::vector<ErStep> steps)
+    : schema_(schema),
+      start_entity_(std::move(start_entity)),
+      steps_(std::move(steps)) {
+  CLAKS_CHECK(schema_ != nullptr);
+}
+
+std::vector<std::string> ErPath::EntitySequence() const {
+  std::vector<std::string> out;
+  out.push_back(start_entity_);
+  for (const ErStep& step : steps_) {
+    out.push_back(schema_->StepTarget(step));
+  }
+  return out;
+}
+
+std::string ErPath::EndEntity() const {
+  return steps_.empty() ? start_entity_
+                        : schema_->StepTarget(steps_.back());
+}
+
+std::vector<Cardinality> ErPath::CardinalitySequence() const {
+  std::vector<Cardinality> out;
+  out.reserve(steps_.size());
+  for (const ErStep& step : steps_) {
+    out.push_back(schema_->StepCardinality(step));
+  }
+  return out;
+}
+
+std::string ErPath::ToString() const {
+  std::string out = ToLower(start_entity_);
+  for (const ErStep& step : steps_) {
+    out += " ";
+    out += CardinalityToString(schema_->StepCardinality(step));
+    out += " ";
+    out += ToLower(schema_->StepTarget(step));
+  }
+  return out;
+}
+
+Status ERSchema::AddEntityType(EntityType entity) {
+  if (entity.name.empty()) {
+    return Status::InvalidArgument("entity type with empty name");
+  }
+  if (EntityIndex(entity.name).has_value()) {
+    return Status::AlreadyExists("entity type '" + entity.name + "'");
+  }
+  entity_types_.push_back(std::move(entity));
+  return Status::OK();
+}
+
+Status ERSchema::AddRelationship(RelationshipType relationship) {
+  if (relationship.name.empty()) {
+    return Status::InvalidArgument("relationship with empty name");
+  }
+  if (RelationshipIndex(relationship.name).has_value()) {
+    return Status::AlreadyExists("relationship '" + relationship.name + "'");
+  }
+  if (!EntityIndex(relationship.left_entity).has_value()) {
+    return Status::NotFound("entity '" + relationship.left_entity +
+                            "' (left endpoint of '" + relationship.name +
+                            "')");
+  }
+  if (!EntityIndex(relationship.right_entity).has_value()) {
+    return Status::NotFound("entity '" + relationship.right_entity +
+                            "' (right endpoint of '" + relationship.name +
+                            "')");
+  }
+  relationships_.push_back(std::move(relationship));
+  return Status::OK();
+}
+
+Status ERSchema::AddRelationship(const std::string& name,
+                                 const std::string& left_entity,
+                                 const std::string& cardinality,
+                                 const std::string& right_entity,
+                                 std::vector<ErAttribute> attributes) {
+  CLAKS_ASSIGN_OR_RETURN(Cardinality c, ParseCardinality(cardinality));
+  RelationshipType rel;
+  rel.name = name;
+  rel.left_entity = left_entity;
+  rel.right_entity = right_entity;
+  rel.cardinality = c;
+  rel.attributes = std::move(attributes);
+  return AddRelationship(std::move(rel));
+}
+
+std::optional<size_t> ERSchema::EntityIndex(const std::string& name) const {
+  for (size_t i = 0; i < entity_types_.size(); ++i) {
+    if (entity_types_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<size_t> ERSchema::RelationshipIndex(
+    const std::string& name) const {
+  for (size_t i = 0; i < relationships_.size(); ++i) {
+    if (relationships_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+const EntityType* ERSchema::FindEntity(const std::string& name) const {
+  auto idx = EntityIndex(name);
+  return idx.has_value() ? &entity_types_[*idx] : nullptr;
+}
+
+const RelationshipType* ERSchema::FindRelationship(
+    const std::string& name) const {
+  auto idx = RelationshipIndex(name);
+  return idx.has_value() ? &relationships_[*idx] : nullptr;
+}
+
+std::vector<ErStep> ERSchema::StepsFrom(const std::string& entity) const {
+  std::vector<ErStep> out;
+  for (size_t i = 0; i < relationships_.size(); ++i) {
+    if (relationships_[i].left_entity == entity) {
+      out.push_back(ErStep{i, /*forward=*/true});
+    }
+    if (relationships_[i].right_entity == entity) {
+      out.push_back(ErStep{i, /*forward=*/false});
+    }
+  }
+  return out;
+}
+
+const std::string& ERSchema::StepTarget(const ErStep& step) const {
+  CLAKS_CHECK_LT(step.relationship_index, relationships_.size());
+  const RelationshipType& rel = relationships_[step.relationship_index];
+  return step.forward ? rel.right_entity : rel.left_entity;
+}
+
+Cardinality ERSchema::StepCardinality(const ErStep& step) const {
+  CLAKS_CHECK_LT(step.relationship_index, relationships_.size());
+  const RelationshipType& rel = relationships_[step.relationship_index];
+  return step.forward ? rel.cardinality : Inverse(rel.cardinality);
+}
+
+std::vector<ErPath> ERSchema::EnumeratePaths(const std::string& from,
+                                             const std::string& to,
+                                             size_t max_steps) const {
+  std::vector<ErPath> out;
+  std::vector<ErStep> prefix;
+  std::vector<std::string> visited{from};
+  EnumerateRec(from, to, max_steps, &prefix, &visited, from, &out);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ErPath& a, const ErPath& b) {
+                     return a.length() < b.length();
+                   });
+  return out;
+}
+
+std::vector<ErPath> ERSchema::EnumeratePathsFrom(const std::string& from,
+                                                 size_t max_steps) const {
+  std::vector<ErPath> out;
+  std::vector<ErStep> prefix;
+  std::vector<std::string> visited{from};
+  EnumerateRec(from, std::nullopt, max_steps, &prefix, &visited, from, &out);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ErPath& a, const ErPath& b) {
+                     return a.length() < b.length();
+                   });
+  return out;
+}
+
+void ERSchema::EnumerateRec(const std::string& current,
+                            const std::optional<std::string>& goal,
+                            size_t max_steps, std::vector<ErStep>* prefix,
+                            std::vector<std::string>* visited,
+                            const std::string& start,
+                            std::vector<ErPath>* out) const {
+  if (!prefix->empty()) {
+    if (!goal.has_value() || current == *goal) {
+      out->push_back(ErPath(this, start, *prefix));
+    }
+  }
+  if (prefix->size() >= max_steps) return;
+  for (const ErStep& step : StepsFrom(current)) {
+    const std::string& next = StepTarget(step);
+    if (std::find(visited->begin(), visited->end(), next) !=
+        visited->end()) {
+      continue;  // simple paths only
+    }
+    prefix->push_back(step);
+    visited->push_back(next);
+    EnumerateRec(next, goal, max_steps, prefix, visited, start, out);
+    visited->pop_back();
+    prefix->pop_back();
+  }
+}
+
+Status ERSchema::Validate() const {
+  for (const auto& entity : entity_types_) {
+    if (entity.KeyAttributeNames().empty()) {
+      return Status::InvalidArgument("entity type '" + entity.name +
+                                     "' has no key attribute");
+    }
+  }
+  for (const auto& rel : relationships_) {
+    if (!EntityIndex(rel.left_entity).has_value() ||
+        !EntityIndex(rel.right_entity).has_value()) {
+      return Status::InvalidArgument("relationship '" + rel.name +
+                                     "' has an unknown endpoint");
+    }
+  }
+  return Status::OK();
+}
+
+std::string ERSchema::ToString() const {
+  std::string out = "ER SCHEMA\n  entities:\n";
+  for (const auto& entity : entity_types_) {
+    out += "    " + entity.name + "(";
+    for (size_t i = 0; i < entity.attributes.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += entity.attributes[i].name;
+      if (entity.attributes[i].is_key) out += "*";
+    }
+    out += ")\n";
+  }
+  out += "  relationships:\n";
+  for (const auto& rel : relationships_) {
+    out += "    " + rel.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace claks

@@ -1,0 +1,165 @@
+// Copyright 2026 The claks Authors.
+//
+// The ER model: entity types with attributes, binary relationship types
+// with cardinality constraints, and paths over the schema (the paper's
+// "transitive relationships").
+
+#ifndef CLAKS_ER_ER_MODEL_H_
+#define CLAKS_ER_ER_MODEL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "er/cardinality.h"
+#include "relational/value.h"
+
+namespace claks {
+
+/// An attribute of an entity type (or of a relationship type).
+struct ErAttribute {
+  std::string name;
+  ValueType type = ValueType::kString;
+  bool is_key = false;      ///< part of the entity key
+  bool searchable = true;   ///< participates in keyword matching
+  bool nullable = false;
+};
+
+/// An entity type, e.g. EMPLOYEE.
+struct EntityType {
+  std::string name;
+  std::vector<ErAttribute> attributes;
+
+  /// Names of the key attributes, in declaration order.
+  std::vector<std::string> KeyAttributeNames() const;
+};
+
+/// A binary relationship type with a cardinality constraint, read
+/// left-to-right: left `cardinality` right (e.g. DEPARTMENT 1:N EMPLOYEE).
+struct RelationshipType {
+  std::string name;
+  std::string left_entity;
+  std::string right_entity;
+  Cardinality cardinality = Cardinality::kOneN;
+  /// Attributes owned by the relationship itself (e.g. HOURS on WORKS_ON).
+  std::vector<ErAttribute> attributes;
+
+  /// "DEPARTMENT 1:N EMPLOYEE (WORKS_FOR)".
+  std::string ToString() const;
+};
+
+/// One step of an ER path: a relationship traversed either left-to-right
+/// (forward) or right-to-left.
+struct ErStep {
+  size_t relationship_index = 0;
+  bool forward = true;
+
+  bool operator==(const ErStep& other) const {
+    return relationship_index == other.relationship_index &&
+           forward == other.forward;
+  }
+};
+
+class ERSchema;
+
+/// A path through the ER schema: start entity + steps. The paper's
+/// "transitive relationship" is exactly a path of length >= 2.
+class ErPath {
+ public:
+  ErPath(const ERSchema* schema, std::string start_entity,
+         std::vector<ErStep> steps);
+
+  const std::string& start_entity() const { return start_entity_; }
+  const std::vector<ErStep>& steps() const { return steps_; }
+  size_t length() const { return steps_.size(); }
+
+  /// Entity names along the path, start first (steps()+1 entries).
+  std::vector<std::string> EntitySequence() const;
+
+  /// The end entity of the path.
+  std::string EndEntity() const;
+
+  /// Cardinality of each step, oriented in travel direction.
+  std::vector<Cardinality> CardinalitySequence() const;
+
+  /// "department 1:N employee 1:N dependent" (paper Table 1 style).
+  std::string ToString() const;
+
+ private:
+  const ERSchema* schema_;
+  std::string start_entity_;
+  std::vector<ErStep> steps_;
+};
+
+/// A complete ER schema.
+class ERSchema {
+ public:
+  ERSchema() = default;
+
+  /// Registers an entity type; fails on duplicate name.
+  Status AddEntityType(EntityType entity);
+
+  /// Registers a relationship; fails if an endpoint entity is unknown or
+  /// the name duplicates another relationship.
+  Status AddRelationship(RelationshipType relationship);
+
+  /// Convenience wrapper parsing the cardinality from text.
+  Status AddRelationship(const std::string& name,
+                         const std::string& left_entity,
+                         const std::string& cardinality,
+                         const std::string& right_entity,
+                         std::vector<ErAttribute> attributes = {});
+
+  const std::vector<EntityType>& entity_types() const {
+    return entity_types_;
+  }
+  const std::vector<RelationshipType>& relationships() const {
+    return relationships_;
+  }
+
+  std::optional<size_t> EntityIndex(const std::string& name) const;
+  std::optional<size_t> RelationshipIndex(const std::string& name) const;
+  const EntityType* FindEntity(const std::string& name) const;
+  const RelationshipType* FindRelationship(const std::string& name) const;
+
+  /// Relationship steps leaving `entity` (each relationship contributes a
+  /// forward step if entity is its left endpoint and a backward step if it
+  /// is its right endpoint; self-relationships contribute both).
+  std::vector<ErStep> StepsFrom(const std::string& entity) const;
+
+  /// The entity reached by taking `step` (its far endpoint).
+  const std::string& StepTarget(const ErStep& step) const;
+
+  /// Cardinality of `step` oriented in travel direction.
+  Cardinality StepCardinality(const ErStep& step) const;
+
+  /// Enumerates all simple (no repeated entity) paths from `from` to `to`
+  /// with at most `max_steps` steps, in order of increasing length.
+  std::vector<ErPath> EnumeratePaths(const std::string& from,
+                                     const std::string& to,
+                                     size_t max_steps) const;
+
+  /// Enumerates all simple paths starting at `from` of 1..max_steps steps.
+  std::vector<ErPath> EnumeratePathsFrom(const std::string& from,
+                                         size_t max_steps) const;
+
+  Status Validate() const;
+
+  std::string ToString() const;
+
+ private:
+  void EnumerateRec(const std::string& current,
+                    const std::optional<std::string>& goal, size_t max_steps,
+                    std::vector<ErStep>* prefix,
+                    std::vector<std::string>* visited,
+                    const std::string& start,
+                    std::vector<ErPath>* out) const;
+
+  std::vector<EntityType> entity_types_;
+  std::vector<RelationshipType> relationships_;
+};
+
+}  // namespace claks
+
+#endif  // CLAKS_ER_ER_MODEL_H_

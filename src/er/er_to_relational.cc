@@ -1,0 +1,233 @@
+// Copyright 2026 The claks Authors.
+
+#include "er/er_to_relational.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace claks {
+
+bool ErRelationalMapping::IsMiddleRelation(
+    const std::string& table_name) const {
+  auto it = tables.find(table_name);
+  return it != tables.end() && it->second.is_middle_relation;
+}
+
+std::string ErRelationalMapping::EntityOf(
+    const std::string& table_name) const {
+  auto it = tables.find(table_name);
+  if (it == tables.end() || it->second.is_middle_relation) return "";
+  return it->second.er_name;
+}
+
+std::string ErRelationalMapping::RelationshipOf(const std::string& table_name,
+                                                size_t fk_index) const {
+  const FkErInfo* info = FindFk(table_name, fk_index);
+  return info != nullptr ? info->relationship : "";
+}
+
+const FkErInfo* ErRelationalMapping::FindFk(const std::string& table_name,
+                                            size_t fk_index) const {
+  auto it = foreign_keys.find({table_name, fk_index});
+  return it == foreign_keys.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+AttributeDef ToAttributeDef(const ErAttribute& attr) {
+  AttributeDef out;
+  out.name = attr.name;
+  out.type = attr.type;
+  out.nullable = attr.nullable;
+  out.searchable = attr.searchable;
+  return out;
+}
+
+// Key attributes (name + type) of an entity, used to type FK columns.
+std::vector<ErAttribute> KeyAttributes(const EntityType& entity) {
+  std::vector<ErAttribute> out;
+  for (const auto& attr : entity.attributes) {
+    if (attr.is_key) out.push_back(attr);
+  }
+  return out;
+}
+
+// Default generated FK attribute name: "<entity>_<key>" lowercased entity
+// prefix keeps generated schemas readable.
+std::string DefaultFkName(const EntityType& entity,
+                          const ErAttribute& key_attr) {
+  return entity.name + "_" + key_attr.name;
+}
+
+}  // namespace
+
+Result<GeneratedRelationalSchema> GenerateRelationalSchema(
+    const ERSchema& schema, const ErToRelationalOptions& options) {
+  CLAKS_RETURN_NOT_OK(schema.Validate());
+  GeneratedRelationalSchema out;
+
+  struct TableDraft {
+    std::vector<AttributeDef> attributes;
+    std::vector<std::string> primary_key;
+    std::vector<ForeignKeyDef> foreign_keys;
+    std::vector<std::string> fk_relationships;  // parallel to foreign_keys
+    std::vector<bool> fk_references_left;
+  };
+  std::map<std::string, TableDraft> drafts;  // entity tables by entity name
+
+  // Pass 1: entity tables.
+  for (const EntityType& entity : schema.entity_types()) {
+    TableDraft draft;
+    for (const auto& attr : entity.attributes) {
+      draft.attributes.push_back(ToAttributeDef(attr));
+      if (attr.is_key) draft.primary_key.push_back(attr.name);
+    }
+    drafts.emplace(entity.name, std::move(draft));
+  }
+
+  auto fk_names_for = [&](const std::string& key,
+                          const EntityType& referenced)
+      -> std::vector<std::string> {
+    auto it = options.fk_attribute_names.find(key);
+    std::vector<ErAttribute> keys = KeyAttributes(referenced);
+    std::vector<std::string> names;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (it != options.fk_attribute_names.end() &&
+          i < it->second.size()) {
+        names.push_back(it->second[i]);
+      } else {
+        names.push_back(DefaultFkName(referenced, keys[i]));
+      }
+    }
+    return names;
+  };
+
+  // Pass 2: 1:1 and 1:N relationships add FKs to the N-side (right side for
+  // 1:1); relationship attributes ride along.
+  std::vector<const RelationshipType*> many_to_many;
+  for (const RelationshipType& rel : schema.relationships()) {
+    if (rel.cardinality == Cardinality::kNM) {
+      many_to_many.push_back(&rel);
+      continue;
+    }
+    // Determine the "one" side (referenced) and the "many" side (owner of
+    // the FK). For 1:1 the right side owns the FK by convention.
+    const bool left_is_one = LeftIsOne(rel.cardinality);
+    const std::string& one_entity =
+        left_is_one ? rel.left_entity : rel.right_entity;
+    const std::string& many_entity =
+        left_is_one ? rel.right_entity : rel.left_entity;
+    if (one_entity == many_entity) {
+      return Status::InvalidArgument(
+          "self 1:N relationship '" + rel.name +
+          "' is not supported by the generator (add an explicit FK)");
+    }
+    const EntityType* referenced = schema.FindEntity(one_entity);
+    CLAKS_CHECK(referenced != nullptr);
+    TableDraft& owner = drafts.at(many_entity);
+
+    std::vector<std::string> fk_attrs = fk_names_for(rel.name, *referenced);
+    std::vector<ErAttribute> ref_keys = KeyAttributes(*referenced);
+    CLAKS_CHECK_EQ(fk_attrs.size(), ref_keys.size());
+    for (size_t i = 0; i < fk_attrs.size(); ++i) {
+      AttributeDef def;
+      def.name = fk_attrs[i];
+      def.type = ref_keys[i].type;
+      def.nullable = false;
+      def.searchable = false;  // key references carry no text semantics
+      owner.attributes.push_back(def);
+    }
+    for (const auto& rel_attr : rel.attributes) {
+      owner.attributes.push_back(ToAttributeDef(rel_attr));
+    }
+    ForeignKeyDef fk;
+    fk.constraint_name = rel.name;
+    fk.local_attributes = fk_attrs;
+    fk.referenced_table = one_entity;
+    fk.referenced_attributes = referenced->KeyAttributeNames();
+    owner.foreign_keys.push_back(std::move(fk));
+    owner.fk_relationships.push_back(rel.name);
+    // The FK points at the "one" entity. references_left is true iff the
+    // referenced (one) side is the relationship's left entity.
+    owner.fk_references_left.push_back(one_entity == rel.left_entity);
+  }
+
+  // Emit entity tables in declaration order.
+  for (const EntityType& entity : schema.entity_types()) {
+    TableDraft& draft = drafts.at(entity.name);
+    out.tables.emplace_back(entity.name, draft.attributes,
+                            draft.primary_key, draft.foreign_keys);
+    out.mapping.tables[entity.name] = TableErInfo{false, entity.name};
+    for (size_t f = 0; f < draft.fk_relationships.size(); ++f) {
+      out.mapping.foreign_keys[{entity.name, f}] =
+          FkErInfo{draft.fk_relationships[f], draft.fk_references_left[f]};
+    }
+  }
+
+  // Pass 3: middle relations for N:M relationships.
+  for (const RelationshipType* rel : many_to_many) {
+    const EntityType* left = schema.FindEntity(rel->left_entity);
+    const EntityType* right = schema.FindEntity(rel->right_entity);
+    CLAKS_CHECK(left != nullptr && right != nullptr);
+
+    std::vector<std::string> left_attrs =
+        fk_names_for(rel->name + ".left", *left);
+    std::vector<std::string> right_attrs =
+        fk_names_for(rel->name + ".right", *right);
+    if (rel->left_entity == rel->right_entity && left_attrs == right_attrs) {
+      // Self N:M: disambiguate the generated column names.
+      for (auto& name : right_attrs) name += "_2";
+    }
+
+    std::vector<AttributeDef> attributes;
+    std::vector<std::string> primary_key;
+    std::vector<ErAttribute> left_keys = KeyAttributes(*left);
+    std::vector<ErAttribute> right_keys = KeyAttributes(*right);
+    for (size_t i = 0; i < left_attrs.size(); ++i) {
+      AttributeDef def;
+      def.name = left_attrs[i];
+      def.type = left_keys[i].type;
+      def.searchable = false;
+      attributes.push_back(def);
+      primary_key.push_back(left_attrs[i]);
+    }
+    for (size_t i = 0; i < right_attrs.size(); ++i) {
+      AttributeDef def;
+      def.name = right_attrs[i];
+      def.type = right_keys[i].type;
+      def.searchable = false;
+      attributes.push_back(def);
+      primary_key.push_back(right_attrs[i]);
+    }
+    for (const auto& rel_attr : rel->attributes) {
+      attributes.push_back(ToAttributeDef(rel_attr));
+    }
+
+    std::vector<ForeignKeyDef> fks;
+    ForeignKeyDef left_fk;
+    left_fk.constraint_name = rel->name + "_left";
+    left_fk.local_attributes = left_attrs;
+    left_fk.referenced_table = rel->left_entity;
+    left_fk.referenced_attributes = left->KeyAttributeNames();
+    fks.push_back(std::move(left_fk));
+    ForeignKeyDef right_fk;
+    right_fk.constraint_name = rel->name + "_right";
+    right_fk.local_attributes = right_attrs;
+    right_fk.referenced_table = rel->right_entity;
+    right_fk.referenced_attributes = right->KeyAttributeNames();
+    fks.push_back(std::move(right_fk));
+
+    out.tables.emplace_back(rel->name, attributes, primary_key, fks);
+    out.mapping.tables[rel->name] = TableErInfo{true, rel->name};
+    out.mapping.foreign_keys[{rel->name, 0}] = FkErInfo{rel->name, true};
+    out.mapping.foreign_keys[{rel->name, 1}] = FkErInfo{rel->name, false};
+  }
+
+  for (const TableSchema& table : out.tables) {
+    CLAKS_RETURN_NOT_OK(table.Validate().WithContext(
+        "generated schema for '" + table.name() + "'"));
+  }
+  return out;
+}
+
+}  // namespace claks

@@ -1,0 +1,91 @@
+// Copyright 2026 The claks Authors.
+//
+// ER -> relational mapping, following the textbook rules the paper states in
+// §3: one relation per entity type; a foreign key on the N-side for each
+// 1:N (and 1:1) relationship; a *middle relation* holding both foreign keys
+// for each N:M relationship.
+//
+// The produced ErRelationalMapping is the bridge the core library uses to
+// compute conceptual (ER) lengths and to annotate data-graph edges with
+// cardinalities.
+
+#ifndef CLAKS_ER_ER_TO_RELATIONAL_H_
+#define CLAKS_ER_ER_TO_RELATIONAL_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "er/er_model.h"
+#include "relational/schema.h"
+
+namespace claks {
+
+/// How a relational table relates back to the ER schema.
+struct TableErInfo {
+  /// True if the table materialises an N:M relationship (a middle relation);
+  /// false if it materialises an entity type.
+  bool is_middle_relation = false;
+  /// The entity-type name (entity tables) or relationship name (middle
+  /// relations).
+  std::string er_name;
+};
+
+/// How a foreign key relates back to the ER schema.
+struct FkErInfo {
+  /// The relationship this FK (or FK pair, for middle relations)
+  /// implements.
+  std::string relationship;
+  /// For middle-relation FKs: true if this FK points at the relationship's
+  /// *left* entity. For entity-table FKs: true if the referencing table is
+  /// the relationship's left entity... i.e. records orientation. For an
+  /// entity-table FK implementing "LEFT 1:N RIGHT", the FK lives on RIGHT
+  /// and points at LEFT, so `references_left` is true.
+  bool references_left = true;
+};
+
+/// The bidirectional bookkeeping between a relational schema and its ER
+/// origin. Keys are table names (and FK index within the table).
+struct ErRelationalMapping {
+  std::map<std::string, TableErInfo> tables;
+  std::map<std::pair<std::string, size_t>, FkErInfo> foreign_keys;
+
+  /// True if `table_name` is a middle relation.
+  bool IsMiddleRelation(const std::string& table_name) const;
+
+  /// Entity-type name for an entity table; empty for middle relations.
+  std::string EntityOf(const std::string& table_name) const;
+
+  /// Relationship implemented by FK `fk_index` of `table_name`; empty if
+  /// unknown.
+  std::string RelationshipOf(const std::string& table_name,
+                             size_t fk_index) const;
+
+  const FkErInfo* FindFk(const std::string& table_name,
+                         size_t fk_index) const;
+};
+
+/// Options controlling generated names.
+struct ErToRelationalOptions {
+  /// Overrides the generated FK attribute names for a relationship. For
+  /// entity-side FKs, one name per key attribute of the referenced entity;
+  /// for N:M, use "<rel>.left" / "<rel>.right" keys.
+  std::map<std::string, std::vector<std::string>> fk_attribute_names;
+};
+
+/// Result of the forward mapping: table schemas (entities first, then middle
+/// relations, both in declaration order) plus the mapping.
+struct GeneratedRelationalSchema {
+  std::vector<TableSchema> tables;
+  ErRelationalMapping mapping;
+};
+
+/// Applies the mapping rules to `schema`.
+Result<GeneratedRelationalSchema> GenerateRelationalSchema(
+    const ERSchema& schema, const ErToRelationalOptions& options = {});
+
+}  // namespace claks
+
+#endif  // CLAKS_ER_ER_TO_RELATIONAL_H_

@@ -1,0 +1,141 @@
+// Copyright 2026 The claks Authors.
+
+#include "er/relational_to_er.h"
+
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace claks {
+
+bool LooksLikeMiddleRelation(const Database& db, size_t table_index) {
+  const Table& table = db.table(table_index);
+  const TableSchema& schema = table.schema();
+  if (schema.foreign_keys().size() != 2) return false;
+
+  // Every primary-key attribute must be covered by some FK.
+  for (const std::string& pk : schema.primary_key()) {
+    if (!schema.IsForeignKeyAttribute(pk)) return false;
+  }
+
+  // No other table may reference this one.
+  for (size_t t = 0; t < db.num_tables(); ++t) {
+    if (t == table_index) continue;
+    for (const auto& fk : db.table(t).schema().foreign_keys()) {
+      if (fk.referenced_table == schema.name()) return false;
+    }
+  }
+  return true;
+}
+
+Result<RecoveredErSchema> ReverseEngineerEr(const Database& db) {
+  RecoveredErSchema out;
+
+  std::vector<bool> is_middle(db.num_tables(), false);
+  for (size_t t = 0; t < db.num_tables(); ++t) {
+    is_middle[t] = LooksLikeMiddleRelation(db, t);
+  }
+
+  // Pass 1: entity types from entity tables.
+  for (size_t t = 0; t < db.num_tables(); ++t) {
+    if (is_middle[t]) continue;
+    const TableSchema& schema = db.table(t).schema();
+    EntityType entity;
+    entity.name = schema.name();
+    for (size_t i = 0; i < schema.num_attributes(); ++i) {
+      const AttributeDef& attr = schema.attribute(i);
+      // FK attributes belong to the relationship, not the entity.
+      if (schema.IsForeignKeyAttribute(attr.name) &&
+          !schema.IsPrimaryKeyAttribute(attr.name)) {
+        continue;
+      }
+      ErAttribute er_attr;
+      er_attr.name = attr.name;
+      er_attr.type = attr.type;
+      er_attr.is_key = schema.IsPrimaryKeyAttribute(attr.name);
+      er_attr.searchable = attr.searchable;
+      er_attr.nullable = attr.nullable;
+      entity.attributes.push_back(std::move(er_attr));
+    }
+    CLAKS_RETURN_NOT_OK(out.schema.AddEntityType(std::move(entity)));
+    out.mapping.tables[schema.name()] = TableErInfo{false, schema.name()};
+  }
+
+  std::unordered_set<std::string> used_names;
+
+  auto unique_name = [&](std::string base) {
+    std::string name = base;
+    int suffix = 2;
+    while (!used_names.insert(name).second) {
+      name = base + "_" + std::to_string(suffix++);
+    }
+    return name;
+  };
+
+  // Pass 2: 1:N relationships from FKs of entity tables.
+  for (size_t t = 0; t < db.num_tables(); ++t) {
+    if (is_middle[t]) continue;
+    const TableSchema& schema = db.table(t).schema();
+    for (size_t f = 0; f < schema.foreign_keys().size(); ++f) {
+      const ForeignKeyDef& fk = schema.foreign_keys()[f];
+      auto ref_index = db.TableIndex(fk.referenced_table);
+      if (!ref_index.has_value()) {
+        return Status::IntegrityViolation("table '" + schema.name() +
+                                          "' references missing table '" +
+                                          fk.referenced_table + "'");
+      }
+      if (is_middle[*ref_index]) {
+        return Status::InvalidArgument(
+            "table '" + schema.name() + "' references middle relation '" +
+            fk.referenced_table + "'; run with it reclassified as entity");
+      }
+      RelationshipType rel;
+      rel.name = unique_name(!fk.constraint_name.empty()
+                                 ? fk.constraint_name
+                                 : schema.name() + "_" + fk.referenced_table);
+      // FK from A to B means: B 1:N A (one referenced B row, many
+      // referencing A rows).
+      rel.left_entity = fk.referenced_table;
+      rel.right_entity = schema.name();
+      rel.cardinality = Cardinality::kOneN;
+      CLAKS_RETURN_NOT_OK(out.schema.AddRelationship(rel));
+      // The FK points at the referenced table == the relationship's left
+      // entity.
+      out.mapping.foreign_keys[{schema.name(), f}] =
+          FkErInfo{rel.name, /*references_left=*/true};
+    }
+  }
+
+  // Pass 3: N:M relationships from middle relations.
+  for (size_t t = 0; t < db.num_tables(); ++t) {
+    if (!is_middle[t]) continue;
+    const TableSchema& schema = db.table(t).schema();
+    const ForeignKeyDef& left_fk = schema.foreign_keys()[0];
+    const ForeignKeyDef& right_fk = schema.foreign_keys()[1];
+    RelationshipType rel;
+    rel.name = unique_name(schema.name());
+    rel.left_entity = left_fk.referenced_table;
+    rel.right_entity = right_fk.referenced_table;
+    rel.cardinality = Cardinality::kNM;
+    // Non-FK attributes of the middle relation become relationship
+    // attributes.
+    for (size_t i = 0; i < schema.num_attributes(); ++i) {
+      const AttributeDef& attr = schema.attribute(i);
+      if (schema.IsForeignKeyAttribute(attr.name)) continue;
+      ErAttribute er_attr;
+      er_attr.name = attr.name;
+      er_attr.type = attr.type;
+      er_attr.searchable = attr.searchable;
+      er_attr.nullable = attr.nullable;
+      rel.attributes.push_back(std::move(er_attr));
+    }
+    CLAKS_RETURN_NOT_OK(out.schema.AddRelationship(rel));
+    out.mapping.tables[schema.name()] = TableErInfo{true, rel.name};
+    out.mapping.foreign_keys[{schema.name(), 0}] = FkErInfo{rel.name, true};
+    out.mapping.foreign_keys[{schema.name(), 1}] = FkErInfo{rel.name, false};
+  }
+
+  return out;
+}
+
+}  // namespace claks

@@ -1,0 +1,43 @@
+// Copyright 2026 The claks Authors.
+//
+// Reverse engineering a relational schema into an ER schema, recovering the
+// conceptual view the paper reasons over. The key step is *middle-relation
+// detection*: a relation that exists only to materialise an N:M relationship
+// "should not be taken into account when calculating the length of a
+// connection" (paper §3).
+
+#ifndef CLAKS_ER_RELATIONAL_TO_ER_H_
+#define CLAKS_ER_RELATIONAL_TO_ER_H_
+
+#include "common/result.h"
+#include "er/er_to_relational.h"
+#include "relational/database.h"
+
+namespace claks {
+
+/// Result of reverse engineering: the recovered conceptual schema plus the
+/// table/FK mapping (same structure as the forward direction produces).
+struct RecoveredErSchema {
+  ERSchema schema;
+  ErRelationalMapping mapping;
+};
+
+/// Heuristics for classifying a table as a middle relation. A table is a
+/// middle relation iff all of:
+///   * it declares exactly two foreign keys;
+///   * every primary-key attribute belongs to some foreign key (the table
+///     has no identity of its own beyond the pair it connects);
+///   * no other table references it.
+/// Entity tables become entity types. Each FK between entity tables E_many
+/// -> E_one becomes a relationship "E_one 1:N E_many"; each middle relation
+/// becomes an N:M relationship between its two referenced tables, carrying
+/// the middle relation's non-FK attributes.
+Result<RecoveredErSchema> ReverseEngineerEr(const Database& db);
+
+/// True under the middle-relation heuristic above. Exposed for tests and
+/// for the schema-graph builder.
+bool LooksLikeMiddleRelation(const Database& db, size_t table_index);
+
+}  // namespace claks
+
+#endif  // CLAKS_ER_RELATIONAL_TO_ER_H_

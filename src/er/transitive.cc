@@ -1,0 +1,75 @@
+// Copyright 2026 The claks Authors.
+
+#include "er/transitive.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace claks {
+
+const char* AssociationKindToString(AssociationKind kind) {
+  switch (kind) {
+    case AssociationKind::kImmediate:
+      return "Immediate";
+    case AssociationKind::kTransitiveFunctional:
+      return "TransitiveFunctional";
+    case AssociationKind::kTransitiveNM:
+      return "TransitiveNM";
+    case AssociationKind::kMixedLoose:
+      return "MixedLoose";
+  }
+  return "?";
+}
+
+bool GuaranteesCloseAssociation(AssociationKind kind) {
+  return kind == AssociationKind::kImmediate ||
+         kind == AssociationKind::kTransitiveFunctional;
+}
+
+bool AdmitsLooseAssociation(AssociationKind kind) {
+  return !GuaranteesCloseAssociation(kind);
+}
+
+AssociationKind ClassifyCardinalitySequence(
+    const std::vector<Cardinality>& steps) {
+  CLAKS_CHECK(!steps.empty());
+  if (steps.size() == 1) return AssociationKind::kImmediate;
+  if (IsFunctionalSequence(steps)) {
+    return AssociationKind::kTransitiveFunctional;
+  }
+  if (IsTransitiveNM(steps)) return AssociationKind::kTransitiveNM;
+  return AssociationKind::kMixedLoose;
+}
+
+RelationshipAnalysis AnalyzePath(const ErPath& path) {
+  RelationshipAnalysis out{path, path.CardinalitySequence()};
+  out.kind = ClassifyCardinalitySequence(out.steps);
+  out.endpoint = ComposeCardinality(out.steps);
+  out.loose_points = CountLoosePoints(out.steps);
+  return out;
+}
+
+std::vector<RelationshipAnalysis> AnalyzePathsBetween(
+    const ERSchema& schema, const std::string& from, const std::string& to,
+    size_t max_steps) {
+  std::vector<RelationshipAnalysis> out;
+  for (const ErPath& path : schema.EnumeratePaths(from, to, max_steps)) {
+    out.push_back(AnalyzePath(path));
+  }
+  return out;
+}
+
+std::string RelationshipAnalysis::Describe() const {
+  std::string entities;
+  auto seq = path.EntitySequence();
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (i > 0) entities += " - ";
+    entities += ToLower(seq[i]);
+  }
+  return entities + " | " + path.ToString() + " | " +
+         AssociationKindToString(kind) +
+         StrFormat(" (endpoint %s, loose points %zu)",
+                   CardinalityToString(endpoint), loose_points);
+}
+
+}  // namespace claks

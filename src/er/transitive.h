@@ -1,0 +1,75 @@
+// Copyright 2026 The claks Authors.
+//
+// The paper's §2 contribution: classifying (transitive) relationships by
+// their cardinality-constraint sequence into those that guarantee *close*
+// associations and those that admit *loose* ones.
+
+#ifndef CLAKS_ER_TRANSITIVE_H_
+#define CLAKS_ER_TRANSITIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "er/er_model.h"
+
+namespace claks {
+
+/// Classification of a relationship (immediate or transitive) per paper §2.
+enum class AssociationKind {
+  /// One relationship: "there is no ambiguity in the semantics of the
+  /// connections" — always close.
+  kImmediate,
+  /// Transitive and functional: (for all i, Xi = 1) or (for all i, Yi = 1).
+  /// Determines a close connection at the extensional level.
+  kTransitiveFunctional,
+  /// Transitive N:M per the paper's definition (X1 != 1 and Yn != 1):
+  /// several start entities meet several end entities through a middle
+  /// entity; admits loose connections.
+  kTransitiveNM,
+  /// Neither functional nor endpoint-N:M but contains an N:M step or an
+  /// embedded transitive-N:M hub (the paper's relationships 4 and 6);
+  /// admits loose connections.
+  kMixedLoose,
+};
+
+const char* AssociationKindToString(AssociationKind kind);
+
+/// True for kinds that guarantee a close association at the extensional
+/// level (immediate and transitive functional).
+bool GuaranteesCloseAssociation(AssociationKind kind);
+
+/// True for kinds that admit loose connections.
+bool AdmitsLooseAssociation(AssociationKind kind);
+
+/// Classifies a cardinality-step sequence. CLAKS_CHECKs non-empty.
+AssociationKind ClassifyCardinalitySequence(
+    const std::vector<Cardinality>& steps);
+
+/// Full analysis of one ER path — one row of the paper's Table 1.
+struct RelationshipAnalysis {
+  ErPath path;
+  std::vector<Cardinality> steps;
+  AssociationKind kind = AssociationKind::kImmediate;
+  /// Endpoint-to-endpoint composition of the steps.
+  Cardinality endpoint = Cardinality::kOneOne;
+  /// Number of loose points (N:M steps + N:1->1:N hubs), the §4 ranking
+  /// criterion.
+  size_t loose_points = 0;
+
+  /// "department - employee - dependent | department 1:N employee 1:N
+  /// dependent | TransitiveFunctional".
+  std::string Describe() const;
+};
+
+/// Analyzes one path.
+RelationshipAnalysis AnalyzePath(const ErPath& path);
+
+/// Analyzes every simple path between two entity types up to `max_steps`
+/// steps — i.e. regenerates the rows of Table 1 for that entity pair.
+std::vector<RelationshipAnalysis> AnalyzePathsBetween(
+    const ERSchema& schema, const std::string& from, const std::string& to,
+    size_t max_steps);
+
+}  // namespace claks
+
+#endif  // CLAKS_ER_TRANSITIVE_H_

@@ -1,0 +1,135 @@
+// Copyright 2026 The claks Authors.
+
+#include "graph/banks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "common/macros.h"
+
+namespace claks {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Expansion {
+  std::vector<double> dist;
+  std::vector<uint32_t> parent;        // predecessor node
+  std::vector<uint32_t> parent_edge;   // edge used to reach node
+  std::vector<uint32_t> source;        // which keyword node we came from
+};
+
+double EdgeWeight(const DataGraph& graph, const DataAdjacency& adj,
+                  BanksWeightModel model) {
+  switch (model) {
+    case BanksWeightModel::kUniform:
+      return 1.0;
+    case BanksWeightModel::kDegreePenalized:
+      return 1.0 + std::log(1.0 + static_cast<double>(
+                                      graph.Degree(adj.neighbor)));
+  }
+  return 1.0;
+}
+
+// Multi-source Dijkstra from every node of one keyword set.
+Expansion Expand(const DataGraph& graph, const std::vector<uint32_t>& set,
+                 const BanksOptions& options) {
+  Expansion exp;
+  exp.dist.assign(graph.num_nodes(), kInf);
+  exp.parent.assign(graph.num_nodes(), UINT32_MAX);
+  exp.parent_edge.assign(graph.num_nodes(), UINT32_MAX);
+  exp.source.assign(graph.num_nodes(), UINT32_MAX);
+
+  using Item = std::pair<double, uint32_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  for (uint32_t node : set) {
+    CLAKS_CHECK_LT(node, graph.num_nodes());
+    if (exp.dist[node] > 0.0) {
+      exp.dist[node] = 0.0;
+      exp.source[node] = node;
+      pq.emplace(0.0, node);
+    }
+  }
+  double max_dist = static_cast<double>(options.max_distance);
+  while (!pq.empty()) {
+    auto [d, node] = pq.top();
+    pq.pop();
+    if (d > exp.dist[node]) continue;
+    if (d >= max_dist) continue;
+    for (const DataAdjacency& adj : graph.Neighbors(node)) {
+      double nd = d + EdgeWeight(graph, adj, options.weight_model);
+      if (nd < exp.dist[adj.neighbor]) {
+        exp.dist[adj.neighbor] = nd;
+        exp.parent[adj.neighbor] = node;
+        exp.parent_edge[adj.neighbor] = adj.edge_index;
+        exp.source[adj.neighbor] = exp.source[node];
+        pq.emplace(nd, adj.neighbor);
+      }
+    }
+  }
+  return exp;
+}
+
+}  // namespace
+
+std::vector<AnswerTree> BanksBackwardSearch(
+    const DataGraph& graph,
+    const std::vector<std::vector<uint32_t>>& keyword_node_sets,
+    const BanksOptions& options) {
+  if (keyword_node_sets.empty()) return {};
+  for (const auto& set : keyword_node_sets) {
+    if (set.empty()) return {};
+  }
+
+  std::vector<Expansion> expansions;
+  expansions.reserve(keyword_node_sets.size());
+  for (const auto& set : keyword_node_sets) {
+    expansions.push_back(Expand(graph, set, options));
+  }
+
+  // Candidate roots: reached by every expansion.
+  std::vector<std::pair<double, uint32_t>> candidates;
+  for (uint32_t v = 0; v < graph.num_nodes(); ++v) {
+    double total = 0.0;
+    bool ok = true;
+    for (const Expansion& exp : expansions) {
+      if (exp.dist[v] == kInf) {
+        ok = false;
+        break;
+      }
+      total += exp.dist[v];
+    }
+    if (ok) candidates.emplace_back(total, v);
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  std::vector<AnswerTree> answers;
+  // Deduplicate answers that collapse to the same edge set: a root in the
+  // middle of a path and its neighbour can describe the same tree.
+  std::set<std::vector<uint32_t>> seen_edge_sets;
+  for (const auto& [total, root] : candidates) {
+    if (answers.size() >= options.top_k) break;
+    AnswerTree tree;
+    tree.root = root;
+    tree.weight = total;
+    std::set<uint32_t> edges;
+    for (const Expansion& exp : expansions) {
+      tree.keyword_nodes.push_back(exp.source[root]);
+      uint32_t node = root;
+      while (exp.parent[node] != UINT32_MAX) {
+        edges.insert(exp.parent_edge[node]);
+        node = exp.parent[node];
+      }
+    }
+    tree.edge_indices.assign(edges.begin(), edges.end());
+    if (!seen_edge_sets.insert(tree.edge_indices).second) continue;
+    answers.push_back(std::move(tree));
+  }
+  return answers;
+}
+
+}  // namespace claks

@@ -1,0 +1,60 @@
+// Copyright 2026 The claks Authors.
+//
+// BANKS-style backward expanding search [Aditya et al., VLDB'02]: answers
+// are rooted trees connecting at least one tuple from every keyword set,
+// found by running shortest-path expansions backwards from the keyword
+// tuples and meeting at common roots. This is one of the two baselines the
+// paper positions itself against (the other is DISCOVER's MTJNT,
+// core/mtjnt.h).
+
+#ifndef CLAKS_GRAPH_BANKS_H_
+#define CLAKS_GRAPH_BANKS_H_
+
+#include <vector>
+
+#include "graph/data_graph.h"
+
+namespace claks {
+
+/// Edge-weight models for the expansion.
+enum class BanksWeightModel {
+  /// Every edge costs 1 (pure hop count).
+  kUniform,
+  /// Edges into high-in-degree nodes cost more, BANKS-style:
+  /// w = 1 + log(1 + degree(target)). Penalises hub tuples.
+  kDegreePenalized,
+};
+
+struct BanksOptions {
+  size_t top_k = 10;
+  BanksWeightModel weight_model = BanksWeightModel::kUniform;
+  /// Expansion radius: keyword tuples farther than this many edges from a
+  /// candidate root never join its answer.
+  size_t max_distance = 6;
+};
+
+/// One answer: a tree rooted at `root` spanning one tuple per keyword set.
+struct AnswerTree {
+  uint32_t root = 0;
+  /// One entry per keyword set: the matched leaf node.
+  std::vector<uint32_t> keyword_nodes;
+  /// Edge indices (into DataGraph::edge) forming the tree, deduplicated.
+  std::vector<uint32_t> edge_indices;
+  /// Sum of root->keyword-node path weights (BANKS's tree cost proxy).
+  double weight = 0.0;
+
+  size_t size() const { return edge_indices.size() + 1; }
+};
+
+/// Runs backward expanding search: one multi-source Dijkstra per keyword
+/// set, then roots ranked by total distance. Returns at most
+/// `options.top_k` trees, best (lightest) first. Empty keyword sets yield
+/// no answers.
+std::vector<AnswerTree> BanksBackwardSearch(
+    const DataGraph& graph,
+    const std::vector<std::vector<uint32_t>>& keyword_node_sets,
+    const BanksOptions& options = {});
+
+}  // namespace claks
+
+#endif  // CLAKS_GRAPH_BANKS_H_

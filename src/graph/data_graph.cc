@@ -1,0 +1,107 @@
+// Copyright 2026 The claks Authors.
+
+#include "graph/data_graph.h"
+
+#include <deque>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace claks {
+
+DataGraph::DataGraph(const Database* db) : db_(db) {
+  CLAKS_CHECK(db_ != nullptr);
+  // Dense node ids: table-major, row-minor.
+  for (uint32_t t = 0; t < db_->num_tables(); ++t) {
+    for (uint32_t r = 0; r < db_->table(t).num_rows(); ++r) {
+      TupleId id{t, r};
+      tuple_to_node_.emplace(id.Pack(),
+                             static_cast<uint32_t>(node_to_tuple_.size()));
+      node_to_tuple_.push_back(id);
+    }
+  }
+  adjacency_.resize(node_to_tuple_.size());
+  for (const FkEdge& fk_edge : db_->ResolveAllFkEdges()) {
+    uint32_t from_node = NodeOf(fk_edge.from);
+    uint32_t to_node = NodeOf(fk_edge.to);
+    uint32_t edge_index = static_cast<uint32_t>(edges_.size());
+    edges_.push_back(DataEdge{fk_edge.from, fk_edge.to, fk_edge.fk_index});
+    adjacency_[from_node].push_back(
+        DataAdjacency{edge_index, to_node, true});
+    adjacency_[to_node].push_back(
+        DataAdjacency{edge_index, from_node, false});
+  }
+}
+
+uint32_t DataGraph::NodeOf(TupleId tuple) const {
+  auto it = tuple_to_node_.find(tuple.Pack());
+  CLAKS_CHECK(it != tuple_to_node_.end());
+  return it->second;
+}
+
+TupleId DataGraph::TupleOf(uint32_t node) const {
+  CLAKS_CHECK_LT(node, node_to_tuple_.size());
+  return node_to_tuple_[node];
+}
+
+const DataEdge& DataGraph::edge(uint32_t edge_index) const {
+  CLAKS_CHECK_LT(edge_index, edges_.size());
+  return edges_[edge_index];
+}
+
+const std::vector<DataAdjacency>& DataGraph::Neighbors(uint32_t node) const {
+  CLAKS_CHECK_LT(node, adjacency_.size());
+  return adjacency_[node];
+}
+
+size_t DataGraph::MaxDegree() const {
+  size_t max_degree = 0;
+  for (const auto& adj : adjacency_) {
+    max_degree = std::max(max_degree, adj.size());
+  }
+  return max_degree;
+}
+
+double DataGraph::AvgDegree() const {
+  if (adjacency_.empty()) return 0.0;
+  return 2.0 * static_cast<double>(edges_.size()) /
+         static_cast<double>(adjacency_.size());
+}
+
+size_t DataGraph::CountConnectedComponents() const {
+  std::vector<bool> seen(num_nodes(), false);
+  size_t components = 0;
+  for (uint32_t start = 0; start < num_nodes(); ++start) {
+    if (seen[start]) continue;
+    ++components;
+    std::deque<uint32_t> queue{start};
+    seen[start] = true;
+    while (!queue.empty()) {
+      uint32_t cur = queue.front();
+      queue.pop_front();
+      for (const DataAdjacency& adj : adjacency_[cur]) {
+        if (!seen[adj.neighbor]) {
+          seen[adj.neighbor] = true;
+          queue.push_back(adj.neighbor);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+std::string DataGraph::ToString(size_t max_edges) const {
+  std::string out = StrFormat("DATA GRAPH: %zu nodes, %zu edges\n",
+                              num_nodes(), num_edges());
+  size_t shown = std::min(max_edges, edges_.size());
+  for (size_t e = 0; e < shown; ++e) {
+    out += "  " + db_->TupleLabel(edges_[e].from) + " -> " +
+           db_->TupleLabel(edges_[e].to) + "\n";
+  }
+  if (shown < edges_.size()) {
+    out += StrFormat("  ... (%zu more edges)\n", edges_.size() - shown);
+  }
+  return out;
+}
+
+}  // namespace claks

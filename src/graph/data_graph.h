@@ -1,0 +1,82 @@
+// Copyright 2026 The claks Authors.
+//
+// Data graph: one node per tuple, one undirected edge per foreign-key
+// instance link. Every "connection of tuples" the paper discusses is a
+// subgraph of this graph.
+
+#ifndef CLAKS_GRAPH_DATA_GRAPH_H_
+#define CLAKS_GRAPH_DATA_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/database.h"
+
+namespace claks {
+
+/// One FK instance edge. `from` is always the referencing (FK-owning)
+/// tuple, `to` the referenced tuple; `fk_index` identifies the FK within
+/// from's table.
+struct DataEdge {
+  TupleId from;
+  TupleId to;
+  uint32_t fk_index = 0;
+};
+
+/// Direction-aware adjacency entry as seen from one node.
+struct DataAdjacency {
+  uint32_t edge_index = 0;
+  uint32_t neighbor = 0;  ///< node id of the other endpoint
+  /// True when the traversal follows the FK (this node is the referencing
+  /// side).
+  bool along_fk = true;
+};
+
+/// Dense-node-id view of a database's tuples and FK links.
+class DataGraph {
+ public:
+  /// Builds the graph over all tuples of `db`. The database must outlive
+  /// the graph.
+  explicit DataGraph(const Database* db);
+
+  const Database& database() const { return *db_; }
+
+  size_t num_nodes() const { return node_to_tuple_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Node id of a tuple. Every tuple of the database has a node.
+  uint32_t NodeOf(TupleId tuple) const;
+
+  /// Tuple addressed by a node id.
+  TupleId TupleOf(uint32_t node) const;
+
+  const DataEdge& edge(uint32_t edge_index) const;
+
+  /// Edges incident to `node`, both directions, deterministic order.
+  const std::vector<DataAdjacency>& Neighbors(uint32_t node) const;
+
+  size_t Degree(uint32_t node) const { return Neighbors(node).size(); }
+
+  /// Maximum and average node degree (graph shape diagnostics).
+  size_t MaxDegree() const;
+  double AvgDegree() const;
+
+  /// Number of connected components.
+  size_t CountConnectedComponents() const;
+
+  std::string ToString(size_t max_edges = 50) const;
+
+ private:
+  const Database* db_;
+  std::vector<TupleId> node_to_tuple_;
+  std::unordered_map<uint64_t, uint32_t> tuple_to_node_;
+  std::vector<DataEdge> edges_;
+  std::vector<std::vector<DataAdjacency>> adjacency_;
+};
+
+}  // namespace claks
+
+#endif  // CLAKS_GRAPH_DATA_GRAPH_H_

@@ -1,0 +1,107 @@
+// Copyright 2026 The claks Authors.
+
+#include "graph/schema_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/macros.h"
+
+namespace claks {
+
+SchemaGraph::SchemaGraph(const Database* db) : db_(db) {
+  CLAKS_CHECK(db_ != nullptr);
+  adjacency_.resize(db_->num_tables());
+  for (uint32_t t = 0; t < db_->num_tables(); ++t) {
+    const auto& fks = db_->table(t).schema().foreign_keys();
+    for (uint32_t f = 0; f < fks.size(); ++f) {
+      auto target = db_->TableIndex(fks[f].referenced_table);
+      if (!target.has_value()) continue;  // integrity checked elsewhere
+      uint32_t edge_index = static_cast<uint32_t>(edges_.size());
+      edges_.push_back(SchemaEdge{t, *target, f});
+      adjacency_[t].push_back(SchemaAdjacency{edge_index, *target, true});
+      adjacency_[*target].push_back(SchemaAdjacency{edge_index, t, false});
+    }
+  }
+}
+
+const std::vector<SchemaAdjacency>& SchemaGraph::Neighbors(
+    uint32_t table) const {
+  CLAKS_CHECK_LT(table, adjacency_.size());
+  return adjacency_[table];
+}
+
+size_t SchemaGraph::Distance(uint32_t from, uint32_t to) const {
+  CLAKS_CHECK_LT(from, adjacency_.size());
+  CLAKS_CHECK_LT(to, adjacency_.size());
+  if (from == to) return 0;
+  std::vector<size_t> dist(adjacency_.size(), SIZE_MAX);
+  std::deque<uint32_t> queue{from};
+  dist[from] = 0;
+  while (!queue.empty()) {
+    uint32_t cur = queue.front();
+    queue.pop_front();
+    for (const SchemaAdjacency& adj : adjacency_[cur]) {
+      if (dist[adj.neighbor] != SIZE_MAX) continue;
+      dist[adj.neighbor] = dist[cur] + 1;
+      if (adj.neighbor == to) return dist[adj.neighbor];
+      queue.push_back(adj.neighbor);
+    }
+  }
+  return dist[to];
+}
+
+namespace {
+
+void EnumerateTablePathsRec(
+    const SchemaGraph& graph, uint32_t current, uint32_t goal,
+    size_t max_edges, std::vector<SchemaAdjacency>* prefix,
+    std::vector<bool>* visited,
+    std::vector<std::vector<SchemaAdjacency>>* out) {
+  if (current == goal && !prefix->empty()) {
+    out->push_back(*prefix);
+    // Do not return: longer paths revisiting goal are excluded anyway by
+    // the visited set, but a path may pass through goal only at its end —
+    // with simple paths, reaching goal ends the path.
+    return;
+  }
+  if (prefix->size() >= max_edges) return;
+  for (const SchemaAdjacency& adj : graph.Neighbors(current)) {
+    if ((*visited)[adj.neighbor]) continue;
+    (*visited)[adj.neighbor] = true;
+    prefix->push_back(adj);
+    EnumerateTablePathsRec(graph, adj.neighbor, goal, max_edges, prefix,
+                           visited, out);
+    prefix->pop_back();
+    (*visited)[adj.neighbor] = false;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<SchemaAdjacency>> SchemaGraph::EnumerateTablePaths(
+    uint32_t from, uint32_t to, size_t max_edges) const {
+  std::vector<std::vector<SchemaAdjacency>> out;
+  std::vector<SchemaAdjacency> prefix;
+  std::vector<bool> visited(adjacency_.size(), false);
+  visited[from] = true;
+  EnumerateTablePathsRec(*this, from, to, max_edges, &prefix, &visited,
+                         &out);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.size() < b.size();
+                   });
+  return out;
+}
+
+std::string SchemaGraph::ToString() const {
+  std::string out = "SCHEMA GRAPH\n";
+  for (const SchemaEdge& edge : edges_) {
+    out += "  " + db_->table(edge.from_table).name() + " -> " +
+           db_->table(edge.to_table).name() + " (fk " +
+           std::to_string(edge.fk_index) + ")\n";
+  }
+  return out;
+}
+
+}  // namespace claks

@@ -1,0 +1,66 @@
+// Copyright 2026 The claks Authors.
+//
+// Schema graph: one node per table, one edge per foreign key. Candidate
+// network generation (DISCOVER) and path reasoning happen here.
+
+#ifndef CLAKS_GRAPH_SCHEMA_GRAPH_H_
+#define CLAKS_GRAPH_SCHEMA_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+
+namespace claks {
+
+/// One schema edge: table `from_table` declares FK number `fk_index`
+/// referencing `to_table`.
+struct SchemaEdge {
+  uint32_t from_table = 0;
+  uint32_t to_table = 0;
+  uint32_t fk_index = 0;
+};
+
+/// Direction-aware view of a schema edge from one endpoint.
+struct SchemaAdjacency {
+  uint32_t edge_index = 0;
+  uint32_t neighbor = 0;
+  /// True when traversing the FK from referencing to referenced table.
+  bool along_fk = true;
+};
+
+class SchemaGraph {
+ public:
+  /// Builds the graph from the database catalog. The database must outlive
+  /// the graph.
+  explicit SchemaGraph(const Database* db);
+
+  const Database& database() const { return *db_; }
+  size_t num_tables() const { return adjacency_.size(); }
+  const std::vector<SchemaEdge>& edges() const { return edges_; }
+
+  /// Edges incident to `table`, both directions.
+  const std::vector<SchemaAdjacency>& Neighbors(uint32_t table) const;
+
+  /// BFS distance (number of FK edges, direction ignored) between two
+  /// tables; SIZE_MAX when disconnected.
+  size_t Distance(uint32_t from, uint32_t to) const;
+
+  /// All simple table paths (≤ max_edges edges) between two tables. A path
+  /// is a sequence of adjacency steps; tables may repeat across different
+  /// paths but not within one.
+  std::vector<std::vector<SchemaAdjacency>> EnumerateTablePaths(
+      uint32_t from, uint32_t to, size_t max_edges) const;
+
+  std::string ToString() const;
+
+ private:
+  const Database* db_;
+  std::vector<SchemaEdge> edges_;
+  std::vector<std::vector<SchemaAdjacency>> adjacency_;
+};
+
+}  // namespace claks
+
+#endif  // CLAKS_GRAPH_SCHEMA_GRAPH_H_

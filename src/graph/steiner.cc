@@ -1,0 +1,113 @@
+// Copyright 2026 The claks Authors.
+
+#include "graph/steiner.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/macros.h"
+#include "graph/traversal.h"
+
+namespace claks {
+
+std::vector<uint32_t> SteinerTree::Nodes(const DataGraph& graph) const {
+  std::set<uint32_t> nodes(terminals.begin(), terminals.end());
+  for (uint32_t e : edge_indices) {
+    const DataEdge& edge = graph.edge(e);
+    nodes.insert(graph.NodeOf(edge.from));
+    nodes.insert(graph.NodeOf(edge.to));
+  }
+  return std::vector<uint32_t>(nodes.begin(), nodes.end());
+}
+
+std::optional<SteinerTree> ApproximateSteinerTree(
+    const DataGraph& graph, const std::vector<uint32_t>& terminals) {
+  if (terminals.empty()) return SteinerTree{};
+  // Deduplicate terminals, keep deterministic order.
+  std::vector<uint32_t> terms;
+  for (uint32_t t : terminals) {
+    if (std::find(terms.begin(), terms.end(), t) == terms.end()) {
+      terms.push_back(t);
+    }
+  }
+  if (terms.size() == 1) return SteinerTree{{terms[0]}, {}, 0};
+
+  // Metric closure: BFS from each terminal.
+  std::vector<std::vector<size_t>> dist;
+  dist.reserve(terms.size());
+  for (uint32_t t : terms) {
+    dist.push_back(BfsDistances(graph, t));
+  }
+  for (size_t i = 0; i < terms.size(); ++i) {
+    for (size_t j = i + 1; j < terms.size(); ++j) {
+      if (dist[i][terms[j]] == SIZE_MAX) return std::nullopt;
+    }
+  }
+
+  // Prim's MST over the closure.
+  std::vector<bool> in_tree(terms.size(), false);
+  std::vector<size_t> best(terms.size(), SIZE_MAX);
+  std::vector<size_t> best_from(terms.size(), 0);
+  in_tree[0] = true;
+  for (size_t j = 1; j < terms.size(); ++j) {
+    best[j] = dist[0][terms[j]];
+    best_from[j] = 0;
+  }
+  std::vector<std::pair<size_t, size_t>> mst_edges;  // (terminal i, j)
+  for (size_t added = 1; added < terms.size(); ++added) {
+    size_t pick = SIZE_MAX;
+    for (size_t j = 0; j < terms.size(); ++j) {
+      if (!in_tree[j] && (pick == SIZE_MAX || best[j] < best[pick])) {
+        pick = j;
+      }
+    }
+    CLAKS_CHECK_NE(pick, SIZE_MAX);
+    in_tree[pick] = true;
+    mst_edges.emplace_back(best_from[pick], pick);
+    for (size_t j = 0; j < terms.size(); ++j) {
+      if (!in_tree[j] && dist[pick][terms[j]] < best[j]) {
+        best[j] = dist[pick][terms[j]];
+        best_from[j] = pick;
+      }
+    }
+  }
+
+  // Expand closure edges to graph shortest paths and collect edges.
+  std::set<uint32_t> edges;
+  for (const auto& [i, j] : mst_edges) {
+    auto path = ShortestPath(graph, terms[i], terms[j]);
+    CLAKS_CHECK(path.has_value());
+    for (const DataAdjacency& step : path->steps) {
+      edges.insert(step.edge_index);
+    }
+  }
+
+  // Prune non-terminal leaves repeatedly (the union of paths may contain
+  // redundant twigs).
+  std::set<uint32_t> terminal_set(terms.begin(), terms.end());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<uint32_t, std::vector<uint32_t>> incident;  // node -> edges
+    for (uint32_t e : edges) {
+      const DataEdge& edge = graph.edge(e);
+      incident[graph.NodeOf(edge.from)].push_back(e);
+      incident[graph.NodeOf(edge.to)].push_back(e);
+    }
+    for (const auto& [node, node_edges] : incident) {
+      if (node_edges.size() == 1 && terminal_set.count(node) == 0) {
+        edges.erase(node_edges[0]);
+        changed = true;
+      }
+    }
+  }
+
+  SteinerTree tree;
+  tree.terminals = terms;
+  tree.edge_indices.assign(edges.begin(), edges.end());
+  tree.weight = tree.edge_indices.size();
+  return tree;
+}
+
+}  // namespace claks

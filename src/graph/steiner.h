@@ -1,0 +1,37 @@
+// Copyright 2026 The claks Authors.
+//
+// Approximate Steiner trees over the data graph. Keyword-search systems in
+// the BANKS family model an answer as a Steiner tree spanning the keyword
+// tuples; we provide the classic metric-closure 2-approximation as a
+// baseline and for tests.
+
+#ifndef CLAKS_GRAPH_STEINER_H_
+#define CLAKS_GRAPH_STEINER_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/data_graph.h"
+
+namespace claks {
+
+/// An (approximate) Steiner tree: the spanned terminals, the tree edges and
+/// the total edge count (uniform weights).
+struct SteinerTree {
+  std::vector<uint32_t> terminals;
+  std::vector<uint32_t> edge_indices;
+  size_t weight = 0;
+
+  /// Distinct nodes touched by the tree edges plus isolated terminals.
+  std::vector<uint32_t> Nodes(const DataGraph& graph) const;
+};
+
+/// Metric-closure 2-approximation: BFS metric over terminals, MST over the
+/// closure, union of shortest paths, then pruning of non-terminal leaves.
+/// Returns nullopt when the terminals are not all connected.
+std::optional<SteinerTree> ApproximateSteinerTree(
+    const DataGraph& graph, const std::vector<uint32_t>& terminals);
+
+}  // namespace claks
+
+#endif  // CLAKS_GRAPH_STEINER_H_

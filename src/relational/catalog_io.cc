@@ -1,0 +1,186 @@
+// Copyright 2026 The claks Authors.
+
+#include "relational/catalog_io.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "relational/csv.h"
+
+namespace claks {
+
+namespace {
+
+Result<ValueType> ParseValueType(const std::string& text) {
+  if (text == "STRING") return ValueType::kString;
+  if (text == "INT64") return ValueType::kInt64;
+  if (text == "DOUBLE") return ValueType::kDouble;
+  if (text == "BOOL") return ValueType::kBool;
+  return Status::ParseError("unknown type '" + text + "'");
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot write '" + path + "'");
+  out << content;
+  if (!out.good()) return Status::Internal("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string SerializeCatalog(const Database& db) {
+  std::string out = "# claks catalog\n";
+  for (size_t t = 0; t < db.num_tables(); ++t) {
+    const TableSchema& schema = db.table(t).schema();
+    out += "TABLE " + schema.name() + "\n";
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      const AttributeDef& attr = schema.attribute(a);
+      out += StrFormat("ATTR %s %s %s %s\n", attr.name.c_str(),
+                       ValueTypeToString(attr.type),
+                       attr.nullable ? "nullable" : "notnull",
+                       attr.searchable ? "searchable" : "nosearch");
+    }
+    out += "PK " + Join(schema.primary_key(), " ") + "\n";
+    for (const ForeignKeyDef& fk : schema.foreign_keys()) {
+      out += "FK " + fk.constraint_name + " " +
+             Join(fk.local_attributes, " ") + " REFERENCES " +
+             fk.referenced_table + " " +
+             Join(fk.referenced_attributes, " ") + "\n";
+    }
+    out += "END\n";
+  }
+  return out;
+}
+
+Result<std::vector<TableSchema>> ParseCatalog(const std::string& text) {
+  std::vector<TableSchema> out;
+
+  std::string table_name;
+  std::vector<AttributeDef> attributes;
+  std::vector<std::string> primary_key;
+  std::vector<ForeignKeyDef> foreign_keys;
+  bool in_table = false;
+  size_t line_no = 0;
+
+  auto error = [&](const std::string& message) {
+    return Status::ParseError(
+        StrFormat("catalog line %zu: %s", line_no, message.c_str()));
+  };
+
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string line(Trim(raw));
+    if (line.empty() || line[0] == '#') continue;
+    auto tokens = SplitWhitespace(line);
+    const std::string& keyword = tokens[0];
+
+    if (keyword == "TABLE") {
+      if (in_table) return error("nested TABLE");
+      if (tokens.size() != 2) return error("TABLE needs a name");
+      in_table = true;
+      table_name = tokens[1];
+      attributes.clear();
+      primary_key.clear();
+      foreign_keys.clear();
+    } else if (keyword == "ATTR") {
+      if (!in_table) return error("ATTR outside TABLE");
+      if (tokens.size() != 5) {
+        return error("ATTR needs: name type null-mode search-mode");
+      }
+      AttributeDef attr;
+      attr.name = tokens[1];
+      CLAKS_ASSIGN_OR_RETURN(attr.type, ParseValueType(tokens[2]));
+      if (tokens[3] == "nullable") attr.nullable = true;
+      else if (tokens[3] == "notnull") attr.nullable = false;
+      else return error("bad null-mode '" + tokens[3] + "'");
+      if (tokens[4] == "searchable") attr.searchable = true;
+      else if (tokens[4] == "nosearch") attr.searchable = false;
+      else return error("bad search-mode '" + tokens[4] + "'");
+      attributes.push_back(std::move(attr));
+    } else if (keyword == "PK") {
+      if (!in_table) return error("PK outside TABLE");
+      primary_key.assign(tokens.begin() + 1, tokens.end());
+    } else if (keyword == "FK") {
+      if (!in_table) return error("FK outside TABLE");
+      // FK <name> <local...> REFERENCES <table> <ref...>
+      auto references = std::find(tokens.begin(), tokens.end(),
+                                  std::string("REFERENCES"));
+      // Before REFERENCES: FK, name, >=1 local attr. After: table,
+      // >=1 referenced attr.
+      if (references == tokens.end() || references - tokens.begin() < 3 ||
+          tokens.end() - references < 3) {
+        return error("bad FK syntax");
+      }
+      ForeignKeyDef fk;
+      fk.constraint_name = tokens[1];
+      fk.local_attributes.assign(tokens.begin() + 2, references);
+      fk.referenced_table = *(references + 1);
+      fk.referenced_attributes.assign(references + 2, tokens.end());
+      if (fk.local_attributes.empty() ||
+          fk.local_attributes.size() != fk.referenced_attributes.size()) {
+        return error("FK arity mismatch");
+      }
+      foreign_keys.push_back(std::move(fk));
+    } else if (keyword == "END") {
+      if (!in_table) return error("END outside TABLE");
+      TableSchema schema(table_name, attributes, primary_key, foreign_keys);
+      CLAKS_RETURN_NOT_OK(schema.Validate().WithContext(
+          StrFormat("catalog line %zu", line_no)));
+      out.push_back(std::move(schema));
+      in_table = false;
+    } else {
+      return error("unknown keyword '" + keyword + "'");
+    }
+  }
+  if (in_table) {
+    return Status::ParseError("catalog ended inside TABLE '" + table_name +
+                              "'");
+  }
+  return out;
+}
+
+Status SaveDatabase(const Database& db, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::Internal("cannot create '" + dir + "'");
+  CLAKS_RETURN_NOT_OK(
+      WriteFile(dir + "/catalog.txt", SerializeCatalog(db)));
+  for (size_t t = 0; t < db.num_tables(); ++t) {
+    const Table& table = db.table(t);
+    CLAKS_RETURN_NOT_OK(WriteFile(dir + "/" + table.name() + ".csv",
+                                  TableToCsv(table)));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Database>> LoadDatabase(const std::string& dir) {
+  CLAKS_ASSIGN_OR_RETURN(std::string catalog,
+                         ReadFile(dir + "/catalog.txt"));
+  CLAKS_ASSIGN_OR_RETURN(auto schemas, ParseCatalog(catalog));
+  auto db = std::make_unique<Database>();
+  for (TableSchema& schema : schemas) {
+    std::string name = schema.name();
+    CLAKS_ASSIGN_OR_RETURN(Table * table, db->AddTable(std::move(schema)));
+    CLAKS_ASSIGN_OR_RETURN(std::string csv,
+                           ReadFile(dir + "/" + name + ".csv"));
+    CLAKS_RETURN_NOT_OK(
+        LoadCsvInto(table, csv).WithContext("table '" + name + "'"));
+  }
+  CLAKS_RETURN_NOT_OK(db->CheckReferentialIntegrity());
+  return db;
+}
+
+}  // namespace claks

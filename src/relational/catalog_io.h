@@ -1,0 +1,44 @@
+// Copyright 2026 The claks Authors.
+//
+// Catalog and database persistence: schemas serialise to a small
+// line-oriented text format, instances to CSV (one file per table), so any
+// dataset can be exported, versioned and reloaded.
+//
+// Catalog format (one statement per line, "#" comments allowed):
+//
+//   TABLE EMPLOYEE
+//   ATTR SSN STRING notnull key nosearch
+//   ATTR L_NAME STRING notnull searchable
+//   ATTR D_ID STRING notnull nosearch
+//   PK SSN
+//   FK WORKS_FOR D_ID REFERENCES DEPARTMENT ID
+//   END
+
+#ifndef CLAKS_RELATIONAL_CATALOG_IO_H_
+#define CLAKS_RELATIONAL_CATALOG_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/database.h"
+
+namespace claks {
+
+/// Serialises every table schema of `db`.
+std::string SerializeCatalog(const Database& db);
+
+/// Parses a catalog back into table schemas (declaration order preserved).
+Result<std::vector<TableSchema>> ParseCatalog(const std::string& text);
+
+/// Writes `dir/catalog.txt` plus one `<table>.csv` per table. Creates the
+/// directory when missing.
+Status SaveDatabase(const Database& db, const std::string& dir);
+
+/// Loads a database previously written by SaveDatabase and verifies
+/// referential integrity.
+Result<std::unique_ptr<Database>> LoadDatabase(const std::string& dir);
+
+}  // namespace claks
+
+#endif  // CLAKS_RELATIONAL_CATALOG_IO_H_

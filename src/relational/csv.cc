@@ -1,0 +1,150 @@
+// Copyright 2026 The claks Authors.
+
+#include "relational/csv.h"
+
+#include "common/string_util.h"
+
+namespace claks {
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text, char sep) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"') {
+      if (field_started && !field.empty()) {
+        return Status::ParseError(
+            StrFormat("unexpected quote mid-field at offset %zu", i));
+      }
+      in_quotes = true;
+      field_started = true;
+    } else if (c == sep) {
+      end_field();
+    } else if (c == '\r') {
+      // Swallow; the following \n (if any) ends the record.
+    } else if (c == '\n') {
+      end_record();
+    } else {
+      field += c;
+      field_started = true;
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted field");
+  // Final record without trailing newline.
+  if (field_started || !record.empty() || !field.empty()) end_record();
+  return records;
+}
+
+Status LoadCsvInto(Table* table, const std::string& text, bool has_header,
+                   char sep) {
+  CLAKS_ASSIGN_OR_RETURN(auto records, ParseCsv(text, sep));
+  size_t start = 0;
+  const TableSchema& schema = table->schema();
+  if (has_header) {
+    if (records.empty()) return Status::ParseError("missing CSV header");
+    if (records[0].size() != schema.num_attributes()) {
+      return Status::ParseError(StrFormat(
+          "CSV header has %zu fields, schema '%s' has %zu attributes",
+          records[0].size(), schema.name().c_str(),
+          schema.num_attributes()));
+    }
+    for (size_t i = 0; i < records[0].size(); ++i) {
+      if (records[0][i] != schema.attribute(i).name) {
+        return Status::ParseError("CSV header field '" + records[0][i] +
+                                  "' does not match attribute '" +
+                                  schema.attribute(i).name + "'");
+      }
+    }
+    start = 1;
+  }
+  for (size_t r = start; r < records.size(); ++r) {
+    const auto& record = records[r];
+    if (record.size() != schema.num_attributes()) {
+      return Status::ParseError(
+          StrFormat("CSV record %zu has %zu fields, expected %zu", r,
+                    record.size(), schema.num_attributes()));
+    }
+    Row row;
+    row.reserve(record.size());
+    for (size_t i = 0; i < record.size(); ++i) {
+      // CSV cannot distinguish NULL from the empty string; by convention an
+      // empty field in a *nullable* column is NULL (non-nullable string
+      // columns keep "" as a value).
+      if (record[i].empty() && schema.attribute(i).nullable) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      CLAKS_ASSIGN_OR_RETURN(
+          Value v, Value::Parse(record[i], schema.attribute(i).type));
+      row.push_back(std::move(v));
+    }
+    CLAKS_RETURN_NOT_OK(table->Insert(std::move(row)).status().WithContext(
+        StrFormat("CSV record %zu", r)));
+  }
+  return Status::OK();
+}
+
+std::string CsvEscape(const std::string& field, char sep) {
+  bool needs_quotes = field.find(sep) != std::string::npos ||
+                      field.find('"') != std::string::npos ||
+                      field.find('\n') != std::string::npos ||
+                      field.find('\r') != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string TableToCsv(const Table& table, char sep) {
+  std::string out;
+  const TableSchema& schema = table.schema();
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (i > 0) out += sep;
+    out += CsvEscape(schema.attribute(i).name, sep);
+  }
+  out += '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const Row& row = table.row(r);
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += sep;
+      out += CsvEscape(row[i].ToString(), sep);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace claks

@@ -1,0 +1,38 @@
+// Copyright 2026 The claks Authors.
+//
+// RFC-4180-flavoured CSV parsing and serialisation so datasets can be
+// round-tripped as text.
+
+#ifndef CLAKS_RELATIONAL_CSV_H_
+#define CLAKS_RELATIONAL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace claks {
+
+/// Parses CSV text into rows of raw string fields. Handles quoted fields,
+/// embedded separators, escaped quotes ("") and both \n and \r\n line ends.
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text, char sep = ',');
+
+/// Loads CSV rows into `table`, converting each field to the attribute type.
+/// When `has_header` is true the first record must list the attribute names
+/// in schema order (a safety check against column drift). NULL convention:
+/// an empty field is NULL in nullable columns (of any type) and in
+/// non-string columns; a non-nullable string column keeps "" as a value.
+Status LoadCsvInto(Table* table, const std::string& text,
+                   bool has_header = true, char sep = ',');
+
+/// Serialises the table (with a header record) to CSV text.
+std::string TableToCsv(const Table& table, char sep = ',');
+
+/// Quotes a single field if it needs quoting.
+std::string CsvEscape(const std::string& field, char sep = ',');
+
+}  // namespace claks
+
+#endif  // CLAKS_RELATIONAL_CSV_H_

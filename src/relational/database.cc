@@ -1,0 +1,199 @@
+// Copyright 2026 The claks Authors.
+
+#include "relational/database.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace claks {
+
+Result<Table*> Database::AddTable(TableSchema schema) {
+  CLAKS_RETURN_NOT_OK(schema.Validate());
+  if (name_to_index_.count(schema.name()) > 0) {
+    return Status::AlreadyExists("table '" + schema.name() + "'");
+  }
+  name_to_index_.emplace(schema.name(),
+                         static_cast<uint32_t>(tables_.size()));
+  tables_.push_back(std::make_unique<Table>(std::move(schema)));
+  return tables_.back().get();
+}
+
+const Table& Database::table(size_t index) const {
+  CLAKS_CHECK_LT(index, tables_.size());
+  return *tables_[index];
+}
+
+Table* Database::mutable_table(size_t index) {
+  CLAKS_CHECK_LT(index, tables_.size());
+  return tables_[index].get();
+}
+
+std::optional<uint32_t> Database::TableIndex(const std::string& name) const {
+  auto it = name_to_index_.find(name);
+  if (it == name_to_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  auto idx = TableIndex(name);
+  return idx.has_value() ? tables_[*idx].get() : nullptr;
+}
+
+Table* Database::FindMutableTable(const std::string& name) {
+  auto idx = TableIndex(name);
+  return idx.has_value() ? tables_[*idx].get() : nullptr;
+}
+
+Result<const Table*> Database::RequireTable(const std::string& name) const {
+  const Table* t = FindTable(name);
+  if (t == nullptr) return Status::NotFound("table '" + name + "'");
+  return t;
+}
+
+const Row& Database::RowOf(TupleId id) const {
+  return table(id.table).row(id.row);
+}
+
+const TableSchema& Database::SchemaOf(TupleId id) const {
+  return table(id.table).schema();
+}
+
+size_t Database::TotalRows() const {
+  size_t total = 0;
+  for (const auto& t : tables_) total += t->num_rows();
+  return total;
+}
+
+namespace {
+
+// Resolves one FK of one row; returns the referenced row index or nullopt
+// when any FK value is NULL. `ref_pk_indices` are the referenced table's
+// positions for the referenced attributes.
+std::optional<size_t> ResolveOneFk(const Row& row,
+                                   const std::vector<size_t>& local_indices,
+                                   const Table& referenced) {
+  Row key;
+  key.reserve(local_indices.size());
+  for (size_t idx : local_indices) {
+    if (row[idx].is_null()) return std::nullopt;
+    key.push_back(row[idx]);
+  }
+  return referenced.FindByPrimaryKey(key);
+}
+
+}  // namespace
+
+Status Database::CheckReferentialIntegrity() const {
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    const Table& tab = *tables_[t];
+    const auto& fks = tab.schema().foreign_keys();
+    for (size_t f = 0; f < fks.size(); ++f) {
+      const ForeignKeyDef& fk = fks[f];
+      const Table* referenced = FindTable(fk.referenced_table);
+      if (referenced == nullptr) {
+        return Status::IntegrityViolation(
+            "table '" + tab.name() + "' references missing table '" +
+            fk.referenced_table + "'");
+      }
+      // The referenced attributes must be exactly the referenced table's
+      // primary key (we only support key-based references, as does the
+      // paper's model).
+      if (fk.referenced_attributes != referenced->schema().primary_key()) {
+        return Status::IntegrityViolation(
+            "foreign key of '" + tab.name() + "' does not reference the "
+            "primary key of '" + fk.referenced_table + "'");
+      }
+      std::vector<size_t> local_indices;
+      for (const auto& attr : fk.local_attributes) {
+        auto idx = tab.schema().AttributeIndex(attr);
+        CLAKS_CHECK(idx.has_value());
+        local_indices.push_back(*idx);
+      }
+      for (size_t r = 0; r < tab.num_rows(); ++r) {
+        const Row& row = tab.row(r);
+        bool any_null = false;
+        for (size_t idx : local_indices) {
+          if (row[idx].is_null()) any_null = true;
+        }
+        if (any_null) continue;
+        if (!ResolveOneFk(row, local_indices, *referenced).has_value()) {
+          return Status::IntegrityViolation(StrFormat(
+              "dangling foreign key: %s row %zu -> %s", tab.name().c_str(),
+              r, fk.referenced_table.c_str()));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<FkEdge> Database::ResolveAllFkEdges() const {
+  std::vector<FkEdge> edges;
+  for (uint32_t t = 0; t < tables_.size(); ++t) {
+    const Table& tab = *tables_[t];
+    for (uint32_t r = 0; r < tab.num_rows(); ++r) {
+      auto row_edges = ResolveFkEdgesFrom(TupleId{t, r});
+      edges.insert(edges.end(), row_edges.begin(), row_edges.end());
+    }
+  }
+  return edges;
+}
+
+std::vector<FkEdge> Database::ResolveFkEdgesFrom(TupleId id) const {
+  std::vector<FkEdge> edges;
+  const Table& tab = table(id.table);
+  const Row& row = tab.row(id.row);
+  const auto& fks = tab.schema().foreign_keys();
+  for (uint32_t f = 0; f < fks.size(); ++f) {
+    const ForeignKeyDef& fk = fks[f];
+    const Table* referenced = FindTable(fk.referenced_table);
+    if (referenced == nullptr) continue;
+    std::vector<size_t> local_indices;
+    local_indices.reserve(fk.local_attributes.size());
+    bool resolved_attrs = true;
+    for (const auto& attr : fk.local_attributes) {
+      auto idx = tab.schema().AttributeIndex(attr);
+      if (!idx.has_value()) {
+        resolved_attrs = false;
+        break;
+      }
+      local_indices.push_back(*idx);
+    }
+    if (!resolved_attrs) continue;
+    auto target_row = ResolveOneFk(row, local_indices, *referenced);
+    if (!target_row.has_value()) continue;
+    auto ref_index = TableIndex(fk.referenced_table);
+    CLAKS_CHECK(ref_index.has_value());
+    edges.push_back(FkEdge{
+        id, TupleId{*ref_index, static_cast<uint32_t>(*target_row)}, f});
+  }
+  return edges;
+}
+
+std::string Database::TupleLabel(TupleId id) const {
+  const Table& tab = table(id.table);
+  std::string out = tab.name() + ":";
+  const auto pk_indices = tab.schema().PrimaryKeyIndices();
+  for (size_t i = 0; i < pk_indices.size(); ++i) {
+    if (i > 0) out += ",";
+    out += tab.row(id.row)[pk_indices[i]].ToString();
+  }
+  return out;
+}
+
+std::string Database::TupleSummary(TupleId id, size_t max_chars) const {
+  const Table& tab = table(id.table);
+  const Row& row = tab.row(id.row);
+  std::string out;
+  for (size_t i = 0; i < row.size() && out.size() < max_chars; ++i) {
+    if (i > 0) out += " ";
+    out += tab.schema().attribute(i).name + "=" + row[i].ToString();
+  }
+  if (out.size() > max_chars) {
+    out.resize(max_chars);
+    out += "...";
+  }
+  return out;
+}
+
+}  // namespace claks

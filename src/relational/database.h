@@ -1,0 +1,85 @@
+// Copyright 2026 The claks Authors.
+//
+// Database: a catalog of tables plus referential-integrity checking and
+// resolution of foreign-key instance edges (the raw material of the data
+// graph).
+
+#ifndef CLAKS_RELATIONAL_DATABASE_H_
+#define CLAKS_RELATIONAL_DATABASE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace claks {
+
+/// One resolved foreign-key instance edge: tuple `from` (the referencing,
+/// N-side tuple) points at tuple `to` (the referenced, 1-side tuple) through
+/// foreign key `fk_index` of table `from.table`.
+struct FkEdge {
+  TupleId from;
+  TupleId to;
+  uint32_t fk_index = 0;
+};
+
+/// An in-memory relational database.
+class Database {
+ public:
+  Database() = default;
+
+  /// Registers a new table. Fails if the name already exists or the schema
+  /// is invalid.
+  Result<Table*> AddTable(TableSchema schema);
+
+  size_t num_tables() const { return tables_.size(); }
+  const Table& table(size_t index) const;
+  Table* mutable_table(size_t index);
+
+  /// Index of the table named `name`, or nullopt.
+  std::optional<uint32_t> TableIndex(const std::string& name) const;
+
+  /// Table pointer by name, nullptr if absent.
+  const Table* FindTable(const std::string& name) const;
+  Table* FindMutableTable(const std::string& name);
+
+  /// Fails if any table lacks one, same as FindTable but Status-reporting.
+  Result<const Table*> RequireTable(const std::string& name) const;
+
+  /// The row a TupleId addresses. CLAKS_CHECKs bounds.
+  const Row& RowOf(TupleId id) const;
+  const TableSchema& SchemaOf(TupleId id) const;
+
+  /// Total number of tuples across all tables.
+  size_t TotalRows() const;
+
+  /// Verifies every foreign-key value resolves to an existing referenced
+  /// row (NULL FK values are allowed and simply produce no edge).
+  Status CheckReferentialIntegrity() const;
+
+  /// Materialises every foreign-key instance edge in the database. Order is
+  /// deterministic: by table, by row, by fk declaration order.
+  std::vector<FkEdge> ResolveAllFkEdges() const;
+
+  /// Resolves the FK edges leaving one tuple (following each FK of its
+  /// table). NULL-valued FKs yield no edge.
+  std::vector<FkEdge> ResolveFkEdgesFrom(TupleId id) const;
+
+  /// Human-readable label for a tuple: "<table>:<pk values>".
+  std::string TupleLabel(TupleId id) const;
+
+  /// Short content summary of a tuple: "name=SMITH ssn=e1 ...".
+  std::string TupleSummary(TupleId id, size_t max_chars = 60) const;
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, uint32_t> name_to_index_;
+};
+
+}  // namespace claks
+
+#endif  // CLAKS_RELATIONAL_DATABASE_H_

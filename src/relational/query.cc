@@ -1,0 +1,274 @@
+// Copyright 2026 The claks Authors.
+
+#include "relational/query.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace claks {
+
+Result<bool> EvalPredicate(const TableSchema& schema, const Row& row,
+                           const Predicate& pred) {
+  CLAKS_ASSIGN_OR_RETURN(size_t idx,
+                         schema.RequireAttributeIndex(pred.attribute));
+  const Value& v = row[idx];
+  if (v.is_null()) return false;
+  switch (pred.op) {
+    case CompareOp::kEq:
+      return v == pred.constant;
+    case CompareOp::kNe:
+      return v != pred.constant;
+    case CompareOp::kLt:
+      return v < pred.constant;
+    case CompareOp::kLe:
+      return v < pred.constant || v == pred.constant;
+    case CompareOp::kGt:
+      return pred.constant < v;
+    case CompareOp::kGe:
+      return pred.constant < v || v == pred.constant;
+    case CompareOp::kContains:
+      if (v.type() != ValueType::kString ||
+          pred.constant.type() != ValueType::kString) {
+        return Status::InvalidArgument("CONTAINS requires string operands");
+      }
+      return ContainsIgnoreCase(v.AsString(), pred.constant.AsString());
+  }
+  return Status::Internal("unreachable");
+}
+
+Relation::Relation(std::vector<Column> columns, std::vector<Row> rows)
+    : columns_(std::move(columns)), rows_(std::move(rows)) {}
+
+Relation Relation::FromTable(const Table& table) {
+  std::vector<Column> columns;
+  columns.reserve(table.schema().num_attributes());
+  for (size_t i = 0; i < table.schema().num_attributes(); ++i) {
+    const AttributeDef& attr = table.schema().attribute(i);
+    columns.push_back(Column{table.name() + "." + attr.name, attr.type});
+  }
+  return Relation(std::move(columns), table.rows());
+}
+
+Result<size_t> Relation::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  // Allow unqualified names when unambiguous.
+  std::optional<size_t> found;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EndsWith(columns_[i].name, "." + name)) {
+      if (found.has_value()) {
+        return Status::InvalidArgument("ambiguous column '" + name + "'");
+      }
+      found = i;
+    }
+  }
+  if (!found.has_value()) {
+    return Status::NotFound("column '" + name + "'");
+  }
+  return *found;
+}
+
+Result<Relation> Relation::Select(const std::string& column, CompareOp op,
+                                  const Value& constant) const {
+  CLAKS_ASSIGN_OR_RETURN(size_t idx, ColumnIndex(column));
+  std::vector<Row> out;
+  for (const Row& row : rows_) {
+    const Value& v = row[idx];
+    if (v.is_null()) continue;
+    bool keep = false;
+    switch (op) {
+      case CompareOp::kEq:
+        keep = v == constant;
+        break;
+      case CompareOp::kNe:
+        keep = v != constant;
+        break;
+      case CompareOp::kLt:
+        keep = v < constant;
+        break;
+      case CompareOp::kLe:
+        keep = v < constant || v == constant;
+        break;
+      case CompareOp::kGt:
+        keep = constant < v;
+        break;
+      case CompareOp::kGe:
+        keep = constant < v || v == constant;
+        break;
+      case CompareOp::kContains:
+        if (v.type() != ValueType::kString ||
+            constant.type() != ValueType::kString) {
+          return Status::InvalidArgument("CONTAINS requires string operands");
+        }
+        keep = ContainsIgnoreCase(v.AsString(), constant.AsString());
+        break;
+    }
+    if (keep) out.push_back(row);
+  }
+  return Relation(columns_, std::move(out));
+}
+
+Result<Relation> Relation::Project(
+    const std::vector<std::string>& names) const {
+  std::vector<size_t> indices;
+  std::vector<Column> columns;
+  for (const auto& name : names) {
+    CLAKS_ASSIGN_OR_RETURN(size_t idx, ColumnIndex(name));
+    indices.push_back(idx);
+    columns.push_back(columns_[idx]);
+  }
+  std::vector<Row> out;
+  out.reserve(rows_.size());
+  for (const Row& row : rows_) {
+    Row projected;
+    projected.reserve(indices.size());
+    for (size_t idx : indices) projected.push_back(row[idx]);
+    out.push_back(std::move(projected));
+  }
+  return Relation(std::move(columns), std::move(out));
+}
+
+Result<Relation> Relation::Join(const Relation& right,
+                                const std::string& left_column,
+                                const std::string& right_column) const {
+  CLAKS_ASSIGN_OR_RETURN(size_t li, ColumnIndex(left_column));
+  CLAKS_ASSIGN_OR_RETURN(size_t ri, right.ColumnIndex(right_column));
+
+  std::unordered_multimap<size_t, size_t> hash;  // value hash -> right row
+  for (size_t r = 0; r < right.rows_.size(); ++r) {
+    const Value& v = right.rows_[r][ri];
+    if (v.is_null()) continue;
+    hash.emplace(v.Hash(), r);
+  }
+
+  std::vector<Column> columns = columns_;
+  columns.insert(columns.end(), right.columns_.begin(),
+                 right.columns_.end());
+
+  std::vector<Row> out;
+  for (const Row& lrow : rows_) {
+    const Value& lv = lrow[li];
+    if (lv.is_null()) continue;
+    auto range = hash.equal_range(lv.Hash());
+    for (auto it = range.first; it != range.second; ++it) {
+      const Row& rrow = right.rows_[it->second];
+      if (rrow[ri] != lv) continue;  // hash collision guard
+      Row joined = lrow;
+      joined.insert(joined.end(), rrow.begin(), rrow.end());
+      out.push_back(std::move(joined));
+    }
+  }
+  return Relation(std::move(columns), std::move(out));
+}
+
+Relation Relation::Distinct() const {
+  std::unordered_set<std::string> seen;
+  std::vector<Row> out;
+  std::vector<size_t> all(columns_.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  for (const Row& row : rows_) {
+    std::string key = MakeKey(row, all);
+    if (seen.insert(std::move(key)).second) out.push_back(row);
+  }
+  return Relation(columns_, std::move(out));
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    widths[i] = columns_[i].name.size();
+  }
+  size_t shown = std::min(max_rows, rows_.size());
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      widths[i] = std::max(widths[i], rows_[r][i].ToString().size());
+    }
+  }
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    out += PadRight(columns_[i].name, widths[i] + 2);
+  }
+  out += "\n";
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      out += PadRight(rows_[r][i].ToString(), widths[i] + 2);
+    }
+    out += "\n";
+  }
+  if (shown < rows_.size()) {
+    out += StrFormat("... (%zu more rows)\n", rows_.size() - shown);
+  }
+  return out;
+}
+
+namespace {
+
+// Finds an FK between `a` and `b` (either direction). Returns (fk, owner is
+// a?) or NotFound.
+struct FkBetween {
+  const ForeignKeyDef* fk;
+  bool owned_by_left;
+};
+
+Result<FkBetween> FindFkBetween(const Table& a, const Table& b) {
+  for (const auto& fk : a.schema().foreign_keys()) {
+    if (fk.referenced_table == b.name()) return FkBetween{&fk, true};
+  }
+  for (const auto& fk : b.schema().foreign_keys()) {
+    if (fk.referenced_table == a.name()) return FkBetween{&fk, false};
+  }
+  return Status::NotFound("no foreign key between '" + a.name() + "' and '" +
+                          b.name() + "'");
+}
+
+}  // namespace
+
+Result<Relation> JoinAlongPath(const Database& db,
+                               const std::vector<std::string>& tables) {
+  if (tables.empty()) return Status::InvalidArgument("empty join path");
+  CLAKS_ASSIGN_OR_RETURN(const Table* first, db.RequireTable(tables[0]));
+  Relation acc = Relation::FromTable(*first);
+  for (size_t i = 1; i < tables.size(); ++i) {
+    CLAKS_ASSIGN_OR_RETURN(const Table* prev, db.RequireTable(tables[i - 1]));
+    CLAKS_ASSIGN_OR_RETURN(const Table* next, db.RequireTable(tables[i]));
+    CLAKS_ASSIGN_OR_RETURN(FkBetween fk, FindFkBetween(*prev, *next));
+    Relation right = Relation::FromTable(*next);
+    // Join on the first FK attribute pair (composite keys join on each pair
+    // in sequence).
+    Relation joined = acc;
+    const auto& local = fk.fk->local_attributes;
+    const auto& referenced = fk.fk->referenced_attributes;
+    for (size_t k = 0; k < local.size(); ++k) {
+      std::string left_col, right_col;
+      if (fk.owned_by_left) {
+        left_col = prev->name() + "." + local[k];
+        right_col = next->name() + "." + referenced[k];
+      } else {
+        left_col = prev->name() + "." + referenced[k];
+        right_col = next->name() + "." + local[k];
+      }
+      if (k == 0) {
+        CLAKS_ASSIGN_OR_RETURN(joined, acc.Join(right, left_col, right_col));
+      } else {
+        // Filter composite-key mismatches post-join.
+        CLAKS_ASSIGN_OR_RETURN(size_t li, joined.ColumnIndex(left_col));
+        CLAKS_ASSIGN_OR_RETURN(size_t ri, joined.ColumnIndex(right_col));
+        std::vector<Row> filtered;
+        for (const Row& row : joined.rows()) {
+          if (row[li] == row[ri]) filtered.push_back(row);
+        }
+        joined = Relation(
+            std::vector<Relation::Column>(joined.columns()),
+            std::move(filtered));
+      }
+    }
+    acc = std::move(joined);
+  }
+  return acc;
+}
+
+}  // namespace claks

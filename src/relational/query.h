@@ -1,0 +1,87 @@
+// Copyright 2026 The claks Authors.
+//
+// A small relational-algebra evaluator: selection, projection, hash
+// equi-join. This is not a SQL engine; it exists so that joining networks of
+// tuples (MTJNT evaluation, examples, tests) can be expressed and verified
+// against a straightforward implementation.
+
+#ifndef CLAKS_RELATIONAL_QUERY_H_
+#define CLAKS_RELATIONAL_QUERY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/database.h"
+
+namespace claks {
+
+/// Comparison operators for selection predicates.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kContains };
+
+/// A simple attribute-vs-constant predicate.
+struct Predicate {
+  std::string attribute;
+  CompareOp op = CompareOp::kEq;
+  Value constant;
+};
+
+/// Evaluates `pred` against one row of `schema`.
+Result<bool> EvalPredicate(const TableSchema& schema, const Row& row,
+                           const Predicate& pred);
+
+/// An intermediate query result: named, typed columns and value rows.
+/// Column names are qualified "<table>.<attribute>" to keep joins
+/// unambiguous.
+class Relation {
+ public:
+  struct Column {
+    std::string name;
+    ValueType type;
+  };
+
+  Relation() = default;
+  Relation(std::vector<Column> columns, std::vector<Row> rows);
+
+  /// Builds a relation from a whole table (qualified column names).
+  static Relation FromTable(const Table& table);
+
+  const std::vector<Column>& columns() const { return columns_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return columns_.size(); }
+
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Rows satisfying attribute-level predicate on qualified column `name`.
+  Result<Relation> Select(const std::string& column, CompareOp op,
+                          const Value& constant) const;
+
+  /// Keeps only the named columns (in the given order).
+  Result<Relation> Project(const std::vector<std::string>& names) const;
+
+  /// Hash equi-join with `right` on `left_column` == `right_column`.
+  /// The result contains all columns of both inputs.
+  Result<Relation> Join(const Relation& right, const std::string& left_column,
+                        const std::string& right_column) const;
+
+  /// Removes duplicate rows (value equality across all columns).
+  Relation Distinct() const;
+
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<Row> rows_;
+};
+
+/// Evaluates a chain of FK joins along table names: joins table[0] to
+/// table[1] to ... following any declared FK between consecutive tables (in
+/// either direction). Used to validate joining networks of tuples.
+Result<Relation> JoinAlongPath(const Database& db,
+                               const std::vector<std::string>& tables);
+
+}  // namespace claks
+
+#endif  // CLAKS_RELATIONAL_QUERY_H_

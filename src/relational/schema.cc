@@ -1,0 +1,136 @@
+// Copyright 2026 The claks Authors.
+
+#include "relational/schema.h"
+
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace claks {
+
+TableSchema::TableSchema(std::string name,
+                         std::vector<AttributeDef> attributes,
+                         std::vector<std::string> primary_key,
+                         std::vector<ForeignKeyDef> foreign_keys)
+    : name_(std::move(name)),
+      attributes_(std::move(attributes)),
+      primary_key_(std::move(primary_key)),
+      foreign_keys_(std::move(foreign_keys)) {}
+
+std::optional<size_t> TableSchema::AttributeIndex(
+    const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> TableSchema::RequireAttributeIndex(
+    const std::string& name) const {
+  auto idx = AttributeIndex(name);
+  if (!idx.has_value()) {
+    return Status::NotFound("attribute '" + name + "' not in table '" +
+                            name_ + "'");
+  }
+  return *idx;
+}
+
+const AttributeDef& TableSchema::attribute(size_t index) const {
+  CLAKS_CHECK_LT(index, attributes_.size());
+  return attributes_[index];
+}
+
+bool TableSchema::IsPrimaryKeyAttribute(const std::string& name) const {
+  for (const auto& pk : primary_key_) {
+    if (pk == name) return true;
+  }
+  return false;
+}
+
+bool TableSchema::IsForeignKeyAttribute(const std::string& name) const {
+  for (const auto& fk : foreign_keys_) {
+    for (const auto& attr : fk.local_attributes) {
+      if (attr == name) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<size_t> TableSchema::PrimaryKeyIndices() const {
+  std::vector<size_t> out;
+  out.reserve(primary_key_.size());
+  for (const auto& pk : primary_key_) {
+    auto idx = AttributeIndex(pk);
+    CLAKS_CHECK(idx.has_value());
+    out.push_back(*idx);
+  }
+  return out;
+}
+
+Status TableSchema::Validate() const {
+  if (name_.empty()) return Status::InvalidArgument("table name empty");
+  if (attributes_.empty()) {
+    return Status::InvalidArgument("table '" + name_ + "' has no attributes");
+  }
+  std::unordered_set<std::string> seen;
+  for (const auto& attr : attributes_) {
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("table '" + name_ +
+                                     "' has an unnamed attribute");
+    }
+    if (!seen.insert(attr.name).second) {
+      return Status::InvalidArgument("duplicate attribute '" + attr.name +
+                                     "' in table '" + name_ + "'");
+    }
+  }
+  if (primary_key_.empty()) {
+    return Status::InvalidArgument("table '" + name_ +
+                                   "' has no primary key");
+  }
+  for (const auto& pk : primary_key_) {
+    if (!AttributeIndex(pk).has_value()) {
+      return Status::InvalidArgument("primary-key attribute '" + pk +
+                                     "' not in table '" + name_ + "'");
+    }
+  }
+  for (const auto& fk : foreign_keys_) {
+    if (fk.local_attributes.empty()) {
+      return Status::InvalidArgument("foreign key in table '" + name_ +
+                                     "' has no local attributes");
+    }
+    if (fk.local_attributes.size() != fk.referenced_attributes.size()) {
+      return Status::InvalidArgument(
+          "foreign key arity mismatch in table '" + name_ + "' -> '" +
+          fk.referenced_table + "'");
+    }
+    for (const auto& attr : fk.local_attributes) {
+      if (!AttributeIndex(attr).has_value()) {
+        return Status::InvalidArgument("foreign-key attribute '" + attr +
+                                       "' not in table '" + name_ + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string TableSchema::ToString() const {
+  std::string out = "TABLE " + name_ + " (";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += " ";
+    out += ValueTypeToString(attributes_[i].type);
+    if (!attributes_[i].nullable) out += " NOT NULL";
+  }
+  out += "; PRIMARY KEY (" + Join(primary_key_, ", ") + ")";
+  for (const auto& fk : foreign_keys_) {
+    out += "; FOREIGN KEY (" + Join(fk.local_attributes, ", ") +
+           ") REFERENCES " + fk.referenced_table + "(" +
+           Join(fk.referenced_attributes, ", ") + ")";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace claks

@@ -1,0 +1,89 @@
+// Copyright 2026 The claks Authors.
+//
+// Table schemas: attributes, primary keys and foreign keys. Foreign keys are
+// the structural backbone of keyword search over relational data — every
+// connection the paper discusses is a chain of FK instance edges.
+
+#ifndef CLAKS_RELATIONAL_SCHEMA_H_
+#define CLAKS_RELATIONAL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/value.h"
+
+namespace claks {
+
+/// One attribute (column) of a table.
+struct AttributeDef {
+  std::string name;
+  ValueType type = ValueType::kString;
+  bool nullable = false;
+  /// Text attributes participate in keyword matching; id-like attributes
+  /// usually should not (the paper matches descriptions and names).
+  bool searchable = true;
+};
+
+/// A (possibly composite) foreign-key constraint: `local_attributes` of this
+/// table reference `referenced_attributes` (the primary key) of
+/// `referenced_table`.
+struct ForeignKeyDef {
+  std::string constraint_name;
+  std::vector<std::string> local_attributes;
+  std::string referenced_table;
+  std::vector<std::string> referenced_attributes;
+};
+
+/// Schema of one table.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<AttributeDef> attributes,
+              std::vector<std::string> primary_key,
+              std::vector<ForeignKeyDef> foreign_keys = {});
+
+  const std::string& name() const { return name_; }
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+  const std::vector<std::string>& primary_key() const { return primary_key_; }
+  const std::vector<ForeignKeyDef>& foreign_keys() const {
+    return foreign_keys_;
+  }
+
+  size_t num_attributes() const { return attributes_.size(); }
+
+  /// Index of the attribute named `name`, or nullopt.
+  std::optional<size_t> AttributeIndex(const std::string& name) const;
+
+  /// As above but returns an error Status naming the table.
+  Result<size_t> RequireAttributeIndex(const std::string& name) const;
+
+  const AttributeDef& attribute(size_t index) const;
+
+  /// True if `name` is part of the primary key.
+  bool IsPrimaryKeyAttribute(const std::string& name) const;
+
+  /// True if `name` participates in any foreign key.
+  bool IsForeignKeyAttribute(const std::string& name) const;
+
+  /// Indices (into attributes()) of the primary-key attributes, in key order.
+  std::vector<size_t> PrimaryKeyIndices() const;
+
+  /// Validates internal consistency: attribute names unique, PK/FK attribute
+  /// names resolve, FK arity matches.
+  Status Validate() const;
+
+  /// CREATE TABLE–style rendering for debugging and docs.
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<AttributeDef> attributes_;
+  std::vector<std::string> primary_key_;
+  std::vector<ForeignKeyDef> foreign_keys_;
+};
+
+}  // namespace claks
+
+#endif  // CLAKS_RELATIONAL_SCHEMA_H_

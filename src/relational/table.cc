@@ -1,0 +1,116 @@
+// Copyright 2026 The claks Authors.
+
+#include "relational/table.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace claks {
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  CLAKS_CHECK(schema_.Validate().ok());
+  pk_indices_ = schema_.PrimaryKeyIndices();
+}
+
+const Row& Table::row(size_t index) const {
+  CLAKS_CHECK_LT(index, rows_.size());
+  return rows_[index];
+}
+
+Result<size_t> Table::Insert(Row row) {
+  if (row.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        StrFormat("table '%s': expected %zu values, got %zu",
+                  name().c_str(), schema_.num_attributes(), row.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const AttributeDef& attr = schema_.attribute(i);
+    if (row[i].is_null()) {
+      if (!attr.nullable) {
+        return Status::IntegrityViolation("NULL in non-nullable attribute '" +
+                                          attr.name + "' of table '" +
+                                          name() + "'");
+      }
+      continue;
+    }
+    if (row[i].type() != attr.type) {
+      return Status::InvalidArgument(
+          StrFormat("table '%s', attribute '%s': expected %s, got %s",
+                    name().c_str(), attr.name.c_str(),
+                    ValueTypeToString(attr.type),
+                    ValueTypeToString(row[i].type())));
+    }
+  }
+  std::string key = MakeKey(row, pk_indices_);
+  auto [it, inserted] = pk_index_.emplace(std::move(key), rows_.size());
+  if (!inserted) {
+    return Status::IntegrityViolation("duplicate primary key in table '" +
+                                      name() + "'");
+  }
+  rows_.push_back(std::move(row));
+  return rows_.size() - 1;
+}
+
+std::optional<size_t> Table::FindByPrimaryKey(const Row& key_values) const {
+  if (key_values.size() != pk_indices_.size()) return std::nullopt;
+  std::vector<size_t> identity(key_values.size());
+  for (size_t i = 0; i < identity.size(); ++i) identity[i] = i;
+  auto it = pk_index_.find(MakeKey(key_values, identity));
+  if (it == pk_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<size_t> Table::FindRows(const std::vector<size_t>& attr_indices,
+                                    const Row& values) const {
+  CLAKS_CHECK_EQ(attr_indices.size(), values.size());
+  std::vector<size_t> out;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    bool match = true;
+    for (size_t i = 0; i < attr_indices.size(); ++i) {
+      if (rows_[r][attr_indices[i]] != values[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.push_back(r);
+  }
+  return out;
+}
+
+const Value& Table::at(size_t row_index, size_t attr_index) const {
+  CLAKS_CHECK_LT(row_index, rows_.size());
+  CLAKS_CHECK_LT(attr_index, schema_.num_attributes());
+  return rows_[row_index][attr_index];
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(schema_.num_attributes());
+  for (size_t i = 0; i < widths.size(); ++i) {
+    widths[i] = schema_.attribute(i).name.size();
+  }
+  size_t shown = std::min(max_rows, rows_.size());
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], rows_[r][i].ToString().size());
+    }
+  }
+  std::string out = name() + "\n";
+  for (size_t i = 0; i < widths.size(); ++i) {
+    out += PadRight(schema_.attribute(i).name, widths[i] + 2);
+  }
+  out += "\n";
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      out += PadRight(rows_[r][i].ToString(), widths[i] + 2);
+    }
+    out += "\n";
+  }
+  if (shown < rows_.size()) {
+    out += StrFormat("... (%zu more rows)\n", rows_.size() - shown);
+  }
+  return out;
+}
+
+}  // namespace claks

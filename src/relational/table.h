@@ -1,0 +1,66 @@
+// Copyright 2026 The claks Authors.
+//
+// A table: schema + rows + primary-key hash index.
+
+#ifndef CLAKS_RELATIONAL_TABLE_H_
+#define CLAKS_RELATIONAL_TABLE_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace claks {
+
+/// Row-store table with uniqueness enforcement on the primary key and typed
+/// inserts. Rows are append-only (keyword search is a read-mostly workload;
+/// the paper does not discuss updates).
+class Table {
+ public:
+  explicit Table(TableSchema schema);
+
+  const TableSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name(); }
+
+  size_t num_rows() const { return rows_.size(); }
+  const Row& row(size_t index) const;
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Appends a row. Fails on arity mismatch, type mismatch, NULL in a
+  /// non-nullable attribute, or duplicate primary key. Returns the new row
+  /// index.
+  Result<size_t> Insert(Row row);
+
+  /// Convenience: inserts values given per-attribute in schema order.
+  Result<size_t> InsertValues(std::vector<Value> values) {
+    return Insert(Row(std::move(values)));
+  }
+
+  /// Looks up a row index by primary-key values (in primary-key order).
+  std::optional<size_t> FindByPrimaryKey(const Row& key_values) const;
+
+  /// Looks up rows whose attributes `attr_indices` equal `values`. Linear
+  /// scan; use Database secondary indexes for hot paths.
+  std::vector<size_t> FindRows(const std::vector<size_t>& attr_indices,
+                               const Row& values) const;
+
+  /// Value of attribute `attr` of row `row_index`.
+  const Value& at(size_t row_index, size_t attr_index) const;
+
+  /// Pretty-prints up to `max_rows` rows as an aligned text table.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  TableSchema schema_;
+  std::vector<Row> rows_;
+  std::vector<size_t> pk_indices_;
+  std::unordered_map<std::string, size_t> pk_index_;  // key -> row index
+};
+
+}  // namespace claks
+
+#endif  // CLAKS_RELATIONAL_TABLE_H_

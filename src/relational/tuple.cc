@@ -1,0 +1,28 @@
+// Copyright 2026 The claks Authors.
+
+#include "relational/tuple.h"
+
+#include "common/macros.h"
+
+namespace claks {
+
+std::string TupleId::ToString() const {
+  return "t(" + std::to_string(table) + "," + std::to_string(row) + ")";
+}
+
+std::string MakeKey(const Row& row, const std::vector<size_t>& indices) {
+  std::string key;
+  for (size_t idx : indices) {
+    CLAKS_CHECK_LT(idx, row.size());
+    const Value& v = row[idx];
+    key += static_cast<char>('0' + static_cast<int>(v.type()));
+    std::string text = v.ToString();
+    key += std::to_string(text.size());
+    key += ':';
+    key += text;
+    key += '\x1f';
+  }
+  return key;
+}
+
+}  // namespace claks

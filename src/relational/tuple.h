@@ -1,0 +1,60 @@
+// Copyright 2026 The claks Authors.
+//
+// Tuple identity and row storage. A TupleId addresses any tuple in a
+// Database as (table index, row index); the data graph, inverted index and
+// connection model all speak TupleIds.
+
+#ifndef CLAKS_RELATIONAL_TUPLE_H_
+#define CLAKS_RELATIONAL_TUPLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace claks {
+
+/// A row: one Value per attribute, in schema order.
+using Row = std::vector<Value>;
+
+/// Globally unique tuple address within one Database.
+struct TupleId {
+  uint32_t table = 0;
+  uint32_t row = 0;
+
+  bool operator==(const TupleId& other) const {
+    return table == other.table && row == other.row;
+  }
+  bool operator!=(const TupleId& other) const { return !(*this == other); }
+  bool operator<(const TupleId& other) const {
+    return table != other.table ? table < other.table : row < other.row;
+  }
+
+  /// Packs into one 64-bit key (table in high bits).
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(table) << 32) | row;
+  }
+  static TupleId Unpack(uint64_t packed) {
+    return TupleId{static_cast<uint32_t>(packed >> 32),
+                   static_cast<uint32_t>(packed & 0xffffffffULL)};
+  }
+
+  std::string ToString() const;
+};
+
+struct TupleIdHash {
+  size_t operator()(const TupleId& id) const {
+    return std::hash<uint64_t>{}(id.Pack());
+  }
+};
+
+/// Builds a canonical string key from a subset of row values (used for
+/// hash-indexing primary keys and foreign keys). Values are rendered with a
+/// type tag and separator so distinct value lists never collide.
+std::string MakeKey(const Row& row, const std::vector<size_t>& indices);
+
+}  // namespace claks
+
+#endif  // CLAKS_RELATIONAL_TUPLE_H_

@@ -1,0 +1,140 @@
+// Copyright 2026 The claks Authors.
+
+#include "relational/value.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <functional>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace claks {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kBool:
+      return "BOOL";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  return static_cast<ValueType>(data_.index());
+}
+
+int64_t Value::AsInt64() const {
+  CLAKS_CHECK(type() == ValueType::kInt64);
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsDouble() const {
+  CLAKS_CHECK(type() == ValueType::kDouble);
+  return std::get<double>(data_);
+}
+
+bool Value::AsBool() const {
+  CLAKS_CHECK(type() == ValueType::kBool);
+  return std::get<bool>(data_);
+}
+
+const std::string& Value::AsString() const {
+  CLAKS_CHECK(type() == ValueType::kString);
+  return std::get<std::string>(data_);
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(data_));
+    case ValueType::kDouble: {
+      std::string out = StrFormat("%.6g", std::get<double>(data_));
+      return out;
+    }
+    case ValueType::kBool:
+      return std::get<bool>(data_) ? "true" : "false";
+    case ValueType::kString:
+      return std::get<std::string>(data_);
+  }
+  return "";
+}
+
+Result<Value> Value::Parse(const std::string& text, ValueType type) {
+  if (text.empty() && type != ValueType::kString) return Value::Null();
+  switch (type) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt64: {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(text.c_str(), &end, 10);
+      if (errno != 0 || end == text.c_str() || *end != '\0') {
+        return Status::ParseError("not an INT64: '" + text + "'");
+      }
+      return Value::Int64(static_cast<int64_t>(v));
+    }
+    case ValueType::kDouble: {
+      errno = 0;
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (errno != 0 || end == text.c_str() || *end != '\0') {
+        return Status::ParseError("not a DOUBLE: '" + text + "'");
+      }
+      return Value::Double(v);
+    }
+    case ValueType::kBool: {
+      if (EqualsIgnoreCase(text, "true") || text == "1") {
+        return Value::Bool(true);
+      }
+      if (EqualsIgnoreCase(text, "false") || text == "0") {
+        return Value::Bool(false);
+      }
+      return Status::ParseError("not a BOOL: '" + text + "'");
+    }
+    case ValueType::kString:
+      return Value::String(text);
+  }
+  return Status::Internal("unreachable");
+}
+
+bool Value::operator<(const Value& other) const {
+  if (data_.index() != other.data_.index()) {
+    return data_.index() < other.data_.index();
+  }
+  return data_ < other.data_;
+}
+
+size_t Value::Hash() const {
+  size_t seed = data_.index();
+  size_t h = 0;
+  switch (type()) {
+    case ValueType::kNull:
+      h = 0;
+      break;
+    case ValueType::kInt64:
+      h = std::hash<int64_t>{}(std::get<int64_t>(data_));
+      break;
+    case ValueType::kDouble:
+      h = std::hash<double>{}(std::get<double>(data_));
+      break;
+    case ValueType::kBool:
+      h = std::hash<bool>{}(std::get<bool>(data_));
+      break;
+    case ValueType::kString:
+      h = std::hash<std::string>{}(std::get<std::string>(data_));
+      break;
+  }
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace claks

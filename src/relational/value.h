@@ -1,0 +1,74 @@
+// Copyright 2026 The claks Authors.
+//
+// Typed attribute values. The engine supports NULL, 64-bit integers,
+// doubles, booleans and strings — enough to represent every schema in the
+// paper and in realistic keyword-search workloads.
+
+#ifndef CLAKS_RELATIONAL_VALUE_H_
+#define CLAKS_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+
+namespace claks {
+
+enum class ValueType { kNull = 0, kInt64, kDouble, kBool, kString };
+
+/// Human-readable type name ("INT64", "STRING", ...).
+const char* ValueTypeToString(ValueType type);
+
+/// A single attribute value. Small, copyable, hashable, totally ordered
+/// within one type (cross-type comparison orders by type tag).
+class Value {
+ public:
+  /// NULL value.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int64(int64_t v) { return Value(Repr(v)); }
+  static Value Double(double v) { return Value(Repr(v)); }
+  static Value Bool(bool v) { return Value(Repr(v)); }
+  static Value String(std::string v) { return Value(Repr(std::move(v))); }
+
+  ValueType type() const;
+
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors; CLAKS_CHECK on type mismatch.
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  bool AsBool() const;
+  const std::string& AsString() const;
+
+  /// Renders for display and for CSV round-tripping. NULL renders as "".
+  std::string ToString() const;
+
+  /// Parses a textual field into a value of `type`. Empty text yields NULL
+  /// for nullable contexts; callers enforce nullability separately.
+  static Result<Value> Parse(const std::string& text, ValueType type);
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const;
+
+  /// Stable hash, suitable for unordered containers.
+  size_t Hash() const;
+
+ private:
+  using Repr = std::variant<std::monostate, int64_t, double, bool,
+                            std::string>;
+  explicit Value(Repr data) : data_(std::move(data)) {}
+
+  Repr data_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace claks
+
+#endif  // CLAKS_RELATIONAL_VALUE_H_

@@ -1,0 +1,78 @@
+// Copyright 2026 The claks Authors.
+
+#include "text/inverted_index.h"
+
+#include <set>
+
+#include "common/macros.h"
+
+namespace claks {
+
+namespace {
+const std::vector<Posting> kEmptyPostings;
+}  // namespace
+
+InvertedIndex::InvertedIndex(const Database* db, Tokenizer tokenizer)
+    : db_(db), tokenizer_(std::move(tokenizer)) {
+  CLAKS_CHECK(db_ != nullptr);
+  Build();
+}
+
+void InvertedIndex::Build() {
+  for (uint32_t t = 0; t < db_->num_tables(); ++t) {
+    const Table& table = db_->table(t);
+    const TableSchema& schema = table.schema();
+    std::vector<uint32_t> text_attrs;
+    for (uint32_t a = 0; a < schema.num_attributes(); ++a) {
+      const AttributeDef& attr = schema.attribute(a);
+      if (attr.searchable && attr.type == ValueType::kString) {
+        text_attrs.push_back(a);
+      }
+    }
+    if (text_attrs.empty()) continue;
+    for (uint32_t r = 0; r < table.num_rows(); ++r) {
+      const Row& row = table.row(r);
+      for (uint32_t a : text_attrs) {
+        if (row[a].is_null()) continue;
+        auto tokens = tokenizer_.Tokenize(row[a].AsString());
+        if (tokens.empty()) continue;
+        ++stats_.total_documents;
+        stats_.total_tokens += tokens.size();
+        std::unordered_map<std::string, uint32_t> tf;
+        for (const auto& token : tokens) ++tf[token];
+        for (const auto& [token, count] : tf) {
+          postings_[token].push_back(Posting{TupleId{t, r}, a, count});
+        }
+      }
+    }
+  }
+  // Document frequencies: distinct tuples per token.
+  for (const auto& [token, plist] : postings_) {
+    std::set<uint64_t> tuples;
+    for (const Posting& p : plist) tuples.insert(p.tuple.Pack());
+    document_frequency_[token] = tuples.size();
+  }
+  if (stats_.total_documents > 0) {
+    stats_.avg_document_length =
+        static_cast<double>(stats_.total_tokens) /
+        static_cast<double>(stats_.total_documents);
+  }
+}
+
+const std::vector<Posting>& InvertedIndex::Lookup(
+    const std::string& token) const {
+  auto it = postings_.find(token);
+  return it == postings_.end() ? kEmptyPostings : it->second;
+}
+
+const std::vector<Posting>& InvertedIndex::LookupKeyword(
+    const std::string& keyword) const {
+  return Lookup(tokenizer_.NormalizeToken(keyword));
+}
+
+size_t InvertedIndex::DocumentFrequency(const std::string& token) const {
+  auto it = document_frequency_.find(token);
+  return it == document_frequency_.end() ? 0 : it->second;
+}
+
+}  // namespace claks

@@ -1,0 +1,68 @@
+// Copyright 2026 The claks Authors.
+//
+// Inverted index over the searchable string attributes of a Database:
+// token -> postings of (tuple, attribute, term frequency).
+
+#ifndef CLAKS_TEXT_INVERTED_INDEX_H_
+#define CLAKS_TEXT_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/database.h"
+#include "text/tokenizer.h"
+
+namespace claks {
+
+/// One posting: token occurs `term_frequency` times in attribute
+/// `attribute_index` of tuple `tuple`.
+struct Posting {
+  TupleId tuple;
+  uint32_t attribute_index = 0;
+  uint32_t term_frequency = 0;
+};
+
+/// Index statistics needed by tf-idf scoring.
+struct IndexStats {
+  size_t total_documents = 0;  ///< indexed (tuple, attribute) pairs
+  size_t total_tokens = 0;
+  double avg_document_length = 0.0;
+};
+
+class InvertedIndex {
+ public:
+  /// Builds the index over every searchable string attribute of `db`.
+  /// The database must outlive the index.
+  InvertedIndex(const Database* db, Tokenizer tokenizer = Tokenizer());
+
+  /// Postings for a (normalised) token; empty vector if absent.
+  const std::vector<Posting>& Lookup(const std::string& token) const;
+
+  /// Normalises `keyword` and looks it up.
+  const std::vector<Posting>& LookupKeyword(const std::string& keyword) const;
+
+  /// Number of distinct tokens.
+  size_t vocabulary_size() const { return postings_.size(); }
+
+  /// Document frequency of a token: number of distinct tuples containing it.
+  size_t DocumentFrequency(const std::string& token) const;
+
+  const IndexStats& stats() const { return stats_; }
+  const Tokenizer& tokenizer() const { return tokenizer_; }
+  const Database& database() const { return *db_; }
+
+ private:
+  void Build();
+
+  const Database* db_;
+  Tokenizer tokenizer_;
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  std::unordered_map<std::string, size_t> document_frequency_;
+  IndexStats stats_;
+};
+
+}  // namespace claks
+
+#endif  // CLAKS_TEXT_INVERTED_INDEX_H_

@@ -1,0 +1,61 @@
+// Copyright 2026 The claks Authors.
+//
+// Keyword query parsing and keyword-to-tuple matching. For a query
+// "Smith XML" the matcher produces, per keyword, the set of tuples whose
+// searchable text contains that keyword — the inputs of connection search.
+
+#ifndef CLAKS_TEXT_MATCHER_H_
+#define CLAKS_TEXT_MATCHER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "text/inverted_index.h"
+
+namespace claks {
+
+/// A parsed keyword query.
+struct KeywordQuery {
+  std::vector<std::string> keywords;  ///< normalised, in query order
+
+  std::string ToString() const;
+};
+
+/// Parses whitespace-separated keywords and normalises them with the index
+/// tokenizer. Duplicate keywords collapse.
+KeywordQuery ParseKeywordQuery(const std::string& text,
+                               const Tokenizer& tokenizer);
+
+/// Where and how often one keyword matched one tuple.
+struct TupleMatch {
+  TupleId tuple;
+  /// attribute index -> term frequency within that attribute.
+  std::map<uint32_t, uint32_t> attribute_hits;
+
+  uint32_t TotalFrequency() const;
+};
+
+/// All matches of one keyword.
+struct KeywordMatches {
+  std::string keyword;
+  std::vector<TupleMatch> matches;  ///< sorted by TupleId
+
+  bool empty() const { return matches.empty(); }
+  std::set<TupleId> TupleSet() const;
+};
+
+/// Runs a query against the index: one KeywordMatches per query keyword.
+/// Keywords with no matches yield an empty entry (the caller decides
+/// AND/OR semantics).
+std::vector<KeywordMatches> MatchKeywords(const InvertedIndex& index,
+                                          const KeywordQuery& query);
+
+/// True if every keyword matched at least one tuple.
+bool AllKeywordsMatched(const std::vector<KeywordMatches>& matches);
+
+}  // namespace claks
+
+#endif  // CLAKS_TEXT_MATCHER_H_

@@ -1,0 +1,45 @@
+// Copyright 2026 The claks Authors.
+
+#include "text/scoring.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace claks {
+
+double InverseDocumentFrequency(const InvertedIndex& index,
+                                const std::string& keyword) {
+  double n = static_cast<double>(index.stats().total_documents);
+  double df = static_cast<double>(index.DocumentFrequency(keyword));
+  if (n <= 0.0) return 0.0;
+  return std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+}
+
+double ScoreTupleMatch(const InvertedIndex& index, const std::string& keyword,
+                       const TupleMatch& match,
+                       const ScoringOptions& options) {
+  double idf = InverseDocumentFrequency(index, keyword);
+  double score = 0.0;
+  for (const auto& [attr, tf] : match.attribute_hits) {
+    double tfd = static_cast<double>(tf);
+    score += idf * (tfd * (options.k1 + 1.0)) / (tfd + options.k1);
+  }
+  return score;
+}
+
+double ScoreMatches(const InvertedIndex& index,
+                    const std::vector<KeywordMatches>& matches,
+                    const ScoringOptions& options) {
+  double total = 0.0;
+  for (const KeywordMatches& km : matches) {
+    double best = 0.0;
+    for (const TupleMatch& match : km.matches) {
+      best = std::max(best,
+                      ScoreTupleMatch(index, km.keyword, match, options));
+    }
+    total += best;
+  }
+  return total;
+}
+
+}  // namespace claks

@@ -1,0 +1,39 @@
+// Copyright 2026 The claks Authors.
+//
+// Text relevance scoring: tf-idf / BM25-lite over the inverted index. Used
+// as the content component of connection ranking (the paper combines text
+// scores with structural scores; see core/ranking.h).
+
+#ifndef CLAKS_TEXT_SCORING_H_
+#define CLAKS_TEXT_SCORING_H_
+
+#include "text/matcher.h"
+
+namespace claks {
+
+/// Scoring parameters (BM25-style saturation).
+struct ScoringOptions {
+  double k1 = 1.2;  ///< term-frequency saturation
+  double b = 0.0;   ///< length normalisation (0: off; tuple text is short)
+};
+
+/// Computes idf for a keyword: ln(1 + (N - df + 0.5) / (df + 0.5)).
+double InverseDocumentFrequency(const InvertedIndex& index,
+                                const std::string& keyword);
+
+/// Score of one keyword match in one tuple: idf * saturated tf, summed over
+/// the matched attributes.
+double ScoreTupleMatch(const InvertedIndex& index, const std::string& keyword,
+                       const TupleMatch& match,
+                       const ScoringOptions& options = {});
+
+/// Total text score of a set of keyword matches for one tuple set (sums the
+/// best match per keyword). Used to score the keyword tuples of a
+/// connection.
+double ScoreMatches(const InvertedIndex& index,
+                    const std::vector<KeywordMatches>& matches,
+                    const ScoringOptions& options = {});
+
+}  // namespace claks
+
+#endif  // CLAKS_TEXT_SCORING_H_

@@ -1,0 +1,60 @@
+// Copyright 2026 The claks Authors.
+
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace claks {
+
+const std::unordered_set<std::string>& DefaultStopwords() {
+  static const std::unordered_set<std::string>* kStopwords =
+      new std::unordered_set<std::string>{
+          "a",   "an",  "and", "are", "as",   "at",   "be",  "by",
+          "for", "in",  "is",  "it",  "of",   "on",   "or",  "the",
+          "to",  "was", "with"};
+  return *kStopwords;
+}
+
+Tokenizer::Tokenizer(TokenizerOptions options)
+    : options_(std::move(options)) {}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> out;
+  std::string token;
+  auto flush = [&] {
+    if (token.size() >= options_.min_token_length &&
+        options_.stopwords.find(token) == options_.stopwords.end()) {
+      out.push_back(token);
+    }
+    token.clear();
+  };
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      token += options_.lowercase
+                   ? static_cast<char>(
+                         std::tolower(static_cast<unsigned char>(c)))
+                   : c;
+    } else if (!token.empty()) {
+      flush();
+    }
+  }
+  if (!token.empty()) flush();
+  return out;
+}
+
+std::string Tokenizer::NormalizeToken(std::string_view token) const {
+  std::string out;
+  for (char c : token) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += options_.lowercase
+                 ? static_cast<char>(
+                       std::tolower(static_cast<unsigned char>(c)))
+                 : c;
+    }
+  }
+  return out;
+}
+
+}  // namespace claks

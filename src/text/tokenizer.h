@@ -1,0 +1,51 @@
+// Copyright 2026 The claks Authors.
+//
+// Tokenization and normalisation of attribute text. A keyword "may match the
+// whole attribute value or a word in a text attribute" (paper §3); the
+// tokenizer provides the word view.
+
+#ifndef CLAKS_TEXT_TOKENIZER_H_
+#define CLAKS_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace claks {
+
+/// Tokenizer options.
+struct TokenizerOptions {
+  /// Lowercase all tokens (keyword matching in the paper is
+  /// case-insensitive: "Smith" matches "Smith", "XML" matches "XML.").
+  bool lowercase = true;
+  /// Drop tokens shorter than this many characters.
+  size_t min_token_length = 1;
+  /// Tokens to drop entirely (already lowercased when lowercase is set).
+  std::unordered_set<std::string> stopwords;
+};
+
+/// Returns a conservative English stopword list ("the", "of", "and", ...).
+const std::unordered_set<std::string>& DefaultStopwords();
+
+/// Splits text into alphanumeric word tokens; every non-alphanumeric
+/// character is a separator, so "XML." tokenizes to "xml" and
+/// "DB-project" to "db", "project".
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  /// Normalises a single keyword the same way tokens are normalised.
+  std::string NormalizeToken(std::string_view token) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace claks
+
+#endif  // CLAKS_TEXT_TOKENIZER_H_

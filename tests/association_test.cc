@@ -1,0 +1,213 @@
+// Copyright 2026 The claks Authors.
+//
+// Close/loose association analysis — the paper's §3 discussion of
+// connections 1-9, schema level and instance level.
+
+#include "core/association.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datasets/company_paper.h"
+
+namespace claks {
+namespace {
+
+class AssociationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = BuildCompanyPaperDataset();
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).ValueOrDie();
+    graph_ = std::make_unique<DataGraph>(dataset_.db.get());
+    analyzer_ = std::make_unique<AssociationAnalyzer>(
+        dataset_.db.get(), &dataset_.er_schema, &dataset_.mapping,
+        graph_.get());
+  }
+
+  Connection Conn(const std::vector<std::string>& names) {
+    std::vector<TupleId> tuples;
+    std::vector<ConnectionEdge> edges;
+    for (const auto& name : names) {
+      tuples.push_back(PaperTuple(*dataset_.db, name));
+    }
+    for (size_t i = 0; i + 1 < tuples.size(); ++i) {
+      uint32_t a = graph_->NodeOf(tuples[i]);
+      bool found = false;
+      for (const DataAdjacency& adj : graph_->Neighbors(a)) {
+        if (adj.neighbor == graph_->NodeOf(tuples[i + 1])) {
+          const DataEdge& edge = graph_->edge(adj.edge_index);
+          edges.push_back(ConnectionEdge{edge.fk_index, adj.along_fk});
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+    return Connection(std::move(tuples), std::move(edges));
+  }
+
+  ConnectionAnalysis Analyze(const std::vector<std::string>& names) {
+    auto analysis = analyzer_->Analyze(Conn(names));
+    EXPECT_TRUE(analysis.ok()) << analysis.status().ToString();
+    return std::move(analysis).ValueOrDie();
+  }
+
+  bool InstanceClose(const std::vector<std::string>& names) {
+    auto close = analyzer_->IsInstanceClose(Conn(names));
+    EXPECT_TRUE(close.ok()) << close.status().ToString();
+    return *close;
+  }
+
+  CompanyPaperDataset dataset_;
+  std::unique_ptr<DataGraph> graph_;
+  std::unique_ptr<AssociationAnalyzer> analyzer_;
+};
+
+// --- Schema (intensional) level, paper §3:
+// "connections 1 and 2 have a close association and connections 3 and 4
+// have a loose association".
+
+TEST_F(AssociationTest, Connection1SchemaClose) {
+  auto analysis = Analyze({"d1", "e1"});
+  EXPECT_EQ(analysis.kind, AssociationKind::kImmediate);
+  EXPECT_TRUE(analysis.schema_close);
+  EXPECT_EQ(analysis.rdb_length, 1u);
+  EXPECT_EQ(analysis.er_length, 1u);
+}
+
+TEST_F(AssociationTest, Connection2SchemaClose) {
+  auto analysis = Analyze({"p1", "w_f1", "e1"});
+  EXPECT_EQ(analysis.kind, AssociationKind::kImmediate);
+  EXPECT_TRUE(analysis.schema_close);
+  EXPECT_EQ(analysis.rdb_length, 2u);
+  EXPECT_EQ(analysis.er_length, 1u);
+}
+
+TEST_F(AssociationTest, Connection3SchemaLooseTransitiveNM) {
+  auto analysis = Analyze({"p1", "d1", "e1"});
+  EXPECT_EQ(analysis.kind, AssociationKind::kTransitiveNM);
+  EXPECT_FALSE(analysis.schema_close);
+  EXPECT_EQ(analysis.hub_patterns, 1u);
+  EXPECT_EQ(analysis.nm_steps, 0u);
+}
+
+TEST_F(AssociationTest, Connection4SchemaLooseMixed) {
+  auto analysis = Analyze({"d1", "p1", "w_f1", "e1"});
+  EXPECT_EQ(analysis.kind, AssociationKind::kMixedLoose);
+  EXPECT_FALSE(analysis.schema_close);
+  EXPECT_EQ(analysis.hub_patterns, 0u);
+  EXPECT_EQ(analysis.nm_steps, 1u);
+}
+
+TEST_F(AssociationTest, Connection8SchemaClose) {
+  // d1 - e3 - t1: transitive functional (1:N, 1:N).
+  auto analysis = Analyze({"d1", "e3", "t1"});
+  EXPECT_EQ(analysis.kind, AssociationKind::kTransitiveFunctional);
+  EXPECT_TRUE(analysis.schema_close);
+}
+
+TEST_F(AssociationTest, Connection9SchemaLoose) {
+  auto analysis = Analyze({"d2", "p2", "w_f3", "e3", "t1"});
+  EXPECT_EQ(analysis.kind, AssociationKind::kMixedLoose);
+  EXPECT_FALSE(analysis.schema_close);
+  EXPECT_EQ(analysis.er_length, 3u);
+  EXPECT_EQ(analysis.rdb_length, 4u);
+}
+
+// --- Instance (extensional) level, paper §3:
+// "in an instance level, also connections 3 and 4 have a close association
+// between the entities" while connection 6 stays loose ("Barbara is also
+// associated with project p2 ... although she does not work in it").
+
+TEST_F(AssociationTest, Connection3InstanceClose) {
+  EXPECT_TRUE(InstanceClose({"p1", "d1", "e1"}));
+}
+
+TEST_F(AssociationTest, Connection4InstanceClose) {
+  EXPECT_TRUE(InstanceClose({"d1", "p1", "w_f1", "e1"}));
+}
+
+TEST_F(AssociationTest, Connection6InstanceLoose) {
+  EXPECT_FALSE(InstanceClose({"p2", "d2", "e2"}));
+}
+
+TEST_F(AssociationTest, Connection7InstanceClose) {
+  // d2 and e2 are directly associated (e2 works for d2).
+  EXPECT_TRUE(InstanceClose({"d2", "p3", "w_f2", "e2"}));
+}
+
+TEST_F(AssociationTest, SchemaCloseConnectionsAreInstanceClose) {
+  EXPECT_TRUE(InstanceClose({"d1", "e1"}));
+  EXPECT_TRUE(InstanceClose({"d1", "e3", "t1"}));
+}
+
+TEST_F(AssociationTest, AnalyzeWithInstanceCheckFillsField) {
+  auto analysis = analyzer_->AnalyzeWithInstanceCheck(Conn({"p2", "d2",
+                                                            "e2"}));
+  ASSERT_TRUE(analysis.ok());
+  ASSERT_TRUE(analysis->instance_close.has_value());
+  EXPECT_FALSE(*analysis->instance_close);
+  EXPECT_FALSE(analysis->schema_close);
+}
+
+TEST_F(AssociationTest, StrictInstanceCheckConnection9) {
+  // Connection 9: d2 - p2 - w_f3 - e3 - t1. Endpoints d2 and t1 have no
+  // functional witness (t1's employee e3 works for d1, not d2), so even
+  // the endpoint check fails.
+  auto strict = analyzer_->IsInstanceCloseStrict(
+      Conn({"d2", "p2", "w_f3", "e3", "t1"}));
+  ASSERT_TRUE(strict.ok());
+  EXPECT_FALSE(*strict);
+  auto endpoint = analyzer_->IsInstanceClose(
+      Conn({"d2", "p2", "w_f3", "e3", "t1"}));
+  ASSERT_TRUE(endpoint.ok());
+  EXPECT_FALSE(*endpoint);
+}
+
+TEST_F(AssociationTest, StrictImpliesEndpointCheck) {
+  for (auto names : std::vector<std::vector<std::string>>{
+           {"p1", "d1", "e1"},
+           {"d1", "p1", "w_f1", "e1"},
+           {"p2", "d2", "e2"},
+           {"d2", "p3", "w_f2", "e2"}}) {
+    auto strict = analyzer_->IsInstanceCloseStrict(Conn(names));
+    auto endpoint = analyzer_->IsInstanceClose(Conn(names));
+    ASSERT_TRUE(strict.ok());
+    ASSERT_TRUE(endpoint.ok());
+    if (*strict) EXPECT_TRUE(*endpoint);
+  }
+}
+
+TEST_F(AssociationTest, WitnessBudgetMatters) {
+  // With a witness budget of 1 edge, connection 4's close witness
+  // d1 - e1 (1 edge) is still found.
+  auto close =
+      analyzer_->IsInstanceClose(Conn({"d1", "p1", "w_f1", "e1"}), 1);
+  ASSERT_TRUE(close.ok());
+  EXPECT_TRUE(*close);
+  // Connection 3's witness p1 - w_f1 - e1 needs 2 edges; budget 1 fails.
+  auto tight = analyzer_->IsInstanceClose(Conn({"p1", "d1", "e1"}), 1);
+  ASSERT_TRUE(tight.ok());
+  EXPECT_FALSE(*tight);
+}
+
+TEST_F(AssociationTest, DescribeIncludesVerdicts) {
+  auto analysis = analyzer_->AnalyzeWithInstanceCheck(Conn({"p2", "d2",
+                                                            "e2"}));
+  ASSERT_TRUE(analysis.ok());
+  std::string s = analysis->Describe(*dataset_.db);
+  EXPECT_NE(s.find("loose"), std::string::npos);
+  EXPECT_NE(s.find("instance-loose"), std::string::npos);
+  EXPECT_NE(s.find("TransitiveNM"), std::string::npos);
+}
+
+TEST_F(AssociationTest, SingleTupleIsClose) {
+  auto analysis = Analyze({"d1"});
+  EXPECT_TRUE(analysis.schema_close);
+  EXPECT_EQ(analysis.er_length, 0u);
+}
+
+}  // namespace
+}  // namespace claks

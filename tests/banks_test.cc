@@ -1,0 +1,126 @@
+// Copyright 2026 The claks Authors.
+
+#include "graph/banks.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "datasets/company_paper.h"
+
+namespace claks {
+namespace {
+
+class BanksTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = BuildCompanyPaperDataset();
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).ValueOrDie();
+    graph_ = std::make_unique<DataGraph>(dataset_.db.get());
+  }
+
+  uint32_t N(const std::string& name) {
+    return graph_->NodeOf(PaperTuple(*dataset_.db, name));
+  }
+
+  // Keyword node sets for the paper query "Smith XML".
+  std::vector<std::vector<uint32_t>> SmithXmlSets() {
+    return {{N("e1"), N("e2")},
+            {N("d1"), N("d2"), N("p1"), N("p2")}};
+  }
+
+  CompanyPaperDataset dataset_;
+  std::unique_ptr<DataGraph> graph_;
+};
+
+TEST_F(BanksTest, FindsAnswersForPaperQuery) {
+  auto answers = BanksBackwardSearch(*graph_, SmithXmlSets());
+  ASSERT_FALSE(answers.empty());
+  // Best answers have weight 1 (adjacent keyword tuples, root at either
+  // end): d1-e1 and d2-e2.
+  EXPECT_EQ(answers[0].weight, 1.0);
+}
+
+TEST_F(BanksTest, AnswersSortedByWeight) {
+  auto answers = BanksBackwardSearch(*graph_, SmithXmlSets());
+  for (size_t i = 1; i < answers.size(); ++i) {
+    EXPECT_LE(answers[i - 1].weight, answers[i].weight);
+  }
+}
+
+TEST_F(BanksTest, EveryAnswerTouchesEachKeywordSet) {
+  auto sets = SmithXmlSets();
+  auto answers = BanksBackwardSearch(*graph_, sets);
+  for (const AnswerTree& answer : answers) {
+    ASSERT_EQ(answer.keyword_nodes.size(), 2u);
+    for (size_t k = 0; k < sets.size(); ++k) {
+      EXPECT_TRUE(std::find(sets[k].begin(), sets[k].end(),
+                            answer.keyword_nodes[k]) != sets[k].end());
+    }
+  }
+}
+
+TEST_F(BanksTest, TopKRespected) {
+  BanksOptions options;
+  options.top_k = 3;
+  auto answers = BanksBackwardSearch(*graph_, SmithXmlSets(), options);
+  EXPECT_LE(answers.size(), 3u);
+}
+
+TEST_F(BanksTest, AnswersDeduplicatedByEdgeSet) {
+  auto answers = BanksBackwardSearch(*graph_, SmithXmlSets());
+  std::set<std::vector<uint32_t>> edge_sets;
+  for (const AnswerTree& answer : answers) {
+    EXPECT_TRUE(edge_sets.insert(answer.edge_indices).second);
+  }
+}
+
+TEST_F(BanksTest, EmptyKeywordSetYieldsNothing) {
+  EXPECT_TRUE(
+      BanksBackwardSearch(*graph_, {{N("e1")}, {}}).empty());
+  EXPECT_TRUE(BanksBackwardSearch(*graph_, {}).empty());
+}
+
+TEST_F(BanksTest, SingleKeywordSetRootsAtMatches) {
+  auto answers = BanksBackwardSearch(*graph_, {{N("e1")}});
+  ASSERT_FALSE(answers.empty());
+  EXPECT_EQ(answers[0].weight, 0.0);
+  EXPECT_EQ(answers[0].root, N("e1"));
+  EXPECT_TRUE(answers[0].edge_indices.empty());
+}
+
+TEST_F(BanksTest, MaxDistanceBoundsExpansion) {
+  BanksOptions options;
+  options.max_distance = 1;
+  // e1 and t1 are 3 edges apart (e1-e3? no: e1-d1-e3-t1): beyond radius 1
+  // from both sides, so no meeting root exists.
+  auto answers =
+      BanksBackwardSearch(*graph_, {{N("e1")}, {N("t1")}}, options);
+  EXPECT_TRUE(answers.empty());
+}
+
+TEST_F(BanksTest, DegreePenalizedChangesWeights) {
+  BanksOptions options;
+  options.weight_model = BanksWeightModel::kDegreePenalized;
+  auto answers = BanksBackwardSearch(*graph_, SmithXmlSets(), options);
+  ASSERT_FALSE(answers.empty());
+  // Weights now exceed plain hop counts.
+  EXPECT_GT(answers[0].weight, 1.0);
+}
+
+TEST_F(BanksTest, ThreeKeywordQuery) {
+  // Smith + XML + Alice: needs a tree touching e1/e2, xml tuples and t1.
+  auto answers = BanksBackwardSearch(
+      *graph_,
+      {{N("e1"), N("e2")}, {N("d1"), N("d2"), N("p1"), N("p2")}, {N("t1")}});
+  ASSERT_FALSE(answers.empty());
+  for (const AnswerTree& answer : answers) {
+    EXPECT_EQ(answer.keyword_nodes.size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace claks

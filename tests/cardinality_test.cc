@@ -1,0 +1,249 @@
+// Copyright 2026 The claks Authors.
+
+#include "er/cardinality.h"
+
+#include <gtest/gtest.h>
+
+namespace claks {
+namespace {
+
+const Cardinality kAll[] = {Cardinality::kOneOne, Cardinality::kOneN,
+                            Cardinality::kNOne, Cardinality::kNM};
+
+TEST(CardinalityTest, ToString) {
+  EXPECT_STREQ(CardinalityToString(Cardinality::kOneOne), "1:1");
+  EXPECT_STREQ(CardinalityToString(Cardinality::kOneN), "1:N");
+  EXPECT_STREQ(CardinalityToString(Cardinality::kNOne), "N:1");
+  EXPECT_STREQ(CardinalityToString(Cardinality::kNM), "N:M");
+}
+
+TEST(CardinalityTest, Parse) {
+  EXPECT_EQ(*ParseCardinality("1:1"), Cardinality::kOneOne);
+  EXPECT_EQ(*ParseCardinality("1:N"), Cardinality::kOneN);
+  EXPECT_EQ(*ParseCardinality("N:1"), Cardinality::kNOne);
+  EXPECT_EQ(*ParseCardinality("N:M"), Cardinality::kNM);
+  EXPECT_EQ(*ParseCardinality("M:N"), Cardinality::kNM);
+  EXPECT_EQ(*ParseCardinality("n:m"), Cardinality::kNM);
+  EXPECT_EQ(*ParseCardinality(" 1:n "), Cardinality::kOneN);
+  EXPECT_TRUE(ParseCardinality("1-N").status().IsParseError());
+  EXPECT_TRUE(ParseCardinality("2:N").status().IsParseError());
+  EXPECT_TRUE(ParseCardinality("").status().IsParseError());
+}
+
+TEST(CardinalityTest, ParseRoundTrip) {
+  for (Cardinality c : kAll) {
+    EXPECT_EQ(*ParseCardinality(CardinalityToString(c)), c);
+  }
+}
+
+TEST(CardinalityTest, InverseIsInvolution) {
+  for (Cardinality c : kAll) {
+    EXPECT_EQ(Inverse(Inverse(c)), c);
+  }
+  EXPECT_EQ(Inverse(Cardinality::kOneN), Cardinality::kNOne);
+  EXPECT_EQ(Inverse(Cardinality::kOneOne), Cardinality::kOneOne);
+  EXPECT_EQ(Inverse(Cardinality::kNM), Cardinality::kNM);
+}
+
+TEST(CardinalityTest, SidePredicates) {
+  EXPECT_TRUE(LeftIsOne(Cardinality::kOneN));
+  EXPECT_FALSE(RightIsOne(Cardinality::kOneN));
+  EXPECT_TRUE(RightIsOne(Cardinality::kNOne));
+  EXPECT_TRUE(LeftIsOne(Cardinality::kOneOne));
+  EXPECT_TRUE(RightIsOne(Cardinality::kOneOne));
+  EXPECT_FALSE(LeftIsOne(Cardinality::kNM));
+  EXPECT_FALSE(RightIsOne(Cardinality::kNM));
+}
+
+TEST(CardinalityTest, FunctionalPredicates) {
+  // N:1 means each left entity has one right entity: forward functional.
+  EXPECT_TRUE(ForwardFunctional(Cardinality::kNOne));
+  EXPECT_TRUE(ForwardFunctional(Cardinality::kOneOne));
+  EXPECT_FALSE(ForwardFunctional(Cardinality::kOneN));
+  EXPECT_TRUE(BackwardFunctional(Cardinality::kOneN));
+  EXPECT_FALSE(BackwardFunctional(Cardinality::kNM));
+}
+
+TEST(ComposeTest, IdentityOfOneOne) {
+  for (Cardinality c : kAll) {
+    EXPECT_EQ(ComposeCardinality(Cardinality::kOneOne, c), c);
+    EXPECT_EQ(ComposeCardinality(c, Cardinality::kOneOne), c);
+  }
+}
+
+TEST(ComposeTest, PaperExamples) {
+  // Relationship 3: department 1:N employee 1:N dependent => 1:N.
+  EXPECT_EQ(ComposeCardinality({Cardinality::kOneN, Cardinality::kOneN}),
+            Cardinality::kOneN);
+  // Relationship 5: project N:1 department 1:N employee => N:M.
+  EXPECT_EQ(ComposeCardinality({Cardinality::kNOne, Cardinality::kOneN}),
+            Cardinality::kNM);
+  // Relationship 4: department 1:N project N:M employee => N:M endpoint.
+  EXPECT_EQ(ComposeCardinality({Cardinality::kOneN, Cardinality::kNM}),
+            Cardinality::kNM);
+  // N:1 then N:1 stays functional.
+  EXPECT_EQ(ComposeCardinality({Cardinality::kNOne, Cardinality::kNOne}),
+            Cardinality::kNOne);
+}
+
+TEST(ComposeTest, NMIsAbsorbing) {
+  for (Cardinality c : kAll) {
+    EXPECT_EQ(ComposeCardinality(Cardinality::kNM, c), Cardinality::kNM);
+    EXPECT_EQ(ComposeCardinality(c, Cardinality::kNM), Cardinality::kNM);
+  }
+}
+
+TEST(ComposeTest, Associative) {
+  for (Cardinality a : kAll) {
+    for (Cardinality b : kAll) {
+      for (Cardinality c : kAll) {
+        EXPECT_EQ(ComposeCardinality(ComposeCardinality(a, b), c),
+                  ComposeCardinality(a, ComposeCardinality(b, c)));
+      }
+    }
+  }
+}
+
+TEST(ComposeTest, InverseDistributesReversed) {
+  // inv(a . b) == inv(b) . inv(a)
+  for (Cardinality a : kAll) {
+    for (Cardinality b : kAll) {
+      EXPECT_EQ(Inverse(ComposeCardinality(a, b)),
+                ComposeCardinality(Inverse(b), Inverse(a)));
+    }
+  }
+}
+
+TEST(FunctionalSequenceTest, PaperDefinition) {
+  using C = Cardinality;
+  // All Xi = 1.
+  EXPECT_TRUE(IsFunctionalSequence({C::kOneN, C::kOneN}));
+  // All Yi = 1.
+  EXPECT_TRUE(IsFunctionalSequence({C::kNOne, C::kNOne}));
+  // 1:1 counts toward either side.
+  EXPECT_TRUE(IsFunctionalSequence({C::kOneOne, C::kOneN}));
+  EXPECT_TRUE(IsFunctionalSequence({C::kNOne, C::kOneOne}));
+  // Mixed directions are not functional.
+  EXPECT_FALSE(IsFunctionalSequence({C::kNOne, C::kOneN}));
+  EXPECT_FALSE(IsFunctionalSequence({C::kOneN, C::kNOne}));
+  // Any N:M step breaks functionality.
+  EXPECT_FALSE(IsFunctionalSequence({C::kOneN, C::kNM}));
+  // Single steps are always functional-or-immediate; empty is functional.
+  EXPECT_TRUE(IsFunctionalSequence({C::kNM}) == false);
+  EXPECT_TRUE(IsFunctionalSequence({}));
+  EXPECT_TRUE(IsFunctionalSequence({C::kOneN}));
+}
+
+TEST(FunctionalSequenceTest, EquivalentToNonNMComposition) {
+  // The paper's functional definition coincides with "endpoint composition
+  // is not N:M" for sequences without N:M steps... and in general
+  // functional => composition != N:M.
+  using C = Cardinality;
+  std::vector<std::vector<C>> sequences = {
+      {C::kOneN, C::kOneN},  {C::kNOne, C::kNOne}, {C::kNOne, C::kOneN},
+      {C::kOneN, C::kNOne},  {C::kOneOne, C::kNM}, {C::kNM, C::kNM},
+      {C::kOneN, C::kOneOne, C::kOneN},
+  };
+  for (const auto& seq : sequences) {
+    if (IsFunctionalSequence(seq)) {
+      EXPECT_NE(ComposeCardinality(seq), C::kNM);
+    }
+  }
+}
+
+TEST(TransitiveNMTest, PaperDefinition) {
+  using C = Cardinality;
+  // Relationship 5: X1=N, Yn=N.
+  EXPECT_TRUE(IsTransitiveNM({C::kNOne, C::kOneN}));
+  // Relationship 3: X1=1 -> not transitive N:M.
+  EXPECT_FALSE(IsTransitiveNM({C::kOneN, C::kOneN}));
+  // Relationship 4: X1=1 -> not transitive N:M (it is loose though).
+  EXPECT_FALSE(IsTransitiveNM({C::kOneN, C::kNM}));
+  // N:M then N:M: X1!=1 and Yn!=1.
+  EXPECT_TRUE(IsTransitiveNM({C::kNM, C::kNM}));
+  // Single steps never.
+  EXPECT_FALSE(IsTransitiveNM({C::kNM}));
+  EXPECT_FALSE(IsTransitiveNM({C::kNOne}));
+}
+
+TEST(LoosePointTest, CountsNMSteps) {
+  using C = Cardinality;
+  EXPECT_EQ(CountNMSteps({C::kOneN, C::kNM, C::kOneN, C::kNM}), 2u);
+  EXPECT_EQ(CountNMSteps({C::kOneN}), 0u);
+}
+
+TEST(LoosePointTest, CountsHubPatterns) {
+  using C = Cardinality;
+  // N:1 followed by 1:N is the hub (paper relationship 5).
+  EXPECT_EQ(CountHubPatterns({C::kNOne, C::kOneN}), 1u);
+  // 1:N then N:1 is NOT a hub (the middle entity is on the N side).
+  EXPECT_EQ(CountHubPatterns({C::kOneN, C::kNOne}), 0u);
+  // Chained hubs: N:1 1:N ... each adjacent pair checked.
+  EXPECT_EQ(CountHubPatterns({C::kNOne, C::kOneN, C::kNOne, C::kOneN}), 2u);
+  EXPECT_EQ(CountHubPatterns({C::kNOne}), 0u);
+}
+
+TEST(LoosePointTest, TotalIsSum) {
+  using C = Cardinality;
+  std::vector<C> steps = {C::kNOne, C::kOneN, C::kNM};
+  EXPECT_EQ(CountLoosePoints(steps),
+            CountNMSteps(steps) + CountHubPatterns(steps));
+  EXPECT_EQ(CountLoosePoints(steps), 2u);
+}
+
+TEST(LoosePointTest, FunctionalSequencesHaveNone) {
+  using C = Cardinality;
+  EXPECT_EQ(CountLoosePoints({C::kOneN, C::kOneN, C::kOneN}), 0u);
+  EXPECT_EQ(CountLoosePoints({C::kNOne, C::kNOne}), 0u);
+}
+
+TEST(StepsToStringTest, Renders) {
+  using C = Cardinality;
+  EXPECT_EQ(StepsToString({C::kOneN, C::kNM}), "1:N N:M");
+  EXPECT_EQ(StepsToString({}), "");
+}
+
+// Property sweep: classification consistency over all sequences of length
+// <= 3.
+class CardinalitySequenceProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(CardinalitySequenceProperty, FunctionalNeverTransitiveNM) {
+  auto [a, b, c] = GetParam();
+  std::vector<Cardinality> seq{kAll[a], kAll[b], kAll[c]};
+  if (IsFunctionalSequence(seq)) {
+    EXPECT_FALSE(IsTransitiveNM(seq));
+    EXPECT_EQ(CountLoosePoints(seq), 0u);
+    EXPECT_NE(ComposeCardinality(seq), Cardinality::kNM);
+  }
+}
+
+TEST_P(CardinalitySequenceProperty, TransitiveNMComposesToNM) {
+  auto [a, b, c] = GetParam();
+  std::vector<Cardinality> seq{kAll[a], kAll[b], kAll[c]};
+  if (IsTransitiveNM(seq)) {
+    EXPECT_EQ(ComposeCardinality(seq), Cardinality::kNM);
+  }
+}
+
+TEST_P(CardinalitySequenceProperty, ReversalSymmetry) {
+  auto [a, b, c] = GetParam();
+  std::vector<Cardinality> seq{kAll[a], kAll[b], kAll[c]};
+  std::vector<Cardinality> rev;
+  for (auto it = seq.rbegin(); it != seq.rend(); ++it) {
+    rev.push_back(Inverse(*it));
+  }
+  EXPECT_EQ(IsFunctionalSequence(seq), IsFunctionalSequence(rev));
+  EXPECT_EQ(IsTransitiveNM(seq), IsTransitiveNM(rev));
+  EXPECT_EQ(CountLoosePoints(seq), CountLoosePoints(rev));
+  EXPECT_EQ(ComposeCardinality(rev),
+            Inverse(ComposeCardinality(seq)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTriples, CardinalitySequenceProperty,
+    ::testing::Combine(::testing::Range(0, 4), ::testing::Range(0, 4),
+                       ::testing::Range(0, 4)));
+
+}  // namespace
+}  // namespace claks

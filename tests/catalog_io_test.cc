@@ -1,0 +1,152 @@
+// Copyright 2026 The claks Authors.
+
+#include "relational/catalog_io.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/engine.h"
+#include "datasets/company_paper.h"
+
+namespace claks {
+namespace {
+
+class CatalogIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = BuildCompanyPaperDataset();
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).ValueOrDie();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("claks_catalog_test_" + std::to_string(::getpid()));
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  CompanyPaperDataset dataset_;
+  std::filesystem::path dir_;
+};
+
+TEST_F(CatalogIoTest, SerializeListsEveryTable) {
+  std::string catalog = SerializeCatalog(*dataset_.db);
+  for (const char* table : {"DEPARTMENT", "PROJECT", "WORKS_FOR",
+                            "EMPLOYEE", "DEPENDENT"}) {
+    EXPECT_NE(catalog.find(std::string("TABLE ") + table),
+              std::string::npos);
+  }
+  EXPECT_NE(catalog.find("FK WORKS_FOR D_ID REFERENCES DEPARTMENT ID"),
+            std::string::npos);
+  EXPECT_NE(catalog.find("PK ESSN P_ID"), std::string::npos);
+}
+
+TEST_F(CatalogIoTest, CatalogRoundTrip) {
+  std::string catalog = SerializeCatalog(*dataset_.db);
+  auto schemas = ParseCatalog(catalog);
+  ASSERT_TRUE(schemas.ok()) << schemas.status().ToString();
+  ASSERT_EQ(schemas->size(), dataset_.db->num_tables());
+  for (size_t t = 0; t < schemas->size(); ++t) {
+    const TableSchema& original = dataset_.db->table(t).schema();
+    const TableSchema& parsed = (*schemas)[t];
+    EXPECT_EQ(parsed.name(), original.name());
+    EXPECT_EQ(parsed.num_attributes(), original.num_attributes());
+    EXPECT_EQ(parsed.primary_key(), original.primary_key());
+    ASSERT_EQ(parsed.foreign_keys().size(),
+              original.foreign_keys().size());
+    for (size_t f = 0; f < parsed.foreign_keys().size(); ++f) {
+      EXPECT_EQ(parsed.foreign_keys()[f].referenced_table,
+                original.foreign_keys()[f].referenced_table);
+      EXPECT_EQ(parsed.foreign_keys()[f].local_attributes,
+                original.foreign_keys()[f].local_attributes);
+    }
+    for (size_t a = 0; a < parsed.num_attributes(); ++a) {
+      EXPECT_EQ(parsed.attribute(a).name, original.attribute(a).name);
+      EXPECT_EQ(parsed.attribute(a).type, original.attribute(a).type);
+      EXPECT_EQ(parsed.attribute(a).nullable,
+                original.attribute(a).nullable);
+      EXPECT_EQ(parsed.attribute(a).searchable,
+                original.attribute(a).searchable);
+    }
+  }
+}
+
+TEST_F(CatalogIoTest, ParserRejectsMalformedInput) {
+  EXPECT_TRUE(ParseCatalog("ATTR X STRING notnull searchable\n")
+                  .status()
+                  .IsParseError());  // outside TABLE
+  EXPECT_TRUE(ParseCatalog("TABLE A\nTABLE B\n").status().IsParseError());
+  EXPECT_TRUE(ParseCatalog("TABLE A\nATTR X STRING notnull searchable\n")
+                  .status()
+                  .IsParseError());  // unterminated
+  EXPECT_TRUE(ParseCatalog("TABLE A\nATTR X WIBBLE notnull searchable\n"
+                           "PK X\nEND\n")
+                  .status()
+                  .IsParseError());  // bad type
+  EXPECT_TRUE(ParseCatalog("TABLE A\nATTR X STRING maybe searchable\n"
+                           "PK X\nEND\n")
+                  .status()
+                  .IsParseError());  // bad null-mode
+  EXPECT_TRUE(ParseCatalog("TABLE A\nATTR X STRING notnull searchable\n"
+                           "PK X\nFK f REFERENCES B\nEND\n")
+                  .status()
+                  .IsParseError());  // FK without attributes
+  EXPECT_TRUE(ParseCatalog("GARBAGE\n").status().IsParseError());
+}
+
+TEST_F(CatalogIoTest, CommentsAndBlankLinesIgnored) {
+  auto schemas = ParseCatalog(
+      "# header comment\n"
+      "\n"
+      "TABLE A\n"
+      "ATTR ID STRING notnull nosearch\n"
+      "PK ID\n"
+      "END\n");
+  ASSERT_TRUE(schemas.ok());
+  EXPECT_EQ(schemas->size(), 1u);
+}
+
+TEST_F(CatalogIoTest, SaveAndLoadDatabaseRoundTrip) {
+  ASSERT_TRUE(SaveDatabase(*dataset_.db, dir_.string()).ok());
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "catalog.txt"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "EMPLOYEE.csv"));
+
+  auto loaded = LoadDatabase(dir_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ((*loaded)->num_tables(), dataset_.db->num_tables());
+  for (size_t t = 0; t < dataset_.db->num_tables(); ++t) {
+    const Table& original = dataset_.db->table(t);
+    const Table& round_tripped = (*loaded)->table(t);
+    ASSERT_EQ(round_tripped.num_rows(), original.num_rows());
+    for (size_t r = 0; r < original.num_rows(); ++r) {
+      EXPECT_EQ(round_tripped.row(r), original.row(r)) << t << ":" << r;
+    }
+  }
+}
+
+TEST_F(CatalogIoTest, LoadedDatabaseAnswersQueries) {
+  ASSERT_TRUE(SaveDatabase(*dataset_.db, dir_.string()).ok());
+  auto loaded = LoadDatabase(dir_.string());
+  ASSERT_TRUE(loaded.ok());
+  // The loaded catalog supports the full engine pipeline via reverse
+  // engineering.
+  auto engine = KeywordSearchEngine::Create(loaded->get());
+  ASSERT_TRUE(engine.ok());
+  SearchOptions options;
+  options.max_rdb_edges = 3;
+  auto result = (*engine)->Search("Smith XML", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->hits.size(), 7u);
+}
+
+TEST_F(CatalogIoTest, LoadMissingDirectoryFails) {
+  EXPECT_TRUE(LoadDatabase("/nonexistent/claks").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace claks

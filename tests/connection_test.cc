@@ -1,0 +1,137 @@
+// Copyright 2026 The claks Authors.
+
+#include "core/connection.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datasets/company_paper.h"
+#include "graph/traversal.h"
+
+namespace claks {
+namespace {
+
+class ConnectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = BuildCompanyPaperDataset();
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).ValueOrDie();
+    graph_ = std::make_unique<DataGraph>(dataset_.db.get());
+  }
+
+  uint32_t N(const std::string& name) {
+    return graph_->NodeOf(PaperTuple(*dataset_.db, name));
+  }
+
+  // Builds the connection along the given paper tuples (adjacent in the
+  // data graph).
+  Connection Conn(const std::vector<std::string>& names) {
+    std::vector<TupleId> tuples;
+    std::vector<ConnectionEdge> edges;
+    for (const auto& name : names) {
+      tuples.push_back(PaperTuple(*dataset_.db, name));
+    }
+    for (size_t i = 0; i + 1 < tuples.size(); ++i) {
+      uint32_t a = graph_->NodeOf(tuples[i]);
+      bool found = false;
+      for (const DataAdjacency& adj : graph_->Neighbors(a)) {
+        if (adj.neighbor == graph_->NodeOf(tuples[i + 1])) {
+          const DataEdge& edge = graph_->edge(adj.edge_index);
+          edges.push_back(ConnectionEdge{edge.fk_index, adj.along_fk});
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << names[i] << " - " << names[i + 1];
+    }
+    return Connection(std::move(tuples), std::move(edges));
+  }
+
+  CompanyPaperDataset dataset_;
+  std::unique_ptr<DataGraph> graph_;
+};
+
+TEST_F(ConnectionTest, FromNodePath) {
+  auto path = ShortestPath(*graph_, N("d1"), N("t1"));
+  ASSERT_TRUE(path.has_value());
+  Connection conn = Connection::FromNodePath(*graph_, *path);
+  EXPECT_EQ(conn.RdbLength(), 2u);
+  EXPECT_EQ(conn.front(), PaperTuple(*dataset_.db, "d1"));
+  EXPECT_EQ(conn.back(), PaperTuple(*dataset_.db, "t1"));
+  EXPECT_TRUE(conn.ContainsTuple(PaperTuple(*dataset_.db, "e3")));
+  EXPECT_FALSE(conn.ContainsTuple(PaperTuple(*dataset_.db, "e1")));
+}
+
+TEST_F(ConnectionTest, SingleTupleConnection) {
+  Connection conn({PaperTuple(*dataset_.db, "d1")}, {});
+  EXPECT_EQ(conn.RdbLength(), 0u);
+  EXPECT_EQ(conn.front(), conn.back());
+  EXPECT_TRUE(conn.RdbCardinalitySequence().empty());
+}
+
+TEST_F(ConnectionTest, RdbCardinalitySequencePaperConnection1) {
+  // d1 - e1: traversal against e1's FK => 1:N.
+  Connection conn = Conn({"d1", "e1"});
+  EXPECT_EQ(conn.RdbCardinalitySequence(),
+            (std::vector<Cardinality>{Cardinality::kOneN}));
+}
+
+TEST_F(ConnectionTest, RdbCardinalitySequencePaperConnection2) {
+  // p1 - w_f1 - e1: "p1(XML) 1:N w_f1 N:1 e1(Smith)" (paper Table 3).
+  Connection conn = Conn({"p1", "w_f1", "e1"});
+  EXPECT_EQ(conn.RdbCardinalitySequence(),
+            (std::vector<Cardinality>{Cardinality::kOneN,
+                                      Cardinality::kNOne}));
+}
+
+TEST_F(ConnectionTest, RdbCardinalitySequencePaperConnection9) {
+  // d2 1:N p2 1:N w_f3 N:1 e3 1:N t1 (paper Table 3, row 9).
+  Connection conn = Conn({"d2", "p2", "w_f3", "e3", "t1"});
+  using C = Cardinality;
+  EXPECT_EQ(conn.RdbCardinalitySequence(),
+            (std::vector<C>{C::kOneN, C::kOneN, C::kNOne, C::kOneN}));
+}
+
+TEST_F(ConnectionTest, ReversedInvertsEverything) {
+  Connection conn = Conn({"p1", "w_f1", "e1"});
+  Connection rev = conn.Reversed();
+  EXPECT_EQ(rev.front(), conn.back());
+  EXPECT_EQ(rev.back(), conn.front());
+  using C = Cardinality;
+  EXPECT_EQ(rev.RdbCardinalitySequence(),
+            (std::vector<C>{C::kOneN, C::kNOne}));
+  EXPECT_EQ(rev.Reversed(), conn);
+}
+
+TEST_F(ConnectionTest, EqualityAndUndirectedComparison) {
+  Connection a = Conn({"d1", "e1"});
+  Connection b = Conn({"d1", "e1"});
+  EXPECT_EQ(a, b);
+  Connection c = Conn({"e1", "d1"});
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(a.SamePathUndirected(c));
+  Connection d = Conn({"d2", "e2"});
+  EXPECT_FALSE(a.SamePathUndirected(d));
+}
+
+TEST_F(ConnectionTest, ToStringWithKeywords) {
+  Connection conn = Conn({"d1", "e1"});
+  std::map<TupleId, std::string> keyword_of{
+      {PaperTuple(*dataset_.db, "d1"), "XML"},
+      {PaperTuple(*dataset_.db, "e1"), "Smith"}};
+  EXPECT_EQ(conn.ToString(*dataset_.db, keyword_of),
+            "DEPARTMENT:d1(XML) - EMPLOYEE:e1(Smith)");
+  EXPECT_EQ(conn.ToAnnotatedString(*dataset_.db, keyword_of),
+            "DEPARTMENT:d1(XML) 1:N EMPLOYEE:e1(Smith)");
+}
+
+TEST_F(ConnectionTest, AnnotatedStringMatchesPaperTable3Row2) {
+  Connection conn = Conn({"p1", "w_f1", "e1"});
+  std::string s = conn.ToAnnotatedString(*dataset_.db);
+  EXPECT_EQ(s, "PROJECT:p1 1:N WORKS_FOR:e1,p1 N:1 EMPLOYEE:e1");
+}
+
+}  // namespace
+}  // namespace claks

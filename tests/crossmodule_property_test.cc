@@ -1,0 +1,192 @@
+// Copyright 2026 The claks Authors.
+//
+// Cross-module invariants: for every connection the engine can produce on
+// the paper instance and on synthetic datasets, the SQL generator, the
+// verbalizer, the statistics and the stream enumerator must all behave
+// consistently.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "common/string_util.h"
+#include "core/engine.h"
+#include "core/explain.h"
+#include "core/sql.h"
+#include "core/topk.h"
+#include "datasets/company_gen.h"
+#include "datasets/company_paper.h"
+#include "datasets/movies.h"
+
+namespace claks {
+namespace {
+
+class CrossModuleTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    CompanyGenOptions options;
+    options.seed = GetParam();
+    options.num_departments = 4;
+    options.employees_per_department = 6;
+    auto dataset = GenerateCompanyDataset(options);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).ValueOrDie();
+    auto engine = KeywordSearchEngine::Create(
+        dataset_.db.get(), dataset_.er_schema, dataset_.mapping);
+    ASSERT_TRUE(engine.ok());
+    engine_ = std::move(engine).ValueOrDie();
+  }
+
+  std::vector<SearchHit> Hits() {
+    SearchOptions options;
+    options.max_rdb_edges = 3;
+    options.instance_check = false;
+    auto result = engine_->Search("research xml", options);
+    EXPECT_TRUE(result.ok());
+    return result.ok() ? std::move(result->hits)
+                       : std::vector<SearchHit>{};
+  }
+
+  GeneratedDataset dataset_;
+  std::unique_ptr<KeywordSearchEngine> engine_;
+};
+
+TEST_P(CrossModuleTest, EverySqlStatementIsWellFormed) {
+  for (const SearchHit& hit : Hits()) {
+    if (!hit.connection.has_value()) continue;
+    auto sql = ConnectionToSql(*hit.connection, *dataset_.db);
+    ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+    EXPECT_EQ(sql->find("SELECT "), 0u);
+    EXPECT_NE(sql->find(" FROM "), std::string::npos);
+    EXPECT_EQ(sql->back(), ';');
+    // One alias per tuple.
+    for (size_t i = 0; i < hit.connection->tuples().size(); ++i) {
+      EXPECT_NE(sql->find(StrFormat("t%zu.", i)), std::string::npos);
+    }
+  }
+}
+
+TEST_P(CrossModuleTest, EveryConnectionExplains) {
+  for (const SearchHit& hit : Hits()) {
+    if (!hit.connection.has_value()) continue;
+    auto text = ExplainConnection(*hit.connection, *dataset_.db,
+                                  dataset_.er_schema, dataset_.mapping);
+    ASSERT_TRUE(text.ok()) << text.status().ToString();
+    EXPECT_FALSE(text->empty());
+  }
+}
+
+TEST_P(CrossModuleTest, AmbiguityAtLeastOneAndCloseImpliesUnit) {
+  for (const SearchHit& hit : Hits()) {
+    EXPECT_GE(hit.ambiguity, 1.0 - 1e-9);
+    if (!hit.connection.has_value() || !hit.analysis.has_value()) continue;
+    // A purely functional (close, non-N:M) ER sequence multiplies unit
+    // fan-outs only when oriented functionally; ambiguity 1.0 implies no
+    // loose alternatives existed.
+    if (hit.ambiguity <= 1.0 + 1e-9 && !hit.schema_close) {
+      // Loose shape but no actual alternatives: instance data is sparse;
+      // the instance-close check must agree there is no real looseness
+      // only when a witness exists — nothing to assert strongly here
+      // beyond non-contradiction, so check the analyzer does not crash.
+      auto verdict = engine_->analyzer().IsInstanceClose(*hit.connection);
+      EXPECT_TRUE(verdict.ok());
+    }
+  }
+}
+
+TEST_P(CrossModuleTest, StatisticsConsistentWithDataGraph) {
+  // Sum of all relationship link counts equals the number of FK instance
+  // edges, counting middle relations once per row (= 2 FK edges).
+  size_t links = 0;
+  size_t middle_rows = 0;
+  for (const auto& [name, stats] : engine_->statistics().all()) {
+    links += stats.link_count;
+  }
+  for (size_t t = 0; t < dataset_.db->num_tables(); ++t) {
+    if (dataset_.mapping.IsMiddleRelation(dataset_.db->table(t).name())) {
+      middle_rows += dataset_.db->table(t).num_rows();
+    }
+  }
+  EXPECT_EQ(links + middle_rows, engine_->data_graph().num_edges());
+}
+
+TEST_P(CrossModuleTest, StreamMatchesEngineEnumeration) {
+  auto hits = Hits();
+  std::set<std::string> engine_set;
+  for (const SearchHit& hit : hits) {
+    if (hit.connection.has_value()) {
+      engine_set.insert(hit.connection->ToString(*dataset_.db));
+    }
+  }
+  // Stream both directions like the engine does.
+  auto result = engine_->Search("research xml");
+  ASSERT_TRUE(result.ok());
+  if (result->matches.size() != 2) GTEST_SKIP();
+  std::vector<uint32_t> a, b;
+  for (const TupleMatch& m : result->matches[0].matches) {
+    a.push_back(engine_->data_graph().NodeOf(m.tuple));
+  }
+  for (const TupleMatch& m : result->matches[1].matches) {
+    b.push_back(engine_->data_graph().NodeOf(m.tuple));
+  }
+  std::set<std::string> stream_set;
+  for (auto [from, to] : {std::make_pair(a, b), std::make_pair(b, a)}) {
+    ConnectionStream stream(&engine_->data_graph(), from, to, 3);
+    while (auto connection = stream.Next()) {
+      stream_set.insert(connection->ToString(*dataset_.db));
+      std::string reversed =
+          connection->Reversed().ToString(*dataset_.db);
+      stream_set.insert(reversed);
+    }
+  }
+  for (const std::string& conn : engine_set) {
+    EXPECT_TRUE(stream_set.count(conn) > 0) << conn;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossModuleTest,
+                         ::testing::Values(1, 4, 9, 16, 25));
+
+// --- Paper instance spot checks --------------------------------------------
+
+TEST(CrossModulePaperTest, Connection3SqlAndReadingAgree) {
+  auto dataset = BuildCompanyPaperDataset();
+  ASSERT_TRUE(dataset.ok());
+  DataGraph graph(dataset->db.get());
+  // p1 - d1 - e1.
+  TupleId p1 = PaperTuple(*dataset->db, "p1");
+  TupleId d1 = PaperTuple(*dataset->db, "d1");
+  TupleId e1 = PaperTuple(*dataset->db, "e1");
+  Connection conn({p1, d1, e1},
+                  {ConnectionEdge{0, true}, ConnectionEdge{0, false}});
+  auto sql = ConnectionToSql(conn, *dataset->db);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_NE(sql->find("t0.D_ID = t1.ID"), std::string::npos);
+  EXPECT_NE(sql->find("t2.D_ID = t1.ID"), std::string::npos);
+
+  auto reading = ExplainConnection(conn, *dataset->db, dataset->er_schema,
+                                   dataset->mapping,
+                                   CompanyPaperVerbalizer());
+  ASSERT_TRUE(reading.ok());
+  EXPECT_EQ(*reading,
+            "project p1 is controlled by department d1, that employs "
+            "employee e1");
+}
+
+TEST(CrossModulePaperTest, MoviesEngineSupportsNewModules) {
+  auto dataset = GenerateMoviesDataset({});
+  ASSERT_TRUE(dataset.ok());
+  auto engine = KeywordSearchEngine::Create(
+      dataset->db.get(), dataset->er_schema, dataset->mapping);
+  ASSERT_TRUE(engine.ok());
+  const InstanceStatistics& stats = (*engine)->statistics();
+  // Every movie has a director and a studio: full right participation.
+  EXPECT_DOUBLE_EQ(stats.StatsFor("DIRECTS").RightParticipation(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.StatsFor("PRODUCED_BY").RightParticipation(),
+                   1.0);
+  EXPECT_DOUBLE_EQ(stats.StatsFor("DIRECTS").AvgFanoutRightToLeft(), 1.0);
+}
+
+}  // namespace
+}  // namespace claks

@@ -1,0 +1,124 @@
+// Copyright 2026 The claks Authors.
+
+#include "relational/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace claks {
+namespace {
+
+TEST(ParseCsvTest, Simple) {
+  auto r = ParseCsv("a,b\n1,2\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*r)[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(ParseCsvTest, MissingFinalNewline) {
+  auto r = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(ParseCsvTest, QuotedFields) {
+  auto r = ParseCsv("\"a,b\",\"c\"\"d\",\"line\nbreak\"\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0][0], "a,b");
+  EXPECT_EQ((*r)[0][1], "c\"d");
+  EXPECT_EQ((*r)[0][2], "line\nbreak");
+}
+
+TEST(ParseCsvTest, CrLf) {
+  auto r = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[1][1], "2");
+}
+
+TEST(ParseCsvTest, EmptyFields) {
+  auto r = ParseCsv("a,,c\n,,\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0], (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ((*r)[1], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(ParseCsvTest, Errors) {
+  EXPECT_TRUE(ParseCsv("\"unterminated").status().IsParseError());
+  EXPECT_TRUE(ParseCsv("ab\"cd\n").status().IsParseError());
+}
+
+TEST(ParseCsvTest, AlternateSeparator) {
+  auto r = ParseCsv("a;b\n1;2\n", ';');
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0][1], "b");
+}
+
+TEST(CsvEscapeTest, QuotesWhenNeeded) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("q\"q"), "\"q\"\"q\"");
+  EXPECT_EQ(CsvEscape("nl\n"), "\"nl\n\"");
+}
+
+Table MakeTable() {
+  return Table(TableSchema("T",
+                           {{"ID", ValueType::kString},
+                            {"N", ValueType::kInt64, /*nullable=*/true},
+                            {"TXT", ValueType::kString}},
+                           {"ID"}));
+}
+
+TEST(LoadCsvTest, LoadsTypedRows) {
+  Table t = MakeTable();
+  ASSERT_TRUE(
+      LoadCsvInto(&t, "ID,N,TXT\nr1,5,hello\nr2,,\"with, comma\"\n").ok());
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.at(0, 1).AsInt64(), 5);
+  EXPECT_TRUE(t.at(1, 1).is_null());
+  EXPECT_EQ(t.at(1, 2).AsString(), "with, comma");
+}
+
+TEST(LoadCsvTest, HeaderValidation) {
+  Table t = MakeTable();
+  EXPECT_TRUE(LoadCsvInto(&t, "ID,WRONG,TXT\nr1,5,x\n").IsParseError());
+  EXPECT_TRUE(LoadCsvInto(&t, "ID,N\nr1,5\n").IsParseError());
+  EXPECT_TRUE(LoadCsvInto(&t, "").IsParseError());
+}
+
+TEST(LoadCsvTest, NoHeaderMode) {
+  Table t = MakeTable();
+  ASSERT_TRUE(LoadCsvInto(&t, "r1,5,x\n", /*has_header=*/false).ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(LoadCsvTest, TypeErrorsPropagate) {
+  Table t = MakeTable();
+  EXPECT_TRUE(LoadCsvInto(&t, "ID,N,TXT\nr1,notanumber,x\n").IsParseError());
+}
+
+TEST(LoadCsvTest, ArityErrorsPropagate) {
+  Table t = MakeTable();
+  EXPECT_TRUE(LoadCsvInto(&t, "ID,N,TXT\nr1,5\n").IsParseError());
+}
+
+TEST(CsvRoundTripTest, TableToCsvAndBack) {
+  Table t = MakeTable();
+  ASSERT_TRUE(t.InsertValues({Value::String("r1"), Value::Int64(1),
+                              Value::String("plain")})
+                  .ok());
+  ASSERT_TRUE(t.InsertValues({Value::String("r2"), Value::Null(),
+                              Value::String("quote\"and,comma")})
+                  .ok());
+  std::string csv = TableToCsv(t);
+  Table back = MakeTable();
+  ASSERT_TRUE(LoadCsvInto(&back, csv).ok());
+  ASSERT_EQ(back.num_rows(), 2u);
+  EXPECT_EQ(back.at(1, 2).AsString(), "quote\"and,comma");
+  EXPECT_TRUE(back.at(1, 1).is_null());
+  EXPECT_EQ(back.at(0, 1).AsInt64(), 1);
+}
+
+}  // namespace
+}  // namespace claks

@@ -1,0 +1,109 @@
+// Copyright 2026 The claks Authors.
+
+#include "graph/data_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include <memory>
+
+#include "datasets/company_paper.h"
+
+namespace claks {
+namespace {
+
+class DataGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = BuildCompanyPaperDataset();
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).ValueOrDie();
+    graph_ = std::make_unique<DataGraph>(dataset_.db.get());
+  }
+
+  uint32_t N(const std::string& name) {
+    return graph_->NodeOf(PaperTuple(*dataset_.db, name));
+  }
+
+  CompanyPaperDataset dataset_;
+  std::unique_ptr<DataGraph> graph_;
+};
+
+TEST_F(DataGraphTest, CountsNodesAndEdges) {
+  // 3 departments + 3 projects + 4 works_for + 4 employees + 2 dependents.
+  EXPECT_EQ(graph_->num_nodes(), 16u);
+  // Edges: 3 project->dept + 4*2 works_for + 4 employee->dept +
+  // 2 dependent->employee = 17.
+  EXPECT_EQ(graph_->num_edges(), 17u);
+}
+
+TEST_F(DataGraphTest, NodeTupleRoundTrip) {
+  for (uint32_t node = 0; node < graph_->num_nodes(); ++node) {
+    EXPECT_EQ(graph_->NodeOf(graph_->TupleOf(node)), node);
+  }
+}
+
+TEST_F(DataGraphTest, AdjacencyOfEmployeeE1) {
+  // e1: works in d1, appears in w_f1.
+  auto neighbors = graph_->Neighbors(N("e1"));
+  ASSERT_EQ(neighbors.size(), 2u);
+  std::set<uint32_t> ids;
+  for (const DataAdjacency& adj : neighbors) ids.insert(adj.neighbor);
+  EXPECT_TRUE(ids.count(N("d1")) > 0);
+  EXPECT_TRUE(ids.count(N("w_f1")) > 0);
+}
+
+TEST_F(DataGraphTest, DirectionFlags) {
+  // e1 -> d1 follows e1's FK: along_fk true from e1's perspective.
+  for (const DataAdjacency& adj : graph_->Neighbors(N("e1"))) {
+    if (adj.neighbor == N("d1")) {
+      EXPECT_TRUE(adj.along_fk);
+    }
+    if (adj.neighbor == N("w_f1")) {
+      EXPECT_FALSE(adj.along_fk);  // w_f1 owns the FK to e1
+    }
+  }
+}
+
+TEST_F(DataGraphTest, DegreeStatistics) {
+  // d2 is referenced by p2, p3, e2, e4: degree 4.
+  EXPECT_EQ(graph_->Degree(N("d2")), 4u);
+  // d3 has nothing attached.
+  EXPECT_EQ(graph_->Degree(N("d3")), 0u);
+  EXPECT_GE(graph_->MaxDegree(), 4u);
+  EXPECT_NEAR(graph_->AvgDegree(), 2.0 * 17 / 16, 1e-9);
+}
+
+TEST_F(DataGraphTest, ConnectedComponents) {
+  // d3 and t2... t2 -> e3 so t2 connects. d3 is isolated.
+  // Everything else is connected through departments/employees.
+  EXPECT_EQ(graph_->CountConnectedComponents(), 2u);
+}
+
+TEST_F(DataGraphTest, EdgeAccessors) {
+  ASSERT_GT(graph_->num_edges(), 0u);
+  const DataEdge& edge = graph_->edge(0);
+  // First edge: first FK of the first table with FKs (PROJECT p1 -> d1).
+  EXPECT_EQ(dataset_.db->TupleLabel(edge.from), "PROJECT:p1");
+  EXPECT_EQ(dataset_.db->TupleLabel(edge.to), "DEPARTMENT:d1");
+}
+
+TEST_F(DataGraphTest, ToStringRendering) {
+  std::string s = graph_->ToString(3);
+  EXPECT_NE(s.find("16 nodes"), std::string::npos);
+  EXPECT_NE(s.find("17 edges"), std::string::npos);
+  EXPECT_NE(s.find("more edges"), std::string::npos);
+}
+
+TEST(DataGraphEmptyTest, EmptyDatabase) {
+  Database db;
+  DataGraph graph(&db);
+  EXPECT_EQ(graph.num_nodes(), 0u);
+  EXPECT_EQ(graph.num_edges(), 0u);
+  EXPECT_EQ(graph.CountConnectedComponents(), 0u);
+  EXPECT_EQ(graph.AvgDegree(), 0.0);
+}
+
+}  // namespace
+}  // namespace claks

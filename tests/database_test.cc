@@ -1,0 +1,125 @@
+// Copyright 2026 The claks Authors.
+
+#include "relational/database.h"
+
+#include <gtest/gtest.h>
+
+namespace claks {
+namespace {
+
+// Two-table toy: B references A.
+void BuildToy(Database* db, bool dangling = false) {
+  auto a = db->AddTable(TableSchema(
+      "A", {{"ID", ValueType::kString}, {"T", ValueType::kString}},
+      {"ID"}));
+  ASSERT_TRUE(a.ok());
+  auto b = db->AddTable(TableSchema(
+      "B",
+      {{"ID", ValueType::kString}, {"A_ID", ValueType::kString, true}},
+      {"ID"}, {{"fk_a", {"A_ID"}, "A", {"ID"}}}));
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(
+      (*a)->InsertValues({Value::String("a1"), Value::String("x")}).ok());
+  ASSERT_TRUE(
+      (*a)->InsertValues({Value::String("a2"), Value::String("y")}).ok());
+  ASSERT_TRUE(
+      (*b)->InsertValues({Value::String("b1"), Value::String("a1")}).ok());
+  ASSERT_TRUE(
+      (*b)->InsertValues({Value::String("b2"), Value::Null()}).ok());
+  if (dangling) {
+    ASSERT_TRUE(
+        (*b)->InsertValues({Value::String("b3"), Value::String("zzz")})
+            .ok());
+  }
+}
+
+TEST(DatabaseTest, AddAndLookupTables) {
+  Database db;
+  BuildToy(&db);
+  EXPECT_EQ(db.num_tables(), 2u);
+  EXPECT_EQ(db.TableIndex("A"), 0u);
+  EXPECT_EQ(db.TableIndex("B"), 1u);
+  EXPECT_FALSE(db.TableIndex("C").has_value());
+  EXPECT_NE(db.FindTable("A"), nullptr);
+  EXPECT_EQ(db.FindTable("C"), nullptr);
+  EXPECT_TRUE(db.RequireTable("C").status().IsNotFound());
+}
+
+TEST(DatabaseTest, RejectsDuplicateTable) {
+  Database db;
+  ASSERT_TRUE(
+      db.AddTable(TableSchema("A", {{"ID", ValueType::kString}}, {"ID"}))
+          .ok());
+  EXPECT_TRUE(
+      db.AddTable(TableSchema("A", {{"ID", ValueType::kString}}, {"ID"}))
+          .status()
+          .IsAlreadyExists());
+}
+
+TEST(DatabaseTest, RowAndSchemaOf) {
+  Database db;
+  BuildToy(&db);
+  TupleId id{0, 1};
+  EXPECT_EQ(db.RowOf(id)[0].AsString(), "a2");
+  EXPECT_EQ(db.SchemaOf(id).name(), "A");
+  EXPECT_EQ(db.TotalRows(), 4u);
+}
+
+TEST(DatabaseTest, IntegrityOkWithNullFk) {
+  Database db;
+  BuildToy(&db);
+  EXPECT_TRUE(db.CheckReferentialIntegrity().ok());
+}
+
+TEST(DatabaseTest, IntegrityCatchesDanglingFk) {
+  Database db;
+  BuildToy(&db, /*dangling=*/true);
+  EXPECT_TRUE(db.CheckReferentialIntegrity().IsIntegrityViolation());
+}
+
+TEST(DatabaseTest, IntegrityRequiresPkReference) {
+  Database db;
+  ASSERT_TRUE(db.AddTable(TableSchema("A",
+                                      {{"ID", ValueType::kString},
+                                       {"ALT", ValueType::kString}},
+                                      {"ID"}))
+                  .ok());
+  ASSERT_TRUE(db.AddTable(TableSchema(
+                              "B",
+                              {{"ID", ValueType::kString},
+                               {"A_ALT", ValueType::kString}},
+                              {"ID"}, {{"fk", {"A_ALT"}, "A", {"ALT"}}}))
+                  .ok());
+  EXPECT_TRUE(db.CheckReferentialIntegrity().IsIntegrityViolation());
+}
+
+TEST(DatabaseTest, ResolveFkEdges) {
+  Database db;
+  BuildToy(&db);
+  auto edges = db.ResolveAllFkEdges();
+  // Only b1 -> a1 (b2 has a NULL FK).
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].from, (TupleId{1, 0}));
+  EXPECT_EQ(edges[0].to, (TupleId{0, 0}));
+  EXPECT_EQ(edges[0].fk_index, 0u);
+}
+
+TEST(DatabaseTest, ResolveFkEdgesFromSingleTuple) {
+  Database db;
+  BuildToy(&db);
+  EXPECT_EQ(db.ResolveFkEdgesFrom(TupleId{1, 0}).size(), 1u);
+  EXPECT_TRUE(db.ResolveFkEdgesFrom(TupleId{1, 1}).empty());  // NULL FK
+  EXPECT_TRUE(db.ResolveFkEdgesFrom(TupleId{0, 0}).empty());  // no FK
+}
+
+TEST(DatabaseTest, TupleLabelAndSummary) {
+  Database db;
+  BuildToy(&db);
+  EXPECT_EQ(db.TupleLabel(TupleId{0, 0}), "A:a1");
+  std::string summary = db.TupleSummary(TupleId{0, 0});
+  EXPECT_NE(summary.find("ID=a1"), std::string::npos);
+  EXPECT_NE(summary.find("T=x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace claks

@@ -1,0 +1,146 @@
+// Copyright 2026 The claks Authors.
+
+#include <gtest/gtest.h>
+
+#include "datasets/bibliography.h"
+#include "datasets/company_gen.h"
+#include "datasets/company_paper.h"
+#include "datasets/movies.h"
+
+namespace claks {
+namespace {
+
+TEST(CompanyPaperTest, PaperTupleLookups) {
+  auto dataset = BuildCompanyPaperDataset();
+  ASSERT_TRUE(dataset.ok());
+  const Database& db = *dataset->db;
+  EXPECT_EQ(db.TupleLabel(PaperTuple(db, "d1")), "DEPARTMENT:d1");
+  EXPECT_EQ(db.TupleLabel(PaperTuple(db, "e4")), "EMPLOYEE:e4");
+  EXPECT_EQ(db.TupleLabel(PaperTuple(db, "t2")), "DEPENDENT:t2");
+  EXPECT_EQ(db.TupleLabel(PaperTuple(db, "w_f3")), "WORKS_FOR:e3,p2");
+}
+
+TEST(CompanyGenTest, DeterministicForSeed) {
+  CompanyGenOptions options;
+  options.seed = 99;
+  auto a = GenerateCompanyDataset(options);
+  auto b = GenerateCompanyDataset(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->db->num_tables(), b->db->num_tables());
+  for (size_t t = 0; t < a->db->num_tables(); ++t) {
+    const Table& ta = a->db->table(t);
+    const Table& tb = b->db->table(t);
+    ASSERT_EQ(ta.num_rows(), tb.num_rows());
+    for (size_t r = 0; r < ta.num_rows(); ++r) {
+      EXPECT_EQ(ta.row(r), tb.row(r));
+    }
+  }
+}
+
+TEST(CompanyGenTest, DifferentSeedsDiffer) {
+  CompanyGenOptions a_opts;
+  a_opts.seed = 1;
+  CompanyGenOptions b_opts;
+  b_opts.seed = 2;
+  auto a = GenerateCompanyDataset(a_opts);
+  auto b = GenerateCompanyDataset(b_opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool differ = false;
+  for (size_t t = 0; t < a->db->num_tables() && !differ; ++t) {
+    if (a->db->table(t).num_rows() != b->db->table(t).num_rows()) {
+      differ = true;
+      break;
+    }
+    for (size_t r = 0; r < a->db->table(t).num_rows(); ++r) {
+      if (a->db->table(t).row(r) != b->db->table(t).row(r)) {
+        differ = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(CompanyGenTest, SizesScaleWithOptions) {
+  CompanyGenOptions options;
+  options.num_departments = 7;
+  options.employees_per_department = 4;
+  options.projects_per_department = 2;
+  auto dataset = GenerateCompanyDataset(options);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->db->FindTable("DEPARTMENT")->num_rows(), 7u);
+  EXPECT_EQ(dataset->db->FindTable("EMPLOYEE")->num_rows(), 28u);
+  EXPECT_EQ(dataset->db->FindTable("PROJECT")->num_rows(), 14u);
+}
+
+TEST(CompanyGenTest, IntegrityAndMapping) {
+  auto dataset = GenerateCompanyDataset({});
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_TRUE(dataset->db->CheckReferentialIntegrity().ok());
+  EXPECT_TRUE(dataset->mapping.IsMiddleRelation("WORKS_ON"));
+  EXPECT_EQ(dataset->er_schema.relationships().size(), 4u);
+}
+
+TEST(BibliographyTest, BuildsWithSelfNM) {
+  auto dataset = GenerateBibliographyDataset({});
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_TRUE(dataset->db->CheckReferentialIntegrity().ok());
+  const Table* cites = dataset->db->FindTable("CITES");
+  ASSERT_NE(cites, nullptr);
+  EXPECT_GT(cites->num_rows(), 0u);
+  // CITES' two FK columns both reference PAPER.
+  EXPECT_EQ(cites->schema().foreign_keys()[0].referenced_table, "PAPER");
+  EXPECT_EQ(cites->schema().foreign_keys()[1].referenced_table, "PAPER");
+}
+
+TEST(BibliographyTest, Deterministic) {
+  auto a = GenerateBibliographyDataset({});
+  auto b = GenerateBibliographyDataset({});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->db->TotalRows(), b->db->TotalRows());
+}
+
+TEST(BibliographyTest, NoSelfCitations) {
+  auto dataset = GenerateBibliographyDataset({});
+  ASSERT_TRUE(dataset.ok());
+  const Table* cites = dataset->db->FindTable("CITES");
+  for (size_t r = 0; r < cites->num_rows(); ++r) {
+    EXPECT_NE(cites->row(r)[0], cites->row(r)[1]);
+  }
+}
+
+TEST(MoviesTest, BuildsConsistently) {
+  auto dataset = GenerateMoviesDataset({});
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_TRUE(dataset->db->CheckReferentialIntegrity().ok());
+  EXPECT_EQ(dataset->db->FindTable("MOVIE")->num_rows(), 40u);
+  EXPECT_TRUE(dataset->mapping.IsMiddleRelation("ACTS_IN"));
+  EXPECT_TRUE(dataset->mapping.IsMiddleRelation("HAS_GENRE"));
+  EXPECT_FALSE(dataset->mapping.IsMiddleRelation("MOVIE"));
+}
+
+TEST(MoviesTest, RoleIsSearchableRelationshipAttribute) {
+  auto dataset = GenerateMoviesDataset({});
+  ASSERT_TRUE(dataset.ok());
+  const Table* acts_in = dataset->db->FindTable("ACTS_IN");
+  ASSERT_NE(acts_in, nullptr);
+  auto role = acts_in->schema().AttributeIndex("ROLE");
+  ASSERT_TRUE(role.has_value());
+  EXPECT_TRUE(acts_in->schema().attribute(*role).searchable);
+}
+
+TEST(MoviesTest, ScaleOptions) {
+  MoviesGenOptions options;
+  options.num_movies = 5;
+  options.num_people = 8;
+  auto dataset = GenerateMoviesDataset(options);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->db->FindTable("MOVIE")->num_rows(), 5u);
+  EXPECT_EQ(dataset->db->FindTable("PERSON")->num_rows(), 8u);
+}
+
+}  // namespace
+}  // namespace claks

@@ -1,0 +1,129 @@
+// Copyright 2026 The claks Authors.
+//
+// Tests for OR keyword semantics and endpoint-diversity grouping.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/engine.h"
+#include "datasets/company_paper.h"
+
+namespace claks {
+namespace {
+
+class EngineOptionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = BuildCompanyPaperDataset();
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).ValueOrDie();
+    auto engine = KeywordSearchEngine::Create(
+        dataset_.db.get(), dataset_.er_schema, dataset_.mapping);
+    ASSERT_TRUE(engine.ok());
+    engine_ = std::move(engine).ValueOrDie();
+  }
+
+  CompanyPaperDataset dataset_;
+  std::unique_ptr<KeywordSearchEngine> engine_;
+};
+
+TEST_F(EngineOptionsTest, AndSemanticsEmptyOnUnmatchedKeyword) {
+  SearchOptions options;
+  options.max_rdb_edges = 3;
+  auto result = engine_->Search("Smith quantum", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->hits.empty());
+}
+
+TEST_F(EngineOptionsTest, OrSemanticsDropsUnmatchedKeyword) {
+  SearchOptions options;
+  options.max_rdb_edges = 3;
+  options.require_all_keywords = false;
+  // "quantum" matches nothing: the query degrades to single-keyword
+  // "smith", which yields the two matched tuples.
+  auto result = engine_->Search("Smith quantum", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->query.keywords, std::vector<std::string>{"smith"});
+  EXPECT_EQ(result->hits.size(), 2u);
+}
+
+TEST_F(EngineOptionsTest, OrSemanticsKeepsTwoMatchedKeywords) {
+  SearchOptions options;
+  options.max_rdb_edges = 3;
+  options.require_all_keywords = false;
+  auto result = engine_->Search("Smith XML quantum", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->query.keywords,
+            (std::vector<std::string>{"smith", "xml"}));
+  EXPECT_EQ(result->hits.size(), 7u);  // the paper's rows 1-7
+}
+
+TEST_F(EngineOptionsTest, OrSemanticsAllUnmatchedStillEmpty) {
+  SearchOptions options;
+  options.require_all_keywords = false;
+  auto result = engine_->Search("quantum entanglement", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->hits.empty());
+}
+
+TEST_F(EngineOptionsTest, EndpointDiversityCollapsesGroups) {
+  SearchOptions options;
+  options.max_rdb_edges = 3;
+  options.per_endpoint_limit = 1;
+  auto result = engine_->Search("Smith XML", options);
+  ASSERT_TRUE(result.ok());
+  // Endpoint pairs of the 7 connections: (d1,e1) x2, (p1,e1) x2,
+  // (d2,e2) x2, (p2,e2) x1 -> 4 survivors.
+  EXPECT_EQ(result->hits.size(), 4u);
+  std::set<std::pair<uint64_t, uint64_t>> groups;
+  for (const SearchHit& hit : result->hits) {
+    ASSERT_TRUE(hit.connection.has_value());
+    auto key = std::minmax(hit.connection->front().Pack(),
+                           hit.connection->back().Pack());
+    EXPECT_TRUE(groups.insert(key).second);  // all distinct
+  }
+}
+
+TEST_F(EngineOptionsTest, DiversityKeepsTheBestPerGroup) {
+  SearchOptions options;
+  options.max_rdb_edges = 3;
+  options.per_endpoint_limit = 1;
+  options.ranker = RankerKind::kCloseFirst;
+  auto result = engine_->Search("Smith XML", options);
+  ASSERT_TRUE(result.ok());
+  // The (d1,e1) group contains connections 1 (close, er 1) and 4 (loose,
+  // er 2): the survivor must be the close one.
+  for (const SearchHit& hit : result->hits) {
+    TupleId d1 = PaperTuple(*dataset_.db, "d1");
+    if (hit.connection->front() == d1 || hit.connection->back() == d1) {
+      if (hit.connection->ContainsTuple(PaperTuple(*dataset_.db, "e1"))) {
+        EXPECT_EQ(hit.rdb_length, 1u);
+        EXPECT_TRUE(hit.schema_close);
+      }
+    }
+  }
+}
+
+TEST_F(EngineOptionsTest, DiversityLimitTwoKeepsEverythingHere) {
+  SearchOptions options;
+  options.max_rdb_edges = 3;
+  options.per_endpoint_limit = 2;
+  auto result = engine_->Search("Smith XML", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->hits.size(), 7u);  // no group exceeds 2
+}
+
+TEST_F(EngineOptionsTest, DiversityComposesWithTopK) {
+  SearchOptions options;
+  options.max_rdb_edges = 3;
+  options.per_endpoint_limit = 1;
+  options.top_k = 2;
+  auto result = engine_->Search("Smith XML", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->hits.size(), 2u);
+}
+
+}  // namespace
+}  // namespace claks

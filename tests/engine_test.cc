@@ -1,0 +1,221 @@
+// Copyright 2026 The claks Authors.
+
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datasets/company_paper.h"
+
+namespace claks {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = BuildCompanyPaperDataset();
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).ValueOrDie();
+    auto engine = KeywordSearchEngine::Create(
+        dataset_.db.get(), dataset_.er_schema, dataset_.mapping);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    engine_ = std::move(engine).ValueOrDie();
+  }
+
+  CompanyPaperDataset dataset_;
+  std::unique_ptr<KeywordSearchEngine> engine_;
+};
+
+TEST_F(EngineTest, CreateViaReverseEngineering) {
+  auto engine = KeywordSearchEngine::Create(dataset_.db.get());
+  ASSERT_TRUE(engine.ok());
+  auto result = (*engine)->Search("Smith XML");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->hits.empty());
+}
+
+TEST_F(EngineTest, PaperQueryEnumerateDepth3Finds7Connections) {
+  SearchOptions options;
+  options.max_rdb_edges = 3;
+  auto result = engine_->Search("Smith XML", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->hits.size(), 7u);
+  // Every hit is path-shaped with full analysis.
+  for (const SearchHit& hit : result->hits) {
+    EXPECT_TRUE(hit.connection.has_value());
+    EXPECT_TRUE(hit.analysis.has_value());
+    EXPECT_GT(hit.text_score, 0.0);
+    EXPECT_FALSE(hit.rendered.empty());
+  }
+}
+
+TEST_F(EngineTest, DefaultRankingIsCloseFirst) {
+  SearchOptions options;
+  options.max_rdb_edges = 3;
+  auto result = engine_->Search("Smith XML", options);
+  ASSERT_TRUE(result.ok());
+  const auto& hits = result->hits;
+  ASSERT_EQ(hits.size(), 7u);
+  // Top 3: the er-length-1 connections (1, 2, 5).
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(hits[i].er_length, 1u);
+    EXPECT_TRUE(hits[i].schema_close);
+  }
+  // Hub-pattern connections (3, 6) come last.
+  EXPECT_EQ(hits[5].hub_patterns, 1u);
+  EXPECT_EQ(hits[6].hub_patterns, 1u);
+}
+
+TEST_F(EngineTest, RdbRankingPutsShortestFirst) {
+  SearchOptions options;
+  options.max_rdb_edges = 3;
+  options.ranker = RankerKind::kRdbLength;
+  auto result = engine_->Search("Smith XML", options);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->hits.size(); ++i) {
+    EXPECT_LE(result->hits[i - 1].rdb_length, result->hits[i].rdb_length);
+  }
+}
+
+TEST_F(EngineTest, InstanceCheckAnnotatesHits) {
+  SearchOptions options;
+  options.max_rdb_edges = 3;
+  options.instance_check = true;
+  auto result = engine_->Search("Smith XML", options);
+  ASSERT_TRUE(result.ok());
+  size_t instance_loose = 0;
+  for (const SearchHit& hit : result->hits) {
+    ASSERT_TRUE(hit.instance_close.has_value());
+    if (!*hit.instance_close) ++instance_loose;
+  }
+  // Only connection 6 (p2 - d2 - e2) is instance-loose.
+  EXPECT_EQ(instance_loose, 1u);
+}
+
+TEST_F(EngineTest, MtjntMethodTmax3) {
+  SearchOptions options;
+  options.method = SearchMethod::kMtjnt;
+  options.tmax = 3;
+  auto result = engine_->Search("Smith XML", options);
+  ASSERT_TRUE(result.ok());
+  // MTJNTs with <= 3 tuples: connections 1, 2, 5 only.
+  EXPECT_EQ(result->hits.size(), 3u);
+}
+
+TEST_F(EngineTest, DiscoverEqualsMtjnt) {
+  SearchOptions mtjnt;
+  mtjnt.method = SearchMethod::kMtjnt;
+  mtjnt.tmax = 4;
+  SearchOptions discover = mtjnt;
+  discover.method = SearchMethod::kDiscover;
+  auto a = engine_->Search("Smith XML", mtjnt);
+  auto b = engine_->Search("Smith XML", discover);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->hits.size(), b->hits.size());
+}
+
+TEST_F(EngineTest, BanksMethodReturnsTopK) {
+  SearchOptions options;
+  options.method = SearchMethod::kBanks;
+  options.top_k = 4;
+  auto result = engine_->Search("Smith XML", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->hits.size(), 4u);
+  EXPECT_FALSE(result->hits.empty());
+}
+
+TEST_F(EngineTest, ThreeKeywordsViaMtjnt) {
+  SearchOptions options;
+  options.method = SearchMethod::kMtjnt;
+  options.tmax = 6;
+  auto result = engine_->Search("Smith XML Alice", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->hits.empty());
+}
+
+TEST_F(EngineTest, EnumerateRejectsThreeKeywords) {
+  auto result = engine_->Search("Smith XML Alice");
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST_F(EngineTest, SingleKeywordEnumerate) {
+  auto result = engine_->Search("Smith");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->hits.size(), 2u);
+  for (const SearchHit& hit : result->hits) {
+    EXPECT_EQ(hit.rdb_length, 0u);
+    EXPECT_TRUE(hit.schema_close);
+  }
+}
+
+TEST_F(EngineTest, UnmatchedKeywordEmptyHits) {
+  auto result = engine_->Search("Smith quantum");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->hits.empty());
+  EXPECT_EQ(result->matches.size(), 2u);
+}
+
+TEST_F(EngineTest, EmptyQueryRejected) {
+  EXPECT_TRUE(engine_->Search("").status().IsInvalidArgument());
+  EXPECT_TRUE(engine_->Search("...").status().IsInvalidArgument());
+}
+
+TEST_F(EngineTest, TopKTruncation) {
+  SearchOptions options;
+  options.max_rdb_edges = 3;
+  options.top_k = 2;
+  auto result = engine_->Search("Smith XML", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->hits.size(), 2u);
+}
+
+TEST_F(EngineTest, KeywordOfMapFilled) {
+  auto result = engine_->Search("Smith XML");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->keyword_of.size(), 6u);
+  EXPECT_EQ(result->keyword_of[PaperTuple(*dataset_.db, "e1")], "smith");
+  EXPECT_EQ(result->keyword_of[PaperTuple(*dataset_.db, "d1")], "xml");
+}
+
+TEST_F(EngineTest, RenderedStringsMarkKeywords) {
+  SearchOptions options;
+  options.max_rdb_edges = 1;
+  auto result = engine_->Search("Smith XML", options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->hits.empty());
+  EXPECT_NE(result->hits[0].rendered.find("(xml)"), std::string::npos);
+  EXPECT_NE(result->hits[0].rendered.find("(smith)"), std::string::npos);
+}
+
+TEST_F(EngineTest, PathOrientationStartsAtFirstKeyword) {
+  SearchOptions options;
+  options.max_rdb_edges = 3;
+  auto result = engine_->Search("Smith XML", options);
+  ASSERT_TRUE(result.ok());
+  auto smith_set = result->matches[0].TupleSet();
+  for (const SearchHit& hit : result->hits) {
+    ASSERT_TRUE(hit.connection.has_value());
+    EXPECT_TRUE(smith_set.count(hit.connection->front()) > 0);
+  }
+}
+
+TEST_F(EngineTest, ResultToString) {
+  auto result = engine_->Search("Smith XML");
+  ASSERT_TRUE(result.ok());
+  std::string s = result->ToString(*dataset_.db);
+  EXPECT_NE(s.find("query: smith xml"), std::string::npos);
+  EXPECT_NE(s.find("#1"), std::string::npos);
+}
+
+TEST_F(EngineTest, AccessorsExposeComponents) {
+  EXPECT_EQ(&engine_->database(), dataset_.db.get());
+  EXPECT_EQ(engine_->data_graph().num_nodes(), 16u);
+  EXPECT_EQ(engine_->schema_graph().num_tables(), 5u);
+  EXPECT_GT(engine_->index().vocabulary_size(), 0u);
+  EXPECT_EQ(engine_->er_schema().relationships().size(), 4u);
+}
+
+}  // namespace
+}  // namespace claks

@@ -1,0 +1,124 @@
+// Copyright 2026 The claks Authors.
+
+#include "core/enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datasets/company_paper.h"
+#include "text/matcher.h"
+
+namespace claks {
+namespace {
+
+class EnumeratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = BuildCompanyPaperDataset();
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).ValueOrDie();
+    graph_ = std::make_unique<DataGraph>(dataset_.db.get());
+    index_ = std::make_unique<InvertedIndex>(dataset_.db.get());
+  }
+
+  std::set<TupleId> Tuples(const std::vector<std::string>& names) {
+    std::set<TupleId> out;
+    for (const auto& name : names) {
+      out.insert(PaperTuple(*dataset_.db, name));
+    }
+    return out;
+  }
+
+  CompanyPaperDataset dataset_;
+  std::unique_ptr<DataGraph> graph_;
+  std::unique_ptr<InvertedIndex> index_;
+};
+
+TEST_F(EnumeratorTest, PaperQueryDepth3FindsConnections1To7) {
+  // With max 3 FK edges, the "Smith XML" connections are exactly the
+  // paper's rows 1-7 of Table 2 (in some direction).
+  EnumerateOptions options;
+  options.max_rdb_edges = 3;
+  auto matches = MatchKeywords(
+      *index_, ParseKeywordQuery("XML Smith", index_->tokenizer()));
+  auto connections = EnumerateConnections(*graph_, matches, options);
+  EXPECT_EQ(connections.size(), 7u);
+}
+
+TEST_F(EnumeratorTest, EndpointsCarryTheKeywords) {
+  EnumerateOptions options;
+  options.max_rdb_edges = 3;
+  auto xml = Tuples({"d1", "d2", "p1", "p2"});
+  auto smith = Tuples({"e1", "e2"});
+  for (const Connection& conn :
+       EnumerateConnections(*graph_, xml, smith, options)) {
+    EXPECT_TRUE(xml.count(conn.front()) > 0);
+    EXPECT_TRUE(smith.count(conn.back()) > 0);
+    // Interior tuples never come from the target set.
+    for (size_t i = 1; i + 1 < conn.tuples().size(); ++i) {
+      EXPECT_EQ(smith.count(conn.tuples()[i]), 0u);
+    }
+  }
+}
+
+TEST_F(EnumeratorTest, DepthBoundsResultLengths) {
+  auto xml = Tuples({"d1", "d2", "p1", "p2"});
+  auto smith = Tuples({"e1", "e2"});
+  EnumerateOptions tight;
+  tight.max_rdb_edges = 1;
+  auto short_conns = EnumerateConnections(*graph_, xml, smith, tight);
+  // Only d1-e1 and d2-e2.
+  EXPECT_EQ(short_conns.size(), 2u);
+  for (const Connection& conn : short_conns) {
+    EXPECT_LE(conn.RdbLength(), 1u);
+  }
+}
+
+TEST_F(EnumeratorTest, SharedTupleYieldsZeroEdgeConnection) {
+  auto a = Tuples({"d1", "e1"});
+  auto b = Tuples({"d1"});
+  auto connections = EnumerateConnections(*graph_, a, b, {});
+  ASSERT_FALSE(connections.empty());
+  EXPECT_EQ(connections[0].RdbLength(), 0u);
+  EXPECT_EQ(connections[0].front(), PaperTuple(*dataset_.db, "d1"));
+}
+
+TEST_F(EnumeratorTest, MaxResultsCap) {
+  auto xml = Tuples({"d1", "d2", "p1", "p2"});
+  auto smith = Tuples({"e1", "e2"});
+  EnumerateOptions options;
+  options.max_rdb_edges = 4;
+  options.max_results = 3;
+  auto connections = EnumerateConnections(*graph_, xml, smith, options);
+  EXPECT_EQ(connections.size(), 3u);
+}
+
+TEST_F(EnumeratorTest, RequiresExactlyTwoKeywordSets) {
+  auto matches = MatchKeywords(
+      *index_, ParseKeywordQuery("XML", index_->tokenizer()));
+  EXPECT_DEATH(EnumerateConnections(*graph_, matches, {}), "matches");
+}
+
+TEST_F(EnumeratorTest, DeduplicateUndirected) {
+  Connection forward({PaperTuple(*dataset_.db, "d1"),
+                      PaperTuple(*dataset_.db, "e1")},
+                     {ConnectionEdge{0, false}});
+  Connection backward = forward.Reversed();
+  auto unique = DeduplicateUndirected({forward, backward, forward});
+  EXPECT_EQ(unique.size(), 1u);
+}
+
+TEST_F(EnumeratorTest, ResultsSortedByLength) {
+  auto xml = Tuples({"d1", "d2", "p1", "p2"});
+  auto smith = Tuples({"e1", "e2"});
+  EnumerateOptions options;
+  options.max_rdb_edges = 4;
+  auto connections = EnumerateConnections(*graph_, xml, smith, options);
+  for (size_t i = 1; i < connections.size(); ++i) {
+    EXPECT_LE(connections[i - 1].RdbLength(), connections[i].RdbLength());
+  }
+}
+
+}  // namespace
+}  // namespace claks

@@ -1,0 +1,213 @@
+// Copyright 2026 The claks Authors.
+//
+// Tests for ER -> relational generation and relational -> ER reverse
+// engineering, including the round trip.
+
+#include <gtest/gtest.h>
+
+#include "datasets/bibliography.h"
+#include "datasets/company_gen.h"
+#include "datasets/company_paper.h"
+#include "er/er_to_relational.h"
+#include "er/relational_to_er.h"
+
+namespace claks {
+namespace {
+
+TEST(ErToRelationalTest, EntityTablesComeFirst) {
+  auto generated = GenerateRelationalSchema(CompanyPaperErSchema());
+  ASSERT_TRUE(generated.ok());
+  // 4 entity tables + 1 middle relation (WORKS_ON).
+  ASSERT_EQ(generated->tables.size(), 5u);
+  EXPECT_EQ(generated->tables[0].name(), "DEPARTMENT");
+  EXPECT_EQ(generated->tables[4].name(), "WORKS_ON");
+  EXPECT_TRUE(generated->mapping.IsMiddleRelation("WORKS_ON"));
+  EXPECT_FALSE(generated->mapping.IsMiddleRelation("EMPLOYEE"));
+}
+
+TEST(ErToRelationalTest, OneToManyAddsFkOnManySide) {
+  auto generated = GenerateRelationalSchema(CompanyPaperErSchema());
+  ASSERT_TRUE(generated.ok());
+  const TableSchema* employee = nullptr;
+  for (const auto& t : generated->tables) {
+    if (t.name() == "EMPLOYEE") employee = &t;
+  }
+  ASSERT_NE(employee, nullptr);
+  ASSERT_EQ(employee->foreign_keys().size(), 1u);
+  EXPECT_EQ(employee->foreign_keys()[0].referenced_table, "DEPARTMENT");
+  // Generated FK column is typed like the referenced key and non-searchable.
+  auto idx = employee->AttributeIndex(
+      employee->foreign_keys()[0].local_attributes[0]);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_FALSE(employee->attribute(*idx).searchable);
+}
+
+TEST(ErToRelationalTest, MiddleRelationShape) {
+  auto generated = GenerateRelationalSchema(CompanyPaperErSchema());
+  ASSERT_TRUE(generated.ok());
+  const TableSchema& works_on = generated->tables[4];
+  ASSERT_EQ(works_on.foreign_keys().size(), 2u);
+  EXPECT_EQ(works_on.foreign_keys()[0].referenced_table, "PROJECT");
+  EXPECT_EQ(works_on.foreign_keys()[1].referenced_table, "EMPLOYEE");
+  // PK covers both FK attribute sets.
+  EXPECT_EQ(works_on.primary_key().size(), 2u);
+  // Relationship attribute HOURS rides along.
+  EXPECT_TRUE(works_on.AttributeIndex("HOURS").has_value());
+  // Mapping: fk0 references the left (PROJECT) side.
+  const FkErInfo* fk0 = generated->mapping.FindFk("WORKS_ON", 0);
+  ASSERT_NE(fk0, nullptr);
+  EXPECT_TRUE(fk0->references_left);
+  const FkErInfo* fk1 = generated->mapping.FindFk("WORKS_ON", 1);
+  ASSERT_NE(fk1, nullptr);
+  EXPECT_FALSE(fk1->references_left);
+}
+
+TEST(ErToRelationalTest, FkNameOverrides) {
+  ErToRelationalOptions options;
+  options.fk_attribute_names["WORKS_FOR"] = {"D_ID"};
+  auto generated =
+      GenerateRelationalSchema(CompanyPaperErSchema(), options);
+  ASSERT_TRUE(generated.ok());
+  const TableSchema* employee = nullptr;
+  for (const auto& t : generated->tables) {
+    if (t.name() == "EMPLOYEE") employee = &t;
+  }
+  ASSERT_NE(employee, nullptr);
+  EXPECT_EQ(employee->foreign_keys()[0].local_attributes[0], "D_ID");
+}
+
+TEST(ErToRelationalTest, SelfNMRelationship) {
+  ERSchema er;
+  EntityType paper;
+  paper.name = "PAPER";
+  paper.attributes = {{"ID", ValueType::kString, true, false}};
+  ASSERT_TRUE(er.AddEntityType(paper).ok());
+  ASSERT_TRUE(er.AddRelationship("CITES", "PAPER", "N:M", "PAPER").ok());
+  auto generated = GenerateRelationalSchema(er);
+  ASSERT_TRUE(generated.ok());
+  ASSERT_EQ(generated->tables.size(), 2u);
+  const TableSchema& cites = generated->tables[1];
+  // Self N:M disambiguates the second FK column name.
+  EXPECT_EQ(cites.foreign_keys().size(), 2u);
+  EXPECT_NE(cites.foreign_keys()[0].local_attributes[0],
+            cites.foreign_keys()[1].local_attributes[0]);
+}
+
+TEST(ErToRelationalTest, RejectsSelfOneToMany) {
+  ERSchema er;
+  EntityType node;
+  node.name = "N";
+  node.attributes = {{"ID", ValueType::kString, true, false}};
+  ASSERT_TRUE(er.AddEntityType(node).ok());
+  ASSERT_TRUE(er.AddRelationship("parent", "N", "1:N", "N").ok());
+  EXPECT_TRUE(GenerateRelationalSchema(er).status().IsInvalidArgument());
+}
+
+TEST(MiddleRelationDetectionTest, PaperWorksForIsMiddle) {
+  auto dataset = BuildCompanyPaperDataset();
+  ASSERT_TRUE(dataset.ok());
+  auto index = dataset->db->TableIndex("WORKS_FOR");
+  ASSERT_TRUE(index.has_value());
+  EXPECT_TRUE(LooksLikeMiddleRelation(*dataset->db, *index));
+  EXPECT_FALSE(LooksLikeMiddleRelation(
+      *dataset->db, *dataset->db->TableIndex("EMPLOYEE")));
+  EXPECT_FALSE(LooksLikeMiddleRelation(
+      *dataset->db, *dataset->db->TableIndex("DEPARTMENT")));
+}
+
+TEST(ReverseEngineerTest, RecoversPaperConceptualShape) {
+  auto dataset = BuildCompanyPaperDataset();
+  ASSERT_TRUE(dataset.ok());
+  auto recovered = ReverseEngineerEr(*dataset->db);
+  ASSERT_TRUE(recovered.ok());
+  // 4 entity types.
+  EXPECT_EQ(recovered->schema.entity_types().size(), 4u);
+  // 4 relationships: 3 one-to-many (from FKs) + 1 N:M (from WORKS_FOR).
+  ASSERT_EQ(recovered->schema.relationships().size(), 4u);
+  size_t nm_count = 0;
+  for (const auto& rel : recovered->schema.relationships()) {
+    if (rel.cardinality == Cardinality::kNM) {
+      ++nm_count;
+      EXPECT_EQ(rel.left_entity, "EMPLOYEE");
+      EXPECT_EQ(rel.right_entity, "PROJECT");
+      // HOURS becomes a relationship attribute.
+      ASSERT_EQ(rel.attributes.size(), 1u);
+      EXPECT_EQ(rel.attributes[0].name, "HOURS");
+    } else {
+      EXPECT_EQ(rel.cardinality, Cardinality::kOneN);
+    }
+  }
+  EXPECT_EQ(nm_count, 1u);
+  EXPECT_TRUE(recovered->mapping.IsMiddleRelation("WORKS_FOR"));
+}
+
+TEST(ReverseEngineerTest, FkOrientationRecorded) {
+  auto dataset = BuildCompanyPaperDataset();
+  ASSERT_TRUE(dataset.ok());
+  auto recovered = ReverseEngineerEr(*dataset->db);
+  ASSERT_TRUE(recovered.ok());
+  // EMPLOYEE fk0 (D_ID -> DEPARTMENT): relationship DEPARTMENT 1:N
+  // EMPLOYEE with the FK referencing the left entity.
+  const FkErInfo* info = recovered->mapping.FindFk("EMPLOYEE", 0);
+  ASSERT_NE(info, nullptr);
+  EXPECT_TRUE(info->references_left);
+  const RelationshipType* rel =
+      recovered->schema.FindRelationship(info->relationship);
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->left_entity, "DEPARTMENT");
+  EXPECT_EQ(rel->right_entity, "EMPLOYEE");
+  EXPECT_EQ(rel->cardinality, Cardinality::kOneN);
+}
+
+TEST(RoundTripTest, GeneratedSchemaReversesToSameShape) {
+  // Forward: ER -> relational; build empty DB; reverse: relational -> ER.
+  auto generated = GenerateRelationalSchema(CompanyPaperErSchema());
+  ASSERT_TRUE(generated.ok());
+  Database db;
+  for (TableSchema& schema : generated->tables) {
+    ASSERT_TRUE(db.AddTable(std::move(schema)).ok());
+  }
+  auto recovered = ReverseEngineerEr(db);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->schema.entity_types().size(), 4u);
+  EXPECT_EQ(recovered->schema.relationships().size(), 4u);
+  size_t nm = 0;
+  for (const auto& rel : recovered->schema.relationships()) {
+    if (rel.cardinality == Cardinality::kNM) ++nm;
+  }
+  EXPECT_EQ(nm, 1u);
+  // Middle relation identified by both directions identically.
+  EXPECT_TRUE(recovered->mapping.IsMiddleRelation("WORKS_ON"));
+}
+
+TEST(ReverseEngineerTest, SelfNMMiddleRelation) {
+  BibliographyGenOptions options;
+  options.num_papers = 10;
+  options.num_authors = 5;
+  auto dataset = GenerateBibliographyDataset(options);
+  ASSERT_TRUE(dataset.ok());
+  auto recovered = ReverseEngineerEr(*dataset->db);
+  ASSERT_TRUE(recovered.ok());
+  bool found_self_nm = false;
+  for (const auto& rel : recovered->schema.relationships()) {
+    if (rel.cardinality == Cardinality::kNM &&
+        rel.left_entity == rel.right_entity) {
+      found_self_nm = true;
+    }
+  }
+  EXPECT_TRUE(found_self_nm);
+}
+
+TEST(MappingAccessorsTest, Basics) {
+  auto dataset = BuildCompanyPaperDataset();
+  ASSERT_TRUE(dataset.ok());
+  const ErRelationalMapping& mapping = dataset->mapping;
+  EXPECT_EQ(mapping.EntityOf("EMPLOYEE"), "EMPLOYEE");
+  EXPECT_EQ(mapping.EntityOf("WORKS_FOR"), "");  // middle
+  EXPECT_EQ(mapping.RelationshipOf("EMPLOYEE", 0), "WORKS_FOR");
+  EXPECT_EQ(mapping.RelationshipOf("EMPLOYEE", 9), "");
+  EXPECT_EQ(mapping.FindFk("NOPE", 0), nullptr);
+}
+
+}  // namespace
+}  // namespace claks

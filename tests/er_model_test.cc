@@ -1,0 +1,159 @@
+// Copyright 2026 The claks Authors.
+
+#include "er/er_model.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datasets/company_paper.h"
+
+namespace claks {
+namespace {
+
+TEST(ERSchemaTest, AddAndLookupEntities) {
+  ERSchema er = CompanyPaperErSchema();
+  EXPECT_EQ(er.entity_types().size(), 4u);
+  EXPECT_NE(er.FindEntity("EMPLOYEE"), nullptr);
+  EXPECT_EQ(er.FindEntity("NOPE"), nullptr);
+  EXPECT_EQ(er.EntityIndex("DEPARTMENT"), 0u);
+}
+
+TEST(ERSchemaTest, AddAndLookupRelationships) {
+  ERSchema er = CompanyPaperErSchema();
+  EXPECT_EQ(er.relationships().size(), 4u);
+  const RelationshipType* works_on = er.FindRelationship("WORKS_ON");
+  ASSERT_NE(works_on, nullptr);
+  EXPECT_EQ(works_on->left_entity, "PROJECT");
+  EXPECT_EQ(works_on->right_entity, "EMPLOYEE");
+  EXPECT_EQ(works_on->cardinality, Cardinality::kNM);
+  ASSERT_EQ(works_on->attributes.size(), 1u);
+  EXPECT_EQ(works_on->attributes[0].name, "HOURS");
+}
+
+TEST(ERSchemaTest, RejectsDuplicatesAndUnknownEndpoints) {
+  ERSchema er;
+  EntityType a;
+  a.name = "A";
+  a.attributes = {{"ID", ValueType::kString, true, false}};
+  ASSERT_TRUE(er.AddEntityType(a).ok());
+  EXPECT_TRUE(er.AddEntityType(a).IsAlreadyExists());
+  EXPECT_TRUE(er.AddRelationship("r", "A", "1:N", "MISSING").IsNotFound());
+  EXPECT_TRUE(er.AddRelationship("r", "MISSING", "1:N", "A").IsNotFound());
+  ASSERT_TRUE(er.AddRelationship("r", "A", "1:N", "A").ok());
+  EXPECT_TRUE(er.AddRelationship("r", "A", "1:N", "A").IsAlreadyExists());
+  EXPECT_TRUE(er.AddRelationship("bad", "A", "x:y", "A").IsParseError());
+}
+
+TEST(ERSchemaTest, KeyAttributeNames) {
+  ERSchema er = CompanyPaperErSchema();
+  EXPECT_EQ(er.FindEntity("EMPLOYEE")->KeyAttributeNames(),
+            std::vector<std::string>{"SSN"});
+}
+
+TEST(ERSchemaTest, StepsFromEntity) {
+  ERSchema er = CompanyPaperErSchema();
+  // EMPLOYEE participates in WORKS_FOR (right), WORKS_ON (right),
+  // DEPENDENTS_OF (left).
+  auto steps = er.StepsFrom("EMPLOYEE");
+  EXPECT_EQ(steps.size(), 3u);
+  // DEPARTMENT participates in WORKS_FOR (left) and CONTROLS (left).
+  EXPECT_EQ(er.StepsFrom("DEPARTMENT").size(), 2u);
+}
+
+TEST(ERSchemaTest, SelfRelationshipYieldsBothDirections) {
+  ERSchema er;
+  EntityType p;
+  p.name = "PAPER";
+  p.attributes = {{"ID", ValueType::kString, true, false}};
+  ASSERT_TRUE(er.AddEntityType(p).ok());
+  ASSERT_TRUE(er.AddRelationship("CITES", "PAPER", "N:M", "PAPER").ok());
+  auto steps = er.StepsFrom("PAPER");
+  ASSERT_EQ(steps.size(), 2u);
+  EXPECT_TRUE(steps[0].forward);
+  EXPECT_FALSE(steps[1].forward);
+}
+
+TEST(ERSchemaTest, StepTargetAndCardinality) {
+  ERSchema er = CompanyPaperErSchema();
+  auto idx = er.RelationshipIndex("WORKS_FOR");
+  ASSERT_TRUE(idx.has_value());
+  ErStep forward{*idx, true};
+  ErStep backward{*idx, false};
+  EXPECT_EQ(er.StepTarget(forward), "EMPLOYEE");
+  EXPECT_EQ(er.StepTarget(backward), "DEPARTMENT");
+  EXPECT_EQ(er.StepCardinality(forward), Cardinality::kOneN);
+  EXPECT_EQ(er.StepCardinality(backward), Cardinality::kNOne);
+}
+
+TEST(ErPathTest, EntitySequenceAndToString) {
+  ERSchema er = CompanyPaperErSchema();
+  auto paths = er.EnumeratePaths("DEPARTMENT", "DEPENDENT", 2);
+  ASSERT_FALSE(paths.empty());
+  const ErPath& path = paths[0];
+  EXPECT_EQ(path.length(), 2u);
+  EXPECT_EQ(path.EntitySequence(),
+            (std::vector<std::string>{"DEPARTMENT", "EMPLOYEE",
+                                      "DEPENDENT"}));
+  EXPECT_EQ(path.EndEntity(), "DEPENDENT");
+  EXPECT_EQ(path.ToString(), "department 1:N employee 1:N dependent");
+}
+
+TEST(ErPathTest, CardinalitySequence) {
+  ERSchema er = CompanyPaperErSchema();
+  auto paths = er.EnumeratePaths("PROJECT", "EMPLOYEE", 2);
+  // Path 1 (length 1): project N:M employee (WORKS_ON).
+  ASSERT_GE(paths.size(), 2u);
+  EXPECT_EQ(paths[0].CardinalitySequence(),
+            (std::vector<Cardinality>{Cardinality::kNM}));
+  // Path 2 (length 2): project N:1 department 1:N employee.
+  EXPECT_EQ(paths[1].CardinalitySequence(),
+            (std::vector<Cardinality>{Cardinality::kNOne,
+                                      Cardinality::kOneN}));
+}
+
+TEST(ERSchemaTest, EnumeratePathsOrderedByLength) {
+  ERSchema er = CompanyPaperErSchema();
+  auto paths = er.EnumeratePaths("DEPARTMENT", "EMPLOYEE", 3);
+  ASSERT_GE(paths.size(), 2u);
+  for (size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_LE(paths[i - 1].length(), paths[i].length());
+  }
+  // Shortest is the immediate WORKS_FOR relationship.
+  EXPECT_EQ(paths[0].length(), 1u);
+}
+
+TEST(ERSchemaTest, EnumeratePathsSimpleOnly) {
+  ERSchema er = CompanyPaperErSchema();
+  for (const ErPath& path : er.EnumeratePaths("DEPARTMENT", "EMPLOYEE", 4)) {
+    auto seq = path.EntitySequence();
+    std::set<std::string> unique(seq.begin(), seq.end());
+    EXPECT_EQ(unique.size(), seq.size()) << path.ToString();
+  }
+}
+
+TEST(ERSchemaTest, EnumeratePathsFrom) {
+  ERSchema er = CompanyPaperErSchema();
+  auto paths = er.EnumeratePathsFrom("DEPENDENT", 2);
+  // DEPENDENT -> EMPLOYEE (1), then EMPLOYEE -> {DEPARTMENT, PROJECT} (2).
+  EXPECT_EQ(paths.size(), 3u);
+}
+
+TEST(ERSchemaTest, ValidateChecksKeys) {
+  ERSchema er;
+  EntityType keyless;
+  keyless.name = "K";
+  keyless.attributes = {{"X", ValueType::kString, false, true}};
+  ASSERT_TRUE(er.AddEntityType(keyless).ok());
+  EXPECT_TRUE(er.Validate().IsInvalidArgument());
+}
+
+TEST(ERSchemaTest, ToStringListsEverything) {
+  std::string s = CompanyPaperErSchema().ToString();
+  EXPECT_NE(s.find("DEPARTMENT"), std::string::npos);
+  EXPECT_NE(s.find("WORKS_ON"), std::string::npos);
+  EXPECT_NE(s.find("N:M"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace claks

@@ -1,0 +1,138 @@
+// Copyright 2026 The claks Authors.
+//
+// Verbalization tests, including the paper's §3 readings 1-4 verbatim in
+// structure.
+
+#include "core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datasets/company_paper.h"
+
+namespace claks {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = BuildCompanyPaperDataset();
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).ValueOrDie();
+    graph_ = std::make_unique<DataGraph>(dataset_.db.get());
+    options_ = CompanyPaperVerbalizer();
+    options_.keyword_of = {
+        {PaperTuple(*dataset_.db, "d1"), "XML"},
+        {PaperTuple(*dataset_.db, "d2"), "XML"},
+        {PaperTuple(*dataset_.db, "p1"), "XML"},
+        {PaperTuple(*dataset_.db, "p2"), "XML"},
+        {PaperTuple(*dataset_.db, "e1"), "Smith"},
+        {PaperTuple(*dataset_.db, "e2"), "Smith"},
+    };
+  }
+
+  Connection Conn(const std::vector<std::string>& names) {
+    std::vector<TupleId> tuples;
+    std::vector<ConnectionEdge> edges;
+    for (const auto& name : names) {
+      tuples.push_back(PaperTuple(*dataset_.db, name));
+    }
+    for (size_t i = 0; i + 1 < tuples.size(); ++i) {
+      for (const DataAdjacency& adj :
+           graph_->Neighbors(graph_->NodeOf(tuples[i]))) {
+        if (adj.neighbor == graph_->NodeOf(tuples[i + 1])) {
+          const DataEdge& edge = graph_->edge(adj.edge_index);
+          edges.push_back(ConnectionEdge{edge.fk_index, adj.along_fk});
+          break;
+        }
+      }
+    }
+    return Connection(std::move(tuples), std::move(edges));
+  }
+
+  std::string Explain(const std::vector<std::string>& names) {
+    auto text = ExplainConnection(Conn(names), *dataset_.db,
+                                  dataset_.er_schema, dataset_.mapping,
+                                  options_);
+    EXPECT_TRUE(text.ok()) << text.status().ToString();
+    return text.ValueOr("");
+  }
+
+  CompanyPaperDataset dataset_;
+  std::unique_ptr<DataGraph> graph_;
+  VerbalizerOptions options_;
+};
+
+// Paper §3: "The connections can be read as follows: ..."
+
+TEST_F(ExplainTest, Reading1) {
+  // "employee e1(Smith) works for department d1(XML)"
+  EXPECT_EQ(Explain({"e1", "d1"}),
+            "employee e1(Smith) works for department d1(XML)");
+}
+
+TEST_F(ExplainTest, Reading2) {
+  // "employee e1(Smith) works on a project p1(XML)" (we omit the article).
+  EXPECT_EQ(Explain({"e1", "w_f1", "p1"}),
+            "employee e1(Smith) works on project p1(XML)");
+}
+
+TEST_F(ExplainTest, Reading3) {
+  // "employee e1(Smith) works for department d1(XML), that controls
+  // project p1(XML)"
+  EXPECT_EQ(Explain({"e1", "d1", "p1"}),
+            "employee e1(Smith) works for department d1(XML), that "
+            "controls project p1(XML)");
+}
+
+TEST_F(ExplainTest, Reading4) {
+  // "employee e1(Smith) works on project p1(XML), that is controlled by
+  // department d1(XML)"
+  EXPECT_EQ(Explain({"e1", "w_f1", "p1", "d1"}),
+            "employee e1(Smith) works on project p1(XML), that is "
+            "controlled by department d1(XML)");
+}
+
+TEST_F(ExplainTest, DependentChain) {
+  EXPECT_EQ(Explain({"d1", "e3", "t1"}),
+            "department d1(XML) employs employee e3, that has dependent "
+            "dependent t1");
+}
+
+TEST_F(ExplainTest, SingleTuple) {
+  EXPECT_EQ(Explain({"e1"}), "employee e1(Smith) matches alone");
+}
+
+TEST_F(ExplainTest, PartialStepEndsInsideRelationship) {
+  EXPECT_EQ(Explain({"p1", "w_f1"}),
+            "project p1(XML) participates in works on");
+}
+
+TEST_F(ExplainTest, PartialStepStartsInsideRelationship) {
+  // Arriving at the right (EMPLOYEE) side means travelling left-to-right,
+  // so the forward phrase applies.
+  EXPECT_EQ(Explain({"w_f1", "e1"}),
+            "a works on participation is worked on by employee e1(Smith)");
+}
+
+TEST_F(ExplainTest, DefaultPhrasesDeriveFromName) {
+  VerbalizerOptions defaults;  // no phrase table
+  auto text = ExplainConnection(Conn({"d1", "p1"}), *dataset_.db,
+                                dataset_.er_schema, dataset_.mapping,
+                                defaults);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "department d1 controls project p1");
+}
+
+TEST_F(ExplainTest, DefaultReversePhrase) {
+  VerbalizerOptions defaults;
+  auto text = ExplainConnection(Conn({"p1", "d1"}), *dataset_.db,
+                                dataset_.er_schema, dataset_.mapping,
+                                defaults);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "project p1 is related via controls to department d1");
+}
+
+}  // namespace
+}  // namespace claks

@@ -1,0 +1,90 @@
+// Copyright 2026 The claks Authors.
+
+#include "text/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "datasets/company_paper.h"
+
+namespace claks {
+namespace {
+
+class InvertedIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = BuildCompanyPaperDataset();
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).ValueOrDie();
+    index_ = std::make_unique<InvertedIndex>(dataset_.db.get());
+  }
+  CompanyPaperDataset dataset_;
+  std::unique_ptr<InvertedIndex> index_;
+};
+
+TEST_F(InvertedIndexTest, XmlMatchesTwoDepartmentsAndTwoProjects) {
+  const auto& postings = index_->Lookup("xml");
+  std::set<std::string> labels;
+  for (const Posting& p : postings) {
+    labels.insert(dataset_.db->TupleLabel(p.tuple));
+  }
+  EXPECT_EQ(labels, (std::set<std::string>{"DEPARTMENT:d1", "DEPARTMENT:d2",
+                                           "PROJECT:p1", "PROJECT:p2"}));
+}
+
+TEST_F(InvertedIndexTest, SmithMatchesTwoEmployees) {
+  EXPECT_EQ(index_->DocumentFrequency("smith"), 2u);
+}
+
+TEST_F(InvertedIndexTest, LookupKeywordNormalises) {
+  EXPECT_EQ(index_->LookupKeyword("XML.").size(),
+            index_->Lookup("xml").size());
+  EXPECT_EQ(index_->LookupKeyword("Smith").size(), 2u);
+}
+
+TEST_F(InvertedIndexTest, AbsentTokenYieldsEmpty) {
+  EXPECT_TRUE(index_->Lookup("quantum").empty());
+  EXPECT_EQ(index_->DocumentFrequency("quantum"), 0u);
+}
+
+TEST_F(InvertedIndexTest, NonSearchableAttributesNotIndexed) {
+  // Tuple ids like "d1" are key attributes marked non-searchable.
+  EXPECT_TRUE(index_->Lookup("d1").empty());
+  EXPECT_TRUE(index_->Lookup("e1").empty());
+}
+
+TEST_F(InvertedIndexTest, TermFrequencyCounted) {
+  // "teaching" appears once per department description.
+  const auto& postings = index_->Lookup("teaching");
+  ASSERT_EQ(postings.size(), 3u);
+  for (const Posting& p : postings) {
+    EXPECT_EQ(p.term_frequency, 1u);
+  }
+  // "xml" appears twice in p2: name "XML and IR" and description "XML
+  // offers...".
+  size_t p2_postings = 0;
+  for (const Posting& p : index_->Lookup("xml")) {
+    if (dataset_.db->TupleLabel(p.tuple) == "PROJECT:p2") ++p2_postings;
+  }
+  EXPECT_EQ(p2_postings, 2u);  // two distinct attributes
+}
+
+TEST_F(InvertedIndexTest, StatsPopulated) {
+  const IndexStats& stats = index_->stats();
+  EXPECT_GT(stats.total_documents, 0u);
+  EXPECT_GT(stats.total_tokens, stats.total_documents);
+  EXPECT_GT(stats.avg_document_length, 1.0);
+  EXPECT_GT(index_->vocabulary_size(), 10u);
+}
+
+TEST(InvertedIndexEmptyTest, EmptyDatabase) {
+  Database db;
+  InvertedIndex index(&db);
+  EXPECT_EQ(index.vocabulary_size(), 0u);
+  EXPECT_TRUE(index.Lookup("x").empty());
+}
+
+}  // namespace
+}  // namespace claks

@@ -1,0 +1,196 @@
+// Copyright 2026 The claks Authors.
+//
+// ER-projection tests: the "length in ER" column of the paper's Table 2.
+
+#include "core/length.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datasets/company_paper.h"
+#include "graph/traversal.h"
+
+namespace claks {
+namespace {
+
+class LengthTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = BuildCompanyPaperDataset();
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).ValueOrDie();
+    graph_ = std::make_unique<DataGraph>(dataset_.db.get());
+  }
+
+  Connection Conn(const std::vector<std::string>& names) {
+    std::vector<TupleId> tuples;
+    std::vector<ConnectionEdge> edges;
+    for (const auto& name : names) {
+      tuples.push_back(PaperTuple(*dataset_.db, name));
+    }
+    for (size_t i = 0; i + 1 < tuples.size(); ++i) {
+      uint32_t a = graph_->NodeOf(tuples[i]);
+      bool found = false;
+      for (const DataAdjacency& adj : graph_->Neighbors(a)) {
+        if (adj.neighbor == graph_->NodeOf(tuples[i + 1])) {
+          const DataEdge& edge = graph_->edge(adj.edge_index);
+          edges.push_back(ConnectionEdge{edge.fk_index, adj.along_fk});
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+    return Connection(std::move(tuples), std::move(edges));
+  }
+
+  ErProjection Project(const std::vector<std::string>& names) {
+    auto projection = ProjectToEr(Conn(names), *dataset_.db,
+                                  dataset_.er_schema, dataset_.mapping);
+    EXPECT_TRUE(projection.ok()) << projection.status().ToString();
+    return std::move(projection).ValueOrDie();
+  }
+
+  CompanyPaperDataset dataset_;
+  std::unique_ptr<DataGraph> graph_;
+};
+
+// Table 2 rows: (connection, length in RDB, length in ER).
+
+TEST_F(LengthTest, Row1) {
+  auto projection = Project({"d1", "e1"});
+  EXPECT_EQ(projection.ErLength(), 1u);
+  EXPECT_EQ(projection.CardinalitySequence(),
+            (std::vector<Cardinality>{Cardinality::kOneN}));
+  EXPECT_EQ(projection.ToString(), "DEPARTMENT 1:N EMPLOYEE");
+}
+
+TEST_F(LengthTest, Row2MiddleRelationCollapses) {
+  // p1 - w_f1 - e1: RDB length 2, ER length 1 (one N:M step).
+  auto projection = Project({"p1", "w_f1", "e1"});
+  EXPECT_EQ(projection.ErLength(), 1u);
+  EXPECT_EQ(projection.CardinalitySequence(),
+            (std::vector<Cardinality>{Cardinality::kNM}));
+  EXPECT_EQ(projection.ToString(), "PROJECT N:M EMPLOYEE");
+  // Middle tuple dropped from the entity sequence.
+  EXPECT_EQ(projection.entity_tuples.size(), 2u);
+}
+
+TEST_F(LengthTest, Row3) {
+  auto projection = Project({"p1", "d1", "e1"});
+  EXPECT_EQ(projection.ErLength(), 2u);
+  EXPECT_EQ(projection.CardinalitySequence(),
+            (std::vector<Cardinality>{Cardinality::kNOne,
+                                      Cardinality::kOneN}));
+}
+
+TEST_F(LengthTest, Row4) {
+  auto projection = Project({"d1", "p1", "w_f1", "e1"});
+  EXPECT_EQ(projection.ErLength(), 2u);
+  EXPECT_EQ(projection.CardinalitySequence(),
+            (std::vector<Cardinality>{Cardinality::kOneN, Cardinality::kNM}));
+  EXPECT_EQ(projection.ToString(),
+            "DEPARTMENT 1:N PROJECT N:M EMPLOYEE");
+}
+
+TEST_F(LengthTest, Row7) {
+  auto projection = Project({"d2", "p3", "w_f2", "e2"});
+  EXPECT_EQ(projection.ErLength(), 2u);
+}
+
+TEST_F(LengthTest, Row8) {
+  auto projection = Project({"d1", "e3", "t1"});
+  EXPECT_EQ(projection.ErLength(), 2u);
+  EXPECT_EQ(projection.CardinalitySequence(),
+            (std::vector<Cardinality>{Cardinality::kOneN,
+                                      Cardinality::kOneN}));
+}
+
+TEST_F(LengthTest, Row9) {
+  // d2 - p2 - w_f3 - e3 - t1: RDB 4, ER 3.
+  auto projection = Project({"d2", "p2", "w_f3", "e3", "t1"});
+  EXPECT_EQ(projection.ErLength(), 3u);
+  using C = Cardinality;
+  EXPECT_EQ(projection.CardinalitySequence(),
+            (std::vector<C>{C::kOneN, C::kNM, C::kOneN}));
+}
+
+TEST_F(LengthTest, ErLengthHelper) {
+  auto length = ErLength(Conn({"d1", "p1", "w_f1", "e1"}), *dataset_.db,
+                         dataset_.er_schema, dataset_.mapping);
+  ASSERT_TRUE(length.ok());
+  EXPECT_EQ(*length, 2u);
+}
+
+TEST_F(LengthTest, ReversedProjectionMirrors) {
+  auto forward = Project({"d1", "p1", "w_f1", "e1"});
+  auto backward = Project({"e1", "w_f1", "p1", "d1"});
+  ASSERT_EQ(forward.ErLength(), backward.ErLength());
+  auto f = forward.CardinalitySequence();
+  auto b = backward.CardinalitySequence();
+  for (size_t i = 0; i < f.size(); ++i) {
+    EXPECT_EQ(f[i], Inverse(b[b.size() - 1 - i]));
+  }
+}
+
+TEST_F(LengthTest, ConnectionEndingInMiddleRelationIsPartial) {
+  // p1 - w_f1: ends inside the middle relation.
+  auto projection = Project({"p1", "w_f1"});
+  ASSERT_EQ(projection.steps.size(), 1u);
+  EXPECT_TRUE(projection.steps[0].partial);
+  EXPECT_EQ(projection.steps[0].relationship, "WORKS_ON");
+  EXPECT_EQ(projection.steps[0].from_entity, "PROJECT");
+}
+
+TEST_F(LengthTest, ConnectionStartingInMiddleRelationIsPartial) {
+  auto projection = Project({"w_f1", "e1"});
+  ASSERT_EQ(projection.steps.size(), 1u);
+  EXPECT_TRUE(projection.steps[0].partial);
+  EXPECT_EQ(projection.steps[0].to_entity, "EMPLOYEE");
+}
+
+TEST_F(LengthTest, SingleTupleProjection) {
+  auto projection = Project({"d1"});
+  EXPECT_EQ(projection.ErLength(), 0u);
+  EXPECT_EQ(projection.entity_tuples.size(), 1u);
+}
+
+TEST_F(LengthTest, SingleMiddleTupleProjection) {
+  auto projection = Project({"w_f1"});
+  EXPECT_EQ(projection.ErLength(), 0u);
+  EXPECT_TRUE(projection.entity_tuples.empty());
+}
+
+TEST_F(LengthTest, UnknownFkMappingFails) {
+  ErRelationalMapping empty_mapping;
+  empty_mapping.tables["DEPARTMENT"] = TableErInfo{false, "DEPARTMENT"};
+  empty_mapping.tables["EMPLOYEE"] = TableErInfo{false, "EMPLOYEE"};
+  auto projection = ProjectToEr(Conn({"d1", "e1"}), *dataset_.db,
+                                dataset_.er_schema, empty_mapping);
+  EXPECT_TRUE(projection.status().IsNotFound());
+}
+
+TEST_F(LengthTest, ErLengthNeverExceedsRdbLength) {
+  // Structural invariant over all enumerable paths in the instance.
+  std::vector<std::string> endpoints = {"d1", "d2", "e1", "e2",
+                                        "p1", "p2", "t1"};
+  for (const auto& from : endpoints) {
+    for (const auto& to : endpoints) {
+      if (from == to) continue;
+      auto paths = EnumerateSimplePaths(
+          *graph_, graph_->NodeOf(PaperTuple(*dataset_.db, from)),
+          graph_->NodeOf(PaperTuple(*dataset_.db, to)), 4);
+      for (const NodePath& path : paths) {
+        Connection conn = Connection::FromNodePath(*graph_, path);
+        auto projection = ProjectToEr(conn, *dataset_.db,
+                                      dataset_.er_schema, dataset_.mapping);
+        ASSERT_TRUE(projection.ok());
+        EXPECT_LE(projection->ErLength(), conn.RdbLength());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace claks

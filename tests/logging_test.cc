@@ -1,0 +1,47 @@
+// Copyright 2026 The claks Authors.
+
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace claks {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, DefaultLevelIsWarning) {
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+TEST_F(LoggingTest, SetAndGetRoundTrip) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, MacroStreamsWithoutCrashing) {
+  SetLogLevel(LogLevel::kError);  // suppress output during the test
+  CLAKS_LOG(Debug) << "debug " << 1;
+  CLAKS_LOG(Info) << "info " << 2.5;
+  CLAKS_LOG(Warning) << "warning " << "text";
+  // Emitting at or above the level must also not crash.
+  CLAKS_LOG(Error) << "error path exercised";
+}
+
+TEST_F(LoggingTest, LevelOrdering) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug),
+            static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo),
+            static_cast<int>(LogLevel::kWarning));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarning),
+            static_cast<int>(LogLevel::kError));
+}
+
+}  // namespace
+}  // namespace claks

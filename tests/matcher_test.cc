@@ -1,0 +1,90 @@
+// Copyright 2026 The claks Authors.
+
+#include "text/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datasets/company_paper.h"
+
+namespace claks {
+namespace {
+
+class MatcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = BuildCompanyPaperDataset();
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).ValueOrDie();
+    index_ = std::make_unique<InvertedIndex>(dataset_.db.get());
+  }
+  CompanyPaperDataset dataset_;
+  std::unique_ptr<InvertedIndex> index_;
+};
+
+TEST_F(MatcherTest, ParseNormalisesAndDeduplicates) {
+  KeywordQuery q =
+      ParseKeywordQuery("Smith  XML xml SMITH", index_->tokenizer());
+  EXPECT_EQ(q.keywords, (std::vector<std::string>{"smith", "xml"}));
+  EXPECT_EQ(q.ToString(), "smith xml");
+}
+
+TEST_F(MatcherTest, ParseDropsEmptyTokens) {
+  KeywordQuery q = ParseKeywordQuery("-- Smith ..", index_->tokenizer());
+  EXPECT_EQ(q.keywords, (std::vector<std::string>{"smith"}));
+  EXPECT_TRUE(ParseKeywordQuery("", index_->tokenizer()).keywords.empty());
+}
+
+TEST_F(MatcherTest, PaperQueryMatches) {
+  KeywordQuery q = ParseKeywordQuery("Smith XML", index_->tokenizer());
+  auto matches = MatchKeywords(*index_, q);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].keyword, "smith");
+  EXPECT_EQ(matches[0].matches.size(), 2u);  // e1, e2
+  EXPECT_EQ(matches[1].keyword, "xml");
+  EXPECT_EQ(matches[1].matches.size(), 4u);  // d1, d2, p1, p2
+  EXPECT_TRUE(AllKeywordsMatched(matches));
+}
+
+TEST_F(MatcherTest, TupleSetsAreSorted) {
+  KeywordQuery q = ParseKeywordQuery("XML", index_->tokenizer());
+  auto matches = MatchKeywords(*index_, q);
+  ASSERT_EQ(matches.size(), 1u);
+  auto set = matches[0].TupleSet();
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_TRUE(set.count(PaperTuple(*dataset_.db, "d1")) > 0);
+  EXPECT_TRUE(set.count(PaperTuple(*dataset_.db, "p2")) > 0);
+}
+
+TEST_F(MatcherTest, UnmatchedKeywordYieldsEmptyEntry) {
+  KeywordQuery q = ParseKeywordQuery("Smith quantum", index_->tokenizer());
+  auto matches = MatchKeywords(*index_, q);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_FALSE(matches[0].empty());
+  EXPECT_TRUE(matches[1].empty());
+  EXPECT_FALSE(AllKeywordsMatched(matches));
+}
+
+TEST_F(MatcherTest, AttributeHitsAggregated) {
+  // "xml" occurs in both P_NAME and P_DESCRIPTION of p2.
+  KeywordQuery q = ParseKeywordQuery("xml", index_->tokenizer());
+  auto matches = MatchKeywords(*index_, q);
+  TupleId p2 = PaperTuple(*dataset_.db, "p2");
+  const TupleMatch* match = nullptr;
+  for (const TupleMatch& m : matches[0].matches) {
+    if (m.tuple == p2) match = &m;
+  }
+  ASSERT_NE(match, nullptr);
+  EXPECT_EQ(match->attribute_hits.size(), 2u);
+  EXPECT_EQ(match->TotalFrequency(), 2u);
+}
+
+TEST_F(MatcherTest, EmptyQuery) {
+  auto matches = MatchKeywords(*index_, KeywordQuery{});
+  EXPECT_TRUE(matches.empty());
+  EXPECT_FALSE(AllKeywordsMatched(matches));
+}
+
+}  // namespace
+}  // namespace claks

@@ -1,0 +1,258 @@
+// Copyright 2026 The claks Authors.
+//
+// Parameterized property tests over synthetic datasets: the structural
+// invariants of the whole pipeline must hold on every generated instance,
+// not just the paper's example.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/engine.h"
+#include "datasets/bibliography.h"
+#include "datasets/company_gen.h"
+#include "datasets/movies.h"
+
+namespace claks {
+namespace {
+
+struct PropertyCase {
+  const char* name;
+  uint64_t seed;
+  size_t scale;  // small multiplier
+};
+
+class CompanyPropertyTest : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  void SetUp() override {
+    CompanyGenOptions options;
+    options.seed = GetParam().seed;
+    options.num_departments = 2 + GetParam().scale;
+    options.employees_per_department = 3 + GetParam().scale;
+    options.projects_per_department = 2;
+    auto dataset = GenerateCompanyDataset(options);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).ValueOrDie();
+    auto engine = KeywordSearchEngine::Create(
+        dataset_.db.get(), dataset_.er_schema, dataset_.mapping);
+    ASSERT_TRUE(engine.ok());
+    engine_ = std::move(engine).ValueOrDie();
+  }
+
+  GeneratedDataset dataset_;
+  std::unique_ptr<KeywordSearchEngine> engine_;
+};
+
+TEST_P(CompanyPropertyTest, IntegrityHolds) {
+  EXPECT_TRUE(dataset_.db->CheckReferentialIntegrity().ok());
+}
+
+TEST_P(CompanyPropertyTest, DataGraphEdgesMatchFkCount) {
+  const DataGraph& graph = engine_->data_graph();
+  EXPECT_EQ(graph.num_edges(), dataset_.db->ResolveAllFkEdges().size());
+  EXPECT_EQ(graph.num_nodes(), dataset_.db->TotalRows());
+}
+
+TEST_P(CompanyPropertyTest, ErLengthNeverExceedsRdbLength) {
+  SearchOptions options;
+  options.max_rdb_edges = 4;
+  options.instance_check = false;
+  auto result = engine_->Search("research xml", options);
+  if (!result.ok()) GTEST_SKIP();  // keyword may not occur at tiny scales
+  for (const SearchHit& hit : result->hits) {
+    EXPECT_LE(hit.er_length, hit.rdb_length);
+  }
+}
+
+TEST_P(CompanyPropertyTest, CloseHitsHaveNoLoosePoints) {
+  SearchOptions options;
+  options.max_rdb_edges = 4;
+  options.instance_check = false;
+  auto result = engine_->Search("research xml", options);
+  if (!result.ok()) GTEST_SKIP();
+  for (const SearchHit& hit : result->hits) {
+    if (hit.schema_close) {
+      EXPECT_EQ(hit.hub_patterns, 0u);
+      // N:M steps are allowed only as a single immediate step.
+      if (hit.nm_steps > 0) {
+        EXPECT_EQ(hit.kind, AssociationKind::kImmediate);
+      }
+    } else {
+      EXPECT_GT(hit.hub_patterns + hit.nm_steps, 0u);
+    }
+  }
+}
+
+TEST_P(CompanyPropertyTest, MtjntIsSubsetOfEnumeration) {
+  // Every path-shaped MTJNT (tmax tuples) must appear among enumerated
+  // connections with the equivalent edge budget.
+  SearchOptions mtjnt_opts;
+  mtjnt_opts.method = SearchMethod::kMtjnt;
+  mtjnt_opts.tmax = 4;
+  mtjnt_opts.instance_check = false;
+  auto mtjnt = engine_->Search("research xml", mtjnt_opts);
+  if (!mtjnt.ok()) GTEST_SKIP();
+
+  SearchOptions enum_opts;
+  enum_opts.max_rdb_edges = 3;  // tmax tuples => tmax-1 edges
+  enum_opts.instance_check = false;
+  auto full = engine_->Search("research xml", enum_opts);
+  ASSERT_TRUE(full.ok());
+
+  size_t checked = 0;
+  for (const SearchHit& hit : mtjnt->hits) {
+    if (!hit.connection.has_value()) continue;
+    // Only 2-endpoint MTJNTs whose endpoints carry distinct keywords are
+    // guaranteed to be enumerated (enumeration stops at first target).
+    bool found = false;
+    for (const SearchHit& other : full->hits) {
+      if (other.connection.has_value() &&
+          other.connection->SamePathUndirected(*hit.connection)) {
+        found = true;
+        break;
+      }
+    }
+    if (found) ++checked;
+  }
+  // At least the short MTJNTs coincide; require non-trivial overlap when
+  // hits exist at all.
+  if (!mtjnt->hits.empty() && !full->hits.empty()) {
+    EXPECT_GT(checked, 0u);
+  }
+}
+
+TEST_P(CompanyPropertyTest, DiscoverAgreesWithDataLevelMtjnt) {
+  SearchOptions a;
+  a.method = SearchMethod::kMtjnt;
+  a.tmax = 3;
+  a.instance_check = false;
+  SearchOptions b = a;
+  b.method = SearchMethod::kDiscover;
+  auto ra = engine_->Search("research xml", a);
+  auto rb = engine_->Search("research xml", b);
+  if (!ra.ok() || !rb.ok()) GTEST_SKIP();
+  EXPECT_EQ(ra->hits.size(), rb->hits.size());
+}
+
+TEST_P(CompanyPropertyTest, RankingIsTotalAndDeterministic) {
+  SearchOptions options;
+  options.max_rdb_edges = 3;
+  auto r1 = engine_->Search("research xml", options);
+  auto r2 = engine_->Search("research xml", options);
+  if (!r1.ok() || !r2.ok()) GTEST_SKIP();
+  ASSERT_EQ(r1->hits.size(), r2->hits.size());
+  for (size_t i = 0; i < r1->hits.size(); ++i) {
+    EXPECT_EQ(r1->hits[i].rendered, r2->hits[i].rendered);
+  }
+}
+
+TEST_P(CompanyPropertyTest, ReverseEngineeredEngineAgreesOnLengths) {
+  // The engine built by reverse engineering must compute the same ER
+  // lengths as the engine built with the generator's own mapping
+  // (relationship names differ; lengths must not).
+  auto reversed = KeywordSearchEngine::Create(dataset_.db.get());
+  ASSERT_TRUE(reversed.ok());
+  SearchOptions options;
+  options.max_rdb_edges = 3;
+  options.instance_check = false;
+  auto a = engine_->Search("research xml", options);
+  auto b = (*reversed)->Search("research xml", options);
+  if (!a.ok() || !b.ok()) GTEST_SKIP();
+  ASSERT_EQ(a->hits.size(), b->hits.size());
+  std::multiset<size_t> lengths_a, lengths_b;
+  for (const SearchHit& hit : a->hits) lengths_a.insert(hit.er_length);
+  for (const SearchHit& hit : b->hits) lengths_b.insert(hit.er_length);
+  EXPECT_EQ(lengths_a, lengths_b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, CompanyPropertyTest,
+    ::testing::Values(PropertyCase{"s1", 1, 1}, PropertyCase{"s2", 2, 2},
+                      PropertyCase{"s3", 3, 3}, PropertyCase{"s7", 7, 2},
+                      PropertyCase{"s42", 42, 4}),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      return info.param.name;
+    });
+
+// --- Bibliography: self-relationship stress ---------------------------------
+
+class BibliographyPropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BibliographyPropertyTest, EngineHandlesSelfNM) {
+  BibliographyGenOptions options;
+  options.seed = GetParam();
+  options.num_papers = 25;
+  options.num_authors = 12;
+  auto dataset = GenerateBibliographyDataset(options);
+  ASSERT_TRUE(dataset.ok());
+  auto engine = KeywordSearchEngine::Create(
+      dataset->db.get(), dataset->er_schema, dataset->mapping);
+  ASSERT_TRUE(engine.ok());
+  SearchOptions search;
+  search.max_rdb_edges = 4;
+  search.instance_check = false;
+  auto result = (*engine)->Search("keyword search", search);
+  ASSERT_TRUE(result.ok());
+  for (const SearchHit& hit : result->hits) {
+    EXPECT_LE(hit.er_length, hit.rdb_length);
+  }
+}
+
+TEST_P(BibliographyPropertyTest, CitationPathsProjectThroughSelfNM) {
+  BibliographyGenOptions options;
+  options.seed = GetParam();
+  auto dataset = GenerateBibliographyDataset(options);
+  ASSERT_TRUE(dataset.ok());
+  DataGraph graph(dataset->db.get());
+  const Table* cites = dataset->db->FindTable("CITES");
+  ASSERT_NE(cites, nullptr);
+  if (cites->num_rows() == 0) GTEST_SKIP();
+  // A path paper -> cites-row -> paper must project to one N:M step.
+  uint32_t cites_table = *dataset->db->TableIndex("CITES");
+  TupleId middle{cites_table, 0};
+  auto edges = dataset->db->ResolveFkEdgesFrom(middle);
+  ASSERT_EQ(edges.size(), 2u);
+  Connection conn({edges[0].to, middle, edges[1].to},
+                  {ConnectionEdge{0, false}, ConnectionEdge{1, true}});
+  auto projection = ProjectToEr(conn, *dataset->db, dataset->er_schema,
+                                dataset->mapping);
+  ASSERT_TRUE(projection.ok()) << projection.status().ToString();
+  EXPECT_EQ(projection->ErLength(), 1u);
+  EXPECT_EQ(projection->steps[0].cardinality, Cardinality::kNM);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BibliographyPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+// --- Movies: wider schema ----------------------------------------------------
+
+class MoviesPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MoviesPropertyTest, SearchAcrossWiderSchema) {
+  MoviesGenOptions options;
+  options.seed = GetParam();
+  auto dataset = GenerateMoviesDataset(options);
+  ASSERT_TRUE(dataset.ok());
+  auto engine = KeywordSearchEngine::Create(
+      dataset->db.get(), dataset->er_schema, dataset->mapping);
+  ASSERT_TRUE(engine.ok());
+  SearchOptions search;
+  search.max_rdb_edges = 4;
+  search.instance_check = false;
+  auto result = (*engine)->Search("drama finland", search);
+  ASSERT_TRUE(result.ok());
+  for (const SearchHit& hit : result->hits) {
+    EXPECT_LE(hit.er_length, hit.rdb_length);
+    if (!hit.schema_close) {
+      EXPECT_GT(hit.hub_patterns + hit.nm_steps, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MoviesPropertyTest,
+                         ::testing::Values(11, 13, 17));
+
+}  // namespace
+}  // namespace claks

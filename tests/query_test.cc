@@ -1,0 +1,131 @@
+// Copyright 2026 The claks Authors.
+
+#include "relational/query.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/company_paper.h"
+
+namespace claks {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = BuildCompanyPaperDataset();
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).ValueOrDie();
+  }
+  CompanyPaperDataset dataset_;
+};
+
+TEST_F(QueryTest, FromTableQualifiesColumns) {
+  Relation r = Relation::FromTable(*dataset_.db->FindTable("EMPLOYEE"));
+  EXPECT_EQ(r.num_rows(), 4u);
+  EXPECT_EQ(r.columns()[0].name, "EMPLOYEE.SSN");
+  EXPECT_TRUE(r.ColumnIndex("EMPLOYEE.L_NAME").ok());
+  EXPECT_TRUE(r.ColumnIndex("L_NAME").ok());  // unambiguous short name
+  EXPECT_TRUE(r.ColumnIndex("NOPE").status().IsNotFound());
+}
+
+TEST_F(QueryTest, SelectEquality) {
+  Relation employees =
+      Relation::FromTable(*dataset_.db->FindTable("EMPLOYEE"));
+  auto smiths =
+      employees.Select("L_NAME", CompareOp::kEq, Value::String("Smith"));
+  ASSERT_TRUE(smiths.ok());
+  EXPECT_EQ(smiths->num_rows(), 2u);
+}
+
+TEST_F(QueryTest, SelectContains) {
+  Relation departments =
+      Relation::FromTable(*dataset_.db->FindTable("DEPARTMENT"));
+  auto xml = departments.Select("D_DESCRIPTION", CompareOp::kContains,
+                                Value::String("xml"));
+  ASSERT_TRUE(xml.ok());
+  EXPECT_EQ(xml->num_rows(), 2u);  // d1 and d2
+}
+
+TEST_F(QueryTest, SelectComparisons) {
+  Relation wf = Relation::FromTable(*dataset_.db->FindTable("WORKS_FOR"));
+  auto heavy = wf.Select("HOURS", CompareOp::kGe, Value::Int64(56));
+  ASSERT_TRUE(heavy.ok());
+  EXPECT_EQ(heavy->num_rows(), 3u);  // 56, 70, 60
+  auto light = wf.Select("HOURS", CompareOp::kLt, Value::Int64(56));
+  ASSERT_TRUE(light.ok());
+  EXPECT_EQ(light->num_rows(), 1u);  // 40
+}
+
+TEST_F(QueryTest, ContainsRequiresStrings) {
+  Relation wf = Relation::FromTable(*dataset_.db->FindTable("WORKS_FOR"));
+  EXPECT_TRUE(wf.Select("HOURS", CompareOp::kContains, Value::String("4"))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(QueryTest, Project) {
+  Relation employees =
+      Relation::FromTable(*dataset_.db->FindTable("EMPLOYEE"));
+  auto names = employees.Project({"L_NAME", "S_NAME"});
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->num_columns(), 2u);
+  EXPECT_EQ(names->num_rows(), 4u);
+  EXPECT_TRUE(employees.Project({"NOPE"}).status().IsNotFound());
+}
+
+TEST_F(QueryTest, JoinEmployeeDepartment) {
+  Relation employees =
+      Relation::FromTable(*dataset_.db->FindTable("EMPLOYEE"));
+  Relation departments =
+      Relation::FromTable(*dataset_.db->FindTable("DEPARTMENT"));
+  auto joined =
+      employees.Join(departments, "EMPLOYEE.D_ID", "DEPARTMENT.ID");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->num_rows(), 4u);  // every employee has a department
+  EXPECT_EQ(joined->num_columns(),
+            employees.num_columns() + departments.num_columns());
+}
+
+TEST_F(QueryTest, DistinctRemovesDuplicates) {
+  Relation employees =
+      Relation::FromTable(*dataset_.db->FindTable("EMPLOYEE"));
+  auto depts = employees.Project({"D_ID"});
+  ASSERT_TRUE(depts.ok());
+  Relation unique = depts->Distinct();
+  EXPECT_EQ(unique.num_rows(), 2u);  // d1, d2
+}
+
+TEST_F(QueryTest, JoinAlongPathFollowsFks) {
+  // EMPLOYEE - DEPARTMENT via the WORKS_FOR FK.
+  auto r = JoinAlongPath(*dataset_.db, {"EMPLOYEE", "DEPARTMENT"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 4u);
+
+  // PROJECT - WORKS_FOR - EMPLOYEE: middle relation chain.
+  auto chain =
+      JoinAlongPath(*dataset_.db, {"PROJECT", "WORKS_FOR", "EMPLOYEE"});
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->num_rows(), 4u);  // one row per works_for entry
+}
+
+TEST_F(QueryTest, JoinAlongPathRejectsNonAdjacent) {
+  EXPECT_TRUE(JoinAlongPath(*dataset_.db, {"DEPARTMENT", "DEPENDENT"})
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(
+      JoinAlongPath(*dataset_.db, {}).status().IsInvalidArgument());
+}
+
+TEST_F(QueryTest, EvalPredicateDirect) {
+  const Table* employees = dataset_.db->FindTable("EMPLOYEE");
+  Predicate pred{"L_NAME", CompareOp::kEq, Value::String("Smith")};
+  auto hit = EvalPredicate(employees->schema(), employees->row(0), pred);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(*hit);
+  auto miss = EvalPredicate(employees->schema(), employees->row(2), pred);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(*miss);
+}
+
+}  // namespace
+}  // namespace claks

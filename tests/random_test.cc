@@ -1,0 +1,116 @@
+// Copyright 2026 The claks Authors.
+
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace claks {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next() != b.Next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.Uniform(4, 4), 4);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  const int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.05);
+}
+
+TEST(RngTest, IndexCoversRange) {
+  Rng rng(17);
+  std::set<size_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    size_t idx = rng.Index(5);
+    EXPECT_LT(idx, 5u);
+    seen.insert(idx);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, ZipfInRangeAndSkewed) {
+  Rng rng(19);
+  size_t counts[10] = {0};
+  for (int i = 0; i < 5000; ++i) {
+    size_t v = rng.Zipf(10, 1.5);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  // Rank 0 must dominate rank 9 heavily.
+  EXPECT_GT(counts[0], counts[9] * 5);
+}
+
+TEST(ShuffleTest, PermutationPreserved) {
+  Rng rng(21);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  Shuffle(&v, &rng);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ShuffleTest, DeterministicForSeed) {
+  std::vector<int> v1{1, 2, 3, 4, 5};
+  std::vector<int> v2{1, 2, 3, 4, 5};
+  Rng r1(33), r2(33);
+  Shuffle(&v1, &r1);
+  Shuffle(&v2, &r2);
+  EXPECT_EQ(v1, v2);
+}
+
+}  // namespace
+}  // namespace claks

@@ -1,0 +1,212 @@
+// Copyright 2026 The claks Authors.
+
+#include "core/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace claks {
+namespace {
+
+// Rank inputs modelled on the paper's connections 1-7 (Table 2):
+// index 0..6 = connection 1..7.
+std::vector<RankInput> PaperInputs() {
+  auto make = [](size_t rdb, size_t er, size_t hubs, size_t nm, bool close,
+                 bool instance_close) {
+    RankInput in;
+    in.rdb_length = rdb;
+    in.er_length = er;
+    in.hub_patterns = hubs;
+    in.nm_steps = nm;
+    in.schema_close = close;
+    in.instance_close = instance_close;
+    in.text_score = 1.0;
+    return in;
+  };
+  return {
+      make(1, 1, 0, 0, true, true),    // 1: d1-e1
+      make(2, 1, 0, 0, true, true),    // 2: p1-w_f1-e1
+      make(2, 2, 1, 0, false, true),   // 3: p1-d1-e1
+      make(3, 2, 0, 1, false, true),   // 4: d1-p1-w_f1-e1
+      make(1, 1, 0, 0, true, true),    // 5: d2-e2
+      make(2, 2, 1, 0, false, false),  // 6: p2-d2-e2
+      make(3, 2, 0, 1, false, true),   // 7: d2-p3-w_f2-e2
+  };
+}
+
+// Position of connection `id` (1-based) in the ranked order.
+size_t PosOf(const std::vector<size_t>& order, size_t id) {
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == id - 1) return i;
+  }
+  ADD_FAILURE();
+  return SIZE_MAX;
+}
+
+TEST(RankerTest, FactoryProducesAllKinds) {
+  for (RankerKind kind :
+       {RankerKind::kRdbLength, RankerKind::kErLength,
+        RankerKind::kCloseFirst, RankerKind::kLoosePenalty,
+        RankerKind::kInstanceClose, RankerKind::kCombined,
+        RankerKind::kAmbiguity, RankerKind::kMoreContext}) {
+    auto ranker = MakeRanker(kind);
+    ASSERT_NE(ranker, nullptr);
+    EXPECT_EQ(ranker->name(), RankerKindToString(kind));
+  }
+}
+
+TEST(RankerTest, AmbiguityRankerOrdersByFanout) {
+  RankInput crisp;
+  crisp.ambiguity = 1.0;
+  crisp.er_length = 3;
+  RankInput vague;
+  vague.ambiguity = 4.0;
+  vague.er_length = 1;
+  auto order = RankOrder({vague, crisp},
+                         *MakeRanker(RankerKind::kAmbiguity));
+  EXPECT_EQ(order[0], 1u);  // the unambiguous one wins despite length
+}
+
+TEST(RankerTest, MoreContextPrefersLongerUnambiguous) {
+  // Paper §2: "a longer connection should be ranked before shorter
+  // connections" when emphasising access to more information. On the
+  // paper inputs: {4, 7} (er 2, no hubs) above {1, 2, 5} (er 1), with the
+  // hub connections {3, 6} still last.
+  auto inputs = PaperInputs();
+  auto order = RankOrder(inputs, *MakeRanker(RankerKind::kMoreContext));
+  std::set<size_t> top{order[0] + 1, order[1] + 1};
+  EXPECT_EQ(top, (std::set<size_t>{4, 7}));
+  std::set<size_t> bottom{order[5] + 1, order[6] + 1};
+  EXPECT_EQ(bottom, (std::set<size_t>{3, 6}));
+}
+
+TEST(RankerTest, RdbLengthRanking) {
+  // Paper: "If the rank ... were based on the length of the connection in
+  // RDB, the best connections are 1 and 5 and the worst connections are 4
+  // and 7."
+  auto inputs = PaperInputs();
+  auto order = RankOrder(inputs, *MakeRanker(RankerKind::kRdbLength));
+  EXPECT_LT(PosOf(order, 1), 2u);
+  EXPECT_LT(PosOf(order, 5), 2u);
+  EXPECT_GE(PosOf(order, 4), 5u);
+  EXPECT_GE(PosOf(order, 7), 5u);
+}
+
+TEST(RankerTest, CloseFirstRankingMatchesPaper) {
+  // Paper: "If the length of the ER-model were followed and the close
+  // associations were emphasized, the best connections are 1, 2 and 5 and
+  // the worst connections are 3 and 6. ... connections 4 and 7 have a
+  // better rank."
+  auto inputs = PaperInputs();
+  auto order = RankOrder(inputs, *MakeRanker(RankerKind::kCloseFirst));
+  EXPECT_LT(PosOf(order, 1), 3u);
+  EXPECT_LT(PosOf(order, 2), 3u);
+  EXPECT_LT(PosOf(order, 5), 3u);
+  // 4 and 7 before 3 and 6.
+  EXPECT_LT(PosOf(order, 4), PosOf(order, 3));
+  EXPECT_LT(PosOf(order, 4), PosOf(order, 6));
+  EXPECT_LT(PosOf(order, 7), PosOf(order, 3));
+  EXPECT_LT(PosOf(order, 7), PosOf(order, 6));
+  // 3 and 6 last.
+  EXPECT_GE(PosOf(order, 3), 5u);
+  EXPECT_GE(PosOf(order, 6), 5u);
+}
+
+TEST(RankerTest, ErLengthPromotesConnection2) {
+  auto inputs = PaperInputs();
+  auto order = RankOrder(inputs, *MakeRanker(RankerKind::kErLength));
+  // Under RDB length, connection 2 (rdb 2) ranks below 1 and 5 (rdb 1);
+  // under ER length it ties at 1 and lands in the top 3.
+  EXPECT_LT(PosOf(order, 2), 3u);
+}
+
+TEST(RankerTest, LoosePenaltyGroupsLooseLast) {
+  auto inputs = PaperInputs();
+  auto order = RankOrder(inputs, *MakeRanker(RankerKind::kLoosePenalty));
+  // Connections with loose points (3,4,6,7) all rank below 1,2,5.
+  for (size_t loose : {3u, 4u, 6u, 7u}) {
+    for (size_t close : {1u, 2u, 5u}) {
+      EXPECT_GT(PosOf(order, loose), PosOf(order, close));
+    }
+  }
+}
+
+TEST(RankerTest, InstanceCloseDemotesConnection6) {
+  auto inputs = PaperInputs();
+  auto order = RankOrder(inputs, *MakeRanker(RankerKind::kInstanceClose));
+  // Connection 6 is the only instance-loose one: dead last.
+  EXPECT_EQ(PosOf(order, 6), inputs.size() - 1);
+  // Connection 3 (instance-close) beats 6.
+  EXPECT_LT(PosOf(order, 3), PosOf(order, 6));
+}
+
+TEST(RankerTest, InstanceCloseFallsBackToSchema) {
+  RankInput unverified;
+  unverified.schema_close = false;
+  RankInput close;
+  close.schema_close = true;
+  auto order = RankOrder({unverified, close},
+                         *MakeRanker(RankerKind::kInstanceClose));
+  EXPECT_EQ(order[0], 1u);
+}
+
+TEST(RankerTest, CombinedPrefersHigherTextAtEqualStructure) {
+  RankInput weak;
+  weak.er_length = 1;
+  weak.text_score = 0.5;
+  RankInput strong = weak;
+  strong.text_score = 2.0;
+  auto order = RankOrder({weak, strong},
+                         *MakeRanker(RankerKind::kCombined));
+  EXPECT_EQ(order[0], 1u);
+}
+
+TEST(RankerTest, CombinedPenalisesStructure) {
+  RankInput shallow;
+  shallow.er_length = 1;
+  shallow.text_score = 1.0;
+  RankInput deep = shallow;
+  deep.er_length = 4;
+  deep.hub_patterns = 2;
+  auto order =
+      RankOrder({deep, shallow}, *MakeRanker(RankerKind::kCombined));
+  EXPECT_EQ(order[0], 1u);
+}
+
+TEST(RankOrderTest, StableForTies) {
+  RankInput a;
+  a.rdb_length = 1;
+  RankInput b;
+  b.rdb_length = 1;
+  auto order = RankOrder({a, b}, *MakeRanker(RankerKind::kRdbLength));
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1}));
+}
+
+TEST(KendallTest, IdenticalIsZero) {
+  EXPECT_EQ(KendallTauDistance({0, 1, 2}, {0, 1, 2}), 0.0);
+}
+
+TEST(KendallTest, ReversedIsOne) {
+  EXPECT_EQ(KendallTauDistance({0, 1, 2, 3}, {3, 2, 1, 0}), 1.0);
+}
+
+TEST(KendallTest, SingleSwap) {
+  EXPECT_NEAR(KendallTauDistance({0, 1, 2}, {1, 0, 2}), 1.0 / 3.0, 1e-9);
+}
+
+TEST(KendallTest, TinyInputs) {
+  EXPECT_EQ(KendallTauDistance({}, {}), 0.0);
+  EXPECT_EQ(KendallTauDistance({0}, {0}), 0.0);
+}
+
+TEST(KendallTest, RdbVsCloseFirstDiffer) {
+  auto inputs = PaperInputs();
+  auto rdb = RankOrder(inputs, *MakeRanker(RankerKind::kRdbLength));
+  auto close_first =
+      RankOrder(inputs, *MakeRanker(RankerKind::kCloseFirst));
+  EXPECT_GT(KendallTauDistance(rdb, close_first), 0.0);
+}
+
+}  // namespace
+}  // namespace claks

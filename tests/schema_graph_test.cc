@@ -1,0 +1,95 @@
+// Copyright 2026 The claks Authors.
+
+#include "graph/schema_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datasets/company_paper.h"
+
+namespace claks {
+namespace {
+
+class SchemaGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = BuildCompanyPaperDataset();
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).ValueOrDie();
+    graph_ = std::make_unique<SchemaGraph>(dataset_.db.get());
+  }
+
+  uint32_t T(const std::string& name) {
+    return *dataset_.db->TableIndex(name);
+  }
+
+  CompanyPaperDataset dataset_;
+  std::unique_ptr<SchemaGraph> graph_;
+};
+
+TEST_F(SchemaGraphTest, OneEdgePerForeignKey) {
+  // PROJECT->DEPARTMENT, WORKS_FOR->EMPLOYEE, WORKS_FOR->PROJECT,
+  // EMPLOYEE->DEPARTMENT, DEPENDENT->EMPLOYEE.
+  EXPECT_EQ(graph_->edges().size(), 5u);
+  EXPECT_EQ(graph_->num_tables(), 5u);
+}
+
+TEST_F(SchemaGraphTest, NeighborsBothDirections) {
+  // DEPARTMENT is referenced by PROJECT and EMPLOYEE: two incoming.
+  auto dept = graph_->Neighbors(T("DEPARTMENT"));
+  EXPECT_EQ(dept.size(), 2u);
+  for (const SchemaAdjacency& adj : dept) {
+    EXPECT_FALSE(adj.along_fk);  // DEPARTMENT owns no FK
+  }
+  // WORKS_FOR owns two FKs.
+  auto wf = graph_->Neighbors(T("WORKS_FOR"));
+  EXPECT_EQ(wf.size(), 2u);
+  for (const SchemaAdjacency& adj : wf) {
+    EXPECT_TRUE(adj.along_fk);
+  }
+}
+
+TEST_F(SchemaGraphTest, Distances) {
+  EXPECT_EQ(graph_->Distance(T("DEPARTMENT"), T("DEPARTMENT")), 0u);
+  EXPECT_EQ(graph_->Distance(T("DEPARTMENT"), T("EMPLOYEE")), 1u);
+  EXPECT_EQ(graph_->Distance(T("DEPARTMENT"), T("DEPENDENT")), 2u);
+  // DEPENDENT to PROJECT: DEPENDENT-EMPLOYEE-WORKS_FOR-PROJECT = 3.
+  EXPECT_EQ(graph_->Distance(T("DEPENDENT"), T("PROJECT")), 3u);
+}
+
+TEST_F(SchemaGraphTest, DisconnectedDistanceIsMax) {
+  Database db;
+  ASSERT_TRUE(
+      db.AddTable(TableSchema("X", {{"ID", ValueType::kString}}, {"ID"}))
+          .ok());
+  ASSERT_TRUE(
+      db.AddTable(TableSchema("Y", {{"ID", ValueType::kString}}, {"ID"}))
+          .ok());
+  SchemaGraph g(&db);
+  EXPECT_EQ(g.Distance(0, 1), SIZE_MAX);
+}
+
+TEST_F(SchemaGraphTest, EnumerateTablePathsShortestFirst) {
+  auto paths = graph_->EnumerateTablePaths(T("DEPARTMENT"), T("EMPLOYEE"),
+                                           /*max_edges=*/3);
+  // Direct (1 edge) and via PROJECT+WORKS_FOR (3 edges).
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].size(), 1u);
+  EXPECT_EQ(paths[1].size(), 3u);
+}
+
+TEST_F(SchemaGraphTest, EnumerateTablePathsRespectsBound) {
+  auto paths = graph_->EnumerateTablePaths(T("DEPARTMENT"), T("EMPLOYEE"),
+                                           /*max_edges=*/1);
+  EXPECT_EQ(paths.size(), 1u);
+}
+
+TEST_F(SchemaGraphTest, ToStringListsEdges) {
+  std::string s = graph_->ToString();
+  EXPECT_NE(s.find("EMPLOYEE -> DEPARTMENT"), std::string::npos);
+  EXPECT_NE(s.find("WORKS_FOR -> PROJECT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace claks

@@ -1,0 +1,98 @@
+// Copyright 2026 The claks Authors.
+
+#include "relational/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace claks {
+namespace {
+
+TableSchema MakeEmployeeSchema() {
+  return TableSchema(
+      "EMPLOYEE",
+      {{"SSN", ValueType::kString, false, false},
+       {"L_NAME", ValueType::kString, false, true},
+       {"D_ID", ValueType::kString, false, false}},
+      {"SSN"},
+      {{"WORKS_FOR", {"D_ID"}, "DEPARTMENT", {"ID"}}});
+}
+
+TEST(TableSchemaTest, Accessors) {
+  TableSchema schema = MakeEmployeeSchema();
+  EXPECT_EQ(schema.name(), "EMPLOYEE");
+  EXPECT_EQ(schema.num_attributes(), 3u);
+  EXPECT_EQ(schema.primary_key(), std::vector<std::string>{"SSN"});
+  ASSERT_EQ(schema.foreign_keys().size(), 1u);
+  EXPECT_EQ(schema.foreign_keys()[0].referenced_table, "DEPARTMENT");
+}
+
+TEST(TableSchemaTest, AttributeIndex) {
+  TableSchema schema = MakeEmployeeSchema();
+  EXPECT_EQ(schema.AttributeIndex("SSN"), 0u);
+  EXPECT_EQ(schema.AttributeIndex("D_ID"), 2u);
+  EXPECT_FALSE(schema.AttributeIndex("NOPE").has_value());
+  EXPECT_TRUE(schema.RequireAttributeIndex("NOPE").status().IsNotFound());
+  EXPECT_EQ(*schema.RequireAttributeIndex("L_NAME"), 1u);
+}
+
+TEST(TableSchemaTest, KeyPredicates) {
+  TableSchema schema = MakeEmployeeSchema();
+  EXPECT_TRUE(schema.IsPrimaryKeyAttribute("SSN"));
+  EXPECT_FALSE(schema.IsPrimaryKeyAttribute("D_ID"));
+  EXPECT_TRUE(schema.IsForeignKeyAttribute("D_ID"));
+  EXPECT_FALSE(schema.IsForeignKeyAttribute("SSN"));
+}
+
+TEST(TableSchemaTest, PrimaryKeyIndices) {
+  TableSchema schema(
+      "T", {{"A", ValueType::kString}, {"B", ValueType::kString}},
+      {"B", "A"});
+  EXPECT_EQ(schema.PrimaryKeyIndices(), (std::vector<size_t>{1, 0}));
+}
+
+TEST(TableSchemaTest, ValidatePasses) {
+  EXPECT_TRUE(MakeEmployeeSchema().Validate().ok());
+}
+
+TEST(TableSchemaTest, ValidateRejectsDuplicateAttributes) {
+  TableSchema schema("T", {{"A", ValueType::kString},
+                           {"A", ValueType::kString}},
+                     {"A"});
+  EXPECT_TRUE(schema.Validate().IsInvalidArgument());
+}
+
+TEST(TableSchemaTest, ValidateRejectsMissingPk) {
+  TableSchema schema("T", {{"A", ValueType::kString}}, {});
+  EXPECT_TRUE(schema.Validate().IsInvalidArgument());
+  TableSchema bad_pk("T", {{"A", ValueType::kString}}, {"B"});
+  EXPECT_TRUE(bad_pk.Validate().IsInvalidArgument());
+}
+
+TEST(TableSchemaTest, ValidateRejectsBadForeignKey) {
+  TableSchema arity("T", {{"A", ValueType::kString}}, {"A"},
+                    {{"fk", {"A"}, "U", {"X", "Y"}}});
+  EXPECT_TRUE(arity.Validate().IsInvalidArgument());
+  TableSchema unknown("T", {{"A", ValueType::kString}}, {"A"},
+                      {{"fk", {"Z"}, "U", {"X"}}});
+  EXPECT_TRUE(unknown.Validate().IsInvalidArgument());
+  TableSchema empty_fk("T", {{"A", ValueType::kString}}, {"A"},
+                       {{"fk", {}, "U", {}}});
+  EXPECT_TRUE(empty_fk.Validate().IsInvalidArgument());
+}
+
+TEST(TableSchemaTest, ValidateRejectsEmptyNames) {
+  TableSchema unnamed("", {{"A", ValueType::kString}}, {"A"});
+  EXPECT_TRUE(unnamed.Validate().IsInvalidArgument());
+  TableSchema no_attrs("T", {}, {"A"});
+  EXPECT_TRUE(no_attrs.Validate().IsInvalidArgument());
+}
+
+TEST(TableSchemaTest, ToStringMentionsEverything) {
+  std::string s = MakeEmployeeSchema().ToString();
+  EXPECT_NE(s.find("EMPLOYEE"), std::string::npos);
+  EXPECT_NE(s.find("PRIMARY KEY (SSN)"), std::string::npos);
+  EXPECT_NE(s.find("REFERENCES DEPARTMENT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace claks

@@ -1,0 +1,103 @@
+// Copyright 2026 The claks Authors.
+
+#include "text/scoring.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datasets/company_paper.h"
+
+namespace claks {
+namespace {
+
+class ScoringTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = BuildCompanyPaperDataset();
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).ValueOrDie();
+    index_ = std::make_unique<InvertedIndex>(dataset_.db.get());
+  }
+
+  std::vector<KeywordMatches> Match(const std::string& text) {
+    return MatchKeywords(
+        *index_, ParseKeywordQuery(text, index_->tokenizer()));
+  }
+
+  CompanyPaperDataset dataset_;
+  std::unique_ptr<InvertedIndex> index_;
+};
+
+TEST_F(ScoringTest, IdfDecreasesWithDocumentFrequency) {
+  // "smith" (df 2) is rarer than "teaching" (df 3) and scores higher.
+  EXPECT_GT(InverseDocumentFrequency(*index_, "smith"),
+            InverseDocumentFrequency(*index_, "teaching"));
+}
+
+TEST_F(ScoringTest, IdfOfAbsentTermIsHighest) {
+  EXPECT_GT(InverseDocumentFrequency(*index_, "quantum"),
+            InverseDocumentFrequency(*index_, "xml"));
+}
+
+TEST_F(ScoringTest, IdfNonNegative) {
+  for (const char* term : {"xml", "smith", "teaching", "the", "quantum"}) {
+    EXPECT_GE(InverseDocumentFrequency(*index_, term), 0.0) << term;
+  }
+}
+
+TEST_F(ScoringTest, TupleMatchScorePositive) {
+  auto matches = Match("smith");
+  ASSERT_EQ(matches.size(), 1u);
+  ASSERT_FALSE(matches[0].empty());
+  double score =
+      ScoreTupleMatch(*index_, "smith", matches[0].matches[0]);
+  EXPECT_GT(score, 0.0);
+}
+
+TEST_F(ScoringTest, HigherTermFrequencyScoresHigher) {
+  // p2 contains "xml" twice (name + description); d1 once.
+  auto matches = Match("xml");
+  const TupleMatch* p2 = nullptr;
+  const TupleMatch* d1 = nullptr;
+  for (const TupleMatch& m : matches[0].matches) {
+    if (m.tuple == PaperTuple(*dataset_.db, "p2")) p2 = &m;
+    if (m.tuple == PaperTuple(*dataset_.db, "d1")) d1 = &m;
+  }
+  ASSERT_NE(p2, nullptr);
+  ASSERT_NE(d1, nullptr);
+  EXPECT_GT(ScoreTupleMatch(*index_, "xml", *p2),
+            ScoreTupleMatch(*index_, "xml", *d1));
+}
+
+TEST_F(ScoringTest, SaturationBoundsScore) {
+  // With k1 saturation, doubling tf must less-than-double the score.
+  ScoringOptions options;
+  TupleMatch one;
+  one.attribute_hits[0] = 1;
+  TupleMatch two;
+  two.attribute_hits[0] = 2;
+  double s1 = ScoreTupleMatch(*index_, "xml", one, options);
+  double s2 = ScoreTupleMatch(*index_, "xml", two, options);
+  EXPECT_GT(s2, s1);
+  EXPECT_LT(s2, 2.0 * s1);
+}
+
+TEST_F(ScoringTest, ScoreMatchesSumsBestPerKeyword) {
+  auto both = Match("smith xml");
+  double combined = ScoreMatches(*index_, both);
+  auto smith_only = Match("smith");
+  auto xml_only = Match("xml");
+  EXPECT_NEAR(combined,
+              ScoreMatches(*index_, smith_only) +
+                  ScoreMatches(*index_, xml_only),
+              1e-9);
+}
+
+TEST_F(ScoringTest, NoMatchesZeroScore) {
+  auto none = Match("quantum");
+  EXPECT_EQ(ScoreMatches(*index_, none), 0.0);
+}
+
+}  // namespace
+}  // namespace claks

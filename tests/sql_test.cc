@@ -1,0 +1,149 @@
+// Copyright 2026 The claks Authors.
+
+#include "core/sql.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datasets/company_paper.h"
+
+namespace claks {
+namespace {
+
+class SqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = BuildCompanyPaperDataset();
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).ValueOrDie();
+    graph_ = std::make_unique<DataGraph>(dataset_.db.get());
+  }
+
+  Connection Conn(const std::vector<std::string>& names) {
+    std::vector<TupleId> tuples;
+    std::vector<ConnectionEdge> edges;
+    for (const auto& name : names) {
+      tuples.push_back(PaperTuple(*dataset_.db, name));
+    }
+    for (size_t i = 0; i + 1 < tuples.size(); ++i) {
+      for (const DataAdjacency& adj :
+           graph_->Neighbors(graph_->NodeOf(tuples[i]))) {
+        if (adj.neighbor == graph_->NodeOf(tuples[i + 1])) {
+          const DataEdge& edge = graph_->edge(adj.edge_index);
+          edges.push_back(ConnectionEdge{edge.fk_index, adj.along_fk});
+          break;
+        }
+      }
+    }
+    return Connection(std::move(tuples), std::move(edges));
+  }
+
+  CompanyPaperDataset dataset_;
+  std::unique_ptr<DataGraph> graph_;
+};
+
+TEST(SqlLiteralTest, Quoting) {
+  EXPECT_EQ(SqlLiteral(Value::String("xml")), "'xml'");
+  EXPECT_EQ(SqlLiteral(Value::String("it's")), "'it''s'");
+  EXPECT_EQ(SqlLiteral(Value::Int64(42)), "42");
+  EXPECT_EQ(SqlLiteral(Value::Bool(true)), "TRUE");
+  EXPECT_EQ(SqlLiteral(Value::Null()), "NULL");
+}
+
+TEST_F(SqlTest, SingleTupleSelect) {
+  auto sql = ConnectionToSql(Conn({"d1"}), *dataset_.db);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_EQ(*sql,
+            "SELECT t0.* FROM DEPARTMENT t0 WHERE t0.ID = 'd1';");
+}
+
+TEST_F(SqlTest, TwoTupleJoin) {
+  auto sql = ConnectionToSql(Conn({"d1", "e1"}), *dataset_.db);
+  ASSERT_TRUE(sql.ok());
+  // Pins both tuples and joins on the FK.
+  EXPECT_NE(sql->find("FROM DEPARTMENT t0, EMPLOYEE t1"),
+            std::string::npos);
+  EXPECT_NE(sql->find("t0.ID = 'd1'"), std::string::npos);
+  EXPECT_NE(sql->find("t1.SSN = 'e1'"), std::string::npos);
+  EXPECT_NE(sql->find("t1.D_ID = t0.ID"), std::string::npos);
+}
+
+TEST_F(SqlTest, MiddleRelationJoinUsesCompositeKey) {
+  auto sql = ConnectionToSql(Conn({"p1", "w_f1", "e1"}), *dataset_.db);
+  ASSERT_TRUE(sql.ok());
+  // w_f1 is pinned by its composite primary key.
+  EXPECT_NE(sql->find("t1.ESSN = 'e1'"), std::string::npos);
+  EXPECT_NE(sql->find("t1.P_ID = 'p1'"), std::string::npos);
+  // Both join conditions appear.
+  EXPECT_NE(sql->find("t1.P_ID = t0.ID"), std::string::npos);
+  EXPECT_NE(sql->find("t1.ESSN = t2.SSN"), std::string::npos);
+}
+
+TEST_F(SqlTest, JoinDirectionIndependence) {
+  // The same join condition regardless of travel direction.
+  auto forward = ConnectionToSql(Conn({"d1", "e1"}), *dataset_.db);
+  auto backward = ConnectionToSql(Conn({"e1", "d1"}), *dataset_.db);
+  ASSERT_TRUE(forward.ok());
+  ASSERT_TRUE(backward.ok());
+  EXPECT_NE(backward->find("t0.D_ID = t1.ID"), std::string::npos);
+}
+
+TEST_F(SqlTest, CandidateNetworkSql) {
+  // CN: DEPARTMENT^{xml} <- EMPLOYEE^{smith} (EMPLOYEE references DEPT).
+  CandidateNetwork cn;
+  cn.nodes = {CnNode{*dataset_.db->TableIndex("DEPARTMENT"), 2},
+              CnNode{*dataset_.db->TableIndex("EMPLOYEE"), 1}};
+  CandidateNetwork::Edge edge;
+  edge.a = 1;  // EMPLOYEE is the referencing side
+  edge.b = 0;
+  edge.fk_index = 0;
+  edge.a_is_referencing = true;
+  cn.edges.push_back(edge);
+
+  auto sql = CandidateNetworkToSql(cn, *dataset_.db, {"smith", "xml"});
+  ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+  EXPECT_NE(sql->find("FROM DEPARTMENT t0, EMPLOYEE t1"),
+            std::string::npos);
+  // keyword bit 1 (xml) on node 0, bit 0 (smith) on node 1.
+  EXPECT_NE(sql->find("LOWER(t0.D_NAME) LIKE '%xml%'"), std::string::npos);
+  EXPECT_NE(sql->find("LOWER(t1.L_NAME) LIKE '%smith%'"),
+            std::string::npos);
+  EXPECT_NE(sql->find("t1.D_ID = t0.ID"), std::string::npos);
+  // ID columns are non-searchable and must not appear in LIKE predicates.
+  EXPECT_EQ(sql->find("LOWER(t0.ID)"), std::string::npos);
+}
+
+TEST_F(SqlTest, CandidateNetworkFreeNodeHasNoKeywordPredicate) {
+  CandidateNetwork cn;
+  cn.nodes = {CnNode{*dataset_.db->TableIndex("DEPARTMENT"), 1},
+              CnNode{*dataset_.db->TableIndex("EMPLOYEE"), 0}};
+  CandidateNetwork::Edge edge;
+  edge.a = 1;
+  edge.b = 0;
+  edge.fk_index = 0;
+  edge.a_is_referencing = true;
+  cn.edges.push_back(edge);
+  auto sql = CandidateNetworkToSql(cn, *dataset_.db, {"xml"});
+  ASSERT_TRUE(sql.ok());
+  EXPECT_EQ(sql->find("LOWER(t1."), std::string::npos);
+}
+
+TEST_F(SqlTest, CandidateNetworkRejectsUnsearchableTable) {
+  // WORKS_FOR has no searchable text attribute; requiring a keyword there
+  // must fail.
+  CandidateNetwork cn;
+  cn.nodes = {CnNode{*dataset_.db->TableIndex("WORKS_FOR"), 1}};
+  auto sql = CandidateNetworkToSql(cn, *dataset_.db, {"xml"});
+  EXPECT_TRUE(sql.status().IsInvalidArgument());
+}
+
+TEST_F(SqlTest, EmptyInputsRejected) {
+  CandidateNetwork cn;
+  EXPECT_TRUE(CandidateNetworkToSql(cn, *dataset_.db, {"x"})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace claks

@@ -1,0 +1,149 @@
+// Copyright 2026 The claks Authors.
+//
+// Instance-statistics tests (the paper's §4 future-work criterion).
+
+#include "core/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datasets/company_paper.h"
+
+namespace claks {
+namespace {
+
+class StatisticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = BuildCompanyPaperDataset();
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).ValueOrDie();
+    graph_ = std::make_unique<DataGraph>(dataset_.db.get());
+    stats_ = std::make_unique<InstanceStatistics>(
+        dataset_.db.get(), &dataset_.er_schema, &dataset_.mapping);
+  }
+
+  Connection Conn(const std::vector<std::string>& names) {
+    std::vector<TupleId> tuples;
+    std::vector<ConnectionEdge> edges;
+    for (const auto& name : names) {
+      tuples.push_back(PaperTuple(*dataset_.db, name));
+    }
+    for (size_t i = 0; i + 1 < tuples.size(); ++i) {
+      for (const DataAdjacency& adj :
+           graph_->Neighbors(graph_->NodeOf(tuples[i]))) {
+        if (adj.neighbor == graph_->NodeOf(tuples[i + 1])) {
+          const DataEdge& edge = graph_->edge(adj.edge_index);
+          edges.push_back(ConnectionEdge{edge.fk_index, adj.along_fk});
+          break;
+        }
+      }
+    }
+    return Connection(std::move(tuples), std::move(edges));
+  }
+
+  ErProjection Project(const std::vector<std::string>& names) {
+    auto projection = ProjectToEr(Conn(names), *dataset_.db,
+                                  dataset_.er_schema, dataset_.mapping);
+    EXPECT_TRUE(projection.ok());
+    return std::move(projection).ValueOrDie();
+  }
+
+  CompanyPaperDataset dataset_;
+  std::unique_ptr<DataGraph> graph_;
+  std::unique_ptr<InstanceStatistics> stats_;
+};
+
+TEST_F(StatisticsTest, WorksForStats) {
+  // 4 employees, each in one of 2 departments (d1, d2); d3 idle.
+  const RelationshipStats& s = stats_->StatsFor("WORKS_FOR");
+  EXPECT_EQ(s.link_count, 4u);
+  EXPECT_EQ(s.left_participants, 2u);   // d1, d2
+  EXPECT_EQ(s.left_total, 3u);          // d3 does not participate
+  EXPECT_EQ(s.right_participants, 4u);  // all employees
+  EXPECT_EQ(s.right_total, 4u);
+  EXPECT_DOUBLE_EQ(s.AvgFanoutLeftToRight(), 2.0);   // 2 employees/dept
+  EXPECT_DOUBLE_EQ(s.AvgFanoutRightToLeft(), 1.0);   // functional
+  EXPECT_NEAR(s.LeftParticipation(), 2.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.RightParticipation(), 1.0);
+}
+
+TEST_F(StatisticsTest, WorksOnStats) {
+  // WORKS_FOR table: 4 rows, 3 distinct projects, 4 distinct employees.
+  const RelationshipStats& s = stats_->StatsFor("WORKS_ON");
+  EXPECT_EQ(s.link_count, 4u);
+  EXPECT_EQ(s.left_participants, 3u);   // p1, p2, p3
+  EXPECT_EQ(s.right_participants, 4u);  // e1..e4
+  EXPECT_NEAR(s.AvgFanoutLeftToRight(), 4.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.AvgFanoutRightToLeft(), 1.0);
+}
+
+TEST_F(StatisticsTest, ControlsStats) {
+  const RelationshipStats& s = stats_->StatsFor("CONTROLS");
+  EXPECT_EQ(s.link_count, 3u);
+  EXPECT_EQ(s.left_participants, 2u);  // d1, d2
+  EXPECT_NEAR(s.AvgFanoutLeftToRight(), 1.5, 1e-9);
+}
+
+TEST_F(StatisticsTest, DependentsStats) {
+  const RelationshipStats& s = stats_->StatsFor("DEPENDENTS_OF");
+  EXPECT_EQ(s.link_count, 2u);
+  EXPECT_EQ(s.left_participants, 1u);  // only e3
+  EXPECT_DOUBLE_EQ(s.AvgFanoutLeftToRight(), 2.0);
+  EXPECT_EQ(s.right_total, 2u);
+}
+
+TEST_F(StatisticsTest, FunctionalStepsHaveUnitFanout) {
+  // e1 -> d1 travels EMPLOYEE -> DEPARTMENT (right to left of WORKS_FOR):
+  // each employee has exactly one department.
+  auto projection = Project({"e1", "d1"});
+  ASSERT_EQ(projection.steps.size(), 1u);
+  EXPECT_FALSE(projection.steps[0].left_to_right);
+  EXPECT_DOUBLE_EQ(stats_->StepFanout(projection.steps[0]), 1.0);
+}
+
+TEST_F(StatisticsTest, LooseDirectionFanoutAboveOne) {
+  // d1 -> e1 travels DEPARTMENT -> EMPLOYEE: 2 employees per department.
+  auto projection = Project({"d1", "e1"});
+  ASSERT_EQ(projection.steps.size(), 1u);
+  EXPECT_TRUE(projection.steps[0].left_to_right);
+  EXPECT_DOUBLE_EQ(stats_->StepFanout(projection.steps[0]), 2.0);
+}
+
+TEST_F(StatisticsTest, AmbiguityOfPaperConnections) {
+  // Connection 3 (p1 - d1 - e1): project N:1 department (fanout 1), then
+  // department 1:N employee (fanout 2): ambiguity 2 — the hub admits two
+  // employees.
+  EXPECT_DOUBLE_EQ(stats_->ConnectionAmbiguity(Project({"p1", "d1", "e1"})),
+                   2.0);
+  // Connection 1 read employee -> department is functional: ambiguity 1.
+  EXPECT_DOUBLE_EQ(stats_->ConnectionAmbiguity(Project({"e1", "d1"})), 1.0);
+  // Connection 2 (p1 - w_f1 - e1) travels PROJECT -> EMPLOYEE with fanout
+  // 4/3.
+  EXPECT_NEAR(stats_->ConnectionAmbiguity(Project({"p1", "w_f1", "e1"})),
+              4.0 / 3.0, 1e-9);
+}
+
+TEST_F(StatisticsTest, AmbiguityOrdersLooseAboveClose) {
+  double close = stats_->ConnectionAmbiguity(Project({"e1", "d1"}));
+  double loose = stats_->ConnectionAmbiguity(Project({"p1", "d1", "e1"}));
+  EXPECT_LT(close, loose);
+}
+
+TEST_F(StatisticsTest, ToStringListsAllRelationships) {
+  std::string s = stats_->ToString();
+  for (const char* rel :
+       {"WORKS_FOR", "WORKS_ON", "CONTROLS", "DEPENDENTS_OF"}) {
+    EXPECT_NE(s.find(rel), std::string::npos) << rel;
+  }
+}
+
+TEST_F(StatisticsTest, UnknownRelationshipFanoutDefaultsToOne) {
+  ErProjectedStep step;
+  step.relationship = "NOPE";
+  EXPECT_DOUBLE_EQ(stats_->StepFanout(step), 1.0);
+}
+
+}  // namespace
+}  // namespace claks

@@ -1,0 +1,110 @@
+// Copyright 2026 The claks Authors.
+
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/result.h"
+
+namespace claks {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing table");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "missing table");
+  EXPECT_EQ(st.ToString(), "NotFound: missing table");
+}
+
+TEST(StatusTest, AllFactories) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::IntegrityViolation("x").IsIntegrityViolation());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopyIsCheapAndEqualContent) {
+  Status a = Status::ParseError("bad csv");
+  Status b = a;
+  EXPECT_EQ(b.message(), "bad csv");
+  EXPECT_TRUE(b.IsParseError());
+}
+
+TEST(StatusTest, WithContextPrefixesMessage) {
+  Status st = Status::ParseError("bad field").WithContext("record 7");
+  EXPECT_EQ(st.message(), "record 7: bad field");
+  EXPECT_TRUE(st.IsParseError());
+  // No-op on OK.
+  EXPECT_TRUE(Status::OK().WithContext("ctx").ok());
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIntegrityViolation),
+               "IntegrityViolation");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  CLAKS_ASSIGN_OR_RETURN(int h, Half(x));
+  CLAKS_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_TRUE(Quarter(6).status().IsInvalidArgument());  // 6/2=3 is odd
+  EXPECT_TRUE(Quarter(5).status().IsInvalidArgument());
+}
+
+Status CheckEven(int x) {
+  CLAKS_RETURN_NOT_OK(Half(x).status());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(CheckEven(4).ok());
+  EXPECT_FALSE(CheckEven(3).ok());
+}
+
+}  // namespace
+}  // namespace claks

@@ -1,0 +1,126 @@
+// Copyright 2026 The claks Authors.
+
+#include "graph/steiner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "datasets/company_paper.h"
+#include "graph/traversal.h"
+
+namespace claks {
+namespace {
+
+class SteinerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = BuildCompanyPaperDataset();
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).ValueOrDie();
+    graph_ = std::make_unique<DataGraph>(dataset_.db.get());
+  }
+
+  uint32_t N(const std::string& name) {
+    return graph_->NodeOf(PaperTuple(*dataset_.db, name));
+  }
+
+  // Checks the edge set is connected and acyclic over its node span.
+  void ExpectIsTree(const SteinerTree& tree) {
+    auto nodes = tree.Nodes(*graph_);
+    if (nodes.size() <= 1) {
+      EXPECT_TRUE(tree.edge_indices.empty());
+      return;
+    }
+    EXPECT_EQ(tree.edge_indices.size(), nodes.size() - 1);
+    // Connectivity via union-find.
+    std::map<uint32_t, uint32_t> parent;
+    for (uint32_t n : nodes) parent[n] = n;
+    std::function<uint32_t(uint32_t)> find = [&](uint32_t x) {
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    for (uint32_t e : tree.edge_indices) {
+      const DataEdge& edge = graph_->edge(e);
+      parent[find(graph_->NodeOf(edge.from))] =
+          find(graph_->NodeOf(edge.to));
+    }
+    std::set<uint32_t> roots;
+    for (uint32_t n : nodes) roots.insert(find(n));
+    EXPECT_EQ(roots.size(), 1u);
+  }
+
+  CompanyPaperDataset dataset_;
+  std::unique_ptr<DataGraph> graph_;
+};
+
+TEST_F(SteinerTest, SingleTerminal) {
+  auto tree = ApproximateSteinerTree(*graph_, {N("d1")});
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_TRUE(tree->edge_indices.empty());
+  EXPECT_EQ(tree->weight, 0u);
+}
+
+TEST_F(SteinerTest, TwoTerminalsIsShortestPath) {
+  auto tree = ApproximateSteinerTree(*graph_, {N("d1"), N("t1")});
+  ASSERT_TRUE(tree.has_value());
+  // Shortest d1..t1 path has 2 edges (d1-e3-t1).
+  EXPECT_EQ(tree->weight, 2u);
+  ExpectIsTree(*tree);
+}
+
+TEST_F(SteinerTest, ThreeTerminals) {
+  auto tree =
+      ApproximateSteinerTree(*graph_, {N("d1"), N("t1"), N("p1")});
+  ASSERT_TRUE(tree.has_value());
+  ExpectIsTree(*tree);
+  auto nodes = tree->Nodes(*graph_);
+  for (uint32_t t : {N("d1"), N("t1"), N("p1")}) {
+    EXPECT_TRUE(std::find(nodes.begin(), nodes.end(), t) != nodes.end());
+  }
+}
+
+TEST_F(SteinerTest, DisconnectedTerminalsFail) {
+  EXPECT_FALSE(
+      ApproximateSteinerTree(*graph_, {N("d1"), N("d3")}).has_value());
+}
+
+TEST_F(SteinerTest, DuplicateTerminalsCollapse) {
+  auto tree =
+      ApproximateSteinerTree(*graph_, {N("d1"), N("d1"), N("e1")});
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_EQ(tree->terminals.size(), 2u);
+  EXPECT_EQ(tree->weight, 1u);
+}
+
+TEST_F(SteinerTest, NoRedundantLeaves) {
+  auto tree =
+      ApproximateSteinerTree(*graph_, {N("e1"), N("e2")});
+  ASSERT_TRUE(tree.has_value());
+  ExpectIsTree(*tree);
+  // Every leaf of the tree must be a terminal.
+  std::map<uint32_t, size_t> degree;
+  for (uint32_t e : tree->edge_indices) {
+    const DataEdge& edge = graph_->edge(e);
+    ++degree[graph_->NodeOf(edge.from)];
+    ++degree[graph_->NodeOf(edge.to)];
+  }
+  std::set<uint32_t> terminals(tree->terminals.begin(),
+                               tree->terminals.end());
+  for (const auto& [node, d] : degree) {
+    if (d == 1) EXPECT_TRUE(terminals.count(node) > 0);
+  }
+}
+
+TEST_F(SteinerTest, EmptyTerminals) {
+  auto tree = ApproximateSteinerTree(*graph_, {});
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_TRUE(tree->terminals.empty());
+}
+
+}  // namespace
+}  // namespace claks

@@ -1,0 +1,78 @@
+// Copyright 2026 The claks Authors.
+
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace claks {
+namespace {
+
+TEST(SplitTest, Basic) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitWhitespaceTest, DropsRuns) {
+  EXPECT_EQ(SplitWhitespace("  Smith\t XML \n"),
+            (std::vector<std::string>{"Smith", "XML"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(TrimTest, Basic) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("  "), "");
+  EXPECT_EQ(Trim("\t a b \n"), "a b");
+}
+
+TEST(ToLowerTest, AsciiOnly) {
+  EXPECT_EQ(ToLower("XML and IR"), "xml and ir");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(AffixTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("w_f1", "w_f"));
+  EXPECT_FALSE(StartsWith("w", "w_f"));
+  EXPECT_TRUE(EndsWith("EMPLOYEE.SSN", ".SSN"));
+  EXPECT_FALSE(EndsWith("SSN", ".SSN"));
+}
+
+TEST(CaseInsensitiveTest, Equals) {
+  EXPECT_TRUE(EqualsIgnoreCase("XML", "xml"));
+  EXPECT_FALSE(EqualsIgnoreCase("XML", "xmll"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(CaseInsensitiveTest, Contains) {
+  EXPECT_TRUE(ContainsIgnoreCase("teaching are XML.", "xml"));
+  EXPECT_TRUE(ContainsIgnoreCase("abc", ""));
+  EXPECT_FALSE(ContainsIgnoreCase("ab", "abc"));
+  EXPECT_TRUE(ContainsIgnoreCase("Smith", "SMITH"));
+}
+
+TEST(StrFormatTest, Formats) {
+  EXPECT_EQ(StrFormat("x=%d y=%s", 3, "z"), "x=3 y=z");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(PadTest, Pads) {
+  EXPECT_EQ(PadRight("ab", 4), "ab  ");
+  EXPECT_EQ(PadRight("abcd", 2), "abcd");
+  EXPECT_EQ(PadLeft("7", 3), "  7");
+}
+
+}  // namespace
+}  // namespace claks

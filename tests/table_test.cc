@@ -1,0 +1,133 @@
+// Copyright 2026 The claks Authors.
+
+#include "relational/table.h"
+
+#include <gtest/gtest.h>
+
+namespace claks {
+namespace {
+
+Table MakeDeptTable() {
+  return Table(TableSchema(
+      "DEPARTMENT",
+      {{"ID", ValueType::kString, false, false},
+       {"NAME", ValueType::kString, false, true},
+       {"HEADCOUNT", ValueType::kInt64, /*nullable=*/true, false}},
+      {"ID"}));
+}
+
+TEST(TableTest, InsertAndRead) {
+  Table t = MakeDeptTable();
+  auto r = t.InsertValues(
+      {Value::String("d1"), Value::String("cs"), Value::Int64(10)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 0u);
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.at(0, 1).AsString(), "cs");
+}
+
+TEST(TableTest, RejectsArityMismatch) {
+  Table t = MakeDeptTable();
+  EXPECT_TRUE(t.InsertValues({Value::String("d1")})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(TableTest, RejectsTypeMismatch) {
+  Table t = MakeDeptTable();
+  EXPECT_TRUE(t.InsertValues({Value::String("d1"), Value::Int64(3),
+                              Value::Int64(10)})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(TableTest, NullableRules) {
+  Table t = MakeDeptTable();
+  // HEADCOUNT nullable: OK.
+  EXPECT_TRUE(t.InsertValues({Value::String("d1"), Value::String("cs"),
+                              Value::Null()})
+                  .ok());
+  // NAME not nullable: rejected.
+  EXPECT_TRUE(t.InsertValues({Value::String("d2"), Value::Null(),
+                              Value::Null()})
+                  .status()
+                  .IsIntegrityViolation());
+}
+
+TEST(TableTest, RejectsDuplicatePrimaryKey) {
+  Table t = MakeDeptTable();
+  ASSERT_TRUE(t.InsertValues({Value::String("d1"), Value::String("a"),
+                              Value::Null()})
+                  .ok());
+  EXPECT_TRUE(t.InsertValues({Value::String("d1"), Value::String("b"),
+                              Value::Null()})
+                  .status()
+                  .IsIntegrityViolation());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, FindByPrimaryKey) {
+  Table t = MakeDeptTable();
+  ASSERT_TRUE(t.InsertValues({Value::String("d1"), Value::String("a"),
+                              Value::Null()})
+                  .ok());
+  ASSERT_TRUE(t.InsertValues({Value::String("d2"), Value::String("b"),
+                              Value::Null()})
+                  .ok());
+  EXPECT_EQ(t.FindByPrimaryKey({Value::String("d2")}), 1u);
+  EXPECT_FALSE(t.FindByPrimaryKey({Value::String("zzz")}).has_value());
+  EXPECT_FALSE(t.FindByPrimaryKey({}).has_value());
+}
+
+TEST(TableTest, CompositePrimaryKey) {
+  Table t(TableSchema("WF",
+                      {{"ESSN", ValueType::kString},
+                       {"P_ID", ValueType::kString},
+                       {"HOURS", ValueType::kInt64}},
+                      {"ESSN", "P_ID"}));
+  ASSERT_TRUE(t.InsertValues({Value::String("e1"), Value::String("p1"),
+                              Value::Int64(40)})
+                  .ok());
+  // Same ESSN, different P_ID: allowed.
+  EXPECT_TRUE(t.InsertValues({Value::String("e1"), Value::String("p2"),
+                              Value::Int64(10)})
+                  .ok());
+  // Exact duplicate pair: rejected.
+  EXPECT_FALSE(t.InsertValues({Value::String("e1"), Value::String("p1"),
+                               Value::Int64(99)})
+                   .ok());
+  EXPECT_EQ(t.FindByPrimaryKey({Value::String("e1"), Value::String("p2")}),
+            1u);
+}
+
+TEST(TableTest, FindRowsLinearScan) {
+  Table t = MakeDeptTable();
+  ASSERT_TRUE(t.InsertValues({Value::String("d1"), Value::String("x"),
+                              Value::Int64(5)})
+                  .ok());
+  ASSERT_TRUE(t.InsertValues({Value::String("d2"), Value::String("x"),
+                              Value::Int64(6)})
+                  .ok());
+  ASSERT_TRUE(t.InsertValues({Value::String("d3"), Value::String("y"),
+                              Value::Int64(5)})
+                  .ok());
+  EXPECT_EQ(t.FindRows({1}, {Value::String("x")}),
+            (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(t.FindRows({1, 2}, {Value::String("x"), Value::Int64(6)}),
+            (std::vector<size_t>{1}));
+  EXPECT_TRUE(t.FindRows({1}, {Value::String("zzz")}).empty());
+}
+
+TEST(TableTest, ToStringTruncates) {
+  Table t = MakeDeptTable();
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(t.InsertValues({Value::String("d" + std::to_string(i)),
+                                Value::String("n"), Value::Null()})
+                    .ok());
+  }
+  std::string s = t.ToString(/*max_rows=*/5);
+  EXPECT_NE(s.find("more rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace claks

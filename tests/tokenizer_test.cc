@@ -1,0 +1,73 @@
+// Copyright 2026 The claks Authors.
+
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace claks {
+namespace {
+
+TEST(TokenizerTest, SplitsOnNonAlnum) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("DB-project: XML."),
+            (std::vector<std::string>{"db", "project", "xml"}));
+}
+
+TEST(TokenizerTest, LowercasesByDefault) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("Smith XML"),
+            (std::vector<std::string>{"smith", "xml"}));
+}
+
+TEST(TokenizerTest, CaseSensitiveMode) {
+  TokenizerOptions options;
+  options.lowercase = false;
+  Tokenizer tok(options);
+  EXPECT_EQ(tok.Tokenize("Smith XML"),
+            (std::vector<std::string>{"Smith", "XML"}));
+}
+
+TEST(TokenizerTest, KeepsDigits) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("room 42b"),
+            (std::vector<std::string>{"room", "42b"}));
+}
+
+TEST(TokenizerTest, EmptyAndSeparatorOnly) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Tokenize("---, ..!").empty());
+}
+
+TEST(TokenizerTest, MinTokenLength) {
+  TokenizerOptions options;
+  options.min_token_length = 3;
+  Tokenizer tok(options);
+  EXPECT_EQ(tok.Tokenize("an xml db index"),
+            (std::vector<std::string>{"xml", "index"}));
+}
+
+TEST(TokenizerTest, Stopwords) {
+  TokenizerOptions options;
+  options.stopwords = DefaultStopwords();
+  Tokenizer tok(options);
+  EXPECT_EQ(tok.Tokenize("The main topics of teaching are XML"),
+            (std::vector<std::string>{"main", "topics", "teaching", "xml"}));
+}
+
+TEST(TokenizerTest, NormalizeToken) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.NormalizeToken("XML."), "xml");
+  EXPECT_EQ(tok.NormalizeToken("Smith"), "smith");
+  EXPECT_EQ(tok.NormalizeToken("--"), "");
+}
+
+TEST(TokenizerTest, DefaultStopwordsContainCommonWords) {
+  const auto& stopwords = DefaultStopwords();
+  EXPECT_TRUE(stopwords.count("the") > 0);
+  EXPECT_TRUE(stopwords.count("of") > 0);
+  EXPECT_FALSE(stopwords.count("xml") > 0);
+}
+
+}  // namespace
+}  // namespace claks

@@ -1,0 +1,170 @@
+// Copyright 2026 The claks Authors.
+
+#include "core/topk.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/enumerator.h"
+#include "datasets/company_gen.h"
+#include "datasets/company_paper.h"
+#include "text/matcher.h"
+
+namespace claks {
+namespace {
+
+class TopkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = BuildCompanyPaperDataset();
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).ValueOrDie();
+    graph_ = std::make_unique<DataGraph>(dataset_.db.get());
+  }
+
+  std::vector<uint32_t> Nodes(const std::vector<std::string>& names) {
+    std::vector<uint32_t> out;
+    for (const auto& name : names) {
+      out.push_back(graph_->NodeOf(PaperTuple(*dataset_.db, name)));
+    }
+    return out;
+  }
+
+  CompanyPaperDataset dataset_;
+  std::unique_ptr<DataGraph> graph_;
+};
+
+TEST_F(TopkTest, StreamsInLengthOrder) {
+  ConnectionStream stream(graph_.get(), Nodes({"d1", "d2", "p1", "p2"}),
+                          Nodes({"e1", "e2"}), 3);
+  size_t previous = 0;
+  size_t count = 0;
+  while (auto connection = stream.Next()) {
+    EXPECT_GE(connection->RdbLength(), previous);
+    previous = connection->RdbLength();
+    ++count;
+  }
+  EXPECT_EQ(count, 7u);  // the paper's rows 1-7 at depth <= 3
+}
+
+TEST_F(TopkTest, AgreesWithFullEnumeration) {
+  auto xml = Nodes({"d1", "d2", "p1", "p2"});
+  auto smith = Nodes({"e1", "e2"});
+  ConnectionStream stream(graph_.get(), xml, smith, 3);
+  std::vector<Connection> streamed;
+  while (auto connection = stream.Next()) {
+    streamed.push_back(std::move(*connection));
+  }
+
+  std::set<TupleId> from, to;
+  for (uint32_t n : xml) from.insert(graph_->TupleOf(n));
+  for (uint32_t n : smith) to.insert(graph_->TupleOf(n));
+  EnumerateOptions options;
+  options.max_rdb_edges = 3;
+  auto enumerated = EnumerateConnections(*graph_, from, to, options);
+
+  ASSERT_EQ(streamed.size(), enumerated.size());
+  for (const Connection& conn : enumerated) {
+    bool found = false;
+    for (const Connection& other : streamed) {
+      if (conn == other) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(TopkTest, EarlyStopDoesLessWork) {
+  auto xml = Nodes({"d1", "d2", "p1", "p2"});
+  auto smith = Nodes({"e1", "e2"});
+  ConnectionStream full(graph_.get(), xml, smith, 4);
+  while (full.Next()) {
+  }
+  ConnectionStream early(graph_.get(), xml, smith, 4);
+  StreamTopK(&early, 2);
+  EXPECT_LT(early.expansions(), full.expansions());
+}
+
+TEST_F(TopkTest, TopKStopsAtK) {
+  ConnectionStream stream(graph_.get(), Nodes({"d1", "d2", "p1", "p2"}),
+                          Nodes({"e1", "e2"}), 4);
+  auto top2 = StreamTopK(&stream, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  // Both are the length-1 connections d1-e1 and d2-e2.
+  EXPECT_EQ(top2[0].RdbLength(), 1u);
+  EXPECT_EQ(top2[1].RdbLength(), 1u);
+}
+
+TEST_F(TopkTest, KLargerThanResultSet) {
+  ConnectionStream stream(graph_.get(), Nodes({"d1"}), Nodes({"e1"}), 4);
+  auto all = StreamTopK(&stream, 100);
+  EXPECT_EQ(all.size(), 2u);  // d1-e1 and d1-p1-w_f1-e1
+}
+
+TEST_F(TopkTest, SharedTupleIsZeroLengthAnswer) {
+  ConnectionStream stream(graph_.get(), Nodes({"d1", "e1"}),
+                          Nodes({"d1"}), 4);
+  auto first = stream.Next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->RdbLength(), 0u);
+}
+
+TEST_F(TopkTest, NoAnswersWhenDisconnected) {
+  ConnectionStream stream(graph_.get(), Nodes({"d3"}), Nodes({"e1"}), 6);
+  EXPECT_FALSE(stream.Next().has_value());
+}
+
+TEST_F(TopkTest, DepthBoundRespected) {
+  ConnectionStream stream(graph_.get(), Nodes({"d1"}), Nodes({"e1"}), 1);
+  size_t count = 0;
+  while (auto connection = stream.Next()) {
+    EXPECT_LE(connection->RdbLength(), 1u);
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST_F(TopkTest, DeterministicAcrossRuns) {
+  auto run = [&] {
+    ConnectionStream stream(graph_.get(), Nodes({"d1", "d2", "p1", "p2"}),
+                            Nodes({"e1", "e2"}), 3);
+    std::vector<std::string> rendered;
+    while (auto connection = stream.Next()) {
+      rendered.push_back(connection->ToString(*dataset_.db));
+    }
+    return rendered;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(TopkSyntheticTest, ScalesAndStaysOrdered) {
+  CompanyGenOptions options;
+  options.num_departments = 6;
+  options.employees_per_department = 8;
+  auto dataset = GenerateCompanyDataset(options);
+  ASSERT_TRUE(dataset.ok());
+  DataGraph graph(dataset->db.get());
+  InvertedIndex index(dataset->db.get());
+  auto matches = MatchKeywords(
+      index, ParseKeywordQuery("research xml", index.tokenizer()));
+  if (!AllKeywordsMatched(matches)) GTEST_SKIP();
+  std::vector<uint32_t> sources, targets;
+  for (const TupleMatch& m : matches[0].matches) {
+    sources.push_back(graph.NodeOf(m.tuple));
+  }
+  for (const TupleMatch& m : matches[1].matches) {
+    targets.push_back(graph.NodeOf(m.tuple));
+  }
+  ConnectionStream stream(&graph, sources, targets, 3);
+  size_t previous = 0;
+  size_t count = 0;
+  while (auto connection = stream.Next()) {
+    EXPECT_GE(connection->RdbLength(), previous);
+    previous = connection->RdbLength();
+    if (++count > 5000) break;  // safety bound
+  }
+  EXPECT_GT(count, 0u);
+}
+
+}  // namespace
+}  // namespace claks

@@ -1,0 +1,163 @@
+// Copyright 2026 The claks Authors.
+//
+// Tests for the paper's §2 classification — including an exact
+// reproduction of Table 1.
+
+#include "er/transitive.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/company_paper.h"
+
+namespace claks {
+namespace {
+
+using C = Cardinality;
+
+TEST(ClassifyTest, SingleStepIsImmediate) {
+  EXPECT_EQ(ClassifyCardinalitySequence({C::kOneN}),
+            AssociationKind::kImmediate);
+  EXPECT_EQ(ClassifyCardinalitySequence({C::kNM}),
+            AssociationKind::kImmediate);
+}
+
+TEST(ClassifyTest, FunctionalChains) {
+  EXPECT_EQ(ClassifyCardinalitySequence({C::kOneN, C::kOneN}),
+            AssociationKind::kTransitiveFunctional);
+  EXPECT_EQ(ClassifyCardinalitySequence({C::kNOne, C::kNOne, C::kNOne}),
+            AssociationKind::kTransitiveFunctional);
+  EXPECT_EQ(ClassifyCardinalitySequence({C::kOneOne, C::kOneN}),
+            AssociationKind::kTransitiveFunctional);
+}
+
+TEST(ClassifyTest, TransitiveNM) {
+  EXPECT_EQ(ClassifyCardinalitySequence({C::kNOne, C::kOneN}),
+            AssociationKind::kTransitiveNM);
+  EXPECT_EQ(ClassifyCardinalitySequence({C::kNM, C::kNM}),
+            AssociationKind::kTransitiveNM);
+  EXPECT_EQ(ClassifyCardinalitySequence({C::kNM, C::kOneN}),
+            AssociationKind::kTransitiveNM);
+}
+
+TEST(ClassifyTest, MixedLoose) {
+  // Paper relationship 4: department 1:N project N:M employee.
+  EXPECT_EQ(ClassifyCardinalitySequence({C::kOneN, C::kNM}),
+            AssociationKind::kMixedLoose);
+  // Paper relationship 6: department 1:N project N:M employee 1:N
+  // dependent.
+  EXPECT_EQ(ClassifyCardinalitySequence({C::kOneN, C::kNM, C::kOneN}),
+            AssociationKind::kMixedLoose);
+}
+
+TEST(ClassifyTest, ClosenessPredicates) {
+  EXPECT_TRUE(GuaranteesCloseAssociation(AssociationKind::kImmediate));
+  EXPECT_TRUE(
+      GuaranteesCloseAssociation(AssociationKind::kTransitiveFunctional));
+  EXPECT_FALSE(GuaranteesCloseAssociation(AssociationKind::kTransitiveNM));
+  EXPECT_FALSE(GuaranteesCloseAssociation(AssociationKind::kMixedLoose));
+  EXPECT_TRUE(AdmitsLooseAssociation(AssociationKind::kTransitiveNM));
+  EXPECT_FALSE(AdmitsLooseAssociation(AssociationKind::kImmediate));
+}
+
+TEST(ClassifyTest, KindNames) {
+  EXPECT_STREQ(AssociationKindToString(AssociationKind::kImmediate),
+               "Immediate");
+  EXPECT_STREQ(AssociationKindToString(AssociationKind::kTransitiveNM),
+               "TransitiveNM");
+}
+
+// --- Table 1 of the paper, row by row -------------------------------------
+
+class Table1Test : public ::testing::Test {
+ protected:
+  void SetUp() override { er_ = CompanyPaperErSchema(); }
+
+  // Finds the path whose entity sequence matches `entities` exactly.
+  RelationshipAnalysis Analyze(const std::vector<std::string>& entities) {
+    auto paths = er_.EnumeratePaths(entities.front(), entities.back(),
+                                    entities.size() - 1);
+    for (const ErPath& path : paths) {
+      if (path.EntitySequence() == entities) return AnalyzePath(path);
+    }
+    ADD_FAILURE() << "path not found";
+    return AnalyzePath(paths.front());
+  }
+
+  ERSchema er_;
+};
+
+TEST_F(Table1Test, Row1ImmediateDepartmentEmployee) {
+  auto analysis = Analyze({"DEPARTMENT", "EMPLOYEE"});
+  EXPECT_EQ(analysis.steps, (std::vector<C>{C::kOneN}));
+  EXPECT_EQ(analysis.kind, AssociationKind::kImmediate);
+  EXPECT_TRUE(GuaranteesCloseAssociation(analysis.kind));
+}
+
+TEST_F(Table1Test, Row2ImmediateProjectEmployee) {
+  auto analysis = Analyze({"PROJECT", "EMPLOYEE"});
+  EXPECT_EQ(analysis.steps, (std::vector<C>{C::kNM}));
+  EXPECT_EQ(analysis.kind, AssociationKind::kImmediate);
+  EXPECT_TRUE(GuaranteesCloseAssociation(analysis.kind));
+}
+
+TEST_F(Table1Test, Row3DepartmentEmployeeDependentFunctional) {
+  auto analysis = Analyze({"DEPARTMENT", "EMPLOYEE", "DEPENDENT"});
+  EXPECT_EQ(analysis.steps, (std::vector<C>{C::kOneN, C::kOneN}));
+  EXPECT_EQ(analysis.kind, AssociationKind::kTransitiveFunctional);
+  EXPECT_EQ(analysis.endpoint, C::kOneN);
+  EXPECT_EQ(analysis.loose_points, 0u);
+}
+
+TEST_F(Table1Test, Row4DepartmentProjectEmployeeLoose) {
+  auto analysis = Analyze({"DEPARTMENT", "PROJECT", "EMPLOYEE"});
+  EXPECT_EQ(analysis.steps, (std::vector<C>{C::kOneN, C::kNM}));
+  EXPECT_EQ(analysis.kind, AssociationKind::kMixedLoose);
+  EXPECT_FALSE(GuaranteesCloseAssociation(analysis.kind));
+}
+
+TEST_F(Table1Test, Row5ProjectDepartmentEmployeeTransitiveNM) {
+  auto analysis = Analyze({"PROJECT", "DEPARTMENT", "EMPLOYEE"});
+  EXPECT_EQ(analysis.steps, (std::vector<C>{C::kNOne, C::kOneN}));
+  EXPECT_EQ(analysis.kind, AssociationKind::kTransitiveNM);
+  EXPECT_EQ(analysis.endpoint, C::kNM);
+  EXPECT_EQ(analysis.loose_points, 1u);  // one hub
+}
+
+TEST_F(Table1Test, Row6FourEntityChainLoose) {
+  auto analysis =
+      Analyze({"DEPARTMENT", "PROJECT", "EMPLOYEE", "DEPENDENT"});
+  EXPECT_EQ(analysis.steps,
+            (std::vector<C>{C::kOneN, C::kNM, C::kOneN}));
+  // "This is not transitive 1:N relationship because it contains a
+  // transitive N:M relationship as a part of it."
+  EXPECT_EQ(analysis.kind, AssociationKind::kMixedLoose);
+  EXPECT_FALSE(GuaranteesCloseAssociation(analysis.kind));
+}
+
+TEST_F(Table1Test, ReverseReadingGivesInverseClassification) {
+  // The paper notes connection 3 "can be represented from dependent to
+  // department (dependent N:1 employee N:1 department) as well" and is
+  // still functional.
+  auto analysis = Analyze({"DEPENDENT", "EMPLOYEE", "DEPARTMENT"});
+  EXPECT_EQ(analysis.steps, (std::vector<C>{C::kNOne, C::kNOne}));
+  EXPECT_EQ(analysis.kind, AssociationKind::kTransitiveFunctional);
+}
+
+TEST_F(Table1Test, DescribeMentionsKindAndEntities) {
+  auto analysis = Analyze({"DEPARTMENT", "EMPLOYEE", "DEPENDENT"});
+  std::string s = analysis.Describe();
+  EXPECT_NE(s.find("department"), std::string::npos);
+  EXPECT_NE(s.find("TransitiveFunctional"), std::string::npos);
+}
+
+TEST(AnalyzePathsBetweenTest, FindsAllDeptEmployeePaths) {
+  ERSchema er = CompanyPaperErSchema();
+  auto analyses = AnalyzePathsBetween(er, "DEPARTMENT", "EMPLOYEE", 2);
+  // Length-1: WORKS_FOR; length-2: via PROJECT (CONTROLS + WORKS_ON).
+  ASSERT_EQ(analyses.size(), 2u);
+  EXPECT_EQ(analyses[0].kind, AssociationKind::kImmediate);
+  EXPECT_EQ(analyses[1].kind, AssociationKind::kMixedLoose);
+}
+
+}  // namespace
+}  // namespace claks

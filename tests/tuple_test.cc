@@ -1,0 +1,81 @@
+// Copyright 2026 The claks Authors.
+
+#include "relational/tuple.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace claks {
+namespace {
+
+TEST(TupleIdTest, EqualityAndOrdering) {
+  TupleId a{1, 2};
+  TupleId b{1, 2};
+  TupleId c{1, 3};
+  TupleId d{2, 0};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  EXPECT_LT(c, d);
+  EXPECT_FALSE(d < a);
+}
+
+TEST(TupleIdTest, PackUnpackRoundTrip) {
+  for (TupleId id : {TupleId{0, 0}, TupleId{1, 2}, TupleId{0xffffffffu, 7},
+                     TupleId{3, 0xffffffffu}}) {
+    EXPECT_EQ(TupleId::Unpack(id.Pack()), id);
+  }
+}
+
+TEST(TupleIdTest, PackIsInjectiveAcrossTables) {
+  EXPECT_NE((TupleId{0, 1}).Pack(), (TupleId{1, 0}).Pack());
+}
+
+TEST(TupleIdTest, HashUsableInUnorderedSet) {
+  std::unordered_set<TupleId, TupleIdHash> set;
+  set.insert(TupleId{0, 0});
+  set.insert(TupleId{0, 0});
+  set.insert(TupleId{0, 1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(TupleIdTest, ToString) {
+  EXPECT_EQ((TupleId{2, 5}).ToString(), "t(2,5)");
+}
+
+TEST(MakeKeyTest, DistinctValuesDistinctKeys) {
+  Row a{Value::String("x"), Value::Int64(1)};
+  Row b{Value::String("x"), Value::Int64(2)};
+  EXPECT_NE(MakeKey(a, {0, 1}), MakeKey(b, {0, 1}));
+}
+
+TEST(MakeKeyTest, NoConcatenationCollisions) {
+  // "ab" + "c" must not collide with "a" + "bc".
+  Row a{Value::String("ab"), Value::String("c")};
+  Row b{Value::String("a"), Value::String("bc")};
+  EXPECT_NE(MakeKey(a, {0, 1}), MakeKey(b, {0, 1}));
+}
+
+TEST(MakeKeyTest, TypeTagged) {
+  // String "1" differs from Int64 1.
+  Row a{Value::String("1")};
+  Row b{Value::Int64(1)};
+  EXPECT_NE(MakeKey(a, {0}), MakeKey(b, {0}));
+}
+
+TEST(MakeKeyTest, SubsetOfColumns) {
+  Row row{Value::String("x"), Value::String("y"), Value::String("z")};
+  EXPECT_EQ(MakeKey(row, {0, 2}),
+            MakeKey({Value::String("x"), Value::Null(), Value::String("z")},
+                    {0, 2}));
+  EXPECT_NE(MakeKey(row, {0}), MakeKey(row, {1}));
+}
+
+TEST(MakeKeyTest, OrderMatters) {
+  Row row{Value::String("x"), Value::String("y")};
+  EXPECT_NE(MakeKey(row, {0, 1}), MakeKey(row, {1, 0}));
+}
+
+}  // namespace
+}  // namespace claks

@@ -1,0 +1,124 @@
+// Copyright 2026 The claks Authors.
+
+#include "relational/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace claks {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "");
+}
+
+TEST(ValueTest, TypedConstructionAndAccess) {
+  EXPECT_EQ(Value::Int64(42).AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_EQ(Value::String("xml").AsString(), "xml");
+}
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_EQ(Value::Int64(1).type(), ValueType::kInt64);
+  EXPECT_EQ(Value::Double(1).type(), ValueType::kDouble);
+  EXPECT_EQ(Value::Bool(false).type(), ValueType::kBool);
+  EXPECT_EQ(Value::String("").type(), ValueType::kString);
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Int64(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::String("Smith").ToString(), "Smith");
+  EXPECT_EQ(Value::Double(1.5).ToString(), "1.5");
+}
+
+TEST(ValueTest, EqualityWithinType) {
+  EXPECT_EQ(Value::Int64(3), Value::Int64(3));
+  EXPECT_NE(Value::Int64(3), Value::Int64(4));
+  EXPECT_EQ(Value::String("a"), Value::String("a"));
+  EXPECT_NE(Value::String("a"), Value::String("b"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, CrossTypeInequality) {
+  EXPECT_NE(Value::Int64(1), Value::Double(1.0));
+  EXPECT_NE(Value::Null(), Value::Int64(0));
+  EXPECT_NE(Value::String("1"), Value::Int64(1));
+}
+
+TEST(ValueTest, OrderingWithinType) {
+  EXPECT_LT(Value::Int64(1), Value::Int64(2));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+  EXPECT_FALSE(Value::Int64(2) < Value::Int64(1));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::String("xml").Hash(), Value::String("xml").Hash());
+  EXPECT_EQ(Value::Int64(5).Hash(), Value::Int64(5).Hash());
+  // NULL and 0 should not collide with overwhelming likelihood.
+  EXPECT_NE(Value::Null().Hash(), Value::Int64(0).Hash());
+}
+
+TEST(ValueTest, UsableInUnorderedSet) {
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value::String("a"));
+  set.insert(Value::String("a"));
+  set.insert(Value::Int64(1));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ValueParseTest, Int64) {
+  auto r = Value::Parse("123", ValueType::kInt64);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsInt64(), 123);
+  EXPECT_FALSE(Value::Parse("12x", ValueType::kInt64).ok());
+  EXPECT_FALSE(Value::Parse("1.5", ValueType::kInt64).ok());
+}
+
+TEST(ValueParseTest, Double) {
+  auto r = Value::Parse("2.75", ValueType::kDouble);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->AsDouble(), 2.75);
+  EXPECT_FALSE(Value::Parse("abc", ValueType::kDouble).ok());
+}
+
+TEST(ValueParseTest, Bool) {
+  EXPECT_TRUE(Value::Parse("true", ValueType::kBool)->AsBool());
+  EXPECT_TRUE(Value::Parse("TRUE", ValueType::kBool)->AsBool());
+  EXPECT_TRUE(Value::Parse("1", ValueType::kBool)->AsBool());
+  EXPECT_FALSE(Value::Parse("false", ValueType::kBool)->AsBool());
+  EXPECT_FALSE(Value::Parse("0", ValueType::kBool)->AsBool());
+  EXPECT_FALSE(Value::Parse("yes", ValueType::kBool).ok());
+}
+
+TEST(ValueParseTest, EmptyBecomesNullForNonStrings) {
+  EXPECT_TRUE(Value::Parse("", ValueType::kInt64)->is_null());
+  EXPECT_TRUE(Value::Parse("", ValueType::kDouble)->is_null());
+  // Empty string stays a string.
+  auto r = Value::Parse("", ValueType::kString);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->type(), ValueType::kString);
+}
+
+TEST(ValueParseTest, RoundTrip) {
+  for (int64_t v : {-5LL * 1000000000LL, -1LL, 0LL, 7LL, 1LL << 40}) {
+    auto r = Value::Parse(Value::Int64(v).ToString(), ValueType::kInt64);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->AsInt64(), v);
+  }
+}
+
+TEST(ValueTypeTest, Names) {
+  EXPECT_STREQ(ValueTypeToString(ValueType::kInt64), "INT64");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kString), "STRING");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kNull), "NULL");
+}
+
+}  // namespace
+}  // namespace claks
