@@ -13,6 +13,12 @@
 // Keyword tuple sets follow DISCOVER's partition semantics: tuple set
 // R^S contains the tuples of R whose set of matched query keywords is
 // exactly S; R^{} (the free tuple set) contains the keyword-free tuples.
+//
+// Entry points: EnumerateMtjnt (reference) and DiscoverMtjnt (CN pipeline);
+// KeywordSearchEngine dispatches to them for SearchMethod::kMtjnt and
+// kDiscover respectively. Both return TupleTrees, the result currency the
+// engine analyses and ranks (path-shaped trees convert to Connections for
+// the full close-association analysis).
 
 #ifndef CLAKS_CORE_MTJNT_H_
 #define CLAKS_CORE_MTJNT_H_

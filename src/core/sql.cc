@@ -31,10 +31,8 @@ std::string SqlLiteral(const Value& value) {
 
 namespace {
 
-// Join condition between aliases `a` and `b` where `referencing_alias`
-// owns FK `fk` of `referencing_schema`.
-std::string JoinCondition(const TableSchema& referencing_schema,
-                          const ForeignKeyDef& fk,
+// Join condition between two aliases where `referencing_alias` owns FK `fk`.
+std::string JoinCondition(const ForeignKeyDef& fk,
                           const std::string& referencing_alias,
                           const std::string& referenced_alias) {
   std::string out;
@@ -90,7 +88,7 @@ Result<std::string> ConnectionToSql(const Connection& connection,
     const ForeignKeyDef& fk = schema.foreign_keys()[edge.fk_index];
     if (!first_where) where += " AND ";
     first_where = false;
-    where += JoinCondition(schema, fk, StrFormat("t%zu", referencing_pos),
+    where += JoinCondition(fk, StrFormat("t%zu", referencing_pos),
                            StrFormat("t%zu", referenced_pos));
   }
 
@@ -147,7 +145,7 @@ Result<std::string> CandidateNetworkToSql(
                     schema.name().c_str()));
     }
     conditions.push_back(JoinCondition(
-        schema, schema.foreign_keys()[edge.fk_index],
+        schema.foreign_keys()[edge.fk_index],
         StrFormat("t%u", referencing), StrFormat("t%u", referenced)));
   }
 

@@ -5,6 +5,12 @@
 // detection*: a relation that exists only to materialise an N:M relationship
 // "should not be taken into account when calculating the length of a
 // connection" (paper §3).
+//
+// Entry point: ReverseEngineerEr, called by KeywordSearchEngine::Create(db)
+// when no conceptual schema is supplied. The inverse of
+// er/er_to_relational.h's GenerateRelationalSchema; the round trip
+// (generate, then reverse) recovers the same shape and is covered by
+// er_mapping_test and fuzz_roundtrip_test.
 
 #ifndef CLAKS_ER_RELATIONAL_TO_ER_H_
 #define CLAKS_ER_RELATIONAL_TO_ER_H_

@@ -6,6 +6,12 @@
 // tuples and meeting at common roots. This is one of the two baselines the
 // paper positions itself against (the other is DISCOVER's MTJNT,
 // core/mtjnt.h).
+//
+// Entry point: BanksBackwardSearch, dispatched to by KeywordSearchEngine
+// for SearchMethod::kBanks; the engine converts the returned AnswerTrees to
+// TupleTrees and runs them through the same association analysis and
+// ranking as every other method. Tuning knobs (top_k, edge-weight model,
+// expansion radius) live in BanksOptions, embedded in SearchOptions.
 
 #ifndef CLAKS_GRAPH_BANKS_H_
 #define CLAKS_GRAPH_BANKS_H_

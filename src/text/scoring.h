@@ -3,6 +3,13 @@
 // Text relevance scoring: tf-idf / BM25-lite over the inverted index. Used
 // as the content component of connection ranking (the paper combines text
 // scores with structural scores; see core/ranking.h).
+//
+// Entry points: ScoreTupleMatch (the engine sums the best match per keyword
+// over a hit's tuples to fill SearchHit::text_score, which flows into
+// RankInput), ScoreMatches (the same best-per-keyword total over a match
+// set), and InverseDocumentFrequency. Term and document statistics come
+// from text/inverted_index.h; defaults in ScoringOptions disable length
+// normalisation because tuple text is short.
 
 #ifndef CLAKS_TEXT_SCORING_H_
 #define CLAKS_TEXT_SCORING_H_

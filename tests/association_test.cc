@@ -176,7 +176,9 @@ TEST_F(AssociationTest, StrictImpliesEndpointCheck) {
     auto endpoint = analyzer_->IsInstanceClose(Conn(names));
     ASSERT_TRUE(strict.ok());
     ASSERT_TRUE(endpoint.ok());
-    if (*strict) EXPECT_TRUE(*endpoint);
+    if (*strict) {
+      EXPECT_TRUE(*endpoint);
+    }
   }
 }
 

@@ -112,7 +112,9 @@ TEST_F(SteinerTest, NoRedundantLeaves) {
   std::set<uint32_t> terminals(tree->terminals.begin(),
                                tree->terminals.end());
   for (const auto& [node, d] : degree) {
-    if (d == 1) EXPECT_TRUE(terminals.count(node) > 0);
+    if (d == 1) {
+      EXPECT_TRUE(terminals.count(node) > 0);
+    }
   }
 }
 

@@ -92,7 +92,9 @@ TEST_F(TraversalTest, EnumerateBetweenSetsStopsAtFirstTarget) {
     // No target may appear in the interior.
     for (size_t i = 0; i + 1 < nodes.size(); ++i) {
       EXPECT_NE(nodes[i], N("d2"));
-      if (i > 0) EXPECT_NE(nodes[i], N("d1"));
+      if (i > 0) {
+        EXPECT_NE(nodes[i], N("d1"));
+      }
     }
   }
 }
