@@ -1,0 +1,42 @@
+// Copyright 2026 The claks Authors.
+//
+// Span<T>: a non-owning read-only view over a contiguous array. The CSR
+// structures (relational join indexes, data-graph adjacency) hand out
+// ranges of their flat arrays without copying; Span is the currency.
+
+#ifndef CLAKS_COMMON_SPAN_H_
+#define CLAKS_COMMON_SPAN_H_
+
+#include <cstddef>
+
+namespace claks {
+
+/// Read-only view of `size` consecutive elements starting at `data`.
+/// Supports range-for, indexing and the usual size queries. The viewed
+/// array must outlive the span (spans into an index/graph are invalidated
+/// by a rebuild, like iterators into a vector).
+template <typename T>
+class Span {
+ public:
+  Span() = default;
+  Span(const T* data, size_t size) : data_(data), size_(size) {}
+
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  const T* data() const { return data_; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T& operator[](size_t index) const { return data_[index]; }
+  const T& front() const { return data_[0]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace claks
+
+#endif  // CLAKS_COMMON_SPAN_H_

@@ -73,6 +73,9 @@ Result<std::unique_ptr<KeywordSearchEngine>> KeywordSearchEngine::Create(
     const Database* db, ERSchema er_schema, ErRelationalMapping mapping) {
   CLAKS_CHECK(db != nullptr);
   CLAKS_RETURN_NOT_OK(db->CheckReferentialIntegrity());
+  // Pay the join-index build once here; the data graph and every query
+  // path are then served from the cache.
+  db->BuildJoinIndexes();
   auto engine =
       std::unique_ptr<KeywordSearchEngine>(new KeywordSearchEngine());
   engine->db_ = db;

@@ -4,6 +4,13 @@
 // keywords, bounded by RDB length. This is the "full" result space the
 // paper compares MTJNT against (its Table 2 lists such connections for
 // "Smith XML").
+//
+// Entry point: EnumerateConnections, dispatched to by KeywordSearchEngine
+// for SearchMethod::kEnumerate (two-keyword queries; the engine runs both
+// keyword orders and deduplicates so results are order-independent). Built
+// on the bounded simple-path primitives of graph/traversal.h over the CSR
+// data graph; for lazy, length-ordered streaming of the same result space
+// see core/topk.h.
 
 #ifndef CLAKS_CORE_ENUMERATOR_H_
 #define CLAKS_CORE_ENUMERATOR_H_

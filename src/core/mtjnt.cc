@@ -386,7 +386,46 @@ std::vector<CandidateNetwork> GenerateCandidateNetworks(
   return std::move(state.accepted);
 }
 
-std::vector<TupleTree> EvaluateCandidateNetwork(
+namespace {
+
+// BFS order over CN nodes from node 0 so each node after the first has a
+// CN edge (`via_edge`) to an already-placed node.
+void OrderCnNodes(const CandidateNetwork& cn, std::vector<uint32_t>* order,
+                  std::vector<std::optional<uint32_t>>* via_edge) {
+  order->assign(1, 0);
+  via_edge->assign(cn.nodes.size(), std::nullopt);
+  std::vector<bool> placed(cn.nodes.size(), false);
+  placed[0] = true;
+  while (order->size() < cn.nodes.size()) {
+    bool progressed = false;
+    for (uint32_t e = 0; e < cn.edges.size(); ++e) {
+      const auto& edge = cn.edges[e];
+      if (placed[edge.a] && !placed[edge.b]) {
+        placed[edge.b] = true;
+        (*via_edge)[edge.b] = e;
+        order->push_back(edge.b);
+        progressed = true;
+      } else if (placed[edge.b] && !placed[edge.a]) {
+        placed[edge.a] = true;
+        (*via_edge)[edge.a] = e;
+        order->push_back(edge.a);
+        progressed = true;
+      }
+    }
+    CLAKS_CHECK(progressed);  // CN must be connected
+  }
+}
+
+// Mask of one tuple under the query (0 for keyword-free tuples).
+uint32_t TupleMask(const std::map<TupleId, uint32_t>& masks, TupleId id) {
+  auto it = masks.find(id);
+  return it == masks.end() ? 0u : it->second;
+}
+
+// The seed nested-loop evaluation: candidate tuple sets built by scanning
+// every CN node's table, join steps answered by filtering the anchor's
+// adjacency, membership checked with linear find.
+std::vector<TupleTree> EvaluateCandidateNetworkScan(
     const DataGraph& graph, const CandidateNetwork& cn,
     const std::map<TupleId, uint32_t>& masks, uint32_t num_keywords) {
   const Database& db = graph.database();
@@ -397,38 +436,15 @@ std::vector<TupleTree> EvaluateCandidateNetwork(
     const Table& table = db.table(node.table);
     for (uint32_t r = 0; r < table.num_rows(); ++r) {
       TupleId id{node.table, r};
-      auto it = masks.find(id);
-      uint32_t mask = it == masks.end() ? 0u : it->second;
-      if (mask == node.keyword_mask) {
+      if (TupleMask(masks, id) == node.keyword_mask) {
         candidates[i].push_back(graph.NodeOf(id));
       }
     }
   }
 
-  // Order nodes by BFS from node 0 so each node after the first has a
-  // CN edge to an already-assigned node.
-  std::vector<uint32_t> order{0};
-  std::vector<std::optional<uint32_t>> via_edge(cn.nodes.size());
-  std::vector<bool> placed(cn.nodes.size(), false);
-  placed[0] = true;
-  while (order.size() < cn.nodes.size()) {
-    bool progressed = false;
-    for (uint32_t e = 0; e < cn.edges.size(); ++e) {
-      const auto& edge = cn.edges[e];
-      if (placed[edge.a] && !placed[edge.b]) {
-        placed[edge.b] = true;
-        via_edge[edge.b] = e;
-        order.push_back(edge.b);
-        progressed = true;
-      } else if (placed[edge.b] && !placed[edge.a]) {
-        placed[edge.a] = true;
-        via_edge[edge.a] = e;
-        order.push_back(edge.a);
-        progressed = true;
-      }
-    }
-    CLAKS_CHECK(progressed);  // CN must be connected
-  }
+  std::vector<uint32_t> order;
+  std::vector<std::optional<uint32_t>> via_edge;
+  OrderCnNodes(cn, &order, &via_edge);
 
   std::set<TupleTree> results;
   std::vector<uint32_t> assignment(cn.nodes.size(), UINT32_MAX);
@@ -489,9 +505,158 @@ std::vector<TupleTree> EvaluateCandidateNetwork(
   return std::vector<TupleTree>(results.begin(), results.end());
 }
 
+// Join-index evaluation. The root's candidate set comes from the (small)
+// mask map, never from a table scan; each join step resolves through a
+// per-CN-edge FkJoinIndex probe hoisted out of the recursion, and
+// tuple-set membership is a mask comparison instead of a candidate-list
+// find.
+std::vector<TupleTree> EvaluateCandidateNetworkIndexed(
+    const DataGraph& graph, const CandidateNetwork& cn,
+    const std::map<TupleId, uint32_t>& masks, uint32_t num_keywords) {
+  const Database& db = graph.database();
+  // Join index per CN edge, resolved once so the recursion below pays a
+  // plain array access per probe (JoinIndex re-checks cache freshness on
+  // every call). The referencing side's table + FK identify the index.
+  std::vector<const FkJoinIndex*> edge_indexes(cn.edges.size());
+  for (uint32_t e = 0; e < cn.edges.size(); ++e) {
+    const CandidateNetwork::Edge& edge = cn.edges[e];
+    uint32_t referencing_table = edge.a_is_referencing
+                                     ? cn.nodes[edge.a].table
+                                     : cn.nodes[edge.b].table;
+    edge_indexes[e] = &db.JoinIndex(referencing_table, edge.fk_index);
+  }
+
+  // Candidate node list for the root only (the other nodes are reached
+  // through join probes). masks iterates in TupleId order, so the list is
+  // ascending.
+  std::vector<uint32_t> root_candidates;
+  for (const auto& [id, mask] : masks) {
+    if (cn.nodes[0].keyword_mask != 0 && cn.nodes[0].table == id.table &&
+        cn.nodes[0].keyword_mask == mask) {
+      root_candidates.push_back(graph.NodeOf(id));
+    }
+  }
+
+  // Membership in CN node i's tuple set (R^S partition semantics).
+  auto member_of = [&](uint32_t i, uint32_t tuple_node) {
+    const CnNode& node = cn.nodes[i];
+    TupleId id = graph.TupleOf(tuple_node);
+    return id.table == node.table &&
+           TupleMask(masks, id) == node.keyword_mask;
+  };
+
+  std::vector<uint32_t> order;
+  std::vector<std::optional<uint32_t>> via_edge;
+  OrderCnNodes(cn, &order, &via_edge);
+
+  std::set<TupleTree> results;
+  std::vector<uint32_t> assignment(cn.nodes.size(), UINT32_MAX);
+  std::vector<uint32_t> used_edges;
+
+  std::function<void(size_t)> assign = [&](size_t pos) {
+    if (pos == order.size()) {
+      TupleTree tree;
+      tree.nodes = assignment;
+      std::sort(tree.nodes.begin(), tree.nodes.end());
+      tree.edge_indices = used_edges;
+      std::sort(tree.edge_indices.begin(), tree.edge_indices.end());
+      if (IsMinimalTotal(graph, tree, masks, num_keywords)) {
+        results.insert(std::move(tree));
+      }
+      return;
+    }
+    uint32_t cn_node = order[pos];
+    if (pos == 0) {
+      // CN generation seeds node 0 from a keyword tuple set, so its
+      // candidates are indexed; fall back to a scan only for a (never
+      // generated) free root.
+      if (cn.nodes[0].keyword_mask == 0) {
+        const Table& table = db.table(cn.nodes[0].table);
+        for (uint32_t r = 0; r < table.num_rows(); ++r) {
+          uint32_t tuple_node = graph.NodeOf(TupleId{cn.nodes[0].table, r});
+          if (!member_of(0, tuple_node)) continue;
+          assignment[cn_node] = tuple_node;
+          assign(pos + 1);
+          assignment[cn_node] = UINT32_MAX;
+        }
+        return;
+      }
+      for (uint32_t tuple_node : root_candidates) {
+        assignment[cn_node] = tuple_node;
+        assign(pos + 1);
+        assignment[cn_node] = UINT32_MAX;
+      }
+      return;
+    }
+    const auto& edge = cn.edges[*via_edge[cn_node]];
+    const FkJoinIndex& join_index = *edge_indexes[*via_edge[cn_node]];
+    uint32_t other_cn = edge.a == cn_node ? edge.b : edge.a;
+    bool this_is_a = edge.a == cn_node;
+    bool this_referencing =
+        this_is_a ? edge.a_is_referencing : !edge.a_is_referencing;
+    uint32_t anchor = assignment[other_cn];
+    TupleId anchor_tuple = graph.TupleOf(anchor);
+
+    auto try_assign = [&](uint32_t tuple_node, uint32_t data_edge) {
+      if (!member_of(cn_node, tuple_node)) return;
+      // Distinct tuples across the network.
+      if (std::find(assignment.begin(), assignment.end(), tuple_node) !=
+          assignment.end()) {
+        return;
+      }
+      assignment[cn_node] = tuple_node;
+      used_edges.push_back(data_edge);
+      assign(pos + 1);
+      used_edges.pop_back();
+      assignment[cn_node] = UINT32_MAX;
+    };
+
+    if (!join_index.valid) return;
+    if (this_referencing) {
+      // The new node's tuples reference the anchor: walk the join index's
+      // parent->children CSR.
+      if (anchor_tuple.table != join_index.referenced_table) return;
+      for (uint32_t child_row : join_index.Children(anchor_tuple.row)) {
+        uint32_t child_node =
+            graph.NodeOf(TupleId{join_index.table, child_row});
+        auto data_edge = graph.OutEdge(child_node, edge.fk_index);
+        CLAKS_CHECK(data_edge.has_value());  // the index resolved this FK
+        try_assign(child_node, *data_edge);
+      }
+    } else {
+      // The anchor references the new node: one child->parent probe.
+      if (anchor_tuple.table != join_index.table) return;
+      uint32_t parent_row = join_index.parent_row[anchor_tuple.row];
+      if (parent_row == FkJoinIndex::kNoParent) return;
+      TupleId parent{join_index.referenced_table, parent_row};
+      if (parent.table == cn.nodes[cn_node].table) {
+        auto data_edge = graph.OutEdge(anchor, edge.fk_index);
+        CLAKS_CHECK(data_edge.has_value());
+        try_assign(graph.NodeOf(parent), *data_edge);
+      }
+    }
+  };
+  assign(0);
+
+  return std::vector<TupleTree>(results.begin(), results.end());
+}
+
+}  // namespace
+
+std::vector<TupleTree> EvaluateCandidateNetwork(
+    const DataGraph& graph, const CandidateNetwork& cn,
+    const std::map<TupleId, uint32_t>& masks, uint32_t num_keywords,
+    CnEvalStrategy strategy) {
+  return strategy == CnEvalStrategy::kIndexed
+             ? EvaluateCandidateNetworkIndexed(graph, cn, masks,
+                                               num_keywords)
+             : EvaluateCandidateNetworkScan(graph, cn, masks, num_keywords);
+}
+
 std::vector<TupleTree> DiscoverMtjnt(
     const DataGraph& graph, const SchemaGraph& schema_graph,
-    const std::vector<KeywordMatches>& matches, size_t tmax) {
+    const std::vector<KeywordMatches>& matches, size_t tmax,
+    CnEvalStrategy strategy) {
   if (matches.empty() || !AllKeywordsMatched(matches)) return {};
   auto masks = ComputeKeywordMasks(matches);
   uint32_t num_keywords = static_cast<uint32_t>(matches.size());
@@ -512,8 +677,8 @@ std::vector<TupleTree> DiscoverMtjnt(
                                        num_keywords, tmax);
   std::set<TupleTree> all;
   for (const CandidateNetwork& cn : cns) {
-    for (TupleTree& tree :
-         EvaluateCandidateNetwork(graph, cn, masks, num_keywords)) {
+    for (TupleTree& tree : EvaluateCandidateNetwork(graph, cn, masks,
+                                                    num_keywords, strategy)) {
       all.insert(std::move(tree));
     }
   }

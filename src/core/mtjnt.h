@@ -131,19 +131,35 @@ std::vector<CandidateNetwork> GenerateCandidateNetworks(
     const std::vector<std::vector<uint32_t>>& masks_per_table,
     uint32_t num_keywords, size_t tmax);
 
+/// How EvaluateCandidateNetwork finds the tuples joining a CN edge.
+enum class CnEvalStrategy {
+  /// Per-FK hash join indexes (Database::JoinParent / JoinChildren): each
+  /// join step is an O(1) index probe plus its matching child range. The
+  /// production path.
+  kIndexed,
+  /// The seed nested-loop evaluation: per-node table scans and linear
+  /// candidate-membership checks. Kept as the reference implementation for
+  /// equivalence tests (tests/join_index_test.cc) and as the baseline the
+  /// scale benchmark (bench/bench_scale.cc) measures speedups against.
+  kScan,
+};
+
 /// Evaluates one CN against the data: every assignment of distinct tuples
 /// to CN nodes that respects tuple-set membership and the CN's join edges.
 /// Results are filtered to MTJNTs (total + minimal; CN-level conditions do
-/// not always guarantee tuple-level minimality).
+/// not always guarantee tuple-level minimality). Both strategies return
+/// identical results; kIndexed never scans a table.
 std::vector<TupleTree> EvaluateCandidateNetwork(
     const DataGraph& graph, const CandidateNetwork& cn,
-    const std::map<TupleId, uint32_t>& masks, uint32_t num_keywords);
+    const std::map<TupleId, uint32_t>& masks, uint32_t num_keywords,
+    CnEvalStrategy strategy = CnEvalStrategy::kIndexed);
 
 /// Full DISCOVER pipeline: masks -> CN generation -> evaluation ->
 /// deduplicated MTJNTs. Equivalent to EnumerateMtjnt (tested).
 std::vector<TupleTree> DiscoverMtjnt(
     const DataGraph& graph, const SchemaGraph& schema_graph,
-    const std::vector<KeywordMatches>& matches, size_t tmax);
+    const std::vector<KeywordMatches>& matches, size_t tmax,
+    CnEvalStrategy strategy = CnEvalStrategy::kIndexed);
 
 }  // namespace claks
 

@@ -10,6 +10,14 @@
 // Length order is compatible with the kRdbLength policy directly, and a
 // bounded reorder buffer upgrades it to any policy whose primary key is
 // monotone in RDB length (see StreamTopK).
+//
+// Entry points: construct a ConnectionStream over data-graph node sets
+// (sources/targets as returned by the matcher, mapped through
+// DataGraph::NodeOf) and pull with Next(), or use StreamTopK for the
+// collect-first-k convenience. Expansion iterates the CSR adjacency spans
+// of graph/data_graph.h; `expansions()` is the work metric the tests and
+// benchmarks assert on. Not yet dispatched to by KeywordSearchEngine —
+// candidates for a streaming search mode should start here.
 
 #ifndef CLAKS_CORE_TOPK_H_
 #define CLAKS_CORE_TOPK_H_

@@ -2,6 +2,7 @@
 
 #include "datasets/company_gen.h"
 
+#include <algorithm>
 #include <set>
 
 #include "common/macros.h"
@@ -87,6 +88,12 @@ ERSchema CompanyGenErSchema() {
 }
 
 }  // namespace
+
+CompanyGenOptions CompanyGenOptions::AtScale(size_t factor) {
+  CompanyGenOptions options;
+  options.num_departments *= std::max<size_t>(factor, 1);
+  return options;
+}
 
 Result<GeneratedDataset> GenerateCompanyDataset(
     const CompanyGenOptions& options) {

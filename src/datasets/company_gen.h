@@ -26,6 +26,13 @@ struct CompanyGenOptions {
   /// Probability an employee has 1..3 dependents.
   double dependent_probability = 0.3;
   uint64_t seed = 42;
+
+  /// Options scaled `factor`x from the defaults: the department count
+  /// grows linearly while per-department sizes stay fixed, so total rows
+  /// and FK edges scale linearly with `factor`. The scale benchmark
+  /// (bench/bench_scale.cc) and the join-index regression tests use these
+  /// rungs; factor 0 is treated as 1.
+  static CompanyGenOptions AtScale(size_t factor);
 };
 
 struct GeneratedDataset {

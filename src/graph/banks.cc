@@ -23,20 +23,23 @@ struct Expansion {
   std::vector<uint32_t> source;        // which keyword node we came from
 };
 
-double EdgeWeight(const DataGraph& graph, const DataAdjacency& adj,
-                  BanksWeightModel model) {
-  switch (model) {
-    case BanksWeightModel::kUniform:
-      return 1.0;
-    case BanksWeightModel::kDegreePenalized:
-      return 1.0 + std::log(1.0 + static_cast<double>(
-                                      graph.Degree(adj.neighbor)));
+// Cost of entering each node, precomputed once per search so the Dijkstra
+// inner loop over the CSR adjacency pays no log() per relaxation.
+std::vector<double> NodeEntryWeights(const DataGraph& graph,
+                                     BanksWeightModel model) {
+  std::vector<double> weights(graph.num_nodes(), 1.0);
+  if (model == BanksWeightModel::kDegreePenalized) {
+    for (uint32_t v = 0; v < graph.num_nodes(); ++v) {
+      weights[v] =
+          1.0 + std::log(1.0 + static_cast<double>(graph.Degree(v)));
+    }
   }
-  return 1.0;
+  return weights;
 }
 
 // Multi-source Dijkstra from every node of one keyword set.
 Expansion Expand(const DataGraph& graph, const std::vector<uint32_t>& set,
+                 const std::vector<double>& entry_weights,
                  const BanksOptions& options) {
   Expansion exp;
   exp.dist.assign(graph.num_nodes(), kInf);
@@ -61,7 +64,7 @@ Expansion Expand(const DataGraph& graph, const std::vector<uint32_t>& set,
     if (d > exp.dist[node]) continue;
     if (d >= max_dist) continue;
     for (const DataAdjacency& adj : graph.Neighbors(node)) {
-      double nd = d + EdgeWeight(graph, adj, options.weight_model);
+      double nd = d + entry_weights[adj.neighbor];
       if (nd < exp.dist[adj.neighbor]) {
         exp.dist[adj.neighbor] = nd;
         exp.parent[adj.neighbor] = node;
@@ -85,10 +88,12 @@ std::vector<AnswerTree> BanksBackwardSearch(
     if (set.empty()) return {};
   }
 
+  std::vector<double> entry_weights =
+      NodeEntryWeights(graph, options.weight_model);
   std::vector<Expansion> expansions;
   expansions.reserve(keyword_node_sets.size());
   for (const auto& set : keyword_node_sets) {
-    expansions.push_back(Expand(graph, set, options));
+    expansions.push_back(Expand(graph, set, entry_weights, options));
   }
 
   // Candidate roots: reached by every expansion.

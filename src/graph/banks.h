@@ -12,6 +12,8 @@
 // TupleTrees and runs them through the same association analysis and
 // ranking as every other method. Tuning knobs (top_k, edge-weight model,
 // expansion radius) live in BanksOptions, embedded in SearchOptions.
+// The expansions iterate the CSR adjacency spans of graph/data_graph.h
+// with per-node entry weights precomputed once per search.
 
 #ifndef CLAKS_GRAPH_BANKS_H_
 #define CLAKS_GRAPH_BANKS_H_

@@ -2,6 +2,7 @@
 
 #include "graph/data_graph.h"
 
+#include <algorithm>
 #include <deque>
 
 #include "common/macros.h"
@@ -11,32 +12,68 @@ namespace claks {
 
 DataGraph::DataGraph(const Database* db) : db_(db) {
   CLAKS_CHECK(db_ != nullptr);
-  // Dense node ids: table-major, row-minor.
+  // Dense node ids: table-major, row-minor. table_offsets_[t] is the node
+  // id of row 0 of table t, so NodeOf is arithmetic.
+  table_offsets_.reserve(db_->num_tables() + 1);
+  table_offsets_.push_back(0);
   for (uint32_t t = 0; t < db_->num_tables(); ++t) {
+    table_offsets_.push_back(
+        table_offsets_.back() +
+        static_cast<uint32_t>(db_->table(t).num_rows()));
     for (uint32_t r = 0; r < db_->table(t).num_rows(); ++r) {
-      TupleId id{t, r};
-      tuple_to_node_.emplace(id.Pack(),
-                             static_cast<uint32_t>(node_to_tuple_.size()));
-      node_to_tuple_.push_back(id);
+      node_to_tuple_.push_back(TupleId{t, r});
     }
   }
-  adjacency_.resize(node_to_tuple_.size());
-  for (const FkEdge& fk_edge : db_->ResolveAllFkEdges()) {
-    uint32_t from_node = NodeOf(fk_edge.from);
-    uint32_t to_node = NodeOf(fk_edge.to);
-    uint32_t edge_index = static_cast<uint32_t>(edges_.size());
+
+  // Edges come from the join-index cache; the (table, row, fk) order means
+  // edges sharing a `from` node are consecutive and ascending in fk.
+  const std::vector<FkEdge>& fk_edges = db_->ResolveAllFkEdges();
+  edges_.reserve(fk_edges.size());
+  for (const FkEdge& fk_edge : fk_edges) {
     edges_.push_back(DataEdge{fk_edge.from, fk_edge.to, fk_edge.fk_index});
-    adjacency_[from_node].push_back(
-        DataAdjacency{edge_index, to_node, true});
-    adjacency_[to_node].push_back(
-        DataAdjacency{edge_index, from_node, false});
+  }
+
+  // Out-edge offsets: count per from-node, prefix-sum.
+  out_edge_offsets_.assign(num_nodes() + 1, 0);
+  for (const DataEdge& edge : edges_) {
+    ++out_edge_offsets_[NodeOf(edge.from) + 1];
+  }
+  for (size_t n = 1; n < out_edge_offsets_.size(); ++n) {
+    out_edge_offsets_[n] += out_edge_offsets_[n - 1];
+  }
+
+  // Undirected adjacency CSR. Two passes: degree count, then a cursor fill
+  // in edge order — per-node entries end up ordered exactly as the old
+  // vector-of-vectors push_back build (ascending edge index, referencing
+  // side first for self-links).
+  adjacency_offsets_.assign(num_nodes() + 1, 0);
+  for (const DataEdge& edge : edges_) {
+    ++adjacency_offsets_[NodeOf(edge.from) + 1];
+    ++adjacency_offsets_[NodeOf(edge.to) + 1];
+  }
+  for (size_t n = 1; n < adjacency_offsets_.size(); ++n) {
+    adjacency_offsets_[n] += adjacency_offsets_[n - 1];
+  }
+  adjacency_.resize(adjacency_offsets_.back());
+  std::vector<uint32_t> cursor(adjacency_offsets_.begin(),
+                               adjacency_offsets_.end() - 1);
+  for (uint32_t e = 0; e < edges_.size(); ++e) {
+    uint32_t from_node = NodeOf(edges_[e].from);
+    uint32_t to_node = NodeOf(edges_[e].to);
+    adjacency_[cursor[from_node]++] = DataAdjacency{e, to_node, true};
+    adjacency_[cursor[to_node]++] = DataAdjacency{e, from_node, false};
   }
 }
 
 uint32_t DataGraph::NodeOf(TupleId tuple) const {
-  auto it = tuple_to_node_.find(tuple.Pack());
-  CLAKS_CHECK(it != tuple_to_node_.end());
-  return it->second;
+  // Bounds come from the offsets captured at construction, not the live
+  // database: a row inserted after the build must fail fast here, not
+  // alias the next table's first node.
+  CLAKS_CHECK_LT(static_cast<size_t>(tuple.table) + 1,
+                 table_offsets_.size());
+  CLAKS_CHECK_LT(tuple.row, table_offsets_[tuple.table + 1] -
+                                table_offsets_[tuple.table]);
+  return table_offsets_[tuple.table] + tuple.row;
 }
 
 TupleId DataGraph::TupleOf(uint32_t node) const {
@@ -49,23 +86,48 @@ const DataEdge& DataGraph::edge(uint32_t edge_index) const {
   return edges_[edge_index];
 }
 
-const std::vector<DataAdjacency>& DataGraph::Neighbors(uint32_t node) const {
-  CLAKS_CHECK_LT(node, adjacency_.size());
-  return adjacency_[node];
+Span<DataAdjacency> DataGraph::Neighbors(uint32_t node) const {
+  CLAKS_CHECK_LT(node, num_nodes());
+  return Span<DataAdjacency>(
+      adjacency_.data() + adjacency_offsets_[node],
+      adjacency_offsets_[node + 1] - adjacency_offsets_[node]);
+}
+
+Span<DataEdge> DataGraph::OutEdges(uint32_t node) const {
+  CLAKS_CHECK_LT(node, num_nodes());
+  return Span<DataEdge>(edges_.data() + out_edge_offsets_[node],
+                        out_edge_offsets_[node + 1] - out_edge_offsets_[node]);
+}
+
+uint32_t DataGraph::FirstOutEdge(uint32_t node) const {
+  CLAKS_CHECK_LT(node, num_nodes());
+  return out_edge_offsets_[node];
+}
+
+std::optional<uint32_t> DataGraph::OutEdge(uint32_t node,
+                                           uint32_t fk_index) const {
+  Span<DataEdge> out = OutEdges(node);
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out[i].fk_index == fk_index) return out_edge_offsets_[node] + i;
+  }
+  return std::nullopt;
 }
 
 size_t DataGraph::MaxDegree() const {
   size_t max_degree = 0;
-  for (const auto& adj : adjacency_) {
-    max_degree = std::max(max_degree, adj.size());
+  for (uint32_t n = 0; n < num_nodes(); ++n) {
+    max_degree = std::max(
+        max_degree,
+        static_cast<size_t>(adjacency_offsets_[n + 1] -
+                            adjacency_offsets_[n]));
   }
   return max_degree;
 }
 
 double DataGraph::AvgDegree() const {
-  if (adjacency_.empty()) return 0.0;
+  if (num_nodes() == 0) return 0.0;
   return 2.0 * static_cast<double>(edges_.size()) /
-         static_cast<double>(adjacency_.size());
+         static_cast<double>(num_nodes());
 }
 
 size_t DataGraph::CountConnectedComponents() const {
@@ -79,7 +141,7 @@ size_t DataGraph::CountConnectedComponents() const {
     while (!queue.empty()) {
       uint32_t cur = queue.front();
       queue.pop_front();
-      for (const DataAdjacency& adj : adjacency_[cur]) {
+      for (const DataAdjacency& adj : Neighbors(cur)) {
         if (!seen[adj.neighbor]) {
           seen[adj.neighbor] = true;
           queue.push_back(adj.neighbor);

@@ -3,6 +3,19 @@
 // Data graph: one node per tuple, one undirected edge per foreign-key
 // instance link. Every "connection of tuples" the paper discusses is a
 // subgraph of this graph.
+//
+// Storage is a compact CSR (compressed sparse row): node ids are dense
+// uint32_t assigned table-major/row-minor, so NodeOf is pure arithmetic
+// over per-table offsets, and adjacency lists are ranges of one flat
+// array — cache-friendly iteration with no per-node allocations. Edges
+// come from the Database's cached FK-edge list (Database::ResolveAllFkEdges,
+// built once by the join-index step), so constructing the graph never
+// rescans tables.
+//
+// Entry points: the engine builds one DataGraph per database and every
+// search method (core/enumerator.h, core/mtjnt.h, core/topk.h,
+// graph/banks.h, graph/steiner.h, graph/traversal.h) traverses it via
+// Neighbors/OutEdges.
 
 #ifndef CLAKS_GRAPH_DATA_GRAPH_H_
 #define CLAKS_GRAPH_DATA_GRAPH_H_
@@ -10,9 +23,9 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/span.h"
 #include "relational/database.h"
 
 namespace claks {
@@ -38,8 +51,9 @@ struct DataAdjacency {
 /// Dense-node-id view of a database's tuples and FK links.
 class DataGraph {
  public:
-  /// Builds the graph over all tuples of `db`. The database must outlive
-  /// the graph.
+  /// Builds the graph over all tuples of `db`, triggering the database's
+  /// join-index build if it has not happened yet. The database must
+  /// outlive the graph.
   explicit DataGraph(const Database* db);
 
   const Database& database() const { return *db_; }
@@ -47,7 +61,8 @@ class DataGraph {
   size_t num_nodes() const { return node_to_tuple_.size(); }
   size_t num_edges() const { return edges_.size(); }
 
-  /// Node id of a tuple. Every tuple of the database has a node.
+  /// Node id of a tuple. Every tuple of the database has a node; O(1)
+  /// arithmetic (no hashing). CLAKS_CHECKs bounds.
   uint32_t NodeOf(TupleId tuple) const;
 
   /// Tuple addressed by a node id.
@@ -55,8 +70,21 @@ class DataGraph {
 
   const DataEdge& edge(uint32_t edge_index) const;
 
-  /// Edges incident to `node`, both directions, deterministic order.
-  const std::vector<DataAdjacency>& Neighbors(uint32_t node) const;
+  /// Edges incident to `node`, both directions, deterministic order (by
+  /// edge index; the referencing-side entry of a self-link comes first).
+  /// The span is a view into the CSR array — valid as long as the graph.
+  Span<DataAdjacency> Neighbors(uint32_t node) const;
+
+  /// Edges leaving `node` as the referencing side, ascending fk order —
+  /// its tuple's resolved foreign keys (NULL/dangling FKs absent). The
+  /// span views the contiguous slice of the edge array; the edge index of
+  /// entry i is FirstOutEdge(node) + i.
+  Span<DataEdge> OutEdges(uint32_t node) const;
+  uint32_t FirstOutEdge(uint32_t node) const;
+
+  /// Index of the edge leaving `node` along FK `fk_index` of its table,
+  /// or nullopt when that FK produced no edge (NULL or dangling).
+  std::optional<uint32_t> OutEdge(uint32_t node, uint32_t fk_index) const;
 
   size_t Degree(uint32_t node) const { return Neighbors(node).size(); }
 
@@ -72,9 +100,16 @@ class DataGraph {
  private:
   const Database* db_;
   std::vector<TupleId> node_to_tuple_;
-  std::unordered_map<uint64_t, uint32_t> tuple_to_node_;
+  std::vector<uint32_t> table_offsets_;  ///< first node id per table, +1
   std::vector<DataEdge> edges_;
-  std::vector<std::vector<DataAdjacency>> adjacency_;
+  // CSR adjacency: neighbors of node n are
+  // adjacency_[adjacency_offsets_[n] .. adjacency_offsets_[n+1]).
+  std::vector<uint32_t> adjacency_offsets_;
+  std::vector<DataAdjacency> adjacency_;
+  // Edges with `from` == node n occupy the contiguous slice
+  // edges_[out_edge_offsets_[n] .. out_edge_offsets_[n+1]) (edge order is
+  // table-major/row-minor/fk, matching node-id order).
+  std::vector<uint32_t> out_edge_offsets_;
 };
 
 }  // namespace claks

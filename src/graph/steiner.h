@@ -4,6 +4,12 @@
 // the BANKS family model an answer as a Steiner tree spanning the keyword
 // tuples; we provide the classic metric-closure 2-approximation as a
 // baseline and for tests.
+//
+// Entry point: ApproximateSteinerTree over data-graph node ids (one
+// terminal per keyword tuple). The BFS metric closure runs on the CSR
+// adjacency of graph/data_graph.h; tests use the result as a size bound
+// on the answer trees BANKS (graph/banks.h) produces. Uniform edge
+// weights — the weighted variant would reuse BanksWeightModel.
 
 #ifndef CLAKS_GRAPH_STEINER_H_
 #define CLAKS_GRAPH_STEINER_H_

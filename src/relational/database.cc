@@ -127,7 +127,129 @@ Status Database::CheckReferentialIntegrity() const {
   return Status::OK();
 }
 
-std::vector<FkEdge> Database::ResolveAllFkEdges() const {
+bool Database::JoinIndexesFresh() const {
+  if (!join_indexes_built_) return false;
+  if (indexed_row_counts_.size() != tables_.size()) return false;
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    if (indexed_row_counts_[t] != tables_[t]->num_rows()) return false;
+  }
+  return true;
+}
+
+void Database::BuildJoinIndexes() const {
+  if (JoinIndexesFresh()) return;
+  join_indexes_.assign(tables_.size(), {});
+  indexed_row_counts_.resize(tables_.size());
+
+  for (uint32_t t = 0; t < tables_.size(); ++t) {
+    const Table& tab = *tables_[t];
+    indexed_row_counts_[t] = tab.num_rows();
+    const auto& fks = tab.schema().foreign_keys();
+    join_indexes_[t].resize(fks.size());
+    for (uint32_t f = 0; f < fks.size(); ++f) {
+      const ForeignKeyDef& fk = fks[f];
+      FkJoinIndex& index = join_indexes_[t][f];
+      index.table = t;
+      index.fk_index = f;
+      index.parent_row.assign(tab.num_rows(), FkJoinIndex::kNoParent);
+
+      auto ref_index = TableIndex(fk.referenced_table);
+      std::vector<size_t> local_indices;
+      local_indices.reserve(fk.local_attributes.size());
+      bool resolved_attrs = true;
+      for (const auto& attr : fk.local_attributes) {
+        auto idx = tab.schema().AttributeIndex(attr);
+        if (!idx.has_value()) {
+          resolved_attrs = false;
+          break;
+        }
+        local_indices.push_back(*idx);
+      }
+      if (!ref_index.has_value() || !resolved_attrs) continue;
+      index.referenced_table = *ref_index;
+      index.valid = true;
+      const Table& referenced = *tables_[*ref_index];
+
+      // Child->parent: one hash probe per row.
+      for (uint32_t r = 0; r < tab.num_rows(); ++r) {
+        auto target = ResolveOneFk(tab.row(r), local_indices, referenced);
+        if (target.has_value()) {
+          index.parent_row[r] = static_cast<uint32_t>(*target);
+        }
+      }
+
+      // Parent->children CSR: count, prefix-sum, fill (rows ascending).
+      index.child_offsets.assign(referenced.num_rows() + 1, 0);
+      for (uint32_t parent : index.parent_row) {
+        if (parent != FkJoinIndex::kNoParent) {
+          ++index.child_offsets[parent + 1];
+        }
+      }
+      for (size_t p = 1; p < index.child_offsets.size(); ++p) {
+        index.child_offsets[p] += index.child_offsets[p - 1];
+      }
+      index.child_rows.resize(index.child_offsets.back());
+      std::vector<uint32_t> cursor(index.child_offsets.begin(),
+                                   index.child_offsets.end() - 1);
+      for (uint32_t r = 0; r < index.parent_row.size(); ++r) {
+        uint32_t parent = index.parent_row[r];
+        if (parent != FkJoinIndex::kNoParent) {
+          index.child_rows[cursor[parent]++] = r;
+        }
+      }
+    }
+  }
+
+  // Cached edge list in the canonical (table, row, fk) order.
+  all_fk_edges_.clear();
+  for (uint32_t t = 0; t < tables_.size(); ++t) {
+    const auto& indexes = join_indexes_[t];
+    for (uint32_t r = 0; r < tables_[t]->num_rows(); ++r) {
+      for (uint32_t f = 0; f < indexes.size(); ++f) {
+        const FkJoinIndex& index = indexes[f];
+        if (!index.valid || index.parent_row[r] == FkJoinIndex::kNoParent) {
+          continue;
+        }
+        all_fk_edges_.push_back(
+            FkEdge{TupleId{t, r},
+                   TupleId{index.referenced_table, index.parent_row[r]}, f});
+      }
+    }
+  }
+  join_indexes_built_ = true;
+}
+
+const FkJoinIndex& Database::JoinIndex(uint32_t table_index,
+                                       uint32_t fk_index) const {
+  BuildJoinIndexes();
+  CLAKS_CHECK_LT(table_index, join_indexes_.size());
+  CLAKS_CHECK_LT(fk_index, join_indexes_[table_index].size());
+  return join_indexes_[table_index][fk_index];
+}
+
+std::optional<TupleId> Database::JoinParent(TupleId child,
+                                            uint32_t fk_index) const {
+  const FkJoinIndex& index = JoinIndex(child.table, fk_index);
+  CLAKS_CHECK_LT(child.row, index.parent_row.size());
+  uint32_t parent = index.parent_row[child.row];
+  if (!index.valid || parent == FkJoinIndex::kNoParent) return std::nullopt;
+  return TupleId{index.referenced_table, parent};
+}
+
+Span<uint32_t> Database::JoinChildren(uint32_t child_table,
+                                      uint32_t fk_index,
+                                      TupleId parent) const {
+  const FkJoinIndex& index = JoinIndex(child_table, fk_index);
+  if (!index.valid || parent.table != index.referenced_table) return {};
+  return index.Children(parent.row);
+}
+
+const std::vector<FkEdge>& Database::ResolveAllFkEdges() const {
+  BuildJoinIndexes();
+  return all_fk_edges_;
+}
+
+std::vector<FkEdge> Database::ScanAllFkEdges() const {
   std::vector<FkEdge> edges;
   for (uint32_t t = 0; t < tables_.size(); ++t) {
     const Table& tab = *tables_[t];

@@ -2,7 +2,9 @@
 //
 // Database: a catalog of tables plus referential-integrity checking and
 // resolution of foreign-key instance edges (the raw material of the data
-// graph).
+// graph). Per-FK hash join indexes — built once, served from cache — give
+// O(1) child->parent and parent->children navigation so that query
+// evaluation never rescans tables.
 
 #ifndef CLAKS_RELATIONAL_DATABASE_H_
 #define CLAKS_RELATIONAL_DATABASE_H_
@@ -14,6 +16,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/span.h"
 #include "relational/table.h"
 
 namespace claks {
@@ -25,6 +28,35 @@ struct FkEdge {
   TupleId from;
   TupleId to;
   uint32_t fk_index = 0;
+};
+
+/// Precomputed join structure for one foreign key: both directions of the
+/// FK resolved once over the whole instance.
+///
+/// child->parent is a dense array (`parent_row[r]` = referenced row of
+/// child row r, kNoParent when the FK is NULL or dangling). parent->children
+/// is a CSR over the referenced table's rows: the children of parent row p
+/// are `child_rows[child_offsets[p] .. child_offsets[p+1])`, ascending.
+struct FkJoinIndex {
+  static constexpr uint32_t kNoParent = UINT32_MAX;
+
+  uint32_t table = 0;             ///< referencing (child) table index
+  uint32_t fk_index = 0;          ///< FK position within `table`'s schema
+  uint32_t referenced_table = 0;  ///< parent table index
+  /// False when the FK declaration cannot be resolved (missing referenced
+  /// table or attribute); such an index yields no parents and no children.
+  bool valid = false;
+
+  std::vector<uint32_t> parent_row;     ///< one slot per child row
+  std::vector<uint32_t> child_offsets;  ///< parent rows + 1 entries
+  std::vector<uint32_t> child_rows;     ///< grouped by parent, ascending
+
+  /// Child rows referencing parent row `parent` (empty when out of range).
+  Span<uint32_t> Children(size_t parent) const {
+    if (!valid || parent + 1 >= child_offsets.size()) return {};
+    return Span<uint32_t>(child_rows.data() + child_offsets[parent],
+                          child_offsets[parent + 1] - child_offsets[parent]);
+  }
 };
 
 /// An in-memory relational database.
@@ -61,9 +93,39 @@ class Database {
   /// row (NULL FK values are allowed and simply produce no edge).
   Status CheckReferentialIntegrity() const;
 
-  /// Materialises every foreign-key instance edge in the database. Order is
-  /// deterministic: by table, by row, by fk declaration order.
-  std::vector<FkEdge> ResolveAllFkEdges() const;
+  /// Builds (or refreshes) every per-FK join index and the cached FK edge
+  /// list. Idempotent while the instance is unchanged; the accessors below
+  /// call it lazily, and inserting rows or adding tables invalidates the
+  /// build (row counts are compared on access). Cost: one hash lookup per
+  /// (row, FK) pair, paid once instead of per query.
+  void BuildJoinIndexes() const;
+
+  /// True when the join indexes are built and match the current instance.
+  bool JoinIndexesFresh() const;
+
+  /// Join index of FK `fk_index` of table `table_index`. Builds lazily.
+  const FkJoinIndex& JoinIndex(uint32_t table_index,
+                               uint32_t fk_index) const;
+
+  /// Parent tuple referenced by `child` through FK `fk_index` of its
+  /// table; nullopt when the FK is NULL or dangling.
+  std::optional<TupleId> JoinParent(TupleId child, uint32_t fk_index) const;
+
+  /// Rows of `child_table` whose FK `fk_index` references `parent`. Empty
+  /// when `parent` is not a row of that FK's referenced table.
+  Span<uint32_t> JoinChildren(uint32_t child_table, uint32_t fk_index,
+                              TupleId parent) const;
+
+  /// Every foreign-key instance edge in the database, served from the
+  /// join-index cache (built lazily). Order is deterministic: by table, by
+  /// row, by fk declaration order. The reference remains valid until the
+  /// instance is mutated.
+  const std::vector<FkEdge>& ResolveAllFkEdges() const;
+
+  /// Uncached reference implementation of ResolveAllFkEdges: re-resolves
+  /// every FK by per-row hash probes. Kept for equivalence tests and as
+  /// the seed baseline in benchmarks; use ResolveAllFkEdges on hot paths.
+  std::vector<FkEdge> ScanAllFkEdges() const;
 
   /// Resolves the FK edges leaving one tuple (following each FK of its
   /// table). NULL-valued FKs yield no edge.
@@ -78,6 +140,14 @@ class Database {
  private:
   std::vector<std::unique_ptr<Table>> tables_;
   std::unordered_map<std::string, uint32_t> name_to_index_;
+
+  // Join-index cache. Mutable: building is a logically-const operation
+  // (tables are append-only; the cache tracks the indexed row counts and
+  // rebuilds when they drift).
+  mutable std::vector<std::vector<FkJoinIndex>> join_indexes_;  // [table][fk]
+  mutable std::vector<FkEdge> all_fk_edges_;
+  mutable std::vector<size_t> indexed_row_counts_;
+  mutable bool join_indexes_built_ = false;
 };
 
 }  // namespace claks

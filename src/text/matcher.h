@@ -3,6 +3,16 @@
 // Keyword query parsing and keyword-to-tuple matching. For a query
 // "Smith XML" the matcher produces, per keyword, the set of tuples whose
 // searchable text contains that keyword — the inputs of connection search.
+//
+// Entry points: ParseKeywordQuery (normalises through the index's
+// tokenizer, collapses duplicates) then MatchKeywords against the
+// inverted index (text/inverted_index.h). KeywordSearchEngine::Search
+// calls both on every query and feeds the KeywordMatches to the chosen
+// search method; core/mtjnt.h folds them into per-tuple keyword masks
+// (DISCOVER's R^S partition semantics), and text/scoring.h turns the
+// per-attribute hit counts into the text component of ranking. Keywords
+// with no matches yield empty entries — AND/OR semantics stay with the
+// caller (SearchOptions::require_all_keywords).
 
 #ifndef CLAKS_TEXT_MATCHER_H_
 #define CLAKS_TEXT_MATCHER_H_
