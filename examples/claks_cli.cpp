@@ -11,10 +11,10 @@
 //   --dataset=paper|company|full|bibliography|movies   built-in data
 //   --db=DIR            load a persisted database instead
 //   --query=TEXT        keywords (required)
-//   --method=enumerate|mtjnt|discover|banks            (default enumerate)
+//   --method=enumerate|stream|mtjnt|discover|banks     (default enumerate)
 //   --ranker=rdb-length|er-length|close-first|loose-penalty|
 //            instance-close|combined|ambiguity|more-context
-//   --depth=N           max FK edges for enumerate (default 4)
+//   --depth=N           max FK edges for enumerate/stream (default 4)
 //   --tmax=N            max tuples for mtjnt/discover (default 5)
 //   --top=N             result cap (default 10)
 //   --explain           print a natural-language reading per hit
@@ -190,7 +190,8 @@ int main(int argc, char** argv) {
       {"enumerate", claks::SearchMethod::kEnumerate},
       {"mtjnt", claks::SearchMethod::kMtjnt},
       {"discover", claks::SearchMethod::kDiscover},
-      {"banks", claks::SearchMethod::kBanks}};
+      {"banks", claks::SearchMethod::kBanks},
+      {"stream", claks::SearchMethod::kStream}};
   const std::map<std::string, claks::RankerKind> kRankers = {
       {"rdb-length", claks::RankerKind::kRdbLength},
       {"er-length", claks::RankerKind::kErLength},

@@ -4,9 +4,12 @@
 
 #include <algorithm>
 #include <deque>
+#include <numeric>
 
+#include "common/logging.h"
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "core/topk.h"
 #include "graph/traversal.h"
 
 namespace claks {
@@ -21,6 +24,8 @@ const char* SearchMethodToString(SearchMethod method) {
       return "discover";
     case SearchMethod::kBanks:
       return "banks";
+    case SearchMethod::kStream:
+      return "stream";
   }
   return "?";
 }
@@ -133,6 +138,104 @@ NodePath TreePathBetween(const DataGraph& graph, const TupleTree& tree,
   }
   path.steps.assign(reversed.rbegin(), reversed.rend());
   return path;
+}
+
+// Extra answers requested from BANKS beyond options.top_k: BANKS orders by
+// its internal tree weight, which need not agree with options.ranker, so
+// truncation to k must happen only after the engine re-ranks. The margin
+// absorbs rank disagreements near the cut.
+constexpr size_t kBanksOverfetchMargin = 16;
+
+// Grouping key for SearchOptions::per_endpoint_limit. Path-shaped hits
+// group by their unordered endpoint pair; non-path trees group by their
+// full sorted keyword-tuple set — two distinct trees sharing only the
+// min/max ids of their sorted node lists must not collide.
+std::vector<uint64_t> EndpointGroupKey(
+    const SearchHit& hit, const DataGraph& graph,
+    const std::map<TupleId, std::string>& keyword_of) {
+  if (hit.connection.has_value()) {
+    uint64_t a = hit.connection->front().Pack();
+    uint64_t b = hit.connection->back().Pack();
+    if (a > b) std::swap(a, b);
+    return {a, b};
+  }
+  std::vector<uint64_t> key;
+  for (uint32_t node : hit.tree.nodes) {
+    TupleId tuple = graph.TupleOf(node);
+    if (keyword_of.count(tuple) > 0) key.push_back(tuple.Pack());
+  }
+  if (key.empty()) {
+    // Defensive: a tree with no labelled keyword tuple groups by its full
+    // node set (exact repeats only).
+    for (uint32_t node : hit.tree.nodes) {
+      key.push_back(graph.TupleOf(node).Pack());
+    }
+  }
+  std::sort(key.begin(), key.end());
+  return key;
+}
+
+// Canonical tree form of a data-graph path: sorted node ids + sorted edge
+// indices. Both the enumerate and the stream path build hits through this
+// helper, so their results stay structurally identical by construction.
+TupleTree CanonicalTree(const NodePath& path) {
+  TupleTree tree;
+  tree.nodes = path.Nodes();
+  std::sort(tree.nodes.begin(), tree.nodes.end());
+  for (const DataAdjacency& step : path.steps) {
+    tree.edge_indices.push_back(step.edge_index);
+  }
+  std::sort(tree.edge_indices.begin(), tree.edge_indices.end());
+  return tree;
+}
+
+// The settled-k predicate of the streaming search: the smallest RDB length
+// L such that no future connection (every one has length >= L, by stream
+// order) can rank strictly better than the current provisional top-k. The
+// provisional top-k is computed over the collected candidates after the
+// per-endpoint cap, so grouping is honoured incrementally. Returns
+// ConnectionStream::kNoStopLength while the top-k is not yet settled;
+// `bar` receives the k-th surviving key when one exists (the caller skips
+// the recompute for arrivals that cannot lower it).
+size_t SettleLength(const std::vector<std::vector<double>>& keys,
+                    const std::vector<std::vector<uint64_t>>& groups,
+                    const SearchOptions& options,
+                    std::vector<double>* bar) {
+  bar->clear();
+  if (keys.size() < options.top_k) return ConnectionStream::kNoStopLength;
+  // Provisional ranking: stable order on keys (arrival order breaks ties,
+  // matching the final stable sort over the same arrival order).
+  std::vector<size_t> order(keys.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return keys[a] < keys[b];
+  });
+  // The k-th surviving key is the bar a future connection would have to
+  // beat; a future arrival never evicts a survivor because grouping keeps
+  // each group's best and future keys are no better than the bar.
+  std::map<std::vector<uint64_t>, size_t> group_counts;
+  const std::vector<double>* kth = nullptr;
+  size_t survivors = 0;
+  for (size_t idx : order) {
+    if (options.per_endpoint_limit != 0) {
+      size_t& count = group_counts[groups[idx]];
+      if (count >= options.per_endpoint_limit) continue;
+      ++count;
+    }
+    if (++survivors == options.top_k) {
+      kth = &keys[idx];
+      break;
+    }
+  }
+  if (kth == nullptr) return ConnectionStream::kNoStopLength;
+  *bar = *kth;
+  // MinSortKeyAtLength is nondecreasing in length, so the first length
+  // whose bound reaches the bar is the stop bound. Beyond max_rdb_edges
+  // the stream is exhausted anyway.
+  for (size_t length = 0; length <= options.max_rdb_edges; ++length) {
+    if (!(MinSortKeyAtLength(options.ranker, length) < *kth)) return length;
+  }
+  return ConnectionStream::kNoStopLength;
 }
 
 size_t KindSeverity(AssociationKind kind) {
@@ -292,8 +395,16 @@ Result<SearchResult> KeywordSearchEngine::Search(
     result.query.keywords = std::move(kept_keywords);
   }
 
+  if (options.method == SearchMethod::kStream &&
+      result.query.keywords.size() != 1) {
+    return StreamSearch(std::move(result), options);
+  }
+
   std::vector<TupleTree> trees;
   switch (options.method) {
+    // A 1-keyword kStream query degenerates to kEnumerate's single-node
+    // hits: there is nothing to stream.
+    case SearchMethod::kStream:
     case SearchMethod::kEnumerate: {
       if (result.query.keywords.size() == 1) {
         for (const TupleMatch& m : result.matches[0].matches) {
@@ -327,13 +438,7 @@ Result<SearchResult> KeywordSearchEngine::Search(
                          const std::vector<uint32_t>& to) {
         for (const NodePath& path : EnumerateSimplePathsBetweenSets(
                  *data_graph_, from, to, options.max_rdb_edges)) {
-          TupleTree tree;
-          tree.nodes = path.Nodes();
-          std::sort(tree.nodes.begin(), tree.nodes.end());
-          for (const DataAdjacency& step : path.steps) {
-            tree.edge_indices.push_back(step.edge_index);
-          }
-          std::sort(tree.edge_indices.begin(), tree.edge_indices.end());
+          TupleTree tree = CanonicalTree(path);
           if (seen.insert(tree).second) trees.push_back(std::move(tree));
         }
       };
@@ -358,7 +463,13 @@ Result<SearchResult> KeywordSearchEngine::Search(
         keyword_node_sets.push_back(std::move(nodes));
       }
       BanksOptions banks = options.banks;
-      if (options.top_k != 0) banks.top_k = options.top_k;
+      if (options.top_k != 0) {
+        // Over-fetch: truncation to options.top_k happens only after the
+        // engine re-ranks with options.ranker, so hits BANKS's internal
+        // weight ranks low are not pre-dropped.
+        banks.top_k =
+            std::max(options.top_k, banks.top_k) + kBanksOverfetchMargin;
+      }
       for (const AnswerTree& answer :
            BanksBackwardSearch(*data_graph_, keyword_node_sets, banks)) {
         TupleTree tree;
@@ -385,46 +496,110 @@ Result<SearchResult> KeywordSearchEngine::Search(
     result.hits.push_back(std::move(hit));
   }
 
+  RankGroupTruncate(&result, options);
+  return result;
+}
+
+void KeywordSearchEngine::RankGroupTruncate(
+    SearchResult* result, const SearchOptions& options) const {
   std::unique_ptr<Ranker> ranker = MakeRanker(options.ranker);
   CLAKS_CHECK(ranker != nullptr);
   std::vector<RankInput> inputs;
-  inputs.reserve(result.hits.size());
-  for (const SearchHit& hit : result.hits) {
+  inputs.reserve(result->hits.size());
+  for (const SearchHit& hit : result->hits) {
     inputs.push_back(hit.ToRankInput());
   }
   std::vector<size_t> order = RankOrder(inputs, *ranker);
   std::vector<SearchHit> ranked;
-  ranked.reserve(result.hits.size());
-  for (size_t idx : order) ranked.push_back(std::move(result.hits[idx]));
-  result.hits = std::move(ranked);
+  ranked.reserve(result->hits.size());
+  for (size_t idx : order) ranked.push_back(std::move(result->hits[idx]));
+  result->hits = std::move(ranked);
 
   if (options.per_endpoint_limit != 0) {
-    // Keep at most N hits per unordered endpoint pair (rank order is
-    // already established, so survivors are each group's best).
-    std::map<std::pair<uint64_t, uint64_t>, size_t> group_counts;
+    // Keep at most N hits per endpoint group (rank order is already
+    // established, so survivors are each group's best).
+    std::map<std::vector<uint64_t>, size_t> group_counts;
     std::vector<SearchHit> diverse;
-    for (SearchHit& hit : result.hits) {
-      std::pair<uint64_t, uint64_t> key;
-      if (hit.connection.has_value()) {
-        uint64_t a = hit.connection->front().Pack();
-        uint64_t b = hit.connection->back().Pack();
-        key = std::minmax(a, b);
-      } else {
-        // Trees group by their full sorted keyword-node set; collapse only
-        // exact repeats.
-        key = {hit.tree.nodes.empty() ? 0 : hit.tree.nodes.front(),
-               hit.tree.nodes.empty() ? 0 : hit.tree.nodes.back()};
-      }
+    for (SearchHit& hit : result->hits) {
+      std::vector<uint64_t> key =
+          EndpointGroupKey(hit, *data_graph_, result->keyword_of);
       if (++group_counts[key] <= options.per_endpoint_limit) {
         diverse.push_back(std::move(hit));
       }
     }
-    result.hits = std::move(diverse);
+    result->hits = std::move(diverse);
   }
 
-  if (options.top_k != 0 && result.hits.size() > options.top_k) {
-    result.hits.resize(options.top_k);
+  if (options.top_k != 0 && result->hits.size() > options.top_k) {
+    result->hits.resize(options.top_k);
   }
+}
+
+Result<SearchResult> KeywordSearchEngine::StreamSearch(
+    SearchResult result, const SearchOptions& options) const {
+  if (result.query.keywords.size() != 2) {
+    return Status::InvalidArgument(
+        "SearchMethod::kStream supports 1 or 2 keywords; use "
+        "kMtjnt/kDiscover/kBanks for more");
+  }
+
+  std::vector<uint32_t> sources;
+  for (const TupleMatch& m : result.matches[0].matches) {
+    sources.push_back(data_graph_->NodeOf(m.tuple));
+  }
+  std::vector<uint32_t> targets;
+  for (const TupleMatch& m : result.matches[1].matches) {
+    targets.push_back(data_graph_->NodeOf(m.tuple));
+  }
+  // Both keyword directions interleaved with tree-level dedup: a
+  // one-directional stream stops paths at the first target tuple, so
+  // connections whose interior contains a source-keyword tuple are only
+  // found from the other side (kEnumerate runs both directions for the
+  // same reason).
+  ConnectionStream stream = ConnectionStream::Bidirectional(
+      data_graph_.get(), sources, targets, options.max_rdb_edges);
+
+  std::unique_ptr<Ranker> ranker = MakeRanker(options.ranker);
+  CLAKS_CHECK(ranker != nullptr);
+  const bool try_settle =
+      options.top_k != 0 &&
+      RankerMonotonicity(options.ranker) != RankMonotonicity::kNone;
+  if (options.top_k != 0 && !try_settle) {
+    CLAKS_LOG(Warning)
+        << "kStream: ranker '" << RankerKindToString(options.ranker)
+        << "' has no length-monotone sort key; draining the full result "
+           "space before ranking";
+  }
+
+  // The candidates collected so far are the reorder buffer; keys/groups
+  // feed the settle predicate (and are only maintained when it can fire).
+  std::vector<std::vector<double>> keys;
+  std::vector<std::vector<uint64_t>> groups;
+  std::vector<double> bar;  // k-th surviving key; empty until one exists
+  size_t stop_length = ConnectionStream::kNoStopLength;
+  while (true) {
+    std::optional<NodePath> path = stream.NextPath(stop_length);
+    if (!path.has_value()) break;
+    CLAKS_ASSIGN_OR_RETURN(
+        SearchHit hit,
+        MakeHit(CanonicalTree(*path), result.matches, result.keyword_of,
+                options));
+    if (try_settle) {
+      std::vector<double> key = ranker->SortKey(hit.ToRankInput());
+      // An arrival that does not beat the current bar sorts after the
+      // first k survivors and cannot lower it — skip the recompute.
+      bool recompute = bar.empty() || key < bar;
+      keys.push_back(std::move(key));
+      groups.push_back(options.per_endpoint_limit != 0
+                           ? EndpointGroupKey(hit, *data_graph_,
+                                              result.keyword_of)
+                           : std::vector<uint64_t>());
+      if (recompute) stop_length = SettleLength(keys, groups, options, &bar);
+    }
+    result.hits.push_back(std::move(hit));
+  }
+  result.expansions = stream.expansions();
+  RankGroupTruncate(&result, options);
   return result;
 }
 

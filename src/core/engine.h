@@ -35,6 +35,17 @@ enum class SearchMethod {
   kDiscover,
   /// BANKS backward expanding search (top-k answer trees).
   kBanks,
+  /// Streaming top-k over the kEnumerate result space (1 or 2 keywords):
+  /// connections are pulled lazily in nondecreasing RDB-length order
+  /// (core/topk.h, both keyword directions interleaved with tree-level
+  /// dedup), analysed on arrival, and the pull stops as soon as the top-k
+  /// under `ranker` is provably settled. Exact for kRdbLength; exact via a
+  /// bounded reorder buffer for every ranker whose key is length-monotone
+  /// (RankerMonotonicity in core/ranking.h); falls back to a full drain
+  /// with a logged warning otherwise. With top_k == 0 this is a lazy
+  /// drop-in for kEnumerate (same hits, same ranking keys; ranking-key
+  /// ties may order differently).
+  kStream,
 };
 
 const char* SearchMethodToString(SearchMethod method);
@@ -56,10 +67,11 @@ struct SearchOptions {
   /// With OR semantics the unmatched keywords are dropped and the query
   /// runs over the remaining ones.
   bool require_all_keywords = true;
-  /// When > 0, keep at most this many hits per unordered endpoint pair
-  /// (after ranking). The paper notes a longer connection's association can
-  /// be "implicitly visible" in shorter ones between the same tuples (§3);
-  /// this collapses such groups.
+  /// When > 0, keep at most this many hits per endpoint group (after
+  /// ranking): path hits group by their unordered endpoint pair, non-path
+  /// trees by their full keyword-tuple set. The paper notes a longer
+  /// connection's association can be "implicitly visible" in shorter ones
+  /// between the same tuples (§3); this collapses such groups.
   size_t per_endpoint_limit = 0;
   BanksOptions banks;
 };
@@ -102,6 +114,12 @@ struct SearchResult {
   /// Keyword(s) matched by each tuple, for display.
   std::map<TupleId, std::string> keyword_of;
 
+  /// Work metric of SearchMethod::kStream: partial paths expanded by the
+  /// connection stream (ConnectionStream::expansions). 0 for the other
+  /// methods. The scale benchmarks compare this against a full drain to
+  /// measure how much work early termination saved.
+  size_t expansions = 0;
+
   std::string ToString(const Database& db, size_t max_hits = 20) const;
 };
 
@@ -138,6 +156,17 @@ class KeywordSearchEngine {
                             const std::vector<KeywordMatches>& matches,
                             const std::map<TupleId, std::string>& keyword_of,
                             const SearchOptions& options) const;
+
+  /// The SearchMethod::kStream path: pulls connections lazily and stops
+  /// once the top-k is settled. `result` arrives with query/matches/
+  /// keyword_of filled.
+  Result<SearchResult> StreamSearch(SearchResult result,
+                                    const SearchOptions& options) const;
+
+  /// Shared result tail: rank by options.ranker, apply per_endpoint_limit
+  /// (keeping each group's best), truncate to top_k.
+  void RankGroupTruncate(SearchResult* result,
+                         const SearchOptions& options) const;
 
   const Database* db_ = nullptr;
   std::unique_ptr<ERSchema> er_schema_;

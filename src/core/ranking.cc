@@ -45,6 +45,50 @@ const char* RankerKindToString(RankerKind kind) {
   return "?";
 }
 
+RankMonotonicity RankerMonotonicity(RankerKind kind) {
+  switch (kind) {
+    case RankerKind::kRdbLength:
+      return RankMonotonicity::kExact;
+    case RankerKind::kErLength:
+    case RankerKind::kCloseFirst:
+    case RankerKind::kLoosePenalty:
+    case RankerKind::kInstanceClose:
+    case RankerKind::kAmbiguity:
+      return RankMonotonicity::kMonotone;
+    case RankerKind::kCombined:     // text score is unrelated to length
+    case RankerKind::kMoreContext:  // longer-first: anti-monotone
+      return RankMonotonicity::kNone;
+  }
+  return RankMonotonicity::kNone;
+}
+
+std::vector<double> MinSortKeyAtLength(RankerKind kind, size_t length) {
+  double rdb = static_cast<double>(length);
+  // An ER step projects at most two RDB edges (a full middle-relation
+  // traversal); partial and 1:N steps project one.
+  double er = static_cast<double>((length + 1) / 2);
+  switch (kind) {
+    case RankerKind::kRdbLength:
+      return {rdb};
+    case RankerKind::kErLength:
+      return {er, rdb};
+    case RankerKind::kCloseFirst:
+    case RankerKind::kLoosePenalty:
+      // hub_patterns (resp. hubs + nm_steps) can be 0 at any length.
+      return {0.0, er, rdb};
+    case RankerKind::kInstanceClose:
+      return {0.0, 0.0, er, rdb};
+    case RankerKind::kAmbiguity:
+      // Per-step fan-out factors are clamped to >= 1, so the product is.
+      return {1.0, er, rdb};
+    case RankerKind::kCombined:
+    case RankerKind::kMoreContext:
+      break;
+  }
+  CLAKS_CHECK(false && "MinSortKeyAtLength: ranker has no monotone bound");
+  return {};
+}
+
 namespace {
 
 class RdbLengthRanker : public Ranker {

@@ -66,6 +66,35 @@ enum class RankerKind {
 
 const char* RankerKindToString(RankerKind kind);
 
+/// How a ranker's sort key relates to a connection's RDB length — the
+/// contract the streaming search mode (core/topk.h, SearchMethod::kStream)
+/// relies on to stop early: connections arrive in nondecreasing RDB-length
+/// order, so once a lower bound on every future key passes the provisional
+/// top-k, the top-k is settled.
+enum class RankMonotonicity {
+  /// The sort key is exactly {rdb_length}: stream order is rank order and
+  /// early termination is exact with no reorder buffer.
+  kExact,
+  /// The key admits a nondecreasing-in-length lower bound
+  /// (MinSortKeyAtLength): streamed candidates may arrive out of final
+  /// order, but only within a bounded length window, so a reorder buffer
+  /// plus the settled-k predicate still terminates early and exactly.
+  kMonotone,
+  /// No usable relation to length (text-driven or longest-first keys):
+  /// streaming must drain the full result space before ranking.
+  kNone,
+};
+
+RankMonotonicity RankerMonotonicity(RankerKind kind);
+
+/// Lower bound on SortKey over every path hit of RDB length >= `length`.
+/// Nondecreasing in `length`; sound for kExact/kMonotone rankers
+/// (CLAKS_CHECK-fails for kNone). Rests on two instance-independent facts:
+/// an ER step consumes at most two RDB edges, so er_length >=
+/// ceil(length / 2) (core/length.h), and per-step ambiguity factors are
+/// clamped to >= 1 (core/statistics.cc).
+std::vector<double> MinSortKeyAtLength(RankerKind kind, size_t length);
+
 /// A ranking policy: produces a lexicographic key; smaller keys rank
 /// higher.
 class Ranker {

@@ -8,54 +8,107 @@
 
 namespace claks {
 
+ConnectionStream::ConnectionStream(const DataGraph* graph, size_t max_edges)
+    : graph_(graph), max_edges_(max_edges) {
+  CLAKS_CHECK(graph_ != nullptr);
+}
+
 ConnectionStream::ConnectionStream(const DataGraph* graph,
                                    std::vector<uint32_t> sources,
                                    std::vector<uint32_t> targets,
                                    size_t max_edges)
-    : graph_(graph),
-      target_set_(targets.begin(), targets.end()),
-      max_edges_(max_edges) {
-  CLAKS_CHECK(graph_ != nullptr);
+    : ConnectionStream(graph, max_edges) {
+  AddLane(sources, targets);
+}
+
+ConnectionStream ConnectionStream::Bidirectional(
+    const DataGraph* graph, const std::vector<uint32_t>& side_a,
+    const std::vector<uint32_t>& side_b, size_t max_edges) {
+  ConnectionStream stream(graph, max_edges);
+  stream.AddLane(side_a, side_b);
+  stream.AddLane(side_b, side_a);
+  stream.dedup_ = true;
+  return stream;
+}
+
+void ConnectionStream::AddLane(const std::vector<uint32_t>& sources,
+                               const std::vector<uint32_t>& targets) {
+  uint32_t lane = static_cast<uint32_t>(lane_targets_.size());
+  lane_targets_.emplace_back(targets.begin(), targets.end());
   // Deduplicate sources, preserve order.
   std::set<uint32_t> seen;
   for (uint32_t source : sources) {
     if (seen.insert(source).second) {
-      Push(NodePath{source, {}});
+      queue_.push(Frontier{NodePath{source, {}},
+                           {source},
+                           0,
+                           lane,
+                           next_sequence_++});
     }
   }
 }
 
-void ConnectionStream::Push(NodePath path) {
-  size_t length = path.length();
-  queue_.push(Frontier{std::move(path), length, next_sequence_++});
+bool ConnectionStream::MarkEmitted(const Frontier& frontier) {
+  std::vector<uint32_t> nodes = frontier.nodes;
+  std::sort(nodes.begin(), nodes.end());
+  std::vector<uint32_t> edges;
+  edges.reserve(frontier.path.steps.size());
+  for (const DataAdjacency& step : frontier.path.steps) {
+    edges.push_back(step.edge_index);
+  }
+  std::sort(edges.begin(), edges.end());
+  return emitted_.insert({std::move(nodes), std::move(edges)}).second;
 }
 
-std::optional<Connection> ConnectionStream::Next() {
+std::optional<size_t> ConnectionStream::PendingLength() const {
+  if (queue_.empty()) return std::nullopt;
+  return queue_.top().length;
+}
+
+std::optional<Connection> ConnectionStream::Next(size_t stop_length) {
+  std::optional<NodePath> path = NextPath(stop_length);
+  if (!path.has_value()) return std::nullopt;
+  return Connection::FromNodePath(*graph_, *path);
+}
+
+std::optional<NodePath> ConnectionStream::NextPath(size_t stop_length) {
   while (!queue_.empty()) {
-    Frontier frontier = queue_.top();
+    if (queue_.top().length >= stop_length) return std::nullopt;
+    // priority_queue::top is const; moving out before pop is safe because
+    // the popped element is never read again.
+    Frontier frontier = std::move(const_cast<Frontier&>(queue_.top()));
     queue_.pop();
     ++expansions_;
     uint32_t end = frontier.path.End();
 
-    bool is_answer = target_set_.count(end) > 0;
+    bool is_answer = lane_targets_[frontier.lane].count(end) > 0;
     if (is_answer) {
       // A zero-length answer is a tuple in both keyword sets; longer
       // answers end at their first target by construction (we never expand
-      // past a target).
-      return Connection::FromNodePath(*graph_, frontier.path);
+      // past a target). With two lanes the same undirected path can arrive
+      // from both sides: only the first arrival is emitted.
+      if (!dedup_ || MarkEmitted(frontier)) {
+        return std::move(frontier.path);
+      }
+      continue;
     }
     if (frontier.path.length() >= max_edges_) continue;
 
     // Expand: simple paths only.
-    auto nodes = frontier.path.Nodes();
     for (const DataAdjacency& adj : graph_->Neighbors(end)) {
-      if (std::find(nodes.begin(), nodes.end(), adj.neighbor) !=
-          nodes.end()) {
+      if (std::find(frontier.nodes.begin(), frontier.nodes.end(),
+                    adj.neighbor) != frontier.nodes.end()) {
         continue;
       }
-      NodePath extended = frontier.path;
-      extended.steps.push_back(adj);
-      Push(std::move(extended));
+      Frontier extended;
+      extended.path = frontier.path;
+      extended.path.steps.push_back(adj);
+      extended.nodes = frontier.nodes;
+      extended.nodes.push_back(adj.neighbor);
+      extended.length = extended.path.length();
+      extended.lane = frontier.lane;
+      extended.sequence = next_sequence_++;
+      queue_.push(std::move(extended));
     }
   }
   return std::nullopt;

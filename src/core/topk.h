@@ -9,21 +9,28 @@
 //
 // Length order is compatible with the kRdbLength policy directly, and a
 // bounded reorder buffer upgrades it to any policy whose primary key is
-// monotone in RDB length (see StreamTopK).
+// monotone in RDB length (RankerMonotonicity / MinSortKeyAtLength in
+// core/ranking.h state that contract per policy).
 //
 // Entry points: construct a ConnectionStream over data-graph node sets
 // (sources/targets as returned by the matcher, mapped through
 // DataGraph::NodeOf) and pull with Next(), or use StreamTopK for the
-// collect-first-k convenience. Expansion iterates the CSR adjacency spans
-// of graph/data_graph.h; `expansions()` is the work metric the tests and
-// benchmarks assert on. Not yet dispatched to by KeywordSearchEngine —
-// candidates for a streaming search mode should start here.
+// collect-first-k convenience. A one-directional stream stops paths at the
+// first target tuple, so connections whose interior contains a
+// source-keyword tuple are only found from the other side;
+// ConnectionStream::Bidirectional interleaves both directions in one
+// length-ordered queue with tree-level deduplication, matching the
+// engine's kEnumerate result space. Expansion iterates the CSR adjacency
+// spans of graph/data_graph.h; `expansions()` is the work metric the tests
+// and benchmarks assert on. KeywordSearchEngine dispatches here for
+// SearchMethod::kStream.
 
 #ifndef CLAKS_CORE_TOPK_H_
 #define CLAKS_CORE_TOPK_H_
 
 #include <queue>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "core/connection.h"
@@ -37,11 +44,36 @@ namespace claks {
 /// order.
 class ConnectionStream {
  public:
+  /// Passed as `stop_length` when Next() should run to exhaustion.
+  static constexpr size_t kNoStopLength = static_cast<size_t>(-1);
+
   ConnectionStream(const DataGraph* graph, std::vector<uint32_t> sources,
                    std::vector<uint32_t> targets, size_t max_edges);
 
-  /// Returns the next connection, or nullopt when exhausted.
-  std::optional<Connection> Next();
+  /// Builds a two-lane stream: lane 0 expands side_a -> side_b, lane 1
+  /// side_b -> side_a, interleaved in a single priority queue so
+  /// connections still arrive in global nondecreasing length order. A
+  /// connection found by both lanes (the same undirected path) is emitted
+  /// once — tree-level dedup, mirroring the engine's enumerate semantics.
+  static ConnectionStream Bidirectional(const DataGraph* graph,
+                                        const std::vector<uint32_t>& side_a,
+                                        const std::vector<uint32_t>& side_b,
+                                        size_t max_edges);
+
+  /// Returns the next connection, or nullopt when the stream is exhausted
+  /// or every pending partial path already has `stop_length` or more
+  /// edges. Stopping leaves the queue intact: a later call with a larger
+  /// bound resumes where this one left off.
+  std::optional<Connection> Next(size_t stop_length = kNoStopLength);
+
+  /// Like Next but returns the raw data-graph path (node ids + adjacency
+  /// steps carrying edge indices) — what the engine needs to build the
+  /// canonical TupleTree without re-resolving FK edges.
+  std::optional<NodePath> NextPath(size_t stop_length = kNoStopLength);
+
+  /// Number of edges of the shortest pending partial path — a lower bound
+  /// on the RDB length of every future connection. nullopt once exhausted.
+  std::optional<size_t> PendingLength() const;
 
   /// Number of partial paths expanded so far (work metric for tests and
   /// benchmarks).
@@ -50,8 +82,12 @@ class ConnectionStream {
  private:
   struct Frontier {
     NodePath path;
+    /// Nodes of `path` in travel order, maintained incrementally so
+    /// expansion never rebuilds the vector from the step list.
+    std::vector<uint32_t> nodes;
     // Orders the priority queue: fewer edges first, then insertion order.
     size_t length;
+    uint32_t lane;
     uint64_t sequence;
     bool operator>(const Frontier& other) const {
       if (length != other.length) return length > other.length;
@@ -59,13 +95,24 @@ class ConnectionStream {
     }
   };
 
-  void Push(NodePath path);
+  ConnectionStream(const DataGraph* graph, size_t max_edges);
+
+  void AddLane(const std::vector<uint32_t>& sources,
+               const std::vector<uint32_t>& targets);
+
+  /// Records the canonical (sorted node set, sorted edge set) form of an
+  /// answer; false when it was already emitted by the other lane.
+  bool MarkEmitted(const Frontier& frontier);
 
   const DataGraph* graph_;
-  std::set<uint32_t> target_set_;
+  /// Target node set per lane (one lane for the plain constructor, two for
+  /// Bidirectional).
+  std::vector<std::set<uint32_t>> lane_targets_;
   size_t max_edges_;
+  bool dedup_ = false;
   uint64_t next_sequence_ = 0;
   size_t expansions_ = 0;
+  std::set<std::pair<std::vector<uint32_t>, std::vector<uint32_t>>> emitted_;
   std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>>
       queue_;
 };

@@ -125,5 +125,110 @@ TEST_F(EngineOptionsTest, DiversityComposesWithTopK) {
   EXPECT_EQ(result->hits.size(), 2u);
 }
 
+// Regression: per_endpoint_limit used to key non-path trees by the
+// front/back of the *sorted node list*, so distinct trees sharing their
+// min/max node ids collided and one was silently dropped. Grouping now
+// keys by the full keyword-tuple set.
+//
+// The instance below produces exactly two MTJNT trees for
+// "alpha beta gamma": star(h1; a1, b1, c1) with sorted nodes {0, 1, 3, 5}
+// and star(h2; a1, b2, c1) with sorted nodes {0, 2, 4, 5} — identical
+// min/max (a1 = 0, c1 = 5) but different keyword sets ({a1, b1, c1} vs
+// {a1, b2, c1}).
+TEST(EndpointGroupingRegressionTest, DistinctTreesSharingMinMaxNodeIds) {
+  Database db;
+  auto a = db.AddTable(TableSchema(
+      "A", {{"ID", ValueType::kString}, {"TXT", ValueType::kString}},
+      {"ID"}));
+  ASSERT_TRUE(a.ok());
+  auto b = db.AddTable(TableSchema(
+      "B", {{"ID", ValueType::kString}, {"TXT", ValueType::kString}},
+      {"ID"}));
+  ASSERT_TRUE(b.ok());
+  auto h = db.AddTable(TableSchema(
+      "H",
+      {{"ID", ValueType::kString},
+       {"A_ID", ValueType::kString},
+       {"B_ID", ValueType::kString}},
+      {"ID"},
+      {{"fk_a", {"A_ID"}, "A", {"ID"}}, {"fk_b", {"B_ID"}, "B", {"ID"}}}));
+  ASSERT_TRUE(h.ok());
+  auto c = db.AddTable(TableSchema(
+      "C",
+      {{"ID", ValueType::kString},
+       {"TXT", ValueType::kString},
+       {"H1_ID", ValueType::kString},
+       {"H2_ID", ValueType::kString}},
+      {"ID"},
+      {{"fk_h1", {"H1_ID"}, "H", {"ID"}},
+       {"fk_h2", {"H2_ID"}, "H", {"ID"}}}));
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(
+      (*a)->InsertValues({Value::String("a1"), Value::String("alpha")}).ok());
+  ASSERT_TRUE(
+      (*b)->InsertValues({Value::String("b1"), Value::String("beta")}).ok());
+  ASSERT_TRUE(
+      (*b)->InsertValues({Value::String("b2"), Value::String("beta")}).ok());
+  ASSERT_TRUE((*h)->InsertValues({Value::String("h1"), Value::String("a1"),
+                                  Value::String("b1")})
+                  .ok());
+  ASSERT_TRUE((*h)->InsertValues({Value::String("h2"), Value::String("a1"),
+                                  Value::String("b2")})
+                  .ok());
+  ASSERT_TRUE((*c)->InsertValues({Value::String("c1"), Value::String("gamma"),
+                                  Value::String("h1"), Value::String("h2")})
+                  .ok());
+
+  auto engine_or = KeywordSearchEngine::Create(&db);
+  ASSERT_TRUE(engine_or.ok());
+  auto engine = std::move(engine_or).ValueOrDie();
+
+  SearchOptions options;
+  options.method = SearchMethod::kMtjnt;
+  options.tmax = 4;
+  auto plain = engine->Search("alpha beta gamma", options);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_EQ(plain->hits.size(), 2u);
+  for (const SearchHit& hit : plain->hits) {
+    ASSERT_FALSE(hit.connection.has_value());  // non-path trees
+    ASSERT_EQ(hit.tree.nodes.size(), 4u);
+  }
+  ASSERT_EQ(plain->hits[0].tree.nodes.front(),
+            plain->hits[1].tree.nodes.front());
+  ASSERT_EQ(plain->hits[0].tree.nodes.back(),
+            plain->hits[1].tree.nodes.back());
+
+  options.per_endpoint_limit = 1;
+  auto limited = engine->Search("alpha beta gamma", options);
+  ASSERT_TRUE(limited.ok());
+  // Different keyword sets, different groups: both trees survive.
+  EXPECT_EQ(limited->hits.size(), 2u);
+}
+
+// Regression: with options.top_k set, kBanks used to truncate to k by
+// BANKS's internal tree weight *before* the engine re-ranked with
+// options.ranker, pre-dropping the hits the selected ranker prefers.
+// Weight order (lightest tree first) and kMoreContext order (longest
+// close connection first) disagree maximally: the old code returned the
+// 1-edge tree, the over-fetching code lets the re-rank surface a longer
+// connection as the top hit.
+TEST_F(EngineOptionsTest, BanksOverfetchesBeforeReRanking) {
+  SearchOptions options;
+  options.method = SearchMethod::kBanks;
+  options.top_k = 1;
+  options.ranker = RankerKind::kMoreContext;
+  auto result = engine_->Search("Smith XML", options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->hits.size(), 1u);
+  EXPECT_GT(result->hits[0].rdb_length, 1u);
+
+  // The chosen hit is the same one an untruncated BANKS run ranks first.
+  options.top_k = 0;
+  auto full = engine_->Search("Smith XML", options);
+  ASSERT_TRUE(full.ok());
+  ASSERT_FALSE(full->hits.empty());
+  EXPECT_EQ(full->hits[0].tree, result->hits[0].tree);
+}
+
 }  // namespace
 }  // namespace claks

@@ -1,0 +1,266 @@
+// Copyright 2026 The claks Authors.
+//
+// SearchMethod::kStream: the streaming top-k path must reproduce the
+// kEnumerate result space — same hit trees and same ranking keys at every
+// rank position — while doing strictly less expansion work when a top-k
+// bound lets it settle early. Ranking-key ties may order differently
+// between the two methods (stream arrival vs enumeration order), so order
+// equivalence is asserted on the key sequences, and set equality on the
+// trees whenever no key tie spans the top-k boundary.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/engine.h"
+#include "datasets/company_gen.h"
+#include "datasets/company_paper.h"
+
+namespace claks {
+namespace {
+
+const RankerKind kAllRankers[] = {
+    RankerKind::kRdbLength,     RankerKind::kErLength,
+    RankerKind::kCloseFirst,    RankerKind::kLoosePenalty,
+    RankerKind::kInstanceClose, RankerKind::kCombined,
+    RankerKind::kAmbiguity,     RankerKind::kMoreContext};
+
+const RankerKind kMonotoneRankers[] = {
+    RankerKind::kRdbLength,  RankerKind::kErLength,
+    RankerKind::kCloseFirst, RankerKind::kLoosePenalty,
+    RankerKind::kInstanceClose, RankerKind::kAmbiguity};
+
+std::set<TupleTree> TreeSet(const SearchResult& result) {
+  std::set<TupleTree> trees;
+  for (const SearchHit& hit : result.hits) trees.insert(hit.tree);
+  return trees;
+}
+
+std::vector<std::vector<double>> KeySequence(const SearchResult& result,
+                                             RankerKind kind) {
+  auto ranker = MakeRanker(kind);
+  std::vector<std::vector<double>> keys;
+  for (const SearchHit& hit : result.hits) {
+    keys.push_back(ranker->SortKey(hit.ToRankInput()));
+  }
+  return keys;
+}
+
+class StreamSearchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = BuildCompanyPaperDataset();
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).ValueOrDie();
+    auto engine = KeywordSearchEngine::Create(
+        dataset_.db.get(), dataset_.er_schema, dataset_.mapping);
+    ASSERT_TRUE(engine.ok());
+    engine_ = std::move(engine).ValueOrDie();
+  }
+
+  SearchResult Run(SearchMethod method, RankerKind ranker, size_t top_k,
+                   const std::string& query = "Smith XML") {
+    SearchOptions options;
+    options.method = method;
+    options.ranker = ranker;
+    options.top_k = top_k;
+    options.max_rdb_edges = 3;
+    auto result = engine_->Search(query, options);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).ValueOrDie();
+  }
+
+  CompanyPaperDataset dataset_;
+  std::unique_ptr<KeywordSearchEngine> engine_;
+};
+
+TEST_F(StreamSearchTest, FullDrainEquivalenceEveryRanker) {
+  for (RankerKind ranker : kAllRankers) {
+    SearchResult enumerated = Run(SearchMethod::kEnumerate, ranker, 0);
+    SearchResult streamed = Run(SearchMethod::kStream, ranker, 0);
+    EXPECT_EQ(enumerated.hits.size(), 7u) << RankerKindToString(ranker);
+    EXPECT_EQ(TreeSet(enumerated), TreeSet(streamed))
+        << RankerKindToString(ranker);
+    EXPECT_EQ(KeySequence(enumerated, ranker), KeySequence(streamed, ranker))
+        << RankerKindToString(ranker);
+  }
+}
+
+TEST_F(StreamSearchTest, TopKEquivalenceMonotoneRankers) {
+  for (RankerKind ranker : kMonotoneRankers) {
+    SearchResult full = Run(SearchMethod::kEnumerate, ranker, 0);
+    auto full_keys = KeySequence(full, ranker);
+    for (size_t k : {1u, 2u, 4u, 7u}) {
+      SearchResult enumerated = Run(SearchMethod::kEnumerate, ranker, k);
+      SearchResult streamed = Run(SearchMethod::kStream, ranker, k);
+      EXPECT_EQ(KeySequence(enumerated, ranker),
+                KeySequence(streamed, ranker))
+          << RankerKindToString(ranker) << " k=" << k;
+      // Tree sets must agree whenever no ranking-key tie spans the top-k
+      // boundary (a boundary tie makes the k-th member a free choice).
+      bool boundary_tie =
+          k < full_keys.size() && full_keys[k - 1] == full_keys[k];
+      if (!boundary_tie) {
+        EXPECT_EQ(TreeSet(enumerated), TreeSet(streamed))
+            << RankerKindToString(ranker) << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST_F(StreamSearchTest, EarlyTerminationDoesLessWork) {
+  SearchResult full = Run(SearchMethod::kStream, RankerKind::kRdbLength, 0);
+  SearchResult top1 = Run(SearchMethod::kStream, RankerKind::kRdbLength, 1);
+  SearchResult top2 = Run(SearchMethod::kStream, RankerKind::kRdbLength, 2);
+  EXPECT_GT(full.expansions, 0u);
+  EXPECT_LT(top1.expansions, full.expansions);
+  EXPECT_LE(top1.expansions, top2.expansions);
+  EXPECT_LT(top2.expansions, full.expansions);
+}
+
+TEST_F(StreamSearchTest, NonMonotoneRankerDrainsFully) {
+  for (RankerKind ranker :
+       {RankerKind::kMoreContext, RankerKind::kCombined}) {
+    SearchResult full = Run(SearchMethod::kStream, ranker, 0);
+    SearchResult top3 = Run(SearchMethod::kStream, ranker, 3);
+    // No settled-k predicate exists: the stream drains the full space.
+    EXPECT_EQ(top3.expansions, full.expansions)
+        << RankerKindToString(ranker);
+    SearchResult enumerated = Run(SearchMethod::kEnumerate, ranker, 3);
+    EXPECT_EQ(KeySequence(enumerated, ranker), KeySequence(top3, ranker))
+        << RankerKindToString(ranker);
+  }
+}
+
+TEST_F(StreamSearchTest, ExpansionsReportedOnlyForStream) {
+  SearchResult streamed = Run(SearchMethod::kStream, RankerKind::kRdbLength, 0);
+  SearchResult enumerated =
+      Run(SearchMethod::kEnumerate, RankerKind::kRdbLength, 0);
+  EXPECT_GT(streamed.expansions, 0u);
+  EXPECT_EQ(enumerated.expansions, 0u);
+}
+
+TEST_F(StreamSearchTest, OrSemanticsDropsUnmatchedKeyword) {
+  SearchOptions options;
+  options.method = SearchMethod::kStream;
+  options.max_rdb_edges = 3;
+  options.require_all_keywords = false;
+  auto result = engine_->Search("Smith XML quantum", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->query.keywords,
+            (std::vector<std::string>{"smith", "xml"}));
+  EXPECT_EQ(result->hits.size(), 7u);
+  auto enumerated = Run(SearchMethod::kEnumerate, options.ranker, 0);
+  EXPECT_EQ(TreeSet(*result), TreeSet(enumerated));
+}
+
+TEST_F(StreamSearchTest, AndSemanticsEmptyOnUnmatchedKeyword) {
+  SearchOptions options;
+  options.method = SearchMethod::kStream;
+  auto result = engine_->Search("Smith quantum", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->hits.empty());
+}
+
+TEST_F(StreamSearchTest, OneKeywordDegenerateCase) {
+  SearchResult streamed =
+      Run(SearchMethod::kStream, RankerKind::kCombined, 0, "Smith");
+  SearchResult enumerated =
+      Run(SearchMethod::kEnumerate, RankerKind::kCombined, 0, "Smith");
+  EXPECT_EQ(streamed.hits.size(), 2u);  // e1 and e2
+  EXPECT_EQ(TreeSet(streamed), TreeSet(enumerated));
+
+  SearchResult top1 =
+      Run(SearchMethod::kStream, RankerKind::kCombined, 1, "Smith");
+  EXPECT_EQ(top1.hits.size(), 1u);
+}
+
+TEST_F(StreamSearchTest, PerEndpointLimitEquivalence) {
+  SearchOptions options;
+  options.method = SearchMethod::kStream;
+  options.max_rdb_edges = 3;
+  options.per_endpoint_limit = 1;
+  auto streamed = engine_->Search("Smith XML", options);
+  ASSERT_TRUE(streamed.ok());
+  options.method = SearchMethod::kEnumerate;
+  auto enumerated = engine_->Search("Smith XML", options);
+  ASSERT_TRUE(enumerated.ok());
+  // Endpoint pairs of the 7 connections collapse to 4 groups.
+  EXPECT_EQ(streamed->hits.size(), 4u);
+  EXPECT_EQ(TreeSet(*streamed), TreeSet(*enumerated));
+}
+
+TEST_F(StreamSearchTest, PerEndpointLimitSettlesIncrementally) {
+  SearchOptions options;
+  options.method = SearchMethod::kStream;
+  options.max_rdb_edges = 3;
+  options.per_endpoint_limit = 1;
+  options.ranker = RankerKind::kRdbLength;
+  options.top_k = 2;
+  auto limited = engine_->Search("Smith XML", options);
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->hits.size(), 2u);
+  // The settled-k predicate counts only group survivors, yet the two
+  // length-1 connections live in distinct groups, so the stream still
+  // terminates before the full drain.
+  options.top_k = 0;
+  options.per_endpoint_limit = 0;
+  auto full = engine_->Search("Smith XML", options);
+  ASSERT_TRUE(full.ok());
+  EXPECT_LT(limited->expansions, full->expansions);
+}
+
+TEST_F(StreamSearchTest, ThreeKeywordsRejected) {
+  SearchOptions options;
+  options.method = SearchMethod::kStream;
+  auto result = engine_->Search("Smith XML Alice", options);
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST_F(StreamSearchTest, MethodName) {
+  EXPECT_STREQ(SearchMethodToString(SearchMethod::kStream), "stream");
+}
+
+// The headline scaling property: at 10x the paper instance, a top-10
+// streaming query provably settles long before the result space is
+// exhausted.
+TEST(StreamSearchScaleTest, TopTenExpandsStrictlyLessAt10x) {
+  auto generated = GenerateCompanyDataset(CompanyGenOptions::AtScale(10));
+  ASSERT_TRUE(generated.ok());
+  GeneratedDataset dataset = std::move(generated).ValueOrDie();
+  auto engine_or = KeywordSearchEngine::Create(
+      dataset.db.get(), dataset.er_schema, dataset.mapping);
+  ASSERT_TRUE(engine_or.ok());
+  auto engine = std::move(engine_or).ValueOrDie();
+
+  SearchOptions options;
+  options.method = SearchMethod::kStream;
+  options.max_rdb_edges = 3;
+  options.ranker = RankerKind::kRdbLength;
+  options.top_k = 0;
+  auto full = engine->Search("smith xml", options);
+  ASSERT_TRUE(full.ok());
+  ASSERT_GT(full->hits.size(), 10u);
+
+  options.top_k = 10;
+  auto top10 = engine->Search("smith xml", options);
+  ASSERT_TRUE(top10.ok());
+  EXPECT_EQ(top10->hits.size(), 10u);
+  EXPECT_LT(top10->expansions, full->expansions);
+
+  // Equal settings still agree with full enumeration.
+  options.method = SearchMethod::kEnumerate;
+  auto enumerated = engine->Search("smith xml", options);
+  ASSERT_TRUE(enumerated.ok());
+  auto ranker = MakeRanker(options.ranker);
+  ASSERT_EQ(enumerated->hits.size(), top10->hits.size());
+  for (size_t i = 0; i < top10->hits.size(); ++i) {
+    EXPECT_EQ(ranker->SortKey(enumerated->hits[i].ToRankInput()),
+              ranker->SortKey(top10->hits[i].ToRankInput()));
+  }
+}
+
+}  // namespace
+}  // namespace claks

@@ -137,6 +137,127 @@ TEST_F(TopkTest, DeterministicAcrossRuns) {
   EXPECT_EQ(run(), run());
 }
 
+TEST_F(TopkTest, ExpansionCountsPinned) {
+  // Golden counts captured before the pop-and-move / incremental-visited
+  // optimisation: the faster expansion must pop exactly the same frontier
+  // sequence.
+  auto xml = Nodes({"d1", "d2", "p1", "p2"});
+  auto smith = Nodes({"e1", "e2"});
+  {
+    ConnectionStream stream(graph_.get(), xml, smith, 3);
+    size_t count = 0;
+    while (stream.Next()) ++count;
+    EXPECT_EQ(count, 7u);
+    EXPECT_EQ(stream.expansions(), 45u);
+  }
+  {
+    ConnectionStream stream(graph_.get(), xml, smith, 4);
+    size_t count = 0;
+    while (stream.Next()) ++count;
+    EXPECT_EQ(count, 9u);
+    EXPECT_EQ(stream.expansions(), 56u);
+  }
+  {
+    ConnectionStream stream(graph_.get(), xml, smith, 4);
+    StreamTopK(&stream, 2);
+    EXPECT_EQ(stream.expansions(), 10u);
+  }
+  {
+    ConnectionStream stream(graph_.get(), smith, xml, 3);
+    size_t count = 0;
+    while (stream.Next()) ++count;
+    EXPECT_EQ(count, 4u);
+    EXPECT_EQ(stream.expansions(), 10u);
+  }
+}
+
+TEST_F(TopkTest, BidirectionalFindsInteriorSourceConnections) {
+  auto xml = Nodes({"d1", "d2", "p1", "p2"});
+  auto smith = Nodes({"e1", "e2"});
+  // One-directional smith -> xml stops at the first XML tuple and misses
+  // connections whose interior holds an XML tuple (the paper's connection
+  // 3, p1 - d1 - e1): only 4 of the 7 arrive.
+  ConnectionStream one_way(graph_.get(), smith, xml, 3);
+  size_t one_way_count = 0;
+  while (one_way.Next()) ++one_way_count;
+  EXPECT_EQ(one_way_count, 4u);
+
+  // The bidirectional stream recovers all 7, still in nondecreasing
+  // length order, regardless of which side is labelled first.
+  for (bool flip : {false, true}) {
+    ConnectionStream stream = ConnectionStream::Bidirectional(
+        graph_.get(), flip ? smith : xml, flip ? xml : smith, 3);
+    size_t previous = 0;
+    size_t count = 0;
+    while (auto connection = stream.Next()) {
+      EXPECT_GE(connection->RdbLength(), previous);
+      previous = connection->RdbLength();
+      ++count;
+    }
+    EXPECT_EQ(count, 7u) << "flip=" << flip;
+  }
+}
+
+TEST_F(TopkTest, BidirectionalDeduplicatesAcrossLanes) {
+  auto xml = Nodes({"d1", "d2", "p1", "p2"});
+  auto smith = Nodes({"e1", "e2"});
+  ConnectionStream stream =
+      ConnectionStream::Bidirectional(graph_.get(), xml, smith, 3);
+  std::vector<Connection> streamed;
+  while (auto connection = stream.Next()) {
+    streamed.push_back(std::move(*connection));
+  }
+  // No two emitted connections are the same undirected path.
+  for (size_t i = 0; i < streamed.size(); ++i) {
+    for (size_t j = i + 1; j < streamed.size(); ++j) {
+      EXPECT_FALSE(streamed[i].SamePathUndirected(streamed[j]));
+    }
+  }
+}
+
+TEST_F(TopkTest, BidirectionalSharedTupleEmittedOnce) {
+  // d1 sits on both sides: both lanes discover the zero-length answer,
+  // the dedup set emits it once.
+  ConnectionStream stream = ConnectionStream::Bidirectional(
+      graph_.get(), Nodes({"d1", "e1"}), Nodes({"d1"}), 3);
+  size_t zero_length = 0;
+  while (auto connection = stream.Next()) {
+    if (connection->RdbLength() == 0) ++zero_length;
+  }
+  EXPECT_EQ(zero_length, 1u);
+}
+
+TEST_F(TopkTest, StopLengthPausesAndResumes) {
+  auto xml = Nodes({"d1", "d2", "p1", "p2"});
+  auto smith = Nodes({"e1", "e2"});
+  ConnectionStream stream(graph_.get(), xml, smith, 3);
+  // No connection is shorter than one edge: a stop bound of 1 yields
+  // nothing but leaves the queue intact.
+  EXPECT_FALSE(stream.Next(1).has_value());
+  ASSERT_TRUE(stream.PendingLength().has_value());
+  EXPECT_GE(*stream.PendingLength(), 1u);
+  // Raising the bound resumes: exactly the two length-1 connections.
+  size_t short_count = 0;
+  while (stream.Next(2)) ++short_count;
+  EXPECT_EQ(short_count, 2u);
+  // Unbounded finishes the drain; the total matches the one-shot run.
+  size_t rest = 0;
+  while (stream.Next()) ++rest;
+  EXPECT_EQ(short_count + rest, 7u);
+}
+
+TEST_F(TopkTest, PendingLengthIsMonotone) {
+  ConnectionStream stream = ConnectionStream::Bidirectional(
+      graph_.get(), Nodes({"d1", "d2", "p1", "p2"}), Nodes({"e1", "e2"}), 3);
+  size_t previous = 0;
+  while (stream.PendingLength().has_value()) {
+    size_t pending = *stream.PendingLength();
+    EXPECT_GE(pending, previous);
+    previous = pending;
+    if (!stream.Next().has_value()) break;
+  }
+}
+
 TEST(TopkSyntheticTest, ScalesAndStaysOrdered) {
   CompanyGenOptions options;
   options.num_departments = 6;
