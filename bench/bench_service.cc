@@ -1,0 +1,370 @@
+// Copyright 2026 The claks Authors.
+//
+// Concurrent-service benchmark: drives SearchService over company_gen
+// datasets at increasing scale with 1/2/4/8 worker threads, on the cold
+// path (cache disabled: every query pays the full search) and the
+// warm-cache path (cache enabled and pre-touched: repeats are hits), and
+// emits machine-readable BENCH_service.json with QPS and p50/p99 latency
+// per configuration. Before timing, every search method's service results
+// are verified identical to serial KeywordSearchEngine::Search on the same
+// instance. The JSON schema is documented in docs/BENCHMARKS.md; CI runs
+// 1x/10x and uploads the file as an artifact.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/string_util.h"
+#include "datasets/company_gen.h"
+#include "service/search_service.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// One timed workload item. The mix pairs the streaming top-k production
+// path with the full-enumeration path so the pool sees both short and
+// long tasks.
+struct WorkItem {
+  const char* query;
+  claks::SearchOptions options;
+};
+
+std::vector<WorkItem> MakeWorkload(size_t max_edges, size_t top_k) {
+  claks::SearchOptions stream;
+  stream.method = claks::SearchMethod::kStream;
+  stream.max_rdb_edges = max_edges;
+  stream.top_k = top_k;
+  claks::SearchOptions enumerate;
+  enumerate.method = claks::SearchMethod::kEnumerate;
+  enumerate.max_rdb_edges = max_edges;
+  enumerate.top_k = top_k;
+  return {
+      {"smith xml", stream},
+      {"retrieval databases", stream},
+      {"smith xml", enumerate},
+      {"retrieval databases", enumerate},
+  };
+}
+
+// Byte-level fingerprint of a result: the rendered report plus every
+// ranking-relevant field per hit, in order.
+std::string Fingerprint(const claks::SearchResult& result,
+                        const claks::Database& db) {
+  std::string out = result.ToString(db, result.hits.size() + 1);
+  for (const claks::SearchHit& hit : result.hits) {
+    out += hit.rendered;
+    out += claks::StrFormat(
+        "|%zu,%zu,%d,%zu,%zu,%d,%d,%.9f,%.9f;", hit.rdb_length,
+        hit.er_length, static_cast<int>(hit.kind), hit.hub_patterns,
+        hit.nm_steps, hit.schema_close ? 1 : 0,
+        hit.instance_close.has_value() ? (*hit.instance_close ? 1 : 0) : -1,
+        hit.text_score, hit.ambiguity);
+  }
+  return out;
+}
+
+struct RunRecord {
+  size_t threads = 0;
+  bool warm = false;
+  size_t total_queries = 0;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+struct ScaleRecord {
+  size_t scale = 0;
+  size_t rows = 0;
+  bool verified_identical = true;
+  std::vector<RunRecord> runs;
+
+  double QpsOf(size_t threads, bool warm) const {
+    for (const RunRecord& run : runs) {
+      if (run.threads == threads && run.warm == warm) return run.qps;
+    }
+    return 0.0;
+  }
+};
+
+std::unique_ptr<claks::SearchService> MakeService(
+    const claks::GeneratedDataset& master, size_t threads, bool warm) {
+  claks::ServiceOptions options;
+  options.num_threads = threads;
+  options.queue_capacity = threads * 8;
+  options.cache_capacity = warm ? 4096 : 0;  // cold: every query searches
+  auto service = claks::SearchService::Create(
+      master.db->Clone(), master.er_schema, master.mapping, options);
+  CLAKS_CHECK(service.ok());
+  return std::move(service).ValueOrDie();
+}
+
+// Every search method's service results must be byte-identical to serial
+// engine execution on the same instance.
+bool VerifyAgainstSerial(const claks::GeneratedDataset& master) {
+  auto created = claks::KeywordSearchEngine::Create(
+      master.db.get(), master.er_schema, master.mapping);
+  CLAKS_CHECK(created.ok());
+  std::unique_ptr<claks::KeywordSearchEngine> serial =
+      std::move(created).ValueOrDie();
+  std::unique_ptr<claks::SearchService> service =
+      MakeService(master, 4, /*warm=*/true);
+
+  const claks::SearchMethod kMethods[] = {
+      claks::SearchMethod::kEnumerate, claks::SearchMethod::kStream,
+      claks::SearchMethod::kMtjnt, claks::SearchMethod::kDiscover,
+      claks::SearchMethod::kBanks};
+  bool identical = true;
+  for (claks::SearchMethod method : kMethods) {
+    claks::SearchOptions options;
+    options.method = method;
+    options.max_rdb_edges = 3;
+    options.tmax = 4;
+    options.top_k = 10;
+    auto expected = serial->Search("smith xml", options);
+    CLAKS_CHECK(expected.ok());
+    // Twice: the second submission exercises the cache-hit path too.
+    for (int rep = 0; rep < 2; ++rep) {
+      auto got = service->SearchNow("smith xml", options);
+      CLAKS_CHECK(got.ok());
+      if (Fingerprint(*got, *master.db) !=
+          Fingerprint(*expected, *master.db)) {
+        std::fprintf(stderr, "MISMATCH: method %s rep %d\n",
+                     claks::SearchMethodToString(method), rep);
+        identical = false;
+      }
+    }
+  }
+  return identical;
+}
+
+RunRecord RunOne(const claks::GeneratedDataset& master, size_t threads,
+                 bool warm, const std::vector<WorkItem>& workload,
+                 size_t reps) {
+  std::unique_ptr<claks::SearchService> service =
+      MakeService(master, threads, warm);
+  if (warm) {
+    // Pre-touch: one pass fills the cache, so the timed phase measures
+    // the steady-state hit path.
+    for (const WorkItem& item : workload) {
+      CLAKS_CHECK(service->SearchNow(item.query, item.options).ok());
+    }
+  }
+
+  // Closed-loop producers, one per worker: each runs the workload `reps`
+  // times through Submit(...).get() and records per-query latency.
+  std::vector<std::vector<double>> latencies(threads);
+  auto wall_start = Clock::now();
+  std::vector<std::thread> producers;
+  producers.reserve(threads);
+  for (size_t p = 0; p < threads; ++p) {
+    producers.emplace_back([&, p] {
+      latencies[p].reserve(reps * workload.size());
+      for (size_t r = 0; r < reps; ++r) {
+        for (const WorkItem& item : workload) {
+          auto start = Clock::now();
+          auto result = service->Submit(item.query, item.options).get();
+          CLAKS_CHECK(result.ok());
+          latencies[p].push_back(MillisSince(start));
+        }
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  double wall_ms = MillisSince(wall_start);
+
+  std::vector<double> all;
+  for (const auto& per_thread : latencies) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(all.begin(), all.end());
+
+  RunRecord record;
+  record.threads = threads;
+  record.warm = warm;
+  record.total_queries = all.size();
+  record.wall_ms = wall_ms;
+  record.qps = wall_ms > 0.0 ? 1000.0 * all.size() / wall_ms : 0.0;
+  record.p50_ms = all.empty() ? 0.0 : all[all.size() / 2];
+  record.p99_ms = all.empty() ? 0.0 : all[(all.size() * 99) / 100];
+  claks::ServiceStats stats = service->stats();
+  record.cache_hits = stats.cache_hits;
+  record.cache_misses = stats.cache_misses;
+  return record;
+}
+
+ScaleRecord RunScale(size_t scale, const std::vector<size_t>& thread_counts,
+                     size_t reps, size_t max_edges, size_t top_k) {
+  ScaleRecord record;
+  record.scale = scale;
+  auto generated =
+      claks::GenerateCompanyDataset(claks::CompanyGenOptions::AtScale(scale));
+  CLAKS_CHECK(generated.ok());
+  claks::GeneratedDataset master = std::move(generated).ValueOrDie();
+  record.rows = master.db->TotalRows();
+
+  record.verified_identical = VerifyAgainstSerial(master);
+  CLAKS_CHECK(record.verified_identical);
+
+  const std::vector<WorkItem> workload = MakeWorkload(max_edges, top_k);
+  for (size_t threads : thread_counts) {
+    for (bool warm : {false, true}) {
+      RunRecord run = RunOne(master, threads, warm, workload, reps);
+      std::printf(
+          "  scale %3zux  %zu thread(s)  %-4s  %6zu queries  %8.1f qps  "
+          "p50 %7.3fms  p99 %7.3fms  (hits %llu / misses %llu)\n",
+          scale, threads, warm ? "warm" : "cold", run.total_queries,
+          run.qps, run.p50_ms, run.p99_ms,
+          static_cast<unsigned long long>(run.cache_hits),
+          static_cast<unsigned long long>(run.cache_misses));
+      record.runs.push_back(run);
+    }
+  }
+  return record;
+}
+
+void WriteJson(std::FILE* f, const std::vector<ScaleRecord>& records,
+               const std::vector<size_t>& thread_counts, size_t reps,
+               size_t max_edges, size_t top_k) {
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"bench_service\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"dataset\": \"company_gen\",\n");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"thread_counts\": [");
+  for (size_t i = 0; i < thread_counts.size(); ++i) {
+    std::fprintf(f, "%zu%s", thread_counts[i],
+                 i + 1 < thread_counts.size() ? ", " : "");
+  }
+  std::fprintf(f, "],\n");
+  std::fprintf(f, "  \"reps\": %zu,\n", reps);
+  std::fprintf(f, "  \"max_rdb_edges\": %zu,\n", max_edges);
+  std::fprintf(f, "  \"top_k\": %zu,\n", top_k);
+  std::fprintf(f, "  \"scales\": [\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const ScaleRecord& r = records[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"scale\": %zu,\n", r.scale);
+    std::fprintf(f, "      \"rows\": %zu,\n", r.rows);
+    std::fprintf(f, "      \"verified_identical_to_serial\": %s,\n",
+                 r.verified_identical ? "true" : "false");
+    std::fprintf(f, "      \"runs\": [\n");
+    for (size_t j = 0; j < r.runs.size(); ++j) {
+      const RunRecord& run = r.runs[j];
+      std::fprintf(
+          f,
+          "        {\"threads\": %zu, \"mode\": \"%s\", "
+          "\"total_queries\": %zu, \"wall_ms\": %.3f, \"qps\": %.1f, "
+          "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"cache_hits\": %llu, "
+          "\"cache_misses\": %llu}%s\n",
+          run.threads, run.warm ? "warm" : "cold", run.total_queries,
+          run.wall_ms, run.qps, run.p50_ms, run.p99_ms,
+          static_cast<unsigned long long>(run.cache_hits),
+          static_cast<unsigned long long>(run.cache_misses),
+          j + 1 < r.runs.size() ? "," : "");
+    }
+    std::fprintf(f, "      ],\n");
+    const size_t kRef = 4;
+    std::fprintf(f, "      \"cold_qps_speedup_%zu_vs_1\": %.2f,\n", kRef,
+                 r.QpsOf(1, false) > 0.0
+                     ? r.QpsOf(kRef, false) / r.QpsOf(1, false)
+                     : 0.0);
+    std::fprintf(f, "      \"warm_vs_cold_qps_at_%zu\": %.2f\n", kRef,
+                 r.QpsOf(kRef, false) > 0.0
+                     ? r.QpsOf(kRef, true) / r.QpsOf(kRef, false)
+                     : 0.0);
+    std::fprintf(f, "    }%s\n", i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+}
+
+std::vector<size_t> ParseSizeList(const std::string& spec) {
+  std::vector<size_t> values;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    long value = std::atol(spec.substr(pos, comma - pos).c_str());
+    values.push_back(value > 0 ? static_cast<size_t>(value) : 0);
+    pos = comma + 1;
+  }
+  return values;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<size_t> scales{1, 10};
+  std::vector<size_t> thread_counts{1, 2, 4, 8};
+  std::string out_path = "BENCH_service.json";
+  size_t reps = 8;
+  size_t max_edges = 3;
+  size_t top_k = 10;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--scales=", 0) == 0) {
+      scales = ParseSizeList(arg.substr(9));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      thread_counts = ParseSizeList(arg.substr(10));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      reps = static_cast<size_t>(std::atol(arg.c_str() + 7));
+    } else if (arg.rfind("--max_edges=", 0) == 0) {
+      max_edges = static_cast<size_t>(std::atol(arg.c_str() + 12));
+    } else if (arg.rfind("--top_k=", 0) == 0) {
+      top_k = static_cast<size_t>(std::atol(arg.c_str() + 8));
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag '%s' (supported: --scales=1,10 "
+                   "--threads=1,2,4,8 --out=FILE --reps=N --max_edges=N "
+                   "--top_k=N)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  auto invalid = [](const std::vector<size_t>& v) {
+    return v.empty() ||
+           std::find(v.begin(), v.end(), 0u) != v.end();
+  };
+  if (invalid(scales) || invalid(thread_counts) || reps == 0 ||
+      max_edges == 0 || top_k == 0) {
+    std::fprintf(stderr,
+                 "invalid flags: need scales/threads/reps/max_edges/top_k "
+                 ">= 1\n");
+    return 2;
+  }
+
+  std::vector<ScaleRecord> records;
+  for (size_t scale : scales) {
+    std::printf("scale %zux ...\n", scale);
+    records.push_back(
+        RunScale(scale, thread_counts, reps, max_edges, top_k));
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", out_path.c_str());
+    return 1;
+  }
+  WriteJson(f, records, thread_counts, reps, max_edges, top_k);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

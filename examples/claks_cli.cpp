@@ -21,12 +21,24 @@
 //   --sql               print a SQL statement per hit
 //   --stats             print instance statistics and exit
 //   --save=DIR          persist the loaded dataset and exit
+//
+// Concurrent service mode (drives service/search_service.h instead of a
+// bare engine):
+//   --threads=N         serve through a SearchService with N workers
+//   --queries=A;B;C     batch of queries (';'-separated; overrides --query)
+//   --repeat=N          submit the batch N times (default 1) — repeats are
+//                       result-cache hits; per-run QPS and cache counters
+//                       are reported at the end
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "common/string_util.h"
 #include "core/engine.h"
 #include "core/explain.h"
 #include "core/sql.h"
@@ -36,6 +48,7 @@
 #include "datasets/company_paper.h"
 #include "datasets/movies.h"
 #include "relational/catalog_io.h"
+#include "service/search_service.h"
 
 namespace {
 
@@ -52,6 +65,9 @@ struct Flags {
   bool sql = false;
   bool stats = false;
   std::string save_dir;
+  size_t threads = 0;  // > 0: drive a SearchService instead of the engine
+  std::string queries;  // ';'-separated batch for service mode
+  size_t repeat = 1;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -84,6 +100,15 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->top = std::stoul(value);
       continue;
     }
+    if (ParseFlag(argv[i], "queries", &flags->queries)) continue;
+    if (ParseFlag(argv[i], "threads", &value)) {
+      flags->threads = std::stoul(value);
+      continue;
+    }
+    if (ParseFlag(argv[i], "repeat", &value)) {
+      flags->repeat = std::stoul(value);
+      continue;
+    }
     if (std::strcmp(argv[i], "--explain") == 0) {
       flags->explain = true;
       continue;
@@ -100,6 +125,108 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
     return false;
   }
   return true;
+}
+
+// Batch-of-queries mode over the concurrent service: submits every query
+// (x repeat) through a SearchService worker pool, prints each distinct
+// query's result once, then a throughput + cache-counter summary.
+int RunServiceMode(const Flags& flags, std::unique_ptr<claks::Database> db,
+                   claks::ERSchema er_schema,
+                   claks::ErRelationalMapping mapping, bool have_mapping,
+                   const claks::SearchOptions& options) {
+  std::vector<std::string> queries;
+  if (!flags.queries.empty()) {
+    for (std::string& query : claks::Split(flags.queries, ';')) {
+      if (!query.empty()) queries.push_back(std::move(query));
+    }
+  } else if (!flags.query.empty()) {
+    queries.push_back(flags.query);
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "--query or --queries is required\n");
+    return 2;
+  }
+  size_t repeat = flags.repeat == 0 ? 1 : flags.repeat;
+
+  claks::ServiceOptions service_options;
+  service_options.num_threads = flags.threads;
+  auto service =
+      have_mapping
+          ? claks::SearchService::Create(std::move(db),
+                                         std::move(er_schema),
+                                         std::move(mapping),
+                                         service_options)
+          : claks::SearchService::Create(std::move(db), service_options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "service: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::future<claks::Result<claks::SearchResult>>> futures;
+  futures.reserve(queries.size() * repeat);
+  for (size_t r = 0; r < repeat; ++r) {
+    for (const std::string& query : queries) {
+      futures.push_back((*service)->Submit(query, options));
+    }
+  }
+
+  const claks::Database& snapshot_db = *(*service)->snapshot()->db;
+  int failures = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    auto result = futures[i].get();
+    if (!result.ok()) {
+      std::fprintf(stderr, "search '%s': %s\n",
+                   queries[i % queries.size()].c_str(),
+                   result.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    if (i < queries.size()) {  // print each distinct query once
+      std::printf("%s", result->ToString(snapshot_db, flags.top).c_str());
+      if (flags.explain || flags.sql) {
+        const claks::KeywordSearchEngine& engine =
+            *(*service)->snapshot()->engine;
+        size_t rank = 1;
+        for (const claks::SearchHit& hit : result->hits) {
+          if (!hit.connection.has_value()) continue;
+          if (flags.explain) {
+            auto text = claks::ExplainConnection(*hit.connection,
+                                                 snapshot_db,
+                                                 engine.er_schema(),
+                                                 engine.mapping());
+            if (text.ok()) {
+              std::printf("  #%zu reads: %s\n", rank, text->c_str());
+            }
+          }
+          if (flags.sql) {
+            auto sql = claks::ConnectionToSql(*hit.connection, snapshot_db);
+            if (sql.ok()) {
+              std::printf("  #%zu sql: %s\n", rank, sql->c_str());
+            }
+          }
+          ++rank;
+        }
+      }
+    }
+  }
+  double wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+
+  claks::ServiceStats stats = (*service)->stats();
+  std::printf(
+      "service: %zu queries on %zu thread(s) in %.1fms (%.1f qps) | "
+      "cache hits %llu misses %llu evictions %llu | snapshot v%llu\n",
+      futures.size(), flags.threads, wall_ms,
+      wall_ms > 0.0 ? 1000.0 * static_cast<double>(futures.size()) / wall_ms
+                    : 0.0,
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.cache_misses),
+      static_cast<unsigned long long>(stats.cache_evictions),
+      static_cast<unsigned long long>(stats.snapshot_version));
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -162,26 +289,6 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  auto engine = have_mapping
-                    ? claks::KeywordSearchEngine::Create(
-                          owned_db.get(), std::move(er_schema),
-                          std::move(mapping))
-                    : claks::KeywordSearchEngine::Create(owned_db.get());
-  if (!engine.ok()) {
-    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
-    return 1;
-  }
-
-  if (flags.stats) {
-    std::printf("%s", (*engine)->er_schema().ToString().c_str());
-    std::printf("%s", (*engine)->statistics().ToString().c_str());
-    return 0;
-  }
-  if (flags.query.empty()) {
-    std::fprintf(stderr, "--query is required (or use --stats/--save)\n");
-    return 2;
-  }
-
   claks::SearchOptions options;
   options.max_rdb_edges = flags.depth;
   options.tmax = flags.tmax;
@@ -209,6 +316,32 @@ int main(int argc, char** argv) {
   }
   options.method = method->second;
   options.ranker = ranker->second;
+
+  if (flags.threads > 0 && !flags.stats) {
+    // Concurrent service mode: the service takes ownership of the data.
+    return RunServiceMode(flags, std::move(owned_db), std::move(er_schema),
+                          std::move(mapping), have_mapping, options);
+  }
+
+  auto engine = have_mapping
+                    ? claks::KeywordSearchEngine::Create(
+                          owned_db.get(), std::move(er_schema),
+                          std::move(mapping))
+                    : claks::KeywordSearchEngine::Create(owned_db.get());
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  if (flags.stats) {
+    std::printf("%s", (*engine)->er_schema().ToString().c_str());
+    std::printf("%s", (*engine)->statistics().ToString().c_str());
+    return 0;
+  }
+  if (flags.query.empty()) {
+    std::fprintf(stderr, "--query is required (or use --stats/--save)\n");
+    return 2;
+  }
 
   auto result = (*engine)->Search(flags.query, options);
   if (!result.ok()) {

@@ -2,12 +2,27 @@
 
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace claks {
 
 namespace {
-LogLevel g_level = LogLevel::kWarning;
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+// Guards the sink pointer and every emission: one CLAKS_LOG statement is
+// one critical section, so concurrent statements produce whole,
+// non-interleaved lines in the sink.
+std::mutex& SinkMutex() {
+  static std::mutex* mutex = new std::mutex;
+  return *mutex;
+}
+
+LogSink& Sink() {
+  static LogSink* sink = new LogSink;
+  return *sink;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,8 +39,16 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  Sink() = std::move(sink);
+}
 
 namespace internal {
 
@@ -35,8 +58,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (level_ >= g_level) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  if (level_ < GetLogLevel()) return;
+  const std::string line = stream_.str();
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (Sink()) {
+    Sink()(level_, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
   }
 }
 

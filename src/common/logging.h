@@ -2,10 +2,18 @@
 //
 // Minimal leveled logger. Off by default above WARNING so library users are
 // not spammed; benches flip the level to INFO.
+//
+// Thread-safety: the logger is safe to use from any number of threads.
+// Each CLAKS_LOG statement buffers its message privately and emits it as
+// one atomic line — the sink (stderr by default, or the function installed
+// with SetLogSink) is invoked under a global mutex, so concurrent
+// statements never interleave characters within a line. SetLogLevel /
+// GetLogLevel are atomic.
 
 #ifndef CLAKS_COMMON_LOGGING_H_
 #define CLAKS_COMMON_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -16,6 +24,15 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Sets / reads the global minimum level that is actually emitted.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Receives one complete log line (without trailing newline) per emitted
+/// CLAKS_LOG statement. Called under the logger's mutex: implementations
+/// need no synchronization of their own but must not log re-entrantly.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+
+/// Replaces the stderr sink (pass nullptr to restore it). Intended for
+/// tests and embedders; swapping sinks while other threads log is safe.
+void SetLogSink(LogSink sink);
 
 namespace internal {
 

@@ -79,8 +79,9 @@ Result<std::unique_ptr<KeywordSearchEngine>> KeywordSearchEngine::Create(
   CLAKS_CHECK(db != nullptr);
   CLAKS_RETURN_NOT_OK(db->CheckReferentialIntegrity());
   // Pay the join-index build once here; the data graph and every query
-  // path are then served from the cache.
-  db->BuildJoinIndexes();
+  // path are then served from the cache, and a freshly-created engine is
+  // warm (Search is const and data-race-free until `db` is mutated).
+  db->Warmup();
   auto engine =
       std::unique_ptr<KeywordSearchEngine>(new KeywordSearchEngine());
   engine->db_ = db;

@@ -135,8 +135,29 @@ class KeywordSearchEngine {
   static Result<std::unique_ptr<KeywordSearchEngine>> Create(
       const Database* db, ERSchema er_schema, ErRelationalMapping mapping);
 
+  /// Eagerly materializes every lazily-built structure the engine or its
+  /// database serves queries from — today the per-FK join indexes and the
+  /// cached FK edge list (the CSR data graph, schema graph, inverted
+  /// index, association analyzer and ranking statistics are already built
+  /// eagerly by Create). After Warmup returns, and as long as the backing
+  /// Database is not mutated, Search touches no shared mutable state:
+  /// concurrent Search calls from any number of threads are data-race-free
+  /// and return the same results as serial execution. The service layer
+  /// (service/search_service.h) calls this on every snapshot before
+  /// publishing it.
+  void Warmup() const { db_->Warmup(); }
+
+  /// True when Warmup's work is in place for the current instance (it is
+  /// also done by Create; only a Database mutated after Create can be
+  /// unwarmed).
+  bool Warm() const { return db_->JoinIndexesFresh(); }
+
   /// Answers a keyword query. Queries where some keyword matches nothing
   /// return an empty hit list (AND semantics).
+  ///
+  /// Thread-safety: const and data-race-free on a warmed engine (see
+  /// Warmup); on an unwarmed engine the first call triggers the database's
+  /// mutex-guarded lazy index build.
   Result<SearchResult> Search(const std::string& query_text,
                               const SearchOptions& options = {}) const;
 

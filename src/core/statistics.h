@@ -46,6 +46,11 @@ struct RelationshipStats {
 
 /// Computes and caches statistics for every relationship of the schema.
 /// All referenced objects must outlive the statistics.
+///
+/// Thread-safety: the full statistics map is computed eagerly in the
+/// constructor and never mutated afterwards, so every const member is safe
+/// to call concurrently from any number of threads (the contract
+/// KeywordSearchEngine::Warmup relies on for the ranking path).
 class InstanceStatistics {
  public:
   InstanceStatistics(const Database* db, const ERSchema* er_schema,

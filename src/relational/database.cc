@@ -7,6 +7,16 @@
 
 namespace claks {
 
+std::unique_ptr<Database> Database::Clone() const {
+  auto copy = std::make_unique<Database>();
+  copy->tables_.reserve(tables_.size());
+  for (const auto& table : tables_) {
+    copy->tables_.push_back(std::make_unique<Table>(*table));
+  }
+  copy->name_to_index_ = name_to_index_;
+  return copy;
+}
+
 Result<Table*> Database::AddTable(TableSchema schema) {
   CLAKS_RETURN_NOT_OK(schema.Validate());
   if (name_to_index_.count(schema.name()) > 0) {
@@ -127,8 +137,7 @@ Status Database::CheckReferentialIntegrity() const {
   return Status::OK();
 }
 
-bool Database::JoinIndexesFresh() const {
-  if (!join_indexes_built_) return false;
+bool Database::JoinIndexesFreshLocked() const {
   if (indexed_row_counts_.size() != tables_.size()) return false;
   for (size_t t = 0; t < tables_.size(); ++t) {
     if (indexed_row_counts_[t] != tables_[t]->num_rows()) return false;
@@ -136,8 +145,25 @@ bool Database::JoinIndexesFresh() const {
   return true;
 }
 
+bool Database::JoinIndexesFresh() const {
+  // Acquire pairs with the release store at the end of the build: a reader
+  // that sees the flag also sees the fully-built cache and the row counts
+  // it was built against. Stale counts (a mutation happened) can only be
+  // observed when mutation has stopped racing with readers, per the class
+  // contract.
+  if (!join_indexes_built_.load(std::memory_order_acquire)) return false;
+  return JoinIndexesFreshLocked();
+}
+
 void Database::BuildJoinIndexes() const {
-  if (JoinIndexesFresh()) return;
+  if (JoinIndexesFresh()) return;  // lock-free fast path
+  std::lock_guard<std::mutex> lock(join_index_mutex_);
+  // Double-check under the lock: another thread may have finished the
+  // build while this one waited.
+  if (join_indexes_built_.load(std::memory_order_relaxed) &&
+      JoinIndexesFreshLocked()) {
+    return;
+  }
   join_indexes_.assign(tables_.size(), {});
   indexed_row_counts_.resize(tables_.size());
 
@@ -216,7 +242,7 @@ void Database::BuildJoinIndexes() const {
       }
     }
   }
-  join_indexes_built_ = true;
+  join_indexes_built_.store(true, std::memory_order_release);
 }
 
 const FkJoinIndex& Database::JoinIndex(uint32_t table_index,

@@ -9,7 +9,9 @@
 #ifndef CLAKS_RELATIONAL_DATABASE_H_
 #define CLAKS_RELATIONAL_DATABASE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -60,9 +62,30 @@ struct FkJoinIndex {
 };
 
 /// An in-memory relational database.
+///
+/// Thread-safety contract: all mutation (AddTable, Insert through
+/// mutable_table / FindMutableTable) must happen-before any concurrent use,
+/// and no reader may run while a mutator does. Once the instance is frozen,
+/// every const member — including the lazily-built join-index accessors —
+/// is safe to call from any number of threads concurrently: the first lazy
+/// build is serialized behind a mutex and published with release/acquire
+/// ordering, so racing const readers agree on one fully-built cache.
+/// One sharp edge: a mutation *invalidates* a previously-built cache, and
+/// the invalidation is observed by polling row counts, so the mutator must
+/// call Warmup() (or any join-index accessor) once — while it still has
+/// exclusivity — before concurrent reads resume; otherwise one reader's
+/// rebuild races another's freshness check. The service layer never hits
+/// this: it clones, mutates the clone, and warms it before publication
+/// (see service/search_service.h).
 class Database {
  public:
   Database() = default;
+
+  /// Deep copy of schema and rows (not the join-index cache; the copy
+  /// rebuilds it on Warmup/first use). The service layer clones the
+  /// current database, applies a mutation batch, and warms the copy into
+  /// a fresh snapshot while readers continue on the original.
+  std::unique_ptr<Database> Clone() const;
 
   /// Registers a new table. Fails if the name already exists or the schema
   /// is invalid.
@@ -99,6 +122,13 @@ class Database {
   /// build (row counts are compared on access). Cost: one hash lookup per
   /// (row, FK) pair, paid once instead of per query.
   void BuildJoinIndexes() const;
+
+  /// Eagerly materializes every derived structure of this database (today:
+  /// the per-FK join indexes and the cached FK edge list) so that all
+  /// subsequent const access is read-only. Call once before sharing a
+  /// const Database across threads; synonym of BuildJoinIndexes kept as
+  /// the stable name of the "make const access race-free" step.
+  void Warmup() const { BuildJoinIndexes(); }
 
   /// True when the join indexes are built and match the current instance.
   bool JoinIndexesFresh() const;
@@ -141,13 +171,20 @@ class Database {
   std::vector<std::unique_ptr<Table>> tables_;
   std::unordered_map<std::string, uint32_t> name_to_index_;
 
+  // True when the built cache still matches the current row counts.
+  // Caller must hold join_index_mutex_ or otherwise exclude mutation.
+  bool JoinIndexesFreshLocked() const;
+
   // Join-index cache. Mutable: building is a logically-const operation
   // (tables are append-only; the cache tracks the indexed row counts and
-  // rebuilds when they drift).
+  // rebuilds when they drift). Racing const readers serialize the lazy
+  // build on join_index_mutex_; join_indexes_built_ is the lock-free fast
+  // path flag (release store after the build, acquire load before use).
+  mutable std::mutex join_index_mutex_;
   mutable std::vector<std::vector<FkJoinIndex>> join_indexes_;  // [table][fk]
   mutable std::vector<FkEdge> all_fk_edges_;
   mutable std::vector<size_t> indexed_row_counts_;
-  mutable bool join_indexes_built_ = false;
+  mutable std::atomic<bool> join_indexes_built_{false};
 };
 
 }  // namespace claks

@@ -1,0 +1,90 @@
+// Copyright 2026 The claks Authors.
+//
+// Sharded LRU cache of search results keyed by the canonical normalized
+// query form (service/search_service.h builds the keys). Identical queries
+// hitting the service pay the full search cost once per snapshot; the
+// shards keep lock contention at N threads from serializing every lookup.
+
+#ifndef CLAKS_SERVICE_RESULT_CACHE_H_
+#define CLAKS_SERVICE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace claks {
+
+/// Exact counters across all shards. hits + misses equals the number of
+/// Get calls that have completed; evictions counts LRU displacements only
+/// (Clear and same-key overwrites are not evictions).
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+  size_t capacity = 0;
+};
+
+/// Fixed-capacity, sharded, mutex-per-shard LRU mapping cache keys to
+/// immutable shared SearchResults.
+///
+/// Thread-safety: every member is safe to call concurrently; each
+/// operation locks exactly one shard (stats() locks them in turn, giving a
+/// sum over per-shard-consistent snapshots). Returned shared_ptrs stay
+/// valid after eviction — eviction drops the cache's reference, never the
+/// caller's.
+class ResultCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across
+  /// `num_shards` shards (each shard gets at least one slot).
+  explicit ResultCache(size_t capacity, size_t num_shards = 8);
+
+  /// The cached result for `key`, refreshing its recency; nullptr (and a
+  /// counted miss) when absent.
+  std::shared_ptr<const SearchResult> Get(const std::string& key);
+
+  /// Inserts or overwrites `key`, making it most recent; evicts the least
+  /// recent entry of the key's shard when that shard is at capacity.
+  void Put(const std::string& key,
+           std::shared_ptr<const SearchResult> value);
+
+  /// Drops every entry; counters keep accumulating (entries resets).
+  void Clear();
+
+  ResultCacheStats stats() const;
+
+  size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const SearchResult> value;
+  };
+  struct Shard {
+    std::mutex mutex;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    /// key (owned by the list node) -> node. std::list iterators survive
+    /// splices, so refreshing recency never invalidates the map.
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace claks
+
+#endif  // CLAKS_SERVICE_RESULT_CACHE_H_

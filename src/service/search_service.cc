@@ -1,0 +1,174 @@
+// Copyright 2026 The claks Authors.
+
+#include "service/search_service.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "text/matcher.h"
+
+namespace claks {
+
+SearchService::SearchService(
+    ServiceOptions options,
+    std::optional<std::pair<ERSchema, ErRelationalMapping>>
+        schema_and_mapping)
+    : options_(options), schema_and_mapping_(std::move(schema_and_mapping)) {
+  if (options_.cache_capacity > 0) {
+    cache_ = std::make_unique<ResultCache>(options_.cache_capacity,
+                                           options_.cache_shards);
+  }
+  pool_ = std::make_unique<ThreadPool>(options_.num_threads,
+                                       options_.queue_capacity);
+}
+
+SearchService::~SearchService() = default;
+
+Result<std::unique_ptr<SearchService>> SearchService::Create(
+    std::unique_ptr<Database> db, ServiceOptions options) {
+  CLAKS_CHECK(db != nullptr);
+  auto service = std::unique_ptr<SearchService>(
+      new SearchService(options, std::nullopt));
+  CLAKS_ASSIGN_OR_RETURN(service->snapshot_,
+                         service->BuildSnapshot(std::move(db), 1));
+  return service;
+}
+
+Result<std::unique_ptr<SearchService>> SearchService::Create(
+    std::unique_ptr<Database> db, ERSchema er_schema,
+    ErRelationalMapping mapping, ServiceOptions options) {
+  CLAKS_CHECK(db != nullptr);
+  auto service = std::unique_ptr<SearchService>(new SearchService(
+      options,
+      std::make_pair(std::move(er_schema), std::move(mapping))));
+  CLAKS_ASSIGN_OR_RETURN(service->snapshot_,
+                         service->BuildSnapshot(std::move(db), 1));
+  return service;
+}
+
+Result<std::shared_ptr<const EngineSnapshot>> SearchService::BuildSnapshot(
+    std::unique_ptr<Database> db, uint64_t version) const {
+  auto snapshot = std::make_shared<EngineSnapshot>();
+  snapshot->version = version;
+  snapshot->db = std::move(db);
+  if (schema_and_mapping_.has_value()) {
+    CLAKS_ASSIGN_OR_RETURN(
+        snapshot->engine,
+        KeywordSearchEngine::Create(snapshot->db.get(),
+                                    schema_and_mapping_->first,
+                                    schema_and_mapping_->second));
+  } else {
+    CLAKS_ASSIGN_OR_RETURN(
+        snapshot->engine,
+        KeywordSearchEngine::Create(snapshot->db.get()));
+  }
+  // Create warms the engine already; keep the explicit call as the
+  // published contract (a snapshot is never handed out cold).
+  snapshot->engine->Warmup();
+  CLAKS_CHECK(snapshot->engine->Warm());
+  return std::shared_ptr<const EngineSnapshot>(std::move(snapshot));
+}
+
+std::shared_ptr<const EngineSnapshot> SearchService::snapshot() const {
+  return std::atomic_load(&snapshot_);
+}
+
+std::string SearchService::CacheKey(const KeywordSearchEngine& engine,
+                                    uint64_t version,
+                                    const std::string& query_text,
+                                    const SearchOptions& options) {
+  KeywordQuery query =
+      ParseKeywordQuery(query_text, engine.index().tokenizer());
+  std::string key = StrFormat("v%llu|",
+                              static_cast<unsigned long long>(version));
+  for (const std::string& keyword : query.keywords) {
+    key += keyword;
+    key += '\x1f';  // unit separator: cannot occur in a normalized token
+  }
+  key += StrFormat(
+      "|m%d|r%d|e%zu|t%zu|k%zu|i%d|w%zu|a%d|g%zu|bk%zu|bw%d|bd%zu",
+      static_cast<int>(options.method), static_cast<int>(options.ranker),
+      options.max_rdb_edges, options.tmax, options.top_k,
+      options.instance_check ? 1 : 0, options.witness_edges,
+      options.require_all_keywords ? 1 : 0, options.per_endpoint_limit,
+      options.banks.top_k, static_cast<int>(options.banks.weight_model),
+      options.banks.max_distance);
+  return key;
+}
+
+Result<SearchResult> SearchService::Execute(const std::string& query_text,
+                                            const SearchOptions& options) {
+  // Pick the snapshot at execution (not submission) time: a query queued
+  // behind a Mutate sees the new data, while one already executing keeps
+  // its generation alive through this shared_ptr.
+  std::shared_ptr<const EngineSnapshot> snap = snapshot();
+  std::string key;
+  if (cache_ != nullptr) {
+    key = CacheKey(*snap->engine, snap->version, query_text, options);
+    if (std::shared_ptr<const SearchResult> cached = cache_->Get(key)) {
+      return SearchResult(*cached);
+    }
+  }
+  Result<SearchResult> result = snap->engine->Search(query_text, options);
+  if (cache_ == nullptr || !result.ok()) return result;
+  auto shared = std::make_shared<const SearchResult>(
+      std::move(result).ValueOrDie());
+  cache_->Put(key, shared);
+  return SearchResult(*shared);
+}
+
+std::future<Result<SearchResult>> SearchService::Submit(
+    std::string query_text, SearchOptions options) {
+  auto promise = std::make_shared<std::promise<Result<SearchResult>>>();
+  std::future<Result<SearchResult>> future = promise->get_future();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  pool_->Submit([this, promise, query_text = std::move(query_text),
+                 options]() {
+    Result<SearchResult> result = Execute(query_text, options);
+    // Count before fulfilling: a waiter that sees the future ready also
+    // sees the counter (set_value synchronizes with the get).
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    promise->set_value(std::move(result));
+  });
+  return future;
+}
+
+Result<SearchResult> SearchService::SearchNow(
+    const std::string& query_text, const SearchOptions& options) {
+  return Submit(query_text, options).get();
+}
+
+Status SearchService::Mutate(
+    const std::function<Status(Database*)>& mutation) {
+  CLAKS_CHECK(mutation != nullptr);
+  std::lock_guard<std::mutex> lock(mutate_mutex_);
+  std::shared_ptr<const EngineSnapshot> current = snapshot();
+  // Copy-on-write: the clone (not the live database) absorbs the
+  // mutation, so every concurrent query keeps reading an immutable
+  // generation.
+  std::unique_ptr<Database> next_db = current->db->Clone();
+  CLAKS_RETURN_NOT_OK(mutation(next_db.get()));
+  CLAKS_ASSIGN_OR_RETURN(
+      std::shared_ptr<const EngineSnapshot> next,
+      BuildSnapshot(std::move(next_db), current->version + 1));
+  std::atomic_store(&snapshot_, std::move(next));
+  return Status::OK();
+}
+
+void SearchService::Drain() { pool_->Drain(); }
+
+ServiceStats SearchService::stats() const {
+  ServiceStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  if (cache_ != nullptr) {
+    ResultCacheStats cache = cache_->stats();
+    stats.cache_hits = cache.hits;
+    stats.cache_misses = cache.misses;
+    stats.cache_evictions = cache.evictions;
+    stats.cache_entries = cache.entries;
+  }
+  stats.snapshot_version = snapshot()->version;
+  return stats;
+}
+
+}  // namespace claks

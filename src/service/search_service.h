@@ -1,0 +1,171 @@
+// Copyright 2026 The claks Authors.
+//
+// SearchService: the concurrent query front of the engine. One service
+// owns (a) an immutable, fully-warmed KeywordSearchEngine snapshot shared
+// RCU-style behind a std::shared_ptr, (b) a fixed worker pool with a
+// bounded submission queue (service/thread_pool.h), and (c) a sharded LRU
+// result cache keyed by the canonical normalized query form
+// (service/result_cache.h). Queries are submitted from any thread and
+// resolve through per-query futures; mutations clone the database, build
+// and warm a fresh snapshot off to the side, and swap it in atomically
+// while in-flight queries finish on the old snapshot.
+
+#ifndef CLAKS_SERVICE_SEARCH_SERVICE_H_
+#define CLAKS_SERVICE_SEARCH_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/engine.h"
+#include "service/result_cache.h"
+#include "service/thread_pool.h"
+
+namespace claks {
+
+/// One immutable generation of the data + engine: the database frozen at
+/// snapshot-build time and a warmed engine over it. Readers hold the whole
+/// snapshot via shared_ptr, so a generation stays alive exactly as long as
+/// any in-flight query (or the service) references it.
+struct EngineSnapshot {
+  /// Monotonically increasing, starting at 1; part of every cache key, so
+  /// results cached against an old generation can never serve a new one.
+  uint64_t version = 0;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<KeywordSearchEngine> engine;  ///< warmed, reads db
+};
+
+struct ServiceOptions {
+  /// Worker threads executing searches.
+  size_t num_threads = 4;
+  /// Bounded submission queue: Submit blocks (backpressure, no drops)
+  /// while this many tasks wait.
+  size_t queue_capacity = 64;
+  /// Total result-cache entries across shards; 0 disables caching.
+  size_t cache_capacity = 1024;
+  size_t cache_shards = 8;
+};
+
+/// Point-in-time service counters. Exact: hits + misses counts executed
+/// lookups, completed counts fulfilled futures.
+struct ServiceStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  size_t cache_entries = 0;
+  uint64_t snapshot_version = 0;
+};
+
+/// Thread-safety: every public member may be called from any thread.
+/// Submit is wait-free past admission (it blocks only on the bounded
+/// queue); Mutate serializes with other Mutate calls but never blocks
+/// queries — they keep resolving against the previous snapshot until the
+/// swap. Destruction completes all admitted queries first.
+class SearchService {
+ public:
+  /// Takes ownership of `db`, reverse-engineers the conceptual schema,
+  /// and publishes snapshot version 1. Fails when the engine cannot be
+  /// built (e.g. referential-integrity violations).
+  static Result<std::unique_ptr<SearchService>> Create(
+      std::unique_ptr<Database> db, ServiceOptions options = {});
+
+  /// Same with a known conceptual schema + mapping; both are retained and
+  /// reused for every future snapshot rebuild (row mutations do not change
+  /// the schema).
+  static Result<std::unique_ptr<SearchService>> Create(
+      std::unique_ptr<Database> db, ERSchema er_schema,
+      ErRelationalMapping mapping, ServiceOptions options = {});
+
+  ~SearchService();
+
+  SearchService(const SearchService&) = delete;
+  SearchService& operator=(const SearchService&) = delete;
+
+  /// Enqueues one query; the future resolves to exactly what
+  /// KeywordSearchEngine::Search would return serially on the snapshot
+  /// current at execution time (cache hits return a copy of that same
+  /// result). Blocks while the submission queue is full.
+  std::future<Result<SearchResult>> Submit(std::string query_text,
+                                           SearchOptions options = {});
+
+  /// Convenience: Submit + wait.
+  Result<SearchResult> SearchNow(const std::string& query_text,
+                                 const SearchOptions& options = {});
+
+  /// Clones the current database, applies `mutation` to the clone, builds
+  /// and warms a fresh engine over it, and atomically publishes it as the
+  /// next snapshot version. Queries already executing (or cache entries
+  /// keyed to older versions) are untouched; queries picking a snapshot
+  /// after the swap see the new data. On mutation failure nothing is
+  /// published. Mutations serialize with each other.
+  Status Mutate(const std::function<Status(Database*)>& mutation);
+
+  /// The current snapshot (RCU read side): callers may search it directly
+  /// and hold it as long as they like.
+  std::shared_ptr<const EngineSnapshot> snapshot() const;
+
+  /// Blocks until every query submitted so far has resolved.
+  void Drain();
+
+  ServiceStats stats() const;
+  const ServiceOptions& options() const { return options_; }
+
+  /// The canonical cache key of a query against one snapshot version: the
+  /// tokenizer-normalized keyword sequence (so "Smith XML", "smith xml"
+  /// and " SMITH  xml. " coincide) plus every option that can change the
+  /// result — method, ranker, top_k, AND/OR semantics, depth/tmax bounds,
+  /// instance-check settings, per-endpoint grouping and the BANKS
+  /// parameters — plus the snapshot version itself.
+  static std::string CacheKey(const KeywordSearchEngine& engine,
+                              uint64_t version,
+                              const std::string& query_text,
+                              const SearchOptions& options);
+
+ private:
+  SearchService(ServiceOptions options,
+                std::optional<std::pair<ERSchema, ErRelationalMapping>>
+                    schema_and_mapping);
+
+  /// Builds a warmed snapshot of `db` at `version` using the retained
+  /// schema/mapping when present (reverse-engineering otherwise).
+  Result<std::shared_ptr<const EngineSnapshot>> BuildSnapshot(
+      std::unique_ptr<Database> db, uint64_t version) const;
+
+  /// The worker-side execution path: snapshot pick, cache lookup, search,
+  /// cache fill.
+  Result<SearchResult> Execute(const std::string& query_text,
+                               const SearchOptions& options);
+
+  const ServiceOptions options_;
+  /// Schema + mapping reused across snapshot rebuilds (nullopt: recover
+  /// from the catalog each time).
+  const std::optional<std::pair<ERSchema, ErRelationalMapping>>
+      schema_and_mapping_;
+
+  /// RCU-style published snapshot: readers atomic_load a shared_ptr copy,
+  /// Mutate atomic_stores the replacement. Never null after Create.
+  std::shared_ptr<const EngineSnapshot> snapshot_;
+  /// Serializes Mutate calls (clone + rebuild happen outside any lock the
+  /// read side takes).
+  std::mutex mutate_mutex_;
+
+  std::unique_ptr<ResultCache> cache_;  ///< null when caching is disabled
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+
+  /// Declared last: destroyed first, so workers finish (they reference
+  /// snapshot_/cache_/counters) before the rest of the service tears down.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace claks
+
+#endif  // CLAKS_SERVICE_SEARCH_SERVICE_H_

@@ -1,0 +1,88 @@
+// Copyright 2026 The claks Authors.
+
+#include "service/thread_pool.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace claks {
+
+ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
+    : capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  CLAKS_CHECK(task != nullptr);
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_full_.wait(lock,
+                 [this] { return queue_.size() < capacity_ || stopping_; });
+  CLAKS_CHECK(!stopping_);  // submitting to a destructing pool
+  queue_.push_back(std::move(task));
+  lock.unlock();
+  not_empty_.notify_one();
+}
+
+bool ThreadPool::TrySubmit(std::function<void()>& task) {
+  CLAKS_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CLAKS_CHECK(!stopping_);
+    if (queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+void ThreadPool::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_idle_.wait(lock,
+                 [this] { return queue_.empty() && executing_ == 0; });
+}
+
+size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock,
+                      [this] { return !queue_.empty() || stopping_; });
+      // Drain-before-exit: shutdown completes queued work, it never
+      // cancels it (Submit callers hold futures on these tasks).
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++executing_;
+    }
+    not_full_.notify_one();
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --executing_;
+      if (queue_.empty() && executing_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace claks

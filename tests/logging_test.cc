@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+#include <vector>
+
 namespace claks {
 namespace {
 
@@ -32,6 +36,70 @@ TEST_F(LoggingTest, MacroStreamsWithoutCrashing) {
   CLAKS_LOG(Warning) << "warning " << "text";
   // Emitting at or above the level must also not crash.
   CLAKS_LOG(Error) << "error path exercised";
+}
+
+TEST_F(LoggingTest, SinkReceivesWholeLines) {
+  SetLogLevel(LogLevel::kInfo);
+  std::vector<std::string> lines;
+  SetLogSink([&lines](LogLevel, const std::string& line) {
+    lines.push_back(line);
+  });
+  CLAKS_LOG(Info) << "hello " << 42;
+  CLAKS_LOG(Debug) << "suppressed";  // below the level: not emitted
+  SetLogSink(nullptr);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("hello 42"), std::string::npos);
+  EXPECT_NE(lines[0].find("[INFO "), std::string::npos);
+}
+
+// Regression test for the unsynchronized-sink race: N threads log
+// concurrently and every captured line must be whole — one prefix, one
+// intact payload, no interleaved characters from another thread.
+TEST_F(LoggingTest, ConcurrentLoggingKeepsEveryLineIntact) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  SetLogLevel(LogLevel::kInfo);
+  std::vector<std::string> lines;
+  // The sink runs under the logger's mutex: plain push_back is safe, and
+  // any torn line would land here torn.
+  SetLogSink([&lines](LogLevel, const std::string& line) {
+    lines.push_back(line);
+  });
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      const std::string payload(32, static_cast<char>('a' + t));
+      for (int i = 0; i < kPerThread; ++i) {
+        CLAKS_LOG(Info) << "thread " << t << " message " << i
+                        << " payload " << payload;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  SetLogSink(nullptr);
+
+  ASSERT_EQ(lines.size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+  std::vector<int> per_thread(kThreads, 0);
+  for (const std::string& line : lines) {
+    // Shape: "[INFO file:line] thread T message I payload <32 x same char>".
+    size_t t_pos = line.find("thread ");
+    size_t p_pos = line.find(" payload ");
+    ASSERT_NE(t_pos, std::string::npos) << line;
+    ASSERT_NE(p_pos, std::string::npos) << line;
+    int t = std::stoi(line.substr(t_pos + 7));
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, kThreads);
+    // The payload is exactly the writer's 32-character run, terminating
+    // the line — a torn write could not reproduce it.
+    const std::string expected(32, static_cast<char>('a' + t));
+    EXPECT_EQ(line.substr(p_pos + 9), expected) << line;
+    ++per_thread[t];
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(per_thread[t], kPerThread) << "thread " << t;
+  }
 }
 
 TEST_F(LoggingTest, LevelOrdering) {
