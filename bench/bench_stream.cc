@@ -9,7 +9,11 @@
 // length-monotone ranker exercised — verifying along the way that equal
 // settings produce identical results (full drains: identical hit-tree
 // sets; top-k runs: identical ranking-key sequences, since key ties may
-// order differently). The JSON schema is documented in
+// order differently). Since schema_version 2 each query also records a
+// paged consumption trace: a prepared-query cursor (core/cursor.h) over
+// the streaming method, fetched page by page, with per-page latency and
+// the cumulative expansion count after each page — the work metric of
+// incremental consumption. The JSON schema is documented in
 // docs/BENCHMARKS.md; CI uploads the 1x/10x run as an artifact.
 
 #include <algorithm>
@@ -21,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cursor.h"
 #include "core/engine.h"
 #include "datasets/company_gen.h"
 
@@ -71,6 +76,12 @@ struct TopkRecord {
   bool keys_identical = true;
 };
 
+struct PageRecord {
+  double latency_ms = 0.0;
+  size_t hits = 0;
+  size_t expansions = 0;  // cumulative after this page
+};
+
 struct QueryRecord {
   std::string query;
   size_t results_full = 0;
@@ -79,6 +90,11 @@ struct QueryRecord {
   size_t expansions_full = 0;
   bool full_identical = true;
   std::vector<TopkRecord> topk;
+  // Paged cursor consumption of the top-k streaming query.
+  std::string paged_ranker;
+  size_t page_size = 0;
+  bool paged_identical = true;
+  std::vector<PageRecord> pages;
 };
 
 struct ScaleRecord {
@@ -165,6 +181,42 @@ ScaleRecord RunScale(size_t scale, size_t top_k, size_t max_edges,
       CLAKS_CHECK(tr.keys_identical);
       qr.topk.push_back(std::move(tr));
     }
+
+    // Paged consumption: prepared-query cursor over the streaming top-k,
+    // fetched in pages, per-page latency + cumulative expansions. The
+    // concatenated pages must carry the one-shot ranking-key sequence.
+    {
+      claks::SearchOptions options = base;
+      options.method = claks::SearchMethod::kStream;
+      options.ranker = claks::RankerKind::kCloseFirst;
+      options.top_k = top_k;
+      qr.paged_ranker = claks::RankerKindToString(options.ranker);
+      qr.page_size = 2;
+
+      auto prepared = engine->Prepare(query, options);
+      CLAKS_CHECK(prepared.ok());
+      auto cursor = prepared->Open();
+      CLAKS_CHECK(cursor.ok());
+      claks::SearchResult paged;
+      while (!(*cursor)->Drained()) {
+        auto start = Clock::now();
+        auto page = (*cursor)->Next(qr.page_size);
+        double ms = MillisSince(start);
+        CLAKS_CHECK(page.ok());
+        if (page->empty()) break;
+        for (claks::SearchHit& hit : *page) {
+          paged.hits.push_back(std::move(hit));
+        }
+        claks::CursorStats stats = (*cursor)->Stats();
+        qr.pages.push_back(
+            PageRecord{ms, page->size(), stats.expansions});
+      }
+      auto reference = engine->Search(query, options);
+      CLAKS_CHECK(reference.ok());
+      qr.paged_identical = KeySequence(*reference, options.ranker) ==
+                           KeySequence(paged, options.ranker);
+      CLAKS_CHECK(qr.paged_identical);
+    }
     record.queries.push_back(std::move(qr));
   }
   return record;
@@ -178,7 +230,7 @@ void WriteJson(std::FILE* f, const std::vector<ScaleRecord>& records,
                size_t top_k, size_t max_edges, size_t reps) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"benchmark\": \"bench_stream\",\n");
-  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"schema_version\": 2,\n");
   std::fprintf(f, "  \"dataset\": \"company_gen\",\n");
   std::fprintf(f, "  \"top_k\": %zu,\n", top_k);
   std::fprintf(f, "  \"max_rdb_edges\": %zu,\n", max_edges);
@@ -219,7 +271,21 @@ void WriteJson(std::FILE* f, const std::vector<ScaleRecord>& records,
             Ratio(qr.enumerate_ms, tr.stream_topk_ms),
             t + 1 < qr.topk.size() ? "," : "");
       }
-      std::fprintf(f, "          ]\n");
+      std::fprintf(f, "          ],\n");
+      std::fprintf(f,
+                   "          \"paged\": {\"ranker\": \"%s\", "
+                   "\"page_size\": %zu, \"identical\": %s, \"pages\": [",
+                   qr.paged_ranker.c_str(), qr.page_size,
+                   qr.paged_identical ? "true" : "false");
+      for (size_t p = 0; p < qr.pages.size(); ++p) {
+        const PageRecord& pr = qr.pages[p];
+        std::fprintf(f,
+                     "%s{\"page\": %zu, \"latency_ms\": %.3f, "
+                     "\"hits\": %zu, \"expansions\": %zu}",
+                     p == 0 ? "" : ", ", p + 1, pr.latency_ms, pr.hits,
+                     pr.expansions);
+      }
+      std::fprintf(f, "]}\n");
       std::fprintf(f, "        }%s\n",
                    q + 1 < r.queries.size() ? "," : "");
     }

@@ -17,6 +17,14 @@
 //   --depth=N           max FK edges for enumerate/stream (default 4)
 //   --tmax=N            max tuples for mtjnt/discover (default 5)
 //   --top=N             result cap (default 10)
+//   --page-size=N       incremental paging: prepare the query, open a
+//                       cursor and fetch N hits at a time (interactive:
+//                       waits for Enter between pages when stdin is a
+//                       TTY). With --method=stream the expansion work
+//                       happens per page — the per-page expansion counter
+//                       shows how little of the result space each page
+//                       cost. Combined with --threads this drives the
+//                       service's Prepare/Fetch endpoints instead.
 //   --explain           print a natural-language reading per hit
 //   --sql               print a SQL statement per hit
 //   --stats             print instance statistics and exit
@@ -30,17 +38,21 @@
 //                       result-cache hits; per-run QPS and cache counters
 //                       are reported at the end
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <future>
-#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/string_util.h"
+#include "core/cursor.h"
 #include "core/engine.h"
 #include "core/explain.h"
+#include "core/query_spec.h"
 #include "core/sql.h"
 #include "datasets/bibliography.h"
 #include "datasets/company_full.h"
@@ -61,6 +73,7 @@ struct Flags {
   size_t depth = 4;
   size_t tmax = 5;
   size_t top = 10;
+  size_t page_size = 0;  // > 0: prepared-query + cursor paging
   bool explain = false;
   bool sql = false;
   bool stats = false;
@@ -100,6 +113,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->top = std::stoul(value);
       continue;
     }
+    if (ParseFlag(argv[i], "page-size", &value)) {
+      flags->page_size = std::stoul(value);
+      continue;
+    }
     if (ParseFlag(argv[i], "queries", &flags->queries)) continue;
     if (ParseFlag(argv[i], "threads", &value)) {
       flags->threads = std::stoul(value);
@@ -125,6 +142,178 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
     return false;
   }
   return true;
+}
+
+void PrintHitLine(size_t rank, const claks::SearchHit& hit) {
+  std::printf("  #%zu  %s | rdb %zu er %zu %s%s | text %.3f\n", rank,
+              hit.rendered.c_str(), hit.rdb_length, hit.er_length,
+              claks::AssociationKindToString(hit.kind),
+              hit.schema_close ? " (close)" : " (loose)", hit.text_score);
+}
+
+void PrintHitExtras(const Flags& flags, size_t rank,
+                    const claks::SearchHit& hit, const claks::Database& db,
+                    const claks::ERSchema& er_schema,
+                    const claks::ErRelationalMapping& mapping) {
+  if (!hit.connection.has_value()) return;
+  if (flags.explain) {
+    auto text = claks::ExplainConnection(*hit.connection, db, er_schema,
+                                         mapping);
+    if (text.ok()) std::printf("  #%zu reads: %s\n", rank, text->c_str());
+  }
+  if (flags.sql) {
+    auto sql = claks::ConnectionToSql(*hit.connection, db);
+    if (sql.ok()) std::printf("  #%zu sql: %s\n", rank, sql->c_str());
+  }
+}
+
+// The legacy whole-result extras loop: explain/SQL lines numbered over
+// the path-shaped hits only (shared by the plain and service modes).
+void PrintResultExtras(const Flags& flags,
+                       const std::vector<claks::SearchHit>& hits,
+                       const claks::Database& db,
+                       const claks::ERSchema& er_schema,
+                       const claks::ErRelationalMapping& mapping) {
+  size_t rank = 1;
+  for (const claks::SearchHit& hit : hits) {
+    if (!hit.connection.has_value()) continue;
+    PrintHitExtras(flags, rank, hit, db, er_schema, mapping);
+    ++rank;
+  }
+}
+
+// Interactive pause between pages; no-op when stdin is not a TTY (smoke
+// tests, pipes). Returns false when the user ends the session (EOF/q).
+bool WaitForNextPage() {
+  if (isatty(fileno(stdin)) == 0) return true;
+  std::printf("-- more (Enter; q quits) --\n");
+  int c = std::getchar();
+  if (c == 'q' || c == EOF) return false;
+  while (c != '\n' && c != EOF) c = std::getchar();
+  return true;
+}
+
+// Prepared-query + cursor paging against a bare engine: the query is
+// validated and matched once, then hits are pulled page by page — with
+// --method=stream the expansion counter shows the work each page cost.
+int RunEnginePaging(const Flags& flags,
+                    const claks::KeywordSearchEngine& engine,
+                    const claks::Database& db,
+                    const claks::SearchOptions& options) {
+  auto prepared = engine.Prepare(flags.query, options);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "prepare: %s\n",
+                 prepared.status().ToString().c_str());
+    return 1;
+  }
+  auto cursor = prepared->Open();
+  if (!cursor.ok()) {
+    std::fprintf(stderr, "open: %s\n", cursor.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("query: %s\n", prepared->query().ToString().c_str());
+  for (const claks::KeywordMatches& km : prepared->matches()) {
+    std::printf("  keyword '%s': %zu tuples\n", km.keyword.c_str(),
+                km.matches.size());
+  }
+  size_t rank = 0;
+  size_t page = 0;
+  size_t last_expansions = 0;
+  while (!(*cursor)->Drained()) {
+    auto start = std::chrono::steady_clock::now();
+    auto hits = (*cursor)->Next(flags.page_size);
+    if (!hits.ok()) {
+      std::fprintf(stderr, "fetch: %s\n",
+                   hits.status().ToString().c_str());
+      return 1;
+    }
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    if (hits->empty()) break;
+    ++page;
+    for (const claks::SearchHit& hit : *hits) {
+      PrintHitLine(++rank, hit);
+      PrintHitExtras(flags, rank, hit, db, engine.er_schema(),
+                     engine.mapping());
+    }
+    claks::CursorStats stats = (*cursor)->Stats();
+    std::printf("  -- page %zu: %zu hit(s) in %.2fms, +%zu expansions "
+                "(%zu total)%s\n",
+                page, hits->size(), ms, stats.expansions - last_expansions,
+                stats.expansions, stats.drained ? ", drained" : "");
+    last_expansions = stats.expansions;
+    if ((*cursor)->Drained()) break;
+    if (!WaitForNextPage()) break;
+  }
+  if (rank == 0) std::printf("  (no results)\n");
+  return 0;
+}
+
+// Paged service mode: each query goes through the versioned Prepare/Fetch
+// endpoints (service/query_api.h). Repeats re-prepare the same query —
+// in-flight repeats share one server-side cursor state, and finished
+// drains are served from the whole-result cache.
+int RunServicePaging(const Flags& flags, claks::SearchService& service,
+                     const std::vector<std::string>& queries,
+                     const claks::SearchOptions& options) {
+  size_t repeat = flags.repeat == 0 ? 1 : flags.repeat;
+  int failures = 0;
+  for (size_t r = 0; r < repeat; ++r) {
+    for (size_t q = 0; q < queries.size(); ++q) {
+      claks::QueryRequest request;
+      request.query_text = queries[q];
+      request.options = options;
+      auto prepared = service.Prepare(request);
+      if (!prepared.ok()) {
+        std::fprintf(stderr, "prepare '%s': %s\n", queries[q].c_str(),
+                     prepared.status().ToString().c_str());
+        ++failures;
+        continue;
+      }
+      bool print = r == 0;
+      if (print) {
+        std::printf("query: %s (cursor %llu, snapshot v%llu)\n",
+                    prepared->query.ToString().c_str(),
+                    static_cast<unsigned long long>(prepared->cursor_id),
+                    static_cast<unsigned long long>(
+                        prepared->snapshot_version));
+      }
+      size_t rank = 0;
+      bool drained = prepared->drained;
+      while (!drained) {
+        auto page = service.Fetch(prepared->cursor_id, flags.page_size);
+        if (!page.ok()) {
+          std::fprintf(stderr, "fetch: %s\n",
+                       page.status().ToString().c_str());
+          ++failures;
+          break;
+        }
+        if (page->hits.empty() && page->drained) break;
+        if (print) {
+          for (const claks::SearchHit& hit : page->hits) {
+            PrintHitLine(++rank, hit);
+          }
+          std::printf("  -- fetched %zu hit(s) at offset %zu, "
+                      "%zu expansions so far%s\n",
+                      page->hits.size(), page->offset, page->expansions,
+                      page->drained ? ", drained" : "");
+        }
+        drained = page->drained;
+      }
+      service.Close(prepared->cursor_id);
+    }
+  }
+  claks::ServiceStats stats = service.stats();
+  std::printf(
+      "service: %llu cursor(s) prepared, %llu page(s) fetched | cache "
+      "hits %llu misses %llu | snapshot v%llu\n",
+      static_cast<unsigned long long>(stats.cursors_prepared),
+      static_cast<unsigned long long>(stats.pages_fetched),
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.cache_misses),
+      static_cast<unsigned long long>(stats.snapshot_version));
+  return failures == 0 ? 0 : 1;
 }
 
 // Batch-of-queries mode over the concurrent service: submits every query
@@ -163,6 +352,10 @@ int RunServiceMode(const Flags& flags, std::unique_ptr<claks::Database> db,
     return 1;
   }
 
+  if (flags.page_size > 0) {
+    return RunServicePaging(flags, **service, queries, options);
+  }
+
   auto start = std::chrono::steady_clock::now();
   std::vector<std::future<claks::Result<claks::SearchResult>>> futures;
   futures.reserve(queries.size() * repeat);
@@ -188,26 +381,8 @@ int RunServiceMode(const Flags& flags, std::unique_ptr<claks::Database> db,
       if (flags.explain || flags.sql) {
         const claks::KeywordSearchEngine& engine =
             *(*service)->snapshot()->engine;
-        size_t rank = 1;
-        for (const claks::SearchHit& hit : result->hits) {
-          if (!hit.connection.has_value()) continue;
-          if (flags.explain) {
-            auto text = claks::ExplainConnection(*hit.connection,
-                                                 snapshot_db,
-                                                 engine.er_schema(),
-                                                 engine.mapping());
-            if (text.ok()) {
-              std::printf("  #%zu reads: %s\n", rank, text->c_str());
-            }
-          }
-          if (flags.sql) {
-            auto sql = claks::ConnectionToSql(*hit.connection, snapshot_db);
-            if (sql.ok()) {
-              std::printf("  #%zu sql: %s\n", rank, sql->c_str());
-            }
-          }
-          ++rank;
-        }
+        PrintResultExtras(flags, result->hits, snapshot_db,
+                          engine.er_schema(), engine.mapping());
       }
     }
   }
@@ -293,29 +468,16 @@ int main(int argc, char** argv) {
   options.max_rdb_edges = flags.depth;
   options.tmax = flags.tmax;
   options.top_k = flags.top;
-  const std::map<std::string, claks::SearchMethod> kMethods = {
-      {"enumerate", claks::SearchMethod::kEnumerate},
-      {"mtjnt", claks::SearchMethod::kMtjnt},
-      {"discover", claks::SearchMethod::kDiscover},
-      {"banks", claks::SearchMethod::kBanks},
-      {"stream", claks::SearchMethod::kStream}};
-  const std::map<std::string, claks::RankerKind> kRankers = {
-      {"rdb-length", claks::RankerKind::kRdbLength},
-      {"er-length", claks::RankerKind::kErLength},
-      {"close-first", claks::RankerKind::kCloseFirst},
-      {"loose-penalty", claks::RankerKind::kLoosePenalty},
-      {"instance-close", claks::RankerKind::kInstanceClose},
-      {"combined", claks::RankerKind::kCombined},
-      {"ambiguity", claks::RankerKind::kAmbiguity},
-      {"more-context", claks::RankerKind::kMoreContext}};
-  auto method = kMethods.find(flags.method);
-  auto ranker = kRankers.find(flags.ranker);
-  if (method == kMethods.end() || ranker == kRankers.end()) {
+  std::optional<claks::SearchMethod> method =
+      claks::SearchMethodFromString(flags.method);
+  std::optional<claks::RankerKind> ranker =
+      claks::RankerKindFromString(flags.ranker);
+  if (!method.has_value() || !ranker.has_value()) {
     std::fprintf(stderr, "unknown --method or --ranker\n");
     return 2;
   }
-  options.method = method->second;
-  options.ranker = ranker->second;
+  options.method = *method;
+  options.ranker = *ranker;
 
   if (flags.threads > 0 && !flags.stats) {
     // Concurrent service mode: the service takes ownership of the data.
@@ -343,6 +505,10 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (flags.page_size > 0) {
+    return RunEnginePaging(flags, **engine, *owned_db, options);
+  }
+
   auto result = (*engine)->Search(flags.query, options);
   if (!result.ok()) {
     std::fprintf(stderr, "search: %s\n", result.status().ToString().c_str());
@@ -351,21 +517,8 @@ int main(int argc, char** argv) {
   std::printf("%s", result->ToString(*owned_db, flags.top).c_str());
 
   if (flags.explain || flags.sql) {
-    size_t rank = 1;
-    for (const claks::SearchHit& hit : result->hits) {
-      if (!hit.connection.has_value()) continue;
-      if (flags.explain) {
-        auto text = claks::ExplainConnection(
-            *hit.connection, *owned_db, (*engine)->er_schema(),
-            (*engine)->mapping());
-        if (text.ok()) std::printf("  #%zu reads: %s\n", rank, text->c_str());
-      }
-      if (flags.sql) {
-        auto sql = claks::ConnectionToSql(*hit.connection, *owned_db);
-        if (sql.ok()) std::printf("  #%zu sql: %s\n", rank, sql->c_str());
-      }
-      ++rank;
-    }
+    PrintResultExtras(flags, result->hits, *owned_db,
+                      (*engine)->er_schema(), (*engine)->mapping());
   }
   return 0;
 }

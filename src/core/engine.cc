@@ -4,31 +4,13 @@
 
 #include <algorithm>
 #include <deque>
-#include <numeric>
 
 #include "common/logging.h"
 #include "common/macros.h"
 #include "common/string_util.h"
-#include "core/topk.h"
-#include "graph/traversal.h"
+#include "core/cursor.h"
 
 namespace claks {
-
-const char* SearchMethodToString(SearchMethod method) {
-  switch (method) {
-    case SearchMethod::kEnumerate:
-      return "enumerate";
-    case SearchMethod::kMtjnt:
-      return "mtjnt";
-    case SearchMethod::kDiscover:
-      return "discover";
-    case SearchMethod::kBanks:
-      return "banks";
-    case SearchMethod::kStream:
-      return "stream";
-  }
-  return "?";
-}
 
 RankInput SearchHit::ToRankInput() const {
   RankInput input;
@@ -147,98 +129,6 @@ NodePath TreePathBetween(const DataGraph& graph, const TupleTree& tree,
 // absorbs rank disagreements near the cut.
 constexpr size_t kBanksOverfetchMargin = 16;
 
-// Grouping key for SearchOptions::per_endpoint_limit. Path-shaped hits
-// group by their unordered endpoint pair; non-path trees group by their
-// full sorted keyword-tuple set — two distinct trees sharing only the
-// min/max ids of their sorted node lists must not collide.
-std::vector<uint64_t> EndpointGroupKey(
-    const SearchHit& hit, const DataGraph& graph,
-    const std::map<TupleId, std::string>& keyword_of) {
-  if (hit.connection.has_value()) {
-    uint64_t a = hit.connection->front().Pack();
-    uint64_t b = hit.connection->back().Pack();
-    if (a > b) std::swap(a, b);
-    return {a, b};
-  }
-  std::vector<uint64_t> key;
-  for (uint32_t node : hit.tree.nodes) {
-    TupleId tuple = graph.TupleOf(node);
-    if (keyword_of.count(tuple) > 0) key.push_back(tuple.Pack());
-  }
-  if (key.empty()) {
-    // Defensive: a tree with no labelled keyword tuple groups by its full
-    // node set (exact repeats only).
-    for (uint32_t node : hit.tree.nodes) {
-      key.push_back(graph.TupleOf(node).Pack());
-    }
-  }
-  std::sort(key.begin(), key.end());
-  return key;
-}
-
-// Canonical tree form of a data-graph path: sorted node ids + sorted edge
-// indices. Both the enumerate and the stream path build hits through this
-// helper, so their results stay structurally identical by construction.
-TupleTree CanonicalTree(const NodePath& path) {
-  TupleTree tree;
-  tree.nodes = path.Nodes();
-  std::sort(tree.nodes.begin(), tree.nodes.end());
-  for (const DataAdjacency& step : path.steps) {
-    tree.edge_indices.push_back(step.edge_index);
-  }
-  std::sort(tree.edge_indices.begin(), tree.edge_indices.end());
-  return tree;
-}
-
-// The settled-k predicate of the streaming search: the smallest RDB length
-// L such that no future connection (every one has length >= L, by stream
-// order) can rank strictly better than the current provisional top-k. The
-// provisional top-k is computed over the collected candidates after the
-// per-endpoint cap, so grouping is honoured incrementally. Returns
-// ConnectionStream::kNoStopLength while the top-k is not yet settled;
-// `bar` receives the k-th surviving key when one exists (the caller skips
-// the recompute for arrivals that cannot lower it).
-size_t SettleLength(const std::vector<std::vector<double>>& keys,
-                    const std::vector<std::vector<uint64_t>>& groups,
-                    const SearchOptions& options,
-                    std::vector<double>* bar) {
-  bar->clear();
-  if (keys.size() < options.top_k) return ConnectionStream::kNoStopLength;
-  // Provisional ranking: stable order on keys (arrival order breaks ties,
-  // matching the final stable sort over the same arrival order).
-  std::vector<size_t> order(keys.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return keys[a] < keys[b];
-  });
-  // The k-th surviving key is the bar a future connection would have to
-  // beat; a future arrival never evicts a survivor because grouping keeps
-  // each group's best and future keys are no better than the bar.
-  std::map<std::vector<uint64_t>, size_t> group_counts;
-  const std::vector<double>* kth = nullptr;
-  size_t survivors = 0;
-  for (size_t idx : order) {
-    if (options.per_endpoint_limit != 0) {
-      size_t& count = group_counts[groups[idx]];
-      if (count >= options.per_endpoint_limit) continue;
-      ++count;
-    }
-    if (++survivors == options.top_k) {
-      kth = &keys[idx];
-      break;
-    }
-  }
-  if (kth == nullptr) return ConnectionStream::kNoStopLength;
-  *bar = *kth;
-  // MinSortKeyAtLength is nondecreasing in length, so the first length
-  // whose bound reaches the bar is the stop bound. Beyond max_rdb_edges
-  // the stream is exhausted anyway.
-  for (size_t length = 0; length <= options.max_rdb_edges; ++length) {
-    if (!(MinSortKeyAtLength(options.ranker, length) < *kth)) return length;
-  }
-  return ConnectionStream::kNoStopLength;
-}
-
 size_t KindSeverity(AssociationKind kind) {
   switch (kind) {
     case AssociationKind::kImmediate:
@@ -255,7 +145,7 @@ size_t KindSeverity(AssociationKind kind) {
 
 }  // namespace
 
-Result<SearchHit> KeywordSearchEngine::MakeHit(
+Result<SearchHit> KeywordSearchEngine::AnalyzeTree(
     const TupleTree& tree, const std::vector<KeywordMatches>& matches,
     const std::map<TupleId, std::string>& keyword_of,
     const SearchOptions& options) const {
@@ -358,74 +248,103 @@ Result<SearchHit> KeywordSearchEngine::MakeHit(
   return hit;
 }
 
-Result<SearchResult> KeywordSearchEngine::Search(
-    const std::string& query_text, const SearchOptions& options) const {
-  SearchResult result;
-  result.query = ParseKeywordQuery(query_text, index_->tokenizer());
-  if (result.query.keywords.empty()) {
+Result<PreparedQuery> KeywordSearchEngine::Prepare(
+    const std::string& query_text, QuerySpec spec) const {
+  PreparedQuery prepared(this, std::move(spec));
+  prepared.query_ = ParseKeywordQuery(query_text, index_->tokenizer());
+  if (prepared.query_.keywords.empty()) {
     return Status::InvalidArgument("empty keyword query");
   }
-  if (result.query.keywords.size() > 31) {
+  if (prepared.query_.keywords.size() > 31) {
     return Status::InvalidArgument("too many keywords (max 31)");
   }
-  result.matches = MatchKeywords(*index_, result.query);
+  prepared.matches_ = MatchKeywords(*index_, prepared.query_);
 
-  for (const KeywordMatches& km : result.matches) {
+  for (const KeywordMatches& km : prepared.matches_) {
     for (const TupleMatch& m : km.matches) {
-      std::string& label = result.keyword_of[m.tuple];
+      std::string& label = prepared.keyword_of_[m.tuple];
       if (!label.empty()) label += ",";
       label += km.keyword;
     }
   }
 
-  if (!AllKeywordsMatched(result.matches)) {
-    if (options.require_all_keywords) {
-      return result;  // AND semantics: some keyword matched nothing
+  if (!AllKeywordsMatched(prepared.matches_)) {
+    if (prepared.options().require_all_keywords) {
+      // AND semantics: some keyword matched nothing; cursors are born
+      // drained (the match metadata stays available for display).
+      prepared.empty_result_ = true;
+      return prepared;
     }
     // OR semantics: drop unmatched keywords and continue with the rest.
     std::vector<KeywordMatches> matched;
     std::vector<std::string> kept_keywords;
-    for (KeywordMatches& km : result.matches) {
+    for (KeywordMatches& km : prepared.matches_) {
       if (!km.empty()) {
         kept_keywords.push_back(km.keyword);
         matched.push_back(std::move(km));
       }
     }
-    if (matched.empty()) return result;
-    result.matches = std::move(matched);
-    result.query.keywords = std::move(kept_keywords);
+    if (matched.empty()) {
+      prepared.empty_result_ = true;
+      return prepared;
+    }
+    prepared.matches_ = std::move(matched);
+    prepared.query_.keywords = std::move(kept_keywords);
   }
 
-  if (options.method == SearchMethod::kStream &&
-      result.query.keywords.size() != 1) {
-    return StreamSearch(std::move(result), options);
+  // Query-dependent structural checks (the spec cannot know the keyword
+  // count). An empty result skips them: AND semantics already answered.
+  size_t keywords = prepared.query_.keywords.size();
+  if (prepared.options().method == SearchMethod::kEnumerate &&
+      keywords > 2) {
+    return Status::InvalidArgument(
+        "SearchMethod::kEnumerate supports 1 or 2 keywords; use "
+        "kMtjnt/kDiscover/kBanks for more");
   }
+  if (prepared.options().method == SearchMethod::kStream && keywords > 2) {
+    return Status::InvalidArgument(
+        "SearchMethod::kStream supports 1 or 2 keywords; use "
+        "kMtjnt/kDiscover/kBanks for more");
+  }
+  return prepared;
+}
 
+Result<PreparedQuery> KeywordSearchEngine::Prepare(
+    const std::string& query_text, const SearchOptions& options) const {
+  CLAKS_ASSIGN_OR_RETURN(QuerySpec spec, QuerySpec::Create(options));
+  return Prepare(query_text, std::move(spec));
+}
+
+Result<std::vector<SearchHit>> KeywordSearchEngine::MaterializeHits(
+    const PreparedQuery& prepared, size_t* work) const {
+  if (work != nullptr) *work = 0;
+  std::vector<SearchHit> hits;
+  if (prepared.empty_result()) return hits;
+
+  const SearchOptions& options = prepared.options();
+  const std::vector<KeywordMatches>& matches = prepared.matches();
   std::vector<TupleTree> trees;
   switch (options.method) {
     // A 1-keyword kStream query degenerates to kEnumerate's single-node
-    // hits: there is nothing to stream.
+    // hits: there is nothing to stream. (Two-keyword kStream is the
+    // streaming cursor's job — PreparedQuery::Open never routes it here.)
     case SearchMethod::kStream:
     case SearchMethod::kEnumerate: {
-      if (result.query.keywords.size() == 1) {
-        for (const TupleMatch& m : result.matches[0].matches) {
+      if (prepared.query().keywords.size() == 1) {
+        for (const TupleMatch& m : matches[0].matches) {
           TupleTree tree;
           tree.nodes = {data_graph_->NodeOf(m.tuple)};
           trees.push_back(std::move(tree));
         }
         break;
       }
-      if (result.query.keywords.size() != 2) {
-        return Status::InvalidArgument(
-            "SearchMethod::kEnumerate supports 1 or 2 keywords; use "
-            "kMtjnt/kDiscover/kBanks for more");
-      }
+      CLAKS_CHECK(options.method == SearchMethod::kEnumerate);
       std::vector<uint32_t> sources;
-      for (const TupleMatch& m : result.matches[0].matches) {
+      for (const TupleMatch& m : matches[0].matches) {
         sources.push_back(data_graph_->NodeOf(m.tuple));
       }
       std::vector<uint32_t> targets;
-      for (const TupleMatch& m : result.matches[1].matches) {
+      for (const TupleMatch& m : matches[1].matches) {
         targets.push_back(data_graph_->NodeOf(m.tuple));
       }
       // Enumeration stops a path at the first tuple of the target set, so
@@ -448,15 +367,15 @@ Result<SearchResult> KeywordSearchEngine::Search(
       break;
     }
     case SearchMethod::kMtjnt:
-      trees = EnumerateMtjnt(*data_graph_, result.matches, options.tmax);
+      trees = EnumerateMtjnt(*data_graph_, matches, options.tmax);
       break;
     case SearchMethod::kDiscover:
-      trees = DiscoverMtjnt(*data_graph_, *schema_graph_, result.matches,
+      trees = DiscoverMtjnt(*data_graph_, *schema_graph_, matches,
                             options.tmax);
       break;
     case SearchMethod::kBanks: {
       std::vector<std::vector<uint32_t>> keyword_node_sets;
-      for (const KeywordMatches& km : result.matches) {
+      for (const KeywordMatches& km : matches) {
         std::vector<uint32_t> nodes;
         for (const TupleMatch& m : km.matches) {
           nodes.push_back(data_graph_->NodeOf(m.tuple));
@@ -471,8 +390,9 @@ Result<SearchResult> KeywordSearchEngine::Search(
         banks.top_k =
             std::max(options.top_k, banks.top_k) + kBanksOverfetchMargin;
       }
-      for (const AnswerTree& answer :
-           BanksBackwardSearch(*data_graph_, keyword_node_sets, banks)) {
+      BanksSearchStats banks_stats;
+      for (const AnswerTree& answer : BanksBackwardSearch(
+               *data_graph_, keyword_node_sets, banks, &banks_stats)) {
         TupleTree tree;
         std::set<uint32_t> nodes{answer.root};
         for (uint32_t n : answer.keyword_nodes) nodes.insert(n);
@@ -486,6 +406,7 @@ Result<SearchResult> KeywordSearchEngine::Search(
         std::sort(tree.edge_indices.begin(), tree.edge_indices.end());
         trees.push_back(std::move(tree));
       }
+      if (work != nullptr) *work = banks_stats.visited_nodes;
       break;
     }
   }
@@ -493,115 +414,77 @@ Result<SearchResult> KeywordSearchEngine::Search(
   for (const TupleTree& tree : trees) {
     CLAKS_ASSIGN_OR_RETURN(
         SearchHit hit,
-        MakeHit(tree, result.matches, result.keyword_of, options));
-    result.hits.push_back(std::move(hit));
+        AnalyzeTree(tree, matches, prepared.keyword_of(), options));
+    hits.push_back(std::move(hit));
   }
 
-  RankGroupTruncate(&result, options);
+  RankGroupTruncate(&hits, prepared.keyword_of(), options);
+  return hits;
+}
+
+Result<SearchResult> KeywordSearchEngine::Search(
+    const std::string& query_text, const SearchOptions& options) const {
+  // The legacy facade: prepare (unvalidated spec, so historical option
+  // bags keep working byte-for-byte), open a cursor, drain it.
+  CLAKS_ASSIGN_OR_RETURN(
+      PreparedQuery prepared,
+      Prepare(query_text, QuerySpec::Unvalidated(options)));
+  CLAKS_ASSIGN_OR_RETURN(std::unique_ptr<ResultCursor> cursor,
+                         prepared.Open());
+
+  SearchResult result;
+  constexpr size_t kDrainPageSize = 256;
+  while (!cursor->Drained()) {
+    CLAKS_ASSIGN_OR_RETURN(std::vector<SearchHit> page,
+                           cursor->Next(kDrainPageSize));
+    if (page.empty()) break;
+    for (SearchHit& hit : page) result.hits.push_back(std::move(hit));
+  }
+  result.expansions = cursor->Stats().expansions;
+  // The drain is complete: no cursor call follows, so the prepared
+  // metadata can be moved out rather than copied (the cursor only reads
+  // it from inside Next).
+  result.query = std::move(prepared.query_);
+  result.matches = std::move(prepared.matches_);
+  result.keyword_of = std::move(prepared.keyword_of_);
   return result;
 }
 
 void KeywordSearchEngine::RankGroupTruncate(
-    SearchResult* result, const SearchOptions& options) const {
+    std::vector<SearchHit>* hits,
+    const std::map<TupleId, std::string>& keyword_of,
+    const SearchOptions& options) const {
   std::unique_ptr<Ranker> ranker = MakeRanker(options.ranker);
   CLAKS_CHECK(ranker != nullptr);
   std::vector<RankInput> inputs;
-  inputs.reserve(result->hits.size());
-  for (const SearchHit& hit : result->hits) {
+  inputs.reserve(hits->size());
+  for (const SearchHit& hit : *hits) {
     inputs.push_back(hit.ToRankInput());
   }
   std::vector<size_t> order = RankOrder(inputs, *ranker);
   std::vector<SearchHit> ranked;
-  ranked.reserve(result->hits.size());
-  for (size_t idx : order) ranked.push_back(std::move(result->hits[idx]));
-  result->hits = std::move(ranked);
+  ranked.reserve(hits->size());
+  for (size_t idx : order) ranked.push_back(std::move((*hits)[idx]));
+  *hits = std::move(ranked);
 
   if (options.per_endpoint_limit != 0) {
     // Keep at most N hits per endpoint group (rank order is already
     // established, so survivors are each group's best).
     std::map<std::vector<uint64_t>, size_t> group_counts;
     std::vector<SearchHit> diverse;
-    for (SearchHit& hit : result->hits) {
+    for (SearchHit& hit : *hits) {
       std::vector<uint64_t> key =
-          EndpointGroupKey(hit, *data_graph_, result->keyword_of);
+          EndpointGroupKey(hit, *data_graph_, keyword_of);
       if (++group_counts[key] <= options.per_endpoint_limit) {
         diverse.push_back(std::move(hit));
       }
     }
-    result->hits = std::move(diverse);
+    *hits = std::move(diverse);
   }
 
-  if (options.top_k != 0 && result->hits.size() > options.top_k) {
-    result->hits.resize(options.top_k);
+  if (options.top_k != 0 && hits->size() > options.top_k) {
+    hits->resize(options.top_k);
   }
-}
-
-Result<SearchResult> KeywordSearchEngine::StreamSearch(
-    SearchResult result, const SearchOptions& options) const {
-  if (result.query.keywords.size() != 2) {
-    return Status::InvalidArgument(
-        "SearchMethod::kStream supports 1 or 2 keywords; use "
-        "kMtjnt/kDiscover/kBanks for more");
-  }
-
-  std::vector<uint32_t> sources;
-  for (const TupleMatch& m : result.matches[0].matches) {
-    sources.push_back(data_graph_->NodeOf(m.tuple));
-  }
-  std::vector<uint32_t> targets;
-  for (const TupleMatch& m : result.matches[1].matches) {
-    targets.push_back(data_graph_->NodeOf(m.tuple));
-  }
-  // Both keyword directions interleaved with tree-level dedup: a
-  // one-directional stream stops paths at the first target tuple, so
-  // connections whose interior contains a source-keyword tuple are only
-  // found from the other side (kEnumerate runs both directions for the
-  // same reason).
-  ConnectionStream stream = ConnectionStream::Bidirectional(
-      data_graph_.get(), sources, targets, options.max_rdb_edges);
-
-  std::unique_ptr<Ranker> ranker = MakeRanker(options.ranker);
-  CLAKS_CHECK(ranker != nullptr);
-  const bool try_settle =
-      options.top_k != 0 &&
-      RankerMonotonicity(options.ranker) != RankMonotonicity::kNone;
-  if (options.top_k != 0 && !try_settle) {
-    CLAKS_LOG(Warning)
-        << "kStream: ranker '" << RankerKindToString(options.ranker)
-        << "' has no length-monotone sort key; draining the full result "
-           "space before ranking";
-  }
-
-  // The candidates collected so far are the reorder buffer; keys/groups
-  // feed the settle predicate (and are only maintained when it can fire).
-  std::vector<std::vector<double>> keys;
-  std::vector<std::vector<uint64_t>> groups;
-  std::vector<double> bar;  // k-th surviving key; empty until one exists
-  size_t stop_length = ConnectionStream::kNoStopLength;
-  while (true) {
-    std::optional<NodePath> path = stream.NextPath(stop_length);
-    if (!path.has_value()) break;
-    CLAKS_ASSIGN_OR_RETURN(
-        SearchHit hit,
-        MakeHit(CanonicalTree(*path), result.matches, result.keyword_of,
-                options));
-    if (try_settle) {
-      std::vector<double> key = ranker->SortKey(hit.ToRankInput());
-      // An arrival that does not beat the current bar sorts after the
-      // first k survivors and cannot lower it — skip the recompute.
-      bool recompute = bar.empty() || key < bar;
-      keys.push_back(std::move(key));
-      groups.push_back(options.per_endpoint_limit != 0
-                           ? EndpointGroupKey(hit, *data_graph_,
-                                              result.keyword_of)
-                           : std::vector<uint64_t>());
-      if (recompute) stop_length = SettleLength(keys, groups, options, &bar);
-    }
-    result.hits.push_back(std::move(hit));
-  }
-  result.expansions = stream.expansions();
-  RankGroupTruncate(&result, options);
-  return result;
 }
 
 }  // namespace claks

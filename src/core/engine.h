@@ -1,13 +1,20 @@
 // Copyright 2026 The claks Authors.
 //
 // KeywordSearchEngine: the public facade. Builds (or accepts) the conceptual
-// schema, constructs index and graphs, and answers keyword queries with
-// ranked connections under any of the supported search methods and ranking
-// policies.
+// schema, constructs index and graphs, and answers keyword queries under
+// any of the supported search methods and ranking policies.
+//
+// Two consumption shapes share one pipeline. The incremental shape —
+// Prepare a query (core/query_spec.h), Open a ResultCursor
+// (core/cursor.h), pull pages with Next — is the primary API; the classic
+// Search(text, options) call is a thin wrapper that prepares, opens a
+// cursor and drains it, and returns results identical to the
+// pre-cursor-era facade (tests/cursor_test.cc proves the equivalence).
 
 #ifndef CLAKS_CORE_ENGINE_H_
 #define CLAKS_CORE_ENGINE_H_
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -16,6 +23,7 @@
 #include "core/association.h"
 #include "core/enumerator.h"
 #include "core/mtjnt.h"
+#include "core/query_spec.h"
 #include "core/ranking.h"
 #include "core/statistics.h"
 #include "er/relational_to_er.h"
@@ -23,58 +31,6 @@
 #include "text/scoring.h"
 
 namespace claks {
-
-/// How result connections are found.
-enum class SearchMethod {
-  /// Full enumeration of simple paths between keyword matches (two-keyword
-  /// queries). The complete result space of the paper's Table 2.
-  kEnumerate,
-  /// MTJNT semantics (exact data-level enumeration).
-  kMtjnt,
-  /// MTJNT via DISCOVER candidate networks (same results as kMtjnt).
-  kDiscover,
-  /// BANKS backward expanding search (top-k answer trees).
-  kBanks,
-  /// Streaming top-k over the kEnumerate result space (1 or 2 keywords):
-  /// connections are pulled lazily in nondecreasing RDB-length order
-  /// (core/topk.h, both keyword directions interleaved with tree-level
-  /// dedup), analysed on arrival, and the pull stops as soon as the top-k
-  /// under `ranker` is provably settled. Exact for kRdbLength; exact via a
-  /// bounded reorder buffer for every ranker whose key is length-monotone
-  /// (RankerMonotonicity in core/ranking.h); falls back to a full drain
-  /// with a logged warning otherwise. With top_k == 0 this is a lazy
-  /// drop-in for kEnumerate (same hits, same ranking keys; ranking-key
-  /// ties may order differently).
-  kStream,
-};
-
-const char* SearchMethodToString(SearchMethod method);
-
-struct SearchOptions {
-  SearchMethod method = SearchMethod::kEnumerate;
-  RankerKind ranker = RankerKind::kCloseFirst;
-  /// Bound on FK edges for kEnumerate.
-  size_t max_rdb_edges = 4;
-  /// Bound on tuples per network for kMtjnt / kDiscover.
-  size_t tmax = 5;
-  /// Result cap after ranking (0 = unlimited).
-  size_t top_k = 0;
-  /// Verify instance-level closeness (fills SearchHit::instance_close).
-  bool instance_check = true;
-  /// Witness budget for the instance check (0: each connection's length).
-  size_t witness_edges = 0;
-  /// AND semantics (default): a keyword without matches empties the result.
-  /// With OR semantics the unmatched keywords are dropped and the query
-  /// runs over the remaining ones.
-  bool require_all_keywords = true;
-  /// When > 0, keep at most this many hits per endpoint group (after
-  /// ranking): path hits group by their unordered endpoint pair, non-path
-  /// trees by their full keyword-tuple set. The paper notes a longer
-  /// connection's association can be "implicitly visible" in shorter ones
-  /// between the same tuples (§3); this collapses such groups.
-  size_t per_endpoint_limit = 0;
-  BanksOptions banks;
-};
 
 /// One result: a connection (path) or a tuple tree, with its analysis.
 struct SearchHit {
@@ -114,10 +70,13 @@ struct SearchResult {
   /// Keyword(s) matched by each tuple, for display.
   std::map<TupleId, std::string> keyword_of;
 
-  /// Work metric of SearchMethod::kStream: partial paths expanded by the
-  /// connection stream (ConnectionStream::expansions). 0 for the other
-  /// methods. The scale benchmarks compare this against a full drain to
-  /// measure how much work early termination saved.
+  /// Per-method work metric, comparable across methods: partial paths
+  /// expanded by the connection stream for SearchMethod::kStream
+  /// (ConnectionStream::expansions), settled nodes visited by the backward
+  /// expansion for SearchMethod::kBanks, 0 for the exhaustive methods
+  /// (kEnumerate/kMtjnt/kDiscover visit the whole bounded space by
+  /// definition). The scale benchmarks compare kStream's value against a
+  /// full drain to measure how much work early termination saved.
   size_t expansions = 0;
 
   std::string ToString(const Database& db, size_t max_hits = 20) const;
@@ -152,14 +111,53 @@ class KeywordSearchEngine {
   /// unwarmed).
   bool Warm() const { return db_->JoinIndexesFresh(); }
 
+  /// Runs the pull-independent half of a query: tokenization, keyword
+  /// matching, AND/OR resolution and the query-dependent structural checks
+  /// (keyword-count limits per method). Option validation happens when the
+  /// QuerySpec is built: pass QuerySpec::Create's result for strict typed
+  /// validation, QuerySpec::Unvalidated for the legacy behavior. The
+  /// returned PreparedQuery references this engine — open cursors with
+  /// PreparedQuery::Open (and keep the PreparedQuery at a stable address
+  /// while cursors are open).
+  ///
+  /// Thread-safety: const and data-race-free on a warmed engine, like
+  /// Search.
+  Result<PreparedQuery> Prepare(const std::string& query_text,
+                                QuerySpec spec) const;
+
+  /// Convenience: strict-validates `options` (QuerySpec::Create) and
+  /// prepares.
+  Result<PreparedQuery> Prepare(const std::string& query_text,
+                                const SearchOptions& options) const;
+
   /// Answers a keyword query. Queries where some keyword matches nothing
-  /// return an empty hit list (AND semantics).
+  /// return an empty hit list (AND semantics). A thin wrapper over
+  /// Prepare (unvalidated spec, for byte-compatibility with historical
+  /// option bags) + cursor drain.
   ///
   /// Thread-safety: const and data-race-free on a warmed engine (see
   /// Warmup); on an unwarmed engine the first call triggers the database's
   /// mutex-guarded lazy index build.
   Result<SearchResult> Search(const std::string& query_text,
                               const SearchOptions& options = {}) const;
+
+  /// Analyses one candidate tree into a SearchHit (text scores,
+  /// association analysis, instance check, rendering). Internal engine
+  /// plumbing shared with core/cursor.cc — streaming cursors analyse
+  /// candidates on pull through this entry point.
+  Result<SearchHit> AnalyzeTree(
+      const TupleTree& tree, const std::vector<KeywordMatches>& matches,
+      const std::map<TupleId, std::string>& keyword_of,
+      const SearchOptions& options) const;
+
+  /// Runs `prepared`'s method to completion and returns the fully ranked,
+  /// grouped and truncated hit sequence — the backing store of
+  /// materialized cursors (every method except two-keyword kStream).
+  /// `work` (optional) receives the method's work metric (BANKS visited
+  /// nodes; 0 for the exhaustive methods). Internal plumbing shared with
+  /// core/cursor.cc.
+  Result<std::vector<SearchHit>> MaterializeHits(
+      const PreparedQuery& prepared, size_t* work) const;
 
   const Database& database() const { return *db_; }
   const ERSchema& er_schema() const { return *er_schema_; }
@@ -173,20 +171,10 @@ class KeywordSearchEngine {
  private:
   KeywordSearchEngine() = default;
 
-  Result<SearchHit> MakeHit(const TupleTree& tree,
-                            const std::vector<KeywordMatches>& matches,
-                            const std::map<TupleId, std::string>& keyword_of,
-                            const SearchOptions& options) const;
-
-  /// The SearchMethod::kStream path: pulls connections lazily and stops
-  /// once the top-k is settled. `result` arrives with query/matches/
-  /// keyword_of filled.
-  Result<SearchResult> StreamSearch(SearchResult result,
-                                    const SearchOptions& options) const;
-
   /// Shared result tail: rank by options.ranker, apply per_endpoint_limit
   /// (keeping each group's best), truncate to top_k.
-  void RankGroupTruncate(SearchResult* result,
+  void RankGroupTruncate(std::vector<SearchHit>* hits,
+                         const std::map<TupleId, std::string>& keyword_of,
                          const SearchOptions& options) const;
 
   const Database* db_ = nullptr;

@@ -45,6 +45,18 @@ const char* RankerKindToString(RankerKind kind) {
   return "?";
 }
 
+std::optional<RankerKind> RankerKindFromString(const std::string& name) {
+  static const RankerKind kAll[] = {
+      RankerKind::kRdbLength,     RankerKind::kErLength,
+      RankerKind::kCloseFirst,    RankerKind::kLoosePenalty,
+      RankerKind::kInstanceClose, RankerKind::kCombined,
+      RankerKind::kAmbiguity,     RankerKind::kMoreContext};
+  for (RankerKind kind : kAll) {
+    if (name == RankerKindToString(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
 RankMonotonicity RankerMonotonicity(RankerKind kind) {
   switch (kind) {
     case RankerKind::kRdbLength:

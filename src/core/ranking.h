@@ -66,6 +66,9 @@ enum class RankerKind {
 
 const char* RankerKindToString(RankerKind kind);
 
+/// Inverse of RankerKindToString; nullopt for unknown names.
+std::optional<RankerKind> RankerKindFromString(const std::string& name);
+
 /// How a ranker's sort key relates to a connection's RDB length — the
 /// contract the streaming search mode (core/topk.h, SearchMethod::kStream)
 /// relies on to stop early: connections arrive in nondecreasing RDB-length

@@ -37,10 +37,11 @@ std::vector<double> NodeEntryWeights(const DataGraph& graph,
   return weights;
 }
 
-// Multi-source Dijkstra from every node of one keyword set.
+// Multi-source Dijkstra from every node of one keyword set. `visited`
+// accumulates the number of settled pops (the expansion's work metric).
 Expansion Expand(const DataGraph& graph, const std::vector<uint32_t>& set,
                  const std::vector<double>& entry_weights,
-                 const BanksOptions& options) {
+                 const BanksOptions& options, size_t* visited) {
   Expansion exp;
   exp.dist.assign(graph.num_nodes(), kInf);
   exp.parent.assign(graph.num_nodes(), UINT32_MAX);
@@ -62,6 +63,7 @@ Expansion Expand(const DataGraph& graph, const std::vector<uint32_t>& set,
     auto [d, node] = pq.top();
     pq.pop();
     if (d > exp.dist[node]) continue;
+    ++*visited;
     if (d >= max_dist) continue;
     for (const DataAdjacency& adj : graph.Neighbors(node)) {
       double nd = d + entry_weights[adj.neighbor];
@@ -82,7 +84,8 @@ Expansion Expand(const DataGraph& graph, const std::vector<uint32_t>& set,
 std::vector<AnswerTree> BanksBackwardSearch(
     const DataGraph& graph,
     const std::vector<std::vector<uint32_t>>& keyword_node_sets,
-    const BanksOptions& options) {
+    const BanksOptions& options, BanksSearchStats* stats) {
+  if (stats != nullptr) *stats = BanksSearchStats{};
   if (keyword_node_sets.empty()) return {};
   for (const auto& set : keyword_node_sets) {
     if (set.empty()) return {};
@@ -92,9 +95,12 @@ std::vector<AnswerTree> BanksBackwardSearch(
       NodeEntryWeights(graph, options.weight_model);
   std::vector<Expansion> expansions;
   expansions.reserve(keyword_node_sets.size());
+  size_t visited = 0;
   for (const auto& set : keyword_node_sets) {
-    expansions.push_back(Expand(graph, set, entry_weights, options));
+    expansions.push_back(Expand(graph, set, entry_weights, options,
+                                &visited));
   }
+  if (stats != nullptr) stats->visited_nodes = visited;
 
   // Candidate roots: reached by every expansion.
   std::vector<std::pair<double, uint32_t>> candidates;

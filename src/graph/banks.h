@@ -54,14 +54,24 @@ struct AnswerTree {
   size_t size() const { return edge_indices.size() + 1; }
 };
 
+/// Work counters of one backward search, for comparing expansion effort
+/// across search methods (KeywordSearchEngine surfaces visited_nodes as
+/// SearchResult::expansions for SearchMethod::kBanks).
+struct BanksSearchStats {
+  /// Nodes settled across all per-keyword Dijkstra expansions (a node
+  /// reached by every one of `k` expansions counts `k` times — each is a
+  /// separate relaxation wave).
+  size_t visited_nodes = 0;
+};
+
 /// Runs backward expanding search: one multi-source Dijkstra per keyword
 /// set, then roots ranked by total distance. Returns at most
 /// `options.top_k` trees, best (lightest) first. Empty keyword sets yield
-/// no answers.
+/// no answers. `stats` (optional) receives the work counters.
 std::vector<AnswerTree> BanksBackwardSearch(
     const DataGraph& graph,
     const std::vector<std::vector<uint32_t>>& keyword_node_sets,
-    const BanksOptions& options = {});
+    const BanksOptions& options = {}, BanksSearchStats* stats = nullptr);
 
 }  // namespace claks
 

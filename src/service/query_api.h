@@ -1,0 +1,73 @@
+// Copyright 2026 The claks Authors.
+//
+// The service wire types: a versioned QueryRequest/QueryResponse pair for
+// incremental result consumption over SearchService. A client Prepares a
+// request (validation + matching happen once, a server-side cursor is
+// registered, the response carries its id), then Fetches pages of ranked
+// hits until `drained`. The api_version field lets future revisions change
+// either struct without silently misreading old callers: a service rejects
+// versions it does not speak with StatusCode::kUnimplemented.
+//
+// Pages are cache-key-compatible with the whole-result cache
+// (service/result_cache.h): cursor server state is keyed by the same
+// canonical CacheKey the Submit path uses, so (a) preparing a query whose
+// full result is already cached opens a zero-work materialized cursor, and
+// (b) a cursor drained to the end populates the whole-result cache for
+// future Submit calls. See SearchService for the endpoint contracts.
+
+#ifndef CLAKS_SERVICE_QUERY_API_H_
+#define CLAKS_SERVICE_QUERY_API_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace claks {
+
+/// The query-api revision this build speaks.
+inline constexpr uint32_t kQueryApiVersion = 1;
+
+/// What a client sends to SearchService::Prepare. Options are validated
+/// strictly (QuerySpec::Create): nonsensical combinations come back as
+/// InvalidArgument naming each QuerySpecError instead of executing.
+struct QueryRequest {
+  uint32_t api_version = kQueryApiVersion;
+  std::string query_text;
+  SearchOptions options;
+};
+
+/// What Prepare and Fetch return. Prepare responses carry the cursor id
+/// and the match metadata with an empty hit page; every Fetch response is
+/// the next page of the ranked hit sequence.
+struct QueryResponse {
+  uint32_t api_version = kQueryApiVersion;
+  /// Handle for Fetch/Close. Ids are never reused within a service.
+  uint64_t cursor_id = 0;
+  /// The engine snapshot this cursor reads. Pinned: the generation stays
+  /// alive (and the sequence stays frozen) until the cursor is closed,
+  /// even across Mutate calls.
+  uint64_t snapshot_version = 0;
+
+  /// Normalized keywords (after AND/OR resolution) and the number of
+  /// matched tuples per keyword, parallel arrays.
+  KeywordQuery query;
+  std::vector<size_t> match_counts;
+
+  /// Rank position of hits.front() in the full sequence (== the number of
+  /// hits this cursor handed out before this page).
+  size_t offset = 0;
+  std::vector<SearchHit> hits;  ///< empty for Prepare responses
+  /// True when every hit of the sequence has been handed out to this
+  /// cursor (a Prepare response is drained only for empty results).
+  bool drained = false;
+  /// Work metric so far (SearchResult::expansions semantics), cumulative
+  /// across the pages pulled through this cursor's shared server state —
+  /// for a lazy kStream cursor it grows page by page.
+  size_t expansions = 0;
+};
+
+}  // namespace claks
+
+#endif  // CLAKS_SERVICE_QUERY_API_H_

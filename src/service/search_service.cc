@@ -137,6 +137,215 @@ Result<SearchResult> SearchService::SearchNow(
   return Submit(query_text, options).get();
 }
 
+Result<std::shared_ptr<SearchService::CursorState>>
+SearchService::StateForRequest(const QueryRequest& request,
+                               QuerySpec spec) {
+  std::shared_ptr<const EngineSnapshot> snap = snapshot();
+  std::string key = CacheKey(*snap->engine, snap->version,
+                             request.query_text, request.options);
+  {
+    std::lock_guard<std::mutex> lock(cursors_mutex_);
+    auto it = active_states_.find(key);
+    if (it != active_states_.end()) {
+      if (std::shared_ptr<CursorState> state = it->second.lock()) {
+        return state;
+      }
+      active_states_.erase(it);
+    }
+  }
+
+  auto state = std::make_shared<CursorState>();
+  state->snapshot = snap;
+  state->key = key;
+  if (cache_ != nullptr) {
+    if (std::shared_ptr<const SearchResult> cached = cache_->Get(key)) {
+      // The whole result is already materialized: a zero-work cursor
+      // slicing the shared cached object directly.
+      state->expansions = cached->expansions;
+      state->drained = true;
+      state->query = cached->query;
+      for (const KeywordMatches& km : cached->matches) {
+        state->match_counts.push_back(km.matches.size());
+      }
+      state->whole = std::move(cached);
+      std::lock_guard<std::mutex> lock(cursors_mutex_);
+      active_states_[key] = state;
+      return state;
+    }
+  }
+
+  CLAKS_ASSIGN_OR_RETURN(
+      PreparedQuery prepared,
+      snap->engine->Prepare(request.query_text, std::move(spec)));
+  state->prepared = std::make_unique<PreparedQuery>(std::move(prepared));
+  CLAKS_ASSIGN_OR_RETURN(state->cursor, state->prepared->Open());
+  state->drained = state->cursor->Drained();
+  state->expansions = state->cursor->Stats().expansions;
+  state->query = state->prepared->query();
+  for (const KeywordMatches& km : state->prepared->matches()) {
+    state->match_counts.push_back(km.matches.size());
+  }
+  std::lock_guard<std::mutex> lock(cursors_mutex_);
+  // A racing Prepare may have registered an equivalent state meanwhile;
+  // share theirs so both clients pull from one engine cursor.
+  auto it = active_states_.find(key);
+  if (it != active_states_.end()) {
+    if (std::shared_ptr<CursorState> existing = it->second.lock()) {
+      return existing;
+    }
+  }
+  active_states_[key] = state;
+  return state;
+}
+
+Result<QueryResponse> SearchService::Prepare(const QueryRequest& request) {
+  if (request.api_version != kQueryApiVersion) {
+    return Status::Unimplemented(StrFormat(
+        "query api version %u not supported (this service speaks v%u)",
+        request.api_version, kQueryApiVersion));
+  }
+  CLAKS_ASSIGN_OR_RETURN(QuerySpec spec,
+                         QuerySpec::Create(request.options));
+  {
+    std::lock_guard<std::mutex> lock(cursors_mutex_);
+    if (open_cursors_.size() >= options_.max_open_cursors) {
+      return Status::OutOfRange(
+          StrFormat("too many open cursors (max %zu); Close finished ones",
+                    options_.max_open_cursors));
+    }
+  }
+  CLAKS_ASSIGN_OR_RETURN(std::shared_ptr<CursorState> state,
+                         StateForRequest(request, std::move(spec)));
+
+  auto client = std::make_shared<ClientCursor>();
+  client->state = state;
+  uint64_t id = next_cursor_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(cursors_mutex_);
+    // Re-check under the registration lock: concurrent Prepares may have
+    // filled the remaining slots since the early check.
+    if (open_cursors_.size() >= options_.max_open_cursors) {
+      return Status::OutOfRange(
+          StrFormat("too many open cursors (max %zu); Close finished ones",
+                    options_.max_open_cursors));
+    }
+    open_cursors_.emplace(id, std::move(client));
+  }
+  cursors_prepared_.fetch_add(1, std::memory_order_relaxed);
+
+  QueryResponse response;
+  response.cursor_id = id;
+  response.snapshot_version = state->snapshot->version;
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    const std::vector<SearchHit>& source =
+        state->whole != nullptr ? state->whole->hits : state->prefix;
+    response.query = state->query;
+    response.match_counts = state->match_counts;
+    response.drained = state->drained && source.empty();
+    response.expansions = state->expansions;
+  }
+  return response;
+}
+
+Result<QueryResponse> SearchService::Fetch(uint64_t cursor_id,
+                                           size_t page_size) {
+  std::shared_ptr<ClientCursor> client;
+  {
+    std::lock_guard<std::mutex> lock(cursors_mutex_);
+    auto it = open_cursors_.find(cursor_id);
+    if (it == open_cursors_.end()) {
+      return Status::NotFound(
+          StrFormat("no open cursor %llu",
+                    static_cast<unsigned long long>(cursor_id)));
+    }
+    client = it->second;
+  }
+
+  std::lock_guard<std::mutex> client_lock(client->mutex);
+  CursorState& state = *client->state;
+  QueryResponse response;
+  response.cursor_id = cursor_id;
+  response.snapshot_version = state.snapshot->version;
+  response.offset = client->offset;
+
+  // Saturate: a wrapped offset + page_size would rewind the client's
+  // position and re-serve pages.
+  size_t target = client->offset + page_size;
+  if (target < client->offset) target = static_cast<size_t>(-1);
+
+  std::lock_guard<std::mutex> state_lock(state.mutex);
+  response.query = state.query;
+  response.match_counts = state.match_counts;
+  while (!state.drained && state.prefix.size() < target) {
+    size_t need = target - state.prefix.size();
+    CLAKS_ASSIGN_OR_RETURN(std::vector<SearchHit> pulled,
+                           state.cursor->Next(need));
+    size_t got = pulled.size();
+    for (SearchHit& hit : pulled) state.prefix.push_back(std::move(hit));
+    state.expansions = state.cursor->Stats().expansions;
+    if (state.cursor->Drained()) state.drained = true;
+    if (got < need) break;
+  }
+  if (state.drained && state.cursor != nullptr && cache_ != nullptr &&
+      state.prepared != nullptr) {
+    // Fully drained through the cursor path: publish the whole result so
+    // future Submit calls (and Prepares) of the same query hit the cache.
+    auto full = std::make_shared<SearchResult>();
+    full->query = state.prepared->query();
+    full->matches = state.prepared->matches();
+    full->keyword_of = state.prepared->keyword_of();
+    full->hits = state.prefix;
+    full->expansions = state.expansions;
+    cache_->Put(state.key, std::move(full));
+    state.cursor.reset();  // the prefix is complete; free the engine cursor
+  }
+
+  const std::vector<SearchHit>& source =
+      state.whole != nullptr ? state.whole->hits : state.prefix;
+  size_t end = std::min(source.size(), target);
+  for (size_t i = client->offset; i < end; ++i) {
+    response.hits.push_back(source[i]);
+  }
+  client->offset = end;
+  response.drained = state.drained && client->offset >= source.size();
+  response.expansions = state.expansions;
+  pages_fetched_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+std::future<Result<QueryResponse>> SearchService::SubmitFetch(
+    uint64_t cursor_id, size_t page_size) {
+  auto promise =
+      std::make_shared<std::promise<Result<QueryResponse>>>();
+  std::future<Result<QueryResponse>> future = promise->get_future();
+  pool_->Submit([this, promise, cursor_id, page_size]() {
+    promise->set_value(Fetch(cursor_id, page_size));
+  });
+  return future;
+}
+
+Status SearchService::Close(uint64_t cursor_id) {
+  std::lock_guard<std::mutex> lock(cursors_mutex_);
+  auto it = open_cursors_.find(cursor_id);
+  if (it == open_cursors_.end()) {
+    return Status::NotFound(
+        StrFormat("no open cursor %llu",
+                  static_cast<unsigned long long>(cursor_id)));
+  }
+  open_cursors_.erase(it);
+  // Reap state-index entries whose every client is gone.
+  for (auto state_it = active_states_.begin();
+       state_it != active_states_.end();) {
+    if (state_it->second.expired()) {
+      state_it = active_states_.erase(state_it);
+    } else {
+      ++state_it;
+    }
+  }
+  return Status::OK();
+}
+
 Status SearchService::Mutate(
     const std::function<Status(Database*)>& mutation) {
   CLAKS_CHECK(mutation != nullptr);
@@ -168,6 +377,13 @@ ServiceStats SearchService::stats() const {
     stats.cache_entries = cache.entries;
   }
   stats.snapshot_version = snapshot()->version;
+  stats.cursors_prepared =
+      cursors_prepared_.load(std::memory_order_relaxed);
+  stats.pages_fetched = pages_fetched_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(cursors_mutex_);
+    stats.open_cursors = open_cursors_.size();
+  }
   return stats;
 }
 

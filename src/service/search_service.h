@@ -9,6 +9,15 @@
 // resolve through per-query futures; mutations clone the database, build
 // and warm a fresh snapshot off to the side, and swap it in atomically
 // while in-flight queries finish on the old snapshot.
+//
+// Two consumption shapes: Submit/SearchNow execute a whole query and
+// resolve a future with the full SearchResult; Prepare/Fetch (the
+// versioned query_api.h pair) open a server-side cursor and pull the
+// ranked sequence page by page — lazy methods (kStream) only do the
+// expansion work the fetched pages require, open cursors pin their
+// snapshot generation across mutations, and cursor state is shared by
+// canonical cache key so identical concurrent browsing sessions pay the
+// search once.
 
 #ifndef CLAKS_SERVICE_SEARCH_SERVICE_H_
 #define CLAKS_SERVICE_SEARCH_SERVICE_H_
@@ -17,13 +26,19 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
+#include "core/cursor.h"
 #include "core/engine.h"
+#include "core/query_spec.h"
+#include "service/query_api.h"
 #include "service/result_cache.h"
 #include "service/thread_pool.h"
 
@@ -50,6 +65,11 @@ struct ServiceOptions {
   /// Total result-cache entries across shards; 0 disables caching.
   size_t cache_capacity = 1024;
   size_t cache_shards = 8;
+  /// Cap on simultaneously open client cursors (Prepare fails with
+  /// OutOfRange beyond it; Close frees slots). Each open cursor pins its
+  /// engine snapshot, so the cap bounds how many old generations
+  /// straggling readers can keep alive.
+  size_t max_open_cursors = 1024;
 };
 
 /// Point-in-time service counters. Exact: hits + misses counts executed
@@ -62,6 +82,11 @@ struct ServiceStats {
   uint64_t cache_evictions = 0;
   size_t cache_entries = 0;
   uint64_t snapshot_version = 0;
+  /// Cursor endpoints (query_api.h): cursors Prepared / pages Fetched
+  /// since construction, and the currently open (not yet Closed) cursors.
+  uint64_t cursors_prepared = 0;
+  uint64_t pages_fetched = 0;
+  size_t open_cursors = 0;
 };
 
 /// Thread-safety: every public member may be called from any thread.
@@ -100,6 +125,39 @@ class SearchService {
   Result<SearchResult> SearchNow(const std::string& query_text,
                                  const SearchOptions& options = {});
 
+  /// Opens a server-side cursor for incremental consumption (the
+  /// prepared-query shape of query_api.h). Validates request.options
+  /// strictly (QuerySpec::Create — InvalidArgument naming each
+  /// QuerySpecError), rejects api_versions this build does not speak
+  /// (Unimplemented), and fails with OutOfRange at max_open_cursors. The
+  /// cursor pins the snapshot current at Prepare time: Fetch pages stay
+  /// frozen on that generation across Mutate calls. Cursor server state
+  /// is shared by canonical cache key — concurrent clients preparing the
+  /// same query on the same snapshot pull from one engine cursor, and a
+  /// query whose full result already sits in the result cache opens a
+  /// zero-work materialized cursor.
+  Result<QueryResponse> Prepare(const QueryRequest& request);
+
+  /// Returns the next `page_size` hits of the cursor's ranked sequence
+  /// (fewer on the last page; `drained` set once the sequence ends).
+  /// Lazy methods do the expansion work here, not in Prepare; a cursor
+  /// fetched to the end populates the whole-result cache for future
+  /// Submit calls of the same query. NotFound for unknown/closed ids.
+  ///
+  /// Thread-safety: any thread; Fetches on the same cursor_id serialize
+  /// and hand out disjoint consecutive pages.
+  Result<QueryResponse> Fetch(uint64_t cursor_id, size_t page_size);
+
+  /// Fetch through the worker pool: the future resolves to exactly what
+  /// Fetch(cursor_id, page_size) would return. Blocks while the
+  /// submission queue is full, like Submit.
+  std::future<Result<QueryResponse>> SubmitFetch(uint64_t cursor_id,
+                                                 size_t page_size);
+
+  /// Releases a cursor (and, when it held the last reference, the shared
+  /// server state plus its snapshot pin). NotFound for unknown ids.
+  Status Close(uint64_t cursor_id);
+
   /// Clones the current database, applies `mutation` to the clone, builds
   /// and warms a fresh engine over it, and atomically publishes it as the
   /// next snapshot version. Queries already executing (or cache entries
@@ -130,9 +188,47 @@ class SearchService {
                               const SearchOptions& options);
 
  private:
+  /// Server-side cursor state, shared among every client cursor whose
+  /// (snapshot, query, options) canonical key coincides: one engine
+  /// cursor feeds an append-only materialized prefix all clients slice
+  /// pages from, so identical concurrent browsing sessions pay the
+  /// search work once. Holding the snapshot shared_ptr pins the
+  /// generation for the state's lifetime.
+  struct CursorState {
+    std::mutex mutex;
+    std::shared_ptr<const EngineSnapshot> snapshot;
+    std::string key;  ///< canonical cache key (CacheKey)
+    /// Heap-pinned: open cursors reference the PreparedQuery internals,
+    /// so it must keep a stable address for the state's lifetime. Null
+    /// when the state was built from a cached whole result.
+    std::unique_ptr<PreparedQuery> prepared;
+    std::unique_ptr<ResultCursor> cursor;  ///< null when cache-backed
+    /// Cache-backed source: the shared whole result, sliced directly (no
+    /// per-session copy). Null on the live-cursor path, where `prefix`
+    /// accumulates instead.
+    std::shared_ptr<const SearchResult> whole;
+    std::vector<SearchHit> prefix;  ///< materialized so far (live path)
+    size_t expansions = 0;
+    bool drained = false;
+    KeywordQuery query;
+    std::vector<size_t> match_counts;
+  };
+
+  /// One client's handle: a shared state plus this client's position.
+  struct ClientCursor {
+    std::mutex mutex;  ///< serializes Fetches on this id
+    std::shared_ptr<CursorState> state;
+    size_t offset = 0;
+  };
+
   SearchService(ServiceOptions options,
                 std::optional<std::pair<ERSchema, ErRelationalMapping>>
                     schema_and_mapping);
+
+  /// Finds or builds the shared CursorState for `request` against the
+  /// current snapshot.
+  Result<std::shared_ptr<CursorState>> StateForRequest(
+      const QueryRequest& request, QuerySpec spec);
 
   /// Builds a warmed snapshot of `db` at `version` using the retained
   /// schema/mapping when present (reverse-engineering otherwise).
@@ -160,6 +256,17 @@ class SearchService {
   std::unique_ptr<ResultCache> cache_;  ///< null when caching is disabled
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
+
+  /// Cursor registry. `open_cursors_` maps live client ids;
+  /// `active_states_` weakly indexes in-flight shared states by canonical
+  /// key so identical Prepares coalesce (expired entries are reaped
+  /// opportunistically).
+  mutable std::mutex cursors_mutex_;  ///< mutable: stats() is const
+  std::unordered_map<uint64_t, std::shared_ptr<ClientCursor>> open_cursors_;
+  std::map<std::string, std::weak_ptr<CursorState>> active_states_;
+  std::atomic<uint64_t> next_cursor_id_{1};
+  std::atomic<uint64_t> cursors_prepared_{0};
+  std::atomic<uint64_t> pages_fetched_{0};
 
   /// Declared last: destroyed first, so workers finish (they reference
   /// snapshot_/cache_/counters) before the rest of the service tears down.

@@ -1,0 +1,343 @@
+// Copyright 2026 The claks Authors.
+//
+// The service's versioned Prepare/Fetch cursor endpoints
+// (service/query_api.h): strict typed validation, api versioning, page
+// sequences equal to whole-result Submit, cache-key compatibility in both
+// directions (cached whole results back cursors; drained cursors fill the
+// cache), snapshot pinning across Mutate, shared server state between
+// identical cursors, and lifecycle (Close, max_open_cursors, futures).
+
+#include "service/query_api.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datasets/company_paper.h"
+#include "service/search_service.h"
+
+namespace claks {
+namespace {
+
+std::unique_ptr<SearchService> PaperService(ServiceOptions options) {
+  auto dataset = BuildCompanyPaperDataset();
+  CLAKS_CHECK(dataset.ok());
+  auto service = SearchService::Create(
+      std::move(dataset->db), std::move(dataset->er_schema),
+      std::move(dataset->mapping), options);
+  CLAKS_CHECK(service.ok());
+  return std::move(service).ValueOrDie();
+}
+
+std::vector<std::string> Rendered(const std::vector<SearchHit>& hits) {
+  std::vector<std::string> out;
+  for (const SearchHit& hit : hits) out.push_back(hit.rendered);
+  return out;
+}
+
+QueryRequest StreamRequest(const std::string& text, size_t top_k = 5) {
+  QueryRequest request;
+  request.query_text = text;
+  request.options.method = SearchMethod::kStream;
+  request.options.ranker = RankerKind::kRdbLength;
+  request.options.max_rdb_edges = 3;
+  request.options.top_k = top_k;
+  return request;
+}
+
+TEST(ServiceCursorTest, RejectsUnsupportedApiVersion) {
+  auto service = PaperService({});
+  QueryRequest request = StreamRequest("smith xml");
+  request.api_version = kQueryApiVersion + 1;
+  auto response = service->Prepare(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsUnimplemented());
+}
+
+TEST(ServiceCursorTest, RejectsInvalidSpecWithTypedCodes) {
+  auto service = PaperService({});
+  QueryRequest request = StreamRequest("smith xml", /*top_k=*/0);
+  auto response = service->Prepare(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsInvalidArgument());
+  EXPECT_NE(response.status().message().find("stream-without-top-k"),
+            std::string::npos)
+      << response.status().message();
+}
+
+TEST(ServiceCursorTest, FetchPagesConcatenateToSearchNow) {
+  ServiceOptions options;
+  options.num_threads = 2;
+  auto service = PaperService(options);
+
+  QueryRequest request;
+  request.query_text = "smith xml";
+  request.options.max_rdb_edges = 3;  // kEnumerate, unbounded
+  auto whole = service->SearchNow(request.query_text, request.options);
+  ASSERT_TRUE(whole.ok());
+  ASSERT_EQ(whole->hits.size(), 7u);
+
+  auto prepared = service->Prepare(request);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(prepared->snapshot_version, 1u);
+  EXPECT_EQ(prepared->query.keywords,
+            (std::vector<std::string>{"smith", "xml"}));
+  EXPECT_EQ(prepared->match_counts, (std::vector<size_t>{2u, 4u}));
+  EXPECT_TRUE(prepared->hits.empty());
+  EXPECT_FALSE(prepared->drained);
+
+  std::vector<SearchHit> collected;
+  bool drained = false;
+  size_t fetches = 0;
+  while (!drained) {
+    auto page = service->Fetch(prepared->cursor_id, 3);
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ(page->offset, collected.size());
+    for (const SearchHit& hit : page->hits) collected.push_back(hit);
+    drained = page->drained;
+    ++fetches;
+    ASSERT_LE(fetches, 10u);  // runaway guard
+  }
+  EXPECT_EQ(fetches, 3u);  // 3 + 3 + 1
+  EXPECT_EQ(Rendered(collected), Rendered(whole->hits));
+  EXPECT_TRUE(service->Close(prepared->cursor_id).ok());
+}
+
+TEST(ServiceCursorTest, StreamCursorIsLazyAndFillsWholeResultCache) {
+  ServiceOptions options;
+  options.num_threads = 2;
+  options.cache_capacity = 64;
+  auto service = PaperService(options);
+
+  QueryRequest request = StreamRequest("smith xml", /*top_k=*/5);
+  auto prepared = service->Prepare(request);
+  ASSERT_TRUE(prepared.ok());
+
+  auto page1 = service->Fetch(prepared->cursor_id, 2);
+  ASSERT_TRUE(page1.ok());
+  EXPECT_EQ(page1->hits.size(), 2u);
+  size_t page1_expansions = page1->expansions;
+  EXPECT_GT(page1_expansions, 0u);
+
+  auto page2 = service->Fetch(prepared->cursor_id, 10);
+  ASSERT_TRUE(page2.ok());
+  EXPECT_TRUE(page2->drained);
+  // Laziness: page 1 stopped short of the drained cursor's total work.
+  EXPECT_LT(page1_expansions, page2->expansions);
+
+  // Cache compatibility, cursor -> whole-result: the drained sequence now
+  // serves Submit as a cache hit with identical content.
+  uint64_t hits_before = service->stats().cache_hits;
+  auto now = service->SearchNow(request.query_text, request.options);
+  ASSERT_TRUE(now.ok());
+  EXPECT_EQ(service->stats().cache_hits, hits_before + 1);
+  std::vector<SearchHit> paged;
+  for (const SearchHit& hit : page1->hits) paged.push_back(hit);
+  for (const SearchHit& hit : page2->hits) paged.push_back(hit);
+  EXPECT_EQ(Rendered(paged), Rendered(now->hits));
+  EXPECT_EQ(now->expansions, page2->expansions);
+}
+
+TEST(ServiceCursorTest, PrepareIsBackedByCachedWholeResult) {
+  ServiceOptions options;
+  options.cache_capacity = 64;
+  auto service = PaperService(options);
+
+  QueryRequest request = StreamRequest("smith xml", /*top_k=*/4);
+  auto whole = service->SearchNow(request.query_text, request.options);
+  ASSERT_TRUE(whole.ok());
+
+  // Cache-backed state: Get counts one hit at Prepare.
+  uint64_t hits_before = service->stats().cache_hits;
+  auto prepared = service->Prepare(request);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(service->stats().cache_hits, hits_before + 1);
+  EXPECT_EQ(prepared->expansions, whole->expansions);  // work already paid
+
+  auto page = service->Fetch(prepared->cursor_id, 10);
+  ASSERT_TRUE(page.ok());
+  EXPECT_TRUE(page->drained);
+  EXPECT_EQ(Rendered(page->hits), Rendered(whole->hits));
+}
+
+TEST(ServiceCursorTest, ConcurrentIdenticalCursorsShareServerState) {
+  ServiceOptions options;
+  options.cache_capacity = 64;
+  auto service = PaperService(options);
+
+  QueryRequest request = StreamRequest("smith xml", /*top_k=*/5);
+  auto c1 = service->Prepare(request);
+  ASSERT_TRUE(c1.ok());
+  auto c2 = service->Prepare(request);
+  ASSERT_TRUE(c2.ok());
+  ASSERT_NE(c1->cursor_id, c2->cursor_id);
+
+  // c1 pulls two pages; c2 starts from the top and sees the same
+  // sequence, served from the shared materialized prefix (expansions do
+  // not restart from zero for c2's page 1).
+  auto c1p1 = service->Fetch(c1->cursor_id, 2);
+  ASSERT_TRUE(c1p1.ok());
+  auto c1p2 = service->Fetch(c1->cursor_id, 3);
+  ASSERT_TRUE(c1p2.ok());
+  EXPECT_TRUE(c1p2->drained);
+
+  auto c2p1 = service->Fetch(c2->cursor_id, 2);
+  ASSERT_TRUE(c2p1.ok());
+  EXPECT_EQ(Rendered(c2p1->hits), Rendered(c1p1->hits));
+  EXPECT_EQ(c2p1->expansions, c1p2->expansions);  // shared engine cursor
+  EXPECT_EQ(c2p1->offset, 0u);
+
+  EXPECT_EQ(service->stats().open_cursors, 2u);
+  EXPECT_TRUE(service->Close(c1->cursor_id).ok());
+  EXPECT_TRUE(service->Close(c2->cursor_id).ok());
+  EXPECT_EQ(service->stats().open_cursors, 0u);
+}
+
+TEST(ServiceCursorTest, CursorPinsSnapshotAcrossMutate) {
+  ServiceOptions options;
+  options.cache_capacity = 16;
+  auto service = PaperService(options);
+
+  QueryRequest request;
+  request.query_text = "zyzzyx";
+  auto before = service->Prepare(request);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->snapshot_version, 1u);
+  EXPECT_TRUE(before->drained);  // no match on generation 1
+
+  Status mutated = service->Mutate([](Database* db) -> Status {
+    Table* employees = db->FindMutableTable("EMPLOYEE");
+    CLAKS_CHECK(employees != nullptr);
+    return employees
+        ->InsertValues({Value::String("e9"), Value::String("Zyzzyx"),
+                        Value::String("Zed"), Value::String("d1")})
+        .status();
+  });
+  ASSERT_TRUE(mutated.ok());
+
+  // The old cursor stays frozen on generation 1...
+  auto old_page = service->Fetch(before->cursor_id, 5);
+  ASSERT_TRUE(old_page.ok());
+  EXPECT_EQ(old_page->snapshot_version, 1u);
+  EXPECT_TRUE(old_page->hits.empty());
+  EXPECT_TRUE(old_page->drained);
+
+  // ...while a fresh Prepare reads generation 2.
+  auto after = service->Prepare(request);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->snapshot_version, 2u);
+  auto new_page = service->Fetch(after->cursor_id, 5);
+  ASSERT_TRUE(new_page.ok());
+  EXPECT_EQ(new_page->hits.size(), 1u);
+}
+
+// A pathological page_size must saturate, not wrap the client offset
+// backwards (which would re-serve already-fetched pages).
+TEST(ServiceCursorTest, HugePageSizeSaturatesInsteadOfRewinding) {
+  auto service = PaperService({});
+  auto prepared = service->Prepare(StreamRequest("smith xml", /*top_k=*/5));
+  ASSERT_TRUE(prepared.ok());
+  auto p1 = service->Fetch(prepared->cursor_id, 3);
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(p1->hits.size(), 3u);
+  auto p2 = service->Fetch(prepared->cursor_id, static_cast<size_t>(-1));
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p2->offset, 3u);  // forward, never rewound
+  EXPECT_EQ(p2->hits.size(), 2u);
+  EXPECT_TRUE(p2->drained);
+}
+
+TEST(ServiceCursorTest, CloseLifecycleAndNotFound) {
+  auto service = PaperService({});
+  auto prepared = service->Prepare(StreamRequest("smith xml"));
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_TRUE(service->Close(prepared->cursor_id).ok());
+  EXPECT_TRUE(service->Close(prepared->cursor_id).IsNotFound());
+  EXPECT_TRUE(service->Fetch(prepared->cursor_id, 1).status().IsNotFound());
+  EXPECT_TRUE(service->Fetch(999999, 1).status().IsNotFound());
+}
+
+TEST(ServiceCursorTest, MaxOpenCursorsIsEnforced) {
+  ServiceOptions options;
+  options.max_open_cursors = 2;
+  auto service = PaperService(options);
+
+  auto c1 = service->Prepare(StreamRequest("smith xml"));
+  ASSERT_TRUE(c1.ok());
+  auto c2 = service->Prepare(StreamRequest("alice xml"));
+  ASSERT_TRUE(c2.ok());
+  auto c3 = service->Prepare(StreamRequest("smith alice"));
+  ASSERT_FALSE(c3.ok());
+  EXPECT_TRUE(c3.status().IsOutOfRange());
+
+  EXPECT_TRUE(service->Close(c1->cursor_id).ok());
+  auto c4 = service->Prepare(StreamRequest("smith alice"));
+  EXPECT_TRUE(c4.ok());
+}
+
+// Several client cursors over one shared server state, each drained from
+// its own thread: every consumer sees the identical full sequence (the
+// shared prefix is extended under the state mutex; TSan covers this test
+// in CI).
+TEST(ServiceCursorTest, ConcurrentFetchesOverSharedStateSeeOneSequence) {
+  ServiceOptions options;
+  options.num_threads = 4;
+  options.cache_capacity = 64;
+  auto service = PaperService(options);
+
+  QueryRequest request = StreamRequest("smith xml", /*top_k=*/5);
+  constexpr int kClients = 4;
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < kClients; ++i) {
+    auto prepared = service->Prepare(request);
+    ASSERT_TRUE(prepared.ok());
+    ids.push_back(prepared->cursor_id);
+  }
+
+  std::vector<std::vector<std::string>> sequences(kClients);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&service, &sequences, &ids, i] {
+      bool drained = false;
+      while (!drained) {
+        auto page = service->Fetch(ids[i], 2);
+        ASSERT_TRUE(page.ok());
+        for (const SearchHit& hit : page->hits) {
+          sequences[i].push_back(hit.rendered);
+        }
+        drained = page->drained;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  auto reference = service->SearchNow(request.query_text, request.options);
+  ASSERT_TRUE(reference.ok());
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(sequences[i], Rendered(reference->hits)) << "client " << i;
+  }
+}
+
+TEST(ServiceCursorTest, SubmitFetchResolvesLikeFetch) {
+  ServiceOptions options;
+  options.num_threads = 2;
+  auto service = PaperService(options);
+
+  auto prepared = service->Prepare(StreamRequest("smith xml", 5));
+  ASSERT_TRUE(prepared.ok());
+  auto future = service->SubmitFetch(prepared->cursor_id, 2);
+  auto page = future.get();
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->hits.size(), 2u);
+  EXPECT_EQ(page->offset, 0u);
+
+  ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.cursors_prepared, 1u);
+  EXPECT_EQ(stats.pages_fetched, 1u);
+}
+
+}  // namespace
+}  // namespace claks
