@@ -13,8 +13,14 @@
 // paged consumption trace: a prepared-query cursor (core/cursor.h) over
 // the streaming method, fetched page by page, with per-page latency and
 // the cumulative expansion count after each page — the work metric of
-// incremental consumption. The JSON schema is documented in
-// docs/BENCHMARKS.md; CI uploads the 1x/10x run as an artifact.
+// incremental consumption. Since schema_version 3 each query also sweeps
+// intra-query sharding (--shards=1,2,4): the streaming top-k run repeated
+// per shard count, with per-shard expansion counters (work skew), the
+// identical-keys check against the unsharded run, and the latency speedup
+// over shards=1 — interpret speedups against the recorded
+// hardware_threads (a single-core runner cannot show wall-clock wins).
+// The JSON schema is documented in docs/BENCHMARKS.md; CI uploads the
+// 1x/10x run as an artifact.
 
 #include <algorithm>
 #include <chrono>
@@ -23,6 +29,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/cursor.h"
@@ -82,6 +89,16 @@ struct PageRecord {
   size_t expansions = 0;  // cumulative after this page
 };
 
+struct ShardRecord {
+  size_t shards = 1;
+  double stream_topk_ms = 0.0;
+  size_t expansions = 0;
+  /// Per-shard expansion counters (empty at shards=1): the work-skew
+  /// axis of the sweep.
+  std::vector<size_t> per_shard;
+  bool keys_identical = true;  // vs the shards=1 run
+};
+
 struct QueryRecord {
   std::string query;
   size_t results_full = 0;
@@ -95,6 +112,9 @@ struct QueryRecord {
   size_t page_size = 0;
   bool paged_identical = true;
   std::vector<PageRecord> pages;
+  // Intra-query sharding sweep over the streaming top-k run.
+  std::string shard_ranker;
+  std::vector<ShardRecord> shard_sweep;
 };
 
 struct ScaleRecord {
@@ -109,7 +129,7 @@ const claks::RankerKind kTopkRankers[] = {claks::RankerKind::kRdbLength,
                                           claks::RankerKind::kCloseFirst};
 
 ScaleRecord RunScale(size_t scale, size_t top_k, size_t max_edges,
-                     size_t reps) {
+                     size_t reps, const std::vector<size_t>& shard_counts) {
   ScaleRecord record;
   record.scale = scale;
 
@@ -217,6 +237,43 @@ ScaleRecord RunScale(size_t scale, size_t top_k, size_t max_edges,
                            KeySequence(paged, options.ranker);
       CLAKS_CHECK(qr.paged_identical);
     }
+
+    // Intra-query sharding sweep: the same streaming top-k query fanned
+    // out over N seed shards (core/shard.h). Results must stay
+    // byte-identical at every shard count; the per-shard expansion
+    // counters record the work skew of the partition.
+    {
+      claks::SearchOptions options = base;
+      options.method = claks::SearchMethod::kStream;
+      options.ranker = claks::RankerKind::kRdbLength;
+      options.top_k = top_k;
+      qr.shard_ranker = claks::RankerKindToString(options.ranker);
+
+      claks::SearchResult unsharded;
+      bool have_baseline = false;
+      for (size_t shards : shard_counts) {
+        options.shards = shards;
+        ShardRecord sr;
+        sr.shards = shards;
+        claks::SearchResult sharded;
+        sr.stream_topk_ms = TimeMs(reps, [&] {
+          auto result = engine->Search(query, options);
+          CLAKS_CHECK(result.ok());
+          sharded = std::move(result).ValueOrDie();
+        });
+        sr.expansions = sharded.expansions;
+        sr.per_shard = sharded.shard_expansions;
+        if (shards == 1) {
+          unsharded = sharded;
+          have_baseline = true;
+        } else if (have_baseline) {
+          sr.keys_identical = KeySequence(unsharded, options.ranker) ==
+                              KeySequence(sharded, options.ranker);
+          CLAKS_CHECK(sr.keys_identical);
+        }
+        qr.shard_sweep.push_back(std::move(sr));
+      }
+    }
     record.queries.push_back(std::move(qr));
   }
   return record;
@@ -226,15 +283,32 @@ double Ratio(double baseline, double value) {
   return value > 0.0 ? baseline / value : 0.0;
 }
 
+/// max/mean over the per-shard counters: 1.0 = perfectly balanced work.
+double WorkSkew(const std::vector<size_t>& per_shard) {
+  if (per_shard.empty()) return 1.0;
+  size_t total = 0;
+  size_t max = 0;
+  for (size_t count : per_shard) {
+    total += count;
+    max = std::max(max, count);
+  }
+  if (total == 0) return 1.0;
+  double mean = static_cast<double>(total) /
+                static_cast<double>(per_shard.size());
+  return static_cast<double>(max) / mean;
+}
+
 void WriteJson(std::FILE* f, const std::vector<ScaleRecord>& records,
                size_t top_k, size_t max_edges, size_t reps) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"benchmark\": \"bench_stream\",\n");
-  std::fprintf(f, "  \"schema_version\": 2,\n");
+  std::fprintf(f, "  \"schema_version\": 3,\n");
   std::fprintf(f, "  \"dataset\": \"company_gen\",\n");
   std::fprintf(f, "  \"top_k\": %zu,\n", top_k);
   std::fprintf(f, "  \"max_rdb_edges\": %zu,\n", max_edges);
   std::fprintf(f, "  \"reps\": %zu,\n", reps);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
   std::fprintf(f, "  \"scales\": [\n");
   for (size_t i = 0; i < records.size(); ++i) {
     const ScaleRecord& r = records[i];
@@ -285,7 +359,34 @@ void WriteJson(std::FILE* f, const std::vector<ScaleRecord>& records,
                      p == 0 ? "" : ", ", p + 1, pr.latency_ms, pr.hits,
                      pr.expansions);
       }
-      std::fprintf(f, "]}\n");
+      std::fprintf(f, "]},\n");
+      // Shard sweep: latency speedup vs the shards=1 rung of the same
+      // sweep, work skew = max/mean of the per-shard counters.
+      double unsharded_ms = 0.0;
+      for (const ShardRecord& sr : qr.shard_sweep) {
+        if (sr.shards == 1) unsharded_ms = sr.stream_topk_ms;
+      }
+      std::fprintf(f, "          \"shard_ranker\": \"%s\",\n",
+                   qr.shard_ranker.c_str());
+      std::fprintf(f, "          \"shards\": [\n");
+      for (size_t s = 0; s < qr.shard_sweep.size(); ++s) {
+        const ShardRecord& sr = qr.shard_sweep[s];
+        std::fprintf(f,
+                     "            {\"shards\": %zu, \"stream_topk_ms\": "
+                     "%.3f, \"expansions\": %zu, \"per_shard_expansions\": [",
+                     sr.shards, sr.stream_topk_ms, sr.expansions);
+        for (size_t p = 0; p < sr.per_shard.size(); ++p) {
+          std::fprintf(f, "%s%zu", p == 0 ? "" : ", ", sr.per_shard[p]);
+        }
+        std::fprintf(f,
+                     "], \"work_skew\": %.2f, \"keys_identical\": %s, "
+                     "\"speedup_vs_unsharded\": %.2f}%s\n",
+                     WorkSkew(sr.per_shard),
+                     sr.keys_identical ? "true" : "false",
+                     Ratio(unsharded_ms, sr.stream_topk_ms),
+                     s + 1 < qr.shard_sweep.size() ? "," : "");
+      }
+      std::fprintf(f, "          ]\n");
       std::fprintf(f, "        }%s\n",
                    q + 1 < r.queries.size() ? "," : "");
     }
@@ -313,6 +414,7 @@ std::vector<size_t> ParseScales(const std::string& spec) {
 
 int main(int argc, char** argv) {
   std::vector<size_t> scales{1, 10, 100};
+  std::vector<size_t> shard_counts{1, 2, 4};
   std::string out_path = "BENCH_stream.json";
   size_t top_k = 10;
   size_t max_edges = 3;
@@ -322,6 +424,8 @@ int main(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg.rfind("--scales=", 0) == 0) {
       scales = ParseScales(arg.substr(9));
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shard_counts = ParseScales(arg.substr(9));
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
     } else if (arg.rfind("--top_k=", 0) == 0) {
@@ -333,24 +437,29 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "unknown flag '%s' (supported: --scales=1,10,100 "
-                   "--out=FILE --top_k=N --max_edges=N --reps=N)\n",
+                   "--shards=1,2,4 --out=FILE --top_k=N --max_edges=N "
+                   "--reps=N)\n",
                    arg.c_str());
       return 2;
     }
   }
-  if (scales.empty() || top_k == 0 || max_edges == 0 || reps == 0 ||
-      std::find(scales.begin(), scales.end(), 0u) != scales.end()) {
+  if (scales.empty() || shard_counts.empty() || top_k == 0 ||
+      max_edges == 0 || reps == 0 ||
+      std::find(scales.begin(), scales.end(), 0u) != scales.end() ||
+      std::find(shard_counts.begin(), shard_counts.end(), 0u) !=
+          shard_counts.end()) {
     std::fprintf(
         stderr,
-        "invalid flags: need scales >= 1, top_k >= 1, max_edges >= 1, "
-        "reps >= 1\n");
+        "invalid flags: need scales >= 1, shards >= 1, top_k >= 1, "
+        "max_edges >= 1, reps >= 1\n");
     return 2;
   }
 
   std::vector<ScaleRecord> records;
   for (size_t scale : scales) {
     std::printf("scale %zux ...\n", scale);
-    ScaleRecord record = RunScale(scale, top_k, max_edges, reps);
+    ScaleRecord record = RunScale(scale, top_k, max_edges, reps,
+                                  shard_counts);
     for (const QueryRecord& qr : record.queries) {
       std::printf(
           "  %-22s enumerate %8.2fms (%zu results) | stream drain "
@@ -365,6 +474,18 @@ int main(int argc, char** argv) {
             Ratio(static_cast<double>(qr.expansions_full),
                   static_cast<double>(tr.expansions_topk)),
             Ratio(qr.enumerate_ms, tr.stream_topk_ms));
+      }
+      double unsharded_ms = 0.0;
+      for (const ShardRecord& sr : qr.shard_sweep) {
+        if (sr.shards == 1) unsharded_ms = sr.stream_topk_ms;
+      }
+      for (const ShardRecord& sr : qr.shard_sweep) {
+        std::printf(
+            "    shards=%zu %-11s %8.2fms  %8zu expansions  (skew %.2f, "
+            "%.2fx vs unsharded)\n",
+            sr.shards, qr.shard_ranker.c_str(), sr.stream_topk_ms,
+            sr.expansions, WorkSkew(sr.per_shard),
+            Ratio(unsharded_ms, sr.stream_topk_ms));
       }
     }
     records.push_back(std::move(record));

@@ -1,6 +1,6 @@
 // Copyright 2026 The claks Authors.
 
-#include "service/thread_pool.h"
+#include "common/thread_pool.h"
 
 #include <utility>
 

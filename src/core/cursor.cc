@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "common/macros.h"
+#include "core/shard.h"
 #include "core/topk.h"
 
 namespace claks {
@@ -159,13 +160,32 @@ class StreamingCursor : public ResultCursor {
       : prepared_(prepared),
         engine_(&prepared->engine()),
         options_(prepared->options()),
-        stream_(ConnectionStream::Bidirectional(
-            &engine_->data_graph(), MatchNodes(prepared, 0),
-            MatchNodes(prepared, 1), options_.max_rdb_edges)),
         ranker_(MakeRanker(options_.ranker)),
         monotone_(RankerMonotonicity(options_.ranker) !=
                   RankMonotonicity::kNone) {
     CLAKS_CHECK(ranker_ != nullptr);
+    size_t shards = EffectiveShards(options_.shards);
+    if (shards > 1) {
+      // Scatter-gather: per-shard streams on the engine's intra-query
+      // pool, analysed on the shard tasks, merged back into exactly the
+      // unsharded emission order (core/shard.h). The settle predicate
+      // below stays global — its stop bound pauses shards, never drains
+      // them. Non-monotone rankers pass kNoStopLength through the same
+      // code path, which degrades to full per-shard drain + merge.
+      sharded_ = std::make_unique<ShardedStreamSource>(
+          &engine_->data_graph(), MatchNodes(prepared, 0),
+          MatchNodes(prepared, 1), options_.max_rdb_edges, shards,
+          &engine_->shard_context().pool(), [this](const NodePath& path) {
+            return engine_->AnalyzeTree(CanonicalTree(path),
+                                        prepared_->matches(),
+                                        prepared_->keyword_of(), options_);
+          });
+    } else {
+      // The single-threaded path, bit-for-bit the pre-sharding cursor.
+      stream_.emplace(ConnectionStream::Bidirectional(
+          &engine_->data_graph(), MatchNodes(prepared, 0),
+          MatchNodes(prepared, 1), options_.max_rdb_edges));
+    }
     if (!monotone_ && options_.top_k != 0) {
       CLAKS_LOG(Warning)
           << "kStream: ranker '" << RankerKindToString(options_.ranker)
@@ -206,7 +226,12 @@ class StreamingCursor : public ResultCursor {
   CursorStats Stats() const override {
     CursorStats stats;
     stats.returned = emitted_;
-    stats.expansions = stream_.expansions();
+    if (sharded_ != nullptr) {
+      stats.expansions = sharded_->TotalExpansions();
+      stats.shard_expansions = sharded_->ShardExpansions();
+    } else {
+      stats.expansions = stream_->expansions();
+    }
     stats.drained = finished_;
     return stats;
   }
@@ -245,15 +270,31 @@ class StreamingCursor : public ResultCursor {
                       ? SettleLength(keys_, groups_, want, options_, &bar)
                       : ConnectionStream::kNoStopLength;
     while (true) {
-      std::optional<NodePath> path = stream_.NextPath(stop);
-      if (!path.has_value()) {
-        if (!stream_.PendingLength().has_value()) exhausted_ = true;
-        return Status::OK();
+      SearchHit hit;
+      if (sharded_ != nullptr) {
+        // Merged emissions arrive in the unsharded stream's order with
+        // analysis already done on the shard tasks; everything from the
+        // sort key on is shared with the single-stream path, so both
+        // produce byte-identical pages under any stop schedule.
+        CLAKS_ASSIGN_OR_RETURN(
+            std::optional<ShardedStreamSource::Emission> emission,
+            sharded_->Next(stop));
+        if (!emission.has_value()) {
+          if (!sharded_->PendingLength().has_value()) exhausted_ = true;
+          return Status::OK();
+        }
+        hit = std::move(emission->hit);
+      } else {
+        std::optional<NodePath> path = stream_->NextPath(stop);
+        if (!path.has_value()) {
+          if (!stream_->PendingLength().has_value()) exhausted_ = true;
+          return Status::OK();
+        }
+        CLAKS_ASSIGN_OR_RETURN(
+            hit,
+            engine_->AnalyzeTree(CanonicalTree(*path), prepared_->matches(),
+                                 prepared_->keyword_of(), options_));
       }
-      CLAKS_ASSIGN_OR_RETURN(
-          SearchHit hit,
-          engine_->AnalyzeTree(CanonicalTree(*path), prepared_->matches(),
-                               prepared_->keyword_of(), options_));
       std::vector<double> key = ranker_->SortKey(hit.ToRankInput());
       // An arrival that does not beat the current bar sorts after the
       // first `want` survivors and cannot lower it — skip the recompute.
@@ -303,7 +344,11 @@ class StreamingCursor : public ResultCursor {
   const PreparedQuery* prepared_;
   const KeywordSearchEngine* engine_;
   const SearchOptions options_;
-  ConnectionStream stream_;
+  /// Exactly one of these is set: the single-threaded stream
+  /// (shards <= 1, the pre-sharding path bit-for-bit) or the
+  /// scatter-gather merger over per-shard streams.
+  std::optional<ConnectionStream> stream_;
+  std::unique_ptr<ShardedStreamSource> sharded_;
   std::unique_ptr<Ranker> ranker_;
   const bool monotone_;
 

@@ -16,6 +16,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -31,6 +32,8 @@
 #include "text/scoring.h"
 
 namespace claks {
+
+class ShardContext;
 
 /// One result: a connection (path) or a tuple tree, with its analysis.
 struct SearchHit {
@@ -77,7 +80,17 @@ struct SearchResult {
   /// (kEnumerate/kMtjnt/kDiscover visit the whole bounded space by
   /// definition). The scale benchmarks compare kStream's value against a
   /// full drain to measure how much work early termination saved.
+  ///
+  /// Under intra-query sharding (SearchOptions::shards > 1, streaming
+  /// path) this is the sum of the per-shard stream counters in
+  /// shard-index order — a stable, deterministic aggregation, so
+  /// expansion-count regression tests stay exact under sharding.
   size_t expansions = 0;
+
+  /// Per-shard expansion counters behind `expansions` (empty when the
+  /// query ran unsharded or through a materialized method). Work-skew
+  /// diagnostics for the benches' --shards sweeps.
+  std::vector<size_t> shard_expansions;
 
   std::string ToString(const Database& db, size_t max_hits = 20) const;
 };
@@ -93,6 +106,10 @@ class KeywordSearchEngine {
   /// output of GenerateRelationalSchema).
   static Result<std::unique_ptr<KeywordSearchEngine>> Create(
       const Database* db, ERSchema er_schema, ErRelationalMapping mapping);
+
+  /// Out-of-line: ShardContext is forward-declared here (core/shard.h
+  /// depends on this header, not the other way around).
+  ~KeywordSearchEngine();
 
   /// Eagerly materializes every lazily-built structure the engine or its
   /// database serves queries from — today the per-FK join indexes and the
@@ -168,6 +185,17 @@ class KeywordSearchEngine {
   const AssociationAnalyzer& analyzer() const { return *analyzer_; }
   const InstanceStatistics& statistics() const { return *statistics_; }
 
+  /// The engine-owned intra-query execution context (core/shard.h):
+  /// a dedicated thread pool per-shard scatter tasks run on. Created
+  /// lazily on the first sharded query — unsharded workloads never
+  /// start extra threads — and shared by every sharded query on this
+  /// engine thereafter. Never the service's admission pool: a query
+  /// task fanning out on its own bounded pool could deadlock; shard
+  /// tasks are pure compute and never block, so this pool cannot.
+  ///
+  /// Thread-safety: callable from any thread (call_once creation).
+  ShardContext& shard_context() const;
+
  private:
   KeywordSearchEngine() = default;
 
@@ -178,6 +206,10 @@ class KeywordSearchEngine {
                          const SearchOptions& options) const;
 
   const Database* db_ = nullptr;
+  /// Lazy (see shard_context()); mutable because sharded execution is a
+  /// detail of const Search/MaterializeHits calls.
+  mutable std::once_flag shard_context_once_;
+  mutable std::unique_ptr<ShardContext> shard_context_;
   std::unique_ptr<ERSchema> er_schema_;
   std::unique_ptr<ErRelationalMapping> mapping_;
   std::unique_ptr<DataGraph> data_graph_;

@@ -1,0 +1,331 @@
+// Copyright 2026 The claks Authors.
+
+#include "core/shard.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/macros.h"
+
+namespace claks {
+
+uint32_t ShardOfNode(uint32_t node, size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  // splitmix32 finalizer: full-avalanche integer hash, so consecutive
+  // dense ids (one table's tuples) spread uniformly across shards.
+  uint32_t x = node;
+  x ^= x >> 16;
+  x *= 0x7feb352dU;
+  x ^= x >> 15;
+  x *= 0x846ca68bU;
+  x ^= x >> 16;
+  return static_cast<uint32_t>(x % num_shards);
+}
+
+uint32_t ShardOfEdge(const DataGraph& graph, uint32_t edge_index,
+                     size_t num_shards) {
+  return ShardOfNode(graph.NodeOf(graph.edge(edge_index).from), num_shards);
+}
+
+size_t EffectiveShards(size_t requested) {
+  return requested == 0 ? 1 : requested;
+}
+
+ShardPartition MakeShardPartition(const DataGraph& graph,
+                                  size_t num_shards) {
+  num_shards = EffectiveShards(num_shards);
+  ShardPartition partition;
+  partition.num_shards = num_shards;
+  partition.shard_of_node.reserve(graph.num_nodes());
+  partition.node_counts.assign(num_shards, 0);
+  partition.edge_counts.assign(num_shards, 0);
+  for (uint32_t node = 0; node < graph.num_nodes(); ++node) {
+    uint32_t shard = ShardOfNode(node, num_shards);
+    partition.shard_of_node.push_back(shard);
+    ++partition.node_counts[shard];
+  }
+  for (uint32_t edge = 0; edge < graph.num_edges(); ++edge) {
+    ++partition.edge_counts[ShardOfEdge(graph, edge, num_shards)];
+  }
+  return partition;
+}
+
+namespace {
+
+size_t IntraQueryThreads() {
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return std::min<size_t>(hw, 16);
+}
+
+/// Emissions a fill task pulls ahead per shard per round. Bounds how
+/// much analysed-but-never-emitted work a settling query can waste (at
+/// most this many per shard) while giving shard tasks enough work to
+/// overlap.
+constexpr size_t kPrefetchBatch = 8;
+
+}  // namespace
+
+ShardContext::ShardContext()
+    : pool_(IntraQueryThreads(), /*queue_capacity=*/1024) {}
+
+void RunAndWait(ThreadPool* pool,
+                std::vector<std::function<void()>> tasks) {
+  CLAKS_CHECK(pool != nullptr);
+  struct Rendezvous {
+    std::mutex mutex;
+    std::condition_variable done;
+    size_t outstanding = 0;
+  };
+  Rendezvous rendezvous;
+  rendezvous.outstanding = tasks.size();
+  for (std::function<void()>& task : tasks) {
+    pool->Submit([&rendezvous, task = std::move(task)] {
+      task();
+      std::lock_guard<std::mutex> lock(rendezvous.mutex);
+      if (--rendezvous.outstanding == 0) rendezvous.done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(rendezvous.mutex);
+  rendezvous.done.wait(lock,
+                       [&rendezvous] { return rendezvous.outstanding == 0; });
+}
+
+RankedSeedSets RankSeedSets(const std::vector<uint32_t>& side_a,
+                            const std::vector<uint32_t>& side_b) {
+  // Mirror of ConnectionStream::AddLane's numbering: dedup each side
+  // preserving order, ranks contiguous across sides (A first).
+  RankedSeedSets sets;
+  uint64_t rank = 0;
+  std::set<uint32_t> seen_a;
+  for (uint32_t node : side_a) {
+    if (seen_a.insert(node).second) {
+      sets.side_a.push_back(RankedSeed{node, rank++});
+    }
+  }
+  std::set<uint32_t> seen_b;
+  for (uint32_t node : side_b) {
+    if (seen_b.insert(node).second) {
+      sets.side_b.push_back(RankedSeed{node, rank++});
+    }
+  }
+  return sets;
+}
+
+ShardedStreamSource::ShardedStreamSource(
+    const DataGraph* graph, const std::vector<uint32_t>& side_a,
+    const std::vector<uint32_t>& side_b, size_t max_edges,
+    size_t num_shards, ThreadPool* pool, AnalyzeFn analyze)
+    : graph_(graph), pool_(pool), analyze_(std::move(analyze)) {
+  CLAKS_CHECK(graph_ != nullptr);
+  CLAKS_CHECK(pool_ != nullptr);
+  num_shards = EffectiveShards(num_shards);
+  shards_.reserve(num_shards);
+  RankedSeedSets ranked = RankSeedSets(side_a, side_b);
+  for (size_t s = 0; s < num_shards; ++s) {
+    RankedLane lane_a;
+    lane_a.targets = side_b;
+    for (const RankedSeed& seed : ranked.side_a) {
+      if (ShardOfNode(seed.node, num_shards) == s) {
+        lane_a.seeds.push_back(seed);
+      }
+    }
+    RankedLane lane_b;
+    lane_b.targets = side_a;
+    for (const RankedSeed& seed : ranked.side_b) {
+      if (ShardOfNode(seed.node, num_shards) == s) {
+        lane_b.seeds.push_back(seed);
+      }
+    }
+    Shard shard;
+    shard.stream = std::make_unique<ConnectionStream>(
+        ConnectionStream::BidirectionalRanked(
+            graph_, std::move(lane_a), std::move(lane_b), max_edges));
+    shard.exhausted = !shard.stream->PendingLength().has_value();
+    shards_.push_back(std::move(shard));
+  }
+}
+
+void ShardedStreamSource::FillAll(size_t stop_length) {
+  // No tasks are outstanding here (Next only runs after the previous
+  // rendezvous), so the scan reads shard state without the lock.
+  std::vector<size_t> to_fill;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = shards_[i];
+    if (shard.exhausted || !shard.buffer.empty()) continue;
+    if (shard.paused && shard.paused_at == stop_length) continue;
+    to_fill.push_back(i);
+  }
+  if (to_fill.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    outstanding_ += to_fill.size();
+  }
+  for (size_t i : to_fill) {
+    Shard* shard = &shards_[i];
+    pool_->Submit([this, shard, stop_length] {
+      std::deque<Emission> got;
+      Status status = Status::OK();
+      while (got.size() < kPrefetchBatch) {
+        std::optional<KeyedPath> keyed =
+            shard->stream->NextKeyedPath(stop_length);
+        if (!keyed.has_value()) break;
+        Result<SearchHit> hit = analyze_(keyed->path);
+        if (!hit.ok()) {
+          status = hit.status();
+          break;
+        }
+        got.push_back(
+            Emission{std::move(*keyed), std::move(hit).ValueUnsafe()});
+      }
+      bool exhausted = !shard->stream->PendingLength().has_value();
+      size_t expansions = shard->stream->expansions();
+      std::lock_guard<std::mutex> lock(mutex_);
+      shard->exhausted = exhausted;
+      shard->paused = got.empty() && !exhausted;
+      shard->paused_at = stop_length;
+      shard->buffer = std::move(got);
+      shard->expansions = expansions;
+      if (!status.ok() && fill_status_.ok()) fill_status_ = status;
+      if (--outstanding_ == 0) fills_done_.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  fills_done_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+Result<std::optional<ShardedStreamSource::Emission>>
+ShardedStreamSource::Next(size_t stop_length) {
+  last_stop_ = stop_length;
+  while (true) {
+    FillAll(stop_length);
+    if (!fill_status_.ok()) return fill_status_;
+    // Gather: the minimal buffered (length, seed_rank) head is the
+    // globally next emission. Shards never share a seed, so the key has
+    // no cross-shard ties; a shard with an empty buffer is exhausted or
+    // paused at the bound, and a paused shard's next emission has
+    // length >= stop_length — it can never outrank a live head.
+    size_t best = shards_.size();
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      const std::deque<Emission>& buffer = shards_[i].buffer;
+      if (buffer.empty()) continue;
+      if (best == shards_.size() ||
+          std::make_pair(buffer.front().keyed.length,
+                         buffer.front().keyed.seed_rank) <
+              std::make_pair(shards_[best].buffer.front().keyed.length,
+                             shards_[best].buffer.front().keyed.seed_rank)) {
+        best = i;
+      }
+    }
+    if (best == shards_.size()) return std::optional<Emission>(std::nullopt);
+    if (shards_[best].buffer.front().keyed.length >= stop_length) {
+      // Every head sits at or past the bound: globally paused, buffers
+      // intact for the next (possibly larger) bound.
+      return std::optional<Emission>(std::nullopt);
+    }
+    Emission emission = std::move(shards_[best].buffer.front());
+    shards_[best].buffer.pop_front();
+    // Cross-shard dedup in merge order (same canonical form as the
+    // stream's own MarkEmitted): the first arrival wins — the same
+    // representative the unsharded stream keeps, because merge order
+    // equals unsharded order.
+    std::vector<uint32_t> nodes = emission.keyed.path.Nodes();
+    std::sort(nodes.begin(), nodes.end());
+    std::vector<uint32_t> edges;
+    edges.reserve(emission.keyed.path.steps.size());
+    for (const DataAdjacency& step : emission.keyed.path.steps) {
+      edges.push_back(step.edge_index);
+    }
+    std::sort(edges.begin(), edges.end());
+    if (!emitted_.insert({std::move(nodes), std::move(edges)}).second) {
+      continue;  // duplicate; the drained shard refills next round
+    }
+    return std::optional<Emission>(std::move(emission));
+  }
+}
+
+std::optional<size_t> ShardedStreamSource::PendingLength() const {
+  std::optional<size_t> min;
+  for (const Shard& shard : shards_) {
+    std::optional<size_t> candidate;
+    if (!shard.buffer.empty()) {
+      candidate = shard.buffer.front().keyed.length;
+    } else if (!shard.exhausted) {
+      candidate = shard.stream->PendingLength();
+    } else {
+      // Knowledge-horizon parity with the unsharded stream. A prefetch
+      // batch may have run under a stale (larger) stop bound and drained
+      // this shard's stream to physical exhaustion, popping frontiers at
+      // or past the bound the caller last paused at — frontiers the
+      // unsharded stream, pulled one emission at a time under the
+      // tightened bound, would still hold in its queue. Report them as
+      // pending at the pause bound (a valid lower bound: they are at
+      // least that long), so the streaming cursor learns exhaustion on
+      // exactly the same Next call as the single-stream path and page
+      // boundaries stay byte-identical. Pop order is length-
+      // nondecreasing, so MaxPoppedLength is a complete record.
+      std::optional<size_t> max_popped = shard.stream->MaxPoppedLength();
+      if (max_popped.has_value() && *max_popped >= last_stop_) {
+        candidate = last_stop_;
+      }
+    }
+    if (candidate.has_value() && (!min.has_value() || *candidate < *min)) {
+      min = candidate;
+    }
+  }
+  return min;
+}
+
+size_t ShardedStreamSource::TotalExpansions() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.expansions;
+  return total;
+}
+
+std::vector<size_t> ShardedStreamSource::ShardExpansions() const {
+  std::vector<size_t> counts;
+  counts.reserve(shards_.size());
+  for (const Shard& shard : shards_) counts.push_back(shard.expansions);
+  return counts;
+}
+
+Result<std::vector<SearchHit>> AnalyzeTreesParallel(
+    const KeywordSearchEngine& engine, const std::vector<TupleTree>& trees,
+    const std::vector<KeywordMatches>& matches,
+    const std::map<TupleId, std::string>& keyword_of,
+    const SearchOptions& options, ThreadPool* pool) {
+  CLAKS_CHECK(pool != nullptr);
+  std::vector<std::optional<SearchHit>> slots(trees.size());
+  std::vector<Status> statuses(trees.size());
+  // Strided chunks keep neighbours (similar lengths, similar analysis
+  // cost) spread across tasks; slots preserve input order regardless of
+  // completion order.
+  size_t chunks = std::min(trees.size(), pool->num_threads() * 4);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(chunks);
+  for (size_t c = 0; c < chunks; ++c) {
+    tasks.push_back([&, c] {
+      for (size_t i = c; i < trees.size(); i += chunks) {
+        Result<SearchHit> hit =
+            engine.AnalyzeTree(trees[i], matches, keyword_of, options);
+        if (hit.ok()) {
+          slots[i] = std::move(hit).ValueUnsafe();
+        } else {
+          statuses[i] = hit.status();
+        }
+      }
+    });
+  }
+  RunAndWait(pool, std::move(tasks));
+  for (size_t i = 0; i < trees.size(); ++i) {
+    CLAKS_RETURN_NOT_OK(statuses[i]);
+  }
+  std::vector<SearchHit> hits;
+  hits.reserve(slots.size());
+  for (std::optional<SearchHit>& slot : slots) {
+    hits.push_back(std::move(*slot));
+  }
+  return hits;
+}
+
+}  // namespace claks

@@ -128,24 +128,33 @@ std::vector<NodePath> EnumerateSimplePaths(const DataGraph& graph,
                                          max_results);
 }
 
+void AppendSimplePathsFromSource(const DataGraph& graph, uint32_t source,
+                                 const std::vector<uint32_t>& targets,
+                                 size_t max_edges, size_t max_results,
+                                 std::vector<NodePath>* out) {
+  if (max_results != 0 && out->size() >= max_results) return;
+  std::unordered_set<uint32_t> target_set(targets.begin(), targets.end());
+  if (target_set.count(source) > 0) {
+    // A single tuple containing both keywords is a length-0 connection.
+    out->push_back(NodePath{source, {}});
+    return;
+  }
+  PathEnumerator enumerator{graph,       max_edges, max_results,
+                            &target_set, out,       {},
+                            std::vector<bool>(graph.num_nodes(), false),
+                            source};
+  enumerator.on_path[source] = true;
+  enumerator.Recurse(source);
+}
+
 std::vector<NodePath> EnumerateSimplePathsBetweenSets(
     const DataGraph& graph, const std::vector<uint32_t>& sources,
     const std::vector<uint32_t>& targets, size_t max_edges,
     size_t max_results) {
-  std::unordered_set<uint32_t> target_set(targets.begin(), targets.end());
   std::vector<NodePath> out;
   for (uint32_t source : sources) {
-    if (target_set.count(source) > 0) {
-      // A single tuple containing both keywords is a length-0 connection.
-      out.push_back(NodePath{source, {}});
-      continue;
-    }
-    PathEnumerator enumerator{graph,      max_edges, max_results,
-                              &target_set, &out,      {},
-                              std::vector<bool>(graph.num_nodes(), false),
-                              source};
-    enumerator.on_path[source] = true;
-    enumerator.Recurse(source);
+    AppendSimplePathsFromSource(graph, source, targets, max_edges,
+                                max_results, &out);
     if (max_results != 0 && out.size() >= max_results) break;
   }
   std::stable_sort(out.begin(), out.end(),

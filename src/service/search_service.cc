@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "core/shard.h"
 #include "text/matcher.h"
 
 namespace claks {
@@ -84,13 +85,18 @@ std::string SearchService::CacheKey(const KeywordSearchEngine& engine,
     key += keyword;
     key += '\x1f';  // unit separator: cannot occur in a normalized token
   }
+  // Shards never change hits (the differential suite proves
+  // byte-identity), but the work counters they produce
+  // (SearchResult::expansions / shard_expansions) are part of the cached
+  // value — keying on the effective count keeps those exact.
   key += StrFormat(
-      "|m%d|r%d|e%zu|t%zu|k%zu|i%d|w%zu|a%d|g%zu|bk%zu|bw%d|bd%zu",
+      "|m%d|r%d|e%zu|t%zu|k%zu|i%d|w%zu|a%d|g%zu|s%zu|bk%zu|bw%d|bd%zu",
       static_cast<int>(options.method), static_cast<int>(options.ranker),
       options.max_rdb_edges, options.tmax, options.top_k,
       options.instance_check ? 1 : 0, options.witness_edges,
       options.require_all_keywords ? 1 : 0, options.per_endpoint_limit,
-      options.banks.top_k, static_cast<int>(options.banks.weight_model),
+      EffectiveShards(options.shards), options.banks.top_k,
+      static_cast<int>(options.banks.weight_model),
       options.banks.max_distance);
   return key;
 }

@@ -48,6 +48,13 @@ namespace claks {
 /// snapshot-build time and a warmed engine over it. Readers hold the whole
 /// snapshot via shared_ptr, so a generation stays alive exactly as long as
 /// any in-flight query (or the service) references it.
+///
+/// The snapshot also owns this generation's shard set: the engine holds
+/// the intra-query ShardContext (core/shard.h) and every per-shard
+/// stream a sharded query builds reads this generation's data graph, so
+/// a Prepare/Fetch cursor paging from a merged per-shard stream pins the
+/// whole shard set — pool, streams, graph — across Mutate swaps simply
+/// by holding its snapshot.
 struct EngineSnapshot {
   /// Monotonically increasing, starting at 1; part of every cache key, so
   /// results cached against an old generation can never serve a new one.
@@ -180,8 +187,9 @@ class SearchService {
   /// tokenizer-normalized keyword sequence (so "Smith XML", "smith xml"
   /// and " SMITH  xml. " coincide) plus every option that can change the
   /// result — method, ranker, top_k, AND/OR semantics, depth/tmax bounds,
-  /// instance-check settings, per-endpoint grouping and the BANKS
-  /// parameters — plus the snapshot version itself.
+  /// instance-check settings, per-endpoint grouping, the effective shard
+  /// count (hits are shard-invariant, but the cached work counters are
+  /// not) and the BANKS parameters — plus the snapshot version itself.
   static std::string CacheKey(const KeywordSearchEngine& engine,
                               uint64_t version,
                               const std::string& query_text,

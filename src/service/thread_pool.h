@@ -1,71 +1,13 @@
 // Copyright 2026 The claks Authors.
 //
-// Fixed-size worker thread pool with a bounded submission queue — the
-// admission-control half of the concurrent query service. Submit blocks
-// (never drops) once `queue_capacity` tasks are waiting, so a burst of
-// queries exerts backpressure on the producer instead of growing memory
-// without bound; the worker count bounds CPU concurrency the same way.
+// Forwarding header: ThreadPool moved to common/thread_pool.h when the
+// intra-query sharding layer (core/shard.h) started running per-shard
+// work on it — the class now sits below both consumers. Kept so existing
+// service-side includes keep compiling unchanged.
 
 #ifndef CLAKS_SERVICE_THREAD_POOL_H_
 #define CLAKS_SERVICE_THREAD_POOL_H_
 
-#include <condition_variable>
-#include <cstddef>
-#include <deque>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
-
-namespace claks {
-
-/// A fixed set of worker threads draining one bounded FIFO task queue.
-///
-/// Thread-safety: Submit and the accessors may be called from any thread.
-/// The destructor completes every task already submitted (it does not
-/// cancel), then joins the workers; submitting from a task is allowed but
-/// may deadlock when the queue is full, and submitting after destruction
-/// has begun is a programming error.
-class ThreadPool {
- public:
-  /// Starts `num_threads` workers (>= 1 enforced) over a queue holding at
-  /// most `queue_capacity` waiting tasks (>= 1 enforced).
-  ThreadPool(size_t num_threads, size_t queue_capacity);
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  /// Enqueues one task. Blocks while the queue is at capacity — bounded
-  /// admission: callers feel backpressure, tasks are never dropped.
-  void Submit(std::function<void()> task);
-
-  /// Non-blocking Submit: false (task untouched) when the queue is full.
-  bool TrySubmit(std::function<void()>& task);
-
-  /// Blocks until every task submitted so far has finished executing.
-  void Drain();
-
-  size_t num_threads() const { return workers_.size(); }
-  size_t queue_capacity() const { return capacity_; }
-
-  /// Tasks waiting in the queue (excludes tasks currently executing).
-  size_t pending() const;
-
- private:
-  void WorkerLoop();
-
-  const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;   // signalled on enqueue
-  std::condition_variable not_full_;    // signalled on dequeue
-  std::condition_variable all_idle_;    // signalled when work may be done
-  std::deque<std::function<void()>> queue_;
-  size_t executing_ = 0;  ///< tasks popped but not yet finished
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
-};
-
-}  // namespace claks
+#include "common/thread_pool.h"  // IWYU pragma: export
 
 #endif  // CLAKS_SERVICE_THREAD_POOL_H_

@@ -1,0 +1,317 @@
+// Copyright 2026 The claks Authors.
+//
+// Randomized differential sweep for intra-query sharding: seeded-random
+// QuerySpecs (method x ranker x top_k x AND/OR x page size) run through
+// the prepared-query + cursor API against the 1x and 10x company_gen
+// datasets, asserting that sharded execution is byte-identical to the
+// unsharded engine — same hits, same ranking keys, same cursor page
+// boundaries, same drain point. Every spec derives from one uint64 seed;
+// a failure prints that seed and the repro line
+// `CLAKS_DIFF_SEED=<seed> ./differential_test`.
+//
+// Environment knobs (all optional):
+//   CLAKS_DIFF_SEED    run exactly one seed instead of the sweep
+//   CLAKS_DIFF_SPECS   number of specs in the sweep (default 200)
+//   CLAKS_TEST_SHARDS  force one shard count (default: compare 2 and 4)
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "core/cursor.h"
+#include "core/engine.h"
+#include "core/query_spec.h"
+#include "datasets/company_gen.h"
+
+namespace claks {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Spec generation: everything derives from one seed
+// ---------------------------------------------------------------------------
+
+/// Query vocabulary of the company_gen topic/name pools
+/// (src/datasets/company_gen.cc), plus one word matching nothing to
+/// exercise AND-empties-the-result vs OR-drops-the-keyword.
+const char* kVocabulary[] = {"xml",      "databases", "retrieval",
+                             "networks", "security",  "indexing",
+                             "ranking",  "Smith",     "Miller",
+                             "Chen",     "unmatchablezzz"};
+
+const SearchMethod kMethods[] = {SearchMethod::kStream,
+                                 SearchMethod::kEnumerate,
+                                 SearchMethod::kMtjnt,
+                                 SearchMethod::kDiscover,
+                                 SearchMethod::kBanks};
+
+const RankerKind kRankers[] = {
+    RankerKind::kRdbLength,     RankerKind::kErLength,
+    RankerKind::kCloseFirst,    RankerKind::kLoosePenalty,
+    RankerKind::kInstanceClose, RankerKind::kCombined,
+    RankerKind::kAmbiguity,     RankerKind::kMoreContext};
+
+struct DiffSpec {
+  uint64_t seed = 0;
+  bool big_dataset = false;  ///< 10x company_gen instead of 1x
+  std::string query;
+  SearchOptions options;
+  /// Cyclic page-size schedule for cursor consumption.
+  std::vector<size_t> page_sizes;
+
+  std::string ToString() const {
+    char buffer[256];
+    std::string pages;
+    for (size_t size : page_sizes) {
+      if (!pages.empty()) pages += ",";
+      pages += std::to_string(size);
+    }
+    std::snprintf(buffer, sizeof(buffer),
+                  "seed=%llu dataset=%s query='%s' method=%s ranker=%s "
+                  "top_k=%zu edges=%zu tmax=%zu and=%d pel=%zu pages=%s",
+                  static_cast<unsigned long long>(seed),
+                  big_dataset ? "10x" : "1x", query.c_str(),
+                  SearchMethodToString(options.method),
+                  RankerKindToString(options.ranker), options.top_k,
+                  options.max_rdb_edges, options.tmax,
+                  options.require_all_keywords ? 1 : 0,
+                  options.per_endpoint_limit, pages.c_str());
+    return buffer;
+  }
+};
+
+DiffSpec MakeSpec(uint64_t seed) {
+  Rng rng(seed);
+  DiffSpec spec;
+  spec.seed = seed;
+  // Every 4th spec (on average) runs at 10x scale; the rest stay on the
+  // small instance so the default 200-spec sweep finishes fast.
+  spec.big_dataset = rng.Bernoulli(0.25);
+
+  spec.options.method = kMethods[rng.Index(std::size(kMethods))];
+  spec.options.ranker = kRankers[rng.Index(std::size(kRankers))];
+  spec.options.max_rdb_edges = 2 + rng.Index(3);  // 2..4
+  spec.options.tmax = 2 + rng.Index(2);           // 2..3
+  spec.options.require_all_keywords = rng.Bernoulli(0.5);
+  // kStream needs a positive top_k under the validated prepared API;
+  // the materialized methods occasionally page the full result space.
+  bool unlimited = spec.options.method != SearchMethod::kStream &&
+                   !spec.big_dataset && rng.Bernoulli(0.2);
+  spec.options.top_k = unlimited ? 0 : 1 + rng.Index(10);
+  if (spec.options.method != SearchMethod::kBanks && rng.Bernoulli(0.3)) {
+    spec.options.per_endpoint_limit = 1 + rng.Index(2);
+  }
+  if (rng.Bernoulli(0.3)) spec.options.instance_check = false;
+
+  // Two distinct vocabulary words; the tree methods sometimes take a
+  // third (kEnumerate/kStream are two-keyword methods).
+  size_t first = rng.Index(std::size(kVocabulary));
+  size_t second = rng.Index(std::size(kVocabulary) - 1);
+  if (second >= first) ++second;
+  spec.query = std::string(kVocabulary[first]) + " " + kVocabulary[second];
+  bool tree_method = spec.options.method == SearchMethod::kMtjnt ||
+                     spec.options.method == SearchMethod::kDiscover ||
+                     spec.options.method == SearchMethod::kBanks;
+  if (tree_method && rng.Bernoulli(0.3)) {
+    size_t third = rng.Index(std::size(kVocabulary));
+    spec.query += std::string(" ") + kVocabulary[third];
+  }
+
+  size_t schedule = 1 + rng.Index(3);
+  for (size_t i = 0; i < schedule; ++i) {
+    spec.page_sizes.push_back(1 + rng.Index(4));  // 1..4
+  }
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// One run: prepare, open, page to the end, fingerprint everything
+// ---------------------------------------------------------------------------
+
+std::string FormatDouble(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// Byte-comparable form of one hit: rendering, structural facts and the
+/// exact ranking key under the spec's ranker.
+std::string Fingerprint(const SearchHit& hit, const Ranker& ranker) {
+  std::string out = hit.rendered;
+  out += "|key=";
+  for (double v : ranker.SortKey(hit.ToRankInput())) {
+    out += FormatDouble(v);
+    out += ",";
+  }
+  out += "|rdb=" + std::to_string(hit.rdb_length);
+  out += "|er=" + std::to_string(hit.er_length);
+  out += "|path=" + std::to_string(hit.connection.has_value() ? 1 : 0);
+  out += "|text=" + FormatDouble(hit.text_score);
+  out += "|amb=" + FormatDouble(hit.ambiguity);
+  if (hit.instance_close.has_value()) {
+    out += "|ic=" + std::to_string(*hit.instance_close ? 1 : 0);
+  }
+  return out;
+}
+
+/// Everything a run exposes that must be shard-invariant. Pages keep
+/// their boundaries (a vector per Next call), so a merge that slips one
+/// hit across a page edge fails even when the concatenation matches.
+struct RunOutcome {
+  bool prepare_ok = false;
+  std::string prepare_error;
+  std::vector<std::vector<std::string>> pages;
+  std::vector<bool> drained_after;  ///< Drained() after each page
+  size_t returned = 0;
+
+  bool operator==(const RunOutcome& other) const {
+    return prepare_ok == other.prepare_ok &&
+           prepare_error == other.prepare_error && pages == other.pages &&
+           drained_after == other.drained_after &&
+           returned == other.returned;
+  }
+
+  std::string ToString() const {
+    if (!prepare_ok) return "prepare failed: " + prepare_error;
+    std::string out = "returned=" + std::to_string(returned);
+    for (size_t p = 0; p < pages.size(); ++p) {
+      out += "\n  page " + std::to_string(p) +
+             (drained_after[p] ? " (drained)" : "") + ":";
+      for (const std::string& hit : pages[p]) out += "\n    " + hit;
+    }
+    return out;
+  }
+};
+
+RunOutcome RunSpec(const KeywordSearchEngine& engine, const DiffSpec& spec,
+                   size_t shards) {
+  RunOutcome outcome;
+  SearchOptions options = spec.options;
+  options.shards = shards;
+  auto prepared = engine.Prepare(spec.query, options);
+  if (!prepared.ok()) {
+    // A prepare failure must reproduce identically under every shard
+    // count; record it instead of aborting the comparison.
+    outcome.prepare_error = prepared.status().message();
+    return outcome;
+  }
+  outcome.prepare_ok = true;
+  auto cursor = prepared->Open();
+  if (!cursor.ok()) {
+    outcome.prepare_ok = false;
+    outcome.prepare_error = cursor.status().message();
+    return outcome;
+  }
+  auto ranker = MakeRanker(spec.options.ranker);
+  constexpr size_t kMaxPages = 4096;
+  for (size_t page_index = 0; page_index < kMaxPages; ++page_index) {
+    size_t size = spec.page_sizes[page_index % spec.page_sizes.size()];
+    auto page = (*cursor)->Next(size);
+    if (!page.ok()) {
+      outcome.prepare_ok = false;
+      outcome.prepare_error = page.status().message();
+      return outcome;
+    }
+    std::vector<std::string> fingerprints;
+    for (const SearchHit& hit : *page) {
+      fingerprints.push_back(Fingerprint(hit, *ranker));
+    }
+    bool empty = fingerprints.empty();
+    outcome.pages.push_back(std::move(fingerprints));
+    outcome.drained_after.push_back((*cursor)->Drained());
+    if ((*cursor)->Drained() || empty) break;
+  }
+  outcome.returned = (*cursor)->Stats().returned;
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// The sweep
+// ---------------------------------------------------------------------------
+
+size_t EnvCount(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<size_t>(std::strtoull(value, nullptr, 10));
+}
+
+/// Both engines, built once for the whole suite.
+struct Engines {
+  GeneratedDataset small_data;
+  GeneratedDataset big_data;
+  std::unique_ptr<KeywordSearchEngine> small_engine;
+  std::unique_ptr<KeywordSearchEngine> big_engine;
+};
+
+Engines* BuildEngines() {
+  auto engines = std::make_unique<Engines>();
+  auto small = GenerateCompanyDataset(CompanyGenOptions::AtScale(1));
+  CLAKS_CHECK(small.ok());
+  engines->small_data = std::move(small).ValueOrDie();
+  auto big = GenerateCompanyDataset(CompanyGenOptions::AtScale(10));
+  CLAKS_CHECK(big.ok());
+  engines->big_data = std::move(big).ValueOrDie();
+  auto small_engine = KeywordSearchEngine::Create(
+      engines->small_data.db.get(), engines->small_data.er_schema,
+      engines->small_data.mapping);
+  CLAKS_CHECK(small_engine.ok());
+  engines->small_engine = std::move(small_engine).ValueOrDie();
+  auto big_engine = KeywordSearchEngine::Create(
+      engines->big_data.db.get(), engines->big_data.er_schema,
+      engines->big_data.mapping);
+  CLAKS_CHECK(big_engine.ok());
+  engines->big_engine = std::move(big_engine).ValueOrDie();
+  return engines.release();
+}
+
+const Engines& GetEngines() {
+  static Engines* engines = BuildEngines();
+  return *engines;
+}
+
+TEST(DifferentialTest, ShardedExecutionIsByteIdentical) {
+  constexpr uint64_t kBaseSeed = 0x5eed0000;
+  std::vector<uint64_t> seeds;
+  if (const char* forced = std::getenv("CLAKS_DIFF_SEED")) {
+    seeds.push_back(std::strtoull(forced, nullptr, 10));
+  } else {
+    size_t count = EnvCount("CLAKS_DIFF_SPECS", 200);
+    for (size_t i = 0; i < count; ++i) seeds.push_back(kBaseSeed + i);
+  }
+  std::vector<size_t> shard_counts = {2, 4};
+  if (std::getenv("CLAKS_TEST_SHARDS") != nullptr) {
+    shard_counts = {EnvCount("CLAKS_TEST_SHARDS", 2)};
+    ASSERT_GT(shard_counts[0], 0u);
+  }
+
+  for (uint64_t seed : seeds) {
+    DiffSpec spec = MakeSpec(seed);
+    const KeywordSearchEngine& engine = spec.big_dataset
+                                            ? *GetEngines().big_engine
+                                            : *GetEngines().small_engine;
+    RunOutcome unsharded = RunSpec(engine, spec, /*shards=*/1);
+    for (size_t shards : shard_counts) {
+      RunOutcome sharded = RunSpec(engine, spec, shards);
+      if (!(sharded == unsharded)) {
+        ADD_FAILURE() << "sharded run diverged from unsharded\n"
+                      << "spec: " << spec.ToString() << "\n"
+                      << "shards=" << shards << "\n"
+                      << "unsharded: " << unsharded.ToString() << "\n"
+                      << "sharded:   " << sharded.ToString() << "\n"
+                      << "reproduce: CLAKS_DIFF_SEED=" << seed
+                      << " ./differential_test";
+        // One divergence prints in full; stop instead of spamming the
+        // log with every later seed's diff.
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace claks

@@ -1,0 +1,441 @@
+// Copyright 2026 The claks Authors.
+//
+// Intra-query sharding invariants (core/shard.h). The partition: every
+// node lands in exactly one shard and every FK edge is owned by exactly
+// one side (the referencing endpoint's shard). The scatter-gather merge:
+// per-shard streams recombine into exactly the unsharded emission order
+// under any stop-bound schedule, paused shards keep their queues instead
+// of draining, per-shard expansion counters sum to the reported total,
+// and shards == 1 is bit-for-bit the pre-sharding engine. The randomized
+// end-to-end sweep lives in tests/differential_test.cc; these are the
+// targeted property tests behind it.
+
+#include "core/shard.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/cursor.h"
+#include "core/engine.h"
+#include "core/topk.h"
+#include "datasets/company_gen.h"
+#include "datasets/company_paper.h"
+#include "graph/data_graph.h"
+
+namespace claks {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Partition invariants
+// ---------------------------------------------------------------------------
+
+class ShardPartitionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto paper = BuildCompanyPaperDataset();
+    ASSERT_TRUE(paper.ok());
+    paper_ = std::move(paper).ValueOrDie();
+    auto paper_engine = KeywordSearchEngine::Create(
+        paper_.db.get(), paper_.er_schema, paper_.mapping);
+    ASSERT_TRUE(paper_engine.ok());
+    paper_engine_ = std::move(paper_engine).ValueOrDie();
+
+    auto gen = GenerateCompanyDataset(CompanyGenOptions::AtScale(2));
+    ASSERT_TRUE(gen.ok());
+    gen_ = std::move(gen).ValueOrDie();
+    auto gen_engine = KeywordSearchEngine::Create(gen_.db.get(),
+                                                  gen_.er_schema,
+                                                  gen_.mapping);
+    ASSERT_TRUE(gen_engine.ok());
+    gen_engine_ = std::move(gen_engine).ValueOrDie();
+  }
+
+  std::vector<const DataGraph*> Graphs() const {
+    return {&paper_engine_->data_graph(), &gen_engine_->data_graph()};
+  }
+
+  CompanyPaperDataset paper_;
+  GeneratedDataset gen_;
+  std::unique_ptr<KeywordSearchEngine> paper_engine_;
+  std::unique_ptr<KeywordSearchEngine> gen_engine_;
+};
+
+TEST_F(ShardPartitionTest, CoversEveryNodeExactlyOnce) {
+  for (const DataGraph* graph : Graphs()) {
+    for (size_t shards : {1u, 2u, 4u, 7u}) {
+      ShardPartition partition = MakeShardPartition(*graph, shards);
+      ASSERT_EQ(partition.num_shards, shards);
+      ASSERT_EQ(partition.shard_of_node.size(), graph->num_nodes());
+      std::vector<size_t> recount(shards, 0);
+      for (uint32_t node = 0; node < graph->num_nodes(); ++node) {
+        uint32_t shard = partition.shard_of_node[node];
+        ASSERT_LT(shard, shards) << "node " << node;
+        // The materialized partition is the hash, node by node.
+        EXPECT_EQ(shard, ShardOfNode(node, shards)) << "node " << node;
+        ++recount[shard];
+      }
+      ASSERT_EQ(partition.node_counts.size(), shards);
+      size_t total = 0;
+      for (size_t s = 0; s < shards; ++s) {
+        EXPECT_EQ(partition.node_counts[s], recount[s]) << "shard " << s;
+        total += partition.node_counts[s];
+      }
+      // Exactly once: the per-shard counts tile the node set.
+      EXPECT_EQ(total, graph->num_nodes());
+    }
+  }
+}
+
+TEST_F(ShardPartitionTest, EdgeOwnedByExactlyTheReferencingSide) {
+  for (const DataGraph* graph : Graphs()) {
+    for (size_t shards : {2u, 4u}) {
+      ShardPartition partition = MakeShardPartition(*graph, shards);
+      std::vector<size_t> recount(shards, 0);
+      for (uint32_t e = 0; e < graph->num_edges(); ++e) {
+        const DataEdge& edge = graph->edge(e);
+        uint32_t from_shard =
+            ShardOfNode(graph->NodeOf(edge.from), shards);
+        uint32_t to_shard = ShardOfNode(graph->NodeOf(edge.to), shards);
+        uint32_t owner = ShardOfEdge(*graph, e, shards);
+        // The owner is the referencing (`from`) endpoint's shard — in
+        // particular one of the two endpoint shards, so a cross-shard FK
+        // edge is seen by exactly one side.
+        EXPECT_EQ(owner, from_shard) << "edge " << e;
+        EXPECT_TRUE(owner == from_shard || owner == to_shard);
+        ++recount[owner];
+      }
+      size_t total = 0;
+      for (size_t s = 0; s < shards; ++s) {
+        EXPECT_EQ(partition.edge_counts[s], recount[s]) << "shard " << s;
+        total += partition.edge_counts[s];
+      }
+      EXPECT_EQ(total, graph->num_edges());
+    }
+  }
+}
+
+TEST_F(ShardPartitionTest, HashIsDeterministicAndSpreadsShards) {
+  for (uint32_t node : {0u, 1u, 17u, 1000u, 0xffffffffu}) {
+    for (size_t shards : {1u, 2u, 4u, 7u}) {
+      EXPECT_EQ(ShardOfNode(node, shards), ShardOfNode(node, shards));
+      EXPECT_LT(ShardOfNode(node, shards), shards);
+    }
+    EXPECT_EQ(ShardOfNode(node, 1), 0u);
+  }
+  // Dense table-major ids must not collapse into few shards: on the
+  // scaled dataset every shard of a 4-way split gets some nodes.
+  ShardPartition partition =
+      MakeShardPartition(gen_engine_->data_graph(), 4);
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_GT(partition.node_counts[s], 0u) << "shard " << s;
+  }
+}
+
+TEST(EffectiveShardsTest, ZeroBehavesLikeOne) {
+  EXPECT_EQ(EffectiveShards(0), 1u);
+  EXPECT_EQ(EffectiveShards(1), 1u);
+  EXPECT_EQ(EffectiveShards(4), 4u);
+}
+
+TEST(RankSeedSetsTest, AssignsContiguousRanksSideAFirst) {
+  // Duplicates dedup to their first occurrence — the numbering
+  // ConnectionStream::Bidirectional produces internally.
+  RankedSeedSets sets = RankSeedSets({5, 7, 5, 9}, {7, 2, 2});
+  ASSERT_EQ(sets.side_a.size(), 3u);
+  ASSERT_EQ(sets.side_b.size(), 2u);
+  EXPECT_EQ(sets.side_a[0].node, 5u);
+  EXPECT_EQ(sets.side_a[0].rank, 0u);
+  EXPECT_EQ(sets.side_a[1].node, 7u);
+  EXPECT_EQ(sets.side_a[1].rank, 1u);
+  EXPECT_EQ(sets.side_a[2].node, 9u);
+  EXPECT_EQ(sets.side_a[2].rank, 2u);
+  // A node appearing on both sides keeps independent per-lane seeds,
+  // exactly like the unsharded two-lane stream.
+  EXPECT_EQ(sets.side_b[0].node, 7u);
+  EXPECT_EQ(sets.side_b[0].rank, 3u);
+  EXPECT_EQ(sets.side_b[1].node, 2u);
+  EXPECT_EQ(sets.side_b[1].rank, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Scatter-gather merge vs the unsharded stream
+// ---------------------------------------------------------------------------
+
+/// Comparable form of one emission: merge coordinates plus the exact path
+/// (start node and edge-index/neighbor step sequence).
+using FlatEmission =
+    std::tuple<size_t, uint64_t, uint32_t, std::vector<uint32_t>>;
+
+FlatEmission Flatten(const KeyedPath& keyed) {
+  std::vector<uint32_t> steps;
+  for (const DataAdjacency& step : keyed.path.steps) {
+    steps.push_back(step.edge_index);
+    steps.push_back(step.neighbor);
+  }
+  return {keyed.length, keyed.seed_rank, keyed.path.start,
+          std::move(steps)};
+}
+
+class ShardedStreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = BuildCompanyPaperDataset();
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).ValueOrDie();
+    auto engine = KeywordSearchEngine::Create(
+        dataset_.db.get(), dataset_.er_schema, dataset_.mapping);
+    ASSERT_TRUE(engine.ok());
+    engine_ = std::move(engine).ValueOrDie();
+
+    // Seed sets of the "Smith XML" query, exactly as the streaming
+    // cursor derives them.
+    auto prepared = engine_->Prepare("Smith XML", SearchOptions{});
+    ASSERT_TRUE(prepared.ok());
+    const DataGraph& graph = engine_->data_graph();
+    for (size_t keyword = 0; keyword < 2; ++keyword) {
+      std::vector<uint32_t>* side = keyword == 0 ? &side_a_ : &side_b_;
+      for (const TupleMatch& m :
+           prepared->matches()[keyword].matches) {
+        side->push_back(graph.NodeOf(m.tuple));
+      }
+      ASSERT_FALSE(side->empty());
+    }
+  }
+
+  static constexpr size_t kMaxEdges = 3;
+
+  /// The unsharded reference sequence: full keyed drain.
+  std::vector<FlatEmission> UnshardedDrain() {
+    ConnectionStream stream = ConnectionStream::Bidirectional(
+        &engine_->data_graph(), side_a_, side_b_, kMaxEdges);
+    std::vector<FlatEmission> out;
+    while (auto keyed = stream.NextKeyedPath()) {
+      out.push_back(Flatten(*keyed));
+    }
+    unsharded_expansions_ = stream.expansions();
+    return out;
+  }
+
+  ShardedStreamSource MakeSource(size_t shards, ThreadPool* pool) {
+    return ShardedStreamSource(
+        &engine_->data_graph(), side_a_, side_b_, kMaxEdges, shards, pool,
+        [](const NodePath& path) {
+          SearchHit hit;
+          hit.tree = CanonicalTree(path);
+          return Result<SearchHit>(std::move(hit));
+        });
+  }
+
+  CompanyPaperDataset dataset_;
+  std::unique_ptr<KeywordSearchEngine> engine_;
+  std::vector<uint32_t> side_a_;
+  std::vector<uint32_t> side_b_;
+  size_t unsharded_expansions_ = 0;
+};
+
+TEST_F(ShardedStreamTest, MergedDrainEqualsUnshardedDrain) {
+  std::vector<FlatEmission> reference = UnshardedDrain();
+  ASSERT_FALSE(reference.empty());
+  ThreadPool pool(4, 64);
+  for (size_t shards : {1u, 2u, 3u, 4u, 8u}) {
+    ShardedStreamSource source = MakeSource(shards, &pool);
+    std::vector<FlatEmission> merged;
+    while (true) {
+      auto emission = source.Next(ConnectionStream::kNoStopLength);
+      ASSERT_TRUE(emission.ok()) << "shards=" << shards;
+      if (!emission->has_value()) break;
+      merged.push_back(Flatten((*emission)->keyed));
+    }
+    // Emission by emission: same paths, same order, same coordinates.
+    EXPECT_EQ(merged, reference) << "shards=" << shards;
+    EXPECT_FALSE(source.PendingLength().has_value());
+  }
+}
+
+TEST_F(ShardedStreamTest, StopScheduleInvariance) {
+  std::vector<FlatEmission> reference = UnshardedDrain();
+  ThreadPool pool(4, 64);
+  for (size_t shards : {2u, 4u}) {
+    ShardedStreamSource source = MakeSource(shards, &pool);
+    std::vector<FlatEmission> merged;
+    // Raise the stop bound one length at a time; each rung pulls to a
+    // pause, never a drain. The final rung lifts the bound entirely.
+    for (size_t stop = 0; stop <= kMaxEdges; ++stop) {
+      while (true) {
+        auto emission = source.Next(stop);
+        ASSERT_TRUE(emission.ok());
+        if (!emission->has_value()) break;
+        // Everything delivered under a bound beats the bound.
+        EXPECT_LT((*emission)->keyed.length, stop);
+        merged.push_back(Flatten((*emission)->keyed));
+      }
+      // Paused, not drained: the global pause fires no earlier than any
+      // shard's local bound permits — every future emission is at least
+      // `stop` long, so nothing below the bound was withheld.
+      if (auto pending = source.PendingLength()) {
+        EXPECT_GE(*pending, stop);
+      }
+    }
+    while (true) {
+      auto emission = source.Next(ConnectionStream::kNoStopLength);
+      ASSERT_TRUE(emission.ok());
+      if (!emission->has_value()) break;
+      merged.push_back(Flatten((*emission)->keyed));
+    }
+    // The chunked schedule delivers exactly the one-shot drain.
+    EXPECT_EQ(merged, reference) << "shards=" << shards;
+  }
+}
+
+TEST_F(ShardedStreamTest, ExpansionCountersSumInShardOrder) {
+  UnshardedDrain();  // sets unsharded_expansions_
+  ThreadPool pool(4, 64);
+  for (size_t shards : {2u, 4u}) {
+    ShardedStreamSource source = MakeSource(shards, &pool);
+    while (true) {
+      auto emission = source.Next(ConnectionStream::kNoStopLength);
+      ASSERT_TRUE(emission.ok());
+      if (!emission->has_value()) break;
+    }
+    std::vector<size_t> per_shard = source.ShardExpansions();
+    ASSERT_EQ(per_shard.size(), shards);
+    size_t sum = 0;
+    for (size_t count : per_shard) sum += count;
+    EXPECT_EQ(source.TotalExpansions(), sum);
+    // Each shard explores its own seeds' frontier; dedup only trims
+    // emissions, never expansions, so the union does at least the
+    // unsharded stream's work.
+    EXPECT_GE(sum, unsharded_expansions_) << "shards=" << shards;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level sharding
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<double>> Keys(const SearchResult& result,
+                                      RankerKind kind) {
+  auto ranker = MakeRanker(kind);
+  std::vector<std::vector<double>> keys;
+  for (const SearchHit& hit : result.hits) {
+    keys.push_back(ranker->SortKey(hit.ToRankInput()));
+  }
+  return keys;
+}
+
+std::vector<std::string> Rendered(const SearchResult& result) {
+  std::vector<std::string> out;
+  for (const SearchHit& hit : result.hits) out.push_back(hit.rendered);
+  return out;
+}
+
+class ShardedSearchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dataset = BuildCompanyPaperDataset();
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = std::move(dataset).ValueOrDie();
+    auto engine = KeywordSearchEngine::Create(
+        dataset_.db.get(), dataset_.er_schema, dataset_.mapping);
+    ASSERT_TRUE(engine.ok());
+    engine_ = std::move(engine).ValueOrDie();
+  }
+
+  SearchResult Run(SearchMethod method, RankerKind ranker, size_t top_k,
+                   size_t shards) {
+    SearchOptions options;
+    options.method = method;
+    options.ranker = ranker;
+    options.top_k = top_k;
+    options.max_rdb_edges = 3;
+    options.shards = shards;
+    auto result = engine_->Search("Smith XML", options);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).ValueOrDie();
+  }
+
+  CompanyPaperDataset dataset_;
+  std::unique_ptr<KeywordSearchEngine> engine_;
+};
+
+TEST_F(ShardedSearchTest, StreamHitsIdenticalAcrossShardCounts) {
+  for (RankerKind ranker :
+       {RankerKind::kRdbLength, RankerKind::kCloseFirst,
+        RankerKind::kCombined /* non-monotone: full-drain fallback */}) {
+    SearchResult unsharded =
+        Run(SearchMethod::kStream, ranker, /*top_k=*/5, /*shards=*/1);
+    EXPECT_TRUE(unsharded.shard_expansions.empty());
+    for (size_t shards : {2u, 4u}) {
+      SearchResult sharded =
+          Run(SearchMethod::kStream, ranker, /*top_k=*/5, shards);
+      EXPECT_EQ(Rendered(sharded), Rendered(unsharded))
+          << RankerKindToString(ranker) << " shards=" << shards;
+      EXPECT_EQ(Keys(sharded, ranker), Keys(unsharded, ranker))
+          << RankerKindToString(ranker) << " shards=" << shards;
+      ASSERT_EQ(sharded.shard_expansions.size(), shards);
+      size_t sum = 0;
+      for (size_t count : sharded.shard_expansions) sum += count;
+      EXPECT_EQ(sharded.expansions, sum);
+    }
+  }
+}
+
+TEST_F(ShardedSearchTest, MaterializedMethodsIdenticalUnderShards) {
+  for (SearchMethod method :
+       {SearchMethod::kEnumerate, SearchMethod::kMtjnt,
+        SearchMethod::kDiscover, SearchMethod::kBanks}) {
+    SearchResult unsharded =
+        Run(method, RankerKind::kCloseFirst, /*top_k=*/0, /*shards=*/1);
+    SearchResult sharded =
+        Run(method, RankerKind::kCloseFirst, /*top_k=*/0, /*shards=*/4);
+    EXPECT_EQ(Rendered(sharded), Rendered(unsharded))
+        << SearchMethodToString(method);
+    EXPECT_EQ(Keys(sharded, RankerKind::kCloseFirst),
+              Keys(unsharded, RankerKind::kCloseFirst))
+        << SearchMethodToString(method);
+    EXPECT_EQ(sharded.expansions, unsharded.expansions)
+        << SearchMethodToString(method);
+  }
+}
+
+TEST(ShardedScaleTest, SettledShardsArePausedNotDrained) {
+  auto dataset = GenerateCompanyDataset(CompanyGenOptions::AtScale(10));
+  ASSERT_TRUE(dataset.ok());
+  auto engine = KeywordSearchEngine::Create(
+      dataset->db.get(), dataset->er_schema, dataset->mapping);
+  ASSERT_TRUE(engine.ok());
+
+  SearchOptions options;
+  options.method = SearchMethod::kStream;
+  options.ranker = RankerKind::kRdbLength;
+  options.max_rdb_edges = 4;
+  options.shards = 4;
+
+  options.top_k = 3;
+  auto settled = (*engine)->Search("xml databases", options);
+  ASSERT_TRUE(settled.ok());
+  options.top_k = 0;  // legacy facade: full drain
+  auto drained = (*engine)->Search("xml databases", options);
+  ASSERT_TRUE(drained.ok());
+
+  ASSERT_EQ(settled->shard_expansions.size(), 4u);
+  ASSERT_EQ(drained->shard_expansions.size(), 4u);
+  for (size_t s = 0; s < 4; ++s) {
+    // The settle bound pauses a shard mid-queue; it never makes a shard
+    // do *more* work than draining it would.
+    EXPECT_LE(settled->shard_expansions[s], drained->shard_expansions[s])
+        << "shard " << s;
+  }
+  EXPECT_LT(settled->expansions, drained->expansions);
+  EXPECT_EQ(settled->hits.size(), 3u);
+}
+
+}  // namespace
+}  // namespace claks
