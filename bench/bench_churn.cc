@@ -1,0 +1,349 @@
+// Copyright 2026 The claks Authors.
+//
+// Churn benchmark for the incremental-mutation path: a 95/5 read/write
+// workload over SearchService at increasing scale. Reader threads run a
+// closed-loop streaming query mix against the live snapshot while one
+// writer applies single-row delta batches through Mutate. Records
+//   - mutation apply latency (the row edits inside the batch),
+//   - publish lag (clone + O(delta) derive + atomic publish — the time
+//     between the writer's edits and readers seeing the generation),
+//   - read p50/p99 under churn, and
+//   - a dedicated single-row-insert probe whose p50 must stay flat-ish
+//     across scales (the O(delta) claim: 10x within ~2x of 1x).
+// Emits machine-readable BENCH_churn.json (schema in docs/BENCHMARKS.md);
+// CI runs 1x/10x and uploads the file as an artifact.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datasets/company_gen.h"
+#include "relational/database.h"
+#include "service/search_service.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+double Percentile(std::vector<double> values, double fraction) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  size_t index = static_cast<size_t>(fraction * (values.size() - 1));
+  return values[index];
+}
+
+claks::SearchOptions ReadOptions() {
+  claks::SearchOptions options;
+  options.method = claks::SearchMethod::kStream;
+  options.ranker = claks::RankerKind::kRdbLength;
+  options.max_rdb_edges = 3;
+  options.top_k = 5;
+  return options;
+}
+
+struct ChurnRecord {
+  size_t scale = 0;
+  size_t rows = 0;
+  size_t readers = 0;
+  size_t total_reads = 0;
+  size_t total_writes = 0;
+  double wall_ms = 0.0;
+  double read_qps = 0.0;
+  double read_p50_ms = 0.0;
+  double read_p99_ms = 0.0;
+  double apply_p50_ms = 0.0;
+  double apply_p99_ms = 0.0;
+  double publish_p50_ms = 0.0;
+  double publish_p99_ms = 0.0;
+  double single_insert_p50_ms = 0.0;
+  uint64_t delta_mutations = 0;
+  uint64_t rebuild_mutations = 0;
+  uint64_t noop_mutations = 0;
+  uint64_t compactions = 0;
+};
+
+std::unique_ptr<claks::SearchService> MakeService(
+    const claks::GeneratedDataset& master) {
+  claks::ServiceOptions options;
+  options.num_threads = 2;
+  options.cache_capacity = 0;  // every read pays the search under churn
+  options.delta_policy.mode = claks::DeltaPolicy::Mode::kAuto;
+  options.delta_policy.min_ops = 64;
+  options.delta_policy.fraction = 0.01;
+  auto service = claks::SearchService::Create(
+      master.db->Clone(), master.er_schema, master.mapping, options);
+  CLAKS_CHECK(service.ok());
+  return std::move(service).ValueOrDie();
+}
+
+/// One write: a single-row dependent insert (every third write also
+/// retires the oldest churn row, so tombstones flow through the deltas).
+claks::Status ApplyWrite(claks::Database* db, size_t write_index,
+                         size_t* inserted, size_t* deleted) {
+  claks::Table* dependent = db->FindMutableTable("DEPENDENT");
+  CLAKS_CHECK(dependent != nullptr);
+  std::string id = "churn" + std::to_string((*inserted)++);
+  CLAKS_RETURN_NOT_OK(
+      dependent
+          ->InsertValues({claks::Value::String(id),
+                          claks::Value::String("Smith"),
+                          claks::Value::String("e1")})
+          .status());
+  if (write_index % 3 == 2) {
+    std::string victim = "churn" + std::to_string((*deleted)++);
+    CLAKS_RETURN_NOT_OK(
+        dependent->DeleteByPrimaryKey({claks::Value::String(victim)}));
+  }
+  return claks::Status::OK();
+}
+
+ChurnRecord RunScale(size_t scale, size_t readers, size_t reads_per_reader) {
+  ChurnRecord record;
+  record.scale = scale;
+  record.readers = readers;
+  auto generated =
+      claks::GenerateCompanyDataset(claks::CompanyGenOptions::AtScale(scale));
+  CLAKS_CHECK(generated.ok());
+  claks::GeneratedDataset master = std::move(generated).ValueOrDie();
+  record.rows = master.db->TotalRows();
+
+  std::unique_ptr<claks::SearchService> service = MakeService(master);
+  const claks::SearchOptions read_options = ReadOptions();
+  const char* kQueries[] = {"smith xml", "retrieval databases"};
+
+  // 95/5 mix: the writer applies total_reads * 5/95 single-row batches
+  // spread across the read phase.
+  size_t total_reads = readers * reads_per_reader;
+  size_t writes = std::max<size_t>(1, total_reads * 5 / 95);
+
+  std::vector<std::vector<double>> read_latencies(readers);
+  std::vector<double> apply_latencies;
+  std::vector<double> publish_latencies;
+
+  auto wall_start = Clock::now();
+  std::vector<std::thread> reader_threads;
+  reader_threads.reserve(readers);
+  for (size_t p = 0; p < readers; ++p) {
+    reader_threads.emplace_back([&, p] {
+      read_latencies[p].reserve(reads_per_reader);
+      for (size_t r = 0; r < reads_per_reader; ++r) {
+        auto start = Clock::now();
+        auto result = service->SearchNow(kQueries[r % 2], read_options);
+        CLAKS_CHECK(result.ok());
+        read_latencies[p].push_back(MillisSince(start));
+      }
+    });
+  }
+
+  size_t inserted = 0;
+  size_t deleted = 0;
+  apply_latencies.reserve(writes);
+  publish_latencies.reserve(writes);
+  for (size_t w = 0; w < writes; ++w) {
+    double apply_ms = 0.0;
+    auto mutate_start = Clock::now();
+    claks::Status status = service->Mutate([&](claks::Database* db) {
+      auto apply_start = Clock::now();
+      CLAKS_RETURN_NOT_OK(ApplyWrite(db, w, &inserted, &deleted));
+      apply_ms = MillisSince(apply_start);
+      return claks::Status::OK();
+    });
+    CLAKS_CHECK(status.ok());
+    double total_ms = MillisSince(mutate_start);
+    apply_latencies.push_back(apply_ms);
+    // Everything around the row edits: clone, watermark diff, O(delta)
+    // derive, snapshot publish — the lag before readers see the batch.
+    publish_latencies.push_back(total_ms - apply_ms);
+  }
+  for (std::thread& reader : reader_threads) reader.join();
+  record.wall_ms = MillisSince(wall_start);
+
+  std::vector<double> reads;
+  for (const auto& per_thread : read_latencies) {
+    reads.insert(reads.end(), per_thread.begin(), per_thread.end());
+  }
+  record.total_reads = reads.size();
+  record.total_writes = writes;
+  record.read_qps =
+      record.wall_ms > 0.0 ? 1000.0 * reads.size() / record.wall_ms : 0.0;
+  record.read_p50_ms = Percentile(reads, 0.50);
+  record.read_p99_ms = Percentile(reads, 0.99);
+  record.apply_p50_ms = Percentile(apply_latencies, 0.50);
+  record.apply_p99_ms = Percentile(apply_latencies, 0.99);
+  record.publish_p50_ms = Percentile(publish_latencies, 0.50);
+  record.publish_p99_ms = Percentile(publish_latencies, 0.99);
+
+  claks::ServiceStats stats = service->stats();
+  record.delta_mutations = stats.delta_mutations;
+  record.rebuild_mutations = stats.rebuild_mutations;
+  record.noop_mutations = stats.noop_mutations;
+  record.compactions = stats.compactions;
+
+  // Quiescent single-row-insert probe on a fresh service: the O(delta)
+  // derive cost without reader interference.
+  std::unique_ptr<claks::SearchService> quiet = MakeService(master);
+  std::vector<double> probe;
+  for (size_t i = 0; i < 32; ++i) {
+    auto start = Clock::now();
+    claks::Status status = quiet->Mutate([&](claks::Database* db) {
+      claks::Table* dependent = db->FindMutableTable("DEPENDENT");
+      CLAKS_CHECK(dependent != nullptr);
+      return dependent
+          ->InsertValues({claks::Value::String("probe" + std::to_string(i)),
+                          claks::Value::String("Quiet"),
+                          claks::Value::String("e1")})
+          .status();
+    });
+    CLAKS_CHECK(status.ok());
+    probe.push_back(MillisSince(start));
+  }
+  record.single_insert_p50_ms = Percentile(probe, 0.50);
+  return record;
+}
+
+void WriteJson(std::FILE* f, const std::vector<ChurnRecord>& records,
+               size_t reads_per_reader) {
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"bench_churn\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"dataset\": \"company_gen\",\n");
+  std::fprintf(f, "  \"read_write_mix\": \"95/5\",\n");
+  std::fprintf(f, "  \"reads_per_reader\": %zu,\n", reads_per_reader);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"scales\": [\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const ChurnRecord& r = records[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"scale\": %zu,\n", r.scale);
+    std::fprintf(f, "      \"rows\": %zu,\n", r.rows);
+    std::fprintf(f, "      \"readers\": %zu,\n", r.readers);
+    std::fprintf(f, "      \"total_reads\": %zu,\n", r.total_reads);
+    std::fprintf(f, "      \"total_writes\": %zu,\n", r.total_writes);
+    std::fprintf(f, "      \"wall_ms\": %.3f,\n", r.wall_ms);
+    std::fprintf(f, "      \"read_qps\": %.1f,\n", r.read_qps);
+    std::fprintf(f, "      \"read_p50_ms\": %.3f,\n", r.read_p50_ms);
+    std::fprintf(f, "      \"read_p99_ms\": %.3f,\n", r.read_p99_ms);
+    std::fprintf(f, "      \"mutation_apply_p50_ms\": %.4f,\n",
+                 r.apply_p50_ms);
+    std::fprintf(f, "      \"mutation_apply_p99_ms\": %.4f,\n",
+                 r.apply_p99_ms);
+    std::fprintf(f, "      \"publish_lag_p50_ms\": %.4f,\n",
+                 r.publish_p50_ms);
+    std::fprintf(f, "      \"publish_lag_p99_ms\": %.4f,\n",
+                 r.publish_p99_ms);
+    std::fprintf(f, "      \"single_row_insert_p50_ms\": %.4f,\n",
+                 r.single_insert_p50_ms);
+    std::fprintf(f, "      \"delta_mutations\": %llu,\n",
+                 static_cast<unsigned long long>(r.delta_mutations));
+    std::fprintf(f, "      \"rebuild_mutations\": %llu,\n",
+                 static_cast<unsigned long long>(r.rebuild_mutations));
+    std::fprintf(f, "      \"noop_mutations\": %llu,\n",
+                 static_cast<unsigned long long>(r.noop_mutations));
+    std::fprintf(f, "      \"compactions\": %llu\n",
+                 static_cast<unsigned long long>(r.compactions));
+    std::fprintf(f, "    }%s\n", i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  // The O(delta) claim in one number: how much the quiescent single-row
+  // derive grows from the first to the last scale (1.0 = perfectly flat;
+  // a full-rebuild path would track the dataset-size ratio instead).
+  double ratio = 0.0;
+  if (records.size() >= 2 && records.front().single_insert_p50_ms > 0.0) {
+    ratio = records.back().single_insert_p50_ms /
+            records.front().single_insert_p50_ms;
+  }
+  std::fprintf(f, "  \"single_row_insert_growth_last_vs_first\": %.2f\n",
+               ratio);
+  std::fprintf(f, "}\n");
+}
+
+std::vector<size_t> ParseSizeList(const std::string& spec) {
+  std::vector<size_t> values;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    long value = std::atol(spec.substr(pos, comma - pos).c_str());
+    values.push_back(value > 0 ? static_cast<size_t>(value) : 0);
+    pos = comma + 1;
+  }
+  return values;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<size_t> scales{1, 10};
+  size_t readers = 4;
+  size_t reads_per_reader = 200;
+  std::string out_path = "BENCH_churn.json";
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--scales=", 0) == 0) {
+      scales = ParseSizeList(arg.substr(9));
+    } else if (arg.rfind("--readers=", 0) == 0) {
+      readers = static_cast<size_t>(std::atol(arg.c_str() + 10));
+    } else if (arg.rfind("--reads=", 0) == 0) {
+      reads_per_reader = static_cast<size_t>(std::atol(arg.c_str() + 8));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag '%s' (supported: --scales=1,10 "
+                   "--readers=N --reads=N --out=FILE)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (scales.empty() || readers == 0 || reads_per_reader == 0) {
+    std::fprintf(stderr, "invalid flags: need scales/readers/reads >= 1\n");
+    return 2;
+  }
+
+  std::vector<ChurnRecord> records;
+  for (size_t scale : scales) {
+    std::printf("scale %zux ...\n", scale);
+    ChurnRecord record = RunScale(scale, readers, reads_per_reader);
+    std::printf(
+        "  scale %3zux  %zu readers  %zu reads / %zu writes  "
+        "read p50 %.3fms p99 %.3fms  apply p50 %.4fms  publish p50 %.4fms  "
+        "single-insert p50 %.4fms  (delta %llu, rebuild %llu, "
+        "compactions %llu)\n",
+        record.scale, record.readers, record.total_reads,
+        record.total_writes, record.read_p50_ms, record.read_p99_ms,
+        record.apply_p50_ms, record.publish_p50_ms,
+        record.single_insert_p50_ms,
+        static_cast<unsigned long long>(record.delta_mutations),
+        static_cast<unsigned long long>(record.rebuild_mutations),
+        static_cast<unsigned long long>(record.compactions));
+    records.push_back(record);
+  }
+  if (records.size() >= 2 && records.front().single_insert_p50_ms > 0.0) {
+    std::printf("single-row insert growth %zux -> %zux: %.2fx\n",
+                records.front().scale, records.back().scale,
+                records.back().single_insert_p50_ms /
+                    records.front().single_insert_p50_ms);
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", out_path.c_str());
+    return 1;
+  }
+  WriteJson(f, records, reads_per_reader);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

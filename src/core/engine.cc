@@ -91,6 +91,68 @@ Result<std::unique_ptr<KeywordSearchEngine>> KeywordSearchEngine::Create(
   return engine;
 }
 
+Result<std::unique_ptr<KeywordSearchEngine>> KeywordSearchEngine::Derive(
+    const KeywordSearchEngine& prev, const Database* next_db,
+    const DatabaseDelta& delta, const DeltaPolicy& policy, bool* compacted) {
+  CLAKS_CHECK(next_db != nullptr);
+  CLAKS_CHECK(!delta.schema_changed);
+  CLAKS_CHECK(prev.Warm());
+
+  // Join indexes first: DeriveJoinIndexes doubles as the delta's
+  // referential-integrity check (dangling FK, RESTRICT). On failure
+  // nothing is built and `prev` is untouched.
+  CLAKS_RETURN_NOT_OK(next_db->DeriveJoinIndexes(prev.database(), delta));
+
+  auto engine =
+      std::unique_ptr<KeywordSearchEngine>(new KeywordSearchEngine());
+  engine->db_ = next_db;
+  engine->er_schema_ = std::make_unique<ERSchema>(*prev.er_schema_);
+  engine->mapping_ = std::make_unique<ErRelationalMapping>(*prev.mapping_);
+
+  size_t accumulated = prev.overlay_ops_ + delta.num_ops();
+  bool compact = policy.mode == DeltaPolicy::Mode::kAlwaysCompact;
+  if (policy.mode == DeltaPolicy::Mode::kAuto) {
+    size_t threshold = std::max(
+        policy.min_ops,
+        static_cast<size_t>(policy.fraction *
+                            static_cast<double>(next_db->TotalRows())));
+    compact = accumulated >= threshold;
+  }
+
+  // Statistics derive against *both* generations' join indexes (prev
+  // resolves deleted rows' parents), so run it before any compaction
+  // rewrites next_db's overlays.
+  engine->statistics_ = InstanceStatistics::Derive(
+      *prev.statistics_, &prev.database(), next_db, delta,
+      engine->er_schema_.get(), engine->mapping_.get());
+
+  if (!compact) {
+    CLAKS_ASSIGN_OR_RETURN(
+        engine->data_graph_,
+        DataGraph::Derive(*prev.data_graph_, next_db, delta));
+    // nullptr = the id slack between tables is exhausted; only a
+    // compaction renumbers, so force one whatever the policy says.
+    if (engine->data_graph_ == nullptr) compact = true;
+  }
+  if (compact) {
+    next_db->CompactJoinIndexes();
+    engine->data_graph_ = std::make_unique<DataGraph>(next_db);
+  }
+
+  engine->index_ = InvertedIndex::Derive(*prev.index_, next_db, delta);
+  if (compact) engine->index_->Compact();
+
+  // Schema-sized structures: rebuilt outright, they never see row deltas.
+  engine->schema_graph_ = std::make_unique<SchemaGraph>(next_db);
+  engine->analyzer_ = std::make_unique<AssociationAnalyzer>(
+      next_db, engine->er_schema_.get(), engine->mapping_.get(),
+      engine->data_graph_.get());
+
+  engine->overlay_ops_ = compact ? 0 : accumulated;
+  if (compacted != nullptr) *compacted = compact;
+  return engine;
+}
+
 namespace {
 
 // The unique path between two nodes of a tree, restricted to tree edges.

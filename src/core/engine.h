@@ -95,6 +95,25 @@ struct SearchResult {
   std::string ToString(const Database& db, size_t max_hits = 20) const;
 };
 
+/// When does a delta-derived engine fold its accumulated overlays into
+/// fresh frozen bases (compaction)? Compaction costs O(dataset) once but
+/// restores O(1)-overhead reads and resets the graph's id slack; the
+/// overlays cost a hash probe on touched entries until then.
+struct DeltaPolicy {
+  enum class Mode {
+    kAuto,           ///< compact when accumulated ops exceed the threshold
+    kAlwaysCompact,  ///< every Derive compacts (degenerates to rebuild-like
+                     ///< state with delta-validated integrity)
+    kNeverCompact,   ///< keep overlays indefinitely (tests); graph id-slack
+                     ///< exhaustion still forces a compaction
+  };
+  Mode mode = Mode::kAuto;
+  /// kAuto threshold: compact when accumulated overlay ops reach
+  /// max(min_ops, fraction * total row slots).
+  size_t min_ops = 256;
+  double fraction = 0.10;
+};
+
 class KeywordSearchEngine {
  public:
   /// Builds an engine over `db`, reverse-engineering the conceptual schema
@@ -106,6 +125,27 @@ class KeywordSearchEngine {
   /// output of GenerateRelationalSchema).
   static Result<std::unique_ptr<KeywordSearchEngine>> Create(
       const Database* db, ERSchema er_schema, ErRelationalMapping mapping);
+
+  /// Derives the next generation's engine from `prev` plus the row delta,
+  /// in O(delta) instead of O(dataset): join indexes, CSR data graph,
+  /// inverted index and instance statistics each apply `delta` as an
+  /// overlay over their frozen bases (shared with `prev`, whose readers
+  /// are untouched). The delta's referential integrity is validated first
+  /// — a dangling FK on an inserted row or a delete of a still-referenced
+  /// row (RESTRICT) returns IntegrityViolation and builds nothing.
+  ///
+  /// `next_db` must be `prev`'s database plus exactly `delta` (the service
+  /// clones, mutates the clone, diffs watermarks); `delta.schema_changed`
+  /// must be false and `prev` warm. Every observable query result on the
+  /// derived engine is byte-identical to an engine Create()d from
+  /// `next_db` (tests/differential_test.cc --mutations proves it).
+  ///
+  /// `policy` decides compaction; graph id-slack exhaustion forces one
+  /// regardless of mode. `compacted` (optional) reports what happened.
+  static Result<std::unique_ptr<KeywordSearchEngine>> Derive(
+      const KeywordSearchEngine& prev, const Database* next_db,
+      const DatabaseDelta& delta, const DeltaPolicy& policy = {},
+      bool* compacted = nullptr);
 
   /// Out-of-line: ShardContext is forward-declared here (core/shard.h
   /// depends on this header, not the other way around).
@@ -185,6 +225,11 @@ class KeywordSearchEngine {
   const AssociationAnalyzer& analyzer() const { return *analyzer_; }
   const InstanceStatistics& statistics() const { return *statistics_; }
 
+  /// Overlay ops accumulated across the Derive chain since the last
+  /// compaction (0 on a freshly Create()d or just-compacted engine); the
+  /// DeltaPolicy::kAuto compaction trigger.
+  size_t overlay_ops() const { return overlay_ops_; }
+
   /// The engine-owned intra-query execution context (core/shard.h):
   /// a dedicated thread pool per-shard scatter tasks run on. Created
   /// lazily on the first sharded query — unsharded workloads never
@@ -217,6 +262,7 @@ class KeywordSearchEngine {
   std::unique_ptr<InvertedIndex> index_;
   std::unique_ptr<AssociationAnalyzer> analyzer_;
   std::unique_ptr<InstanceStatistics> statistics_;
+  size_t overlay_ops_ = 0;
 };
 
 }  // namespace claks

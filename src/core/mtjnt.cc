@@ -435,6 +435,7 @@ std::vector<TupleTree> EvaluateCandidateNetworkScan(
     const CnNode& node = cn.nodes[i];
     const Table& table = db.table(node.table);
     for (uint32_t r = 0; r < table.num_rows(); ++r) {
+      if (table.IsDeleted(r)) continue;  // mask 0 would match tombstones
       TupleId id{node.table, r};
       if (TupleMask(masks, id) == node.keyword_mask) {
         candidates[i].push_back(graph.NodeOf(id));
@@ -573,6 +574,7 @@ std::vector<TupleTree> EvaluateCandidateNetworkIndexed(
       if (cn.nodes[0].keyword_mask == 0) {
         const Table& table = db.table(cn.nodes[0].table);
         for (uint32_t r = 0; r < table.num_rows(); ++r) {
+          if (table.IsDeleted(r)) continue;
           uint32_t tuple_node = graph.NodeOf(TupleId{cn.nodes[0].table, r});
           if (!member_of(0, tuple_node)) continue;
           assignment[cn_node] = tuple_node;
@@ -626,7 +628,7 @@ std::vector<TupleTree> EvaluateCandidateNetworkIndexed(
     } else {
       // The anchor references the new node: one child->parent probe.
       if (anchor_tuple.table != join_index.table) return;
-      uint32_t parent_row = join_index.parent_row[anchor_tuple.row];
+      uint32_t parent_row = join_index.Parent(anchor_tuple.row);
       if (parent_row == FkJoinIndex::kNoParent) return;
       TupleId parent{join_index.referenced_table, parent_row};
       if (parent.table == cn.nodes[cn_node].table) {

@@ -36,15 +36,17 @@ ShardPartition MakeShardPartition(const DataGraph& graph,
   num_shards = EffectiveShards(num_shards);
   ShardPartition partition;
   partition.num_shards = num_shards;
-  partition.shard_of_node.reserve(graph.num_nodes());
+  partition.shard_of_node.reserve(graph.node_id_bound());
   partition.node_counts.assign(num_shards, 0);
   partition.edge_counts.assign(num_shards, 0);
-  for (uint32_t node = 0; node < graph.num_nodes(); ++node) {
+  // Node ids are slack-gapped: the lookup table covers the whole id space
+  // but only real row slots count toward the balance stats.
+  for (uint32_t node = 0; node < graph.node_id_bound(); ++node) {
     uint32_t shard = ShardOfNode(node, num_shards);
     partition.shard_of_node.push_back(shard);
-    ++partition.node_counts[shard];
+    if (graph.IsNode(node)) ++partition.node_counts[shard];
   }
-  for (uint32_t edge = 0; edge < graph.num_edges(); ++edge) {
+  for (uint32_t edge : graph.EdgeIds()) {
     ++partition.edge_counts[ShardOfEdge(graph, edge, num_shards)];
   }
   return partition;

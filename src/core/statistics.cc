@@ -2,7 +2,9 @@
 
 #include "core/statistics.h"
 
+#include <cstdint>
 #include <set>
+#include <unordered_map>
 
 #include "common/macros.h"
 #include "common/string_util.h"
@@ -63,6 +65,41 @@ std::vector<size_t> LocalIndices(const TableSchema& schema,
   return out;
 }
 
+// Live rows of the entity table mapped to `entity` (0 when unmapped).
+size_t EntityRows(const Database* db, const ErRelationalMapping* mapping,
+                  const std::string& entity) {
+  for (const auto& [table, info] : mapping->tables) {
+    if (!info.is_middle_relation && info.er_name == entity) {
+      const Table* t = db->FindTable(table);
+      if (t != nullptr) return t->live_rows();
+    }
+  }
+  return 0;
+}
+
+// The (table, fk_index) pairs implementing each relationship.
+struct Implementing {
+  std::string table;
+  size_t fk_index;
+  bool references_left;
+};
+
+std::map<std::string, std::vector<Implementing>> GroupByRelationship(
+    const ErRelationalMapping* mapping) {
+  std::map<std::string, std::vector<Implementing>> by_relationship;
+  for (const auto& [key, info] : mapping->foreign_keys) {
+    by_relationship[info.relationship].push_back(
+        Implementing{key.first, key.second, info.references_left});
+  }
+  return by_relationship;
+}
+
+size_t Shifted(size_t base, int64_t delta) {
+  int64_t v = static_cast<int64_t>(base) + delta;
+  CLAKS_CHECK_GE(v, 0);
+  return static_cast<size_t>(v);
+}
+
 }  // namespace
 
 InstanceStatistics::InstanceStatistics(const Database* db,
@@ -70,36 +107,16 @@ InstanceStatistics::InstanceStatistics(const Database* db,
                                        const ErRelationalMapping* mapping) {
   CLAKS_CHECK(db != nullptr && er_schema != nullptr && mapping != nullptr);
 
-  // Entity table name per entity type.
-  auto entity_rows = [&](const std::string& entity) -> size_t {
-    for (const auto& [table, info] : mapping->tables) {
-      if (!info.is_middle_relation && info.er_name == entity) {
-        const Table* t = db->FindTable(table);
-        if (t != nullptr) return t->num_rows();
-      }
-    }
-    return 0;
-  };
-
   for (const RelationshipType& rel : er_schema->relationships()) {
     RelationshipStats stats;
     stats.relationship = rel.name;
-    stats.left_total = entity_rows(rel.left_entity);
-    stats.right_total = entity_rows(rel.right_entity);
+    stats.left_total = EntityRows(db, mapping, rel.left_entity);
+    stats.right_total = EntityRows(db, mapping, rel.right_entity);
     stats_.emplace(rel.name, std::move(stats));
   }
 
-  // Group (table, fk_index) pairs by relationship.
-  struct Implementing {
-    std::string table;
-    size_t fk_index;
-    bool references_left;
-  };
-  std::map<std::string, std::vector<Implementing>> by_relationship;
-  for (const auto& [key, info] : mapping->foreign_keys) {
-    by_relationship[info.relationship].push_back(
-        Implementing{key.first, key.second, info.references_left});
-  }
+  std::map<std::string, std::vector<Implementing>> by_relationship =
+      GroupByRelationship(mapping);
 
   for (auto& [rel_name, fks] : by_relationship) {
     auto it = stats_.find(rel_name);
@@ -116,6 +133,7 @@ InstanceStatistics::InstanceStatistics(const Database* db,
       std::set<std::string> referenced_keys;
       size_t links = 0;
       for (size_t r = 0; r < owner->num_rows(); ++r) {
+        if (owner->IsDeleted(r)) continue;
         std::string key = FkKey(owner->row(r), indices);
         if (key.empty()) continue;
         ++links;
@@ -149,6 +167,7 @@ InstanceStatistics::InstanceStatistics(const Database* db,
       std::set<std::string> right_keys;
       size_t links = 0;
       for (size_t r = 0; r < middle->num_rows(); ++r) {
+        if (middle->IsDeleted(r)) continue;
         std::string lk = FkKey(middle->row(r), left_indices);
         std::string rk = FkKey(middle->row(r), right_indices);
         if (lk.empty() || rk.empty()) continue;
@@ -161,6 +180,184 @@ InstanceStatistics::InstanceStatistics(const Database* db,
       stats.right_participants = right_keys.size();
     }
   }
+}
+
+std::unique_ptr<InstanceStatistics> InstanceStatistics::Derive(
+    const InstanceStatistics& prev, const Database* prev_db,
+    const Database* next_db, const DatabaseDelta& delta,
+    const ERSchema* er_schema, const ErRelationalMapping* mapping) {
+  CLAKS_CHECK(prev_db != nullptr && next_db != nullptr &&
+              er_schema != nullptr && mapping != nullptr);
+  CLAKS_CHECK(!delta.schema_changed);
+
+  auto out = std::make_unique<InstanceStatistics>(prev);
+
+  // Totals come straight from live-row counters: O(1) per table.
+  for (const RelationshipType& rel : er_schema->relationships()) {
+    auto it = out->stats_.find(rel.name);
+    if (it == out->stats_.end()) continue;
+    it->second.left_total = EntityRows(next_db, mapping, rel.left_entity);
+    it->second.right_total = EntityRows(next_db, mapping, rel.right_entity);
+  }
+
+  std::unordered_map<uint32_t, std::vector<uint32_t>> ins_by_table;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> del_by_table;
+  for (const DeltaOp& op : delta.inserts) {
+    ins_by_table[op.table].push_back(op.row);
+  }
+  for (const DeltaOp& op : delta.deletes) {
+    del_by_table[op.table].push_back(op.row);
+  }
+
+  std::map<std::string, std::vector<Implementing>> by_relationship =
+      GroupByRelationship(mapping);
+
+  for (auto& [rel_name, fks] : by_relationship) {
+    auto it = out->stats_.find(rel_name);
+    if (it == out->stats_.end()) continue;
+    RelationshipStats& stats = it->second;
+
+    auto table_index = next_db->TableIndex(fks[0].table);
+    if (!table_index.has_value()) continue;
+    uint32_t t = *table_index;
+    auto ins_it = ins_by_table.find(t);
+    auto del_it = del_by_table.find(t);
+    bool has_ins = ins_it != ins_by_table.end();
+    bool has_del = del_it != del_by_table.end();
+    if (!has_ins && !has_del) continue;  // no ops touched this relationship
+
+    if (fks.size() == 1) {
+      const Table& owner = next_db->table(t);
+      std::vector<size_t> indices = LocalIndices(
+          owner.schema(), owner.schema().foreign_keys()[fks[0].fk_index]);
+      const FkJoinIndex& next_ji =
+          next_db->JoinIndex(t, static_cast<uint32_t>(fks[0].fk_index));
+      const FkJoinIndex& prev_ji =
+          prev_db->JoinIndex(t, static_cast<uint32_t>(fks[0].fk_index));
+      if (!next_ji.valid || !prev_ji.valid) {
+        // A mapped FK the join indexes cannot resolve: transitions are not
+        // derivable, recompute from scratch.
+        return std::make_unique<InstanceStatistics>(next_db, er_schema,
+                                                    mapping);
+      }
+
+      int64_t link_delta = 0;
+      // parent slot -> {links gained, links lost} this batch. Grouping by
+      // parent (not key string) dedups same-key churn; tombstoned rows
+      // keep their values and prev's index still resolves their parent.
+      std::map<uint32_t, std::pair<int64_t, int64_t>> touched;
+      if (has_ins) {
+        for (uint32_t r : ins_it->second) {
+          if (FkKey(owner.row(r), indices).empty()) continue;
+          ++link_delta;
+          uint32_t parent = next_ji.Parent(r);
+          CLAKS_CHECK(parent != FkJoinIndex::kNoParent);
+          ++touched[parent].first;
+        }
+      }
+      if (has_del) {
+        for (uint32_t r : del_it->second) {
+          if (FkKey(owner.row(r), indices).empty()) continue;
+          --link_delta;
+          uint32_t parent = prev_ji.Parent(r);
+          CLAKS_CHECK(parent != FkJoinIndex::kNoParent);
+          ++touched[parent].second;
+        }
+      }
+      int64_t ref_delta = 0;
+      for (const auto& [parent, gain_loss] : touched) {
+        int64_t after = static_cast<int64_t>(next_ji.Children(parent).size());
+        int64_t before = after - gain_loss.first + gain_loss.second;
+        ref_delta += (after > 0 ? 1 : 0) - (before > 0 ? 1 : 0);
+      }
+      stats.link_count = Shifted(stats.link_count, link_delta);
+      if (fks[0].references_left) {
+        stats.left_participants = Shifted(stats.left_participants, ref_delta);
+        stats.right_participants =
+            Shifted(stats.right_participants, link_delta);
+      } else {
+        stats.right_participants =
+            Shifted(stats.right_participants, ref_delta);
+        stats.left_participants = Shifted(stats.left_participants, link_delta);
+      }
+    } else if (fks.size() == 2 && mapping->IsMiddleRelation(fks[0].table)) {
+      const Table& middle = next_db->table(t);
+      const Implementing* left_fk = fks[0].references_left ? &fks[0] : &fks[1];
+      const Implementing* right_fk = fks[0].references_left ? &fks[1] : &fks[0];
+      std::vector<size_t> left_indices = LocalIndices(
+          middle.schema(), middle.schema().foreign_keys()[left_fk->fk_index]);
+      std::vector<size_t> right_indices = LocalIndices(
+          middle.schema(), middle.schema().foreign_keys()[right_fk->fk_index]);
+      const FkJoinIndex& next_lji =
+          next_db->JoinIndex(t, static_cast<uint32_t>(left_fk->fk_index));
+      const FkJoinIndex& next_rji =
+          next_db->JoinIndex(t, static_cast<uint32_t>(right_fk->fk_index));
+      const FkJoinIndex& prev_lji =
+          prev_db->JoinIndex(t, static_cast<uint32_t>(left_fk->fk_index));
+      const FkJoinIndex& prev_rji =
+          prev_db->JoinIndex(t, static_cast<uint32_t>(right_fk->fk_index));
+      if (!next_lji.valid || !next_rji.valid || !prev_lji.valid ||
+          !prev_rji.valid) {
+        return std::make_unique<InstanceStatistics>(next_db, er_schema,
+                                                    mapping);
+      }
+
+      int64_t link_delta = 0;
+      std::map<uint32_t, std::pair<int64_t, int64_t>> touched_left;
+      std::map<uint32_t, std::pair<int64_t, int64_t>> touched_right;
+      auto record = [&](const std::vector<uint32_t>& rows, bool insert) {
+        const FkJoinIndex& lji = insert ? next_lji : prev_lji;
+        const FkJoinIndex& rji = insert ? next_rji : prev_rji;
+        for (uint32_t r : rows) {
+          // A middle row links only when *both* sides are non-NULL.
+          if (FkKey(middle.row(r), left_indices).empty() ||
+              FkKey(middle.row(r), right_indices).empty()) {
+            continue;
+          }
+          link_delta += insert ? 1 : -1;
+          uint32_t lparent = lji.Parent(r);
+          uint32_t rparent = rji.Parent(r);
+          CLAKS_CHECK(lparent != FkJoinIndex::kNoParent);
+          CLAKS_CHECK(rparent != FkJoinIndex::kNoParent);
+          if (insert) {
+            ++touched_left[lparent].first;
+            ++touched_right[rparent].first;
+          } else {
+            ++touched_left[lparent].second;
+            ++touched_right[rparent].second;
+          }
+        }
+      };
+      if (has_ins) record(ins_it->second, true);
+      if (has_del) record(del_it->second, false);
+
+      // A side participates while it has at least one middle row whose
+      // *other* side is also non-NULL — count live siblings through the
+      // join index (O(fanout)).
+      auto side_delta =
+          [&](const std::map<uint32_t, std::pair<int64_t, int64_t>>& touched,
+              const FkJoinIndex& ji, const std::vector<size_t>& other_indices) {
+            int64_t d = 0;
+            for (const auto& [parent, gain_loss] : touched) {
+              int64_t after = 0;
+              for (uint32_t c : ji.Children(parent)) {
+                if (!FkKey(middle.row(c), other_indices).empty()) ++after;
+              }
+              int64_t before = after - gain_loss.first + gain_loss.second;
+              d += (after > 0 ? 1 : 0) - (before > 0 ? 1 : 0);
+            }
+            return d;
+          };
+      stats.link_count = Shifted(stats.link_count, link_delta);
+      stats.left_participants = Shifted(
+          stats.left_participants,
+          side_delta(touched_left, next_lji, right_indices));
+      stats.right_participants = Shifted(
+          stats.right_participants,
+          side_delta(touched_right, next_rji, left_indices));
+    }
+  }
+  return out;
 }
 
 const RelationshipStats& InstanceStatistics::StatsFor(

@@ -12,10 +12,12 @@
 #define CLAKS_CORE_STATISTICS_H_
 
 #include <map>
+#include <memory>
 #include <string>
 
 #include "core/length.h"
 #include "graph/data_graph.h"
+#include "relational/delta.h"
 
 namespace claks {
 
@@ -55,6 +57,18 @@ class InstanceStatistics {
  public:
   InstanceStatistics(const Database* db, const ERSchema* er_schema,
                      const ErRelationalMapping* mapping);
+
+  /// Derives the next generation's statistics from `prev` plus the row
+  /// delta in O(delta · fanout): every counter is an integer transition
+  /// computed against the two generations' join indexes (prev resolves
+  /// deleted rows' parents, next resolves inserted rows'), so the result
+  /// equals a from-scratch recompute over `next_db`. Both databases must
+  /// be warm and `delta.schema_changed` false. Falls back to a full
+  /// recompute when a mapped FK has no valid join index.
+  static std::unique_ptr<InstanceStatistics> Derive(
+      const InstanceStatistics& prev, const Database* prev_db,
+      const Database* next_db, const DatabaseDelta& delta,
+      const ERSchema* er_schema, const ErRelationalMapping* mapping);
 
   /// Stats for one relationship; CLAKS_CHECKs the name exists.
   const RelationshipStats& StatsFor(const std::string& relationship) const;

@@ -27,9 +27,9 @@ struct Expansion {
 // inner loop over the CSR adjacency pays no log() per relaxation.
 std::vector<double> NodeEntryWeights(const DataGraph& graph,
                                      BanksWeightModel model) {
-  std::vector<double> weights(graph.num_nodes(), 1.0);
+  std::vector<double> weights(graph.node_id_bound(), 1.0);
   if (model == BanksWeightModel::kDegreePenalized) {
-    for (uint32_t v = 0; v < graph.num_nodes(); ++v) {
+    for (uint32_t v = 0; v < graph.node_id_bound(); ++v) {
       weights[v] =
           1.0 + std::log(1.0 + static_cast<double>(graph.Degree(v)));
     }
@@ -43,15 +43,15 @@ Expansion Expand(const DataGraph& graph, const std::vector<uint32_t>& set,
                  const std::vector<double>& entry_weights,
                  const BanksOptions& options, size_t* visited) {
   Expansion exp;
-  exp.dist.assign(graph.num_nodes(), kInf);
-  exp.parent.assign(graph.num_nodes(), UINT32_MAX);
-  exp.parent_edge.assign(graph.num_nodes(), UINT32_MAX);
-  exp.source.assign(graph.num_nodes(), UINT32_MAX);
+  exp.dist.assign(graph.node_id_bound(), kInf);
+  exp.parent.assign(graph.node_id_bound(), UINT32_MAX);
+  exp.parent_edge.assign(graph.node_id_bound(), UINT32_MAX);
+  exp.source.assign(graph.node_id_bound(), UINT32_MAX);
 
   using Item = std::pair<double, uint32_t>;
   std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
   for (uint32_t node : set) {
-    CLAKS_CHECK_LT(node, graph.num_nodes());
+    CLAKS_CHECK_LT(node, graph.node_id_bound());
     if (exp.dist[node] > 0.0) {
       exp.dist[node] = 0.0;
       exp.source[node] = node;
@@ -104,7 +104,7 @@ std::vector<AnswerTree> BanksBackwardSearch(
 
   // Candidate roots: reached by every expansion.
   std::vector<std::pair<double, uint32_t>> candidates;
-  for (uint32_t v = 0; v < graph.num_nodes(); ++v) {
+  for (uint32_t v = 0; v < graph.node_id_bound(); ++v) {
     double total = 0.0;
     bool ok = true;
     for (const Expansion& exp : expansions) {

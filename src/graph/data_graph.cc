@@ -12,129 +12,375 @@ namespace claks {
 
 DataGraph::DataGraph(const Database* db) : db_(db) {
   CLAKS_CHECK(db_ != nullptr);
-  // Dense node ids: table-major, row-minor. table_offsets_[t] is the node
-  // id of row 0 of table t, so NodeOf is arithmetic.
-  table_offsets_.reserve(db_->num_tables() + 1);
-  table_offsets_.push_back(0);
-  for (uint32_t t = 0; t < db_->num_tables(); ++t) {
-    table_offsets_.push_back(
-        table_offsets_.back() +
-        static_cast<uint32_t>(db_->table(t).num_rows()));
-    for (uint32_t r = 0; r < db_->table(t).num_rows(); ++r) {
-      node_to_tuple_.push_back(TupleId{t, r});
-    }
+  auto base = std::make_shared<GraphBase>();
+  const size_t num_tables = db_->num_tables();
+
+  // Node id regions: table-major, row-minor, plus per-table slack so rows
+  // appended by later generations keep arithmetic ids.
+  base->node_offsets.reserve(num_tables + 1);
+  base->node_offsets.push_back(0);
+  base->base_slots.reserve(num_tables);
+  table_slots_.reserve(num_tables);
+  for (uint32_t t = 0; t < num_tables; ++t) {
+    uint32_t slots = static_cast<uint32_t>(db_->table(t).num_rows());
+    base->base_slots.push_back(slots);
+    table_slots_.push_back(slots);
+    num_nodes_ += slots;
+    base->node_offsets.push_back(base->node_offsets.back() + slots +
+                                 Slack(slots));
   }
 
   // Edges come from the join-index cache; the (table, row, fk) order means
-  // edges sharing a `from` node are consecutive and ascending in fk.
+  // edges sharing a `from` node are consecutive and ascending in fk, and
+  // per-table slices are contiguous.
   const std::vector<FkEdge>& fk_edges = db_->ResolveAllFkEdges();
-  edges_.reserve(fk_edges.size());
+  base->edges.reserve(fk_edges.size());
   for (const FkEdge& fk_edge : fk_edges) {
-    edges_.push_back(DataEdge{fk_edge.from, fk_edge.to, fk_edge.fk_index});
+    base->edges.push_back(
+        DataEdge{fk_edge.from, fk_edge.to, fk_edge.fk_index});
+  }
+  base->edge_dense_offsets.assign(num_tables + 1, 0);
+  for (const DataEdge& edge : base->edges) {
+    ++base->edge_dense_offsets[edge.from.table + 1];
+  }
+  for (size_t t = 1; t < base->edge_dense_offsets.size(); ++t) {
+    base->edge_dense_offsets[t] += base->edge_dense_offsets[t - 1];
+  }
+  base->edge_offsets.reserve(num_tables + 1);
+  base->edge_offsets.push_back(0);
+  for (uint32_t t = 0; t < num_tables; ++t) {
+    uint32_t dense =
+        base->edge_dense_offsets[t + 1] - base->edge_dense_offsets[t];
+    // A table without foreign keys can never grow an edge: no slack.
+    uint32_t capacity =
+        db_->table(t).schema().foreign_keys().empty() ? 0
+                                                      : dense + Slack(dense);
+    base->edge_offsets.push_back(base->edge_offsets.back() + capacity);
   }
 
-  // Out-edge offsets: count per from-node, prefix-sum.
-  out_edge_offsets_.assign(num_nodes() + 1, 0);
-  for (const DataEdge& edge : edges_) {
-    ++out_edge_offsets_[NodeOf(edge.from) + 1];
+  auto node_of = [&base](TupleId id) {
+    return base->node_offsets[id.table] + id.row;
+  };
+
+  // Out-edge offsets: count per from-node, prefix-sum (dense indexes).
+  uint32_t bound = base->node_offsets.back();
+  base->out_edge_offsets.assign(bound + 1, 0);
+  for (const DataEdge& edge : base->edges) {
+    ++base->out_edge_offsets[node_of(edge.from) + 1];
   }
-  for (size_t n = 1; n < out_edge_offsets_.size(); ++n) {
-    out_edge_offsets_[n] += out_edge_offsets_[n - 1];
+  for (size_t n = 1; n < base->out_edge_offsets.size(); ++n) {
+    base->out_edge_offsets[n] += base->out_edge_offsets[n - 1];
   }
 
   // Undirected adjacency CSR. Two passes: degree count, then a cursor fill
-  // in edge order — per-node entries end up ordered exactly as the old
-  // vector-of-vectors push_back build (ascending edge index, referencing
-  // side first for self-links).
-  adjacency_offsets_.assign(num_nodes() + 1, 0);
-  for (const DataEdge& edge : edges_) {
-    ++adjacency_offsets_[NodeOf(edge.from) + 1];
-    ++adjacency_offsets_[NodeOf(edge.to) + 1];
+  // in ascending edge-id order — per-node entries end up ordered exactly
+  // as the old vector-of-vectors push_back build (ascending edge id,
+  // referencing side first for self-links). Gap ids get empty ranges.
+  base->adjacency_offsets.assign(bound + 1, 0);
+  for (const DataEdge& edge : base->edges) {
+    ++base->adjacency_offsets[node_of(edge.from) + 1];
+    ++base->adjacency_offsets[node_of(edge.to) + 1];
   }
-  for (size_t n = 1; n < adjacency_offsets_.size(); ++n) {
-    adjacency_offsets_[n] += adjacency_offsets_[n - 1];
+  for (size_t n = 1; n < base->adjacency_offsets.size(); ++n) {
+    base->adjacency_offsets[n] += base->adjacency_offsets[n - 1];
   }
-  adjacency_.resize(adjacency_offsets_.back());
-  std::vector<uint32_t> cursor(adjacency_offsets_.begin(),
-                               adjacency_offsets_.end() - 1);
-  for (uint32_t e = 0; e < edges_.size(); ++e) {
-    uint32_t from_node = NodeOf(edges_[e].from);
-    uint32_t to_node = NodeOf(edges_[e].to);
-    adjacency_[cursor[from_node]++] = DataAdjacency{e, to_node, true};
-    adjacency_[cursor[to_node]++] = DataAdjacency{e, from_node, false};
+  base->adjacency.resize(base->adjacency_offsets.back());
+  std::vector<uint32_t> cursor(base->adjacency_offsets.begin(),
+                               base->adjacency_offsets.end() - 1);
+  for (uint32_t t = 0; t < num_tables; ++t) {
+    for (uint32_t d = base->edge_dense_offsets[t];
+         d < base->edge_dense_offsets[t + 1]; ++d) {
+      const DataEdge& edge = base->edges[d];
+      uint32_t id = base->edge_offsets[t] + (d - base->edge_dense_offsets[t]);
+      uint32_t from_node = node_of(edge.from);
+      uint32_t to_node = node_of(edge.to);
+      base->adjacency[cursor[from_node]++] = DataAdjacency{id, to_node, true};
+      base->adjacency[cursor[to_node]++] = DataAdjacency{id, from_node, false};
+    }
   }
+
+  live_edges_ = base->edges.size();
+  appended_edges_.assign(num_tables, {});
+  base_ = std::move(base);
+}
+
+Result<std::unique_ptr<DataGraph>> DataGraph::Derive(
+    const DataGraph& prev, const Database* next_db,
+    const DatabaseDelta& delta) {
+  CLAKS_CHECK(next_db != nullptr);
+  CLAKS_CHECK(!delta.schema_changed);
+  CLAKS_CHECK_EQ(next_db->num_tables(), prev.table_slots_.size());
+  const size_t num_tables = prev.table_slots_.size();
+
+  // Count the edges each insert will append, then verify every table's id
+  // slack can absorb its new rows and edges. An exhausted region means the
+  // caller must compact (rebuild from scratch, which re-sizes regions).
+  std::vector<uint32_t> new_edges(num_tables, 0);
+  for (const DeltaOp& op : delta.inserts) {
+    const auto& fks = next_db->table(op.table).schema().foreign_keys();
+    for (uint32_t f = 0; f < fks.size(); ++f) {
+      if (next_db->JoinIndex(op.table, f).Parent(op.row) !=
+          FkJoinIndex::kNoParent) {
+        ++new_edges[op.table];
+      }
+    }
+  }
+  for (uint32_t t = 0; t < num_tables; ++t) {
+    uint32_t node_capacity =
+        prev.base_->node_offsets[t + 1] - prev.base_->node_offsets[t];
+    if (next_db->table(t).num_rows() > node_capacity) {
+      return std::unique_ptr<DataGraph>();
+    }
+    uint32_t edge_capacity =
+        prev.base_->edge_offsets[t + 1] - prev.base_->edge_offsets[t];
+    uint32_t dense = prev.base_->edge_dense_offsets[t + 1] -
+                     prev.base_->edge_dense_offsets[t];
+    if (dense + prev.appended_edges_[t].size() + new_edges[t] >
+        edge_capacity) {
+      return std::unique_ptr<DataGraph>();
+    }
+  }
+
+  std::unique_ptr<DataGraph> g(new DataGraph(prev));
+  g->db_ = next_db;
+  // All slot counts move to their post-batch values up front: a child
+  // inserted early in the batch may reference a parent row of a
+  // higher-numbered table inserted later in the same batch.
+  g->num_nodes_ = 0;
+  for (uint32_t t = 0; t < num_tables; ++t) {
+    g->table_slots_[t] = static_cast<uint32_t>(next_db->table(t).num_rows());
+    g->num_nodes_ += g->table_slots_[t];
+  }
+
+  // Deletes: drop each dead row's out-edges from both endpoints. In-edges
+  // are dropped by the (same-batch, RESTRICT-guaranteed) deletes of the
+  // referencing children themselves.
+  for (const DeltaOp& op : delta.deletes) {
+    uint32_t node = g->NodeOf(TupleId{op.table, op.row});
+    Span<DataEdge> out = g->OutEdges(node);
+    uint32_t first = g->FirstOutEdge(node);
+    for (size_t i = 0; i < out.size(); ++i) {
+      uint32_t id = first + static_cast<uint32_t>(i);
+      uint32_t to_node = g->NodeOf(out[i].to);
+      g->RemoveAdjEntry(node, id, true);
+      g->RemoveAdjEntry(to_node, id, false);
+      --g->live_edges_;
+    }
+  }
+  for (const DeltaOp& op : delta.deletes) {
+    // Join-index derivation already enforced RESTRICT; a leftover entry
+    // here would be a live child still pointing at the dead row.
+    CLAKS_CHECK(g->Neighbors(g->NodeOf(TupleId{op.table, op.row})).empty());
+  }
+
+  // Inserts, ascending (table, row): append the new row's resolved edges
+  // into its table's slack region, ids ascending.
+  for (const DeltaOp& op : delta.inserts) {
+    uint32_t node = g->NodeOf(TupleId{op.table, op.row});
+    const auto& fks = next_db->table(op.table).schema().foreign_keys();
+    uint32_t dense = prev.base_->edge_dense_offsets[op.table + 1] -
+                     prev.base_->edge_dense_offsets[op.table];
+    uint32_t start = static_cast<uint32_t>(g->appended_edges_[op.table].size());
+    uint32_t count = 0;
+    for (uint32_t f = 0; f < fks.size(); ++f) {
+      const FkJoinIndex& index = next_db->JoinIndex(op.table, f);
+      uint32_t parent = index.Parent(op.row);
+      if (!index.valid || parent == FkJoinIndex::kNoParent) continue;
+      TupleId to{index.referenced_table, parent};
+      uint32_t id =
+          g->base_->edge_offsets[op.table] + dense +
+          static_cast<uint32_t>(g->appended_edges_[op.table].size());
+      g->appended_edges_[op.table].push_back(
+          DataEdge{TupleId{op.table, op.row}, to, f});
+      uint32_t to_node = g->NodeOf(to);
+      g->InsertAdjEntry(node, DataAdjacency{id, to_node, true});
+      g->InsertAdjEntry(to_node, DataAdjacency{id, node, false});
+      ++g->live_edges_;
+      ++count;
+    }
+    if (count > 0) g->appended_out_.emplace(node, std::make_pair(start, count));
+  }
+  return g;
+}
+
+uint32_t DataGraph::TableOfNode(uint32_t node) const {
+  auto it = std::upper_bound(base_->node_offsets.begin(),
+                             base_->node_offsets.end(), node);
+  CLAKS_CHECK(it != base_->node_offsets.begin());
+  return static_cast<uint32_t>(it - base_->node_offsets.begin()) - 1;
+}
+
+uint32_t DataGraph::TableOfEdge(uint32_t edge_id) const {
+  auto it = std::upper_bound(base_->edge_offsets.begin(),
+                             base_->edge_offsets.end(), edge_id);
+  CLAKS_CHECK(it != base_->edge_offsets.begin());
+  return static_cast<uint32_t>(it - base_->edge_offsets.begin()) - 1;
+}
+
+bool DataGraph::IsNode(uint32_t id) const {
+  if (id >= node_id_bound()) return false;
+  uint32_t t = TableOfNode(id);
+  return id - base_->node_offsets[t] < table_slots_[t];
+}
+
+bool DataGraph::IsLiveNode(uint32_t id) const {
+  if (id >= node_id_bound()) return false;
+  uint32_t t = TableOfNode(id);
+  uint32_t row = id - base_->node_offsets[t];
+  return row < table_slots_[t] && !db_->table(t).IsDeleted(row);
+}
+
+bool DataGraph::IsLiveEdge(uint32_t id) const {
+  if (id >= edge_id_bound()) return false;
+  uint32_t t = TableOfEdge(id);
+  uint32_t local = id - base_->edge_offsets[t];
+  uint32_t dense = base_->edge_dense_offsets[t + 1] -
+                   base_->edge_dense_offsets[t];
+  if (local >= dense + appended_edges_[t].size()) return false;
+  const DataEdge& e = local < dense
+                          ? base_->edges[base_->edge_dense_offsets[t] + local]
+                          : appended_edges_[t][local - dense];
+  return !db_->table(e.from.table).IsDeleted(e.from.row);
 }
 
 uint32_t DataGraph::NodeOf(TupleId tuple) const {
-  // Bounds come from the offsets captured at construction, not the live
-  // database: a row inserted after the build must fail fast here, not
-  // alias the next table's first node.
+  // Bounds come from the slot counts captured at build/derive time, not
+  // the live database: a row inserted after the build must fail fast here,
+  // not alias a gap id.
   CLAKS_CHECK_LT(static_cast<size_t>(tuple.table) + 1,
-                 table_offsets_.size());
-  CLAKS_CHECK_LT(tuple.row, table_offsets_[tuple.table + 1] -
-                                table_offsets_[tuple.table]);
-  return table_offsets_[tuple.table] + tuple.row;
+                 base_->node_offsets.size());
+  CLAKS_CHECK_LT(tuple.row, table_slots_[tuple.table]);
+  return base_->node_offsets[tuple.table] + tuple.row;
 }
 
 TupleId DataGraph::TupleOf(uint32_t node) const {
-  CLAKS_CHECK_LT(node, node_to_tuple_.size());
-  return node_to_tuple_[node];
+  CLAKS_CHECK_LT(node, node_id_bound());
+  uint32_t t = TableOfNode(node);
+  uint32_t row = node - base_->node_offsets[t];
+  CLAKS_CHECK_LT(row, table_slots_[t]);
+  return TupleId{t, row};
 }
 
 const DataEdge& DataGraph::edge(uint32_t edge_index) const {
-  CLAKS_CHECK_LT(edge_index, edges_.size());
-  return edges_[edge_index];
+  CLAKS_CHECK_LT(edge_index, edge_id_bound());
+  uint32_t t = TableOfEdge(edge_index);
+  uint32_t local = edge_index - base_->edge_offsets[t];
+  uint32_t dense = base_->edge_dense_offsets[t + 1] -
+                   base_->edge_dense_offsets[t];
+  if (local < dense) {
+    return base_->edges[base_->edge_dense_offsets[t] + local];
+  }
+  CLAKS_CHECK_LT(local - dense, appended_edges_[t].size());
+  return appended_edges_[t][local - dense];
+}
+
+std::vector<uint32_t> DataGraph::EdgeIds() const {
+  std::vector<uint32_t> ids;
+  ids.reserve(live_edges_);
+  for (uint32_t t = 0; t < table_slots_.size(); ++t) {
+    uint32_t dense = base_->edge_dense_offsets[t + 1] -
+                     base_->edge_dense_offsets[t];
+    for (uint32_t local = 0; local < dense; ++local) {
+      const DataEdge& e = base_->edges[base_->edge_dense_offsets[t] + local];
+      if (!db_->table(e.from.table).IsDeleted(e.from.row)) {
+        ids.push_back(base_->edge_offsets[t] + local);
+      }
+    }
+    for (uint32_t i = 0; i < appended_edges_[t].size(); ++i) {
+      const DataEdge& e = appended_edges_[t][i];
+      if (!db_->table(e.from.table).IsDeleted(e.from.row)) {
+        ids.push_back(base_->edge_offsets[t] + dense + i);
+      }
+    }
+  }
+  return ids;
 }
 
 Span<DataAdjacency> DataGraph::Neighbors(uint32_t node) const {
-  CLAKS_CHECK_LT(node, num_nodes());
+  CLAKS_CHECK_LT(node, node_id_bound());
+  if (!adj_overrides_.empty()) {
+    auto it = adj_overrides_.find(node);
+    if (it != adj_overrides_.end()) {
+      return Span<DataAdjacency>(it->second.data(), it->second.size());
+    }
+  }
   return Span<DataAdjacency>(
-      adjacency_.data() + adjacency_offsets_[node],
-      adjacency_offsets_[node + 1] - adjacency_offsets_[node]);
+      base_->adjacency.data() + base_->adjacency_offsets[node],
+      base_->adjacency_offsets[node + 1] - base_->adjacency_offsets[node]);
 }
 
 Span<DataEdge> DataGraph::OutEdges(uint32_t node) const {
-  CLAKS_CHECK_LT(node, num_nodes());
-  return Span<DataEdge>(edges_.data() + out_edge_offsets_[node],
-                        out_edge_offsets_[node + 1] - out_edge_offsets_[node]);
+  CLAKS_CHECK_LT(node, node_id_bound());
+  uint32_t t = TableOfNode(node);
+  uint32_t row = node - base_->node_offsets[t];
+  if (row < base_->base_slots[t]) {
+    return Span<DataEdge>(
+        base_->edges.data() + base_->out_edge_offsets[node],
+        base_->out_edge_offsets[node + 1] - base_->out_edge_offsets[node]);
+  }
+  auto it = appended_out_.find(node);
+  if (it == appended_out_.end()) return {};
+  return Span<DataEdge>(appended_edges_[t].data() + it->second.first,
+                        it->second.second);
 }
 
 uint32_t DataGraph::FirstOutEdge(uint32_t node) const {
-  CLAKS_CHECK_LT(node, num_nodes());
-  return out_edge_offsets_[node];
+  CLAKS_CHECK_LT(node, node_id_bound());
+  uint32_t t = TableOfNode(node);
+  uint32_t row = node - base_->node_offsets[t];
+  if (row < base_->base_slots[t]) {
+    return base_->edge_offsets[t] +
+           (base_->out_edge_offsets[node] - base_->edge_dense_offsets[t]);
+  }
+  uint32_t dense = base_->edge_dense_offsets[t + 1] -
+                   base_->edge_dense_offsets[t];
+  auto it = appended_out_.find(node);
+  uint32_t start = it == appended_out_.end()
+                       ? static_cast<uint32_t>(appended_edges_[t].size())
+                       : it->second.first;
+  return base_->edge_offsets[t] + dense + start;
 }
 
 std::optional<uint32_t> DataGraph::OutEdge(uint32_t node,
                                            uint32_t fk_index) const {
   Span<DataEdge> out = OutEdges(node);
   for (size_t i = 0; i < out.size(); ++i) {
-    if (out[i].fk_index == fk_index) return out_edge_offsets_[node] + i;
+    if (out[i].fk_index == fk_index) {
+      return FirstOutEdge(node) + static_cast<uint32_t>(i);
+    }
   }
   return std::nullopt;
 }
 
+bool DataGraph::IsCompact() const {
+  if (!adj_overrides_.empty() || !appended_out_.empty()) return false;
+  for (const auto& appended : appended_edges_) {
+    if (!appended.empty()) return false;
+  }
+  return table_slots_ == base_->base_slots;
+}
+
 size_t DataGraph::MaxDegree() const {
+  // Tombstoned nodes carry empty override lists and gap ids empty base
+  // ranges, so the plain sweep counts live nodes only.
   size_t max_degree = 0;
-  for (uint32_t n = 0; n < num_nodes(); ++n) {
-    max_degree = std::max(
-        max_degree,
-        static_cast<size_t>(adjacency_offsets_[n + 1] -
-                            adjacency_offsets_[n]));
+  for (uint32_t n = 0; n < node_id_bound(); ++n) {
+    max_degree = std::max(max_degree, Neighbors(n).size());
   }
   return max_degree;
 }
 
 double DataGraph::AvgDegree() const {
   if (num_nodes() == 0) return 0.0;
-  return 2.0 * static_cast<double>(edges_.size()) /
+  return 2.0 * static_cast<double>(num_edges()) /
          static_cast<double>(num_nodes());
 }
 
 size_t DataGraph::CountConnectedComponents() const {
-  std::vector<bool> seen(num_nodes(), false);
+  std::vector<bool> seen(node_id_bound(), false);
   size_t components = 0;
-  for (uint32_t start = 0; start < num_nodes(); ++start) {
-    if (seen[start]) continue;
+  for (uint32_t start = 0; start < node_id_bound(); ++start) {
+    if (seen[start] || !IsLiveNode(start)) continue;
     ++components;
     std::deque<uint32_t> queue{start};
     seen[start] = true;
@@ -155,15 +401,52 @@ size_t DataGraph::CountConnectedComponents() const {
 std::string DataGraph::ToString(size_t max_edges) const {
   std::string out = StrFormat("DATA GRAPH: %zu nodes, %zu edges\n",
                               num_nodes(), num_edges());
-  size_t shown = std::min(max_edges, edges_.size());
-  for (size_t e = 0; e < shown; ++e) {
-    out += "  " + db_->TupleLabel(edges_[e].from) + " -> " +
-           db_->TupleLabel(edges_[e].to) + "\n";
+  std::vector<uint32_t> ids = EdgeIds();
+  size_t shown = std::min(max_edges, ids.size());
+  for (size_t i = 0; i < shown; ++i) {
+    const DataEdge& e = edge(ids[i]);
+    out += "  " + db_->TupleLabel(e.from) + " -> " + db_->TupleLabel(e.to) +
+           "\n";
   }
-  if (shown < edges_.size()) {
-    out += StrFormat("  ... (%zu more edges)\n", edges_.size() - shown);
+  if (shown < ids.size()) {
+    out += StrFormat("  ... (%zu more edges)\n", ids.size() - shown);
   }
   return out;
+}
+
+std::vector<DataAdjacency>& DataGraph::MutableAdj(uint32_t node) {
+  auto it = adj_overrides_.find(node);
+  if (it != adj_overrides_.end()) return it->second;
+  Span<DataAdjacency> current(
+      base_->adjacency.data() + base_->adjacency_offsets[node],
+      base_->adjacency_offsets[node + 1] - base_->adjacency_offsets[node]);
+  return adj_overrides_
+      .emplace(node,
+               std::vector<DataAdjacency>(current.begin(), current.end()))
+      .first->second;
+}
+
+void DataGraph::RemoveAdjEntry(uint32_t node, uint32_t edge_id,
+                               bool along_fk) {
+  std::vector<DataAdjacency>& list = MutableAdj(node);
+  for (auto it = list.begin(); it != list.end(); ++it) {
+    if (it->edge_index == edge_id && it->along_fk == along_fk) {
+      list.erase(it);
+      return;
+    }
+  }
+  CLAKS_CHECK(false);  // the edge being removed must be present
+}
+
+void DataGraph::InsertAdjEntry(uint32_t node, DataAdjacency entry) {
+  std::vector<DataAdjacency>& list = MutableAdj(node);
+  auto pos = std::lower_bound(
+      list.begin(), list.end(), entry,
+      [](const DataAdjacency& a, const DataAdjacency& b) {
+        if (a.edge_index != b.edge_index) return a.edge_index < b.edge_index;
+        return a.along_fk && !b.along_fk;  // referencing side first
+      });
+  list.insert(pos, entry);
 }
 
 }  // namespace claks

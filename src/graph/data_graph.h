@@ -4,13 +4,27 @@
 // instance link. Every "connection of tuples" the paper discusses is a
 // subgraph of this graph.
 //
-// Storage is a compact CSR (compressed sparse row): node ids are dense
-// uint32_t assigned table-major/row-minor, so NodeOf is pure arithmetic
-// over per-table offsets, and adjacency lists are ranges of one flat
-// array — cache-friendly iteration with no per-node allocations. Edges
-// come from the Database's cached FK-edge list (Database::ResolveAllFkEdges,
-// built once by the join-index step), so constructing the graph never
-// rescans tables.
+// Storage is a compact CSR (compressed sparse row) with *slack-gapped*
+// stable ids, split into a frozen base shared between engine generations
+// and a per-generation overlay (the delta mutation path, core/engine.h):
+//
+//   - Node ids are table-major/row-minor over per-table id regions sized
+//     rows + slack, so NodeOf stays pure arithmetic AND a row appended
+//     after the freeze lands in its table's slack gap without renumbering
+//     any other node. Ids are monotone in (table, row) — the tie-break
+//     order every ranker observes — so a delta-derived graph orders nodes
+//     exactly like a graph rebuilt from scratch.
+//   - Edge ids likewise live in per-table regions (dense prefix + slack);
+//     edges appended for inserted rows take ascending ids in the gap.
+//   - The adjacency CSR and dense edge array freeze into the shared
+//     GraphBase; a generation that mutates a node's neighborhood installs
+//     a full replacement list in `adj_overrides_` (same canonical order),
+//     and appended rows keep their out-edges in per-table append logs.
+//
+// Derive() applies a DatabaseDelta in O(delta · degree); when a table's
+// slack is exhausted it signals the caller to compact — i.e. rebuild from
+// scratch, which re-sizes every region from the current row counts and is
+// byte-identical to a cold build over an equivalent database.
 //
 // Entry points: the engine builds one DataGraph per database and every
 // search method (core/enumerator.h, core/mtjnt.h, core/topk.h,
@@ -21,12 +35,17 @@
 #define CLAKS_GRAPH_DATA_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/result.h"
 #include "common/span.h"
 #include "relational/database.h"
+#include "relational/delta.h"
 
 namespace claks {
 
@@ -48,7 +67,7 @@ struct DataAdjacency {
   bool along_fk = true;
 };
 
-/// Dense-node-id view of a database's tuples and FK links.
+/// Slack-gapped stable-id view of a database's tuples and FK links.
 class DataGraph {
  public:
   /// Builds the graph over all tuples of `db`, triggering the database's
@@ -56,12 +75,36 @@ class DataGraph {
   /// outlive the graph.
   explicit DataGraph(const Database* db);
 
+  /// Derives the next generation's graph from `prev` plus the row delta,
+  /// in O(delta · degree). `next_db`'s join indexes must already be
+  /// derived (they resolve the inserted rows' FK targets). Returns a null
+  /// graph — not an error — when a table's id slack is exhausted: the
+  /// caller must compact by rebuilding from scratch.
+  static Result<std::unique_ptr<DataGraph>> Derive(
+      const DataGraph& prev, const Database* next_db,
+      const DatabaseDelta& delta);
+
   const Database& database() const { return *db_; }
 
-  size_t num_nodes() const { return node_to_tuple_.size(); }
-  size_t num_edges() const { return edges_.size(); }
+  /// Number of row slots (live + tombstoned); node ids are NOT dense in
+  /// [0, num_nodes()) — iterate with node_id_bound() + IsNode().
+  size_t num_nodes() const { return num_nodes_; }
+  /// Number of live edges; same caveat — see edge_id_bound().
+  size_t num_edges() const { return live_edges_; }
 
-  /// Node id of a tuple. Every tuple of the database has a node; O(1)
+  /// Exclusive upper bound of node ids (includes slack gaps).
+  uint32_t node_id_bound() const { return base_->node_offsets.back(); }
+  /// Exclusive upper bound of edge ids (includes slack gaps).
+  uint32_t edge_id_bound() const { return base_->edge_offsets.back(); }
+
+  /// True when `id` addresses an existing row slot (possibly tombstoned).
+  bool IsNode(uint32_t id) const;
+  /// True when `id` addresses a live (non-tombstoned) row.
+  bool IsLiveNode(uint32_t id) const;
+  /// True when `id` addresses a live edge (one whose owning row lives).
+  bool IsLiveEdge(uint32_t id) const;
+
+  /// Node id of a tuple. Every row slot of the database has a node; O(1)
   /// arithmetic (no hashing). CLAKS_CHECKs bounds.
   uint32_t NodeOf(TupleId tuple) const;
 
@@ -70,15 +113,20 @@ class DataGraph {
 
   const DataEdge& edge(uint32_t edge_index) const;
 
+  /// Live edge ids in canonical ascending order — the delta-path
+  /// replacement for iterating [0, num_edges()).
+  std::vector<uint32_t> EdgeIds() const;
+
   /// Edges incident to `node`, both directions, deterministic order (by
-  /// edge index; the referencing-side entry of a self-link comes first).
-  /// The span is a view into the CSR array — valid as long as the graph.
+  /// edge id; the referencing-side entry of a self-link comes first).
+  /// Tombstoned nodes have no neighbors. The span is a view into the CSR
+  /// array or this generation's override — valid as long as the graph.
   Span<DataAdjacency> Neighbors(uint32_t node) const;
 
   /// Edges leaving `node` as the referencing side, ascending fk order —
   /// its tuple's resolved foreign keys (NULL/dangling FKs absent). The
-  /// span views the contiguous slice of the edge array; the edge index of
-  /// entry i is FirstOutEdge(node) + i.
+  /// edge id of entry i is FirstOutEdge(node) + i. A tombstoned node
+  /// reports the out-edges it had while alive.
   Span<DataEdge> OutEdges(uint32_t node) const;
   uint32_t FirstOutEdge(uint32_t node) const;
 
@@ -88,28 +136,69 @@ class DataGraph {
 
   size_t Degree(uint32_t node) const { return Neighbors(node).size(); }
 
-  /// Maximum and average node degree (graph shape diagnostics).
+  /// True when this graph carries no overlay (fresh build or a derive
+  /// chain that never mutated anything).
+  bool IsCompact() const;
+
+  /// Maximum and average live-node degree (graph shape diagnostics).
   size_t MaxDegree() const;
   double AvgDegree() const;
 
-  /// Number of connected components.
+  /// Number of connected components over live nodes.
   size_t CountConnectedComponents() const;
 
   std::string ToString(size_t max_edges = 50) const;
 
  private:
-  const Database* db_;
-  std::vector<TupleId> node_to_tuple_;
-  std::vector<uint32_t> table_offsets_;  ///< first node id per table, +1
-  std::vector<DataEdge> edges_;
-  // CSR adjacency: neighbors of node n are
-  // adjacency_[adjacency_offsets_[n] .. adjacency_offsets_[n+1]).
-  std::vector<uint32_t> adjacency_offsets_;
-  std::vector<DataAdjacency> adjacency_;
-  // Edges with `from` == node n occupy the contiguous slice
-  // edges_[out_edge_offsets_[n] .. out_edge_offsets_[n+1]) (edge order is
-  // table-major/row-minor/fk, matching node-id order).
-  std::vector<uint32_t> out_edge_offsets_;
+  /// Extra id head-room reserved per table region at (re)build time.
+  static uint32_t Slack(uint32_t n) { return n / 8 + 8; }
+
+  /// Frozen at build time, shared across derived generations.
+  struct GraphBase {
+    /// First node id per table (+ final bound); region t is sized
+    /// base_slots[t] + Slack(base_slots[t]).
+    std::vector<uint32_t> node_offsets;
+    std::vector<uint32_t> base_slots;  ///< row slots per table at freeze
+    /// Dense edge array, canonical (table, row, fk) order, live at freeze.
+    std::vector<DataEdge> edges;
+    std::vector<uint32_t> edge_dense_offsets;  ///< per-table slice of edges
+    /// First edge id per table (+ bound); region sized dense + slack
+    /// (zero for tables without foreign keys).
+    std::vector<uint32_t> edge_offsets;
+    // CSR over node ids (gap ids have empty ranges). out_edge_offsets
+    // holds dense indexes into `edges`; adjacency entries hold edge ids.
+    std::vector<uint32_t> out_edge_offsets;
+    std::vector<uint32_t> adjacency_offsets;
+    std::vector<DataAdjacency> adjacency;
+  };
+
+  DataGraph() = default;
+
+  uint32_t TableOfNode(uint32_t node) const;
+  uint32_t TableOfEdge(uint32_t edge_id) const;
+  /// The mutable adjacency list of `node`, materializing a copy of its
+  /// frozen base list on first touch.
+  std::vector<DataAdjacency>& MutableAdj(uint32_t node);
+  void RemoveAdjEntry(uint32_t node, uint32_t edge_id, bool along_fk);
+  void InsertAdjEntry(uint32_t node, DataAdjacency entry);
+
+  const Database* db_ = nullptr;
+  std::shared_ptr<const GraphBase> base_;
+  // Per-generation state (copied on derive, O(overlay)):
+  std::vector<uint32_t> table_slots_;  ///< current row slots per table
+  size_t num_nodes_ = 0;
+  size_t live_edges_ = 0;
+  /// Edges appended since the freeze, per table, ascending (row, fk); the
+  /// edge with per-table append index i has id
+  /// edge_offsets[t] + dense_count(t) + i. Entries are never removed — a
+  /// dead appended edge keeps its slot so later ids stay stable.
+  std::vector<std::vector<DataEdge>> appended_edges_;
+  /// Out-edge slice (start, len) into appended_edges_[table] for rows
+  /// appended since the freeze.
+  std::unordered_map<uint32_t, std::pair<uint32_t, uint32_t>> appended_out_;
+  /// Full replacement adjacency lists (canonical order) for nodes whose
+  /// neighborhood changed since the freeze.
+  std::unordered_map<uint32_t, std::vector<DataAdjacency>> adj_overrides_;
 };
 
 }  // namespace claks

@@ -24,10 +24,10 @@ std::vector<size_t> BfsDistances(const DataGraph& graph, uint32_t source) {
 
 std::vector<size_t> BfsDistances(const DataGraph& graph,
                                  const std::vector<uint32_t>& sources) {
-  std::vector<size_t> dist(graph.num_nodes(), SIZE_MAX);
+  std::vector<size_t> dist(graph.node_id_bound(), SIZE_MAX);
   std::deque<uint32_t> queue;
   for (uint32_t s : sources) {
-    CLAKS_CHECK_LT(s, graph.num_nodes());
+    CLAKS_CHECK_LT(s, graph.node_id_bound());
     if (dist[s] == SIZE_MAX) {
       dist[s] = 0;
       queue.push_back(s);
@@ -48,10 +48,11 @@ std::vector<size_t> BfsDistances(const DataGraph& graph,
 std::optional<NodePath> ShortestPath(const DataGraph& graph, uint32_t from,
                                      uint32_t to) {
   if (from == to) return NodePath{from, {}};
-  std::vector<std::optional<DataAdjacency>> parent_step(graph.num_nodes());
-  std::vector<uint32_t> parent(graph.num_nodes(), UINT32_MAX);
+  std::vector<std::optional<DataAdjacency>> parent_step(
+      graph.node_id_bound());
+  std::vector<uint32_t> parent(graph.node_id_bound(), UINT32_MAX);
   std::deque<uint32_t> queue{from};
-  std::vector<bool> seen(graph.num_nodes(), false);
+  std::vector<bool> seen(graph.node_id_bound(), false);
   seen[from] = true;
   while (!queue.empty()) {
     uint32_t cur = queue.front();
@@ -141,7 +142,7 @@ void AppendSimplePathsFromSource(const DataGraph& graph, uint32_t source,
   }
   PathEnumerator enumerator{graph,       max_edges, max_results,
                             &target_set, out,       {},
-                            std::vector<bool>(graph.num_nodes(), false),
+                            std::vector<bool>(graph.node_id_bound(), false),
                             source};
   enumerator.on_path[source] = true;
   enumerator.Recurse(source);

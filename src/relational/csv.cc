@@ -137,6 +137,7 @@ std::string TableToCsv(const Table& table, char sep) {
   }
   out += '\n';
   for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (table.IsDeleted(r)) continue;
     const Row& row = table.row(r);
     for (size_t i = 0; i < row.size(); ++i) {
       if (i > 0) out += sep;

@@ -2,8 +2,11 @@
 
 #include "relational/database.h"
 
+#include <algorithm>
+
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "relational/delta.h"
 
 namespace claks {
 
@@ -120,6 +123,7 @@ Status Database::CheckReferentialIntegrity() const {
         local_indices.push_back(*idx);
       }
       for (size_t r = 0; r < tab.num_rows(); ++r) {
+        if (tab.IsDeleted(r)) continue;
         const Row& row = tab.row(r);
         bool any_null = false;
         for (size_t idx : local_indices) {
@@ -139,8 +143,12 @@ Status Database::CheckReferentialIntegrity() const {
 
 bool Database::JoinIndexesFreshLocked() const {
   if (indexed_row_counts_.size() != tables_.size()) return false;
+  if (indexed_tombstone_counts_.size() != tables_.size()) return false;
   for (size_t t = 0; t < tables_.size(); ++t) {
     if (indexed_row_counts_[t] != tables_[t]->num_rows()) return false;
+    if (indexed_tombstone_counts_[t] != tables_[t]->tombstone_count()) {
+      return false;
+    }
   }
   return true;
 }
@@ -166,10 +174,12 @@ void Database::BuildJoinIndexes() const {
   }
   join_indexes_.assign(tables_.size(), {});
   indexed_row_counts_.resize(tables_.size());
+  indexed_tombstone_counts_.resize(tables_.size());
 
   for (uint32_t t = 0; t < tables_.size(); ++t) {
     const Table& tab = *tables_[t];
     indexed_row_counts_[t] = tab.num_rows();
+    indexed_tombstone_counts_[t] = tab.tombstone_count();
     const auto& fks = tab.schema().foreign_keys();
     join_indexes_[t].resize(fks.size());
     for (uint32_t f = 0; f < fks.size(); ++f) {
@@ -177,7 +187,8 @@ void Database::BuildJoinIndexes() const {
       FkJoinIndex& index = join_indexes_[t][f];
       index.table = t;
       index.fk_index = f;
-      index.parent_row.assign(tab.num_rows(), FkJoinIndex::kNoParent);
+      auto base = std::make_shared<FkJoinIndex::Base>();
+      base->parent_row.assign(tab.num_rows(), FkJoinIndex::kNoParent);
 
       auto ref_index = TableIndex(fk.referenced_table);
       std::vector<size_t> local_indices;
@@ -191,58 +202,258 @@ void Database::BuildJoinIndexes() const {
         }
         local_indices.push_back(*idx);
       }
-      if (!ref_index.has_value() || !resolved_attrs) continue;
+      if (!ref_index.has_value() || !resolved_attrs) {
+        index.base = std::move(base);
+        continue;
+      }
       index.referenced_table = *ref_index;
       index.valid = true;
       const Table& referenced = *tables_[*ref_index];
 
-      // Child->parent: one hash probe per row.
+      // Child->parent: one hash probe per live row (tombstoned child rows
+      // keep kNoParent — no edges out of the dead).
       for (uint32_t r = 0; r < tab.num_rows(); ++r) {
+        if (tab.IsDeleted(r)) continue;
         auto target = ResolveOneFk(tab.row(r), local_indices, referenced);
         if (target.has_value()) {
-          index.parent_row[r] = static_cast<uint32_t>(*target);
+          base->parent_row[r] = static_cast<uint32_t>(*target);
         }
       }
 
       // Parent->children CSR: count, prefix-sum, fill (rows ascending).
-      index.child_offsets.assign(referenced.num_rows() + 1, 0);
-      for (uint32_t parent : index.parent_row) {
+      base->child_offsets.assign(referenced.num_rows() + 1, 0);
+      for (uint32_t parent : base->parent_row) {
         if (parent != FkJoinIndex::kNoParent) {
-          ++index.child_offsets[parent + 1];
+          ++base->child_offsets[parent + 1];
         }
       }
-      for (size_t p = 1; p < index.child_offsets.size(); ++p) {
-        index.child_offsets[p] += index.child_offsets[p - 1];
+      for (size_t p = 1; p < base->child_offsets.size(); ++p) {
+        base->child_offsets[p] += base->child_offsets[p - 1];
       }
-      index.child_rows.resize(index.child_offsets.back());
-      std::vector<uint32_t> cursor(index.child_offsets.begin(),
-                                   index.child_offsets.end() - 1);
-      for (uint32_t r = 0; r < index.parent_row.size(); ++r) {
-        uint32_t parent = index.parent_row[r];
+      base->child_rows.resize(base->child_offsets.back());
+      std::vector<uint32_t> cursor(base->child_offsets.begin(),
+                                   base->child_offsets.end() - 1);
+      for (uint32_t r = 0; r < base->parent_row.size(); ++r) {
+        uint32_t parent = base->parent_row[r];
         if (parent != FkJoinIndex::kNoParent) {
-          index.child_rows[cursor[parent]++] = r;
+          base->child_rows[cursor[parent]++] = r;
         }
       }
+      index.base = std::move(base);
     }
   }
 
-  // Cached edge list in the canonical (table, row, fk) order.
+  RebuildFkEdgesLocked();
+  fk_edges_built_.store(true, std::memory_order_release);
+  join_indexes_built_.store(true, std::memory_order_release);
+}
+
+void Database::RebuildFkEdgesLocked() const {
+  // Canonical (table, row, fk) order; tombstoned rows have no parents so
+  // the Parent() == kNoParent test covers them.
   all_fk_edges_.clear();
   for (uint32_t t = 0; t < tables_.size(); ++t) {
     const auto& indexes = join_indexes_[t];
     for (uint32_t r = 0; r < tables_[t]->num_rows(); ++r) {
       for (uint32_t f = 0; f < indexes.size(); ++f) {
         const FkJoinIndex& index = indexes[f];
-        if (!index.valid || index.parent_row[r] == FkJoinIndex::kNoParent) {
-          continue;
-        }
+        uint32_t parent = index.Parent(r);
+        if (!index.valid || parent == FkJoinIndex::kNoParent) continue;
         all_fk_edges_.push_back(
-            FkEdge{TupleId{t, r},
-                   TupleId{index.referenced_table, index.parent_row[r]}, f});
+            FkEdge{TupleId{t, r}, TupleId{index.referenced_table, parent},
+                   f});
       }
     }
   }
+}
+
+Status Database::DeriveJoinIndexes(const Database& prev,
+                                   const DatabaseDelta& delta) const {
+  CLAKS_CHECK(!delta.schema_changed);
+  CLAKS_CHECK(prev.JoinIndexesFresh());
+  std::lock_guard<std::mutex> lock(join_index_mutex_);
+  join_indexes_built_.store(false, std::memory_order_relaxed);
+  fk_edges_built_.store(false, std::memory_order_relaxed);
+  join_indexes_ = prev.join_indexes_;  // shares bases, copies overlays
+
+  // Deletes: un-link the dead child from its parent on every FK it owns.
+  for (const DeltaOp& op : delta.deletes) {
+    for (FkJoinIndex& index : join_indexes_[op.table]) {
+      if (!index.valid) continue;
+      uint32_t parent = index.Parent(op.row);
+      if (parent == FkJoinIndex::kNoParent) continue;
+      auto it = index.children_overrides.find(parent);
+      if (it == index.children_overrides.end()) {
+        Span<uint32_t> kids = index.Children(parent);
+        it = index.children_overrides
+                 .emplace(parent,
+                          std::vector<uint32_t>(kids.begin(), kids.end()))
+                 .first;
+      }
+      auto pos = std::lower_bound(it->second.begin(), it->second.end(),
+                                  op.row);
+      if (pos != it->second.end() && *pos == op.row) it->second.erase(pos);
+      if (op.row < index.base->parent_row.size()) {
+        index.parent_overrides[op.row] = FkJoinIndex::kNoParent;
+      } else {
+        index.tail_parent_row[op.row - index.base->parent_row.size()] =
+            FkJoinIndex::kNoParent;
+      }
+    }
+  }
+
+  // Inserts, ascending (table, row): resolve each FK against this (the
+  // post-batch) state. A non-NULL FK that resolves to nothing is dangling.
+  for (const DeltaOp& op : delta.inserts) {
+    const Table& tab = *tables_[op.table];
+    const Row& row = tab.row(op.row);
+    const auto& fks = tab.schema().foreign_keys();
+    for (uint32_t f = 0; f < fks.size(); ++f) {
+      FkJoinIndex& index = join_indexes_[op.table][f];
+      // Grow the child->parent tail up to this slot (kNoParent padding
+      // covers same-batch insert+delete slots skipped by the delta).
+      while (index.child_slots() <= op.row) {
+        index.tail_parent_row.push_back(FkJoinIndex::kNoParent);
+      }
+      if (!index.valid) continue;
+      std::vector<size_t> local_indices;
+      local_indices.reserve(fks[f].local_attributes.size());
+      for (const auto& attr : fks[f].local_attributes) {
+        auto idx = tab.schema().AttributeIndex(attr);
+        CLAKS_CHECK(idx.has_value());
+        local_indices.push_back(*idx);
+      }
+      bool any_null = false;
+      for (size_t idx : local_indices) {
+        if (row[idx].is_null()) any_null = true;
+      }
+      if (any_null) continue;
+      const Table& referenced = *tables_[index.referenced_table];
+      auto target = ResolveOneFk(row, local_indices, referenced);
+      if (!target.has_value()) {
+        return Status::IntegrityViolation(StrFormat(
+            "dangling foreign key: %s row %u -> %s", tab.name().c_str(),
+            op.row, fks[f].referenced_table.c_str()));
+      }
+      uint32_t parent = static_cast<uint32_t>(*target);
+      if (op.row < index.base->parent_row.size()) {
+        index.parent_overrides[op.row] = parent;
+      } else {
+        index.tail_parent_row[op.row - index.base->parent_row.size()] =
+            parent;
+      }
+      auto it = index.children_overrides.find(parent);
+      if (it == index.children_overrides.end()) {
+        Span<uint32_t> kids = index.Children(parent);
+        it = index.children_overrides
+                 .emplace(parent,
+                          std::vector<uint32_t>(kids.begin(), kids.end()))
+                 .first;
+      }
+      auto pos = std::lower_bound(it->second.begin(), it->second.end(),
+                                  op.row);
+      it->second.insert(pos, op.row);
+    }
+  }
+
+  // RESTRICT: after the whole batch, no live child may still reference a
+  // deleted row (same-batch child deletions were already unlinked above).
+  for (const DeltaOp& op : delta.deletes) {
+    for (const auto& per_table : join_indexes_) {
+      for (const FkJoinIndex& index : per_table) {
+        if (!index.valid || index.referenced_table != op.table) continue;
+        if (!index.Children(op.row).empty()) {
+          return Status::IntegrityViolation(StrFormat(
+              "cannot delete %s row %u: still referenced by %s",
+              tables_[op.table]->name().c_str(), op.row,
+              tables_[index.table]->name().c_str()));
+        }
+      }
+    }
+  }
+
+  indexed_row_counts_.resize(tables_.size());
+  indexed_tombstone_counts_.resize(tables_.size());
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    indexed_row_counts_[t] = tables_[t]->num_rows();
+    indexed_tombstone_counts_[t] = tables_[t]->tombstone_count();
+  }
   join_indexes_built_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void Database::CompactJoinIndexes() const {
+  std::lock_guard<std::mutex> lock(join_index_mutex_);
+  if (!join_indexes_built_.load(std::memory_order_relaxed)) return;
+  for (auto& per_table : join_indexes_) {
+    for (FkJoinIndex& index : per_table) {
+      if (index.IsCompact()) continue;
+      auto next = std::make_shared<FkJoinIndex::Base>();
+      // Fold child->parent: base + overrides + tail, pure array work.
+      next->parent_row = index.base->parent_row;
+      for (const auto& [child, parent] : index.parent_overrides) {
+        next->parent_row[child] = parent;
+      }
+      next->parent_row.insert(next->parent_row.end(),
+                              index.tail_parent_row.begin(),
+                              index.tail_parent_row.end());
+      if (!index.valid) {
+        // Build leaves the CSR empty for unresolvable FKs; match it.
+        index.base = std::move(next);
+        index.tail_parent_row.clear();
+        index.parent_overrides.clear();
+        index.children_overrides.clear();
+        continue;
+      }
+      // Re-derive the CSR exactly as BuildJoinIndexes does.
+      next->child_offsets.assign(
+          tables_[index.referenced_table]->num_rows() + 1, 0);
+      for (uint32_t parent : next->parent_row) {
+        if (parent != FkJoinIndex::kNoParent) {
+          ++next->child_offsets[parent + 1];
+        }
+      }
+      for (size_t p = 1; p < next->child_offsets.size(); ++p) {
+        next->child_offsets[p] += next->child_offsets[p - 1];
+      }
+      next->child_rows.resize(next->child_offsets.back());
+      std::vector<uint32_t> cursor(next->child_offsets.begin(),
+                                   next->child_offsets.end() - 1);
+      for (uint32_t r = 0; r < next->parent_row.size(); ++r) {
+        uint32_t parent = next->parent_row[r];
+        if (parent != FkJoinIndex::kNoParent) {
+          next->child_rows[cursor[parent]++] = r;
+        }
+      }
+      index.base = std::move(next);
+      index.tail_parent_row.clear();
+      index.parent_overrides.clear();
+      index.children_overrides.clear();
+    }
+  }
+}
+
+bool Database::JoinIndexesCompact() const {
+  if (!join_indexes_built_.load(std::memory_order_acquire)) return true;
+  for (const auto& per_table : join_indexes_) {
+    for (const FkJoinIndex& index : per_table) {
+      if (!index.IsCompact()) return false;
+    }
+  }
+  return true;
+}
+
+size_t Database::JoinOverlayOps() const {
+  if (!join_indexes_built_.load(std::memory_order_acquire)) return 0;
+  size_t ops = 0;
+  for (const auto& per_table : join_indexes_) {
+    for (const FkJoinIndex& index : per_table) ops += index.OverlayOps();
+  }
+  return ops;
+}
+
+void Database::CompactStorage() {
+  for (auto& table : tables_) table->Rebase();
 }
 
 const FkJoinIndex& Database::JoinIndex(uint32_t table_index,
@@ -256,8 +467,8 @@ const FkJoinIndex& Database::JoinIndex(uint32_t table_index,
 std::optional<TupleId> Database::JoinParent(TupleId child,
                                             uint32_t fk_index) const {
   const FkJoinIndex& index = JoinIndex(child.table, fk_index);
-  CLAKS_CHECK_LT(child.row, index.parent_row.size());
-  uint32_t parent = index.parent_row[child.row];
+  CLAKS_CHECK_LT(child.row, index.child_slots());
+  uint32_t parent = index.Parent(child.row);
   if (!index.valid || parent == FkJoinIndex::kNoParent) return std::nullopt;
   return TupleId{index.referenced_table, parent};
 }
@@ -272,6 +483,15 @@ Span<uint32_t> Database::JoinChildren(uint32_t child_table,
 
 const std::vector<FkEdge>& Database::ResolveAllFkEdges() const {
   BuildJoinIndexes();
+  // The delta derive path leaves the canonical list stale; regenerate it
+  // on first demand from the (fresh) overlay indexes.
+  if (!fk_edges_built_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(join_index_mutex_);
+    if (!fk_edges_built_.load(std::memory_order_relaxed)) {
+      RebuildFkEdgesLocked();
+      fk_edges_built_.store(true, std::memory_order_release);
+    }
+  }
   return all_fk_edges_;
 }
 
@@ -280,6 +500,7 @@ std::vector<FkEdge> Database::ScanAllFkEdges() const {
   for (uint32_t t = 0; t < tables_.size(); ++t) {
     const Table& tab = *tables_[t];
     for (uint32_t r = 0; r < tab.num_rows(); ++r) {
+      if (tab.IsDeleted(r)) continue;
       auto row_edges = ResolveFkEdgesFrom(TupleId{t, r});
       edges.insert(edges.end(), row_edges.begin(), row_edges.end());
     }

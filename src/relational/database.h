@@ -23,6 +23,8 @@
 
 namespace claks {
 
+struct DatabaseDelta;  // relational/delta.h
+
 /// One resolved foreign-key instance edge: tuple `from` (the referencing,
 /// N-side tuple) points at tuple `to` (the referenced, 1-side tuple) through
 /// foreign key `fk_index` of table `from.table`.
@@ -35,10 +37,22 @@ struct FkEdge {
 /// Precomputed join structure for one foreign key: both directions of the
 /// FK resolved once over the whole instance.
 ///
-/// child->parent is a dense array (`parent_row[r]` = referenced row of
-/// child row r, kNoParent when the FK is NULL or dangling). parent->children
-/// is a CSR over the referenced table's rows: the children of parent row p
-/// are `child_rows[child_offsets[p] .. child_offsets[p+1])`, ascending.
+/// Storage is a frozen dense base shared between engine generations plus a
+/// per-generation overlay, mirroring Table's segment/overlay split:
+///
+///   base->parent_row      dense child->parent (kNoParent = NULL/dangling/
+///                         tombstoned child), one slot per child row that
+///                         existed when the base froze
+///   base->child_offsets/  parent->children CSR over the referenced table's
+///   base->child_rows      frozen rows (children ascending per parent)
+///   tail_parent_row       parents of child slots appended since the freeze
+///   parent_overrides      base child slots re-pointed since the freeze
+///                         (today always to kNoParent: the child died)
+///   children_overrides    full replacement child lists (still ascending)
+///                         for parents whose children changed
+///
+/// Use Parent()/Children(); they merge base and overlay. Compact() folds the
+/// overlay into a fresh base bit-identical to a from-scratch build.
 struct FkJoinIndex {
   static constexpr uint32_t kNoParent = UINT32_MAX;
 
@@ -49,15 +63,64 @@ struct FkJoinIndex {
   /// table or attribute); such an index yields no parents and no children.
   bool valid = false;
 
-  std::vector<uint32_t> parent_row;     ///< one slot per child row
-  std::vector<uint32_t> child_offsets;  ///< parent rows + 1 entries
-  std::vector<uint32_t> child_rows;     ///< grouped by parent, ascending
+  /// Immutable once published (shared across generations).
+  struct Base {
+    std::vector<uint32_t> parent_row;     ///< one slot per child row
+    std::vector<uint32_t> child_offsets;  ///< parent rows + 1 entries
+    std::vector<uint32_t> child_rows;     ///< grouped by parent, ascending
+  };
+  std::shared_ptr<const Base> base;
+  // Per-generation overlay (empty right after a build or Compact):
+  std::vector<uint32_t> tail_parent_row;
+  std::unordered_map<uint32_t, uint32_t> parent_overrides;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> children_overrides;
+
+  /// Number of child-table row slots this index covers.
+  size_t child_slots() const {
+    return (base ? base->parent_row.size() : 0) + tail_parent_row.size();
+  }
+
+  bool IsCompact() const {
+    return tail_parent_row.empty() && parent_overrides.empty() &&
+           children_overrides.empty();
+  }
+
+  /// Total overlay entries (compaction-policy input).
+  size_t OverlayOps() const {
+    return tail_parent_row.size() + parent_overrides.size() +
+           children_overrides.size();
+  }
+
+  /// Parent row referenced by child slot `child`, kNoParent when the FK is
+  /// NULL, dangling, or the child is tombstoned. Out-of-range -> kNoParent.
+  uint32_t Parent(size_t child) const {
+    if (!valid || base == nullptr) return kNoParent;
+    if (child >= base->parent_row.size()) {
+      size_t tail = child - base->parent_row.size();
+      return tail < tail_parent_row.size() ? tail_parent_row[tail]
+                                           : kNoParent;
+    }
+    if (!parent_overrides.empty()) {
+      auto it = parent_overrides.find(static_cast<uint32_t>(child));
+      if (it != parent_overrides.end()) return it->second;
+    }
+    return base->parent_row[child];
+  }
 
   /// Child rows referencing parent row `parent` (empty when out of range).
+  /// Ascending; the span stays valid as long as this generation's index.
   Span<uint32_t> Children(size_t parent) const {
-    if (!valid || parent + 1 >= child_offsets.size()) return {};
-    return Span<uint32_t>(child_rows.data() + child_offsets[parent],
-                          child_offsets[parent + 1] - child_offsets[parent]);
+    if (!valid || base == nullptr) return {};
+    if (!children_overrides.empty()) {
+      auto it = children_overrides.find(static_cast<uint32_t>(parent));
+      if (it != children_overrides.end()) {
+        return Span<uint32_t>(it->second.data(), it->second.size());
+      }
+    }
+    if (parent + 1 >= base->child_offsets.size()) return {};
+    return Span<uint32_t>(
+        base->child_rows.data() + base->child_offsets[parent],
+        base->child_offsets[parent + 1] - base->child_offsets[parent]);
   }
 };
 
@@ -118,10 +181,36 @@ class Database {
 
   /// Builds (or refreshes) every per-FK join index and the cached FK edge
   /// list. Idempotent while the instance is unchanged; the accessors below
-  /// call it lazily, and inserting rows or adding tables invalidates the
-  /// build (row counts are compared on access). Cost: one hash lookup per
-  /// (row, FK) pair, paid once instead of per query.
+  /// call it lazily, and inserting/deleting rows or adding tables
+  /// invalidates the build (row and tombstone counts are compared on
+  /// access). Cost: one hash lookup per (row, FK) pair, paid once instead
+  /// of per query.
   void BuildJoinIndexes() const;
+
+  /// Derives this database's join indexes from `prev`'s (which must be
+  /// warm) plus the row delta separating them: shares the frozen bases and
+  /// applies `delta` as overlay entries — O(delta · fanout) instead of
+  /// O(dataset). Also validates the delta's referential integrity: a
+  /// dangling FK on an inserted row, or a delete of a row that live
+  /// children still reference (RESTRICT), fails with IntegrityViolation
+  /// and leaves this cache unbuilt. `delta.schema_changed` must be false.
+  Status DeriveJoinIndexes(const Database& prev,
+                           const DatabaseDelta& delta) const;
+
+  /// Folds every join-index overlay into a fresh frozen base, bit-identical
+  /// to what BuildJoinIndexes would produce from scratch — pure array folds,
+  /// no hash probes. No-op when already compact.
+  void CompactJoinIndexes() const;
+
+  /// True when every built join index has an empty overlay.
+  bool JoinIndexesCompact() const;
+
+  /// Total overlay entries across all join indexes (compaction policy).
+  size_t JoinOverlayOps() const;
+
+  /// Rebase()s every table so subsequent Clone() calls are O(1) until new
+  /// mutations accumulate. Logical content unchanged.
+  void CompactStorage();
 
   /// Eagerly materializes every derived structure of this database (today:
   /// the per-FK join indexes and the cached FK edge list) so that all
@@ -184,7 +273,15 @@ class Database {
   mutable std::vector<std::vector<FkJoinIndex>> join_indexes_;  // [table][fk]
   mutable std::vector<FkEdge> all_fk_edges_;
   mutable std::vector<size_t> indexed_row_counts_;
+  mutable std::vector<size_t> indexed_tombstone_counts_;
   mutable std::atomic<bool> join_indexes_built_{false};
+  // The canonical edge list is regenerated lazily after a derive (the
+  // delta path leaves it stale rather than paying O(E) per generation).
+  mutable std::atomic<bool> fk_edges_built_{false};
+
+  // Rebuilds all_fk_edges_ from the (fresh) join indexes. Caller holds
+  // join_index_mutex_.
+  void RebuildFkEdgesLocked() const;
 };
 
 }  // namespace claks

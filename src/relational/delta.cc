@@ -1,0 +1,50 @@
+// Copyright 2026 The claks Authors.
+
+#include "relational/delta.h"
+
+#include <algorithm>
+
+namespace claks {
+
+DatabaseWatermark TakeWatermark(const Database& db) {
+  DatabaseWatermark mark;
+  mark.slot_counts.reserve(db.num_tables());
+  mark.tombstone_counts.reserve(db.num_tables());
+  for (size_t t = 0; t < db.num_tables(); ++t) {
+    mark.slot_counts.push_back(db.table(t).num_rows());
+    mark.tombstone_counts.push_back(db.table(t).tombstone_count());
+  }
+  return mark;
+}
+
+DatabaseDelta ComputeDelta(const DatabaseWatermark& before,
+                           const Database& after) {
+  DatabaseDelta delta;
+  if (after.num_tables() != before.slot_counts.size()) {
+    delta.schema_changed = true;
+    return delta;
+  }
+  for (uint32_t t = 0; t < after.num_tables(); ++t) {
+    const Table& tab = after.table(t);
+    // New slots that are still live. A slot born and tombstoned inside the
+    // batch never reached any reader-visible structure: skip it entirely.
+    for (size_t r = before.slot_counts[t]; r < tab.num_rows(); ++r) {
+      if (!tab.IsDeleted(r)) {
+        delta.inserts.push_back(DeltaOp{t, static_cast<uint32_t>(r)});
+      }
+    }
+    // New tombstones on pre-batch slots, ascending by slot (the log is in
+    // deletion order, which need not be).
+    std::vector<uint32_t> dead;
+    for (size_t i = before.tombstone_counts[t]; i < tab.tombstone_count();
+         ++i) {
+      uint32_t slot = tab.Tombstone(i);
+      if (slot < before.slot_counts[t]) dead.push_back(slot);
+    }
+    std::sort(dead.begin(), dead.end());
+    for (uint32_t slot : dead) delta.deletes.push_back(DeltaOp{t, slot});
+  }
+  return delta;
+}
+
+}  // namespace claks

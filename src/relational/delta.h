@@ -1,0 +1,63 @@
+// Copyright 2026 The claks Authors.
+//
+// Delta extraction: what changed in a Database between two points in time.
+//
+// The service mutation path (service/search_service.h) snapshots a
+// watermark (per-table slot and tombstone counts — both monotone, thanks to
+// Table's append-only slots and append-only tombstone log), runs the user's
+// mutation batch, and diffs the watermark against the mutated clone. The
+// resulting DatabaseDelta drives O(delta) derivation of the next engine
+// generation (core/engine.h) instead of a full rebuild.
+//
+// A row inserted and deleted within the same batch appears in neither list:
+// no warmed structure ever saw it, so no structure needs to forget it.
+
+#ifndef CLAKS_RELATIONAL_DELTA_H_
+#define CLAKS_RELATIONAL_DELTA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/database.h"
+
+namespace claks {
+
+/// One row-level change: row slot `row` of table `table`.
+struct DeltaOp {
+  uint32_t table = 0;
+  uint32_t row = 0;
+};
+
+/// Net row changes between two watermarks, in canonical (table, row)
+/// ascending order within each list.
+struct DatabaseDelta {
+  std::vector<DeltaOp> inserts;
+  std::vector<DeltaOp> deletes;
+  /// Tables were added (or the count otherwise drifted): the delta path
+  /// cannot describe this and the caller must fall back to a full rebuild.
+  bool schema_changed = false;
+
+  bool empty() const {
+    return !schema_changed && inserts.empty() && deletes.empty();
+  }
+  size_t num_ops() const { return inserts.size() + deletes.size(); }
+};
+
+/// Per-table progress markers captured before a mutation batch.
+struct DatabaseWatermark {
+  std::vector<size_t> slot_counts;       ///< Table::num_rows per table
+  std::vector<size_t> tombstone_counts;  ///< Table::tombstone_count per table
+};
+
+/// Captures the current watermark of `db`.
+DatabaseWatermark TakeWatermark(const Database& db);
+
+/// Diffs `after` against a watermark taken from an earlier state of the
+/// same database (or a clone sharing its history). Rows both inserted and
+/// deleted since the watermark are dropped from both lists.
+DatabaseDelta ComputeDelta(const DatabaseWatermark& before,
+                           const Database& after);
+
+}  // namespace claks
+
+#endif  // CLAKS_RELATIONAL_DELTA_H_

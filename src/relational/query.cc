@@ -49,7 +49,12 @@ Relation Relation::FromTable(const Table& table) {
     const AttributeDef& attr = table.schema().attribute(i);
     columns.push_back(Column{table.name() + "." + attr.name, attr.type});
   }
-  return Relation(std::move(columns), table.rows());
+  std::vector<Row> rows;
+  rows.reserve(table.live_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (!table.IsDeleted(r)) rows.push_back(table.row(r));
+  }
+  return Relation(std::move(columns), std::move(rows));
 }
 
 Result<size_t> Relation::ColumnIndex(const std::string& name) const {

@@ -9,14 +9,27 @@
 
 namespace claks {
 
-Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+Table::Table(TableSchema schema)
+    : schema_(std::move(schema)),
+      base_(std::make_shared<const BaseSegment>()) {
   CLAKS_CHECK(schema_.Validate().ok());
   pk_indices_ = schema_.PrimaryKeyIndices();
 }
 
 const Row& Table::row(size_t index) const {
-  CLAKS_CHECK_LT(index, rows_.size());
-  return rows_[index];
+  CLAKS_CHECK_LT(index, num_rows());
+  if (index < base_->rows.size()) return base_->rows[index];
+  return tail_rows_[index - base_->rows.size()];
+}
+
+bool Table::IsDeleted(size_t index) const {
+  CLAKS_CHECK_LT(index, num_rows());
+  if (overlay_deleted_.count(static_cast<uint32_t>(index)) != 0) return true;
+  return index < base_->deleted.size() && base_->deleted[index];
+}
+
+std::string Table::KeyOfRow(const Row& row) const {
+  return MakeKey(row, pk_indices_);
 }
 
 Result<size_t> Table::Insert(Row row) {
@@ -43,22 +56,62 @@ Result<size_t> Table::Insert(Row row) {
                     ValueTypeToString(row[i].type())));
     }
   }
-  std::string key = MakeKey(row, pk_indices_);
-  auto [it, inserted] = pk_index_.emplace(std::move(key), rows_.size());
-  if (!inserted) {
+  std::string key = KeyOfRow(row);
+  bool base_live = overlay_removed_keys_.count(key) == 0 &&
+                   base_->pk_index.count(key) != 0;
+  if (base_live || tail_pk_.count(key) != 0) {
     return Status::IntegrityViolation("duplicate primary key in table '" +
                                       name() + "'");
   }
-  rows_.push_back(std::move(row));
-  return rows_.size() - 1;
+  size_t slot = num_rows();
+  tail_pk_.emplace(std::move(key), slot);
+  tail_rows_.push_back(std::move(row));
+  return slot;
+}
+
+Status Table::Delete(size_t row_index) {
+  if (row_index >= num_rows()) {
+    return Status::InvalidArgument(
+        StrFormat("table '%s': delete of row %zu out of range (%zu rows)",
+                  name().c_str(), row_index, num_rows()));
+  }
+  if (IsDeleted(row_index)) {
+    return Status::InvalidArgument(
+        StrFormat("table '%s': row %zu already deleted", name().c_str(),
+                  row_index));
+  }
+  std::string key = KeyOfRow(row(row_index));
+  if (row_index < base_->rows.size()) {
+    // Mask the frozen pk entry; the shared base stays untouched.
+    overlay_removed_keys_.insert(std::move(key));
+  } else {
+    tail_pk_.erase(key);
+  }
+  overlay_deleted_.insert(static_cast<uint32_t>(row_index));
+  tail_tombstone_log_.push_back(static_cast<uint32_t>(row_index));
+  return Status::OK();
+}
+
+Status Table::DeleteByPrimaryKey(const Row& key_values) {
+  std::optional<size_t> slot = FindByPrimaryKey(key_values);
+  if (!slot.has_value()) {
+    return Status::NotFound(
+        StrFormat("table '%s': no live row with that primary key",
+                  name().c_str()));
+  }
+  return Delete(*slot);
 }
 
 std::optional<size_t> Table::FindByPrimaryKey(const Row& key_values) const {
   if (key_values.size() != pk_indices_.size()) return std::nullopt;
   std::vector<size_t> identity(key_values.size());
   for (size_t i = 0; i < identity.size(); ++i) identity[i] = i;
-  auto it = pk_index_.find(MakeKey(key_values, identity));
-  if (it == pk_index_.end()) return std::nullopt;
+  std::string key = MakeKey(key_values, identity);
+  auto tail_it = tail_pk_.find(key);
+  if (tail_it != tail_pk_.end()) return tail_it->second;
+  if (overlay_removed_keys_.count(key) != 0) return std::nullopt;
+  auto it = base_->pk_index.find(key);
+  if (it == base_->pk_index.end()) return std::nullopt;
   return it->second;
 }
 
@@ -66,10 +119,12 @@ std::vector<size_t> Table::FindRows(const std::vector<size_t>& attr_indices,
                                     const Row& values) const {
   CLAKS_CHECK_EQ(attr_indices.size(), values.size());
   std::vector<size_t> out;
-  for (size_t r = 0; r < rows_.size(); ++r) {
+  for (size_t r = 0; r < num_rows(); ++r) {
+    if (IsDeleted(r)) continue;
+    const Row& candidate = row(r);
     bool match = true;
     for (size_t i = 0; i < attr_indices.size(); ++i) {
-      if (rows_[r][attr_indices[i]] != values[i]) {
+      if (candidate[attr_indices[i]] != values[i]) {
         match = false;
         break;
       }
@@ -80,9 +135,44 @@ std::vector<size_t> Table::FindRows(const std::vector<size_t>& attr_indices,
 }
 
 const Value& Table::at(size_t row_index, size_t attr_index) const {
-  CLAKS_CHECK_LT(row_index, rows_.size());
+  CLAKS_CHECK_LT(row_index, num_rows());
   CLAKS_CHECK_LT(attr_index, schema_.num_attributes());
-  return rows_[row_index][attr_index];
+  return row(row_index)[attr_index];
+}
+
+uint32_t Table::Tombstone(size_t i) const {
+  CLAKS_CHECK_LT(i, tombstone_count());
+  if (i < base_->tombstone_log.size()) return base_->tombstone_log[i];
+  return tail_tombstone_log_[i - base_->tombstone_log.size()];
+}
+
+void Table::Rebase() {
+  if (tail_rows_.empty() && overlay_deleted_.empty()) return;
+  auto next = std::make_shared<BaseSegment>();
+  next->rows.reserve(num_rows());
+  next->rows = base_->rows;
+  next->rows.insert(next->rows.end(), tail_rows_.begin(), tail_rows_.end());
+  next->deleted.assign(next->rows.size(), false);
+  for (size_t r = 0; r < base_->deleted.size(); ++r) {
+    if (base_->deleted[r]) next->deleted[r] = true;
+  }
+  for (uint32_t r : overlay_deleted_) next->deleted[r] = true;
+  next->deleted_count = base_->deleted_count + overlay_deleted_.size();
+  next->tombstone_log = base_->tombstone_log;
+  next->tombstone_log.insert(next->tombstone_log.end(),
+                             tail_tombstone_log_.begin(),
+                             tail_tombstone_log_.end());
+  next->pk_index.reserve(next->rows.size() - next->deleted_count);
+  for (size_t r = 0; r < next->rows.size(); ++r) {
+    if (next->deleted[r]) continue;
+    next->pk_index.emplace(KeyOfRow(next->rows[r]), r);
+  }
+  base_ = std::move(next);
+  tail_rows_.clear();
+  tail_pk_.clear();
+  overlay_deleted_.clear();
+  overlay_removed_keys_.clear();
+  tail_tombstone_log_.clear();
 }
 
 std::string Table::ToString(size_t max_rows) const {
@@ -90,10 +180,13 @@ std::string Table::ToString(size_t max_rows) const {
   for (size_t i = 0; i < widths.size(); ++i) {
     widths[i] = schema_.attribute(i).name.size();
   }
-  size_t shown = std::min(max_rows, rows_.size());
-  for (size_t r = 0; r < shown; ++r) {
+  std::vector<size_t> shown_rows;
+  for (size_t r = 0; r < num_rows() && shown_rows.size() < max_rows; ++r) {
+    if (!IsDeleted(r)) shown_rows.push_back(r);
+  }
+  for (size_t r : shown_rows) {
     for (size_t i = 0; i < widths.size(); ++i) {
-      widths[i] = std::max(widths[i], rows_[r][i].ToString().size());
+      widths[i] = std::max(widths[i], row(r)[i].ToString().size());
     }
   }
   std::string out = name() + "\n";
@@ -101,14 +194,14 @@ std::string Table::ToString(size_t max_rows) const {
     out += PadRight(schema_.attribute(i).name, widths[i] + 2);
   }
   out += "\n";
-  for (size_t r = 0; r < shown; ++r) {
+  for (size_t r : shown_rows) {
     for (size_t i = 0; i < widths.size(); ++i) {
-      out += PadRight(rows_[r][i].ToString(), widths[i] + 2);
+      out += PadRight(row(r)[i].ToString(), widths[i] + 2);
     }
     out += "\n";
   }
-  if (shown < rows_.size()) {
-    out += StrFormat("... (%zu more rows)\n", rows_.size() - shown);
+  if (shown_rows.size() < live_rows()) {
+    out += StrFormat("... (%zu more rows)\n", live_rows() - shown_rows.size());
   }
   return out;
 }

@@ -1,13 +1,29 @@
 // Copyright 2026 The claks Authors.
 //
 // A table: schema + rows + primary-key hash index.
+//
+// Storage is segmented for cheap generation cloning (the delta mutation
+// path, service/search_service.h): a frozen base segment shared between
+// generations via shared_ptr, plus a per-generation tail of rows appended
+// since the base froze and a tombstone overlay of rows deleted since.
+// Copying a Table copies only the tail and the overlay — O(delta since
+// the last Rebase) — while the base rows, base primary-key map and frozen
+// tombstone prefix are shared read-only. Rebase() folds tail + overlay
+// into a fresh base (the table-level compaction step).
+//
+// Deletes are tombstones: the row slot (and therefore every TupleId and
+// data-graph node id) stays stable forever; the slot keeps its values so
+// delta maintenance can un-index the deleted row's tokens and FK edges.
+// A deleted primary key may be reinserted (the new row gets a new slot).
 
 #ifndef CLAKS_RELATIONAL_TABLE_H_
 #define CLAKS_RELATIONAL_TABLE_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
@@ -17,22 +33,41 @@
 namespace claks {
 
 /// Row-store table with uniqueness enforcement on the primary key and typed
-/// inserts. Rows are append-only (keyword search is a read-mostly workload;
-/// the paper does not discuss updates).
+/// inserts. Rows are append-only slots; Delete tombstones a slot without
+/// renumbering the rest (keyword search is a read-mostly workload and every
+/// warmed structure indexes rows by slot).
 class Table {
  public:
   explicit Table(TableSchema schema);
 
+  /// The default copy shares the frozen base segment and copies only the
+  /// tail + tombstone overlay: O(rows changed since the last Rebase).
+  Table(const Table&) = default;
+  Table& operator=(const Table&) = default;
+
   const TableSchema& schema() const { return schema_; }
   const std::string& name() const { return schema_.name(); }
 
-  size_t num_rows() const { return rows_.size(); }
+  /// Number of row *slots*, including tombstoned ones. Slot indices are
+  /// stable: they never shift on delete.
+  size_t num_rows() const { return base_->rows.size() + tail_rows_.size(); }
+
+  /// Slots minus tombstones.
+  size_t live_rows() const { return num_rows() - num_deleted(); }
+  size_t num_deleted() const {
+    return base_->deleted_count + overlay_deleted_.size();
+  }
+
+  /// The row at a slot (tombstoned slots keep their values; check
+  /// IsDeleted when iterating). CLAKS_CHECKs bounds.
   const Row& row(size_t index) const;
-  const std::vector<Row>& rows() const { return rows_; }
+
+  /// True when slot `index` has been tombstoned.
+  bool IsDeleted(size_t index) const;
 
   /// Appends a row. Fails on arity mismatch, type mismatch, NULL in a
-  /// non-nullable attribute, or duplicate primary key. Returns the new row
-  /// index.
+  /// non-nullable attribute, or duplicate *live* primary key (a deleted
+  /// key may be reused). Returns the new row slot.
   Result<size_t> Insert(Row row);
 
   /// Convenience: inserts values given per-attribute in schema order.
@@ -40,25 +75,70 @@ class Table {
     return Insert(Row(std::move(values)));
   }
 
-  /// Looks up a row index by primary-key values (in primary-key order).
+  /// Tombstones a slot. Fails when the slot is out of range or already
+  /// deleted. Referential integrity is the Database/engine layer's
+  /// responsibility (the delta path enforces RESTRICT semantics).
+  Status Delete(size_t row_index);
+
+  /// Convenience: Delete by primary-key values. NotFound when no live row
+  /// has that key.
+  Status DeleteByPrimaryKey(const Row& key_values);
+
+  /// Looks up a *live* row slot by primary-key values (in primary-key
+  /// order). Tombstoned rows are not found.
   std::optional<size_t> FindByPrimaryKey(const Row& key_values) const;
 
-  /// Looks up rows whose attributes `attr_indices` equal `values`. Linear
-  /// scan; use Database secondary indexes for hot paths.
+  /// Looks up live rows whose attributes `attr_indices` equal `values`.
+  /// Linear scan; use Database secondary indexes for hot paths.
   std::vector<size_t> FindRows(const std::vector<size_t>& attr_indices,
                                const Row& values) const;
 
-  /// Value of attribute `attr` of row `row_index`.
+  /// Value of attribute `attr` of slot `row_index`.
   const Value& at(size_t row_index, size_t attr_index) const;
 
-  /// Pretty-prints up to `max_rows` rows as an aligned text table.
+  /// Number of tombstones ever recorded (frozen prefix + overlay); with
+  /// Tombstone(i) this is the append-only deletion log the delta
+  /// extraction diffs (relational/delta.h).
+  size_t tombstone_count() const {
+    return base_->tombstone_log.size() + tail_tombstone_log_.size();
+  }
+  /// The slot deleted `i`-th (deletion order). CLAKS_CHECKs bounds.
+  uint32_t Tombstone(size_t i) const;
+
+  /// First slot index of the current tail segment (== base slot count).
+  /// Rows at or past this index are copied, not shared, by the copy ctor.
+  size_t base_rows() const { return base_->rows.size(); }
+
+  /// Folds tail rows and the tombstone overlay into a fresh frozen base.
+  /// O(live slots); afterwards copies of this table are O(1) until the
+  /// next mutations accumulate. Slot indices are unchanged.
+  void Rebase();
+
+  /// Pretty-prints up to `max_rows` live rows as an aligned text table.
   std::string ToString(size_t max_rows = 20) const;
 
  private:
+  /// Immutable once published (shared across generations).
+  struct BaseSegment {
+    std::vector<Row> rows;
+    /// Live keys at freeze time -> slot.
+    std::unordered_map<std::string, size_t> pk_index;
+    std::vector<bool> deleted;  ///< per base slot
+    size_t deleted_count = 0;
+    std::vector<uint32_t> tombstone_log;  ///< deletion order, frozen prefix
+  };
+
+  std::string KeyOfRow(const Row& row) const;
+
   TableSchema schema_;
-  std::vector<Row> rows_;
   std::vector<size_t> pk_indices_;
-  std::unordered_map<std::string, size_t> pk_index_;  // key -> row index
+  std::shared_ptr<const BaseSegment> base_;
+  // Per-generation deltas over base_:
+  std::vector<Row> tail_rows_;  ///< slots [base_rows(), num_rows())
+  std::unordered_map<std::string, size_t> tail_pk_;  ///< live tail keys
+  std::unordered_set<uint32_t> overlay_deleted_;     ///< slots, any segment
+  std::unordered_set<std::string> overlay_removed_keys_;  ///< masks base_pk
+  std::vector<uint32_t> tail_tombstone_log_;  ///< deletions since freeze
 };
 
 }  // namespace claks

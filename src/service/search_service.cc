@@ -5,6 +5,7 @@
 #include "common/macros.h"
 #include "common/string_util.h"
 #include "core/shard.h"
+#include "relational/delta.h"
 #include "text/matcher.h"
 
 namespace claks {
@@ -51,6 +52,9 @@ Result<std::shared_ptr<const EngineSnapshot>> SearchService::BuildSnapshot(
   auto snapshot = std::make_shared<EngineSnapshot>();
   snapshot->version = version;
   snapshot->db = std::move(db);
+  // Fold table storage so future Clone() calls are O(delta), not
+  // O(dataset) — the full-rebuild path pays O(dataset) anyway.
+  snapshot->db->CompactStorage();
   if (schema_and_mapping_.has_value()) {
     CLAKS_ASSIGN_OR_RETURN(
         snapshot->engine,
@@ -359,12 +363,55 @@ Status SearchService::Mutate(
   std::shared_ptr<const EngineSnapshot> current = snapshot();
   // Copy-on-write: the clone (not the live database) absorbs the
   // mutation, so every concurrent query keeps reading an immutable
-  // generation.
+  // generation. Tables share frozen segments, so the clone itself is
+  // O(rows changed since the last compaction).
   std::unique_ptr<Database> next_db = current->db->Clone();
+  DatabaseWatermark watermark = TakeWatermark(*next_db);
   CLAKS_RETURN_NOT_OK(mutation(next_db.get()));
-  CLAKS_ASSIGN_OR_RETURN(
-      std::shared_ptr<const EngineSnapshot> next,
-      BuildSnapshot(std::move(next_db), current->version + 1));
+  DatabaseDelta delta = ComputeDelta(watermark, *next_db);
+
+  if (delta.empty()) {
+    // Nothing observable changed: publish nothing, build nothing — the
+    // current generation stays current (same pointer, same version).
+    noop_mutations_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  std::shared_ptr<const EngineSnapshot> next;
+  if (!delta.schema_changed) {
+    auto derived = std::make_shared<EngineSnapshot>();
+    derived->version = current->version + 1;
+    derived->db = std::move(next_db);
+    bool compacted = false;
+    Result<std::unique_ptr<KeywordSearchEngine>> engine =
+        KeywordSearchEngine::Derive(*current->engine, derived->db.get(),
+                                    delta, options_.delta_policy,
+                                    &compacted);
+    if (engine.ok()) {
+      derived->engine = std::move(engine).ValueOrDie();
+      CLAKS_CHECK(derived->engine->Warm());
+      delta_mutations_.fetch_add(1, std::memory_order_relaxed);
+      if (compacted) {
+        // The engine folded its overlays; fold table storage too so the
+        // next Clone() is O(1) again. Content- and slot-preserving, and
+        // the previous generation's shared segments are untouched.
+        derived->db->CompactStorage();
+        compactions_.fetch_add(1, std::memory_order_relaxed);
+      }
+      next = std::move(derived);
+    } else if (engine.status().IsIntegrityViolation()) {
+      // The batch itself is invalid; nothing is published.
+      return engine.status();
+    } else {
+      // Unexpected derive failure: fall back to the full rebuild below.
+      next_db = std::move(derived->db);
+    }
+  }
+  if (next == nullptr) {
+    CLAKS_ASSIGN_OR_RETURN(
+        next, BuildSnapshot(std::move(next_db), current->version + 1));
+    rebuild_mutations_.fetch_add(1, std::memory_order_relaxed);
+  }
   std::atomic_store(&snapshot_, std::move(next));
   return Status::OK();
 }
@@ -386,6 +433,11 @@ ServiceStats SearchService::stats() const {
   stats.cursors_prepared =
       cursors_prepared_.load(std::memory_order_relaxed);
   stats.pages_fetched = pages_fetched_.load(std::memory_order_relaxed);
+  stats.delta_mutations = delta_mutations_.load(std::memory_order_relaxed);
+  stats.rebuild_mutations =
+      rebuild_mutations_.load(std::memory_order_relaxed);
+  stats.noop_mutations = noop_mutations_.load(std::memory_order_relaxed);
+  stats.compactions = compactions_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(cursors_mutex_);
     stats.open_cursors = open_cursors_.size();

@@ -77,6 +77,8 @@ struct ServiceOptions {
   /// engine snapshot, so the cap bounds how many old generations
   /// straggling readers can keep alive.
   size_t max_open_cursors = 1024;
+  /// When a delta-derived snapshot folds its overlays (core/engine.h).
+  DeltaPolicy delta_policy;
 };
 
 /// Point-in-time service counters. Exact: hits + misses counts executed
@@ -94,6 +96,14 @@ struct ServiceStats {
   uint64_t cursors_prepared = 0;
   uint64_t pages_fetched = 0;
   size_t open_cursors = 0;
+  /// Mutation-path counters: batches published through O(delta) engine
+  /// derivation, through a full rebuild (schema change or derive
+  /// fallback), and batches that changed nothing (no snapshot published).
+  /// `compactions` counts derived snapshots that folded their overlays.
+  uint64_t delta_mutations = 0;
+  uint64_t rebuild_mutations = 0;
+  uint64_t noop_mutations = 0;
+  uint64_t compactions = 0;
 };
 
 /// Thread-safety: every public member may be called from any thread.
@@ -165,12 +175,21 @@ class SearchService {
   /// server state plus its snapshot pin). NotFound for unknown ids.
   Status Close(uint64_t cursor_id);
 
-  /// Clones the current database, applies `mutation` to the clone, builds
-  /// and warms a fresh engine over it, and atomically publishes it as the
-  /// next snapshot version. Queries already executing (or cache entries
-  /// keyed to older versions) are untouched; queries picking a snapshot
-  /// after the swap see the new data. On mutation failure nothing is
-  /// published. Mutations serialize with each other.
+  /// Clones the current database (O(rows changed since the last
+  /// compaction) — tables share frozen segments), applies `mutation` to
+  /// the clone, diffs watermarks into a row delta, and derives the next
+  /// snapshot from the current one in O(delta) (core/engine.h Derive):
+  /// the new generation shares every frozen base with the old, readers of
+  /// which are untouched. Atomically publishes the result as the next
+  /// snapshot version.
+  ///
+  /// Special cases: a batch that changes nothing publishes nothing (the
+  /// snapshot pointer and version are unchanged and no engine is built);
+  /// a batch violating referential integrity (dangling FK, delete of a
+  /// still-referenced row) fails with IntegrityViolation and publishes
+  /// nothing; a schema change (AddTable) or an unexpected derive failure
+  /// falls back to the full rebuild path. Mutations serialize with each
+  /// other and never block queries.
   Status Mutate(const std::function<Status(Database*)>& mutation);
 
   /// The current snapshot (RCU read side): callers may search it directly
@@ -264,6 +283,10 @@ class SearchService {
   std::unique_ptr<ResultCache> cache_;  ///< null when caching is disabled
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> delta_mutations_{0};
+  std::atomic<uint64_t> rebuild_mutations_{0};
+  std::atomic<uint64_t> noop_mutations_{0};
+  std::atomic<uint64_t> compactions_{0};
 
   /// Cursor registry. `open_cursors_` maps live client ids;
   /// `active_states_` weakly indexes in-flight shared states by canonical

@@ -2,6 +2,7 @@
 
 #include "text/inverted_index.h"
 
+#include <algorithm>
 #include <set>
 
 #include "common/macros.h"
@@ -9,7 +10,29 @@
 namespace claks {
 
 namespace {
+
 const std::vector<Posting> kEmptyPostings;
+
+// Canonical posting order: (table, row, attribute). Build emits postings
+// in this order naturally; the delta path inserts at lower_bound to keep
+// it, so overlay lists and rebuilt lists compare equal.
+bool PostingBefore(const Posting& p, const Posting& q) {
+  if (p.tuple.table != q.tuple.table) return p.tuple.table < q.tuple.table;
+  if (p.tuple.row != q.tuple.row) return p.tuple.row < q.tuple.row;
+  return p.attribute_index < q.attribute_index;
+}
+
+std::vector<uint32_t> TextAttrs(const TableSchema& schema) {
+  std::vector<uint32_t> text_attrs;
+  for (uint32_t a = 0; a < schema.num_attributes(); ++a) {
+    const AttributeDef& attr = schema.attribute(a);
+    if (attr.searchable && attr.type == ValueType::kString) {
+      text_attrs.push_back(a);
+    }
+  }
+  return text_attrs;
+}
+
 }  // namespace
 
 InvertedIndex::InvertedIndex(const Database* db, Tokenizer tokenizer)
@@ -19,18 +42,14 @@ InvertedIndex::InvertedIndex(const Database* db, Tokenizer tokenizer)
 }
 
 void InvertedIndex::Build() {
+  auto base = std::make_shared<BaseIndex>();
+  stats_ = IndexStats{};
   for (uint32_t t = 0; t < db_->num_tables(); ++t) {
     const Table& table = db_->table(t);
-    const TableSchema& schema = table.schema();
-    std::vector<uint32_t> text_attrs;
-    for (uint32_t a = 0; a < schema.num_attributes(); ++a) {
-      const AttributeDef& attr = schema.attribute(a);
-      if (attr.searchable && attr.type == ValueType::kString) {
-        text_attrs.push_back(a);
-      }
-    }
+    std::vector<uint32_t> text_attrs = TextAttrs(table.schema());
     if (text_attrs.empty()) continue;
     for (uint32_t r = 0; r < table.num_rows(); ++r) {
+      if (table.IsDeleted(r)) continue;
       const Row& row = table.row(r);
       for (uint32_t a : text_attrs) {
         if (row[a].is_null()) continue;
@@ -41,28 +60,151 @@ void InvertedIndex::Build() {
         std::unordered_map<std::string, uint32_t> tf;
         for (const auto& token : tokens) ++tf[token];
         for (const auto& [token, count] : tf) {
-          postings_[token].push_back(Posting{TupleId{t, r}, a, count});
+          base->postings[token].push_back(Posting{TupleId{t, r}, a, count});
         }
       }
     }
   }
   // Document frequencies: distinct tuples per token.
-  for (const auto& [token, plist] : postings_) {
+  for (const auto& [token, plist] : base->postings) {
     std::set<uint64_t> tuples;
     for (const Posting& p : plist) tuples.insert(p.tuple.Pack());
-    document_frequency_[token] = tuples.size();
+    base->document_frequency[token] = tuples.size();
   }
   if (stats_.total_documents > 0) {
     stats_.avg_document_length =
         static_cast<double>(stats_.total_tokens) /
         static_cast<double>(stats_.total_documents);
   }
+  vocab_size_ = base->postings.size();
+  overlay_postings_.clear();
+  overlay_df_.clear();
+  base_ = std::move(base);
+}
+
+std::vector<Posting>& InvertedIndex::MutablePostings(
+    const std::string& token) {
+  auto it = overlay_postings_.find(token);
+  if (it != overlay_postings_.end()) return it->second;
+  auto base_it = base_->postings.find(token);
+  std::vector<Posting> copy;
+  if (base_it != base_->postings.end()) {
+    copy = base_it->second;
+    overlay_df_.emplace(token, base_->document_frequency.at(token));
+  } else {
+    overlay_df_.emplace(token, 0);
+  }
+  return overlay_postings_.emplace(token, std::move(copy)).first->second;
+}
+
+void InvertedIndex::ApplyRow(uint32_t table, uint32_t row, int sign) {
+  const Table& tab = db_->table(table);
+  std::vector<uint32_t> text_attrs = TextAttrs(tab.schema());
+  if (text_attrs.empty()) return;
+  const Row& values = tab.row(row);
+  for (uint32_t a : text_attrs) {
+    if (values[a].is_null()) continue;
+    auto tokens = tokenizer_.Tokenize(values[a].AsString());
+    if (tokens.empty()) continue;
+    if (sign > 0) {
+      ++stats_.total_documents;
+      stats_.total_tokens += tokens.size();
+    } else {
+      CLAKS_CHECK_GE(stats_.total_documents, 1u);
+      CLAKS_CHECK_GE(stats_.total_tokens, tokens.size());
+      --stats_.total_documents;
+      stats_.total_tokens -= tokens.size();
+    }
+    std::unordered_map<std::string, uint32_t> tf;
+    for (const auto& token : tokens) ++tf[token];
+    for (const auto& [token, count] : tf) {
+      std::vector<Posting>& list = MutablePostings(token);
+      bool was_empty = list.empty();
+      Posting posting{TupleId{table, row}, a, count};
+      auto pos =
+          std::lower_bound(list.begin(), list.end(), posting, PostingBefore);
+      if (sign > 0) {
+        // df counts distinct tuples: only the tuple's first attribute with
+        // this token bumps it.
+        bool tuple_present = false;
+        for (const Posting& p : list) {
+          if (p.tuple.table == table && p.tuple.row == row) {
+            tuple_present = true;
+            break;
+          }
+        }
+        list.insert(pos, posting);
+        if (!tuple_present) ++overlay_df_[token];
+        if (was_empty) ++vocab_size_;
+      } else {
+        CLAKS_CHECK(pos != list.end() && pos->tuple.table == table &&
+                    pos->tuple.row == row && pos->attribute_index == a);
+        list.erase(pos);
+        bool tuple_remains = false;
+        for (const Posting& p : list) {
+          if (p.tuple.table == table && p.tuple.row == row) {
+            tuple_remains = true;
+            break;
+          }
+        }
+        if (!tuple_remains) --overlay_df_[token];
+        if (list.empty()) --vocab_size_;
+      }
+    }
+  }
+}
+
+std::unique_ptr<InvertedIndex> InvertedIndex::Derive(
+    const InvertedIndex& prev, const Database* next_db,
+    const DatabaseDelta& delta) {
+  CLAKS_CHECK(next_db != nullptr);
+  CLAKS_CHECK(!delta.schema_changed);
+  std::unique_ptr<InvertedIndex> index(new InvertedIndex(prev));
+  index->db_ = next_db;
+  for (const DeltaOp& op : delta.deletes) {
+    index->ApplyRow(op.table, op.row, -1);
+  }
+  for (const DeltaOp& op : delta.inserts) {
+    index->ApplyRow(op.table, op.row, +1);
+  }
+  if (index->stats_.total_documents > 0) {
+    index->stats_.avg_document_length =
+        static_cast<double>(index->stats_.total_tokens) /
+        static_cast<double>(index->stats_.total_documents);
+  } else {
+    index->stats_.avg_document_length = 0.0;
+  }
+  return index;
+}
+
+void InvertedIndex::Compact() {
+  if (IsCompact()) return;
+  auto next = std::make_shared<BaseIndex>();
+  next->postings = base_->postings;
+  next->document_frequency = base_->document_frequency;
+  for (auto& [token, list] : overlay_postings_) {
+    if (list.empty()) {
+      next->postings.erase(token);
+      next->document_frequency.erase(token);
+    } else {
+      next->postings[token] = std::move(list);
+      next->document_frequency[token] = overlay_df_.at(token);
+    }
+  }
+  overlay_postings_.clear();
+  overlay_df_.clear();
+  base_ = std::move(next);
+  CLAKS_CHECK_EQ(vocab_size_, base_->postings.size());
 }
 
 const std::vector<Posting>& InvertedIndex::Lookup(
     const std::string& token) const {
-  auto it = postings_.find(token);
-  return it == postings_.end() ? kEmptyPostings : it->second;
+  if (!overlay_postings_.empty()) {
+    auto it = overlay_postings_.find(token);
+    if (it != overlay_postings_.end()) return it->second;
+  }
+  auto it = base_->postings.find(token);
+  return it == base_->postings.end() ? kEmptyPostings : it->second;
 }
 
 const std::vector<Posting>& InvertedIndex::LookupKeyword(
@@ -71,8 +213,12 @@ const std::vector<Posting>& InvertedIndex::LookupKeyword(
 }
 
 size_t InvertedIndex::DocumentFrequency(const std::string& token) const {
-  auto it = document_frequency_.find(token);
-  return it == document_frequency_.end() ? 0 : it->second;
+  if (!overlay_df_.empty()) {
+    auto it = overlay_df_.find(token);
+    if (it != overlay_df_.end()) return it->second;
+  }
+  auto it = base_->document_frequency.find(token);
+  return it == base_->document_frequency.end() ? 0 : it->second;
 }
 
 }  // namespace claks

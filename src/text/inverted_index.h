@@ -2,16 +2,26 @@
 //
 // Inverted index over the searchable string attributes of a Database:
 // token -> postings of (tuple, attribute, term frequency).
+//
+// Like the other warmed structures, storage splits into a frozen base
+// shared between engine generations and a per-generation overlay: tokens
+// whose posting lists changed since the freeze carry full replacement
+// lists (still in canonical (table, row, attribute) order), so Derive()
+// applies a row delta in O(tokens touched) while readers of the previous
+// generation keep the old lists. Compact() folds the overlay into a fresh
+// base equal to a from-scratch build over the same rows.
 
 #ifndef CLAKS_TEXT_INVERTED_INDEX_H_
 #define CLAKS_TEXT_INVERTED_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "relational/database.h"
+#include "relational/delta.h"
 #include "text/tokenizer.h"
 
 namespace claks {
@@ -24,7 +34,9 @@ struct Posting {
   uint32_t term_frequency = 0;
 };
 
-/// Index statistics needed by tf-idf scoring.
+/// Index statistics needed by tf-idf scoring. The totals are integers
+/// maintained exactly under deltas; the average is always derived from
+/// them, so a delta-maintained index and a rebuilt one agree bit-for-bit.
 struct IndexStats {
   size_t total_documents = 0;  ///< indexed (tuple, attribute) pairs
   size_t total_tokens = 0;
@@ -33,33 +45,70 @@ struct IndexStats {
 
 class InvertedIndex {
  public:
-  /// Builds the index over every searchable string attribute of `db`.
-  /// The database must outlive the index.
+  /// Builds the index over every searchable string attribute of `db`
+  /// (tombstoned rows excluded). The database must outlive the index.
   InvertedIndex(const Database* db, Tokenizer tokenizer = Tokenizer());
 
-  /// Postings for a (normalised) token; empty vector if absent.
+  /// Derives the next generation's index from `prev` plus the row delta:
+  /// shares the frozen base, re-tokenizes only the delta rows. Tombstoned
+  /// rows keep their values, so deletes un-index exactly what inserts
+  /// indexed.
+  static std::unique_ptr<InvertedIndex> Derive(const InvertedIndex& prev,
+                                               const Database* next_db,
+                                               const DatabaseDelta& delta);
+
+  /// Postings for a (normalised) token; empty vector if absent. Canonical
+  /// (table, row, attribute) order, base or overlay alike.
   const std::vector<Posting>& Lookup(const std::string& token) const;
 
   /// Normalises `keyword` and looks it up.
   const std::vector<Posting>& LookupKeyword(const std::string& keyword) const;
 
-  /// Number of distinct tokens.
-  size_t vocabulary_size() const { return postings_.size(); }
+  /// Number of distinct tokens with at least one live posting.
+  size_t vocabulary_size() const { return vocab_size_; }
 
   /// Document frequency of a token: number of distinct tuples containing it.
   size_t DocumentFrequency(const std::string& token) const;
+
+  /// Folds the overlay into a fresh frozen base (equal to a from-scratch
+  /// build over the same live rows); tokens whose lists emptied vanish.
+  void Compact();
+
+  /// True when this index carries no overlay.
+  bool IsCompact() const {
+    return overlay_postings_.empty() && overlay_df_.empty();
+  }
 
   const IndexStats& stats() const { return stats_; }
   const Tokenizer& tokenizer() const { return tokenizer_; }
   const Database& database() const { return *db_; }
 
  private:
-  void Build();
+  /// Immutable once published (shared across generations).
+  struct BaseIndex {
+    std::unordered_map<std::string, std::vector<Posting>> postings;
+    std::unordered_map<std::string, size_t> document_frequency;
+  };
 
-  const Database* db_;
+  InvertedIndex() = default;
+
+  void Build();
+  /// Adds (sign +1) or removes (sign -1) one row's postings via the
+  /// overlay maps.
+  void ApplyRow(uint32_t table, uint32_t row, int sign);
+  /// The mutable posting list of `token`, materializing a copy of the
+  /// frozen base list (and its df) on first touch.
+  std::vector<Posting>& MutablePostings(const std::string& token);
+
+  const Database* db_ = nullptr;
   Tokenizer tokenizer_;
-  std::unordered_map<std::string, std::vector<Posting>> postings_;
-  std::unordered_map<std::string, size_t> document_frequency_;
+  std::shared_ptr<const BaseIndex> base_;
+  // Per-generation overlay: full replacement lists / counts for tokens
+  // touched since the freeze. An empty replacement list masks a base
+  // token entirely.
+  std::unordered_map<std::string, std::vector<Posting>> overlay_postings_;
+  std::unordered_map<std::string, size_t> overlay_df_;
+  size_t vocab_size_ = 0;
   IndexStats stats_;
 };
 

@@ -1,0 +1,195 @@
+// Copyright 2026 The claks Authors.
+//
+// Concurrent churn: N reader threads page cursors and search pinned
+// snapshots while one writer applies delta mutation batches (with
+// periodic compactions) through SearchService::Mutate. Invariants under
+// race (run this suite under ThreadSanitizer — see .github/workflows):
+//   - a pinned snapshot keeps answering with its generation's data, and
+//     repeated queries against it are byte-identical, regardless of how
+//     many mutations publish meanwhile;
+//   - readers never observe a half-published generation: every snapshot
+//     they acquire is non-null, warmed, and immediately searchable;
+//   - snapshot versions are monotone across the whole run;
+//   - a Prepare/Fetch cursor stays frozen on the generation it pinned.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "core/engine.h"
+#include "datasets/company_gen.h"
+#include "relational/database.h"
+#include "service/search_service.h"
+
+namespace claks {
+namespace {
+
+constexpr size_t kReaders = 3;
+constexpr size_t kWriterBatches = 40;
+
+std::string RenderedFingerprint(const SearchResult& result) {
+  std::string out;
+  for (const SearchHit& hit : result.hits) {
+    out += hit.rendered;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Raises `current` to at least `candidate` and fails if a reader ever
+/// observed a version going backwards.
+void CheckMonotone(std::atomic<uint64_t>* current, uint64_t candidate) {
+  uint64_t seen = current->load(std::memory_order_acquire);
+  while (candidate > seen &&
+         !current->compare_exchange_weak(seen, candidate,
+                                         std::memory_order_acq_rel)) {
+  }
+}
+
+TEST(ChurnTest, ReadersStayConsistentUnderDeltaChurn) {
+  auto generated = GenerateCompanyDataset(CompanyGenOptions::AtScale(1));
+  ASSERT_TRUE(generated.ok());
+  GeneratedDataset dataset = std::move(generated).ValueOrDie();
+
+  ServiceOptions options;
+  options.num_threads = 2;
+  options.cache_capacity = 0;
+  options.delta_policy.mode = DeltaPolicy::Mode::kAuto;
+  options.delta_policy.min_ops = 8;  // compactions fire mid-run
+  options.delta_policy.fraction = 0.0;
+  auto created = SearchService::Create(std::move(dataset.db),
+                                       dataset.er_schema, dataset.mapping,
+                                       options);
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<SearchService> service = std::move(created).ValueOrDie();
+
+  // Lazy streaming keeps each read cheap even as the churn keeps adding
+  // matches; the settled-k cutoff bounds the work per search.
+  SearchOptions search;
+  search.method = SearchMethod::kStream;
+  search.ranker = RankerKind::kRdbLength;
+  search.max_rdb_edges = 3;
+  search.top_k = 5;
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<uint64_t> max_version{0};
+  std::atomic<size_t> reader_failures{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (size_t reader = 0; reader < kReaders; ++reader) {
+    readers.emplace_back([&, reader] {
+      uint64_t last_version = 0;
+      size_t rounds = 0;
+      // A couple of extra rounds after the writer finishes so the final
+      // generation is read concurrently with nothing.
+      while (!writer_done.load(std::memory_order_acquire) || rounds < 2) {
+        if (writer_done.load(std::memory_order_acquire)) ++rounds;
+
+        // No half-published generation, ever.
+        std::shared_ptr<const EngineSnapshot> snapshot =
+            service->snapshot();
+        if (snapshot == nullptr || snapshot->engine == nullptr ||
+            snapshot->db == nullptr || !snapshot->engine->Warm()) {
+          ++reader_failures;
+          continue;
+        }
+        if (snapshot->version < last_version) ++reader_failures;
+        last_version = snapshot->version;
+        CheckMonotone(&max_version, snapshot->version);
+
+        // Pinned snapshot: byte-identical answers however many
+        // generations publish meanwhile.
+        auto first = snapshot->engine->Search("smith xml", search);
+        auto second = snapshot->engine->Search("smith xml", search);
+        if (!first.ok() || !second.ok() ||
+            RenderedFingerprint(*first) != RenderedFingerprint(*second)) {
+          ++reader_failures;
+        }
+
+        // Cursor paging through the service API: every page must come
+        // from the generation the cursor pinned at Prepare time.
+        QueryRequest request;
+        request.query_text = "smith xml";
+        request.options = search;
+        auto prepared = service->Prepare(request);
+        if (!prepared.ok()) {
+          ++reader_failures;
+          continue;
+        }
+        uint64_t pinned = prepared->snapshot_version;
+        for (int page = 0; page < 16; ++page) {
+          auto response = service->Fetch(prepared->cursor_id, 3);
+          if (!response.ok() || response->snapshot_version != pinned) {
+            ++reader_failures;
+            break;
+          }
+          if (response->drained) break;
+        }
+        if (!service->Close(prepared->cursor_id).ok()) ++reader_failures;
+      }
+    });
+  }
+
+  // The writer: insert-heavy churn with interleaved deletes, every batch
+  // a delta derivation, compactions whenever 8 overlay ops accumulate.
+  size_t inserted = 0;
+  size_t deleted = 0;
+  for (size_t batch = 0; batch < kWriterBatches; ++batch) {
+    Status status = service->Mutate([&](Database* db) {
+      Table* dependent = db->FindMutableTable("DEPENDENT");
+      CLAKS_CHECK(dependent != nullptr);
+      for (size_t op = 0; op < 3; ++op) {
+        std::string id = "churn" + std::to_string(inserted);
+        CLAKS_RETURN_NOT_OK(dependent
+                                ->InsertValues({Value::String(id),
+                                                Value::String("Smith"),
+                                                Value::String("e1")})
+                                .status());
+        ++inserted;
+      }
+      if (batch % 3 == 2) {
+        std::string id = "churn" + std::to_string(deleted);
+        CLAKS_RETURN_NOT_OK(
+            dependent->DeleteByPrimaryKey({Value::String(id)}));
+        ++deleted;
+      }
+      return Status::OK();
+    });
+    ASSERT_TRUE(status.ok()) << status.message();
+  }
+  writer_done.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(reader_failures.load(), 0u);
+  ServiceStats stats = service->stats();
+  // Every batch changed rows: all of them published, none fell back.
+  EXPECT_EQ(stats.delta_mutations, kWriterBatches);
+  EXPECT_EQ(stats.rebuild_mutations, 0u);
+  EXPECT_EQ(stats.noop_mutations, 0u);
+  EXPECT_GE(stats.compactions, 1u);
+  EXPECT_EQ(stats.snapshot_version, 1 + kWriterBatches);
+  EXPECT_GE(stats.snapshot_version, max_version.load());
+
+  // The final generation carries exactly the net surviving churn rows.
+  std::shared_ptr<const EngineSnapshot> final_snapshot =
+      service->snapshot();
+  const Table* dependent = final_snapshot->db->FindTable("DEPENDENT");
+  ASSERT_NE(dependent, nullptr);
+  size_t churn_rows = 0;
+  for (size_t r = 0; r < dependent->num_rows(); ++r) {
+    if (dependent->IsDeleted(r)) continue;
+    if (dependent->row(r)[0].AsString().rfind("churn", 0) == 0) {
+      ++churn_rows;
+    }
+  }
+  EXPECT_EQ(churn_rows, inserted - deleted);
+}
+
+}  // namespace
+}  // namespace claks

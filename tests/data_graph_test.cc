@@ -39,9 +39,15 @@ TEST_F(DataGraphTest, CountsNodesAndEdges) {
 }
 
 TEST_F(DataGraphTest, NodeTupleRoundTrip) {
-  for (uint32_t node = 0; node < graph_->num_nodes(); ++node) {
+  // Node ids live in per-table regions with slack gaps (for delta-appended
+  // rows); IsNode picks out the ids that address real tuples.
+  size_t nodes_seen = 0;
+  for (uint32_t node = 0; node < graph_->node_id_bound(); ++node) {
+    if (!graph_->IsNode(node)) continue;
     EXPECT_EQ(graph_->NodeOf(graph_->TupleOf(node)), node);
+    ++nodes_seen;
   }
+  EXPECT_EQ(nodes_seen, graph_->num_nodes());
 }
 
 TEST_F(DataGraphTest, AdjacencyOfEmployeeE1) {
@@ -83,7 +89,9 @@ TEST_F(DataGraphTest, ConnectedComponents) {
 
 TEST_F(DataGraphTest, EdgeAccessors) {
   ASSERT_GT(graph_->num_edges(), 0u);
-  const DataEdge& edge = graph_->edge(0);
+  std::vector<uint32_t> ids = graph_->EdgeIds();
+  ASSERT_EQ(ids.size(), graph_->num_edges());
+  const DataEdge& edge = graph_->edge(ids.front());
   // First edge: first FK of the first table with FKs (PROJECT p1 -> d1).
   EXPECT_EQ(dataset_.db->TupleLabel(edge.from), "PROJECT:p1");
   EXPECT_EQ(dataset_.db->TupleLabel(edge.to), "DEPARTMENT:d1");

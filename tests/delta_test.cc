@@ -1,0 +1,574 @@
+// Copyright 2026 The claks Authors.
+//
+// Unit invariants of the incremental-mutation path (relational/delta.h,
+// core/engine.h Derive, service/search_service.h Mutate):
+//   - watermark diffing extracts exactly the net row delta of a batch;
+//   - tombstoned rows disappear from the new generation while every older
+//     pinned generation keeps answering with the old data;
+//   - a derive that folds its overlays (compaction) is byte-identical to
+//     an engine built from scratch over the same storage;
+//   - DeltaPolicy triggers compaction exactly at its threshold, and id
+//     slack exhaustion forces one even under kNeverCompact;
+//   - a zero-row mutation batch publishes nothing (same snapshot pointer,
+//     same version, counted as noop) — the no-op regression;
+//   - an integrity-violating batch fails without publishing;
+//   - a schema change falls back to the full-rebuild path;
+//   - the published snapshot is immutable while a Mutate is in flight.
+
+#include "relational/delta.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "core/engine.h"
+#include "datasets/company_gen.h"
+#include "relational/database.h"
+#include "service/search_service.h"
+#include "text/matcher.h"
+
+namespace claks {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+GeneratedDataset MakeDataset() {
+  auto generated = GenerateCompanyDataset(CompanyGenOptions::AtScale(1));
+  CLAKS_CHECK(generated.ok());
+  return std::move(generated).ValueOrDie();
+}
+
+void InsertDependent(Database* db, const std::string& id,
+                     const std::string& name, const std::string& ssn) {
+  Table* dependent = db->FindMutableTable("DEPENDENT");
+  ASSERT_NE(dependent, nullptr);
+  ASSERT_TRUE(dependent
+                  ->InsertValues({Value::String(id), Value::String(name),
+                                  Value::String(ssn)})
+                  .ok());
+}
+
+void InsertEmployee(Database* db, const std::string& ssn,
+                    const std::string& dept) {
+  Table* employees = db->FindMutableTable("EMPLOYEE");
+  ASSERT_NE(employees, nullptr);
+  ASSERT_TRUE(employees
+                  ->InsertValues({Value::String(ssn), Value::String("Zavala"),
+                                  Value::String("Quill"),
+                                  Value::String(dept)})
+                  .ok());
+}
+
+void DeleteByPk(Database* db, const std::string& table,
+                const std::string& id) {
+  Table* tab = db->FindMutableTable(table);
+  ASSERT_NE(tab, nullptr);
+  ASSERT_TRUE(tab->DeleteByPrimaryKey({Value::String(id)}).ok());
+}
+
+/// Total tuples matching one keyword — id-free visibility probe.
+size_t CountMatches(const KeywordSearchEngine& engine,
+                    const std::string& word) {
+  auto parsed = ParseKeywordQuery(word, engine.index().tokenizer());
+  auto matches = MatchKeywords(engine.index(), parsed);
+  size_t count = 0;
+  for (const KeywordMatches& km : matches) count += km.matches.size();
+  return count;
+}
+
+/// One engine generation: the database it reads plus the warmed engine.
+struct Generation {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<KeywordSearchEngine> engine;
+};
+
+Generation BaseGeneration(GeneratedDataset* dataset) {
+  Generation gen;
+  gen.db = std::move(dataset->db);
+  auto engine = KeywordSearchEngine::Create(gen.db.get(), dataset->er_schema,
+                                            dataset->mapping);
+  CLAKS_CHECK(engine.ok());
+  gen.engine = std::move(engine).ValueOrDie();
+  return gen;
+}
+
+/// Clone + watermark + mutate + diff + Derive, the exact Mutate pipeline.
+Generation DeriveGeneration(const Generation& prev,
+                            const std::function<void(Database*)>& mutate,
+                            const DeltaPolicy& policy,
+                            bool* compacted = nullptr) {
+  Generation next;
+  next.db = prev.db->Clone();
+  DatabaseWatermark watermark = TakeWatermark(*next.db);
+  mutate(next.db.get());
+  DatabaseDelta delta = ComputeDelta(watermark, *next.db);
+  auto derived = KeywordSearchEngine::Derive(*prev.engine, next.db.get(),
+                                             delta, policy, compacted);
+  CLAKS_CHECK(derived.ok());
+  next.engine = std::move(derived).ValueOrDie();
+  return next;
+}
+
+// ---------------------------------------------------------------------------
+// Watermark / delta extraction
+// ---------------------------------------------------------------------------
+
+TEST(DeltaExtractionTest, ComputesNetRowDelta) {
+  GeneratedDataset dataset = MakeDataset();
+  Database* db = dataset.db.get();
+  DatabaseWatermark watermark = TakeWatermark(*db);
+
+  Table* dependent = db->FindMutableTable("DEPENDENT");
+  ASSERT_NE(dependent, nullptr);
+  size_t first_slot = dependent->num_rows();
+  InsertDependent(db, "tx1", "alpha", "e1");
+  InsertDependent(db, "tx2", "beta", "e1");
+
+  DatabaseDelta delta = ComputeDelta(watermark, *db);
+  EXPECT_FALSE(delta.empty());
+  EXPECT_FALSE(delta.schema_changed);
+  ASSERT_EQ(delta.inserts.size(), 2u);
+  EXPECT_TRUE(delta.deletes.empty());
+  EXPECT_EQ(delta.num_ops(), 2u);
+  auto dep_index = db->TableIndex("DEPENDENT");
+  ASSERT_TRUE(dep_index.has_value());
+  EXPECT_EQ(delta.inserts[0].table, *dep_index);
+  EXPECT_EQ(delta.inserts[0].row, first_slot);
+  EXPECT_EQ(delta.inserts[1].row, first_slot + 1);
+}
+
+TEST(DeltaExtractionTest, InsertThenDeleteInOneBatchCancels) {
+  GeneratedDataset dataset = MakeDataset();
+  Database* db = dataset.db.get();
+  DatabaseWatermark watermark = TakeWatermark(*db);
+  InsertDependent(db, "tx1", "alpha", "e1");
+  DeleteByPk(db, "DEPENDENT", "tx1");
+  // The row came and went inside the batch: net change is nothing.
+  DatabaseDelta delta = ComputeDelta(watermark, *db);
+  EXPECT_TRUE(delta.inserts.empty());
+  EXPECT_TRUE(delta.deletes.empty());
+  EXPECT_TRUE(delta.empty());
+}
+
+TEST(DeltaExtractionTest, DeleteOfPreexistingRowIsListed) {
+  GeneratedDataset dataset = MakeDataset();
+  Database* db = dataset.db.get();
+  InsertDependent(db, "tx1", "alpha", "e1");
+
+  DatabaseWatermark watermark = TakeWatermark(*db);
+  DeleteByPk(db, "DEPENDENT", "tx1");
+  DatabaseDelta delta = ComputeDelta(watermark, *db);
+  EXPECT_TRUE(delta.inserts.empty());
+  ASSERT_EQ(delta.deletes.size(), 1u);
+  EXPECT_TRUE(delta.empty() == false);
+}
+
+// ---------------------------------------------------------------------------
+// Tombstone visibility across generations
+// ---------------------------------------------------------------------------
+
+TEST(DeltaVisibilityTest, OldGenerationsKeepAnsweringOldData) {
+  GeneratedDataset dataset = MakeDataset();
+  Generation gen0 = BaseGeneration(&dataset);
+  EXPECT_EQ(CountMatches(*gen0.engine, "zebrawood"), 0u);
+
+  Generation gen1 = DeriveGeneration(
+      gen0,
+      [](Database* db) { InsertDependent(db, "t9001", "zebrawood", "e1"); },
+      DeltaPolicy{DeltaPolicy::Mode::kNeverCompact});
+  EXPECT_EQ(CountMatches(*gen1.engine, "zebrawood"), 1u);
+  // The previous generation saw nothing change.
+  EXPECT_EQ(CountMatches(*gen0.engine, "zebrawood"), 0u);
+
+  Generation gen2 = DeriveGeneration(
+      gen1, [](Database* db) { DeleteByPk(db, "DEPENDENT", "t9001"); },
+      DeltaPolicy{DeltaPolicy::Mode::kNeverCompact});
+  // Tombstoned away in gen2; gen1 still answers with the old row.
+  EXPECT_EQ(CountMatches(*gen2.engine, "zebrawood"), 0u);
+  EXPECT_EQ(CountMatches(*gen1.engine, "zebrawood"), 1u);
+
+  // The tombstoned slot keeps its values (delta un-indexing and FK
+  // un-linking re-read them); only visibility changes.
+  const Table* dependent = gen2.db->FindTable("DEPENDENT");
+  ASSERT_NE(dependent, nullptr);
+  bool found_tombstone = false;
+  for (size_t r = 0; r < dependent->num_rows(); ++r) {
+    if (!dependent->IsDeleted(r)) continue;
+    if (dependent->row(r)[0].AsString() == "t9001") {
+      found_tombstone = true;
+      EXPECT_EQ(dependent->row(r)[1].AsString(), "zebrawood");
+    }
+  }
+  EXPECT_TRUE(found_tombstone);
+}
+
+// ---------------------------------------------------------------------------
+// Compaction == from-scratch rebuild
+// ---------------------------------------------------------------------------
+
+/// Byte-level equality of two warmed engines over databases with identical
+/// slot layout: same graph ids, same adjacency, same edges, same index
+/// stats, same instance statistics.
+void ExpectEnginesIdentical(const KeywordSearchEngine& a,
+                            const KeywordSearchEngine& b) {
+  const DataGraph& ga = a.data_graph();
+  const DataGraph& gb = b.data_graph();
+  ASSERT_EQ(ga.num_nodes(), gb.num_nodes());
+  ASSERT_EQ(ga.num_edges(), gb.num_edges());
+  ASSERT_EQ(ga.node_id_bound(), gb.node_id_bound());
+  EXPECT_EQ(ga.EdgeIds(), gb.EdgeIds());
+  for (uint32_t node = 0; node < ga.node_id_bound(); ++node) {
+    ASSERT_EQ(ga.IsNode(node), gb.IsNode(node)) << "node " << node;
+    auto na = ga.Neighbors(node);
+    auto nb = gb.Neighbors(node);
+    ASSERT_EQ(na.size(), nb.size()) << "node " << node;
+    for (size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i].edge_index, nb[i].edge_index);
+      EXPECT_EQ(na[i].neighbor, nb[i].neighbor);
+      EXPECT_EQ(na[i].along_fk, nb[i].along_fk);
+    }
+  }
+  for (uint32_t e : ga.EdgeIds()) {
+    const DataEdge& ea = ga.edge(e);
+    const DataEdge& eb = gb.edge(e);
+    EXPECT_EQ(ea.from, eb.from);
+    EXPECT_EQ(ea.to, eb.to);
+    EXPECT_EQ(ea.fk_index, eb.fk_index);
+  }
+  EXPECT_EQ(a.index().vocabulary_size(), b.index().vocabulary_size());
+  EXPECT_EQ(a.index().stats().total_documents,
+            b.index().stats().total_documents);
+  EXPECT_EQ(a.index().stats().total_tokens, b.index().stats().total_tokens);
+  EXPECT_DOUBLE_EQ(a.index().stats().avg_document_length,
+                   b.index().stats().avg_document_length);
+  EXPECT_EQ(a.statistics().ToString(), b.statistics().ToString());
+}
+
+TEST(DeltaCompactionTest, CompactedDeriveEqualsFromScratchRebuild) {
+  GeneratedDataset dataset = MakeDataset();
+  ERSchema er_schema = dataset.er_schema;
+  ErRelationalMapping mapping = dataset.mapping;
+  Generation gen0 = BaseGeneration(&dataset);
+
+  bool compacted = false;
+  Generation gen1 = DeriveGeneration(
+      gen0,
+      [](Database* db) {
+        InsertEmployee(db, "e9001", "d1");
+        InsertDependent(db, "t9001", "zebrawood", "e9001");
+        InsertDependent(db, "t9002", "marblecake", "e1");
+        DeleteByPk(db, "DEPENDENT", "t9002");  // same-batch churn
+        Table* works_on = db->FindMutableTable("WORKS_ON");
+        ASSERT_NE(works_on, nullptr);
+        ASSERT_TRUE(works_on
+                        ->InsertValues({Value::String("p1"),
+                                        Value::String("e9001"),
+                                        Value::Int64(12)})
+                        .ok());
+      },
+      DeltaPolicy{DeltaPolicy::Mode::kAlwaysCompact}, &compacted);
+  EXPECT_TRUE(compacted);
+  EXPECT_EQ(gen1.engine->overlay_ops(), 0u);
+
+  // From scratch over a clone of the very same storage: identical bytes.
+  std::unique_ptr<Database> rebuilt_db = gen1.db->Clone();
+  auto rebuilt =
+      KeywordSearchEngine::Create(rebuilt_db.get(), er_schema, mapping);
+  ASSERT_TRUE(rebuilt.ok());
+  ExpectEnginesIdentical(*gen1.engine, **rebuilt);
+}
+
+TEST(DeltaCompactionTest, UncompactedDeriveMatchesRebuildOnContent) {
+  // Without compaction the overlays stay; statistics and index stats must
+  // still agree exactly with a cold rebuild over the same storage.
+  GeneratedDataset dataset = MakeDataset();
+  ERSchema er_schema = dataset.er_schema;
+  ErRelationalMapping mapping = dataset.mapping;
+  Generation gen0 = BaseGeneration(&dataset);
+
+  bool compacted = true;
+  Generation gen1 = DeriveGeneration(
+      gen0,
+      [](Database* db) {
+        InsertEmployee(db, "e9001", "d2");
+        InsertDependent(db, "t9001", "zebrawood", "e9001");
+      },
+      DeltaPolicy{DeltaPolicy::Mode::kNeverCompact}, &compacted);
+  EXPECT_FALSE(compacted);
+  EXPECT_EQ(gen1.engine->overlay_ops(), 2u);
+
+  std::unique_ptr<Database> rebuilt_db = gen1.db->Clone();
+  auto rebuilt =
+      KeywordSearchEngine::Create(rebuilt_db.get(), er_schema, mapping);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(gen1.engine->index().stats().total_documents,
+            (*rebuilt)->index().stats().total_documents);
+  EXPECT_EQ(gen1.engine->index().stats().total_tokens,
+            (*rebuilt)->index().stats().total_tokens);
+  EXPECT_EQ(gen1.engine->statistics().ToString(),
+            (*rebuilt)->statistics().ToString());
+  EXPECT_EQ(CountMatches(*gen1.engine, "zebrawood"),
+            CountMatches(**rebuilt, "zebrawood"));
+}
+
+// ---------------------------------------------------------------------------
+// DeltaPolicy thresholds
+// ---------------------------------------------------------------------------
+
+TEST(DeltaPolicyTest, NeverCompactAccumulatesOverlayOps) {
+  GeneratedDataset dataset = MakeDataset();
+  Generation gen0 = BaseGeneration(&dataset);
+  DeltaPolicy never{DeltaPolicy::Mode::kNeverCompact};
+
+  std::vector<Generation> chain;
+  chain.push_back(DeriveGeneration(
+      gen0,
+      [](Database* db) { InsertDependent(db, "ta1", "alpha", "e1"); },
+      never));
+  EXPECT_EQ(chain.back().engine->overlay_ops(), 1u);
+  chain.push_back(DeriveGeneration(
+      chain.back(),
+      [](Database* db) { InsertDependent(db, "ta2", "beta", "e1"); },
+      never));
+  EXPECT_EQ(chain.back().engine->overlay_ops(), 2u);
+  chain.push_back(DeriveGeneration(
+      chain.back(), [](Database* db) { DeleteByPk(db, "DEPENDENT", "ta1"); },
+      never));
+  EXPECT_EQ(chain.back().engine->overlay_ops(), 3u);
+}
+
+TEST(DeltaPolicyTest, AutoCompactsExactlyAtThreshold) {
+  GeneratedDataset dataset = MakeDataset();
+  Generation gen0 = BaseGeneration(&dataset);
+  // fraction 0: the threshold is exactly min_ops accumulated operations.
+  DeltaPolicy policy;
+  policy.mode = DeltaPolicy::Mode::kAuto;
+  policy.min_ops = 3;
+  policy.fraction = 0.0;
+
+  bool compacted = true;
+  Generation gen1 = DeriveGeneration(
+      gen0,
+      [](Database* db) { InsertDependent(db, "ta1", "alpha", "e1"); },
+      policy, &compacted);
+  EXPECT_FALSE(compacted);  // 1 < 3
+  Generation gen2 = DeriveGeneration(
+      gen1,
+      [](Database* db) { InsertDependent(db, "ta2", "beta", "e1"); },
+      policy, &compacted);
+  EXPECT_FALSE(compacted);  // 2 < 3
+  Generation gen3 = DeriveGeneration(
+      gen2,
+      [](Database* db) { InsertDependent(db, "ta3", "gamma", "e1"); },
+      policy, &compacted);
+  EXPECT_TRUE(compacted);  // 3 >= 3: overlays fold
+  EXPECT_EQ(gen3.engine->overlay_ops(), 0u);
+}
+
+TEST(DeltaPolicyTest, SlackExhaustionForcesCompaction) {
+  GeneratedDataset dataset = MakeDataset();
+  Generation gen0 = BaseGeneration(&dataset);
+  // One batch appending far past DEPENDENT's id slack: the graph cannot
+  // place the new rows in its reserved region and reports the derive
+  // impossible, which must force a fold even under kNeverCompact.
+  bool compacted = false;
+  Generation gen1 = DeriveGeneration(
+      gen0,
+      [](Database* db) {
+        for (int i = 0; i < 200; ++i) {
+          InsertDependent(db, "slack" + std::to_string(i), "filler", "e1");
+        }
+      },
+      DeltaPolicy{DeltaPolicy::Mode::kNeverCompact}, &compacted);
+  EXPECT_TRUE(compacted);
+  EXPECT_EQ(gen1.engine->overlay_ops(), 0u);
+  EXPECT_EQ(CountMatches(*gen1.engine, "filler"), 200u);
+}
+
+// ---------------------------------------------------------------------------
+// Service-level Mutate invariants
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<SearchService> MakeService(const DeltaPolicy& policy) {
+  GeneratedDataset dataset = MakeDataset();
+  ServiceOptions options;
+  options.num_threads = 2;
+  options.cache_capacity = 0;
+  options.delta_policy = policy;
+  auto service = SearchService::Create(std::move(dataset.db),
+                                       dataset.er_schema, dataset.mapping,
+                                       options);
+  CLAKS_CHECK(service.ok());
+  return std::move(service).ValueOrDie();
+}
+
+TEST(ServiceMutateTest, NoopMutationPublishesNothing) {
+  auto service = MakeService(DeltaPolicy{});
+  std::shared_ptr<const EngineSnapshot> before = service->snapshot();
+
+  // Batch 1: literally nothing. Batch 2: insert + delete of the same row
+  // (net-zero). Neither may build or publish anything.
+  ASSERT_TRUE(service->Mutate([](Database*) { return Status::OK(); }).ok());
+  ASSERT_TRUE(service
+                  ->Mutate([](Database* db) {
+                    InsertDependent(db, "tmp1", "ephemeral", "e1");
+                    DeleteByPk(db, "DEPENDENT", "tmp1");
+                    return Status::OK();
+                  })
+                  .ok());
+
+  std::shared_ptr<const EngineSnapshot> after = service->snapshot();
+  EXPECT_EQ(before.get(), after.get());  // the exact same generation
+  EXPECT_EQ(before->version, after->version);
+  ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.noop_mutations, 2u);
+  EXPECT_EQ(stats.delta_mutations, 0u);
+  EXPECT_EQ(stats.rebuild_mutations, 0u);
+  EXPECT_EQ(stats.compactions, 0u);
+}
+
+TEST(ServiceMutateTest, RowBatchPublishesDeltaDerivedSnapshot) {
+  auto service = MakeService(DeltaPolicy{DeltaPolicy::Mode::kNeverCompact});
+  uint64_t version = service->snapshot()->version;
+  ASSERT_TRUE(service
+                  ->Mutate([](Database* db) {
+                    InsertDependent(db, "t9001", "zebrawood", "e1");
+                    return Status::OK();
+                  })
+                  .ok());
+  std::shared_ptr<const EngineSnapshot> snapshot = service->snapshot();
+  EXPECT_EQ(snapshot->version, version + 1);
+  EXPECT_EQ(CountMatches(*snapshot->engine, "zebrawood"), 1u);
+  ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.delta_mutations, 1u);
+  EXPECT_EQ(stats.rebuild_mutations, 0u);
+}
+
+TEST(ServiceMutateTest, IntegrityViolationPublishesNothing) {
+  auto service = MakeService(DeltaPolicy{});
+  std::shared_ptr<const EngineSnapshot> before = service->snapshot();
+
+  // Dangling FK: the batch must fail with IntegrityViolation and leave
+  // the published snapshot untouched.
+  Status dangling = service->Mutate([](Database* db) {
+    InsertEmployee(db, "e9001", "no-such-department");
+    return Status::OK();
+  });
+  EXPECT_FALSE(dangling.ok());
+  EXPECT_TRUE(dangling.IsIntegrityViolation());
+
+  // Deleting a still-referenced row (d1 has employees/projects): same.
+  Status restricted = service->Mutate([](Database* db) {
+    DeleteByPk(db, "DEPARTMENT", "d1");
+    return Status::OK();
+  });
+  EXPECT_FALSE(restricted.ok());
+  EXPECT_TRUE(restricted.IsIntegrityViolation());
+
+  std::shared_ptr<const EngineSnapshot> after = service->snapshot();
+  EXPECT_EQ(before.get(), after.get());
+  ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.delta_mutations, 0u);
+  EXPECT_EQ(stats.rebuild_mutations, 0u);
+}
+
+TEST(ServiceMutateTest, SchemaChangeFallsBackToRebuild) {
+  auto service = MakeService(DeltaPolicy{});
+  uint64_t version = service->snapshot()->version;
+  ASSERT_TRUE(service
+                  ->Mutate([](Database* db) {
+                    return db
+                        ->AddTable(TableSchema(
+                            "AUDIT_LOG",
+                            {{"ID", ValueType::kString},
+                             {"NOTE", ValueType::kString}},
+                            {"ID"}))
+                        .status();
+                  })
+                  .ok());
+  EXPECT_EQ(service->snapshot()->version, version + 1);
+  ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.rebuild_mutations, 1u);
+  EXPECT_EQ(stats.delta_mutations, 0u);
+}
+
+TEST(ServiceMutateTest, CompactionCounterTracksPolicy) {
+  DeltaPolicy policy;
+  policy.mode = DeltaPolicy::Mode::kAuto;
+  policy.min_ops = 2;
+  policy.fraction = 0.0;
+  auto service = MakeService(policy);
+  auto one_insert = [](int i) {
+    return [i](Database* db) {
+      InsertDependent(db, "tc" + std::to_string(i), "countertest", "e1");
+      return Status::OK();
+    };
+  };
+  ASSERT_TRUE(service->Mutate(one_insert(0)).ok());  // 1 op: no fold
+  EXPECT_EQ(service->stats().compactions, 0u);
+  ASSERT_TRUE(service->Mutate(one_insert(1)).ok());  // 2 ops: fold
+  EXPECT_EQ(service->stats().compactions, 1u);
+  ASSERT_TRUE(service->Mutate(one_insert(2)).ok());  // counter restarts
+  EXPECT_EQ(service->stats().compactions, 1u);
+  EXPECT_EQ(service->stats().delta_mutations, 3u);
+}
+
+TEST(ServiceMutateTest, SnapshotImmutableWhileMutateInFlight) {
+  auto service = MakeService(DeltaPolicy{});
+  std::shared_ptr<const EngineSnapshot> before = service->snapshot();
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool mutation_started = false;
+  bool release_mutation = false;
+
+  std::thread writer([&] {
+    Status status = service->Mutate([&](Database* db) {
+      InsertDependent(db, "t9001", "zebrawood", "e1");
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        mutation_started = true;
+        cv.notify_all();
+        cv.wait(lock, [&] { return release_mutation; });
+      }
+      return Status::OK();
+    });
+    CLAKS_CHECK(status.ok());
+  });
+
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return mutation_started; });
+  }
+  // Mid-mutation: the published snapshot is still the old generation and
+  // still answers with the old data.
+  std::shared_ptr<const EngineSnapshot> during = service->snapshot();
+  EXPECT_EQ(before.get(), during.get());
+  EXPECT_EQ(CountMatches(*during->engine, "zebrawood"), 0u);
+
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    release_mutation = true;
+    cv.notify_all();
+  }
+  writer.join();
+
+  std::shared_ptr<const EngineSnapshot> after = service->snapshot();
+  EXPECT_EQ(after->version, before->version + 1);
+  EXPECT_EQ(CountMatches(*after->engine, "zebrawood"), 1u);
+  // And the pinned old generation still answers the old way.
+  EXPECT_EQ(CountMatches(*before->engine, "zebrawood"), 0u);
+}
+
+}  // namespace
+}  // namespace claks

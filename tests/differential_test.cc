@@ -9,16 +9,24 @@
 // a failure prints that seed and the repro line
 // `CLAKS_DIFF_SEED=<seed> ./differential_test`.
 //
+// A second sweep hardens the incremental-mutation path: seeded-random
+// insert/delete interleavings applied through SearchService::Mutate, the
+// delta-derived snapshot after every batch compared byte-for-byte (same
+// RunOutcome fingerprints) against an engine rebuilt from scratch over a
+// clone of the same storage, at every shard count.
+//
 // Environment knobs (all optional):
-//   CLAKS_DIFF_SEED    run exactly one seed instead of the sweep
-//   CLAKS_DIFF_SPECS   number of specs in the sweep (default 200)
-//   CLAKS_TEST_SHARDS  force one shard count (default: compare 2 and 4)
+//   CLAKS_DIFF_SEED            run exactly one seed instead of the sweep
+//   CLAKS_DIFF_SPECS           number of specs in the sweep (default 200)
+//   CLAKS_DIFF_MUTATION_SPECS  mutation scenarios (default 100)
+//   CLAKS_TEST_SHARDS          force one shard count
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -28,6 +36,8 @@
 #include "core/engine.h"
 #include "core/query_spec.h"
 #include "datasets/company_gen.h"
+#include "relational/database.h"
+#include "service/search_service.h"
 
 namespace claks {
 namespace {
@@ -308,6 +318,207 @@ TEST(DifferentialTest, ShardedExecutionIsByteIdentical) {
         // One divergence prints in full; stop instead of spamming the
         // log with every later seed's diff.
         return;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mutation-sequence mode: delta-derived snapshots vs cold rebuilds
+// ---------------------------------------------------------------------------
+
+/// Inserts one schema-valid random row into a random table: FK attributes
+/// copy the key of a random live parent row, other PK attributes get a
+/// fresh unique value, the rest draw from the query vocabulary (so
+/// mutations move keyword matches around). Returns false when no valid
+/// insert exists (empty parent, PK collision).
+bool TryRandomInsert(Database* db, Rng* rng, uint64_t* unique_counter) {
+  uint32_t t = static_cast<uint32_t>(rng->Index(db->num_tables()));
+  Table* tab = db->FindMutableTable(db->table(t).name());
+  CLAKS_CHECK(tab != nullptr);
+  const TableSchema& schema = tab->schema();
+  std::vector<Value> values(schema.num_attributes(), Value::Null());
+  std::set<size_t> fk_attrs;
+  for (const ForeignKeyDef& fk : schema.foreign_keys()) {
+    const Table* parent = db->FindTable(fk.referenced_table);
+    if (parent == nullptr || parent->live_rows() == 0) return false;
+    size_t target = rng->Index(parent->live_rows());
+    size_t parent_row = parent->num_rows();
+    for (size_t r = 0, live = 0; r < parent->num_rows(); ++r) {
+      if (parent->IsDeleted(r)) continue;
+      if (live++ == target) {
+        parent_row = r;
+        break;
+      }
+    }
+    CLAKS_CHECK(parent_row < parent->num_rows());
+    for (size_t k = 0; k < fk.local_attributes.size(); ++k) {
+      auto local = schema.AttributeIndex(fk.local_attributes[k]);
+      auto referenced =
+          parent->schema().AttributeIndex(fk.referenced_attributes[k]);
+      if (!local.has_value() || !referenced.has_value()) return false;
+      values[*local] = parent->row(parent_row)[*referenced];
+      fk_attrs.insert(*local);
+    }
+  }
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (fk_attrs.count(i) > 0) continue;
+    const AttributeDef& attr = schema.attribute(i);
+    if (schema.IsPrimaryKeyAttribute(attr.name)) {
+      values[i] = Value::String("mut" + std::to_string((*unique_counter)++));
+    } else if (attr.type == ValueType::kInt64) {
+      values[i] = Value::Int64(static_cast<int64_t>(1 + rng->Index(50)));
+    } else {
+      values[i] =
+          Value::String(kVocabulary[rng->Index(std::size(kVocabulary))]);
+    }
+  }
+  // WORKS_ON-style tables key on their FK pair: a random parent choice can
+  // collide with an existing live row, which would be a PK violation.
+  std::vector<size_t> pk_indices = schema.PrimaryKeyIndices();
+  Row key;
+  for (size_t idx : pk_indices) key.push_back(values[idx]);
+  if (!tab->FindRows(pk_indices, key).empty()) return false;
+  return tab->InsertValues(std::move(values)).ok();
+}
+
+/// True when any live row of any table references `row` of `tab`.
+bool RowIsReferenced(const Database& db, const Table& tab, size_t row) {
+  std::vector<size_t> pk_indices = tab.schema().PrimaryKeyIndices();
+  Row key;
+  for (size_t idx : pk_indices) key.push_back(tab.row(row)[idx]);
+  for (uint32_t u = 0; u < db.num_tables(); ++u) {
+    const Table& child = db.table(u);
+    for (const ForeignKeyDef& fk : child.schema().foreign_keys()) {
+      if (fk.referenced_table != tab.name()) continue;
+      std::vector<size_t> local;
+      for (const std::string& name : fk.local_attributes) {
+        auto idx = child.schema().AttributeIndex(name);
+        CLAKS_CHECK(idx.has_value());
+        local.push_back(*idx);
+      }
+      if (!child.FindRows(local, key).empty()) return true;
+    }
+  }
+  return false;
+}
+
+/// Tombstones one random live, unreferenced row (RESTRICT semantics keep
+/// referenced rows undeletable). Returns false when the chosen table has
+/// no deletable row.
+bool TryRandomDelete(Database* db, Rng* rng) {
+  uint32_t t = static_cast<uint32_t>(rng->Index(db->num_tables()));
+  Table* tab = db->FindMutableTable(db->table(t).name());
+  CLAKS_CHECK(tab != nullptr);
+  if (tab->live_rows() == 0) return false;
+  size_t start = rng->Index(tab->num_rows());
+  for (size_t step = 0; step < tab->num_rows(); ++step) {
+    size_t r = (start + step) % tab->num_rows();
+    if (tab->IsDeleted(r)) continue;
+    if (RowIsReferenced(*db, *tab, r)) continue;
+    return tab->Delete(r).ok();
+  }
+  return false;
+}
+
+/// One op, insert-biased; falls back to the other kind when the first
+/// choice has no valid move.
+void ApplyRandomOp(Database* db, Rng* rng, uint64_t* unique_counter) {
+  bool insert = rng->Bernoulli(0.65);
+  for (int attempt = 0; attempt < 2; ++attempt, insert = !insert) {
+    if (insert ? TryRandomInsert(db, rng, unique_counter)
+               : TryRandomDelete(db, rng)) {
+      return;
+    }
+  }
+}
+
+DeltaPolicy RandomPolicy(Rng* rng) {
+  DeltaPolicy policy;
+  switch (rng->Index(3)) {
+    case 0:
+      policy.mode = DeltaPolicy::Mode::kAuto;
+      policy.min_ops = 1 + rng->Index(6);
+      policy.fraction = 0.0;
+      break;
+    case 1:
+      policy.mode = DeltaPolicy::Mode::kNeverCompact;
+      break;
+    default:
+      policy.mode = DeltaPolicy::Mode::kAlwaysCompact;
+      break;
+  }
+  return policy;
+}
+
+TEST(DifferentialTest, DeltaMutationSequencesMatchColdRebuild) {
+  constexpr uint64_t kBaseSeed = 0xd317a000;
+  std::vector<uint64_t> seeds;
+  if (const char* forced = std::getenv("CLAKS_DIFF_SEED")) {
+    seeds.push_back(std::strtoull(forced, nullptr, 10));
+  } else {
+    size_t count = EnvCount("CLAKS_DIFF_MUTATION_SPECS", 100);
+    for (size_t i = 0; i < count; ++i) seeds.push_back(kBaseSeed + i);
+  }
+  std::vector<size_t> shard_counts = {1, 2, 4};
+  if (std::getenv("CLAKS_TEST_SHARDS") != nullptr) {
+    shard_counts = {EnvCount("CLAKS_TEST_SHARDS", 1)};
+    ASSERT_GT(shard_counts[0], 0u);
+  }
+
+  const GeneratedDataset& master = GetEngines().small_data;
+  for (uint64_t seed : seeds) {
+    // The query spec and the mutation stream derive from the same seed;
+    // the spec's dataset flag is ignored (mutations run on the 1x clone).
+    DiffSpec spec = MakeSpec(seed);
+    Rng rng(seed ^ 0x5ca1ab1eu);
+
+    ServiceOptions options;
+    options.num_threads = 1;
+    options.cache_capacity = 0;
+    options.delta_policy = RandomPolicy(&rng);
+    auto created = SearchService::Create(master.db->Clone(),
+                                         master.er_schema, master.mapping,
+                                         options);
+    ASSERT_TRUE(created.ok());
+    std::unique_ptr<SearchService> service =
+        std::move(created).ValueOrDie();
+
+    uint64_t unique_counter = 0;
+    size_t batches = 1 + rng.Index(3);
+    for (size_t batch = 0; batch < batches; ++batch) {
+      size_t ops = 1 + rng.Index(6);
+      Status applied = service->Mutate([&](Database* db) {
+        for (size_t op = 0; op < ops; ++op) {
+          ApplyRandomOp(db, &rng, &unique_counter);
+        }
+        return Status::OK();
+      });
+      ASSERT_TRUE(applied.ok()) << applied.message();
+
+      // Cold rebuild over a clone of the published snapshot's storage:
+      // identical slot layout, engine built from scratch.
+      std::shared_ptr<const EngineSnapshot> snapshot = service->snapshot();
+      std::unique_ptr<Database> rebuilt_db = snapshot->db->Clone();
+      auto rebuilt = KeywordSearchEngine::Create(
+          rebuilt_db.get(), master.er_schema, master.mapping);
+      ASSERT_TRUE(rebuilt.ok());
+
+      for (size_t shards : shard_counts) {
+        RunOutcome derived_run = RunSpec(*snapshot->engine, spec, shards);
+        RunOutcome rebuilt_run = RunSpec(**rebuilt, spec, shards);
+        if (!(derived_run == rebuilt_run)) {
+          ADD_FAILURE()
+              << "delta-derived snapshot diverged from cold rebuild\n"
+              << "spec: " << spec.ToString() << "\n"
+              << "batch=" << batch << " shards=" << shards << "\n"
+              << "derived: " << derived_run.ToString() << "\n"
+              << "rebuilt: " << rebuilt_run.ToString() << "\n"
+              << "reproduce: CLAKS_DIFF_SEED=" << seed
+              << " ./differential_test --gtest_filter="
+                 "DifferentialTest.DeltaMutationSequencesMatchColdRebuild";
+          return;
+        }
       }
     }
   }

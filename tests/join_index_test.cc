@@ -25,25 +25,31 @@
 namespace claks {
 namespace {
 
-// Scan-derived adjacency in the seed representation: one vector per node,
-// entries pushed in FK-edge order, referencing side first.
+// Scan-derived adjacency in the seed representation: one vector per node
+// id, entries pushed in FK-edge order, referencing side first. Node and
+// edge ids are slack-gapped per-table regions now, so the scan ordinal is
+// mapped to the matching graph edge id through EdgeIds(), which enumerates
+// live ids in the same table-major dense order as ScanAllFkEdges.
 std::vector<std::vector<DataAdjacency>> ScanAdjacency(
     const Database& db, const DataGraph& graph) {
-  std::vector<std::vector<DataAdjacency>> adjacency(graph.num_nodes());
+  std::vector<std::vector<DataAdjacency>> adjacency(graph.node_id_bound());
   std::vector<FkEdge> edges = db.ScanAllFkEdges();
-  for (uint32_t e = 0; e < edges.size(); ++e) {
+  std::vector<uint32_t> ids = graph.EdgeIds();
+  EXPECT_EQ(ids.size(), edges.size());
+  for (uint32_t e = 0; e < edges.size() && e < ids.size(); ++e) {
     uint32_t from_node = graph.NodeOf(edges[e].from);
     uint32_t to_node = graph.NodeOf(edges[e].to);
-    adjacency[from_node].push_back(DataAdjacency{e, to_node, true});
-    adjacency[to_node].push_back(DataAdjacency{e, from_node, false});
+    adjacency[from_node].push_back(DataAdjacency{ids[e], to_node, true});
+    adjacency[to_node].push_back(DataAdjacency{ids[e], from_node, false});
   }
   return adjacency;
 }
 
 void ExpectAdjacencyMatchesScan(const Database& db, const DataGraph& graph) {
   auto expected = ScanAdjacency(db, graph);
-  ASSERT_EQ(graph.num_nodes(), expected.size());
-  for (uint32_t node = 0; node < graph.num_nodes(); ++node) {
+  ASSERT_EQ(graph.node_id_bound(), expected.size());
+  for (uint32_t node = 0; node < graph.node_id_bound(); ++node) {
+    // Gap ids (unused slack slots) have no neighbors on either side.
     auto actual = graph.Neighbors(node);
     ASSERT_EQ(actual.size(), expected[node].size()) << "node " << node;
     for (size_t i = 0; i < actual.size(); ++i) {
@@ -146,7 +152,8 @@ TEST_F(JoinIndexPaperTest, JoinIndexLookupsMatchTableScans) {
 
 TEST_F(JoinIndexPaperTest, OutEdgesMatchPerTupleResolution) {
   const DataGraph& graph = engine_->data_graph();
-  for (uint32_t node = 0; node < graph.num_nodes(); ++node) {
+  for (uint32_t node = 0; node < graph.node_id_bound(); ++node) {
+    if (!graph.IsNode(node)) continue;
     std::vector<FkEdge> expected =
         dataset_.db->ResolveFkEdgesFrom(graph.TupleOf(node));
     auto out = graph.OutEdges(node);
