@@ -102,9 +102,9 @@ inline int PaperRowOf(const KeywordSearchEngine& engine, const Database& db,
 }
 
 inline void PrintHeader(const std::string& title) {
-  std::printf("\n============================================================\n");
-  std::printf("%s\n", title.c_str());
-  std::printf("============================================================\n");
+  static const char kRule[] =
+      "============================================================";
+  std::printf("\n%s\n%s\n%s\n", kRule, title.c_str(), kRule);
 }
 
 }  // namespace bench

@@ -4,25 +4,48 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+#include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace claks {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
 
-// Guards the sink pointer and every emission: one CLAKS_LOG statement is
-// one critical section, so concurrent statements produce whole,
-// non-interleaved lines in the sink.
-std::mutex& SinkMutex() {
-  static std::mutex* mutex = new std::mutex;
-  return *mutex;
-}
+// The sink and the mutex guarding it, as one annotated object so clang's
+// thread-safety analysis proves every emission path locks: one CLAKS_LOG
+// statement is one critical section, so concurrent statements produce
+// whole, non-interleaved lines in the sink.
+class LogRegistry {
+ public:
+  void SetSink(LogSink sink) CLAKS_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    sink_ = std::move(sink);
+  }
 
-LogSink& Sink() {
-  static LogSink* sink = new LogSink;
-  return *sink;
-}
+  void Emit(LogLevel level, const std::string& line)
+      CLAKS_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    if (sink_) {
+      sink_(level, line);
+    } else {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
+  }
+
+  /// Leaky singleton: never destroyed, so logging from static
+  /// destructors of any translation unit stays safe.
+  static LogRegistry& Instance() {
+    static LogRegistry* registry = new LogRegistry;
+    return *registry;
+  }
+
+ private:
+  Mutex mutex_;
+  LogSink sink_ CLAKS_GUARDED_BY(mutex_);
+};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -46,8 +69,7 @@ void SetLogLevel(LogLevel level) {
 LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 void SetLogSink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
-  Sink() = std::move(sink);
+  LogRegistry::Instance().SetSink(std::move(sink));
 }
 
 namespace internal {
@@ -59,13 +81,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (level_ < GetLogLevel()) return;
-  const std::string line = stream_.str();
-  std::lock_guard<std::mutex> lock(SinkMutex());
-  if (Sink()) {
-    Sink()(level_, line);
-  } else {
-    std::fprintf(stderr, "%s\n", line.c_str());
-  }
+  LogRegistry::Instance().Emit(level_, stream_.str());
 }
 
 }  // namespace internal

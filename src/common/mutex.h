@@ -1,0 +1,66 @@
+// Copyright 2026 The claks Authors.
+//
+// Annotated mutex wrapper. libstdc++'s std::mutex and std::lock_guard
+// carry no thread-safety attributes, so clang's `-Wthread-safety`
+// analysis cannot see their acquires and releases; claks::Mutex and
+// claks::MutexLock are the thinnest possible wrappers (zero overhead:
+// every method is an inline forward) that do carry the attributes, which
+// lets CLAKS_GUARDED_BY fields be compile-time enforced on clang builds.
+//
+// Condition variables: MutexLock::native() exposes the underlying
+// std::unique_lock for std::condition_variable::wait. wait() unlocks and
+// relocks internally, which the analysis does not model — it reasons at
+// scope granularity, and the lock is held again whenever wait returns, so
+// guarded reads inside a wait loop stay sound. Write wait loops as
+// explicit `while (!cond) cv.wait(lock.native());` so the condition reads
+// happen in the annotated scope (a predicate lambda would be analysed as
+// an unannotated function).
+
+#ifndef CLAKS_COMMON_MUTEX_H_
+#define CLAKS_COMMON_MUTEX_H_
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace claks {
+
+/// std::mutex with capability annotations. Prefer MutexLock over manual
+/// Lock/Unlock pairs; the manual form exists for the rare non-scoped
+/// protocol and keeps the analysis exact via CLAKS_ACQUIRE/RELEASE.
+class CLAKS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CLAKS_ACQUIRE() { mu_.lock(); }
+  void Unlock() CLAKS_RELEASE() { mu_.unlock(); }
+  bool TryLock() CLAKS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII lock over a claks::Mutex (the annotated std::lock_guard). Holds
+/// the capability from construction to scope exit.
+class CLAKS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) CLAKS_ACQUIRE(mu) : lock_(mu->mu_) {}
+  ~MutexLock() CLAKS_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// The underlying lock, for std::condition_variable::wait only.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace claks
+
+#endif  // CLAKS_COMMON_MUTEX_H_

@@ -1,0 +1,99 @@
+// Copyright 2026 The claks Authors.
+//
+// Clang thread-safety-analysis annotations (CLAKS_GUARDED_BY and friends).
+// Under clang the macros expand to the `capability`-family attributes and
+// `-Wthread-safety` turns the locking discipline they describe into
+// compile errors; under every other compiler they expand to nothing, so
+// annotated code stays portable. The annotated lock types these attach to
+// live in common/mutex.h (libstdc++'s std::mutex carries no annotations,
+// so the analysis needs our wrapper to see acquires and releases).
+//
+// Discipline (enforced by tools/claks_lint.py): every Mutex member names
+// the fields it protects via CLAKS_GUARDED_BY, functions that expect the
+// caller to hold a lock say so with CLAKS_REQUIRES, and functions that
+// take a lock themselves advertise CLAKS_EXCLUDES so the analysis can
+// prove the absence of self-deadlock.
+
+#ifndef CLAKS_COMMON_THREAD_ANNOTATIONS_H_
+#define CLAKS_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define CLAKS_THREAD_ANNOTATIONS_ENABLED 1
+#endif
+#endif
+
+#ifndef CLAKS_THREAD_ANNOTATIONS_ENABLED
+#define CLAKS_THREAD_ANNOTATIONS_ENABLED 0
+#endif
+
+#if CLAKS_THREAD_ANNOTATIONS_ENABLED
+#define CLAKS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define CLAKS_THREAD_ANNOTATION_(x)  // no-op off clang
+#endif
+
+/// Declares a type to be a capability (lockable). The string names the
+/// capability kind in diagnostics ("mutex").
+#define CLAKS_CAPABILITY(x) CLAKS_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor
+/// releases a capability (common/mutex.h MutexLock).
+#define CLAKS_SCOPED_CAPABILITY CLAKS_THREAD_ANNOTATION_(scoped_lockable)
+
+/// The annotated field may only be read or written while holding `x`.
+#define CLAKS_GUARDED_BY(x) CLAKS_THREAD_ANNOTATION_(guarded_by(x))
+
+/// The data *pointed to* by the annotated pointer/smart-pointer field may
+/// only be dereferenced while holding `x` (the pointer itself is free).
+#define CLAKS_PT_GUARDED_BY(x) CLAKS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// The annotated function may only be called while holding the named
+/// capabilities exclusively; it does not acquire or release them.
+#define CLAKS_REQUIRES(...) \
+  CLAKS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Shared (reader) flavour of CLAKS_REQUIRES.
+#define CLAKS_REQUIRES_SHARED(...) \
+  CLAKS_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The annotated function acquires the named capabilities and holds them
+/// when it returns (constructor of MutexLock, Mutex::Lock).
+#define CLAKS_ACQUIRE(...) \
+  CLAKS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+#define CLAKS_ACQUIRE_SHARED(...) \
+  CLAKS_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// The annotated function releases the named capabilities (destructor of
+/// MutexLock, Mutex::Unlock).
+#define CLAKS_RELEASE(...) \
+  CLAKS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+#define CLAKS_RELEASE_SHARED(...) \
+  CLAKS_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// The annotated function tries to acquire the capability and returns
+/// `result` (a bool constant) on success.
+#define CLAKS_TRY_ACQUIRE(...) \
+  CLAKS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the named capabilities: the function acquires
+/// them itself (documents "locks internally" and proves non-reentrance).
+#define CLAKS_EXCLUDES(...) \
+  CLAKS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Asserts at analysis level (not runtime) that the capability is held.
+#define CLAKS_ASSERT_CAPABILITY(x) \
+  CLAKS_THREAD_ANNOTATION_(assert_capability(x))
+
+/// The annotated function returns a reference to the named capability.
+#define CLAKS_RETURN_CAPABILITY(x) CLAKS_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only for
+/// double-checked publication patterns the analysis cannot express, and
+/// say why in a comment at the use site.
+#define CLAKS_NO_THREAD_SAFETY_ANALYSIS \
+  CLAKS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // CLAKS_COMMON_THREAD_ANNOTATIONS_H_

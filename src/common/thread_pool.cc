@@ -19,7 +19,7 @@ ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     stopping_ = true;
   }
   not_empty_.notify_all();
@@ -29,19 +29,21 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   CLAKS_CHECK(task != nullptr);
-  std::unique_lock<std::mutex> lock(mutex_);
-  not_full_.wait(lock,
-                 [this] { return queue_.size() < capacity_ || stopping_; });
-  CLAKS_CHECK(!stopping_);  // submitting to a destructing pool
-  queue_.push_back(std::move(task));
-  lock.unlock();
+  {
+    MutexLock lock(&mutex_);
+    while (queue_.size() >= capacity_ && !stopping_) {
+      not_full_.wait(lock.native());
+    }
+    CLAKS_CHECK(!stopping_);  // submitting to a destructing pool
+    queue_.push_back(std::move(task));
+  }
   not_empty_.notify_one();
 }
 
 bool ThreadPool::TrySubmit(std::function<void()>& task) {
   CLAKS_CHECK(task != nullptr);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     CLAKS_CHECK(!stopping_);
     if (queue_.size() >= capacity_) return false;
     queue_.push_back(std::move(task));
@@ -51,13 +53,14 @@ bool ThreadPool::TrySubmit(std::function<void()>& task) {
 }
 
 void ThreadPool::Drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_idle_.wait(lock,
-                 [this] { return queue_.empty() && executing_ == 0; });
+  MutexLock lock(&mutex_);
+  while (!queue_.empty() || executing_ != 0) {
+    all_idle_.wait(lock.native());
+  }
 }
 
 size_t ThreadPool::pending() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return queue_.size();
 }
 
@@ -65,9 +68,10 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      not_empty_.wait(lock,
-                      [this] { return !queue_.empty() || stopping_; });
+      MutexLock lock(&mutex_);
+      while (queue_.empty() && !stopping_) {
+        not_empty_.wait(lock.native());
+      }
       // Drain-before-exit: shutdown completes queued work, it never
       // cancels it (Submit callers hold futures on these tasks).
       if (queue_.empty()) return;
@@ -78,7 +82,7 @@ void ThreadPool::WorkerLoop() {
     not_full_.notify_one();
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       --executing_;
       if (queue_.empty() && executing_ == 0) all_idle_.notify_all();
     }

@@ -17,9 +17,11 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace claks {
 
@@ -42,31 +44,33 @@ class ThreadPool {
 
   /// Enqueues one task. Blocks while the queue is at capacity — bounded
   /// admission: callers feel backpressure, tasks are never dropped.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) CLAKS_EXCLUDES(mutex_);
 
   /// Non-blocking Submit: false (task untouched) when the queue is full.
-  bool TrySubmit(std::function<void()>& task);
+  bool TrySubmit(std::function<void()>& task) CLAKS_EXCLUDES(mutex_);
 
   /// Blocks until every task submitted so far has finished executing.
-  void Drain();
+  void Drain() CLAKS_EXCLUDES(mutex_);
 
   size_t num_threads() const { return workers_.size(); }
   size_t queue_capacity() const { return capacity_; }
 
   /// Tasks waiting in the queue (excludes tasks currently executing).
-  size_t pending() const;
+  size_t pending() const CLAKS_EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() CLAKS_EXCLUDES(mutex_);
 
   const size_t capacity_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::condition_variable not_empty_;   // signalled on enqueue
   std::condition_variable not_full_;    // signalled on dequeue
   std::condition_variable all_idle_;    // signalled when work may be done
-  std::deque<std::function<void()>> queue_;
-  size_t executing_ = 0;  ///< tasks popped but not yet finished
-  bool stopping_ = false;
+  std::deque<std::function<void()>> queue_ CLAKS_GUARDED_BY(mutex_);
+  size_t executing_ CLAKS_GUARDED_BY(mutex_) = 0;  ///< popped, unfinished
+  bool stopping_ CLAKS_GUARDED_BY(mutex_) = false;
+  /// Started in the constructor, joined in the destructor; the vector
+  /// itself is immutable in between (num_threads reads its size).
   std::vector<std::thread> workers_;
 };
 

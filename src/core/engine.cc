@@ -74,6 +74,8 @@ Result<std::unique_ptr<KeywordSearchEngine>> KeywordSearchEngine::Create(
   // path are then served from the cache, and a freshly-created engine is
   // warm (Search is const and data-race-free until `db` is mutated).
   db->Warmup();
+  // NOLINTNEXTLINE(modernize-make-unique): the constructor is private
+  // (Build/Derive are the only entry points); make_unique cannot reach it.
   auto engine =
       std::unique_ptr<KeywordSearchEngine>(new KeywordSearchEngine());
   engine->db_ = db;
@@ -103,6 +105,8 @@ Result<std::unique_ptr<KeywordSearchEngine>> KeywordSearchEngine::Derive(
   // nothing is built and `prev` is untouched.
   CLAKS_RETURN_NOT_OK(next_db->DeriveJoinIndexes(prev.database(), delta));
 
+  // NOLINTNEXTLINE(modernize-make-unique): the constructor is private
+  // (Build/Derive are the only entry points); make_unique cannot reach it.
   auto engine =
       std::unique_ptr<KeywordSearchEngine>(new KeywordSearchEngine());
   engine->db_ = next_db;

@@ -254,6 +254,8 @@ class KeywordSearchEngine {
   /// Lazy (see shard_context()); mutable because sharded execution is a
   /// detail of const Search/MaterializeHits calls.
   mutable std::once_flag shard_context_once_;
+  // claks-lint: allow(mutable-member) -- written exactly once under
+  // shard_context_once_ (call_once publication), read-only afterwards.
   mutable std::unique_ptr<ShardContext> shard_context_;
   std::unique_ptr<ERSchema> er_schema_;
   std::unique_ptr<ErRelationalMapping> mapping_;

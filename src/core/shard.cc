@@ -75,22 +75,24 @@ void RunAndWait(ThreadPool* pool,
                 std::vector<std::function<void()>> tasks) {
   CLAKS_CHECK(pool != nullptr);
   struct Rendezvous {
-    std::mutex mutex;
+    Mutex mutex;
     std::condition_variable done;
-    size_t outstanding = 0;
+    size_t outstanding CLAKS_GUARDED_BY(mutex) = 0;
   };
   Rendezvous rendezvous;
-  rendezvous.outstanding = tasks.size();
+  {
+    MutexLock lock(&rendezvous.mutex);
+    rendezvous.outstanding = tasks.size();
+  }
   for (std::function<void()>& task : tasks) {
     pool->Submit([&rendezvous, task = std::move(task)] {
       task();
-      std::lock_guard<std::mutex> lock(rendezvous.mutex);
+      MutexLock lock(&rendezvous.mutex);
       if (--rendezvous.outstanding == 0) rendezvous.done.notify_all();
     });
   }
-  std::unique_lock<std::mutex> lock(rendezvous.mutex);
-  rendezvous.done.wait(lock,
-                       [&rendezvous] { return rendezvous.outstanding == 0; });
+  MutexLock lock(&rendezvous.mutex);
+  while (rendezvous.outstanding != 0) rendezvous.done.wait(lock.native());
 }
 
 RankedSeedSets RankSeedSets(const std::vector<uint32_t>& side_a,
@@ -160,7 +162,7 @@ void ShardedStreamSource::FillAll(size_t stop_length) {
   }
   if (to_fill.empty()) return;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     outstanding_ += to_fill.size();
   }
   for (size_t i : to_fill) {
@@ -182,7 +184,7 @@ void ShardedStreamSource::FillAll(size_t stop_length) {
       }
       bool exhausted = !shard->stream->PendingLength().has_value();
       size_t expansions = shard->stream->expansions();
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       shard->exhausted = exhausted;
       shard->paused = got.empty() && !exhausted;
       shard->paused_at = stop_length;
@@ -192,8 +194,8 @@ void ShardedStreamSource::FillAll(size_t stop_length) {
       if (--outstanding_ == 0) fills_done_.notify_all();
     });
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  fills_done_.wait(lock, [this] { return outstanding_ == 0; });
+  MutexLock lock(&mutex_);
+  while (outstanding_ != 0) fills_done_.wait(lock.native());
 }
 
 Result<std::optional<ShardedStreamSource::Emission>>
@@ -201,7 +203,12 @@ ShardedStreamSource::Next(size_t stop_length) {
   last_stop_ = stop_length;
   while (true) {
     FillAll(stop_length);
-    if (!fill_status_.ok()) return fill_status_;
+    {
+      // No fill task is outstanding after FillAll, but the error slot is
+      // a guarded field — read it under its lock.
+      MutexLock lock(&mutex_);
+      if (!fill_status_.ok()) return fill_status_;
+    }
     // Gather: the minimal buffered (length, seed_rank) head is the
     // globally next emission. Shards never share a seed, so the key has
     // no cross-shard ties; a shard with an empty buffer is exhausted or

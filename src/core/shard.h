@@ -43,12 +43,13 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
 #include "core/topk.h"
@@ -152,7 +153,8 @@ class ShardedStreamSource {
   /// Pausing leaves all per-shard queues intact — a later call with a
   /// larger bound resumes them. Returns the first analysis error raised
   /// on any shard task.
-  Result<std::optional<Emission>> Next(size_t stop_length);
+  Result<std::optional<Emission>> Next(size_t stop_length)
+      CLAKS_EXCLUDES(mutex_);
 
   /// Lower bound on the length of every future emission: min over
   /// buffered heads and per-shard pending partial paths. nullopt once
@@ -196,11 +198,17 @@ class ShardedStreamSource {
   /// and blocks until they finish. Each task pulls up to a small
   /// prefetch batch of emissions (all with length < stop_length) and
   /// analyses them — the scatter half of the merge.
-  void FillAll(size_t stop_length);
+  void FillAll(size_t stop_length) CLAKS_EXCLUDES(mutex_);
 
   const DataGraph* graph_;
   ThreadPool* pool_;
   AnalyzeFn analyze_;
+  /// Not mutex-annotated: ownership alternates by protocol instead. Fill
+  /// tasks write their shard's entry (under mutex_, for the rendezvous
+  /// ordering); between FillAll rendezvous points no task is outstanding
+  /// and the single consumer reads without the lock. The TSan matrix
+  /// exercises this handoff; the annotations cover the rendezvous
+  /// counters below, which are what make it sound.
   std::vector<Shard> shards_;
   /// Stop bound of the most recent Next call — the pause horizon
   /// PendingLength mirrors for drained-by-prefetch shards.
@@ -216,10 +224,10 @@ class ShardedStreamSource {
   /// Fill-task rendezvous: tasks report completion (and the first
   /// analysis error) under this mutex; Next waits for outstanding to
   /// reach zero before merging.
-  std::mutex mutex_;
+  Mutex mutex_;
   std::condition_variable fills_done_;
-  size_t outstanding_ = 0;
-  Status fill_status_;
+  size_t outstanding_ CLAKS_GUARDED_BY(mutex_) = 0;
+  Status fill_status_ CLAKS_GUARDED_BY(mutex_);
 };
 
 /// Order-preserving parallel analysis: AnalyzeTree for every tree on the

@@ -104,6 +104,9 @@ std::optional<KeyedPath> ConnectionStream::NextKeyedPath(size_t stop_length) {
     if (queue_.top().length >= stop_length) return std::nullopt;
     // priority_queue::top is const; moving out before pop is safe because
     // the popped element is never read again.
+    // claks-lint: allow(no-const-cast) -- queue_ is this stream's own
+    // single-consumer state, not a published snapshot; copying the path
+    // vectors on every pop would tax the hottest loop in the engine.
     Frontier frontier = std::move(const_cast<Frontier&>(queue_.top()));
     queue_.pop();
     ++expansions_;

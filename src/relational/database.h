@@ -11,14 +11,15 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/span.h"
+#include "common/thread_annotations.h"
 #include "relational/table.h"
 
 namespace claks {
@@ -185,7 +186,7 @@ class Database {
   /// invalidates the build (row and tombstone counts are compared on
   /// access). Cost: one hash lookup per (row, FK) pair, paid once instead
   /// of per query.
-  void BuildJoinIndexes() const;
+  void BuildJoinIndexes() const CLAKS_EXCLUDES(join_index_mutex_);
 
   /// Derives this database's join indexes from `prev`'s (which must be
   /// warm) plus the row delta separating them: shares the frozen bases and
@@ -194,13 +195,13 @@ class Database {
   /// dangling FK on an inserted row, or a delete of a row that live
   /// children still reference (RESTRICT), fails with IntegrityViolation
   /// and leaves this cache unbuilt. `delta.schema_changed` must be false.
-  Status DeriveJoinIndexes(const Database& prev,
-                           const DatabaseDelta& delta) const;
+  Status DeriveJoinIndexes(const Database& prev, const DatabaseDelta& delta)
+      const CLAKS_EXCLUDES(join_index_mutex_);
 
   /// Folds every join-index overlay into a fresh frozen base, bit-identical
   /// to what BuildJoinIndexes would produce from scratch — pure array folds,
   /// no hash probes. No-op when already compact.
-  void CompactJoinIndexes() const;
+  void CompactJoinIndexes() const CLAKS_EXCLUDES(join_index_mutex_);
 
   /// True when every built join index has an empty overlay.
   bool JoinIndexesCompact() const;
@@ -261,27 +262,33 @@ class Database {
   std::unordered_map<std::string, uint32_t> name_to_index_;
 
   // True when the built cache still matches the current row counts.
-  // Caller must hold join_index_mutex_ or otherwise exclude mutation.
-  bool JoinIndexesFreshLocked() const;
+  bool JoinIndexesFreshLocked() const CLAKS_REQUIRES(join_index_mutex_);
 
   // Join-index cache. Mutable: building is a logically-const operation
   // (tables are append-only; the cache tracks the indexed row counts and
   // rebuilds when they drift). Racing const readers serialize the lazy
   // build on join_index_mutex_; join_indexes_built_ is the lock-free fast
   // path flag (release store after the build, acquire load before use).
-  mutable std::mutex join_index_mutex_;
-  mutable std::vector<std::vector<FkJoinIndex>> join_indexes_;  // [table][fk]
-  mutable std::vector<FkEdge> all_fk_edges_;
-  mutable std::vector<size_t> indexed_row_counts_;
-  mutable std::vector<size_t> indexed_tombstone_counts_;
+  // Post-warm readers (JoinIndex and friends) go through that acquire
+  // load instead of the mutex — they carry
+  // CLAKS_NO_THREAD_SAFETY_ANALYSIS individually, with the publication
+  // argument at each definition.
+  mutable Mutex join_index_mutex_;
+  mutable std::vector<std::vector<FkJoinIndex>> join_indexes_
+      CLAKS_GUARDED_BY(join_index_mutex_);  // [table][fk]
+  mutable std::vector<FkEdge> all_fk_edges_
+      CLAKS_GUARDED_BY(join_index_mutex_);
+  mutable std::vector<size_t> indexed_row_counts_
+      CLAKS_GUARDED_BY(join_index_mutex_);
+  mutable std::vector<size_t> indexed_tombstone_counts_
+      CLAKS_GUARDED_BY(join_index_mutex_);
   mutable std::atomic<bool> join_indexes_built_{false};
   // The canonical edge list is regenerated lazily after a derive (the
   // delta path leaves it stale rather than paying O(E) per generation).
   mutable std::atomic<bool> fk_edges_built_{false};
 
-  // Rebuilds all_fk_edges_ from the (fresh) join indexes. Caller holds
-  // join_index_mutex_.
-  void RebuildFkEdgesLocked() const;
+  // Rebuilds all_fk_edges_ from the (fresh) join indexes.
+  void RebuildFkEdgesLocked() const CLAKS_REQUIRES(join_index_mutex_);
 };
 
 }  // namespace claks

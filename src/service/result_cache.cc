@@ -27,7 +27,7 @@ ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
 std::shared_ptr<const SearchResult> ResultCache::Get(
     const std::string& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(&shard.mutex);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
@@ -43,7 +43,7 @@ void ResultCache::Put(const std::string& key,
                       std::shared_ptr<const SearchResult> value) {
   CLAKS_CHECK(value != nullptr);
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(&shard.mutex);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     it->second->value = std::move(value);
@@ -61,7 +61,7 @@ void ResultCache::Put(const std::string& key,
 
 void ResultCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(&shard->mutex);
     shard->lru.clear();
     shard->index.clear();
   }
@@ -71,7 +71,7 @@ ResultCacheStats ResultCache::stats() const {
   ResultCacheStats stats;
   stats.capacity = capacity();
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(&shard->mutex);
     stats.hits += shard->hits;
     stats.misses += shard->misses;
     stats.evictions += shard->evictions;

@@ -11,12 +11,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/engine.h"
 
 namespace claks {
@@ -68,15 +69,16 @@ class ResultCache {
     std::shared_ptr<const SearchResult> value;
   };
   struct Shard {
-    std::mutex mutex;
+    Mutex mutex;
     /// Front = most recently used.
-    std::list<Entry> lru;
+    std::list<Entry> lru CLAKS_GUARDED_BY(mutex);
     /// key (owned by the list node) -> node. std::list iterators survive
     /// splices, so refreshing recency never invalidates the map.
-    std::unordered_map<std::string, std::list<Entry>::iterator> index;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index
+        CLAKS_GUARDED_BY(mutex);
+    uint64_t hits CLAKS_GUARDED_BY(mutex) = 0;
+    uint64_t misses CLAKS_GUARDED_BY(mutex) = 0;
+    uint64_t evictions CLAKS_GUARDED_BY(mutex) = 0;
   };
 
   Shard& ShardFor(const std::string& key);

@@ -39,6 +39,8 @@ Result<std::unique_ptr<SearchService>> SearchService::Create(
     std::unique_ptr<Database> db, ERSchema er_schema,
     ErRelationalMapping mapping, ServiceOptions options) {
   CLAKS_CHECK(db != nullptr);
+  // NOLINTNEXTLINE(modernize-make-unique): the constructor is private
+  // (Create is the only entry point); make_unique cannot reach it.
   auto service = std::unique_ptr<SearchService>(new SearchService(
       options,
       std::make_pair(std::move(er_schema), std::move(mapping))));
@@ -154,7 +156,7 @@ SearchService::StateForRequest(const QueryRequest& request,
   std::string key = CacheKey(*snap->engine, snap->version,
                              request.query_text, request.options);
   {
-    std::lock_guard<std::mutex> lock(cursors_mutex_);
+    MutexLock lock(&cursors_mutex_);
     auto it = active_states_.find(key);
     if (it != active_states_.end()) {
       if (std::shared_ptr<CursorState> state = it->second.lock()) {
@@ -170,15 +172,20 @@ SearchService::StateForRequest(const QueryRequest& request,
   if (cache_ != nullptr) {
     if (std::shared_ptr<const SearchResult> cached = cache_->Get(key)) {
       // The whole result is already materialized: a zero-work cursor
-      // slicing the shared cached object directly.
-      state->expansions = cached->expansions;
-      state->drained = true;
+      // slicing the shared cached object directly. The state is not
+      // published yet, but locking its (uncontended) mutex keeps the
+      // guarded-field discipline provable.
       state->query = cached->query;
       for (const KeywordMatches& km : cached->matches) {
         state->match_counts.push_back(km.matches.size());
       }
+      {
+        MutexLock init_lock(&state->mutex);
+        state->expansions = cached->expansions;
+        state->drained = true;
+      }
       state->whole = std::move(cached);
-      std::lock_guard<std::mutex> lock(cursors_mutex_);
+      MutexLock lock(&cursors_mutex_);
       active_states_[key] = state;
       return state;
     }
@@ -188,14 +195,17 @@ SearchService::StateForRequest(const QueryRequest& request,
       PreparedQuery prepared,
       snap->engine->Prepare(request.query_text, std::move(spec)));
   state->prepared = std::make_unique<PreparedQuery>(std::move(prepared));
-  CLAKS_ASSIGN_OR_RETURN(state->cursor, state->prepared->Open());
-  state->drained = state->cursor->Drained();
-  state->expansions = state->cursor->Stats().expansions;
+  {
+    MutexLock init_lock(&state->mutex);
+    CLAKS_ASSIGN_OR_RETURN(state->cursor, state->prepared->Open());
+    state->drained = state->cursor->Drained();
+    state->expansions = state->cursor->Stats().expansions;
+  }
   state->query = state->prepared->query();
   for (const KeywordMatches& km : state->prepared->matches()) {
     state->match_counts.push_back(km.matches.size());
   }
-  std::lock_guard<std::mutex> lock(cursors_mutex_);
+  MutexLock lock(&cursors_mutex_);
   // A racing Prepare may have registered an equivalent state meanwhile;
   // share theirs so both clients pull from one engine cursor.
   auto it = active_states_.find(key);
@@ -217,7 +227,7 @@ Result<QueryResponse> SearchService::Prepare(const QueryRequest& request) {
   CLAKS_ASSIGN_OR_RETURN(QuerySpec spec,
                          QuerySpec::Create(request.options));
   {
-    std::lock_guard<std::mutex> lock(cursors_mutex_);
+    MutexLock lock(&cursors_mutex_);
     if (open_cursors_.size() >= options_.max_open_cursors) {
       return Status::OutOfRange(
           StrFormat("too many open cursors (max %zu); Close finished ones",
@@ -231,7 +241,7 @@ Result<QueryResponse> SearchService::Prepare(const QueryRequest& request) {
   client->state = state;
   uint64_t id = next_cursor_id_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(cursors_mutex_);
+    MutexLock lock(&cursors_mutex_);
     // Re-check under the registration lock: concurrent Prepares may have
     // filled the remaining slots since the early check.
     if (open_cursors_.size() >= options_.max_open_cursors) {
@@ -247,7 +257,7 @@ Result<QueryResponse> SearchService::Prepare(const QueryRequest& request) {
   response.cursor_id = id;
   response.snapshot_version = state->snapshot->version;
   {
-    std::lock_guard<std::mutex> lock(state->mutex);
+    MutexLock state_lock(&state->mutex);
     const std::vector<SearchHit>& source =
         state->whole != nullptr ? state->whole->hits : state->prefix;
     response.query = state->query;
@@ -262,7 +272,7 @@ Result<QueryResponse> SearchService::Fetch(uint64_t cursor_id,
                                            size_t page_size) {
   std::shared_ptr<ClientCursor> client;
   {
-    std::lock_guard<std::mutex> lock(cursors_mutex_);
+    MutexLock lock(&cursors_mutex_);
     auto it = open_cursors_.find(cursor_id);
     if (it == open_cursors_.end()) {
       return Status::NotFound(
@@ -272,7 +282,7 @@ Result<QueryResponse> SearchService::Fetch(uint64_t cursor_id,
     client = it->second;
   }
 
-  std::lock_guard<std::mutex> client_lock(client->mutex);
+  MutexLock client_lock(&client->mutex);
   CursorState& state = *client->state;
   QueryResponse response;
   response.cursor_id = cursor_id;
@@ -284,7 +294,7 @@ Result<QueryResponse> SearchService::Fetch(uint64_t cursor_id,
   size_t target = client->offset + page_size;
   if (target < client->offset) target = static_cast<size_t>(-1);
 
-  std::lock_guard<std::mutex> state_lock(state.mutex);
+  MutexLock state_lock(&state.mutex);
   response.query = state.query;
   response.match_counts = state.match_counts;
   while (!state.drained && state.prefix.size() < target) {
@@ -336,7 +346,7 @@ std::future<Result<QueryResponse>> SearchService::SubmitFetch(
 }
 
 Status SearchService::Close(uint64_t cursor_id) {
-  std::lock_guard<std::mutex> lock(cursors_mutex_);
+  MutexLock lock(&cursors_mutex_);
   auto it = open_cursors_.find(cursor_id);
   if (it == open_cursors_.end()) {
     return Status::NotFound(
@@ -359,7 +369,7 @@ Status SearchService::Close(uint64_t cursor_id) {
 Status SearchService::Mutate(
     const std::function<Status(Database*)>& mutation) {
   CLAKS_CHECK(mutation != nullptr);
-  std::lock_guard<std::mutex> lock(mutate_mutex_);
+  MutexLock lock(&mutate_mutex_);
   std::shared_ptr<const EngineSnapshot> current = snapshot();
   // Copy-on-write: the clone (not the live database) absorbs the
   // mutation, so every concurrent query keeps reading an immutable
@@ -439,7 +449,7 @@ ServiceStats SearchService::stats() const {
   stats.noop_mutations = noop_mutations_.load(std::memory_order_relaxed);
   stats.compactions = compactions_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(cursors_mutex_);
+    MutexLock lock(&cursors_mutex_);
     stats.open_cursors = open_cursors_.size();
   }
   return stats;

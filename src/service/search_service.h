@@ -28,13 +28,14 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/cursor.h"
 #include "core/engine.h"
 #include "core/query_spec.h"
@@ -153,7 +154,8 @@ class SearchService {
   /// same query on the same snapshot pull from one engine cursor, and a
   /// query whose full result already sits in the result cache opens a
   /// zero-work materialized cursor.
-  Result<QueryResponse> Prepare(const QueryRequest& request);
+  Result<QueryResponse> Prepare(const QueryRequest& request)
+      CLAKS_EXCLUDES(cursors_mutex_);
 
   /// Returns the next `page_size` hits of the cursor's ranked sequence
   /// (fewer on the last page; `drained` set once the sequence ends).
@@ -163,7 +165,8 @@ class SearchService {
   ///
   /// Thread-safety: any thread; Fetches on the same cursor_id serialize
   /// and hand out disjoint consecutive pages.
-  Result<QueryResponse> Fetch(uint64_t cursor_id, size_t page_size);
+  Result<QueryResponse> Fetch(uint64_t cursor_id, size_t page_size)
+      CLAKS_EXCLUDES(cursors_mutex_);
 
   /// Fetch through the worker pool: the future resolves to exactly what
   /// Fetch(cursor_id, page_size) would return. Blocks while the
@@ -173,7 +176,7 @@ class SearchService {
 
   /// Releases a cursor (and, when it held the last reference, the shared
   /// server state plus its snapshot pin). NotFound for unknown ids.
-  Status Close(uint64_t cursor_id);
+  Status Close(uint64_t cursor_id) CLAKS_EXCLUDES(cursors_mutex_);
 
   /// Clones the current database (O(rows changed since the last
   /// compaction) — tables share frozen segments), applies `mutation` to
@@ -190,7 +193,8 @@ class SearchService {
   /// nothing; a schema change (AddTable) or an unexpected derive failure
   /// falls back to the full rebuild path. Mutations serialize with each
   /// other and never block queries.
-  Status Mutate(const std::function<Status(Database*)>& mutation);
+  Status Mutate(const std::function<Status(Database*)>& mutation)
+      CLAKS_EXCLUDES(mutate_mutex_);
 
   /// The current snapshot (RCU read side): callers may search it directly
   /// and hold it as long as they like.
@@ -199,7 +203,7 @@ class SearchService {
   /// Blocks until every query submitted so far has resolved.
   void Drain();
 
-  ServiceStats stats() const;
+  ServiceStats stats() const CLAKS_EXCLUDES(cursors_mutex_);
   const ServiceOptions& options() const { return options_; }
 
   /// The canonical cache key of a query against one snapshot version: the
@@ -222,30 +226,38 @@ class SearchService {
   /// search work once. Holding the snapshot shared_ptr pins the
   /// generation for the state's lifetime.
   struct CursorState {
-    std::mutex mutex;
+    Mutex mutex;
+    /// Immutable after construction (set before the state is published
+    /// into active_states_): snapshot pin, canonical key, the prepared
+    /// query, and the query echo fields.
     std::shared_ptr<const EngineSnapshot> snapshot;
     std::string key;  ///< canonical cache key (CacheKey)
     /// Heap-pinned: open cursors reference the PreparedQuery internals,
     /// so it must keep a stable address for the state's lifetime. Null
     /// when the state was built from a cached whole result.
     std::unique_ptr<PreparedQuery> prepared;
-    std::unique_ptr<ResultCursor> cursor;  ///< null when cache-backed
     /// Cache-backed source: the shared whole result, sliced directly (no
     /// per-session copy). Null on the live-cursor path, where `prefix`
     /// accumulates instead.
     std::shared_ptr<const SearchResult> whole;
-    std::vector<SearchHit> prefix;  ///< materialized so far (live path)
-    size_t expansions = 0;
-    bool drained = false;
     KeywordQuery query;
     std::vector<size_t> match_counts;
+    /// The live engine cursor and everything it feeds, advanced by
+    /// Fetch under `mutex`.
+    std::unique_ptr<ResultCursor> cursor
+        CLAKS_GUARDED_BY(mutex);  ///< null when cache-backed
+    std::vector<SearchHit> prefix
+        CLAKS_GUARDED_BY(mutex);  ///< materialized so far (live path)
+    size_t expansions CLAKS_GUARDED_BY(mutex) = 0;
+    bool drained CLAKS_GUARDED_BY(mutex) = false;
   };
 
   /// One client's handle: a shared state plus this client's position.
   struct ClientCursor {
-    std::mutex mutex;  ///< serializes Fetches on this id
+    Mutex mutex;  ///< serializes Fetches on this id
+    /// Immutable after construction.
     std::shared_ptr<CursorState> state;
-    size_t offset = 0;
+    size_t offset CLAKS_GUARDED_BY(mutex) = 0;
   };
 
   SearchService(ServiceOptions options,
@@ -255,7 +267,8 @@ class SearchService {
   /// Finds or builds the shared CursorState for `request` against the
   /// current snapshot.
   Result<std::shared_ptr<CursorState>> StateForRequest(
-      const QueryRequest& request, QuerySpec spec);
+      const QueryRequest& request, QuerySpec spec)
+      CLAKS_EXCLUDES(cursors_mutex_);
 
   /// Builds a warmed snapshot of `db` at `version` using the retained
   /// schema/mapping when present (reverse-engineering otherwise).
@@ -274,11 +287,13 @@ class SearchService {
       schema_and_mapping_;
 
   /// RCU-style published snapshot: readers atomic_load a shared_ptr copy,
-  /// Mutate atomic_stores the replacement. Never null after Create.
+  /// Mutate atomic_stores the replacement. Never null after Create. Not
+  /// mutex-guarded — the atomic free functions are the whole protocol.
   std::shared_ptr<const EngineSnapshot> snapshot_;
   /// Serializes Mutate calls (clone + rebuild happen outside any lock the
-  /// read side takes).
-  std::mutex mutate_mutex_;
+  /// read side takes). Guards the mutate critical section, not a field:
+  /// the snapshot swap itself is the atomic_store above.
+  Mutex mutate_mutex_;
 
   std::unique_ptr<ResultCache> cache_;  ///< null when caching is disabled
   std::atomic<uint64_t> submitted_{0};
@@ -292,9 +307,11 @@ class SearchService {
   /// `active_states_` weakly indexes in-flight shared states by canonical
   /// key so identical Prepares coalesce (expired entries are reaped
   /// opportunistically).
-  mutable std::mutex cursors_mutex_;  ///< mutable: stats() is const
-  std::unordered_map<uint64_t, std::shared_ptr<ClientCursor>> open_cursors_;
-  std::map<std::string, std::weak_ptr<CursorState>> active_states_;
+  mutable Mutex cursors_mutex_;  ///< mutable: stats() is const
+  std::unordered_map<uint64_t, std::shared_ptr<ClientCursor>> open_cursors_
+      CLAKS_GUARDED_BY(cursors_mutex_);
+  std::map<std::string, std::weak_ptr<CursorState>> active_states_
+      CLAKS_GUARDED_BY(cursors_mutex_);
   std::atomic<uint64_t> next_cursor_id_{1};
   std::atomic<uint64_t> cursors_prepared_{0};
   std::atomic<uint64_t> pages_fetched_{0};

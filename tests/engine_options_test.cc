@@ -80,8 +80,11 @@ TEST_F(EngineOptionsTest, EndpointDiversityCollapsesGroups) {
   std::set<std::pair<uint64_t, uint64_t>> groups;
   for (const SearchHit& hit : result->hits) {
     ASSERT_TRUE(hit.connection.has_value());
-    auto key = std::minmax(hit.connection->front().Pack(),
-                           hit.connection->back().Pack());
+    // Not `auto`: std::minmax returns a pair of references, and binding
+    // it to Pack()'s temporaries would dangle past the full expression.
+    uint64_t front_key = hit.connection->front().Pack();
+    uint64_t back_key = hit.connection->back().Pack();
+    std::pair<uint64_t, uint64_t> key = std::minmax(front_key, back_key);
     EXPECT_TRUE(groups.insert(key).second);  // all distinct
   }
 }

@@ -171,8 +171,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(PropertyCase{"s1", 1, 1}, PropertyCase{"s2", 2, 2},
                       PropertyCase{"s3", 3, 3}, PropertyCase{"s7", 7, 2},
                       PropertyCase{"s42", 42, 4}),
-    [](const ::testing::TestParamInfo<PropertyCase>& info) {
-      return info.param.name;
+    // `param_info`, not `info`: INSTANTIATE_TEST_SUITE_P's expansion has
+    // its own `info` parameter the lambda's would shadow under -Wshadow.
+    [](const ::testing::TestParamInfo<PropertyCase>& param_info) {
+      return param_info.param.name;
     });
 
 // --- Bibliography: self-relationship stress ---------------------------------

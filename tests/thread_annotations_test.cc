@@ -1,0 +1,122 @@
+// Copyright 2026 The claks Authors.
+//
+// Compile/smoke coverage for common/thread_annotations.h and
+// common/mutex.h: a class exercising every macro the codebase uses must
+// compile on both compilers (on clang the attributes are real and this
+// file participates in -Wthread-safety -Werror; on gcc they expand to
+// nothing) and behave correctly at runtime under the sanitizer matrix.
+
+#include "common/thread_annotations.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/mutex.h"
+#include "common/thread_pool.h"
+
+namespace claks {
+namespace {
+
+// One member or function per annotation family, arranged the way the
+// real code uses them. If a macro's expansion were syntactically broken
+// on either compiler, this class would not compile.
+class AnnotatedCounter {
+ public:
+  void Add(int delta) CLAKS_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    AddLocked(delta);
+  }
+
+  bool TryAdd(int delta) CLAKS_EXCLUDES(mutex_) {
+    if (!mutex_.TryLock()) return false;
+    AddLocked(delta);
+    mutex_.Unlock();
+    return true;
+  }
+
+  int Get() const CLAKS_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return value_;
+  }
+
+  std::vector<int>* history() CLAKS_REQUIRES(mutex_) { return &history_; }
+
+  Mutex& mutex() CLAKS_RETURN_CAPABILITY(mutex_) { return mutex_; }
+
+  void ManualLock() CLAKS_ACQUIRE(mutex_) { mutex_.Lock(); }
+  void ManualUnlock() CLAKS_RELEASE(mutex_) { mutex_.Unlock(); }
+
+ private:
+  void AddLocked(int delta) CLAKS_REQUIRES(mutex_) {
+    value_ += delta;
+    history_.push_back(value_);
+  }
+
+  mutable Mutex mutex_;
+  int value_ CLAKS_GUARDED_BY(mutex_) = 0;
+  std::vector<int> history_ CLAKS_GUARDED_BY(mutex_);
+};
+
+TEST(ThreadAnnotationsTest, EnabledFlagMatchesCompiler) {
+  // The header must define the flag to exactly 0 or 1, and it must be 1
+  // precisely when the compiler is clang with attribute support.
+#if CLAKS_THREAD_ANNOTATIONS_ENABLED != 0 && \
+    CLAKS_THREAD_ANNOTATIONS_ENABLED != 1
+#error "CLAKS_THREAD_ANNOTATIONS_ENABLED must be 0 or 1"
+#endif
+#if defined(__clang__)
+  EXPECT_EQ(CLAKS_THREAD_ANNOTATIONS_ENABLED, 1);
+#else
+  EXPECT_EQ(CLAKS_THREAD_ANNOTATIONS_ENABLED, 0);
+#endif
+}
+
+TEST(ThreadAnnotationsTest, AnnotatedClassBehaves) {
+  AnnotatedCounter counter;
+  counter.Add(2);
+  EXPECT_TRUE(counter.TryAdd(3));
+  EXPECT_EQ(counter.Get(), 5);
+}
+
+TEST(ThreadAnnotationsTest, MutexLockIsExclusiveAcrossPoolThreads) {
+  // Smoke the wrapper under real contention (and under TSan in the
+  // sanitizer matrix): N tasks × M increments must never lose an update.
+  AnnotatedCounter counter;
+  ThreadPool pool(4, 16);
+  constexpr int kTasks = 8;
+  constexpr int kIncrements = 250;
+  for (int t = 0; t < kTasks; ++t) {
+    pool.Submit([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.Add(1);
+    });
+  }
+  pool.Drain();
+  EXPECT_EQ(counter.Get(), kTasks * kIncrements);
+}
+
+TEST(ThreadAnnotationsTest, TryLockReportsContention) {
+  // TryLock must fail while ANOTHER thread holds the mutex (calling
+  // try_lock on the owning thread would be UB, so the holder is a pool
+  // task and the handoff is an atomic phase flag).
+  AnnotatedCounter counter;
+  ThreadPool pool(1, 4);
+  std::atomic<int> phase{0};
+  pool.Submit([&counter, &phase] {
+    counter.ManualLock();
+    phase.store(1);
+    while (phase.load() != 2) std::this_thread::yield();
+    counter.ManualUnlock();
+  });
+  while (phase.load() != 1) std::this_thread::yield();
+  EXPECT_FALSE(counter.TryAdd(1));
+  phase.store(2);
+  pool.Drain();
+  EXPECT_TRUE(counter.TryAdd(1));
+  EXPECT_EQ(counter.Get(), 1);
+}
+
+}  // namespace
+}  // namespace claks

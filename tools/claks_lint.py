@@ -1,0 +1,407 @@
+#!/usr/bin/env python3
+# Copyright 2026 The claks Authors.
+"""claks_lint: project-specific static checks for the claks tree.
+
+Enforces the invariants no off-the-shelf tool knows about:
+
+  mutex-annotation    every claks::Mutex member must be referenced by at
+                      least one CLAKS_* thread-safety annotation in the
+                      same file (a mutex nothing is annotated against
+                      protects nothing the analysis can prove).
+  raw-std-mutex       no std::mutex / std::shared_mutex / raw lock guards
+                      outside common/mutex.h — use claks::Mutex +
+                      MutexLock so clang's -Wthread-safety sees the lock.
+  thread-outside-pool no std::thread construction outside
+                      common/thread_pool — every worker belongs to a
+                      pool with a bounded queue and a joining destructor.
+  no-assert           no assert() / <cassert>; use CLAKS_CHECK, which is
+                      active in release builds and logs before aborting.
+  snapshot-const-ptr  published-snapshot types (EngineSnapshot, the
+                      frozen FkJoinIndex::Base and Table BaseSegment)
+                      are only held through shared_ptr<const T>; the one
+                      mutable phase is construction via make_shared
+                      before publication.
+  no-const-cast       no const_cast in src/ — it is exactly the operator
+                      that would let a reader mutate a published
+                      snapshot behind the type system's back.
+  mutable-member      mutable members must be a claks::Mutex, a
+                      std::atomic, a std::once_flag, or carry
+                      CLAKS_GUARDED_BY — "mutable" without a
+                      synchronization story is how logically-const
+                      snapshot reads turn into data races.
+  derive-base-const   Derive* entry points take their base generation by
+                      const reference: derivation reads the previous
+                      snapshot, it never writes it.
+  waiver-reason       every waiver comment must state a reason.
+
+Waivers: a finding is suppressed by a comment on the same line or in
+the comment block directly above it:
+
+    // claks-lint: allow(rule-id) -- reason the rule does not apply here
+
+The reason text is mandatory (enforced by the waiver-reason rule).
+
+Usage:
+    claks_lint.py --root <repo-root>              lint the tree
+    claks_lint.py --root <repo-root> --self-test  prove every rule fires
+                                                  on its violation
+                                                  fixture and stays
+                                                  quiet on its clean one
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Rule id -> one-line message attached to each finding.
+RULES = {
+    "mutex-annotation": (
+        "Mutex member is not referenced by any CLAKS_* annotation in this "
+        "file; annotate the data it guards (CLAKS_GUARDED_BY) or the "
+        "functions that take it (CLAKS_REQUIRES/CLAKS_EXCLUDES)"
+    ),
+    "raw-std-mutex": (
+        "raw std mutex/lock primitive outside common/mutex.h; use "
+        "claks::Mutex + MutexLock so the thread-safety analysis sees it"
+    ),
+    "thread-outside-pool": (
+        "std::thread constructed outside common/thread_pool; submit work "
+        "to a ThreadPool instead"
+    ),
+    "no-assert": (
+        "assert()/<cassert> is compiled out in release builds; use "
+        "CLAKS_CHECK (common/logging.h)"
+    ),
+    "snapshot-const-ptr": (
+        "published-snapshot type held through a non-const shared_ptr; "
+        "snapshots are immutable after publication — use "
+        "shared_ptr<const T> (construction goes through make_shared "
+        "before publishing)"
+    ),
+    "no-const-cast": (
+        "const_cast can mutate a published snapshot behind the type "
+        "system; restructure instead"
+    ),
+    "mutable-member": (
+        "mutable member without a synchronization story; make it a "
+        "claks::Mutex, std::atomic, std::once_flag, or annotate it "
+        "CLAKS_GUARDED_BY(<mutex>)"
+    ),
+    "derive-base-const": (
+        "Derive* must take its base generation as a const reference; "
+        "derivation reads the previous snapshot, never writes it"
+    ),
+    "waiver-reason": (
+        "claks-lint waiver without a reason; write "
+        "'claks-lint: allow(rule) -- why'"
+    ),
+}
+
+SOURCE_EXTENSIONS = {".h", ".cc", ".cpp"}
+
+# Directories scanned relative to --root, per rule scope below.
+SCAN_DIRS = ("src", "bench", "examples", "tests")
+
+WAIVER_RE = re.compile(
+    r"claks-lint:\s*allow\(([a-z-]+)\)(?:\s*(?:--|:)\s*(\S.*))?")
+
+
+class Finding:
+    def __init__(self, path, line, rule):
+        self.path = path      # repo-relative, POSIX separators
+        self.line = line      # 1-based
+        self.rule = rule
+
+    def render(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {RULES[self.rule]}"
+
+
+def strip_code(text):
+    """Blanks comments and string/char literal contents, preserving the
+    line structure, so rules never fire on prose. Returns the code-only
+    text; waivers are read from the raw text instead."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(c)
+            elif c == "'":
+                state = "char"
+                out.append(c)
+            else:
+                out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # string or char literal
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            elif c == "\n":  # unterminated (raw string etc.) — bail out
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def waivers_for(raw_lines, lineno):
+    """Waivers covering 1-based line `lineno`: on the line itself or
+    anywhere in the contiguous //-comment block directly above it.
+    Unreasoned or unknown-rule waivers suppress nothing (and are flagged
+    by the waiver-reason rule)."""
+    waived = set()
+
+    def collect(line):
+        for m in WAIVER_RE.finditer(line):
+            if m.group(1) in RULES and m.group(2):
+                waived.add(m.group(1))
+
+    if 1 <= lineno <= len(raw_lines):
+        collect(raw_lines[lineno - 1])
+    ln = lineno - 1
+    while ln >= 1 and raw_lines[ln - 1].lstrip().startswith("//"):
+        collect(raw_lines[ln - 1])
+        ln -= 1
+    return waived
+
+
+def scan_file(relpath, text):
+    """All findings for one file. `relpath` (POSIX, repo-relative)
+    decides which rules apply; fixture texts are scanned under synthetic
+    src/ paths so they see the same scoping as real sources."""
+    findings = []
+    raw_lines = text.splitlines()
+    code = strip_code(text)
+    code_lines = code.splitlines()
+
+    in_src = relpath.startswith("src/")
+    is_header = relpath.endswith(".h")
+
+    def line_of(match_start):
+        return code.count("\n", 0, match_start) + 1
+
+    def report(rule, lineno):
+        if rule not in waivers_for(raw_lines, lineno):
+            findings.append(Finding(relpath, lineno, rule))
+
+    # waiver-reason: every waiver, wherever it sits, needs a reason.
+    for idx, raw in enumerate(raw_lines, start=1):
+        for m in WAIVER_RE.finditer(raw):
+            if m.group(1) not in RULES:
+                findings.append(Finding(relpath, idx, "waiver-reason"))
+            elif not m.group(2):
+                findings.append(Finding(relpath, idx, "waiver-reason"))
+
+    # no-assert applies to every scanned tier.
+    for m in re.finditer(r"(?<![\w.])assert\s*\(", code):
+        report("no-assert", line_of(m.start()))
+    for m in re.finditer(r'#\s*include\s*[<"](?:cassert|assert\.h)[>"]',
+                         code):
+        report("no-assert", line_of(m.start()))
+
+    if not in_src:
+        return findings
+
+    # --- src/-only rules below ---
+
+    exempt_mutex_impl = relpath == "src/common/mutex.h"
+
+    # raw-std-mutex: the annotated wrapper is the only place allowed to
+    # touch the underlying primitive.
+    if not exempt_mutex_impl:
+        for m in re.finditer(
+                r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+                r"recursive_timed_mutex|lock_guard|unique_lock|"
+                r"scoped_lock|shared_lock)\b", code):
+            report("raw-std-mutex", line_of(m.start()))
+
+    # thread-outside-pool: std::thread the type is banned outside the
+    # pool; std::thread:: (hardware_concurrency etc.) stays available.
+    if relpath not in ("src/common/thread_pool.h",
+                       "src/common/thread_pool.cc"):
+        for m in re.finditer(r"std::thread\b(?!\s*::)", code):
+            report("thread-outside-pool", line_of(m.start()))
+
+    # mutex-annotation: each Mutex member must appear inside some
+    # CLAKS_* annotation argument list in this file.
+    if not exempt_mutex_impl:
+        annotated = set()
+        for m in re.finditer(r"CLAKS_[A-Z_]+\(([^()]*)\)", code):
+            annotated.update(re.findall(r"[A-Za-z_]\w*", m.group(1)))
+        for m in re.finditer(
+                r"^[ \t]*(?:mutable[ \t]+)?(?:claks::)?Mutex[ \t]+"
+                r"(\w+)[ \t]*;", code, re.MULTILINE):
+            if m.group(1) not in annotated:
+                report("mutex-annotation", line_of(m.start(1)))
+
+    # snapshot-const-ptr: curated list of frozen, generation-shared
+    # types. make_shared<T> (no "_ptr") is the construction phase and
+    # does not match.
+    # (shared_ptr<const T> never matches: "const" sits where the regex
+    # expects the type name.)
+    for m in re.finditer(
+            r"shared_ptr<\s*(?:claks::)?(?:FkJoinIndex::)?"
+            r"(?:EngineSnapshot|Base|BaseSegment)\b(?!\s*::)", code):
+        report("snapshot-const-ptr", line_of(m.start()))
+
+    for m in re.finditer(r"\bconst_cast\s*<", code):
+        report("no-const-cast", line_of(m.start()))
+
+    # mutable-member: join the declaration through its ';' and check the
+    # whole text for an allowed synchronization story.
+    for m in re.finditer(r"^[ \t]*mutable[ \t]", code, re.MULTILINE):
+        end = code.find(";", m.start())
+        decl = code[m.start():end if end != -1 else len(code)]
+        if not re.search(
+                r"std::atomic|std::once_flag|(?:claks::)?\bMutex\b|"
+                r"CLAKS_(?:PT_)?GUARDED_BY", decl):
+            report("mutable-member", line_of(m.start()))
+
+    # derive-base-const: header declarations only (call sites live in
+    # .cc files and pass *deref arguments the rule cannot judge).
+    if is_header:
+        for m in re.finditer(r"(?<![.\w>:])(Derive\w*)\s*\(", code):
+            end = m.end()
+            depth = 1
+            j = end
+            while j < len(code) and depth > 0:
+                if code[j] == "(":
+                    depth += 1
+                elif code[j] == ")":
+                    depth -= 1
+                elif code[j] == "," and depth == 1:
+                    break
+                j += 1
+            first_arg = code[end:j]
+            if not first_arg.strip():
+                continue  # Derive() taking no base
+            if not ("const" in first_arg and "&" in first_arg):
+                report("derive-base-const", line_of(m.start()))
+
+    return findings
+
+
+def lint_tree(root):
+    findings = []
+    for top in SCAN_DIRS:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in SOURCE_EXTENSIONS:
+                continue
+            rel = path.relative_to(root).as_posix()
+            text = path.read_text(encoding="utf-8", errors="replace")
+            findings.extend(scan_file(rel, text))
+    return findings
+
+
+def self_test(root):
+    """Every rule must fire on its *_violation.* fixture and stay quiet
+    on its *_clean.* fixture (clean fixtures must produce zero findings
+    of any rule, proving waivers and exemptions suppress correctly)."""
+    fixture_dir = root / "tools" / "lint_fixtures"
+    if not fixture_dir.is_dir():
+        print(f"self-test: fixture directory missing: {fixture_dir}",
+              file=sys.stderr)
+        return 2
+    failures = []
+    seen_rules = set()
+    for path in sorted(fixture_dir.iterdir()):
+        if path.suffix not in SOURCE_EXTENSIONS:
+            continue
+        m = re.match(r"([a-z_]+)_(violation|clean)$", path.stem)
+        if not m:
+            failures.append(f"{path.name}: unrecognized fixture name")
+            continue
+        rule = m.group(1).replace("_", "-")
+        kind = m.group(2)
+        if rule not in RULES:
+            failures.append(f"{path.name}: unknown rule '{rule}'")
+            continue
+        seen_rules.add(rule)
+        # Scan under a synthetic src/ path so src-scoped rules apply.
+        synthetic = f"src/lint_fixture/{path.name}"
+        found = scan_file(synthetic,
+                          path.read_text(encoding="utf-8"))
+        fired = {f.rule for f in found}
+        if kind == "violation" and rule not in fired:
+            failures.append(
+                f"{path.name}: expected [{rule}] to fire, got "
+                f"{sorted(fired) or 'nothing'}")
+        if kind == "clean" and fired:
+            failures.append(
+                f"{path.name}: expected no findings, got {sorted(fired)}")
+    untested = set(RULES) - seen_rules
+    if untested:
+        failures.append(
+            f"rules without fixtures: {sorted(untested)}")
+    if failures:
+        for f in failures:
+            print(f"self-test FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"self-test OK: {len(seen_rules)} rules, each fires on its "
+          f"violation fixture and stays quiet on its clean fixture")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", required=True,
+                        help="repository root to lint")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the fixture self-test instead of "
+                             "linting the tree")
+    args = parser.parse_args(argv)
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"claks_lint: no such directory: {root}", file=sys.stderr)
+        return 2
+    if args.self_test:
+        return self_test(root)
+    findings = lint_tree(root)
+    for f in findings:
+        print(f.render())
+    if findings:
+        print(f"claks_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("claks_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

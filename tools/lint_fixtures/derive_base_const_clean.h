@@ -1,0 +1,15 @@
+// Fixture: Derive takes the base generation by const reference, in both
+// plain and Result-wrapped multi-line declaration forms. A qualified
+// call mention (Index::Derive(...)) in a .h must not be judged as a
+// declaration.
+namespace claks {
+
+class Index {
+ public:
+  static Index Derive(const Index& base, int delta);
+  static Result<Index> DeriveCompacted(
+      const Index& base,
+      const Delta& delta);
+};
+
+}  // namespace claks

@@ -1,0 +1,11 @@
+// Fixture: a Derive entry point taking its base generation by non-const
+// reference — derivation must read the previous snapshot, never write
+// it.
+namespace claks {
+
+class Index {
+ public:
+  static Index Derive(Index& base, int delta);
+};
+
+}  // namespace claks

@@ -1,0 +1,18 @@
+// Fixture: every mutable member carries its synchronization story — a
+// Mutex, an atomic, a once_flag, a GUARDED_BY annotation (including on a
+// continuation line), or a reasoned waiver.
+namespace claks {
+
+class Cache {
+ private:
+  mutable Mutex mutex_;
+  mutable std::atomic<int> lookups_{0};
+  mutable std::once_flag init_once_;
+  mutable std::vector<int> cached_values_
+      CLAKS_GUARDED_BY(mutex_);
+  // claks-lint: allow(mutable-member) -- fixture: written exactly once
+  // under init_once_ (call_once publication), read-only afterwards.
+  mutable std::unique_ptr<int> lazy_;
+};
+
+}  // namespace claks

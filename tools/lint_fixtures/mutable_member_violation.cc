@@ -1,0 +1,10 @@
+// Fixture: a mutable member with no synchronization story — the classic
+// way a logically-const cache read from two threads becomes a data race.
+namespace claks {
+
+class Cache {
+ private:
+  mutable int lookups_ = 0;
+};
+
+}  // namespace claks

@@ -1,0 +1,17 @@
+// Fixture: every Mutex member is referenced by an annotation — the
+// member declaration, a REQUIRES contract, or an EXCLUDES contract all
+// count as the mutex participating in the proof.
+namespace claks {
+
+class Guarded {
+ public:
+  void Bump() CLAKS_EXCLUDES(mutex_);
+  void BumpLocked() CLAKS_REQUIRES(other_mutex_);
+
+ private:
+  Mutex mutex_;
+  mutable claks::Mutex other_mutex_;
+  int counter_ CLAKS_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace claks

@@ -1,0 +1,11 @@
+// Fixture: a Mutex member no annotation ever references — the analysis
+// cannot prove anything about it, so the lint must flag it.
+namespace claks {
+
+class Unprotected {
+ private:
+  Mutex mutex_;
+  int counter_ = 0;  // supposedly guarded, but nothing says so
+};
+
+}  // namespace claks

@@ -1,0 +1,12 @@
+// Fixture: CLAKS_CHECK stays active in release builds; static_assert is
+// a compile-time check and must not trip the rule, nor may an assert()
+// mention in a comment.
+namespace claks {
+
+static_assert(sizeof(int) >= 4, "ILP32 or wider");
+
+void Check(int x) {
+  CLAKS_CHECK(x > 0);  // unlike assert(), this survives NDEBUG
+}
+
+}  // namespace claks

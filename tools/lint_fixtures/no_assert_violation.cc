@@ -1,0 +1,11 @@
+// Fixture: assert() vanishes under NDEBUG; the invariant it states
+// stops being checked exactly in the builds users run.
+#include <cassert>
+
+namespace claks {
+
+void Check(int x) {
+  assert(x > 0);
+}
+
+}  // namespace claks

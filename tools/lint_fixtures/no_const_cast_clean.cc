@@ -1,0 +1,11 @@
+// Fixture: mutation happens on a copy the caller owns; const stays
+// const. A const_cast mention in a comment must not fire.
+namespace claks {
+
+int Mutated(const int& frozen) {
+  int copy = frozen;
+  copy = 7;
+  return copy;
+}
+
+}  // namespace claks

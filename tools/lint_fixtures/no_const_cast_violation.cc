@@ -1,0 +1,9 @@
+// Fixture: const_cast is the one operator that lets a reader mutate a
+// published snapshot behind the type system's back.
+namespace claks {
+
+void Mutate(const int& frozen) {
+  const_cast<int&>(frozen) = 7;
+}
+
+}  // namespace claks

@@ -1,0 +1,21 @@
+// Fixture: the annotated wrapper is used instead of the raw primitive;
+// a std::mutex mention in a comment must not fire, and a real use under
+// a reasoned waiver must stay suppressed.
+namespace claks {
+
+class WrappedLocks {
+ public:
+  void Touch() CLAKS_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    ++counter_;
+  }
+
+ private:
+  Mutex mutex_;
+  int counter_ CLAKS_GUARDED_BY(mutex_) = 0;
+  // claks-lint: allow(raw-std-mutex) -- fixture: interop with an
+  // external API that hands us a std::unique_lock by reference.
+  std::unique_lock<std::mutex>* borrowed_ = nullptr;
+};
+
+}  // namespace claks

@@ -1,0 +1,14 @@
+// Fixture: raw standard-library lock primitives outside common/mutex.h.
+namespace claks {
+
+class RawLocks {
+ public:
+  void Touch() {
+    std::lock_guard<std::mutex> lock(mu_);
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace claks

@@ -1,0 +1,18 @@
+// Fixture: snapshots are shared as shared_ptr<const T>; the mutable
+// phase is construction through make_shared before publication, which
+// the rule deliberately does not match.
+namespace claks {
+
+struct Holder {
+  std::shared_ptr<const EngineSnapshot> snapshot;
+  std::shared_ptr<const FkJoinIndex::Base> join_base;
+  std::shared_ptr<const BaseSegment> segment;
+};
+
+std::shared_ptr<const EngineSnapshot> Build() {
+  auto snapshot = std::make_shared<EngineSnapshot>();
+  snapshot->version = 1;
+  return snapshot;  // converts to const on publication
+}
+
+}  // namespace claks

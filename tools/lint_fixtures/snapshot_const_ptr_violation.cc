@@ -1,0 +1,11 @@
+// Fixture: a published-snapshot type held through a non-const
+// shared_ptr — any holder could mutate a generation other threads are
+// reading.
+namespace claks {
+
+struct Holder {
+  std::shared_ptr<EngineSnapshot> snapshot;
+  std::shared_ptr<FkJoinIndex::Base> join_base;
+};
+
+}  // namespace claks

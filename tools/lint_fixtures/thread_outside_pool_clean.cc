@@ -1,0 +1,11 @@
+// Fixture: work goes through the pool; std::thread:: static queries
+// (hardware_concurrency) are explicitly allowed.
+namespace claks {
+
+void Spawn(ThreadPool* pool) {
+  size_t hw = std::thread::hardware_concurrency();
+  pool->Submit([hw] { (void)hw; });
+  pool->Drain();
+}
+
+}  // namespace claks

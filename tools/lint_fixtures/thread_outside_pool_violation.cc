@@ -1,0 +1,10 @@
+// Fixture: a std::thread constructed outside common/thread_pool — an
+// unpooled worker with no bounded queue and ad-hoc join discipline.
+namespace claks {
+
+void Spawn() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+}  // namespace claks

@@ -1,0 +1,11 @@
+// Fixture: a waiver with a written reason suppresses the rule and is
+// itself clean.
+namespace claks {
+
+void Mutate(const int& frozen) {
+  // claks-lint: allow(no-const-cast) -- fixture: adapting a legacy C
+  // API that takes a non-const pointer but never writes through it.
+  const_cast<int&>(frozen) = 7;
+}
+
+}  // namespace claks

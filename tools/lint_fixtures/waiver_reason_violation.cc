@@ -1,0 +1,10 @@
+// Fixture: a waiver with no reason — the suppression itself is the
+// finding (and the unreasoned waiver does not stop the underlying rule
+// from firing either).
+namespace claks {
+
+void Mutate(const int& frozen) {
+  const_cast<int&>(frozen) = 7;  // claks-lint: allow(no-const-cast)
+}
+
+}  // namespace claks
