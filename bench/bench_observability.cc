@@ -1,0 +1,279 @@
+// Copyright 2026 The claks Authors.
+//
+// Observability-overhead benchmark: prices the instrumentation layer
+// itself. The same streaming top-k query (the hot serving path) runs in
+// four configurations of one binary — metrics recording off (baseline),
+// metrics recording on, per-query profiling on, and tracing on (an
+// installed TraceRecorder) — and the per-configuration best-of latency
+// plus its overhead percentage against the baseline is recorded to a
+// machine-readable BENCH_observability.json. The numbers are recorded,
+// never asserted: CI uploads the artifact so the overhead trajectory is
+// tracked per commit, and docs/OBSERVABILITY.md quotes the targets
+// (<2% with tracing off, <8% with it on, on the 100x stream top-10
+// path). The profiled configuration also records the stage-sum /
+// total-wall ratio of its QueryProfile — the contract that the stage
+// model accounts for (nearly) all of the measured wall time.
+//
+// Flags: --scales=1,10,100  --top=10  --depth=4  --reps=5
+// The JSON schema is documented in docs/BENCHMARKS.md; CI runs 1x/10x.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "datasets/company_gen.h"
+#include "observability/metrics.h"
+#include "observability/trace.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// Minimum wall time of `reps` runs of `fn` (best-of damps scheduler
+// noise — essential here, where the effect measured is percent-level).
+template <typename Fn>
+double TimeMs(size_t reps, Fn&& fn) {
+  double best = -1.0;
+  for (size_t i = 0; i < reps; ++i) {
+    auto start = Clock::now();
+    fn();
+    double ms = MillisSince(start);
+    if (best < 0.0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+struct ConfigRecord {
+  std::string config;
+  double latency_ms = 0.0;
+  double overhead_pct = 0.0;  // vs the recording-off baseline
+};
+
+struct QueryRecord {
+  std::string query;
+  size_t results = 0;
+  size_t expansions = 0;
+  std::vector<ConfigRecord> configs;
+  // From the profiled configuration: StageSum() / total_ns of the last
+  // run's QueryProfile (the <=1.0, close-to-1.0 accounting contract).
+  double profile_stage_sum_ratio = 0.0;
+};
+
+struct ScaleRecord {
+  size_t scale = 0;
+  size_t rows = 0;
+  std::vector<QueryRecord> queries;
+};
+
+const char* kQueries[] = {"smith xml", "retrieval databases"};
+
+ScaleRecord RunScale(size_t scale, size_t top_k, size_t max_edges,
+                     size_t reps) {
+  ScaleRecord record;
+  record.scale = scale;
+
+  auto generated = claks::GenerateCompanyDataset(
+      claks::CompanyGenOptions::AtScale(scale));
+  CLAKS_CHECK(generated.ok());
+  claks::GeneratedDataset dataset = std::move(generated).ValueOrDie();
+  record.rows = dataset.db->TotalRows();
+
+  auto created = claks::KeywordSearchEngine::Create(
+      dataset.db.get(), dataset.er_schema, dataset.mapping);
+  CLAKS_CHECK(created.ok());
+  std::unique_ptr<claks::KeywordSearchEngine> engine =
+      std::move(created).ValueOrDie();
+
+  for (const char* query : kQueries) {
+    claks::SearchOptions options;
+    options.method = claks::SearchMethod::kStream;
+    options.ranker = claks::RankerKind::kCloseFirst;
+    options.top_k = top_k;
+    options.max_rdb_edges = max_edges;
+
+    QueryRecord qr;
+    qr.query = query;
+
+    claks::SearchResult result;
+    auto run = [&] {
+      auto searched = engine->Search(query, options);
+      CLAKS_CHECK(searched.ok());
+      result = std::move(searched).ValueOrDie();
+    };
+
+    // Baseline: every metric write is a relaxed load + branch, tracing
+    // uninstalled, no profiler. This is the cost floor the other
+    // configurations are priced against.
+    claks::MetricsRegistry::SetRecording(false);
+    double baseline_ms = TimeMs(reps, run);
+    qr.results = result.hits.size();
+    qr.expansions = result.expansions;
+    qr.configs.push_back({"recording_off", baseline_ms, 0.0});
+
+    auto overhead = [baseline_ms](double ms) {
+      return baseline_ms > 0.0 ? 100.0 * (ms - baseline_ms) / baseline_ms
+                               : 0.0;
+    };
+
+    // Metrics on: the production default.
+    claks::MetricsRegistry::SetRecording(true);
+    double metrics_ms = TimeMs(reps, run);
+    qr.configs.push_back({"metrics_on", metrics_ms, overhead(metrics_ms)});
+
+    // Profiling on: per-stage timers along the query (opt-in per query).
+    options.profile = true;
+    double profile_ms = TimeMs(reps, run);
+    qr.configs.push_back({"profile_on", profile_ms, overhead(profile_ms)});
+    if (result.profile.has_value() && result.profile->total_ns > 0) {
+      qr.profile_stage_sum_ratio =
+          static_cast<double>(result.profile->StageSum()) /
+          static_cast<double>(result.profile->total_ns);
+    }
+    options.profile = false;
+
+    // Tracing on: an installed recorder, every span records. (With
+    // CLAKS_TRACING=OFF builds this measures the no-op twins — i.e. 0.)
+    claks::TraceRecorder recorder;
+    recorder.Install();
+    double tracing_ms = TimeMs(reps, run);
+    claks::TraceRecorder::Uninstall();
+    qr.configs.push_back({"tracing_on", tracing_ms, overhead(tracing_ms)});
+
+    claks::MetricsRegistry::SetRecording(true);
+    record.queries.push_back(std::move(qr));
+  }
+  return record;
+}
+
+void WriteJson(std::FILE* f, const std::vector<ScaleRecord>& records,
+               size_t top_k, size_t max_edges, size_t reps) {
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"bench_observability\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"dataset\": \"company_gen\",\n");
+  std::fprintf(f, "  \"top_k\": %zu,\n", top_k);
+  std::fprintf(f, "  \"max_rdb_edges\": %zu,\n", max_edges);
+  std::fprintf(f, "  \"reps\": %zu,\n", reps);
+  std::fprintf(f, "  \"tracing_compiled\": %s,\n",
+#ifdef CLAKS_TRACING_DISABLED
+               "false"
+#else
+               "true"
+#endif
+  );
+  std::fprintf(f, "  \"scales\": [\n");
+  for (size_t s = 0; s < records.size(); ++s) {
+    const ScaleRecord& record = records[s];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"scale\": %zu,\n", record.scale);
+    std::fprintf(f, "      \"rows\": %zu,\n", record.rows);
+    std::fprintf(f, "      \"queries\": [\n");
+    for (size_t q = 0; q < record.queries.size(); ++q) {
+      const QueryRecord& qr = record.queries[q];
+      std::fprintf(f, "        {\n");
+      std::fprintf(f, "          \"query\": \"%s\",\n", qr.query.c_str());
+      std::fprintf(f, "          \"results\": %zu,\n", qr.results);
+      std::fprintf(f, "          \"expansions\": %zu,\n", qr.expansions);
+      std::fprintf(f, "          \"profile_stage_sum_ratio\": %.4f,\n",
+                   qr.profile_stage_sum_ratio);
+      std::fprintf(f, "          \"configs\": [\n");
+      for (size_t c = 0; c < qr.configs.size(); ++c) {
+        const ConfigRecord& cr = qr.configs[c];
+        std::fprintf(f,
+                     "            {\"config\": \"%s\", \"latency_ms\": "
+                     "%.3f, \"overhead_pct\": %.2f}%s\n",
+                     cr.config.c_str(), cr.latency_ms, cr.overhead_pct,
+                     c + 1 < qr.configs.size() ? "," : "");
+      }
+      std::fprintf(f, "          ]\n");
+      std::fprintf(f, "        }%s\n",
+                   q + 1 < record.queries.size() ? "," : "");
+    }
+    std::fprintf(f, "      ]\n");
+    std::fprintf(f, "    }%s\n", s + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+}
+
+std::vector<size_t> ParseScales(const std::string& spec) {
+  std::vector<size_t> scales;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    long value = std::atol(spec.substr(pos, comma - pos).c_str());
+    scales.push_back(value > 0 ? static_cast<size_t>(value) : 0);
+    pos = comma + 1;
+  }
+  return scales;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<size_t> scales{1, 10, 100};
+  size_t top_k = 10;
+  size_t max_edges = 4;
+  size_t reps = 5;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--scales=", 0) == 0) {
+      scales = ParseScales(arg.substr(9));
+    } else if (arg.rfind("--top=", 0) == 0) {
+      top_k = static_cast<size_t>(std::atol(arg.substr(6).c_str()));
+    } else if (arg.rfind("--depth=", 0) == 0) {
+      max_edges = static_cast<size_t>(std::atol(arg.substr(8).c_str()));
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      reps = static_cast<size_t>(std::atol(arg.substr(7).c_str()));
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag '%s' (supported: --scales=1,10,100 "
+                   "--top=10 --depth=4 --reps=5)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (scales.empty() || top_k == 0 || reps == 0 ||
+      std::find(scales.begin(), scales.end(), 0u) != scales.end()) {
+    std::fprintf(stderr,
+                 "invalid flags: need scales >= 1, top >= 1, reps >= 1\n");
+    return 2;
+  }
+
+  std::vector<ScaleRecord> records;
+  for (size_t scale : scales) {
+    std::printf("scale %zux...\n", scale);
+    records.push_back(RunScale(scale, top_k, max_edges, reps));
+    const ScaleRecord& record = records.back();
+    for (const QueryRecord& qr : record.queries) {
+      std::printf("  '%s' (%zu hits, %zu expansions, stage-sum %.3f)\n",
+                  qr.query.c_str(), qr.results, qr.expansions,
+                  qr.profile_stage_sum_ratio);
+      for (const ConfigRecord& cr : qr.configs) {
+        std::printf("    %-13s %8.3fms  %+6.2f%%\n", cr.config.c_str(),
+                    cr.latency_ms, cr.overhead_pct);
+      }
+    }
+  }
+
+  const char* out_path = "BENCH_observability.json";
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  WriteJson(f, records, top_k, max_edges, reps);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

@@ -61,19 +61,10 @@ struct QueryRecord {
   size_t results = 0;
 };
 
-/// max/mean over per-shard counters: 1.0 = perfectly balanced.
+/// max/mean over per-shard counters: 1.0 = perfectly balanced. Thin
+/// shim over the shared skew math in observability/metrics.h.
 double Skew(const std::vector<size_t>& per_shard) {
-  if (per_shard.empty()) return 1.0;
-  size_t total = 0;
-  size_t max = 0;
-  for (size_t count : per_shard) {
-    total += count;
-    max = std::max(max, count);
-  }
-  if (total == 0) return 1.0;
-  double mean =
-      static_cast<double>(total) / static_cast<double>(per_shard.size());
-  return static_cast<double>(max) / mean;
+  return claks::ComputeSkew(per_shard).ratio;
 }
 
 struct ShardScaleRecord {

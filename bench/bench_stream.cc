@@ -35,6 +35,7 @@
 #include "core/cursor.h"
 #include "core/engine.h"
 #include "datasets/company_gen.h"
+#include "observability/metrics.h"
 
 namespace {
 
@@ -284,18 +285,9 @@ double Ratio(double baseline, double value) {
 }
 
 /// max/mean over the per-shard counters: 1.0 = perfectly balanced work.
+/// Thin shim over the shared skew math in observability/metrics.h.
 double WorkSkew(const std::vector<size_t>& per_shard) {
-  if (per_shard.empty()) return 1.0;
-  size_t total = 0;
-  size_t max = 0;
-  for (size_t count : per_shard) {
-    total += count;
-    max = std::max(max, count);
-  }
-  if (total == 0) return 1.0;
-  double mean = static_cast<double>(total) /
-                static_cast<double>(per_shard.size());
-  return static_cast<double>(max) / mean;
+  return claks::ComputeSkew(per_shard).ratio;
 }
 
 void WriteJson(std::FILE* f, const std::vector<ScaleRecord>& records,

@@ -33,6 +33,17 @@
 //   --stats             print instance statistics and exit
 //   --save=DIR          persist the loaded dataset and exit
 //
+// Observability (src/observability/):
+//   --profile           attach a per-stage QueryProfile to every query
+//                       and print it (wall time per stage, expansions,
+//                       per-shard skew)
+//   --trace-out=FILE    record TraceSpans for the whole run and write
+//                       them as Chrome trace_event JSON to FILE — load it
+//                       in chrome://tracing or Perfetto (requires a
+//                       build with CLAKS_TRACING=ON, the default)
+//   --metrics           print the process-wide metrics page
+//                       (Prometheus-style RenderText) after the run
+//
 // Concurrent service mode (drives service/search_service.h instead of a
 // bare engine):
 //   --threads=N         serve through a SearchService with N workers
@@ -48,6 +59,7 @@
 #include <cstring>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -62,6 +74,9 @@
 #include "datasets/company_gen.h"
 #include "datasets/company_paper.h"
 #include "datasets/movies.h"
+#include "observability/metrics.h"
+#include "observability/profile.h"
+#include "observability/trace.h"
 #include "relational/catalog_io.h"
 #include "service/search_service.h"
 
@@ -81,6 +96,9 @@ struct Flags {
   bool explain = false;
   bool sql = false;
   bool stats = false;
+  bool profile = false;      // attach + print QueryProfiles
+  bool metrics = false;      // print the metrics page after the run
+  std::string trace_out;     // write Chrome trace JSON here
   std::string save_dir;
   size_t threads = 0;  // > 0: drive a SearchService instead of the engine
   std::string queries;  // ';'-separated batch for service mode
@@ -146,6 +164,15 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->stats = true;
       continue;
     }
+    if (std::strcmp(argv[i], "--profile") == 0) {
+      flags->profile = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      flags->metrics = true;
+      continue;
+    }
+    if (ParseFlag(argv[i], "trace-out", &flags->trace_out)) continue;
     std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
     return false;
   }
@@ -188,6 +215,48 @@ void PrintResultExtras(const Flags& flags,
     PrintHitExtras(flags, rank, hit, db, er_schema, mapping);
     ++rank;
   }
+}
+
+// Flushes the observability outputs on every exit path from main: the
+// Chrome trace JSON for --trace-out (uninstalling the recorder first so
+// the file captures exactly the traced run) and the process metrics page
+// for --metrics.
+struct ObservabilityFlush {
+  claks::TraceRecorder* recorder = nullptr;
+  std::string trace_path;
+  bool metrics = false;
+
+  ~ObservabilityFlush() {
+    if (recorder != nullptr) {
+      claks::TraceRecorder::Uninstall();
+      std::vector<claks::TraceEvent> events = recorder->Events();
+      std::string json = recorder->ToChromeJson();
+      FILE* file = std::fopen(trace_path.c_str(), "w");
+      if (file == nullptr) {
+        std::fprintf(stderr, "trace-out: cannot open %s\n",
+                     trace_path.c_str());
+      } else {
+        std::fwrite(json.data(), 1, json.size(), file);
+        std::fclose(file);
+        std::fprintf(stderr, "trace: %zu span(s) written to %s\n",
+                     events.size(), trace_path.c_str());
+      }
+    }
+    if (metrics) {
+      std::printf("%s",
+                  claks::MetricsRegistry::Default().RenderText().c_str());
+    }
+  }
+};
+
+void MaybePrintProfile(const Flags& flags,
+                       const std::optional<claks::QueryProfile>& profile) {
+  if (!flags.profile) return;
+  if (!profile.has_value()) {
+    std::printf("profile: (not collected)\n");
+    return;
+  }
+  std::printf("%s", profile->ToString().c_str());
 }
 
 // Interactive pause between pages; no-op when stdin is not a TTY (smoke
@@ -255,6 +324,7 @@ int RunEnginePaging(const Flags& flags,
     if (!WaitForNextPage()) break;
   }
   if (rank == 0) std::printf("  (no results)\n");
+  MaybePrintProfile(flags, (*cursor)->Stats().profile);
   return 0;
 }
 
@@ -386,6 +456,7 @@ int RunServiceMode(const Flags& flags, std::unique_ptr<claks::Database> db,
     }
     if (i < queries.size()) {  // print each distinct query once
       std::printf("%s", result->ToString(snapshot_db, flags.top).c_str());
+      MaybePrintProfile(flags, result->profile);
       if (flags.explain || flags.sql) {
         const claks::KeywordSearchEngine& engine =
             *(*service)->snapshot()->engine;
@@ -417,6 +488,23 @@ int RunServiceMode(const Flags& flags, std::unique_ptr<claks::Database> db,
 int main(int argc, char** argv) {
   Flags flags;
   if (!ParseFlags(argc, argv, &flags)) return 2;
+
+  // Recorder before flush: locals die in reverse order, so the flush
+  // (which reads the recorder) runs first on every return path.
+  std::optional<claks::TraceRecorder> recorder;
+  ObservabilityFlush flush;
+  flush.metrics = flags.metrics;
+  if (!flags.trace_out.empty()) {
+    recorder.emplace();
+    recorder->Install();
+    if (!claks::TraceSpan::Enabled()) {
+      std::fprintf(stderr,
+                   "trace-out: this build has CLAKS_TRACING=OFF; the "
+                   "trace will be empty\n");
+    }
+    flush.recorder = &*recorder;
+    flush.trace_path = flags.trace_out;
+  }
 
   // Acquire the database (+ conceptual schema when built-in).
   std::unique_ptr<claks::Database> owned_db;
@@ -477,6 +565,7 @@ int main(int argc, char** argv) {
   options.tmax = flags.tmax;
   options.top_k = flags.top;
   options.shards = flags.shards;
+  options.profile = flags.profile;
   std::optional<claks::SearchMethod> method =
       claks::SearchMethodFromString(flags.method);
   std::optional<claks::RankerKind> ranker =
@@ -524,6 +613,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("%s", result->ToString(*owned_db, flags.top).c_str());
+  MaybePrintProfile(flags, result->profile);
 
   if (flags.explain || flags.sql) {
     PrintResultExtras(flags, result->hits, *owned_db,

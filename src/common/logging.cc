@@ -47,6 +47,32 @@ class LogRegistry {
   LogSink sink_ CLAKS_GUARDED_BY(mutex_);
 };
 
+// A field value needs quoting when a bare `key=value` token would not
+// round-trip through whitespace splitting: spaces, quotes, '=' or an
+// empty value. Quotes and backslashes inside a quoted value are escaped.
+bool NeedsQuoting(const std::string& value) {
+  if (value.empty()) return true;
+  for (char c : value) {
+    if (c == ' ' || c == '\t' || c == '"' || c == '=' || c == '\\') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendFieldValue(std::string* out, const std::string& value) {
+  if (!NeedsQuoting(value)) {
+    *out += value;
+    return;
+  }
+  *out += '"';
+  for (char c : value) {
+    if (c == '"' || c == '\\') *out += '\\';
+    *out += c;
+  }
+  *out += '"';
+}
+
 const char* LevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -81,7 +107,14 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (level_ < GetLogLevel()) return;
-  LogRegistry::Instance().Emit(level_, stream_.str());
+  std::string line = stream_.str();
+  for (const auto& [key, value] : fields_) {
+    line += ' ';
+    line += key;
+    line += '=';
+    AppendFieldValue(&line, value);
+  }
+  LogRegistry::Instance().Emit(level_, line);
 }
 
 }  // namespace internal

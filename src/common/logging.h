@@ -9,13 +9,25 @@
 // with SetLogSink) is invoked under a global mutex, so concurrent
 // statements never interleave characters within a line. SetLogLevel /
 // GetLogLevel are atomic.
+//
+// Structured fields: a statement may chain WithField(key, value) calls
+// before (or between) streaming — the fields render machine-parseably at
+// the end of the same single line as ` key=value`, values quoted when
+// they contain spaces/quotes/'=' (or are empty):
+//   CLAKS_LOG(Warning).WithField("query", text).WithField("ms", 41)
+//       << "slow query";
+// Fields ride the statement's private buffer, so the line-integrity
+// guarantee above is unchanged.
 
 #ifndef CLAKS_COMMON_LOGGING_H_
 #define CLAKS_COMMON_LOGGING_H_
 
 #include <functional>
+#include <ostream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace claks {
 
@@ -36,7 +48,10 @@ void SetLogSink(LogSink sink);
 
 namespace internal {
 
-/// Stream-style log sink; emits on destruction.
+/// Stream-style log sink; emits on destruction. The CLAKS_LOG macro
+/// yields the message itself (not a raw ostream) so statements can chain
+/// WithField before streaming; operator<< forwards to the private buffer
+/// and keeps returning the message.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -45,11 +60,36 @@ class LogMessage {
   LogMessage(const LogMessage&) = delete;
   LogMessage& operator=(const LogMessage&) = delete;
 
+  /// Attaches one structured `key=value` field to this line; fields
+  /// render in attachment order after the streamed message. Any
+  /// streamable value works (it is formatted through the same buffer
+  /// mechanics as operator<<).
+  template <typename V>
+  LogMessage& WithField(const std::string& key, const V& value) {
+    std::ostringstream formatted;
+    formatted << value;
+    fields_.emplace_back(key, formatted.str());
+    return *this;
+  }
+
+  template <typename V>
+  LogMessage& operator<<(const V& value) {
+    stream_ << value;
+    return *this;
+  }
+  /// Manipulator overload (std::endl and friends) — a template cannot
+  /// deduce through the overload set of a function name.
+  LogMessage& operator<<(std::ostream& (*manip)(std::ostream&)) {
+    stream_ << manip;
+    return *this;
+  }
+
   std::ostream& stream() { return stream_; }
 
  private:
   LogLevel level_;
   std::ostringstream stream_;
+  std::vector<std::pair<std::string, std::string>> fields_;
 };
 
 }  // namespace internal
@@ -57,7 +97,6 @@ class LogMessage {
 
 #define CLAKS_LOG(level)                                                \
   ::claks::internal::LogMessage(::claks::LogLevel::k##level, __FILE__,  \
-                                __LINE__)                               \
-      .stream()
+                                __LINE__)
 
 #endif  // CLAKS_COMMON_LOGGING_H_

@@ -3,6 +3,7 @@
 #include "core/cursor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 #include <utility>
 
@@ -10,6 +11,7 @@
 #include "common/macros.h"
 #include "core/shard.h"
 #include "core/topk.h"
+#include "observability/trace.h"
 
 namespace claks {
 
@@ -59,16 +61,47 @@ size_t SaturatingAdd(size_t a, size_t b) {
   return sum < a ? static_cast<size_t>(-1) : sum;
 }
 
+uint64_t ElapsedNs(QueryProfiler::Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          QueryProfiler::Clock::now() - start)
+          .count());
+}
+
+/// Seeds a fresh profiler with the prepare-phase timings the engine
+/// recorded on the PreparedQuery (they happened before any cursor
+/// existed, so the cursor's own timers never see them).
+std::unique_ptr<QueryProfiler> MakeProfiler(const PreparedQuery& prepared) {
+  if (!prepared.options().profile) return nullptr;
+  auto profiler = std::make_unique<QueryProfiler>();
+  profiler->Add(QueryProfiler::Stage::kValidate, prepared.validate_ns());
+  profiler->Add(QueryProfiler::Stage::kMatch, prepared.match_ns());
+  profiler->Add(QueryProfiler::Stage::kTotal,
+                prepared.validate_ns() + prepared.match_ns());
+  return profiler;
+}
+
 /// Serves pages by slicing a fully ranked hit buffer — the cursor shape of
 /// every method whose algorithm materializes its answer set anyway
 /// (kEnumerate/kMtjnt/kDiscover/kBanks, one-keyword kStream, and empty
 /// AND-miss results).
 class MaterializedCursor : public ResultCursor {
  public:
-  MaterializedCursor(std::vector<SearchHit> hits, size_t work)
-      : hits_(std::move(hits)), work_(work) {}
+  MaterializedCursor(std::vector<SearchHit> hits, size_t work,
+                     std::unique_ptr<QueryProfiler> profiler)
+      : hits_(std::move(hits)),
+        work_(work),
+        profiler_(std::move(profiler)) {}
 
   Result<std::vector<SearchHit>> Next(size_t n) override {
+    // kTotal and kFetch deliberately cover the same scope: for a
+    // materialized cursor a page is pure copy-out, and kTotal is the
+    // wall-time denominator, not a stage.
+    QueryProfiler::ScopedTimer total(profiler_.get(),
+                                     QueryProfiler::Stage::kTotal);
+    QueryProfiler::ScopedTimer fetch(profiler_.get(),
+                                     QueryProfiler::Stage::kFetch);
+    TraceSpan span("page-fetch");
     std::vector<SearchHit> page;
     size_t end = std::min(hits_.size(), SaturatingAdd(offset_, n));
     page.reserve(end - offset_);
@@ -85,12 +118,16 @@ class MaterializedCursor : public ResultCursor {
     stats.returned = offset_;
     stats.expansions = work_;
     stats.drained = Drained();
+    if (profiler_ != nullptr) {
+      stats.profile = profiler_->Snapshot(work_, offset_, {});
+    }
     return stats;
   }
 
  private:
   std::vector<SearchHit> hits_;
   size_t work_;
+  std::unique_ptr<QueryProfiler> profiler_;
   size_t offset_ = 0;
 };
 
@@ -162,8 +199,16 @@ class StreamingCursor : public ResultCursor {
         options_(prepared->options()),
         ranker_(MakeRanker(options_.ranker)),
         monotone_(RankerMonotonicity(options_.ranker) !=
-                  RankMonotonicity::kNone) {
+                  RankMonotonicity::kNone),
+        profiler_(MakeProfiler(*prepared)) {
     CLAKS_CHECK(ranker_ != nullptr);
+    // Construction is the plan stage: seed partitioning and per-shard
+    // stream setup happen here, before the first possible pull.
+    QueryProfiler::ScopedTimer total(profiler_.get(),
+                                     QueryProfiler::Stage::kTotal);
+    QueryProfiler::ScopedTimer plan(profiler_.get(),
+                                    QueryProfiler::Stage::kPlan);
+    TraceSpan span("seed-partition");
     size_t shards = EffectiveShards(options_.shards);
     if (shards > 1) {
       // Scatter-gather: per-shard streams on the engine's intra-query
@@ -176,9 +221,22 @@ class StreamingCursor : public ResultCursor {
           &engine_->data_graph(), MatchNodes(prepared, 0),
           MatchNodes(prepared, 1), options_.max_rdb_edges, shards,
           &engine_->shard_context().pool(), [this](const NodePath& path) {
-            return engine_->AnalyzeTree(CanonicalTree(path),
-                                        prepared_->matches(),
-                                        prepared_->keyword_of(), options_);
+            // Runs on a shard fill task: the trace span parents under the
+            // task's shard-fill span via the thread-local chain, and the
+            // time lands in the profiler's cross-thread analyze-task
+            // accumulators (it overlaps the consumer's stream wait).
+            TraceSpan analyze_span("analyze");
+            if (profiler_ == nullptr) {
+              return engine_->AnalyzeTree(CanonicalTree(path),
+                                          prepared_->matches(),
+                                          prepared_->keyword_of(), options_);
+            }
+            auto start = QueryProfiler::Clock::now();
+            Result<SearchHit> hit = engine_->AnalyzeTree(
+                CanonicalTree(path), prepared_->matches(),
+                prepared_->keyword_of(), options_);
+            profiler_->AddAnalyzeTask(ElapsedNs(start));
+            return hit;
           });
     } else {
       // The single-threaded path, bit-for-bit the pre-sharding cursor.
@@ -195,6 +253,8 @@ class StreamingCursor : public ResultCursor {
   }
 
   Result<std::vector<SearchHit>> Next(size_t n) override {
+    QueryProfiler::ScopedTimer total(profiler_.get(),
+                                     QueryProfiler::Stage::kTotal);
     std::vector<SearchHit> page;
     if (n == 0 || finished_) return page;
     size_t want = SaturatingAdd(emitted_, n);
@@ -204,6 +264,9 @@ class StreamingCursor : public ResultCursor {
     if (want > emitted_) {
       CLAKS_RETURN_NOT_OK(EnsureDecided(want));
       const std::vector<size_t>& order = SurvivorOrder();
+      QueryProfiler::ScopedTimer fetch(profiler_.get(),
+                                       QueryProfiler::Stage::kFetch);
+      TraceSpan fetch_span("page-fetch");
       size_t end = std::min(want, order.size());
       page.reserve(end > emitted_ ? end - emitted_ : 0);
       for (size_t i = emitted_; i < end; ++i) {
@@ -233,6 +296,10 @@ class StreamingCursor : public ResultCursor {
       stats.expansions = stream_->expansions();
     }
     stats.drained = finished_;
+    if (profiler_ != nullptr) {
+      stats.profile = profiler_->Snapshot(stats.expansions, stats.returned,
+                                          stats.shard_expansions);
+    }
     return stats;
   }
 
@@ -264,7 +331,26 @@ class StreamingCursor : public ResultCursor {
     return Pull(want, /*settle=*/true);
   }
 
+  /// Timing shell around the pull loop: the stream stage is everything
+  /// the loop does on the consumer thread (pulling/waiting on the
+  /// stream or the shard merge, settle bookkeeping) MINUS the inline
+  /// analysis time, which PullLoop accumulates separately — subtracting
+  /// instead of nesting keeps the two stages disjoint with no untimed
+  /// gap, so the profile's stage-sum contract holds.
   Status Pull(size_t want, bool settle) {
+    if (profiler_ == nullptr) return PullLoop(want, settle);
+    auto start = QueryProfiler::Clock::now();
+    inline_analyze_ns_ = 0;
+    Status status = PullLoop(want, settle);
+    uint64_t elapsed = ElapsedNs(start);
+    uint64_t analyze = std::min(inline_analyze_ns_, elapsed);
+    profiler_->Add(QueryProfiler::Stage::kAnalyze, analyze);
+    profiler_->Add(QueryProfiler::Stage::kStream, elapsed - analyze);
+    return status;
+  }
+
+  Status PullLoop(size_t want, bool settle) {
+    TraceSpan stream_span("stream");
     std::vector<double> bar;
     size_t stop = settle
                       ? SettleLength(keys_, groups_, want, options_, &bar)
@@ -290,10 +376,17 @@ class StreamingCursor : public ResultCursor {
           if (!stream_->PendingLength().has_value()) exhausted_ = true;
           return Status::OK();
         }
+        auto analyze_start = profiler_ != nullptr
+                                 ? QueryProfiler::Clock::now()
+                                 : QueryProfiler::Clock::time_point();
+        TraceSpan analyze_span("analyze");
         CLAKS_ASSIGN_OR_RETURN(
             hit,
             engine_->AnalyzeTree(CanonicalTree(*path), prepared_->matches(),
                                  prepared_->keyword_of(), options_));
+        if (profiler_ != nullptr) {
+          inline_analyze_ns_ += ElapsedNs(analyze_start);
+        }
       }
       std::vector<double> key = ranker_->SortKey(hit.ToRankInput());
       // An arrival that does not beat the current bar sorts after the
@@ -307,6 +400,7 @@ class StreamingCursor : public ResultCursor {
       hits_.push_back(std::move(hit));
       order_dirty_ = true;
       if (recompute) {
+        TraceSpan settle_span("settle");
         stop = SettleLength(keys_, groups_, want, options_, &bar);
       }
     }
@@ -320,6 +414,9 @@ class StreamingCursor : public ResultCursor {
   /// pages over an unchanged buffer pay the sort once.
   const std::vector<size_t>& SurvivorOrder() {
     if (!order_dirty_) return cached_order_;
+    QueryProfiler::ScopedTimer rank(profiler_.get(),
+                                    QueryProfiler::Stage::kRank);
+    TraceSpan span("rank");
     std::vector<size_t> order(hits_.size());
     std::iota(order.begin(), order.end(), 0);
     std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
@@ -351,6 +448,13 @@ class StreamingCursor : public ResultCursor {
   std::unique_ptr<ShardedStreamSource> sharded_;
   std::unique_ptr<Ranker> ranker_;
   const bool monotone_;
+  /// Null unless SearchOptions::profile; shard analyze tasks write only
+  /// its atomic accumulators (AddAnalyzeTask).
+  std::unique_ptr<QueryProfiler> profiler_;
+  /// Inline (consumer-thread) analysis time inside the current PullLoop
+  /// call; Pull subtracts it from the loop's elapsed time so the stream
+  /// and analyze stages stay disjoint.
+  uint64_t inline_analyze_ns_ = 0;
 
   /// Arrival-order candidate buffer (the reorder window) plus the
   /// parallel sort keys and group keys the settle predicate reads.
@@ -374,11 +478,18 @@ Result<std::unique_ptr<ResultCursor>> PreparedQuery::Open() const {
     return std::unique_ptr<ResultCursor>(
         std::make_unique<StreamingCursor>(this));
   }
+  std::unique_ptr<QueryProfiler> profiler = MakeProfiler(*this);
   size_t work = 0;
-  CLAKS_ASSIGN_OR_RETURN(std::vector<SearchHit> hits,
-                         engine_->MaterializeHits(*this, &work));
-  return std::unique_ptr<ResultCursor>(
-      std::make_unique<MaterializedCursor>(std::move(hits), work));
+  Result<std::vector<SearchHit>> hits = [&] {
+    // Materialization is the whole query for these methods — it is the
+    // open-time slice of the wall-time denominator.
+    QueryProfiler::ScopedTimer total(profiler.get(),
+                                     QueryProfiler::Stage::kTotal);
+    return engine_->MaterializeHits(*this, &work, profiler.get());
+  }();
+  CLAKS_RETURN_NOT_OK(hits.status());
+  return std::unique_ptr<ResultCursor>(std::make_unique<MaterializedCursor>(
+      std::move(hits).ValueUnsafe(), work, std::move(profiler)));
 }
 
 }  // namespace claks

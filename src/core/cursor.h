@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,9 @@ struct CursorStats {
   std::vector<size_t> shard_expansions;
   /// True when every hit of the result space has been handed out.
   bool drained = false;
+  /// Stage times and work counters accumulated so far, set when the
+  /// query ran with SearchOptions::profile (observability/profile.h).
+  std::optional<QueryProfile> profile;
 };
 
 /// One consumer's view of a prepared query's ranked result sequence.

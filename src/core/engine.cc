@@ -3,15 +3,43 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
+#include <optional>
 
 #include "common/logging.h"
 #include "common/macros.h"
 #include "common/string_util.h"
 #include "core/cursor.h"
 #include "core/shard.h"
+#include "observability/metrics.h"
+#include "observability/trace.h"
 
 namespace claks {
+
+namespace {
+
+// Engine-level query metrics (catalog: docs/OBSERVABILITY.md). The
+// family lookups run once per Search call, never per candidate.
+CLAKS_METRIC_COUNTER_FAMILY(g_engine_queries, "claks_engine_queries_total",
+                            "Queries answered by the engine facade",
+                            "method");
+CLAKS_METRIC_HISTOGRAM_FAMILY(
+    g_engine_query_us, "claks_engine_query_duration_us",
+    "End-to-end Search latency (prepare + drain)", "method", "ranker");
+CLAKS_METRIC_HISTOGRAM_FAMILY(
+    g_engine_expansions, "claks_engine_query_expansions_count",
+    "Per-query work metric (stream expansions / BANKS visited nodes)",
+    "method");
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
 
 RankInput SearchHit::ToRankInput() const {
   RankInput input;
@@ -359,6 +387,8 @@ Result<SearchHit> KeywordSearchEngine::AnalyzeTree(
 
 Result<PreparedQuery> KeywordSearchEngine::Prepare(
     const std::string& query_text, QuerySpec spec) const {
+  auto start = std::chrono::steady_clock::now();
+  TraceSpan span("match");
   PreparedQuery prepared(this, std::move(spec));
   prepared.query_ = ParseKeywordQuery(query_text, index_->tokenizer());
   if (prepared.query_.keywords.empty()) {
@@ -382,6 +412,7 @@ Result<PreparedQuery> KeywordSearchEngine::Prepare(
       // AND semantics: some keyword matched nothing; cursors are born
       // drained (the match metadata stays available for display).
       prepared.empty_result_ = true;
+      prepared.match_ns_ = ElapsedNs(start);
       return prepared;
     }
     // OR semantics: drop unmatched keywords and continue with the rest.
@@ -395,6 +426,7 @@ Result<PreparedQuery> KeywordSearchEngine::Prepare(
     }
     if (matched.empty()) {
       prepared.empty_result_ = true;
+      prepared.match_ns_ = ElapsedNs(start);
       return prepared;
     }
     prepared.matches_ = std::move(matched);
@@ -415,17 +447,29 @@ Result<PreparedQuery> KeywordSearchEngine::Prepare(
         "SearchMethod::kStream supports 1 or 2 keywords; use "
         "kMtjnt/kDiscover/kBanks for more");
   }
+  prepared.match_ns_ = ElapsedNs(start);
   return prepared;
 }
 
 Result<PreparedQuery> KeywordSearchEngine::Prepare(
     const std::string& query_text, const SearchOptions& options) const {
-  CLAKS_ASSIGN_OR_RETURN(QuerySpec spec, QuerySpec::Create(options));
-  return Prepare(query_text, std::move(spec));
+  auto start = std::chrono::steady_clock::now();
+  Result<QuerySpec> spec = [&] {
+    TraceSpan span("validate");
+    return QuerySpec::Create(options);
+  }();
+  uint64_t validate_ns = ElapsedNs(start);
+  CLAKS_RETURN_NOT_OK(spec.status());
+  CLAKS_ASSIGN_OR_RETURN(PreparedQuery prepared,
+                         Prepare(query_text, std::move(spec).ValueUnsafe()));
+  prepared.validate_ns_ = validate_ns;
+  return prepared;
 }
 
 Result<std::vector<SearchHit>> KeywordSearchEngine::MaterializeHits(
-    const PreparedQuery& prepared, size_t* work) const {
+    const PreparedQuery& prepared, size_t* work,
+    QueryProfiler* profiler) const {
+  TraceSpan materialize_span("materialize");
   if (work != nullptr) *work = 0;
   std::vector<SearchHit> hits;
   if (prepared.empty_result()) return hits;
@@ -436,6 +480,13 @@ Result<std::vector<SearchHit>> KeywordSearchEngine::MaterializeHits(
   // engine: no pool is started, no task is scheduled.
   const size_t shards = EffectiveShards(options.shards);
   std::vector<TupleTree> trees;
+  // Candidate generation is the materialized methods' stream stage: the
+  // whole bounded result space is produced here. The span/timer pair ends
+  // after the switch (std::optional controls the end point without
+  // re-scoping the switch).
+  auto candidates_start = std::chrono::steady_clock::now();
+  std::optional<TraceSpan> candidates_span;
+  candidates_span.emplace("candidates");
   switch (options.method) {
     // A 1-keyword kStream query degenerates to kEnumerate's single-node
     // hits: there is nothing to stream. (Two-keyword kStream is the
@@ -528,7 +579,14 @@ Result<std::vector<SearchHit>> KeywordSearchEngine::MaterializeHits(
       break;
     }
   }
+  candidates_span.reset();
+  if (profiler != nullptr) {
+    profiler->Add(QueryProfiler::Stage::kStream, ElapsedNs(candidates_start));
+  }
 
+  auto analyze_start = std::chrono::steady_clock::now();
+  std::optional<TraceSpan> analyze_span;
+  analyze_span.emplace("analyze");
   if (shards > 1 && trees.size() > 1) {
     // Analysis dominates the materialized methods and AnalyzeTree is
     // const + data-race-free on a warmed engine: fan it out. Results are
@@ -546,18 +604,34 @@ Result<std::vector<SearchHit>> KeywordSearchEngine::MaterializeHits(
       hits.push_back(std::move(hit));
     }
   }
+  analyze_span.reset();
+  if (profiler != nullptr) {
+    profiler->Add(QueryProfiler::Stage::kAnalyze, ElapsedNs(analyze_start));
+  }
 
-  RankGroupTruncate(&hits, prepared.keyword_of(), options);
+  {
+    QueryProfiler::ScopedTimer timer(profiler, QueryProfiler::Stage::kRank);
+    RankGroupTruncate(&hits, prepared.keyword_of(), options);
+  }
   return hits;
 }
 
 Result<SearchResult> KeywordSearchEngine::Search(
     const std::string& query_text, const SearchOptions& options) const {
+  TraceSpan search_span("search");
+  auto start = std::chrono::steady_clock::now();
   // The legacy facade: prepare (unvalidated spec, so historical option
-  // bags keep working byte-for-byte), open a cursor, drain it.
-  CLAKS_ASSIGN_OR_RETURN(
-      PreparedQuery prepared,
-      Prepare(query_text, QuerySpec::Unvalidated(options)));
+  // bags keep working byte-for-byte), open a cursor, drain it. The spec
+  // construction is still this path's validate stage — traced (and
+  // timed below) so a traced Search shows the full lifecycle.
+  QuerySpec spec = [&] {
+    TraceSpan span("validate");
+    return QuerySpec::Unvalidated(options);
+  }();
+  uint64_t validate_ns = ElapsedNs(start);
+  CLAKS_ASSIGN_OR_RETURN(PreparedQuery prepared,
+                         Prepare(query_text, std::move(spec)));
+  prepared.validate_ns_ = validate_ns;
   CLAKS_ASSIGN_OR_RETURN(std::unique_ptr<ResultCursor> cursor,
                          prepared.Open());
 
@@ -572,12 +646,20 @@ Result<SearchResult> KeywordSearchEngine::Search(
   CursorStats stats = cursor->Stats();
   result.expansions = stats.expansions;
   result.shard_expansions = std::move(stats.shard_expansions);
+  result.profile = std::move(stats.profile);
   // The drain is complete: no cursor call follows, so the prepared
   // metadata can be moved out rather than copied (the cursor only reads
   // it from inside Next).
   result.query = std::move(prepared.query_);
   result.matches = std::move(prepared.matches_);
   result.keyword_of = std::move(prepared.keyword_of_);
+  if (MetricsRegistry::recording()) {
+    const std::string method = SearchMethodToString(options.method);
+    g_engine_queries.With({method}).Inc();
+    g_engine_query_us.With({method, RankerKindToString(options.ranker)})
+        .Observe(ElapsedNs(start) / 1000);
+    g_engine_expansions.With({method}).Observe(result.expansions);
+  }
   return result;
 }
 
@@ -585,6 +667,7 @@ void KeywordSearchEngine::RankGroupTruncate(
     std::vector<SearchHit>* hits,
     const std::map<TupleId, std::string>& keyword_of,
     const SearchOptions& options) const {
+  TraceSpan span("rank");
   std::unique_ptr<Ranker> ranker = MakeRanker(options.ranker);
   CLAKS_CHECK(ranker != nullptr);
   std::vector<RankInput> inputs;

@@ -27,6 +27,7 @@
 #include "core/query_spec.h"
 #include "core/ranking.h"
 #include "core/statistics.h"
+#include "observability/profile.h"
 #include "er/relational_to_er.h"
 #include "graph/banks.h"
 #include "text/scoring.h"
@@ -91,6 +92,11 @@ struct SearchResult {
   /// query ran unsharded or through a materialized method). Work-skew
   /// diagnostics for the benches' --shards sweeps.
   std::vector<size_t> shard_expansions;
+
+  /// Per-stage wall times and work counters, set when
+  /// SearchOptions::profile was on (observability/profile.h). Hits and
+  /// ranking are byte-identical with or without it.
+  std::optional<QueryProfile> profile;
 
   std::string ToString(const Database& db, size_t max_hits = 20) const;
 };
@@ -211,10 +217,12 @@ class KeywordSearchEngine {
   /// grouped and truncated hit sequence — the backing store of
   /// materialized cursors (every method except two-keyword kStream).
   /// `work` (optional) receives the method's work metric (BANKS visited
-  /// nodes; 0 for the exhaustive methods). Internal plumbing shared with
+  /// nodes; 0 for the exhaustive methods); `profiler` (optional) receives
+  /// the stream/analyze/rank stage times. Internal plumbing shared with
   /// core/cursor.cc.
   Result<std::vector<SearchHit>> MaterializeHits(
-      const PreparedQuery& prepared, size_t* work) const;
+      const PreparedQuery& prepared, size_t* work,
+      QueryProfiler* profiler = nullptr) const;
 
   const Database& database() const { return *db_; }
   const ERSchema& er_schema() const { return *er_schema_; }

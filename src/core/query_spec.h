@@ -16,6 +16,7 @@
 #ifndef CLAKS_CORE_QUERY_SPEC_H_
 #define CLAKS_CORE_QUERY_SPEC_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
@@ -91,6 +92,11 @@ struct SearchOptions {
   /// method and ranker (the differential suite proves it); 1 is the
   /// single-threaded path, bit-for-bit the pre-sharding engine.
   size_t shards = 1;
+  /// Collect a per-stage QueryProfile (observability/profile.h) while the
+  /// query runs and attach it to CursorStats::profile /
+  /// SearchResult::profile. Off by default: profiling costs a few clock
+  /// reads per page, and hits/ranking are unaffected either way.
+  bool profile = false;
   BanksOptions banks;
 };
 
@@ -186,6 +192,14 @@ class PreparedQuery {
   bool empty_result() const { return empty_result_; }
   const KeywordSearchEngine& engine() const { return *engine_; }
 
+  /// Prepare-phase timings (nanoseconds), recorded by the engine when it
+  /// builds this query: option validation (QuerySpec::Create; 0 on the
+  /// unvalidated legacy path) and the tokenize/match/resolve body. Seeds
+  /// of the QueryProfile's validate/match stages when
+  /// SearchOptions::profile is on.
+  uint64_t validate_ns() const { return validate_ns_; }
+  uint64_t match_ns() const { return match_ns_; }
+
  private:
   friend class KeywordSearchEngine;
 
@@ -198,6 +212,8 @@ class PreparedQuery {
   std::vector<KeywordMatches> matches_;
   std::map<TupleId, std::string> keyword_of_;
   bool empty_result_ = false;
+  uint64_t validate_ns_ = 0;
+  uint64_t match_ns_ = 0;
 };
 
 }  // namespace claks

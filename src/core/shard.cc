@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/macros.h"
+#include "observability/trace.h"
 
 namespace claks {
 
@@ -65,6 +66,16 @@ size_t IntraQueryThreads() {
 /// most this many per shard) while giving shard tasks enough work to
 /// overlap.
 constexpr size_t kPrefetchBatch = 8;
+
+// Scatter-gather counters (catalog: docs/OBSERVABILITY.md): how often
+// the merge scheduled fill tasks, emitted, and paused shards at a
+// settle bound.
+CLAKS_METRIC_COUNTER(g_shard_fills, "claks_shard_fill_tasks_total",
+                     "Shard fill tasks scheduled by the scatter half");
+CLAKS_METRIC_COUNTER(g_shard_merges, "claks_shard_merge_emissions_total",
+                     "Emissions handed out by the gather-side merge");
+CLAKS_METRIC_COUNTER(g_shard_pauses, "claks_shard_pauses_total",
+                     "Shard streams paused at a settle bound (not drained)");
 
 }  // namespace
 
@@ -161,13 +172,21 @@ void ShardedStreamSource::FillAll(size_t stop_length) {
     to_fill.push_back(i);
   }
   if (to_fill.empty()) return;
+  g_shard_fills.Inc(to_fill.size());
   {
     MutexLock lock(&mutex_);
     outstanding_ += to_fill.size();
   }
+  // Captured on the consumer thread: fill spans on the pool threads
+  // parent under the consumer's current span (the page's stream span),
+  // so the trace shows which page each shard worked for.
+  TraceContext trace_context = TraceSpan::Capture();
   for (size_t i : to_fill) {
     Shard* shard = &shards_[i];
-    pool_->Submit([this, shard, stop_length] {
+    pool_->Submit([this, shard, stop_length, trace_context,
+                   shard_index = i] {
+      TraceSpan fill_span(trace_context, "shard-fill");
+      fill_span.SetArg("shard", shard_index);
       std::deque<Emission> got;
       Status status = Status::OK();
       while (got.size() < kPrefetchBatch) {
@@ -183,6 +202,7 @@ void ShardedStreamSource::FillAll(size_t stop_length) {
             Emission{std::move(*keyed), std::move(hit).ValueUnsafe()});
       }
       bool exhausted = !shard->stream->PendingLength().has_value();
+      if (got.empty() && !exhausted) g_shard_pauses.Inc();
       size_t expansions = shard->stream->expansions();
       MutexLock lock(&mutex_);
       shard->exhausted = exhausted;
@@ -249,6 +269,7 @@ ShardedStreamSource::Next(size_t stop_length) {
     if (!emitted_.insert({std::move(nodes), std::move(edges)}).second) {
       continue;  // duplicate; the drained shard refills next round
     }
+    g_shard_merges.Inc();
     return std::optional<Emission>(std::move(emission));
   }
 }
@@ -296,6 +317,10 @@ std::vector<size_t> ShardedStreamSource::ShardExpansions() const {
   counts.reserve(shards_.size());
   for (const Shard& shard : shards_) counts.push_back(shard.expansions);
   return counts;
+}
+
+SkewSummary ShardedStreamSource::WorkSkew() const {
+  return ComputeSkew(ShardExpansions());
 }
 
 Result<std::vector<SearchHit>> AnalyzeTreesParallel(

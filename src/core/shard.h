@@ -54,6 +54,7 @@
 #include "core/engine.h"
 #include "core/topk.h"
 #include "graph/data_graph.h"
+#include "observability/metrics.h"
 
 namespace claks {
 
@@ -174,6 +175,10 @@ class ShardedStreamSource {
 
   /// Per-shard expansion counters (work-skew metric for the benches).
   std::vector<size_t> ShardExpansions() const;
+
+  /// Max/mean/ratio skew over ShardExpansions() — the balance metric the
+  /// --shards bench sweeps and QueryProfile::shard_skew report.
+  SkewSummary WorkSkew() const;
 
   size_t num_shards() const { return shards_.size(); }
 

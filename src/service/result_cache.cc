@@ -5,8 +5,23 @@
 #include <functional>
 
 #include "common/macros.h"
+#include "observability/metrics.h"
 
 namespace claks {
+
+namespace {
+
+// Process-wide cache counters (all ResultCache instances). The exact
+// per-instance counts behind ResultCacheStats stay on the cache shards;
+// these feed the global metrics page.
+CLAKS_METRIC_COUNTER(g_cache_hits, "claks_cache_hits_total",
+                     "Result-cache lookups served from cache");
+CLAKS_METRIC_COUNTER(g_cache_misses, "claks_cache_misses_total",
+                     "Result-cache lookups that missed");
+CLAKS_METRIC_COUNTER(g_cache_evictions, "claks_cache_evictions_total",
+                     "Result-cache LRU evictions");
+
+}  // namespace
 
 ResultCache::ResultCache(size_t capacity, size_t num_shards) {
   if (num_shards == 0) num_shards = 1;
@@ -31,9 +46,11 @@ std::shared_ptr<const SearchResult> ResultCache::Get(
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
+    g_cache_misses.Inc();
     return nullptr;
   }
   ++shard.hits;
+  g_cache_hits.Inc();
   // Refresh recency: splice the node to the front without reallocating.
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->value;
@@ -54,6 +71,7 @@ void ResultCache::Put(const std::string& key,
     shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
     ++shard.evictions;
+    g_cache_evictions.Inc();
   }
   shard.lru.push_front(Entry{key, std::move(value)});
   shard.index.emplace(key, shard.lru.begin());

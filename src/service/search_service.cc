@@ -2,19 +2,100 @@
 
 #include "service/search_service.h"
 
+#include <chrono>
+
+#include "common/logging.h"
 #include "common/macros.h"
 #include "common/string_util.h"
 #include "core/shard.h"
+#include "observability/trace.h"
 #include "relational/delta.h"
 #include "text/matcher.h"
 
 namespace claks {
+
+namespace {
+
+// Canonical service counter names: registered per-service (the instance
+// registry behind ServiceStats) and process-wide (the twins below), so
+// one name means the same thing on both pages.
+constexpr char kSubmitted[] = "claks_service_queries_submitted_total";
+constexpr char kCompleted[] = "claks_service_queries_completed_total";
+constexpr char kCursorsPrepared[] = "claks_service_cursors_prepared_total";
+constexpr char kPagesFetched[] = "claks_service_pages_fetched_total";
+constexpr char kDeltaMutations[] = "claks_service_mutations_delta_total";
+constexpr char kRebuildMutations[] =
+    "claks_service_mutations_rebuild_total";
+constexpr char kNoopMutations[] = "claks_service_mutations_noop_total";
+constexpr char kCompactions[] = "claks_service_compactions_total";
+
+constexpr char kSubmittedHelp[] = "Queries accepted by Submit";
+constexpr char kCompletedHelp[] = "Query futures fulfilled";
+constexpr char kCursorsPreparedHelp[] = "Cursors opened by Prepare";
+constexpr char kPagesFetchedHelp[] = "Pages served by Fetch";
+constexpr char kDeltaMutationsHelp[] =
+    "Mutation batches published through O(delta) derivation";
+constexpr char kRebuildMutationsHelp[] =
+    "Mutation batches published through a full rebuild";
+constexpr char kNoopMutationsHelp[] =
+    "Mutation batches that changed nothing (no snapshot published)";
+constexpr char kCompactionsHelp[] =
+    "Derived snapshots that folded their overlays";
+
+// Process-wide twins aggregating every SearchService in the process.
+CLAKS_METRIC_COUNTER(g_submitted, kSubmitted, kSubmittedHelp);
+CLAKS_METRIC_COUNTER(g_completed, kCompleted, kCompletedHelp);
+CLAKS_METRIC_COUNTER(g_cursors_prepared, kCursorsPrepared,
+                     kCursorsPreparedHelp);
+CLAKS_METRIC_COUNTER(g_pages_fetched, kPagesFetched, kPagesFetchedHelp);
+CLAKS_METRIC_COUNTER(g_delta_mutations, kDeltaMutations,
+                     kDeltaMutationsHelp);
+CLAKS_METRIC_COUNTER(g_rebuild_mutations, kRebuildMutations,
+                     kRebuildMutationsHelp);
+CLAKS_METRIC_COUNTER(g_noop_mutations, kNoopMutations,
+                     kNoopMutationsHelp);
+CLAKS_METRIC_COUNTER(g_compactions, kCompactions, kCompactionsHelp);
+CLAKS_METRIC_HISTOGRAM_FAMILY(
+    g_mutation_us, "claks_service_mutation_duration_us",
+    "Mutate wall time by outcome (noop, delta, rebuild)", "outcome");
+CLAKS_METRIC_COUNTER(g_slow_queries, "claks_service_slow_queries_total",
+                     "Queries over ServiceOptions::slow_query_ms");
+
+// One logical service bump: the instance counter (exact ServiceStats)
+// and its process-wide twin (the global metrics page).
+void Bump(Counter* instance, Counter& global, uint64_t n = 1) {
+  instance->Inc(n);
+  global.Inc(n);
+}
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
 
 SearchService::SearchService(
     ServiceOptions options,
     std::optional<std::pair<ERSchema, ErRelationalMapping>>
         schema_and_mapping)
     : options_(options), schema_and_mapping_(std::move(schema_and_mapping)) {
+  // Bind this service's counters once; the registry owns them for the
+  // service's lifetime, so the raw pointers never dangle.
+  submitted_ = &metrics_.GetCounter(kSubmitted, kSubmittedHelp);
+  completed_ = &metrics_.GetCounter(kCompleted, kCompletedHelp);
+  cursors_prepared_ =
+      &metrics_.GetCounter(kCursorsPrepared, kCursorsPreparedHelp);
+  pages_fetched_ = &metrics_.GetCounter(kPagesFetched, kPagesFetchedHelp);
+  delta_mutations_ =
+      &metrics_.GetCounter(kDeltaMutations, kDeltaMutationsHelp);
+  rebuild_mutations_ =
+      &metrics_.GetCounter(kRebuildMutations, kRebuildMutationsHelp);
+  noop_mutations_ =
+      &metrics_.GetCounter(kNoopMutations, kNoopMutationsHelp);
+  compactions_ = &metrics_.GetCounter(kCompactions, kCompactionsHelp);
   if (options_.cache_capacity > 0) {
     cache_ = std::make_unique<ResultCache>(options_.cache_capacity,
                                            options_.cache_shards);
@@ -96,19 +177,20 @@ std::string SearchService::CacheKey(const KeywordSearchEngine& engine,
   // (SearchResult::expansions / shard_expansions) are part of the cached
   // value — keying on the effective count keeps those exact.
   key += StrFormat(
-      "|m%d|r%d|e%zu|t%zu|k%zu|i%d|w%zu|a%d|g%zu|s%zu|bk%zu|bw%d|bd%zu",
+      "|m%d|r%d|e%zu|t%zu|k%zu|i%d|w%zu|a%d|g%zu|s%zu|bk%zu|bw%d|bd%zu|p%d",
       static_cast<int>(options.method), static_cast<int>(options.ranker),
       options.max_rdb_edges, options.tmax, options.top_k,
       options.instance_check ? 1 : 0, options.witness_edges,
       options.require_all_keywords ? 1 : 0, options.per_endpoint_limit,
       EffectiveShards(options.shards), options.banks.top_k,
       static_cast<int>(options.banks.weight_model),
-      options.banks.max_distance);
+      options.banks.max_distance, options.profile ? 1 : 0);
   return key;
 }
 
 Result<SearchResult> SearchService::Execute(const std::string& query_text,
                                             const SearchOptions& options) {
+  TraceSpan query_span("query");
   // Pick the snapshot at execution (not submission) time: a query queued
   // behind a Mutate sees the new data, while one already executing keeps
   // its generation alive through this shared_ptr.
@@ -120,10 +202,35 @@ Result<SearchResult> SearchService::Execute(const std::string& query_text,
       return SearchResult(*cached);
     }
   }
-  Result<SearchResult> result = snap->engine->Search(query_text, options);
-  if (cache_ == nullptr || !result.ok()) return result;
-  auto shared = std::make_shared<const SearchResult>(
-      std::move(result).ValueOrDie());
+  // Slow-query logging needs a QueryProfile even when the caller did not
+  // ask for one, so the service forces profiling internally; the forced
+  // profile is stripped again below, keeping the returned (and cached)
+  // value byte-identical to an unprofiled run.
+  const bool slow_log = options_.slow_query_ms > 0;
+  SearchOptions effective = options;
+  if (slow_log) effective.profile = true;
+  auto start = std::chrono::steady_clock::now();
+  Result<SearchResult> result = snap->engine->Search(query_text, effective);
+  if (slow_log && result.ok()) {
+    uint64_t elapsed_ms = ElapsedUs(start) / 1000;
+    if (elapsed_ms >= options_.slow_query_ms) {
+      g_slow_queries.Inc();
+      const SearchResult& value = result.ValueOrDie();
+      CLAKS_LOG(Warning)
+          .WithField("query", query_text)
+          .WithField("method", SearchMethodToString(effective.method))
+          .WithField("ms", elapsed_ms)
+          .WithField("profile", value.profile.has_value()
+                                    ? value.profile->Summary()
+                                    : std::string("none"))
+          << "slow query";
+    }
+  }
+  if (!result.ok()) return result;
+  SearchResult value = std::move(result).ValueUnsafe();
+  if (!options.profile) value.profile.reset();
+  if (cache_ == nullptr) return value;
+  auto shared = std::make_shared<const SearchResult>(std::move(value));
   cache_->Put(key, shared);
   return SearchResult(*shared);
 }
@@ -132,13 +239,13 @@ std::future<Result<SearchResult>> SearchService::Submit(
     std::string query_text, SearchOptions options) {
   auto promise = std::make_shared<std::promise<Result<SearchResult>>>();
   std::future<Result<SearchResult>> future = promise->get_future();
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Bump(submitted_, g_submitted);
   pool_->Submit([this, promise, query_text = std::move(query_text),
                  options]() {
     Result<SearchResult> result = Execute(query_text, options);
     // Count before fulfilling: a waiter that sees the future ready also
     // sees the counter (set_value synchronizes with the get).
-    completed_.fetch_add(1, std::memory_order_relaxed);
+    Bump(completed_, g_completed);
     promise->set_value(std::move(result));
   });
   return future;
@@ -251,7 +358,7 @@ Result<QueryResponse> SearchService::Prepare(const QueryRequest& request) {
     }
     open_cursors_.emplace(id, std::move(client));
   }
-  cursors_prepared_.fetch_add(1, std::memory_order_relaxed);
+  Bump(cursors_prepared_, g_cursors_prepared);
 
   QueryResponse response;
   response.cursor_id = id;
@@ -330,7 +437,7 @@ Result<QueryResponse> SearchService::Fetch(uint64_t cursor_id,
   client->offset = end;
   response.drained = state.drained && client->offset >= source.size();
   response.expansions = state.expansions;
-  pages_fetched_.fetch_add(1, std::memory_order_relaxed);
+  Bump(pages_fetched_, g_pages_fetched);
   return response;
 }
 
@@ -370,6 +477,8 @@ Status SearchService::Mutate(
     const std::function<Status(Database*)>& mutation) {
   CLAKS_CHECK(mutation != nullptr);
   MutexLock lock(&mutate_mutex_);
+  TraceSpan mutate_span("mutate");
+  auto start = std::chrono::steady_clock::now();
   std::shared_ptr<const EngineSnapshot> current = snapshot();
   // Copy-on-write: the clone (not the live database) absorbs the
   // mutation, so every concurrent query keeps reading an immutable
@@ -383,7 +492,8 @@ Status SearchService::Mutate(
   if (delta.empty()) {
     // Nothing observable changed: publish nothing, build nothing — the
     // current generation stays current (same pointer, same version).
-    noop_mutations_.fetch_add(1, std::memory_order_relaxed);
+    Bump(noop_mutations_, g_noop_mutations);
+    g_mutation_us.With({"noop"}).Observe(ElapsedUs(start));
     return Status::OK();
   }
 
@@ -400,13 +510,14 @@ Status SearchService::Mutate(
     if (engine.ok()) {
       derived->engine = std::move(engine).ValueOrDie();
       CLAKS_CHECK(derived->engine->Warm());
-      delta_mutations_.fetch_add(1, std::memory_order_relaxed);
+      Bump(delta_mutations_, g_delta_mutations);
+      g_mutation_us.With({"delta"}).Observe(ElapsedUs(start));
       if (compacted) {
         // The engine folded its overlays; fold table storage too so the
         // next Clone() is O(1) again. Content- and slot-preserving, and
         // the previous generation's shared segments are untouched.
         derived->db->CompactStorage();
-        compactions_.fetch_add(1, std::memory_order_relaxed);
+        Bump(compactions_, g_compactions);
       }
       next = std::move(derived);
     } else if (engine.status().IsIntegrityViolation()) {
@@ -420,7 +531,8 @@ Status SearchService::Mutate(
   if (next == nullptr) {
     CLAKS_ASSIGN_OR_RETURN(
         next, BuildSnapshot(std::move(next_db), current->version + 1));
-    rebuild_mutations_.fetch_add(1, std::memory_order_relaxed);
+    Bump(rebuild_mutations_, g_rebuild_mutations);
+    g_mutation_us.With({"rebuild"}).Observe(ElapsedUs(start));
   }
   std::atomic_store(&snapshot_, std::move(next));
   return Status::OK();
@@ -430,8 +542,18 @@ void SearchService::Drain() { pool_->Drain(); }
 
 ServiceStats SearchService::stats() const {
   ServiceStats stats;
-  stats.submitted = submitted_.load(std::memory_order_relaxed);
-  stats.completed = completed_.load(std::memory_order_relaxed);
+  // One snapshot pass over the service's registry is the source of truth
+  // for every counter field — the per-field atomic loads this replaced
+  // could interleave with writers differently per field.
+  MetricsSnapshot snap = metrics_.Snapshot();
+  stats.submitted = snap.CounterValue(kSubmitted);
+  stats.completed = snap.CounterValue(kCompleted);
+  stats.cursors_prepared = snap.CounterValue(kCursorsPrepared);
+  stats.pages_fetched = snap.CounterValue(kPagesFetched);
+  stats.delta_mutations = snap.CounterValue(kDeltaMutations);
+  stats.rebuild_mutations = snap.CounterValue(kRebuildMutations);
+  stats.noop_mutations = snap.CounterValue(kNoopMutations);
+  stats.compactions = snap.CounterValue(kCompactions);
   if (cache_ != nullptr) {
     ResultCacheStats cache = cache_->stats();
     stats.cache_hits = cache.hits;
@@ -440,19 +562,34 @@ ServiceStats SearchService::stats() const {
     stats.cache_entries = cache.entries;
   }
   stats.snapshot_version = snapshot()->version;
-  stats.cursors_prepared =
-      cursors_prepared_.load(std::memory_order_relaxed);
-  stats.pages_fetched = pages_fetched_.load(std::memory_order_relaxed);
-  stats.delta_mutations = delta_mutations_.load(std::memory_order_relaxed);
-  stats.rebuild_mutations =
-      rebuild_mutations_.load(std::memory_order_relaxed);
-  stats.noop_mutations = noop_mutations_.load(std::memory_order_relaxed);
-  stats.compactions = compactions_.load(std::memory_order_relaxed);
   {
     MutexLock lock(&cursors_mutex_);
     stats.open_cursors = open_cursors_.size();
   }
   return stats;
+}
+
+std::string ServiceStats::RenderText() const {
+  std::string out = "claks service stats\n";
+  auto line = [&out](const char* name, uint64_t value) {
+    out += StrFormat("  %-18s %llu\n", name,
+                     static_cast<unsigned long long>(value));
+  };
+  line("submitted", submitted);
+  line("completed", completed);
+  line("cache_hits", cache_hits);
+  line("cache_misses", cache_misses);
+  line("cache_evictions", cache_evictions);
+  line("cache_entries", cache_entries);
+  line("snapshot_version", snapshot_version);
+  line("cursors_prepared", cursors_prepared);
+  line("pages_fetched", pages_fetched);
+  line("open_cursors", open_cursors);
+  line("delta_mutations", delta_mutations);
+  line("rebuild_mutations", rebuild_mutations);
+  line("noop_mutations", noop_mutations);
+  line("compactions", compactions);
+  return out;
 }
 
 }  // namespace claks

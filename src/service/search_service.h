@@ -39,6 +39,7 @@
 #include "core/cursor.h"
 #include "core/engine.h"
 #include "core/query_spec.h"
+#include "observability/metrics.h"
 #include "service/query_api.h"
 #include "service/result_cache.h"
 #include "service/thread_pool.h"
@@ -80,10 +81,21 @@ struct ServiceOptions {
   size_t max_open_cursors = 1024;
   /// When a delta-derived snapshot folds its overlays (core/engine.h).
   DeltaPolicy delta_policy;
+  /// Queries slower than this log one WARNING line with their
+  /// QueryProfile summary as structured fields (the service forces
+  /// profiling internally; callers that did not ask for a profile still
+  /// get — and cache — profile-free results). 0 disables slow-query
+  /// logging entirely.
+  uint64_t slow_query_ms = 0;
 };
 
-/// Point-in-time service counters. Exact: hits + misses counts executed
-/// lookups, completed counts fulfilled futures.
+/// Point-in-time service counters, re-derived from the service's own
+/// MetricsRegistry snapshot (one read pass per stats() call — every
+/// counter is read at the same point of the same sweep, unlike scattered
+/// per-field atomic loads). Exact while metrics recording is on (the
+/// default): hits + misses counts executed lookups, completed counts
+/// fulfilled futures. MetricsRegistry::SetRecording(false) freezes these
+/// counters along with every other metric in the process.
 struct ServiceStats {
   uint64_t submitted = 0;
   uint64_t completed = 0;
@@ -105,6 +117,10 @@ struct ServiceStats {
   uint64_t rebuild_mutations = 0;
   uint64_t noop_mutations = 0;
   uint64_t compactions = 0;
+
+  /// Human-readable stats page (the future /stats endpoint's text body):
+  /// one aligned `name value` line per counter above.
+  std::string RenderText() const;
 };
 
 /// Thread-safety: every public member may be called from any thread.
@@ -206,13 +222,20 @@ class SearchService {
   ServiceStats stats() const CLAKS_EXCLUDES(cursors_mutex_);
   const ServiceOptions& options() const { return options_; }
 
+  /// This service's own metrics registry — the structured source stats()
+  /// snapshots; RenderText/RenderJson on it are the exposition pages a
+  /// future /stats endpoint serves per service.
+  const MetricsRegistry& metrics() const { return metrics_; }
+
   /// The canonical cache key of a query against one snapshot version: the
   /// tokenizer-normalized keyword sequence (so "Smith XML", "smith xml"
   /// and " SMITH  xml. " coincide) plus every option that can change the
   /// result — method, ranker, top_k, AND/OR semantics, depth/tmax bounds,
   /// instance-check settings, per-endpoint grouping, the effective shard
   /// count (hits are shard-invariant, but the cached work counters are
-  /// not) and the BANKS parameters — plus the snapshot version itself.
+  /// not), the BANKS parameters and the profile flag (a profiled result
+  /// carries its QueryProfile; an unprofiled one must not) — plus the
+  /// snapshot version itself.
   static std::string CacheKey(const KeywordSearchEngine& engine,
                               uint64_t version,
                               const std::string& query_text,
@@ -296,12 +319,22 @@ class SearchService {
   Mutex mutate_mutex_;
 
   std::unique_ptr<ResultCache> cache_;  ///< null when caching is disabled
-  std::atomic<uint64_t> submitted_{0};
-  std::atomic<uint64_t> completed_{0};
-  std::atomic<uint64_t> delta_mutations_{0};
-  std::atomic<uint64_t> rebuild_mutations_{0};
-  std::atomic<uint64_t> noop_mutations_{0};
-  std::atomic<uint64_t> compactions_{0};
+
+  /// Per-service metrics registry: the single source of truth stats()
+  /// re-derives ServiceStats from in one snapshot pass. The counters
+  /// below are bound once at construction (instance registrations are
+  /// exempt from the metric-naming lint's namespace-scope rule); every
+  /// bump dual-writes the process-wide claks_service_* twin so the
+  /// global metrics page aggregates all services in the process.
+  MetricsRegistry metrics_;
+  Counter* submitted_ = nullptr;
+  Counter* completed_ = nullptr;
+  Counter* delta_mutations_ = nullptr;
+  Counter* rebuild_mutations_ = nullptr;
+  Counter* noop_mutations_ = nullptr;
+  Counter* compactions_ = nullptr;
+  Counter* cursors_prepared_ = nullptr;
+  Counter* pages_fetched_ = nullptr;
 
   /// Cursor registry. `open_cursors_` maps live client ids;
   /// `active_states_` weakly indexes in-flight shared states by canonical
@@ -313,8 +346,6 @@ class SearchService {
   std::map<std::string, std::weak_ptr<CursorState>> active_states_
       CLAKS_GUARDED_BY(cursors_mutex_);
   std::atomic<uint64_t> next_cursor_id_{1};
-  std::atomic<uint64_t> cursors_prepared_{0};
-  std::atomic<uint64_t> pages_fetched_{0};
 
   /// Declared last: destroyed first, so workers finish (they reference
   /// snapshot_/cache_/counters) before the rest of the service tears down.

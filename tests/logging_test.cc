@@ -52,6 +52,55 @@ TEST_F(LoggingTest, SinkReceivesWholeLines) {
   EXPECT_NE(lines[0].find("[INFO "), std::string::npos);
 }
 
+TEST_F(LoggingTest, WithFieldRendersStructuredSuffix) {
+  SetLogLevel(LogLevel::kInfo);
+  std::vector<std::string> lines;
+  SetLogSink([&lines](LogLevel, const std::string& line) {
+    lines.push_back(line);
+  });
+  CLAKS_LOG(Info).WithField("ms", 41).WithField("method", "stream")
+      << "slow query";
+  SetLogSink(nullptr);
+  ASSERT_EQ(lines.size(), 1u);
+  // Message body first, fields appended in attachment order.
+  EXPECT_NE(lines[0].find("slow query ms=41 method=stream"),
+            std::string::npos)
+      << lines[0];
+}
+
+TEST_F(LoggingTest, WithFieldQuotesValuesThatWouldNotRoundTrip) {
+  SetLogLevel(LogLevel::kInfo);
+  std::vector<std::string> lines;
+  SetLogSink([&lines](LogLevel, const std::string& line) {
+    lines.push_back(line);
+  });
+  CLAKS_LOG(Info)
+      .WithField("query", "smith xml")   // space: quoted
+      .WithField("note", "a=b")          // '=': quoted
+      .WithField("empty", "")            // empty: quoted
+      .WithField("quoted", "say \"hi\"")  // quotes: escaped
+      << "fields";
+  SetLogSink(nullptr);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("query=\"smith xml\""), std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[0].find("note=\"a=b\""), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("empty=\"\""), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("quoted=\"say \\\"hi\\\"\""), std::string::npos)
+      << lines[0];
+}
+
+TEST_F(LoggingTest, WithFieldBelowLevelEmitsNothing) {
+  SetLogLevel(LogLevel::kError);
+  std::vector<std::string> lines;
+  SetLogSink([&lines](LogLevel, const std::string& line) {
+    lines.push_back(line);
+  });
+  CLAKS_LOG(Info).WithField("key", "value") << "suppressed";
+  SetLogSink(nullptr);
+  EXPECT_TRUE(lines.empty());
+}
+
 // Regression test for the unsynchronized-sink race: N threads log
 // concurrently and every captured line must be whole — one prefix, one
 // intact payload, no interleaved characters from another thread.

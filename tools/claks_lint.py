@@ -32,6 +32,12 @@ Enforces the invariants no off-the-shelf tool knows about:
   derive-base-const   Derive* entry points take their base generation by
                       const reference: derivation reads the previous
                       snapshot, it never writes it.
+  metric-naming       metric names follow claks_<subsystem>_<name>_<unit>
+                      with the unit drawn from a fixed vocabulary, and
+                      process-wide registrations (CLAKS_METRIC_* /
+                      MetricsRegistry::Default()) happen once at
+                      namespace scope — instance registries (per-service)
+                      reuse the names but may register anywhere.
   waiver-reason       every waiver comment must state a reason.
 
 Waivers: a finding is suppressed by a comment on the same line or in
@@ -93,6 +99,12 @@ RULES = {
         "Derive* must take its base generation as a const reference; "
         "derivation reads the previous snapshot, never writes it"
     ),
+    "metric-naming": (
+        "metric registration breaks the naming discipline: names are "
+        "claks_<subsystem>_<name>_<unit> (unit in total/us/bytes/depth/"
+        "count/ratio) and process-wide CLAKS_METRIC_*/Default() "
+        "registrations sit at namespace scope, once per process"
+    ),
     "waiver-reason": (
         "claks-lint waiver without a reason; write "
         "'claks-lint: allow(rule) -- why'"
@@ -106,6 +118,13 @@ SCAN_DIRS = ("src", "bench", "examples", "tests")
 
 WAIVER_RE = re.compile(
     r"claks-lint:\s*allow\(([a-z-]+)\)(?:\s*(?:--|:)\s*(\S.*))?")
+
+# Metric names: claks_<subsystem>_<name>_<unit>, unit from the closed
+# vocabulary (counters end _total, latencies _us, sizes _bytes, levels
+# _depth, distributions of cardinalities _count, ratios _ratio).
+METRIC_NAME_RE = re.compile(
+    r"claks_[a-z0-9]+(?:_[a-z0-9]+)*"
+    r"_(?:total|us|bytes|depth|count|ratio)\Z")
 
 
 class Finding:
@@ -290,6 +309,36 @@ def scan_file(relpath, text):
                 r"std::atomic|std::once_flag|(?:claks::)?\bMutex\b|"
                 r"CLAKS_(?:PT_)?GUARDED_BY", decl):
             report("mutable-member", line_of(m.start()))
+
+    # metric-naming: two halves, both skipped for the registry
+    # implementation itself (its macro definitions and Get* declarations
+    # are the machinery, not registrations).
+    if not relpath.startswith("src/observability/metrics"):
+        # (a) any claks_-prefixed string literal is a metric name and
+        # must carry a unit suffix. Literals are read from the raw text
+        # (strip_code blanks their contents but preserves positions);
+        # quotes inside comments are blanked, so `code` quotes are real.
+        for m in re.finditer(r'"[^"\n]*"', code):
+            literal = text[m.start() + 1:m.end() - 1]
+            if literal.startswith("claks_") and not METRIC_NAME_RE.match(
+                    literal):
+                report("metric-naming", line_of(m.start()))
+        # (b) process-wide registrations must sit at namespace scope:
+        # the statement containing the CLAKS_METRIC_* invocation or the
+        # direct Default() registration must start at column 0 (claks
+        # style does not indent namespace bodies, so an indented
+        # statement start means function/class scope).
+        for m in re.finditer(
+                r"CLAKS_METRIC_[A-Z_]+\s*\(|"
+                r"MetricsRegistry::Default\(\)\s*\.\s*Get\w+\s*\(", code):
+            stmt_end = max(code.rfind(";", 0, m.start()),
+                           code.rfind("{", 0, m.start()),
+                           code.rfind("}", 0, m.start()))
+            j = stmt_end + 1
+            while j < len(code) and code[j] in " \t\n":
+                j += 1
+            if j > code.rfind("\n", 0, j) + 1:
+                report("metric-naming", line_of(m.start()))
 
     # derive-base-const: header declarations only (call sites live in
     # .cc files and pass *deref arguments the rule cannot judge).

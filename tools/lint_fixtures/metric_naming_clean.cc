@@ -1,0 +1,29 @@
+// Fixture: conforming observability. A process-wide metric registered
+// once at namespace scope under a claks_<subsystem>_<name>_<unit> name;
+// an instance-registry registration inside a constructor (instance
+// registries are exempt from the namespace-scope requirement); a
+// mention of claks_engine_queries_total in prose, which must not fire;
+// and a legacy name kept alive under a reasoned waiver.
+namespace claks {
+
+CLAKS_METRIC_COUNTER(g_fixture_queries, "claks_fixture_queries_total",
+                     "Queries served by the fixture");
+
+class InstanceOwner {
+ public:
+  InstanceOwner() {
+    submitted_ = &metrics_.GetCounter("claks_fixture_submitted_total",
+                                      "Queries submitted to this owner");
+  }
+
+ private:
+  MetricsRegistry metrics_;
+  Counter* submitted_ = nullptr;
+};
+
+// claks-lint: allow(metric-naming) -- fixture: legacy dashboard series
+// name kept until the dashboards migrate to the _total suffix.
+CLAKS_METRIC_COUNTER(g_fixture_legacy, "claks_fixture_legacy",
+                     "Legacy-named counter");
+
+}  // namespace claks

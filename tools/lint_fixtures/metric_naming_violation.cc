@@ -1,0 +1,20 @@
+// Fixture: both halves of the metric-naming rule broken — the name
+// lacks a unit suffix, and the process-wide registration happens at
+// function scope (re-registering on every call) instead of once at
+// namespace scope.
+namespace claks {
+
+void RecordQuery() {
+  CLAKS_METRIC_COUNTER(queries, "claks_engine_queries",
+                       "Queries served");
+  queries.Inc();
+}
+
+int LookupDepth() {
+  return static_cast<int>(
+      MetricsRegistry::Default()
+          .GetGauge("claks_pool_queue_depth", "Tasks queued")
+          .Value());
+}
+
+}  // namespace claks
