@@ -13,6 +13,11 @@
 // per shard count with per-shard expansion counters and the latency
 // speedup over shards=1 — interpret speedups against the recorded
 // hardware_threads (a single-core runner cannot show wall-clock wins).
+// Since schema_version 3 each scale also exercises the storage subsystem
+// (src/storage/): the warmed engine is serialized to a snapshot file and
+// mmap-loaded back, recording save/load wall times, the file size, and
+// the headline cold-start comparison — load-snapshot-to-first-query vs
+// generate-build-to-first-query.
 // The JSON schema is documented in docs/BENCHMARKS.md; CI uploads the
 // 1x/10x run as an artifact so the perf trajectory is recorded per
 // commit.
@@ -21,6 +26,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <set>
 #include <string>
 #include <thread>
@@ -30,6 +36,7 @@
 #include "core/mtjnt.h"
 #include "core/shard.h"
 #include "datasets/company_gen.h"
+#include "storage/snapshot.h"
 
 namespace {
 
@@ -77,6 +84,19 @@ struct ShardScaleRecord {
   bool identical = true;          // hits vs the shards=1 run
 };
 
+struct SnapshotRecord {
+  double save_ms = 0.0;    // Warmup + serialize to disk (one-shot)
+  size_t file_bytes = 0;   // page-aligned snapshot size
+  double load_ms = 0.0;    // mmap + install, best of reps
+  double first_query_ms = 0.0;  // first query on the loaded engine
+  /// One-shot LoadSnapshot + first Search: the headline cold-start path.
+  double cold_start_first_query_ms = 0.0;
+  /// generate + join indexes + engine build + the same first query: the
+  /// from-scratch path the snapshot replaces.
+  double build_first_query_ms = 0.0;
+  bool identical = true;  // loaded results render == in-memory results
+};
+
 struct ScaleRecord {
   size_t scale = 0;
   size_t tables = 0;
@@ -93,6 +113,7 @@ struct ScaleRecord {
   bool discover_eval_equal = true;
   std::string shard_query;
   std::vector<ShardScaleRecord> shard_sweep;
+  SnapshotRecord snapshot;
 };
 
 // The indexed-vs-scan comparison queries. Chosen so keyword selectivity
@@ -265,6 +286,61 @@ ScaleRecord RunScale(size_t scale, size_t tmax, size_t reps,
       record.shard_sweep.push_back(std::move(sr));
     }
   }
+
+  // Storage subsystem: serialize the warmed generation, mmap it back,
+  // and time the cold-start-to-first-query path against the
+  // generate-and-build path it replaces.
+  {
+    std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("bench_scale_" + std::to_string(scale) + "x.claks"))
+            .string();
+    claks::SearchOptions q0;
+    q0.method = claks::SearchMethod::kStream;
+    q0.ranker = claks::RankerKind::kRdbLength;
+    q0.top_k = 10;
+    q0.max_rdb_edges = tmax - 1;
+
+    record.snapshot.save_ms = TimeMs(1, [&] {
+      engine->Warmup();
+      CLAKS_CHECK(engine->SaveSnapshot(path).ok());
+    });
+    std::error_code ec;
+    record.snapshot.file_bytes =
+        static_cast<size_t>(std::filesystem::file_size(path, ec));
+
+    record.snapshot.load_ms = TimeMs(reps, [&] {
+      auto loaded = claks::KeywordSearchEngine::LoadSnapshot(path);
+      CLAKS_CHECK(loaded.ok());
+    });
+
+    std::string from_snapshot;
+    record.snapshot.cold_start_first_query_ms = TimeMs(1, [&] {
+      auto loaded = claks::KeywordSearchEngine::LoadSnapshot(path);
+      CLAKS_CHECK(loaded.ok());
+      auto result = loaded->engine->Search(kQueries[0], q0);
+      CLAKS_CHECK(result.ok());
+      from_snapshot = result->ToString(*loaded->db, q0.top_k);
+    });
+    record.snapshot.first_query_ms = TimeMs(reps, [&] {
+      auto result = engine->Search(kQueries[0], q0);
+      CLAKS_CHECK(result.ok());
+    });
+
+    // The path the snapshot replaces: dataset generation, join-index
+    // build and engine construction were each timed above; the first
+    // query costs the same on either engine (checked identical below).
+    record.snapshot.build_first_query_ms =
+        record.generate_ms + record.join_index_ms + record.engine_ms +
+        record.snapshot.first_query_ms;
+
+    auto in_memory = engine->Search(kQueries[0], q0);
+    CLAKS_CHECK(in_memory.ok());
+    record.snapshot.identical =
+        from_snapshot == in_memory->ToString(db, q0.top_k);
+    CLAKS_CHECK(record.snapshot.identical);
+    std::filesystem::remove(path, ec);
+  }
   return record;
 }
 
@@ -276,7 +352,7 @@ void WriteJson(std::FILE* f, const std::vector<ScaleRecord>& records,
                size_t tmax, size_t reps) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"benchmark\": \"bench_scale\",\n");
-  std::fprintf(f, "  \"schema_version\": 2,\n");
+  std::fprintf(f, "  \"schema_version\": 3,\n");
   std::fprintf(f, "  \"dataset\": \"company_gen\",\n");
   std::fprintf(f, "  \"tmax\": %zu,\n", tmax);
   std::fprintf(f, "  \"reps\": %zu,\n", reps);
@@ -316,11 +392,27 @@ void WriteJson(std::FILE* f, const std::vector<ScaleRecord>& records,
     std::fprintf(f, "        \"identical_results\": %s\n",
                  r.discover_eval_equal ? "true" : "false");
     std::fprintf(f, "      },\n");
+    std::fprintf(f, "      \"snapshot\": {\n");
+    std::fprintf(f, "        \"save_ms\": %.3f,\n", r.snapshot.save_ms);
+    std::fprintf(f, "        \"file_bytes\": %zu,\n", r.snapshot.file_bytes);
+    std::fprintf(f, "        \"load_ms\": %.3f,\n", r.snapshot.load_ms);
+    std::fprintf(f, "        \"first_query_ms\": %.3f,\n",
+                 r.snapshot.first_query_ms);
+    std::fprintf(f, "        \"cold_start_first_query_ms\": %.3f,\n",
+                 r.snapshot.cold_start_first_query_ms);
+    std::fprintf(f, "        \"build_first_query_ms\": %.3f,\n",
+                 r.snapshot.build_first_query_ms);
+    std::fprintf(f, "        \"identical_results\": %s\n",
+                 r.snapshot.identical ? "true" : "false");
+    std::fprintf(f, "      },\n");
     std::fprintf(f, "      \"speedup\": {\n");
     std::fprintf(f, "        \"fk_resolution\": %.2f,\n",
                  Ratio(r.fk_scan_seed_ms, r.join_index_ms));
-    std::fprintf(f, "        \"discover_eval\": %.2f\n",
+    std::fprintf(f, "        \"discover_eval\": %.2f,\n",
                  Ratio(r.discover_eval_scan_ms, r.discover_eval_indexed_ms));
+    std::fprintf(f, "        \"cold_start\": %.2f\n",
+                 Ratio(r.snapshot.build_first_query_ms,
+                       r.snapshot.cold_start_first_query_ms));
     std::fprintf(f, "      },\n");
     // Shard sweep: speedup vs the shards=1 rung, skews are max/mean.
     double unsharded_ms = 0.0;
@@ -439,6 +531,14 @@ int main(int argc, char** argv) {
           sr.expansions, sr.node_skew, Skew(sr.per_shard),
           Ratio(unsharded_ms, sr.stream_ms));
     }
+    std::printf(
+        "  snapshot: save %.1fms (%zu bytes), load %.2fms | cold start "
+        "%.2fms vs build %.1fms (%.0fx)\n",
+        record.snapshot.save_ms, record.snapshot.file_bytes,
+        record.snapshot.load_ms, record.snapshot.cold_start_first_query_ms,
+        record.snapshot.build_first_query_ms,
+        Ratio(record.snapshot.build_first_query_ms,
+              record.snapshot.cold_start_first_query_ms));
     records.push_back(std::move(record));
   }
 

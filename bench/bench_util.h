@@ -67,7 +67,7 @@ inline Connection ConnectionByNames(const KeywordSearchEngine& engine,
          graph.Neighbors(graph.NodeOf(tuples[i]))) {
       if (adj.neighbor == graph.NodeOf(tuples[i + 1])) {
         const DataEdge& edge = graph.edge(adj.edge_index);
-        edges.push_back(ConnectionEdge{edge.fk_index, adj.along_fk});
+        edges.push_back(ConnectionEdge{edge.fk_index, adj.along_fk != 0});
         found = true;
         break;
       }

@@ -33,6 +33,22 @@
 //   --stats             print instance statistics and exit
 //   --save=DIR          persist the loaded dataset and exit
 //
+// Snapshot storage (src/storage/): a fully-warmed engine serialized to a
+// single page-aligned file, mmap-loaded back with zero-copy views — the
+// cold-start path skips tokenization, graph construction and join-index
+// builds entirely:
+//   --ingest-csv=DIR    bulk-ingest a database directory (catalog.txt +
+//                       CSVs, as written by --save) — alias of --db that
+//                       reads as an ingest step; combine with
+//                       --save-snapshot to produce a warmed snapshot
+//   --save-snapshot=F   build + warm the engine, serialize it to F and
+//                       exit (prints section sizes via file length)
+//   --load-snapshot=F   mmap F instead of building anything; serves
+//                       queries from the loaded generation. With
+//                       --threads the service cold-starts from F and
+//                       subsequent mutations delta-derive on the frozen
+//                       mmap'd base
+//
 // Observability (src/observability/):
 //   --profile           attach a per-stage QueryProfile to every query
 //                       and print it (wall time per stage, expansions,
@@ -79,6 +95,7 @@
 #include "observability/trace.h"
 #include "relational/catalog_io.h"
 #include "service/search_service.h"
+#include "storage/snapshot.h"
 
 namespace {
 
@@ -100,6 +117,9 @@ struct Flags {
   bool metrics = false;      // print the metrics page after the run
   std::string trace_out;     // write Chrome trace JSON here
   std::string save_dir;
+  std::string ingest_csv;     // bulk-ingest a CSV directory
+  std::string save_snapshot;  // serialize the warmed engine to this file
+  std::string load_snapshot;  // mmap an engine snapshot instead of building
   size_t threads = 0;  // > 0: drive a SearchService instead of the engine
   std::string queries;  // ';'-separated batch for service mode
   size_t repeat = 1;
@@ -123,6 +143,9 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
     if (ParseFlag(argv[i], "method", &flags->method)) continue;
     if (ParseFlag(argv[i], "ranker", &flags->ranker)) continue;
     if (ParseFlag(argv[i], "save", &flags->save_dir)) continue;
+    if (ParseFlag(argv[i], "ingest-csv", &flags->ingest_csv)) continue;
+    if (ParseFlag(argv[i], "save-snapshot", &flags->save_snapshot)) continue;
+    if (ParseFlag(argv[i], "load-snapshot", &flags->load_snapshot)) continue;
     if (ParseFlag(argv[i], "depth", &value)) {
       flags->depth = std::stoul(value);
       continue;
@@ -417,13 +440,19 @@ int RunServiceMode(const Flags& flags, std::unique_ptr<claks::Database> db,
 
   claks::ServiceOptions service_options;
   service_options.num_threads = flags.threads;
+  // --load-snapshot cold-starts the service from the mmap'd file: the
+  // loaded generation becomes version 1 with zero build work.
   auto service =
-      have_mapping
-          ? claks::SearchService::Create(std::move(db),
-                                         std::move(er_schema),
-                                         std::move(mapping),
-                                         service_options)
-          : claks::SearchService::Create(std::move(db), service_options);
+      !flags.load_snapshot.empty()
+          ? claks::SearchService::CreateFromSnapshot(flags.load_snapshot,
+                                                     service_options)
+          : have_mapping
+                ? claks::SearchService::Create(std::move(db),
+                                               std::move(er_schema),
+                                               std::move(mapping),
+                                               service_options)
+                : claks::SearchService::Create(std::move(db),
+                                               service_options);
   if (!service.ok()) {
     std::fprintf(stderr, "service: %s\n",
                  service.status().ToString().c_str());
@@ -506,19 +535,45 @@ int main(int argc, char** argv) {
     flush.trace_path = flags.trace_out;
   }
 
-  // Acquire the database (+ conceptual schema when built-in).
+  // Acquire the database (+ conceptual schema when built-in). With
+  // --load-snapshot, database AND engine both come out of the mmap'd
+  // file instead (service mode defers the load to CreateFromSnapshot).
   std::unique_ptr<claks::Database> owned_db;
   claks::ERSchema er_schema;
   claks::ErRelationalMapping mapping;
   bool have_mapping = false;
+  std::optional<claks::LoadedEngine> loaded_snapshot;
+  bool service_mode = flags.threads > 0 && !flags.stats &&
+                      flags.save_snapshot.empty() && flags.save_dir.empty();
 
-  if (!flags.db_dir.empty()) {
-    auto loaded = claks::LoadDatabase(flags.db_dir);
+  if (!flags.load_snapshot.empty()) {
+    if (!service_mode) {
+      auto loaded = claks::KeywordSearchEngine::LoadSnapshot(
+          flags.load_snapshot);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "load-snapshot: %s\n",
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      loaded_snapshot = std::move(loaded).ValueOrDie();
+      std::fprintf(stderr, "loaded snapshot %s: %zu tuples, warm=%d\n",
+                   flags.load_snapshot.c_str(),
+                   loaded_snapshot->db->TotalRows(),
+                   loaded_snapshot->engine->Warm() ? 1 : 0);
+    }
+  } else if (!flags.db_dir.empty() || !flags.ingest_csv.empty()) {
+    const std::string& dir =
+        !flags.db_dir.empty() ? flags.db_dir : flags.ingest_csv;
+    auto loaded = claks::LoadDatabase(dir);
     if (!loaded.ok()) {
       std::fprintf(stderr, "load: %s\n", loaded.status().ToString().c_str());
       return 1;
     }
     owned_db = std::move(loaded).ValueOrDie();
+    if (!flags.ingest_csv.empty()) {
+      std::fprintf(stderr, "ingested %zu tuples from %s\n",
+                   owned_db->TotalRows(), flags.ingest_csv.c_str());
+    }
   } else if (flags.dataset == "paper") {
     auto dataset = claks::BuildCompanyPaperDataset();
     if (!dataset.ok()) return 1;
@@ -550,12 +605,16 @@ int main(int argc, char** argv) {
   }
 
   if (!flags.save_dir.empty()) {
-    auto saved = claks::SaveDatabase(*owned_db, flags.save_dir);
+    // Exports the loaded snapshot's database when --load-snapshot was
+    // given, closing the CSV <-> snapshot round trip in both directions.
+    const claks::Database& export_db =
+        loaded_snapshot.has_value() ? *loaded_snapshot->db : *owned_db;
+    auto saved = claks::SaveDatabase(export_db, flags.save_dir);
     if (!saved.ok()) {
       std::fprintf(stderr, "%s\n", saved.ToString().c_str());
       return 1;
     }
-    std::printf("saved %zu tuples to %s\n", owned_db->TotalRows(),
+    std::printf("saved %zu tuples to %s\n", export_db.TotalRows(),
                 flags.save_dir.c_str());
     return 0;
   }
@@ -577,25 +636,54 @@ int main(int argc, char** argv) {
   options.method = *method;
   options.ranker = *ranker;
 
-  if (flags.threads > 0 && !flags.stats) {
-    // Concurrent service mode: the service takes ownership of the data.
+  if (service_mode && flags.threads > 0) {
+    // Concurrent service mode: the service takes ownership of the data
+    // (or cold-starts from the snapshot file when --load-snapshot).
     return RunServiceMode(flags, std::move(owned_db), std::move(er_schema),
                           std::move(mapping), have_mapping, options);
   }
 
-  auto engine = have_mapping
-                    ? claks::KeywordSearchEngine::Create(
-                          owned_db.get(), std::move(er_schema),
-                          std::move(mapping))
-                    : claks::KeywordSearchEngine::Create(owned_db.get());
-  if (!engine.ok()) {
-    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
-    return 1;
+  // A snapshot-loaded engine arrives fully assembled; otherwise build
+  // one over the acquired database.
+  std::unique_ptr<claks::KeywordSearchEngine> created;
+  claks::KeywordSearchEngine* engine = nullptr;
+  claks::Database* db = nullptr;
+  if (loaded_snapshot.has_value()) {
+    engine = loaded_snapshot->engine.get();
+    db = loaded_snapshot->db.get();
+  } else {
+    auto built = have_mapping
+                     ? claks::KeywordSearchEngine::Create(
+                           owned_db.get(), std::move(er_schema),
+                           std::move(mapping))
+                     : claks::KeywordSearchEngine::Create(owned_db.get());
+    if (!built.ok()) {
+      std::fprintf(stderr, "engine: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    created = std::move(built).ValueOrDie();
+    engine = created.get();
+    db = owned_db.get();
+  }
+
+  if (!flags.save_snapshot.empty()) {
+    // Serialize the fully-warmed generation: every downstream load mmaps
+    // these exact bytes and skips the build entirely.
+    engine->Warmup();
+    auto saved = engine->SaveSnapshot(flags.save_snapshot);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "save-snapshot: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("snapshot: %zu tuples -> %s\n", db->TotalRows(),
+                flags.save_snapshot.c_str());
+    return 0;
   }
 
   if (flags.stats) {
-    std::printf("%s", (*engine)->er_schema().ToString().c_str());
-    std::printf("%s", (*engine)->statistics().ToString().c_str());
+    std::printf("%s", engine->er_schema().ToString().c_str());
+    std::printf("%s", engine->statistics().ToString().c_str());
     return 0;
   }
   if (flags.query.empty()) {
@@ -604,20 +692,20 @@ int main(int argc, char** argv) {
   }
 
   if (flags.page_size > 0) {
-    return RunEnginePaging(flags, **engine, *owned_db, options);
+    return RunEnginePaging(flags, *engine, *db, options);
   }
 
-  auto result = (*engine)->Search(flags.query, options);
+  auto result = engine->Search(flags.query, options);
   if (!result.ok()) {
     std::fprintf(stderr, "search: %s\n", result.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s", result->ToString(*owned_db, flags.top).c_str());
+  std::printf("%s", result->ToString(*db, flags.top).c_str());
   MaybePrintProfile(flags, result->profile);
 
   if (flags.explain || flags.sql) {
-    PrintResultExtras(flags, result->hits, *owned_db,
-                      (*engine)->er_schema(), (*engine)->mapping());
+    PrintResultExtras(flags, result->hits, *db, engine->er_schema(),
+                      engine->mapping());
   }
   return 0;
 }

@@ -3,14 +3,40 @@
 // Explores the movies dataset: a wider conceptual schema (two N:M and two
 // 1:N relationships) with a searchable relationship attribute (ROLE on
 // ACTS_IN). Demonstrates reverse engineering the conceptual schema from the
-// catalog alone, close/loose verdicts on a person-to-genre query, and CSV
-// round-tripping.
+// catalog alone, close/loose verdicts on a person-to-genre query, and the
+// full storage lifecycle: the generated database is exported to CSV,
+// bulk-ingested back, serialized to an engine snapshot (src/storage/),
+// mmap-loaded, and the same queries run against the loaded engine — the
+// smoke test fails unless the loaded results render identically.
+
+#include <unistd.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <string>
 
 #include "core/engine.h"
 #include "datasets/movies.h"
+#include "relational/catalog_io.h"
 #include "relational/csv.h"
+#include "storage/snapshot.h"
+
+namespace {
+
+/// Renders a query's results (or the error) for byte comparison between
+/// the in-memory and the snapshot-loaded engine.
+std::string RunQuery(const claks::KeywordSearchEngine& engine,
+                     const claks::Database& db, const char* query) {
+  claks::SearchOptions options;
+  options.max_rdb_edges = 5;
+  options.top_k = 10;
+  options.instance_check = false;
+  auto result = engine.Search(query, options);
+  if (!result.ok()) return "error: " + result.status().ToString();
+  return result->ToString(db, 10);
+}
+
+}  // namespace
 
 int main() {
   auto dataset = claks::GenerateMoviesDataset({});
@@ -34,34 +60,85 @@ int main() {
   // relationship, so all results are conceptually "broad"; the ranker
   // still separates single-N:M-step immediates from hub patterns.
   const char* query = "grace noir";
-  claks::SearchOptions options;
-  options.max_rdb_edges = 5;
-  options.top_k = 10;
-  options.instance_check = false;
-  auto result = (*engine)->Search(query, options);
-  if (!result.ok()) {
-    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("=== query '%s' ===\n%s\n", query,
-              result->ToString(db, 10).c_str());
-
-  size_t close = 0;
-  size_t loose = 0;
-  for (const claks::SearchHit& hit : result->hits) {
-    (hit.schema_close ? close : loose) += 1;
-  }
-  std::printf("verdicts: %zu close, %zu loose connections\n\n", close,
-              loose);
+  std::string original = RunQuery(**engine, db, query);
+  std::printf("=== query '%s' ===\n%s\n", query, original.c_str());
 
   // A role keyword matches inside the middle relation itself ("villain"
   // lives on ACTS_IN rows): connections can end inside a relationship.
   const char* role_query = "villain noir";
-  auto roles = (*engine)->Search(role_query, options);
-  if (roles.ok()) {
-    std::printf("=== query '%s' (keyword on a relationship attribute) ===\n",
-                role_query);
-    std::printf("%s\n", roles->ToString(db, 5).c_str());
+  std::string original_roles = RunQuery(**engine, db, role_query);
+  std::printf("=== query '%s' (keyword on a relationship attribute) ===\n%s\n",
+              role_query, original_roles.c_str());
+
+  // --- Storage lifecycle: CSV export -> bulk ingest -> snapshot -> mmap.
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("claks_movie_explorer_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  std::string csv_dir = (dir / "csv").string();
+  std::string snap_path = (dir / "movies.claks").string();
+
+  // 1. Export every table to catalog.txt + CSVs.
+  auto saved_csv = claks::SaveDatabase(db, csv_dir);
+  if (!saved_csv.ok()) {
+    std::fprintf(stderr, "csv export: %s\n", saved_csv.ToString().c_str());
+    return 1;
+  }
+  std::printf("exported %zu tuples to %s\n", db.TotalRows(),
+              csv_dir.c_str());
+
+  // 2. Bulk-ingest the CSVs into a fresh database.
+  auto ingested = claks::LoadDatabase(csv_dir);
+  if (!ingested.ok()) {
+    std::fprintf(stderr, "ingest: %s\n",
+                 ingested.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("ingested %zu tuples back\n", (*ingested)->TotalRows());
+
+  // 3. Build + warm an engine over the ingested data and serialize the
+  //    whole warmed generation into one page-aligned snapshot file.
+  auto ingest_engine = claks::KeywordSearchEngine::Create(ingested->get());
+  if (!ingest_engine.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 ingest_engine.status().ToString().c_str());
+    return 1;
+  }
+  (*ingest_engine)->Warmup();
+  auto snap_saved = (*ingest_engine)->SaveSnapshot(snap_path);
+  if (!snap_saved.ok()) {
+    std::fprintf(stderr, "snapshot save: %s\n",
+                 snap_saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("snapshot: %ju bytes at %s\n",
+              static_cast<uintmax_t>(std::filesystem::file_size(snap_path)),
+              snap_path.c_str());
+
+  // 4. Load it back: zero-copy views over the mmap'd file, no
+  //    tokenization, graph build or join-index work.
+  auto loaded = claks::KeywordSearchEngine::LoadSnapshot(snap_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "snapshot load: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded snapshot: warm=%d, %zu tuples\n",
+              loaded->engine->Warm() ? 1 : 0, loaded->db->TotalRows());
+
+  // 5. The loaded engine must answer both queries byte-identically.
+  int divergences = 0;
+  for (const char* q : {query, role_query}) {
+    std::string from_memory = RunQuery(**engine, db, q);
+    std::string from_snapshot = RunQuery(*loaded->engine, *loaded->db, q);
+    if (from_memory != from_snapshot) {
+      std::fprintf(stderr, "DIVERGENCE on '%s':\n-- in-memory --\n%s\n"
+                           "-- snapshot --\n%s\n",
+                   q, from_memory.c_str(), from_snapshot.c_str());
+      ++divergences;
+    } else {
+      std::printf("query '%s': snapshot results identical\n", q);
+    }
   }
 
   // CSV round trip of one table.
@@ -69,5 +146,8 @@ int main() {
   std::string csv = claks::TableToCsv(*studios);
   std::printf("STUDIO as CSV (%zu bytes):\n%s", csv.size(),
               csv.substr(0, 200).c_str());
-  return 0;
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return divergences == 0 ? 0 : 1;
 }

@@ -1,0 +1,140 @@
+// Copyright 2026 The claks Authors.
+//
+// FlatVector<T>: a contiguous array that is either *owned* (a plain
+// std::vector, the construction / compaction phase) or a *view* over
+// memory someone else keeps alive (the mmap'd snapshot-load phase,
+// src/storage/snapshot.h). The frozen base structures of the engine
+// (DataGraph::GraphBase, FkJoinIndex::Base) hold their flat arrays
+// through this type so a loaded generation can serve queries directly
+// out of the snapshot file — zero copies, O(1) per array — while a
+// built generation keeps exactly the std::vector semantics it had.
+//
+// The owned mode supports the mutating subset of std::vector the build
+// paths use (reserve/push_back/assign/resize/insert-at-end/operator[]);
+// a view is strictly read-only and CLAKS_CHECKs on any mutation.
+// Copying always materializes an owned deep copy: generation derivation
+// copies a frozen base array precisely when it is about to mutate the
+// copy (e.g. Database::CompactJoinIndexes), so a copy that stayed a
+// view would defeat the point. Views are only created explicitly via
+// View() and propagate through moves.
+
+#ifndef CLAKS_COMMON_FLAT_VECTOR_H_
+#define CLAKS_COMMON_FLAT_VECTOR_H_
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace claks {
+
+template <typename T>
+class FlatVector {
+ public:
+  FlatVector() = default;
+
+  /// A read-only view of `size` elements at `data`. `keepalive` owns the
+  /// underlying memory (typically the mmap'd snapshot file); the view
+  /// holds a reference so the mapping outlives every generation that
+  /// still shares this array.
+  static FlatVector View(const T* data, size_t size,
+                         std::shared_ptr<const void> keepalive) {
+    FlatVector v;
+    v.view_data_ = data;
+    v.view_size_ = size;
+    v.keepalive_ = std::move(keepalive);
+    v.is_view_ = true;
+    return v;
+  }
+
+  /// Deep copy: the result is always owned (see file comment).
+  FlatVector(const FlatVector& other)
+      : owned_(other.begin(), other.end()) {}
+  FlatVector& operator=(const FlatVector& other) {
+    if (this != &other) {
+      owned_.assign(other.begin(), other.end());
+      view_data_ = nullptr;
+      view_size_ = 0;
+      keepalive_.reset();
+      is_view_ = false;
+    }
+    return *this;
+  }
+
+  FlatVector(FlatVector&&) noexcept = default;
+  FlatVector& operator=(FlatVector&&) noexcept = default;
+
+  bool is_view() const { return is_view_; }
+
+  size_t size() const { return is_view_ ? view_size_ : owned_.size(); }
+  bool empty() const { return size() == 0; }
+  const T* data() const { return is_view_ ? view_data_ : owned_.data(); }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+
+  const T& operator[](size_t i) const { return data()[i]; }
+  const T& back() const {
+    CLAKS_CHECK(!empty());
+    return data()[size() - 1];
+  }
+
+  // --- Owned-mode mutation (CLAKS_CHECKs in view mode) ---
+
+  T& operator[](size_t i) {
+    CLAKS_CHECK(!is_view_);
+    return owned_[i];
+  }
+  T& back() {
+    CLAKS_CHECK(!is_view_);
+    return owned_.back();
+  }
+  void reserve(size_t n) {
+    CLAKS_CHECK(!is_view_);
+    owned_.reserve(n);
+  }
+  void push_back(const T& value) {
+    CLAKS_CHECK(!is_view_);
+    owned_.push_back(value);
+  }
+  void push_back(T&& value) {
+    CLAKS_CHECK(!is_view_);
+    owned_.push_back(std::move(value));
+  }
+  void resize(size_t n) {
+    CLAKS_CHECK(!is_view_);
+    owned_.resize(n);
+  }
+  void resize(size_t n, const T& value) {
+    CLAKS_CHECK(!is_view_);
+    owned_.resize(n, value);
+  }
+  void assign(size_t n, const T& value) {
+    CLAKS_CHECK(!is_view_);
+    owned_.assign(n, value);
+  }
+  void clear() {
+    CLAKS_CHECK(!is_view_);
+    owned_.clear();
+  }
+  /// Append-only insert (the one shape the build paths use); `pos` must
+  /// be end().
+  template <typename It>
+  void insert(const T* pos, It first, It last) {
+    CLAKS_CHECK(!is_view_);
+    CLAKS_CHECK(pos == end());
+    owned_.insert(owned_.end(), first, last);
+  }
+
+ private:
+  std::vector<T> owned_;
+  const T* view_data_ = nullptr;
+  size_t view_size_ = 0;
+  std::shared_ptr<const void> keepalive_;
+  bool is_view_ = false;
+};
+
+}  // namespace claks
+
+#endif  // CLAKS_COMMON_FLAT_VECTOR_H_

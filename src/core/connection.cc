@@ -22,7 +22,7 @@ Connection Connection::FromNodePath(const DataGraph& graph,
   tuples.push_back(graph.TupleOf(path.start));
   for (const DataAdjacency& step : path.steps) {
     const DataEdge& edge = graph.edge(step.edge_index);
-    edges.push_back(ConnectionEdge{edge.fk_index, step.along_fk});
+    edges.push_back(ConnectionEdge{edge.fk_index, step.along_fk != 0});
     tuples.push_back(graph.TupleOf(step.neighbor));
   }
   return Connection(std::move(tuples), std::move(edges));

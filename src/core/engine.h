@@ -35,6 +35,7 @@
 namespace claks {
 
 class ShardContext;
+struct LoadedEngine;  // storage/snapshot.h
 
 /// One result: a connection (path) or a tuple tree, with its analysis.
 struct SearchHit {
@@ -153,6 +154,20 @@ class KeywordSearchEngine {
       const DatabaseDelta& delta, const DeltaPolicy& policy = {},
       bool* compacted = nullptr);
 
+  /// Serializes this generation into one page-aligned snapshot file
+  /// (the claks storage engine, storage/snapshot.h). The engine must be
+  /// warm and compact (no derive overlays) — InvalidArgument otherwise;
+  /// the service layer compacts before saving. Defined in
+  /// storage/snapshot.cc.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Loads a generation saved by SaveSnapshot: the flat graph/index
+  /// arrays come back as zero-copy views over the mmap'd file, so load
+  /// time is O(sections + table rows), not O(postings + edges). The
+  /// returned LoadedEngine (storage/snapshot.h) owns the database the
+  /// engine reads. Defined in storage/snapshot.cc.
+  static Result<LoadedEngine> LoadSnapshot(const std::string& path);
+
   /// Out-of-line: ShardContext is forward-declared here (core/shard.h
   /// depends on this header, not the other way around).
   ~KeywordSearchEngine();
@@ -251,6 +266,10 @@ class KeywordSearchEngine {
 
  private:
   KeywordSearchEngine() = default;
+
+  /// Snapshot save/load (storage/snapshot.cc) reads the built structures
+  /// at save time and installs loaded ones at load time.
+  friend class StorageCodec;
 
   /// Shared result tail: rank by options.ranker, apply per_endpoint_limit
   /// (keeping each group's best), truncate to top_k.

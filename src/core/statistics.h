@@ -92,6 +92,11 @@ class InstanceStatistics {
   std::string ToString() const;
 
  private:
+  /// Snapshot load (storage/snapshot.cc) installs the measured map
+  /// directly instead of recomputing it over the instance.
+  friend class StorageCodec;
+  InstanceStatistics() = default;
+
   std::map<std::string, RelationshipStats> stats_;
 };
 

@@ -357,7 +357,9 @@ bool DataGraph::IsCompact() const {
   for (const auto& appended : appended_edges_) {
     if (!appended.empty()) return false;
   }
-  return table_slots_ == base_->base_slots;
+  return table_slots_.size() == base_->base_slots.size() &&
+         std::equal(table_slots_.begin(), table_slots_.end(),
+                    base_->base_slots.begin());
 }
 
 size_t DataGraph::MaxDegree() const {

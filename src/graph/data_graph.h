@@ -42,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/flat_vector.h"
 #include "common/result.h"
 #include "common/span.h"
 #include "relational/database.h"
@@ -62,9 +63,12 @@ struct DataEdge {
 struct DataAdjacency {
   uint32_t edge_index = 0;
   uint32_t neighbor = 0;  ///< node id of the other endpoint
-  /// True when the traversal follows the FK (this node is the referencing
-  /// side).
-  bool along_fk = true;
+  /// Nonzero when the traversal follows the FK (this node is the
+  /// referencing side). Semantically a bool; stored as uint32_t so the
+  /// struct has no padding bytes — its flat array is written verbatim
+  /// into snapshots (storage/format.h), where indeterminate padding
+  /// would break byte-level reproducibility.
+  uint32_t along_fk = 1;
 };
 
 /// Slack-gapped stable-id view of a database's tuples and FK links.
@@ -153,26 +157,33 @@ class DataGraph {
   /// Extra id head-room reserved per table region at (re)build time.
   static uint32_t Slack(uint32_t n) { return n / 8 + 8; }
 
-  /// Frozen at build time, shared across derived generations.
+  /// Frozen at build time, shared across derived generations. The
+  /// arrays are FlatVectors: owned when built in memory, zero-copy
+  /// views into the mapped file when the generation was loaded from a
+  /// snapshot (storage/snapshot.h installs them via StorageCodec).
   struct GraphBase {
     /// First node id per table (+ final bound); region t is sized
     /// base_slots[t] + Slack(base_slots[t]).
-    std::vector<uint32_t> node_offsets;
-    std::vector<uint32_t> base_slots;  ///< row slots per table at freeze
+    FlatVector<uint32_t> node_offsets;
+    FlatVector<uint32_t> base_slots;  ///< row slots per table at freeze
     /// Dense edge array, canonical (table, row, fk) order, live at freeze.
-    std::vector<DataEdge> edges;
-    std::vector<uint32_t> edge_dense_offsets;  ///< per-table slice of edges
+    FlatVector<DataEdge> edges;
+    FlatVector<uint32_t> edge_dense_offsets;  ///< per-table slice of edges
     /// First edge id per table (+ bound); region sized dense + slack
     /// (zero for tables without foreign keys).
-    std::vector<uint32_t> edge_offsets;
+    FlatVector<uint32_t> edge_offsets;
     // CSR over node ids (gap ids have empty ranges). out_edge_offsets
     // holds dense indexes into `edges`; adjacency entries hold edge ids.
-    std::vector<uint32_t> out_edge_offsets;
-    std::vector<uint32_t> adjacency_offsets;
-    std::vector<DataAdjacency> adjacency;
+    FlatVector<uint32_t> out_edge_offsets;
+    FlatVector<uint32_t> adjacency_offsets;
+    FlatVector<DataAdjacency> adjacency;
   };
 
   DataGraph() = default;
+
+  /// Snapshot save/load (storage/snapshot.cc) reads and installs the
+  /// frozen base and per-generation fields directly.
+  friend class StorageCodec;
 
   uint32_t TableOfNode(uint32_t node) const;
   uint32_t TableOfEdge(uint32_t edge_id) const;

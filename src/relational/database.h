@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat_vector.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/span.h"
@@ -64,11 +65,13 @@ struct FkJoinIndex {
   /// table or attribute); such an index yields no parents and no children.
   bool valid = false;
 
-  /// Immutable once published (shared across generations).
+  /// Immutable once published (shared across generations). FlatVectors:
+  /// owned when built in memory, zero-copy views into the mapped file
+  /// when the generation was loaded from a snapshot (storage/snapshot.h).
   struct Base {
-    std::vector<uint32_t> parent_row;     ///< one slot per child row
-    std::vector<uint32_t> child_offsets;  ///< parent rows + 1 entries
-    std::vector<uint32_t> child_rows;     ///< grouped by parent, ascending
+    FlatVector<uint32_t> parent_row;     ///< one slot per child row
+    FlatVector<uint32_t> child_offsets;  ///< parent rows + 1 entries
+    FlatVector<uint32_t> child_rows;     ///< grouped by parent, ascending
   };
   std::shared_ptr<const Base> base;
   // Per-generation overlay (empty right after a build or Compact):
@@ -258,6 +261,10 @@ class Database {
   std::string TupleSummary(TupleId id, size_t max_chars = 60) const;
 
  private:
+  /// Snapshot save/load (storage/snapshot.cc) serializes the join-index
+  /// cache and installs a loaded one (with freshness counters) directly.
+  friend class StorageCodec;
+
   std::vector<std::unique_ptr<Table>> tables_;
   std::unordered_map<std::string, uint32_t> name_to_index_;
 

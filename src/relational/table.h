@@ -128,6 +128,10 @@ class Table {
     std::vector<uint32_t> tombstone_log;  ///< deletion order, frozen prefix
   };
 
+  /// Snapshot save/load (storage/snapshot.cc) serializes the effective
+  /// row state and installs a freshly-built BaseSegment directly.
+  friend class StorageCodec;
+
   std::string KeyOfRow(const Row& row) const;
 
   TableSchema schema_;

@@ -10,6 +10,7 @@
 #include "core/shard.h"
 #include "observability/trace.h"
 #include "relational/delta.h"
+#include "storage/snapshot.h"
 #include "text/matcher.h"
 
 namespace claks {
@@ -128,6 +129,45 @@ Result<std::unique_ptr<SearchService>> SearchService::Create(
   CLAKS_ASSIGN_OR_RETURN(service->snapshot_,
                          service->BuildSnapshot(std::move(db), 1));
   return service;
+}
+
+Result<std::unique_ptr<SearchService>> SearchService::CreateFromSnapshot(
+    const std::string& path, ServiceOptions options) {
+  CLAKS_ASSIGN_OR_RETURN(LoadedEngine loaded,
+                         KeywordSearchEngine::LoadSnapshot(path));
+  // Retain the loaded generation's conceptual schema for future rebuild
+  // paths — a cold-started service must rebuild exactly like one that
+  // built its first snapshot in memory.
+  ERSchema er_schema = loaded.engine->er_schema();
+  ErRelationalMapping mapping = loaded.engine->mapping();
+  // NOLINTNEXTLINE(modernize-make-unique): the constructor is private.
+  auto service = std::unique_ptr<SearchService>(new SearchService(
+      options, std::make_pair(std::move(er_schema), std::move(mapping))));
+  auto snapshot = std::make_shared<EngineSnapshot>();
+  snapshot->version = 1;
+  snapshot->db = std::move(loaded.db);
+  snapshot->engine = std::move(loaded.engine);
+  CLAKS_CHECK(snapshot->engine->Warm());
+  service->snapshot_ = std::shared_ptr<const EngineSnapshot>(snapshot);
+  return service;
+}
+
+Status SearchService::SaveSnapshot(const std::string& path) {
+  MutexLock lock(&mutate_mutex_);
+  std::shared_ptr<const EngineSnapshot> current = snapshot();
+  Status saved = current->engine->SaveSnapshot(path);
+  if (saved.ok() || !saved.IsInvalidArgument()) return saved;
+  // The generation carries derive overlays (or stale warm state): fold
+  // it into a compacted rebuild, publish that as the next version —
+  // result-identical to the derived generation, like every compaction —
+  // and serialize the fold.
+  Result<std::shared_ptr<const EngineSnapshot>> rebuilt =
+      BuildSnapshot(current->db->Clone(), current->version + 1);
+  if (!rebuilt.ok()) return rebuilt.status();
+  std::shared_ptr<const EngineSnapshot> next = *rebuilt;
+  std::atomic_store(&snapshot_, next);
+  Bump(compactions_, g_compactions);
+  return next->engine->SaveSnapshot(path);
 }
 
 Result<std::shared_ptr<const EngineSnapshot>> SearchService::BuildSnapshot(

@@ -143,6 +143,28 @@ class SearchService {
       std::unique_ptr<Database> db, ERSchema er_schema,
       ErRelationalMapping mapping, ServiceOptions options = {});
 
+  /// Cold start from a snapshot file (storage/snapshot.h): the loaded
+  /// generation — flat graph/index arrays served zero-copy out of the
+  /// mmap'd file — becomes snapshot version 1, with no index build, graph
+  /// construction, tokenization or integrity re-check. The loaded
+  /// engine's ER schema + mapping are retained for future rebuilds, and
+  /// subsequent Mutate calls delta-derive on top of the frozen mmap'd
+  /// base exactly as they would over a built one (compaction folds the
+  /// overlays into fresh owned arrays; the mapping is unpinned when the
+  /// last generation viewing it dies). Fails with the loader's typed
+  /// StorageError status on a corrupt or truncated file.
+  static Result<std::unique_ptr<SearchService>> CreateFromSnapshot(
+      const std::string& path, ServiceOptions options = {});
+
+  /// Serializes the current generation to `path` (atomic tmp + rename).
+  /// A generation carrying derive overlays cannot be serialized directly;
+  /// this first publishes a compacted rebuild as the next snapshot
+  /// version (result-identical — the differential suite proves derived ==
+  /// rebuilt) and saves that, so the call always writes the service's
+  /// current logical state. Serializes with Mutate.
+  Status SaveSnapshot(const std::string& path)
+      CLAKS_EXCLUDES(mutate_mutex_);
+
   ~SearchService();
 
   SearchService(const SearchService&) = delete;

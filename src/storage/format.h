@@ -1,0 +1,246 @@
+// Copyright 2026 The claks Authors.
+//
+// On-disk snapshot format of a warmed engine generation (the claks
+// storage engine, src/storage/snapshot.h). One page-aligned file:
+//
+//   +--------------------------------+  offset 0
+//   | StoredHeader                   |  magic, version, checksums
+//   +--------------------------------+
+//   | StoredSection[section_count]   |  per-section offset table
+//   +--------------------------------+  page-aligned
+//   | section payload ...            |  one per SectionKind
+//   +--------------------------------+  page-aligned
+//   | ...                            |
+//   +--------------------------------+  total_file_size
+//
+// Integrity: `header_checksum` covers the header (with the field itself
+// zeroed) plus the section table; `file_checksum` covers every byte
+// after the section table; each StoredSection additionally carries the
+// FNV-1a of its own payload. Together they make any single bit flip or
+// truncation anywhere in the file a deterministic load failure — the
+// guarantee tests/storage_fuzz_test.cc asserts.
+//
+// Layout discipline (enforced by the `storage-format` claks_lint rule):
+// every on-disk struct is defined in this file, is trivially copyable,
+// and pins its exact size and alignment with static_asserts. Flat
+// arrays of engine PODs (DataEdge, DataAdjacency, Posting, FkEdge,
+// uint32_t) are stored in their exact in-memory layout so the loader
+// maps them zero-copy (common/flat_vector.h views); their sizes are
+// pinned below too, so an accidental field addition breaks the build,
+// not the format.
+//
+// Endianness and padding: multi-byte integers are written in host byte
+// order with an endianness marker in the header (a foreign-endian file
+// is rejected, not byte-swapped), and none of the stored structs or
+// mapped PODs contain padding bytes — every file byte is meaningful,
+// which is what makes whole-file checksumming reproducible.
+
+#ifndef CLAKS_STORAGE_FORMAT_H_
+#define CLAKS_STORAGE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "graph/data_graph.h"
+#include "relational/database.h"
+#include "text/inverted_index.h"
+
+namespace claks {
+
+/// File magic: "CLKSNAP1" (8 bytes, no terminator).
+inline constexpr char kSnapshotMagic[8] = {'C', 'L', 'K', 'S',
+                                           'N', 'A', 'P', '1'};
+/// Written as a native uint32_t; reads back as 0x04030201 on a
+/// foreign-endian host, which the loader rejects.
+inline constexpr uint32_t kSnapshotEndianMarker = 0x01020304;
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+inline constexpr uint32_t kSnapshotPageSize = 4096;
+
+/// Section payloads, in file order. Values are part of the format —
+/// never renumber, only append.
+enum class SectionKind : uint32_t {
+  kCatalog = 1,     ///< relational catalog text (relational/catalog_io.h)
+  kErModel = 2,     ///< ER schema + relational mapping (binary records)
+  kTables = 3,      ///< row values, tombstones, tombstone logs
+  kJoinIndexes = 4, ///< per-FK dense parent + children CSR + FK edge list
+  kGraph = 5,       ///< data-graph CSR (graph/data_graph.h GraphBase)
+  kTextIndex = 6,   ///< inverted index: term table, token arena, postings
+  kStatistics = 7,  ///< instance statistics records
+};
+inline constexpr uint32_t kSnapshotSectionCount = 7;
+
+struct StoredHeader {
+  char magic[8];
+  uint32_t endian;
+  uint32_t format_version;
+  uint32_t page_size;
+  uint32_t section_count;
+  uint64_t total_file_size;
+  uint64_t file_checksum;    ///< FNV-1a of [body_start, total_file_size)
+  uint64_t header_checksum;  ///< FNV-1a of header (field zeroed) + table
+};
+static_assert(sizeof(StoredHeader) == 48, "on-disk layout is frozen");
+static_assert(alignof(StoredHeader) == 8, "on-disk layout is frozen");
+static_assert(std::is_trivially_copyable<StoredHeader>::value,
+              "on-disk structs are mapped, not parsed");
+
+/// One entry of the section table that directly follows the header.
+struct StoredSection {
+  uint32_t kind;  ///< SectionKind
+  uint32_t reserved;
+  uint64_t offset;  ///< absolute, page-aligned
+  uint64_t size;    ///< payload bytes (excluding alignment padding)
+  uint64_t checksum;
+};
+static_assert(sizeof(StoredSection) == 32, "on-disk layout is frozen");
+static_assert(alignof(StoredSection) == 8, "on-disk layout is frozen");
+static_assert(std::is_trivially_copyable<StoredSection>::value,
+              "on-disk structs are mapped, not parsed");
+
+/// kGraph section prologue.
+struct StoredGraphInfo {
+  uint64_t num_nodes;
+  uint64_t live_edges;
+  uint32_t num_tables;
+  uint32_t reserved;
+};
+static_assert(sizeof(StoredGraphInfo) == 24, "on-disk layout is frozen");
+static_assert(alignof(StoredGraphInfo) == 8, "on-disk layout is frozen");
+static_assert(std::is_trivially_copyable<StoredGraphInfo>::value,
+              "on-disk structs are mapped, not parsed");
+
+/// One FK join index in the kJoinIndexes section.
+struct StoredJoinIndexInfo {
+  uint32_t table;
+  uint32_t fk_index;
+  uint32_t referenced_table;
+  uint32_t valid;
+};
+static_assert(sizeof(StoredJoinIndexInfo) == 16,
+              "on-disk layout is frozen");
+static_assert(alignof(StoredJoinIndexInfo) == 4,
+              "on-disk layout is frozen");
+static_assert(std::is_trivially_copyable<StoredJoinIndexInfo>::value,
+              "on-disk structs are mapped, not parsed");
+
+/// kTextIndex section prologue.
+struct StoredTextIndexInfo {
+  uint64_t vocabulary_size;
+  uint64_t total_documents;
+  uint64_t total_tokens;
+  uint64_t distinct_tokens;  ///< term-table entries
+};
+static_assert(sizeof(StoredTextIndexInfo) == 32,
+              "on-disk layout is frozen");
+static_assert(alignof(StoredTextIndexInfo) == 8,
+              "on-disk layout is frozen");
+static_assert(std::is_trivially_copyable<StoredTextIndexInfo>::value,
+              "on-disk structs are mapped, not parsed");
+
+/// One distinct token of the inverted index: its text (in the token
+/// arena), document frequency, and posting slice (in the flat posting
+/// array).
+struct StoredTermInfo {
+  uint64_t token_offset;  ///< byte offset into the token arena
+  uint64_t document_frequency;
+  uint64_t posting_offset;  ///< element offset into the posting array
+  uint64_t posting_count;
+  uint32_t token_length;
+  uint32_t reserved;
+};
+static_assert(sizeof(StoredTermInfo) == 40, "on-disk layout is frozen");
+static_assert(alignof(StoredTermInfo) == 8, "on-disk layout is frozen");
+static_assert(std::is_trivially_copyable<StoredTermInfo>::value,
+              "on-disk structs are mapped, not parsed");
+
+/// One RelationshipStats record in the kStatistics section; the
+/// relationship name lives in the section's string arena.
+struct StoredStatsRecord {
+  uint64_t link_count;
+  uint64_t left_participants;
+  uint64_t right_participants;
+  uint64_t left_total;
+  uint64_t right_total;
+  uint64_t name_offset;
+  uint32_t name_length;
+  uint32_t reserved;
+};
+static_assert(sizeof(StoredStatsRecord) == 56, "on-disk layout is frozen");
+static_assert(alignof(StoredStatsRecord) == 8, "on-disk layout is frozen");
+static_assert(std::is_trivially_copyable<StoredStatsRecord>::value,
+              "on-disk structs are mapped, not parsed");
+
+// The engine PODs whose flat arrays are mapped zero-copy. Their layout
+// is part of the format: a new field (or reordered member) changes the
+// file format and must bump kSnapshotFormatVersion.
+static_assert(sizeof(TupleId) == 8 && alignof(TupleId) == 4,
+              "TupleId layout is part of the snapshot format");
+static_assert(sizeof(DataEdge) == 20 && alignof(DataEdge) == 4,
+              "DataEdge layout is part of the snapshot format");
+static_assert(sizeof(DataAdjacency) == 12 && alignof(DataAdjacency) == 4,
+              "DataAdjacency layout is part of the snapshot format "
+              "(along_fk is uint32_t so there are no padding bytes)");
+static_assert(sizeof(FkEdge) == 20 && alignof(FkEdge) == 4,
+              "FkEdge layout is part of the snapshot format");
+static_assert(sizeof(Posting) == 16 && alignof(Posting) == 4,
+              "Posting layout is part of the snapshot format");
+static_assert(std::is_trivially_copyable<TupleId>::value &&
+                  std::is_trivially_copyable<DataEdge>::value &&
+                  std::is_trivially_copyable<DataAdjacency>::value &&
+                  std::is_trivially_copyable<FkEdge>::value &&
+                  std::is_trivially_copyable<Posting>::value,
+              "mapped PODs must be trivially copyable");
+
+/// The format's only checksum: FNV-style xor-multiply folding applied
+/// 64 bits at a time across four independent lanes (32 bytes per step),
+/// with a byte-at-a-time FNV-1a tail. Each lane update is a bijection
+/// of the lane state for any fixed input word AND a bijection of the
+/// word for any fixed state (xor, then multiply by an odd constant),
+/// and the final combine is a bijection of every lane — so corrupting
+/// any single word (in particular flipping any single bit) provably
+/// changes the checksum, the property the corruption tests lean on.
+/// Word-wise folding hashes an order of magnitude faster than the
+/// classic byte loop, keeping validation off the mmap cold-start
+/// critical path.
+inline uint64_t SnapshotChecksum64(const void* data, size_t size,
+                                   uint64_t seed = 14695981039346656037ULL) {
+  constexpr uint64_t kPrime = 1099511628211ULL;  // 64-bit FNV prime
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h0 = seed;
+  uint64_t h1 = seed ^ 0x9e3779b97f4a7c15ULL;
+  uint64_t h2 = seed ^ 0xc2b2ae3d27d4eb4fULL;
+  uint64_t h3 = seed ^ 0x165667b19e3779f9ULL;
+  size_t i = 0;
+  for (; i + 32 <= size; i += 32) {
+    uint64_t w0;
+    uint64_t w1;
+    uint64_t w2;
+    uint64_t w3;
+    std::memcpy(&w0, bytes + i, 8);
+    std::memcpy(&w1, bytes + i + 8, 8);
+    std::memcpy(&w2, bytes + i + 16, 8);
+    std::memcpy(&w3, bytes + i + 24, 8);
+    h0 = (h0 ^ w0) * kPrime;
+    h1 = (h1 ^ w1) * kPrime;
+    h2 = (h2 ^ w2) * kPrime;
+    h3 = (h3 ^ w3) * kPrime;
+  }
+  for (; i + 8 <= size; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, bytes + i, 8);
+    h0 = (h0 ^ w) * kPrime;
+  }
+  uint64_t hash =
+      (((h1 * kPrime ^ h2) * kPrime ^ h3) * kPrime ^ h0) * kPrime;
+  for (; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+}  // namespace claks
+
+#endif  // CLAKS_STORAGE_FORMAT_H_

@@ -1,0 +1,48 @@
+// Copyright 2026 The claks Authors.
+
+#include "storage/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace claks {
+
+Result<std::shared_ptr<const MmapFile>> MmapFile::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(hicpp-vararg)
+  if (fd < 0) {
+    return Status::NotFound("cannot open snapshot '" + path +
+                            "': " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::Internal("fstat failed for '" + path +
+                            "': " + std::strerror(errno));
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return Status::ParseError("snapshot '" + path + "' is empty");
+  }
+  void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping pins the file contents; the descriptor is not needed
+  // afterwards.
+  ::close(fd);
+  if (mapped == MAP_FAILED) {
+    return Status::Internal("mmap failed for '" + path +
+                            "': " + std::strerror(errno));
+  }
+  return std::shared_ptr<const MmapFile>(new MmapFile(mapped, size));
+}
+
+MmapFile::~MmapFile() {
+  if (mapped_ != nullptr) ::munmap(mapped_, size_);
+}
+
+}  // namespace claks

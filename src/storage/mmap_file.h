@@ -1,0 +1,47 @@
+// Copyright 2026 The claks Authors.
+//
+// Read-only memory mapping of a snapshot file. The mapping is shared —
+// a FlatVector view into the file holds the MmapFile alive through its
+// keepalive shared_ptr, so the bytes outlive every engine generation
+// that still references them (mmap lifetime == last reader, exactly
+// like the RCU snapshot lifetime it feeds).
+
+#ifndef CLAKS_STORAGE_MMAP_FILE_H_
+#define CLAKS_STORAGE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+
+namespace claks {
+
+class MmapFile {
+ public:
+  /// Maps `path` read-only (PROT_READ, MAP_PRIVATE). NotFound when the
+  /// file cannot be opened, Internal on a mapping failure.
+  static Result<std::shared_ptr<const MmapFile>> Open(
+      const std::string& path);
+
+  ~MmapFile();
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const uint8_t* data() const {
+    return static_cast<const uint8_t*>(mapped_);
+  }
+  size_t size() const { return size_; }
+
+ private:
+  MmapFile(void* mapped, size_t size) : mapped_(mapped), size_(size) {}
+
+  // Kept non-const because munmap takes void*; all access is const.
+  void* mapped_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace claks
+
+#endif  // CLAKS_STORAGE_MMAP_FILE_H_

@@ -1,0 +1,80 @@
+// Copyright 2026 The claks Authors.
+//
+// The claks storage engine: serialize a fully-warmed, compact engine
+// generation into one page-aligned snapshot file (storage/format.h) and
+// load it back with zero-copy views over the flat index and graph
+// arrays (common/flat_vector.h over an mmap'd file, storage/
+// mmap_file.h). Load cost is O(sections + rows-of-table-values +
+// distinct-tokens), never O(postings) or O(edges): the big arrays — the
+// data-graph CSR, the FK join indexes, the posting lists' flat storage —
+// are served straight from the mapping.
+//
+// Lifetime: every FlatVector view holds the MmapFile alive, so the
+// mapping lives exactly as long as the last engine generation sharing a
+// frozen base that points into it — the same discipline as the in-memory
+// RCU snapshots. Delta derivation on a loaded engine shares the mmap'd
+// bases; the first compaction rebuilds owned arrays and drops the file.
+//
+// Save requires a compact generation (graph, join indexes and inverted
+// index without overlays; InvalidArgument otherwise). Table tails are
+// fine: tables serialize their effective row state. The service layer
+// compacts before saving (SearchService::SaveSnapshot).
+
+#ifndef CLAKS_STORAGE_SNAPSHOT_H_
+#define CLAKS_STORAGE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/engine.h"
+
+namespace claks {
+
+/// Typed classification of snapshot-load failures. Every loader error
+/// Status carries one of these (recover it with StorageErrorOf); the
+/// loader never crashes and never returns a partially-built engine on a
+/// damaged file.
+enum class StorageError {
+  kNone = 0,        ///< the Status is OK or not a storage error
+  kTruncated,       ///< file shorter than the header/sections claim
+  kBadMagic,        ///< not a claks snapshot
+  kBadVersion,      ///< format version this build cannot read
+  kBadEndianness,   ///< written on a foreign-endian host
+  kChecksumMismatch,///< header/section/file checksum failed
+  kMalformed,       ///< structurally invalid section contents
+};
+
+/// Status factory: the code is encoded in the message prefix
+/// ("snapshot[<code>]: ..."), the StatusCode is kParseError (structural)
+/// or kIntegrityViolation (checksums).
+Status MakeStorageError(StorageError code, const std::string& message);
+
+/// The StorageError behind a loader Status (kNone for OK / foreign
+/// statuses).
+StorageError StorageErrorOf(const Status& status);
+const char* StorageErrorName(StorageError code);
+
+/// A loaded generation: the engine plus the database it reads. The
+/// database must outlive the engine (keep the pair together; the service
+/// stores both in its EngineSnapshot).
+struct LoadedEngine {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<KeywordSearchEngine> engine;
+};
+
+/// Serializes `engine`'s generation to `path` (atomic: written to a
+/// temp file, then renamed). The engine must be warm and compact —
+/// InvalidArgument otherwise (callers compact first; see
+/// SearchService::SaveSnapshot).
+Status SaveEngineSnapshot(const KeywordSearchEngine& engine,
+                          const std::string& path);
+
+/// Loads a snapshot written by SaveEngineSnapshot. Every query result on
+/// the loaded engine is byte-identical to the saved one
+/// (tests/differential_test.cc SnapshotRoundTrip* proves it).
+Result<LoadedEngine> LoadEngineSnapshot(const std::string& path);
+
+}  // namespace claks
+
+#endif  // CLAKS_STORAGE_SNAPSHOT_H_

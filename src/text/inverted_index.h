@@ -92,6 +92,10 @@ class InvertedIndex {
 
   InvertedIndex() = default;
 
+  /// Snapshot save/load (storage/snapshot.cc) serializes the frozen base
+  /// and installs a loaded one (plus stats/vocab) directly.
+  friend class StorageCodec;
+
   void Build();
   /// Adds (sign +1) or removes (sign -1) one row's postings via the
   /// overlay maps.

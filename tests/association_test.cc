@@ -38,7 +38,7 @@ class AssociationTest : public ::testing::Test {
       for (const DataAdjacency& adj : graph_->Neighbors(a)) {
         if (adj.neighbor == graph_->NodeOf(tuples[i + 1])) {
           const DataEdge& edge = graph_->edge(adj.edge_index);
-          edges.push_back(ConnectionEdge{edge.fk_index, adj.along_fk});
+          edges.push_back(ConnectionEdge{edge.fk_index, adj.along_fk != 0});
           found = true;
           break;
         }

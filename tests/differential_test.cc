@@ -15,16 +15,30 @@
 // RunOutcome fingerprints) against an engine rebuilt from scratch over a
 // clone of the same storage, at every shard count.
 //
+// Two further sweeps close the loop over the storage subsystem: the
+// round-trip sweep runs every spec against an engine that was serialized
+// to a snapshot file and mmap-loaded back, asserting byte-identical
+// RunOutcome fingerprints against the in-memory original at every shard
+// count; the snapshot-mutation sweep cold-starts a SearchService from
+// that file and proves delta derivations on the frozen mmap'd base match
+// engines rebuilt from scratch.
+//
 // Environment knobs (all optional):
 //   CLAKS_DIFF_SEED            run exactly one seed instead of the sweep
 //   CLAKS_DIFF_SPECS           number of specs in the sweep (default 200)
 //   CLAKS_DIFF_MUTATION_SPECS  mutation scenarios (default 100)
+//   CLAKS_DIFF_SNAPSHOT_SPECS  snapshot round-trip specs (default 100)
+//   CLAKS_DIFF_SNAPSHOT_MUTATION_SPECS
+//                              mutate-after-load scenarios (default 40)
 //   CLAKS_TEST_SHARDS          force one shard count
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <set>
 #include <string>
@@ -38,6 +52,7 @@
 #include "datasets/company_gen.h"
 #include "relational/database.h"
 #include "service/search_service.h"
+#include "storage/snapshot.h"
 
 namespace claks {
 namespace {
@@ -517,6 +532,164 @@ TEST(DifferentialTest, DeltaMutationSequencesMatchColdRebuild) {
               << "reproduce: CLAKS_DIFF_SEED=" << seed
               << " ./differential_test --gtest_filter="
                  "DifferentialTest.DeltaMutationSequencesMatchColdRebuild";
+          return;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot round-trip mode: mmap-loaded engines vs in-memory originals
+// ---------------------------------------------------------------------------
+
+/// Both suite engines serialized to snapshot files and mmap-loaded back,
+/// built once. The LoadedEngine members keep the mmap'd files alive for
+/// the whole process, so every zero-copy view stays valid.
+struct SnapshotEngines {
+  std::filesystem::path dir;
+  std::string small_path;
+  std::string big_path;
+  LoadedEngine small_loaded;
+  LoadedEngine big_loaded;
+};
+
+SnapshotEngines* BuildSnapshotEngines() {
+  auto out = std::make_unique<SnapshotEngines>();
+  out->dir = std::filesystem::temp_directory_path() /
+             ("claks_diff_snapshot_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(out->dir);
+  out->small_path = (out->dir / "small.claks").string();
+  out->big_path = (out->dir / "big.claks").string();
+  // Save requires warm engines; Warmup is idempotent and, by design,
+  // result-invariant (the warm-identity unit tests pin that down).
+  const Engines& engines = GetEngines();
+  engines.small_engine->Warmup();
+  engines.big_engine->Warmup();
+  CLAKS_CHECK(engines.small_engine->SaveSnapshot(out->small_path).ok());
+  CLAKS_CHECK(engines.big_engine->SaveSnapshot(out->big_path).ok());
+  auto small = KeywordSearchEngine::LoadSnapshot(out->small_path);
+  CLAKS_CHECK(small.ok());
+  out->small_loaded = std::move(small).ValueOrDie();
+  auto big = KeywordSearchEngine::LoadSnapshot(out->big_path);
+  CLAKS_CHECK(big.ok());
+  out->big_loaded = std::move(big).ValueOrDie();
+  return out.release();
+}
+
+const SnapshotEngines& GetSnapshotEngines() {
+  static SnapshotEngines* engines = BuildSnapshotEngines();
+  return *engines;
+}
+
+TEST(DifferentialTest, SnapshotRoundTripIsByteIdentical) {
+  constexpr uint64_t kBaseSeed = 0x5a9e0000;
+  std::vector<uint64_t> seeds;
+  if (const char* forced = std::getenv("CLAKS_DIFF_SEED")) {
+    seeds.push_back(std::strtoull(forced, nullptr, 10));
+  } else {
+    size_t count = EnvCount("CLAKS_DIFF_SNAPSHOT_SPECS", 100);
+    for (size_t i = 0; i < count; ++i) seeds.push_back(kBaseSeed + i);
+  }
+  std::vector<size_t> shard_counts = {1, 2, 4};
+  if (std::getenv("CLAKS_TEST_SHARDS") != nullptr) {
+    shard_counts = {EnvCount("CLAKS_TEST_SHARDS", 1)};
+    ASSERT_GT(shard_counts[0], 0u);
+  }
+
+  for (uint64_t seed : seeds) {
+    DiffSpec spec = MakeSpec(seed);
+    const KeywordSearchEngine& in_memory = spec.big_dataset
+                                               ? *GetEngines().big_engine
+                                               : *GetEngines().small_engine;
+    const KeywordSearchEngine& loaded =
+        spec.big_dataset ? *GetSnapshotEngines().big_loaded.engine
+                         : *GetSnapshotEngines().small_loaded.engine;
+    for (size_t shards : shard_counts) {
+      RunOutcome memory_run = RunSpec(in_memory, spec, shards);
+      RunOutcome loaded_run = RunSpec(loaded, spec, shards);
+      if (!(loaded_run == memory_run)) {
+        ADD_FAILURE() << "mmap-loaded engine diverged from the original\n"
+                      << "spec: " << spec.ToString() << "\n"
+                      << "shards=" << shards << "\n"
+                      << "in-memory: " << memory_run.ToString() << "\n"
+                      << "loaded:    " << loaded_run.ToString() << "\n"
+                      << "reproduce: CLAKS_DIFF_SEED=" << seed
+                      << " ./differential_test --gtest_filter="
+                         "DifferentialTest.SnapshotRoundTripIsByteIdentical";
+        return;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot-mutation mode: delta derivations on the frozen mmap'd base
+// ---------------------------------------------------------------------------
+
+TEST(DifferentialTest, MutationsAfterSnapshotLoadMatchColdRebuild) {
+  constexpr uint64_t kBaseSeed = 0x10ad0000;
+  std::vector<uint64_t> seeds;
+  if (const char* forced = std::getenv("CLAKS_DIFF_SEED")) {
+    seeds.push_back(std::strtoull(forced, nullptr, 10));
+  } else {
+    size_t count = EnvCount("CLAKS_DIFF_SNAPSHOT_MUTATION_SPECS", 40);
+    for (size_t i = 0; i < count; ++i) seeds.push_back(kBaseSeed + i);
+  }
+  std::vector<size_t> shard_counts = {1, 2, 4};
+  if (std::getenv("CLAKS_TEST_SHARDS") != nullptr) {
+    shard_counts = {EnvCount("CLAKS_TEST_SHARDS", 1)};
+    ASSERT_GT(shard_counts[0], 0u);
+  }
+
+  const std::string& path = GetSnapshotEngines().small_path;
+  const GeneratedDataset& master = GetEngines().small_data;
+  for (uint64_t seed : seeds) {
+    DiffSpec spec = MakeSpec(seed);
+    Rng rng(seed ^ 0xf11e5eedULL);
+
+    ServiceOptions options;
+    options.num_threads = 1;
+    options.cache_capacity = 0;
+    // Never compact: every batch must delta-derive directly on top of
+    // the zero-copy views into the mmap'd file, the path this sweep is
+    // here to prove.
+    options.delta_policy.mode = DeltaPolicy::Mode::kNeverCompact;
+    auto created = SearchService::CreateFromSnapshot(path, options);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    std::unique_ptr<SearchService> service = std::move(created).ValueOrDie();
+
+    uint64_t unique_counter = 0;
+    size_t batches = 1 + rng.Index(3);
+    for (size_t batch = 0; batch < batches; ++batch) {
+      size_t ops = 1 + rng.Index(6);
+      Status applied = service->Mutate([&](Database* db) {
+        for (size_t op = 0; op < ops; ++op) {
+          ApplyRandomOp(db, &rng, &unique_counter);
+        }
+        return Status::OK();
+      });
+      ASSERT_TRUE(applied.ok()) << applied.message();
+
+      std::shared_ptr<const EngineSnapshot> snapshot = service->snapshot();
+      std::unique_ptr<Database> rebuilt_db = snapshot->db->Clone();
+      auto rebuilt = KeywordSearchEngine::Create(
+          rebuilt_db.get(), master.er_schema, master.mapping);
+      ASSERT_TRUE(rebuilt.ok());
+
+      for (size_t shards : shard_counts) {
+        RunOutcome derived_run = RunSpec(*snapshot->engine, spec, shards);
+        RunOutcome rebuilt_run = RunSpec(**rebuilt, spec, shards);
+        if (!(derived_run == rebuilt_run)) {
+          ADD_FAILURE()
+              << "mutation on the mmap'd base diverged from cold rebuild\n"
+              << "spec: " << spec.ToString() << "\n"
+              << "batch=" << batch << " shards=" << shards << "\n"
+              << "derived: " << derived_run.ToString() << "\n"
+              << "rebuilt: " << rebuilt_run.ToString() << "\n"
+              << "reproduce: CLAKS_DIFF_SEED=" << seed
+              << " ./differential_test --gtest_filter="
+                 "DifferentialTest.MutationsAfterSnapshotLoadMatchColdRebuild";
           return;
         }
       }

@@ -62,7 +62,7 @@ class PaperReproductionTest : public ::testing::Test {
       for (const DataAdjacency& adj : graph.Neighbors(a)) {
         if (adj.neighbor == graph.NodeOf(tuples[i + 1])) {
           const DataEdge& edge = graph.edge(adj.edge_index);
-          edges.push_back(ConnectionEdge{edge.fk_index, adj.along_fk});
+          edges.push_back(ConnectionEdge{edge.fk_index, adj.along_fk != 0});
           found = true;
           break;
         }

@@ -35,7 +35,7 @@ class StatisticsTest : public ::testing::Test {
            graph_->Neighbors(graph_->NodeOf(tuples[i]))) {
         if (adj.neighbor == graph_->NodeOf(tuples[i + 1])) {
           const DataEdge& edge = graph_->edge(adj.edge_index);
-          edges.push_back(ConnectionEdge{edge.fk_index, adj.along_fk});
+          edges.push_back(ConnectionEdge{edge.fk_index, adj.along_fk != 0});
           break;
         }
       }

@@ -32,6 +32,11 @@ Enforces the invariants no off-the-shelf tool knows about:
   derive-base-const   Derive* entry points take their base generation by
                       const reference: derivation reads the previous
                       snapshot, it never writes it.
+  storage-format      on-disk structs (struct Stored*) are defined only
+                      in src/storage/format.h, and every one pins its
+                      exact size, alignment, and trivial copyability
+                      with static_asserts — the file format must break
+                      the build, never silently shift.
   metric-naming       metric names follow claks_<subsystem>_<name>_<unit>
                       with the unit drawn from a fixed vocabulary, and
                       process-wide registrations (CLAKS_METRIC_* /
@@ -98,6 +103,11 @@ RULES = {
     "derive-base-const": (
         "Derive* must take its base generation as a const reference; "
         "derivation reads the previous snapshot, never writes it"
+    ),
+    "storage-format": (
+        "on-disk struct outside src/storage/format.h, or missing its "
+        "layout pins; every struct Stored* lives in format.h with "
+        "static_asserts on sizeof, alignof, and trivial copyability"
     ),
     "metric-naming": (
         "metric registration breaks the naming discipline: names are "
@@ -309,6 +319,26 @@ def scan_file(relpath, text):
                 r"std::atomic|std::once_flag|(?:claks::)?\bMutex\b|"
                 r"CLAKS_(?:PT_)?GUARDED_BY", decl):
             report("mutable-member", line_of(m.start()))
+
+    # storage-format: `struct Stored*` is the naming convention for
+    # on-disk records. Definitions (not forward declarations or usages)
+    # belong in src/storage/format.h; there, each must pin sizeof,
+    # alignof, and trivial copyability so any layout drift is a compile
+    # error instead of a silent format change.
+    is_format_home = relpath == "src/storage/format.h"
+    for m in re.finditer(r"^[ \t]*struct[ \t]+(Stored\w+)[^;{(]*\{",
+                         code, re.MULTILINE):
+        name = m.group(1)
+        if not is_format_home:
+            report("storage-format", line_of(m.start(1)))
+            continue
+        pins = (
+            rf"static_assert\(\s*sizeof\({name}\)",
+            rf"alignof\({name}\)",
+            rf"is_trivially_copyable<{name}>",
+        )
+        if not all(re.search(p, code) for p in pins):
+            report("storage-format", line_of(m.start(1)))
 
     # metric-naming: two halves, both skipped for the registry
     # implementation itself (its macro definitions and Get* declarations

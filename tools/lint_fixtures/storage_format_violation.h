@@ -1,0 +1,13 @@
+// Fixture: an on-disk record defined outside src/storage/format.h.
+// Whatever this struct serializes can now drift out of sync with the
+// format header's layout pins — the rule forces it back into format.h.
+#include <cstdint>
+
+namespace claks {
+
+struct StoredWidget {
+  uint32_t kind;
+  uint64_t offset;
+};
+
+}  // namespace claks
